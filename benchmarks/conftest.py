@@ -1,0 +1,27 @@
+"""Benchmark fixtures: one shared study context per session.
+
+Corpus scale is controlled by the ``REPRO_SCALE`` environment variable
+(default 1.0 → the standard small world; the paper's corpora are ~78×).
+Benchmarks print the regenerated table/figure so a ``--benchmark-only -s``
+run reproduces the paper's artifacts alongside the timings.
+"""
+
+import pytest
+
+from repro.experiments.common import StudyContext, env_scale
+from repro.world.build import WorldConfig
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    config = WorldConfig().scaled(env_scale())
+    context = StudyContext.create(config)
+    # Pre-gather the final-snapshot measurements so benchmarks time the
+    # analysis work, not the one-off measurement materialization.
+    return context
+
+
+def emit(result) -> None:
+    """Print a rendered experiment artifact beneath the benchmark output."""
+    print()
+    print(result.render())

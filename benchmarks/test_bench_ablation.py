@@ -1,0 +1,79 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+Each ablation disables one ingredient of the priority-based approach and
+measures the accuracy it costs, against ground truth, on the Alexa corpus:
+
+* no step 4 (misidentification checking),
+* accepting self-signed certificates as cert evidence,
+* dropping certificates entirely (banner-first),
+* dropping banners entirely (cert-only + MX fallback),
+* first-MX-wins instead of credit splitting.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.accuracy import is_correct
+from repro.analysis.render import format_table
+from repro.core.pipeline import PipelineConfig, PriorityPipeline
+from repro.world.entities import DatasetTag
+
+LAST = 8
+
+ABLATIONS = {
+    "full": PipelineConfig(),
+    "no-step4": PipelineConfig(check_misidentifications=False),
+    "accept-self-signed": PipelineConfig(require_valid_cert=False),
+    "no-certs": PipelineConfig(use_certs=False),
+    "no-banners": PipelineConfig(use_banners=False),
+    "first-mx-wins": PipelineConfig(split_credit=False),
+}
+
+
+class AblationResult:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def render(self):
+        return format_table(
+            ["Ablation", "Correct", "Total", "Accuracy"],
+            self.rows,
+            title="Ablation — accuracy cost of each design choice (Alexa)",
+        )
+
+
+def run_ablations(ctx):
+    measurements = ctx.measurements(DatasetTag.ALEXA, LAST)
+    eligible = [d for d, m in measurements.items() if m.has_smtp_server]
+    rows = []
+    accuracy_by_name = {}
+    for name, config in ABLATIONS.items():
+        pipeline = PriorityPipeline(
+            ctx.world.trust_store, ctx.company_map, ctx.world.psl, config
+        )
+        result = pipeline.run(measurements)
+        correct = sum(
+            1
+            for domain in eligible
+            if is_correct(
+                result[domain], ctx.ground_truth(domain, LAST), ctx.company_map
+            )
+        )
+        accuracy = correct / len(eligible)
+        accuracy_by_name[name] = accuracy
+        rows.append([name, correct, len(eligible), f"{100 * accuracy:.2f}%"])
+    return AblationResult(rows), accuracy_by_name
+
+
+def test_bench_ablations(ctx, benchmark):
+    result, accuracy = benchmark.pedantic(
+        run_ablations, args=(ctx,), rounds=1, iterations=1
+    )
+    emit(result)
+    # The full configuration is never worse than any ablation.
+    full = accuracy["full"]
+    for name, value in accuracy.items():
+        assert value <= full + 1e-9, name
+    # Step 4 measurably matters (it repairs the VPS / spoof / customer-cert
+    # corner cases).
+    assert accuracy["no-step4"] < full

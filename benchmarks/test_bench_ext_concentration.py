@@ -1,0 +1,12 @@
+"""Extension bench — HHI / CR-k concentration of the provider market."""
+
+from conftest import emit
+
+from repro.experiments import ext_concentration
+from repro.world.entities import DatasetTag
+
+
+def test_bench_ext_concentration(ctx, benchmark):
+    result = benchmark.pedantic(ext_concentration.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    assert result.hhi_delta(DatasetTag.ALEXA) > 0  # the market concentrates

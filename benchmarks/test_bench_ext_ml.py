@@ -1,0 +1,11 @@
+"""Extension bench — learned misidentification detection."""
+
+from conftest import emit
+
+from repro.experiments import ext_ml
+
+
+def test_bench_ext_ml_detector(ctx, benchmark):
+    result = benchmark.pedantic(ext_ml.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    assert result.learned.recall >= result.rule_based.recall

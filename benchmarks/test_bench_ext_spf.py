@@ -1,0 +1,12 @@
+"""Extension bench — SPF-revealed eventual providers (Section 3.4)."""
+
+from conftest import emit
+
+from repro.experiments import ext_spf
+
+
+def test_bench_ext_spf_eventual_providers(ctx, benchmark):
+    result = benchmark.pedantic(ext_spf.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    for report in result.reports.values():
+        assert report.filtered_total >= report.revealed

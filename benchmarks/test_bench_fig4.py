@@ -1,0 +1,16 @@
+"""Benchmark E2 — regenerate Figure 4 (approach accuracy comparison)."""
+
+from conftest import emit
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4_accuracy(ctx, benchmark):
+    result = benchmark.pedantic(fig4.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    # Shape gate: the priority approach wins on every evaluation set.
+    for evaluation in result.evaluations.values():
+        samples = {cell.sample_set for cell in evaluation.cells}
+        for sample in samples:
+            priority = evaluation.cell(sample, "priority-based")
+            assert priority.accuracy >= 0.95

@@ -1,0 +1,13 @@
+"""Benchmark E5 — regenerate Figure 5 (top companies per domain set)."""
+
+from conftest import emit
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5_top_companies(ctx, benchmark):
+    result = benchmark.pedantic(fig5.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    assert result.panels["Alexa Top 1M"][0].label == "google"
+    assert result.panels["COM"][0].label == "godaddy"
+    assert result.panels["GOV (all)"][0].label == "microsoft"

@@ -1,0 +1,13 @@
+"""Benchmark E6 — regenerate Figure 6 (longitudinal market share)."""
+
+from conftest import emit
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6_longitudinal(ctx, benchmark):
+    result = benchmark.pedantic(fig6.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    alexa_top = result.panel("alexa:top")
+    assert alexa_top.result["google"].delta_percent() > 0
+    assert alexa_top.result["SELF"].delta_percent() < 0

@@ -1,0 +1,15 @@
+"""Benchmark E7 — regenerate Figure 7 (Sankey churn, Alexa 2017→2021)."""
+
+from conftest import emit
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7_churn(ctx, benchmark):
+    result = benchmark.pedantic(fig7.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    matrix = result.matrix
+    to_big_two = matrix.flow("Self-Hosted", "Google") + matrix.flow(
+        "Self-Hosted", "Microsoft"
+    )
+    assert to_big_two > matrix.outgoing("Self-Hosted") / 4

@@ -1,0 +1,13 @@
+"""Benchmark E8 — regenerate Figure 8 (provider preferences by ccTLD)."""
+
+from conftest import emit
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8_country_preferences(ctx, benchmark):
+    result = benchmark.pedantic(fig8.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    prefs = result.preferences
+    assert prefs.dominant_cctld("yandex") == "ru"
+    assert prefs.dominant_cctld("tencent") == "cn"

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the core machinery.
+
+These are throughput benches (pytest-benchmark runs them many times):
+certificate grouping, the full priority pipeline, the LPM trie, PSL
+extraction, and banner parsing — the hot paths of a full-scale run over
+hundreds of thousands of domains.
+"""
+
+import pytest
+
+from repro.core.certgroup import CertificatePreprocessor
+from repro.core.pipeline import PriorityPipeline
+from repro.dnscore.psl import default_psl
+from repro.smtp.banner import identity_from_message
+from repro.world.entities import DatasetTag
+
+LAST = 8
+
+
+@pytest.fixture(scope="module")
+def alexa_measurements(ctx):
+    return ctx.measurements(DatasetTag.ALEXA, LAST)
+
+
+def test_bench_priority_pipeline(ctx, alexa_measurements, benchmark):
+    pipeline = PriorityPipeline(ctx.world.trust_store, ctx.company_map, ctx.world.psl)
+    result = benchmark(pipeline.run, alexa_measurements)
+    assert len(result) == len(alexa_measurements)
+
+
+def test_bench_certificate_grouping(ctx, alexa_measurements, benchmark):
+    certificates = [
+        ip.scan.certificate
+        for measurement in alexa_measurements.values()
+        for ip in measurement.all_ips()
+        if ip.scan is not None and ip.scan.certificate is not None
+    ]
+    preprocessor = CertificatePreprocessor(ctx.world.psl)
+    groups = benchmark(preprocessor.build, certificates)
+    assert len(groups) > 10
+
+
+def test_bench_lpm_lookup(ctx, benchmark):
+    table = ctx.world.prefix2as
+    addresses = [str(block.prefix.first + 1) for block in ctx.world.registry.blocks()]
+
+    def lookup_all():
+        return [table.lookup_asn(address) for address in addresses]
+
+    results = benchmark(lookup_all)
+    assert all(asn is not None for asn in results)
+
+
+def test_bench_psl_extraction(benchmark):
+    psl = default_psl()
+    names = [
+        "aspmx.l.google.com", "mx0a-00176a02.pphosted.com", "mail.bar.co.uk",
+        "se26.mailspamprotection.com", "a.b.c.d.example.com.br", "mx.foo.ck",
+    ] * 50
+
+    def extract_all():
+        return [psl.registered_domain(name) for name in names]
+
+    results = benchmark(extract_all)
+    assert results[0] == "google.com"
+
+
+def test_bench_banner_parsing(benchmark):
+    banners = [
+        "mx.google.com ESMTP ready",
+        "IP-1-2-3-4 ESMTP",
+        "localhost.localdomain ESMTP Postfix",
+        "220 welcome to mx1.provider.com the best server",
+    ] * 100
+
+    def parse_all():
+        return [identity_from_message(banner) for banner in banners]
+
+    results = benchmark(parse_all)
+    assert results[0].registered_domain == "google.com"
+
+
+def test_bench_measurement_gathering(ctx, benchmark):
+    domains = ctx.domains(DatasetTag.GOV)
+
+    def gather():
+        return ctx.gatherer.gather(domains, LAST)
+
+    measurements = benchmark(gather)
+    assert len(measurements) == len(domains)

@@ -1,0 +1,12 @@
+"""Bench — Section 4.1 corpus-construction funnel."""
+
+from conftest import emit
+
+from repro.experiments import sec41_corpus
+
+
+def test_bench_sec41_corpus_funnel(ctx, benchmark):
+    result = benchmark.pedantic(sec41_corpus.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    funnel = result.funnel
+    assert funnel.union_domains > funnel.list_stable >= funnel.mx_stable

@@ -1,0 +1,12 @@
+"""Benchmark E3 — regenerate Table 4 (data-availability breakdown)."""
+
+from conftest import emit
+
+from repro.experiments import tab4
+
+
+def test_bench_tab4_breakdown(ctx, benchmark):
+    result = benchmark.pedantic(tab4.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    for breakdown in result.breakdowns.values():
+        assert sum(breakdown.counts.values()) == breakdown.total

@@ -1,0 +1,11 @@
+"""Benchmark E4 — regenerate Table 5 (provider IDs per company)."""
+
+from conftest import emit
+
+from repro.experiments import tab5
+
+
+def test_bench_tab5_provider_ids(ctx, benchmark):
+    result = benchmark.pedantic(tab5.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    assert "pphosted.com" in result.entries["proofpoint"][0]

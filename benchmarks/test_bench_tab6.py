@@ -1,0 +1,15 @@
+"""Benchmark E9 — regenerate Table 6 (top-15 companies per dataset)."""
+
+from conftest import emit
+
+from repro.experiments import tab6
+
+
+def test_bench_tab6_top15(ctx, benchmark):
+    result = benchmark.pedantic(tab6.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    from repro.world.entities import DatasetTag
+
+    assert result.rankings[DatasetTag.ALEXA][0].label == "google"
+    assert result.rankings[DatasetTag.COM][0].label == "godaddy"
+    assert result.rankings[DatasetTag.GOV][0].label == "microsoft"

@@ -1,0 +1,11 @@
+"""Benchmark E1 — regenerate Tables 1/2/3 (the worked examples)."""
+
+from conftest import emit
+
+from repro.experiments import tab1_2_3
+
+
+def test_bench_tables_1_2_3(ctx, benchmark):
+    result = benchmark.pedantic(tab1_2_3.run, args=(ctx,), rounds=1, iterations=1)
+    emit(result)
+    assert result.inferences["gsipartners.com"].attributions == {"google.com": 1.0}

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""National bias in mail provider choice (Figure 8, Section 5.4).
+
+For the fifteen ccTLDs the paper studies, shows the share of domains whose
+mail lands with Google, Microsoft, Tencent or Yandex — and therefore under
+US, Chinese or Russian legal jurisdiction.
+
+Run:  python examples/country_bias.py
+"""
+
+from repro.experiments import default_context, fig8
+
+
+def main() -> None:
+    ctx = default_context()
+    result = fig8.run(ctx)
+    print(result.render())
+
+    prefs = result.preferences
+    print()
+    print("Jurisdiction observations:")
+    broad = [cc for cc in prefs.cctlds if prefs.us_share(cc) > 30]
+    print(
+        f"  * US providers (Google+Microsoft) serve >30% of domains in "
+        f"{len(broad)}/{len(prefs.cctlds)} ccTLDs: "
+        + ", ".join(f".{cc}" for cc in broad)
+    )
+    print(
+        f"  * Yandex is essentially confined to .ru "
+        f"({prefs.percent('ru', 'yandex'):.0f}% there, "
+        f"<{max(prefs.percent(cc, 'yandex') for cc in prefs.cctlds if cc != 'ru'):.1f}% "
+        "anywhere else)."
+    )
+    print(
+        f"  * Tencent is essentially confined to .cn "
+        f"({prefs.percent('cn', 'tencent'):.0f}% there)."
+    )
+
+
+if __name__ == "__main__":
+    main()

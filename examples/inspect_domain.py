@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Inspect one domain: the full evidence trail behind an inference.
+
+The downstream-user tool: pick any domain in the synthetic world and see
+exactly what each methodology step observed and decided — MX records,
+address resolution, routing, the SMTP handshake, certificate grouping, and
+the final (possibly step-4-corrected) verdict of the priority approach next
+to the three baselines.
+
+Run:  python examples/inspect_domain.py [domain ...]
+      (defaults to a representative mix of corner cases)
+"""
+
+import sys
+
+from repro.core import MXOnlyApproach, banner_based, cert_based
+from repro.core.types import DomainStatus
+from repro.experiments.common import default_context
+from repro.world.entities import DatasetTag
+
+LAST = 8
+
+
+def inspect(ctx, corpus, results, domain: str) -> None:
+    measurement = corpus.get(domain)
+    if measurement is None:
+        print(f"{domain}: not in the measured corpus")
+        return
+
+    print("=" * 72)
+    print(domain)
+    print("=" * 72)
+
+    print("DNS (OpenINTEL):")
+    for mx in measurement.mx_set:
+        marker = "*" if mx in measurement.primary_mx else " "
+        print(f" {marker} MX {mx.preference:>3}  {mx.name}")
+        for ip in mx.ips:
+            as_text = (
+                f"AS{ip.as_info.asn} ({ip.as_info.name})" if ip.as_info else "unrouted"
+            )
+            print(f"       A  {ip.address}  {as_text}")
+
+    print("SMTP scans (Censys):")
+    for ip in measurement.all_ips():
+        if ip.scan is None:
+            print(f"   {ip.address}: no scan data")
+            continue
+        scan = ip.scan
+        print(f"   {ip.address}: port 25 {scan.state.value}")
+        if scan.banner:
+            print(f"       banner: {scan.banner}")
+        if scan.ehlo:
+            print(f"       EHLO:   {scan.ehlo}")
+        if scan.certificate is not None:
+            cert = scan.certificate
+            kind = "self-signed" if cert.self_signed else f"issued by {cert.issuer}"
+            print(f"       cert:   CN={cert.subject_cn} ({kind})")
+            if cert.sans:
+                print(f"               SANs: {', '.join(cert.sans)}")
+
+    print("Inference:")
+    priority = results["priority"][domain]
+    if priority.status is DomainStatus.INFERRED:
+        for identity in priority.mx_identities:
+            line = (
+                f"   priority: {identity.provider_id} "
+                f"[{identity.source.value} evidence]"
+            )
+            if identity.corrected:
+                line += f" — corrected: {identity.correction_reason}"
+            elif identity.examined:
+                line += " — examined by step 4, upheld"
+            print(line)
+        resolved = default_context().company_map.resolve_attributions(
+            domain, priority.attributions
+        )
+        companies = ", ".join(
+            f"{ctx.company_map.display(label)} ({weight:.0%})"
+            for label, weight in resolved.items()
+        )
+        print(f"   company:  {companies}")
+    else:
+        print(f"   priority: {priority.status.value}")
+
+    for name in ("mx-only", "cert-based", "banner-based"):
+        inference = results[name][domain]
+        verdict = (
+            "/".join(sorted(inference.attributions))
+            if inference.status is DomainStatus.INFERRED
+            else inference.status.value
+        )
+        print(f"   {name:12s} says: {verdict}")
+
+    truth = ctx.ground_truth(domain, LAST)
+    print(f"   ground truth: {truth}")
+    print()
+
+
+def main() -> None:
+    ctx = default_context()
+    corpus = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV):
+        corpus.update(ctx.measurements(dataset, LAST))
+    for domain in ctx.world.showcase:
+        measurement = ctx.gatherer.gather_domain(domain, LAST)
+        if measurement is not None:
+            corpus[domain] = measurement
+
+    from repro.core import PriorityPipeline
+
+    results = {
+        "priority": PriorityPipeline(
+            ctx.world.trust_store, ctx.company_map, ctx.world.psl
+        ).run(corpus).inferences,
+        "mx-only": MXOnlyApproach(psl=ctx.world.psl).run(corpus),
+        "cert-based": cert_based(ctx.world.trust_store, psl=ctx.world.psl).run(corpus),
+        "banner-based": banner_based(ctx.world.trust_store, psl=ctx.world.psl).run(corpus),
+    }
+
+    domains = sys.argv[1:] or [
+        "netflix.com", "gsipartners.com", "beats24-7.com",
+        "jeniustoto.net", "utexas.edu",
+    ]
+    for domain in domains:
+        inspect(ctx, corpus, results, domain)
+
+
+if __name__ == "__main__":
+    main()

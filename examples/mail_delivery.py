@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""End-to-end mail delivery through the simulated Internet.
+
+Exercises the full mail-processing model of the paper's Section 2.1: an
+outbound MTA parses recipient addresses, looks up MX records, resolves the
+exchanges, and relays a message over SMTP — landing it in the mailbox
+store of whichever company *actually* operates the recipient's mail
+service.  The delivery trace makes the paper's point tangible: the message
+for ``gsipartners.com`` (whose MX looks self-hosted) physically arrives at
+Google.
+
+Run:  python examples/mail_delivery.py
+"""
+
+from repro.dnscore import Resolver
+from repro.experiments.common import StudyContext
+from repro.smtp.delivery import SendingMTA
+from repro.world import WorldConfig
+from repro.world.mailnet import build_mail_network
+
+LAST = 8
+
+RECIPIENTS = [
+    "info@netflix.com",        # provider-named Google customer
+    "ceo@gsipartners.com",     # customer-named MX, actually Google
+    "sales@beats24-7.com",     # security vendor in Google Cloud space
+    "admin@jeniustoto.net",    # MX points at web hosting; no SMTP
+    "dean@utexas.edu",         # Ironport filtering relay
+]
+
+
+def main() -> None:
+    print("Building world and mail network ...")
+    ctx = StudyContext.create(WorldConfig(alexa_size=300, com_size=300, gov_size=100))
+    network = build_mail_network(ctx.world, LAST)
+    mta = SendingMTA(
+        resolver=Resolver(db=ctx.world.snapshot_zones[LAST]),
+        network=network,
+        helo_name="out.newsletter.example",
+    )
+
+    results = mta.send(
+        "editor@newsletter.example",
+        RECIPIENTS,
+        "Subject: delivery demo\n\nWho's got your mail? Let's find out.",
+    )
+    for recipient in RECIPIENTS:
+        domain = recipient.split("@")[1]
+        result = results[domain]
+        print(f"\n{recipient}")
+        for attempt in result.attempts:
+            print(f"  -> {attempt.mx_name} ({attempt.address}): {attempt.outcome}")
+        if result.succeeded:
+            accepting = result.attempts[-1]
+            asys = ctx.world.registry.lookup_as(accepting.address)
+            store = network.store_at(accepting.address)
+            count = len(store.messages_for(recipient)) if store else 0
+            print(
+                f"  DELIVERED via {result.delivered_via} "
+                f"operated from {asys} — {count} message(s) in that mailbox store"
+            )
+        else:
+            print(f"  FAILED: {result.status.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — reproduction of "Who's Got Your Mail?" (IMC 2021).
+
+A self-contained measurement system: DNS / SMTP / TLS / IP-AS substrates, a
+seeded synthetic Internet with ground truth, OpenINTEL- and Censys-style
+measurement services, the paper's priority-based MX-to-provider inference
+methodology with its three baselines, and the analyses behind every table
+and figure in the paper's evaluation.
+
+Typical entry points:
+
+* :func:`repro.world.build.build_world` — create a synthetic Internet.
+* :class:`repro.core.pipeline.PriorityPipeline` — the paper's methodology.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"

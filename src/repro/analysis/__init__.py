@@ -1,0 +1,103 @@
+"""The paper's analyses: accuracy, availability, market share, trends,
+churn, and national preferences."""
+
+from .accuracy import (
+    AccuracyCell,
+    AccuracyEvaluation,
+    evaluate_approaches,
+    inference_labels,
+    is_correct,
+    sample_with_smtp,
+    truth_labels,
+    unique_mx_domains,
+)
+from .churn import (
+    CATEGORY_NO_SMTP,
+    CATEGORY_OTHERS,
+    CATEGORY_SELF,
+    CATEGORY_TOP100,
+    ChurnMatrix,
+    churn_matrix,
+    domain_category,
+    top_provider_labels,
+)
+from .country import (
+    CCTLDS,
+    FOCAL_PROVIDERS,
+    CountryCell,
+    CountryPreferences,
+    country_preferences,
+)
+from .filtering import (
+    CATEGORIES,
+    AvailabilityBreakdown,
+    availability_breakdown,
+    classify_domain,
+)
+from .longitudinal import LongitudinalResult, TrendSeries, market_share_over_time
+from .related_work import (
+    HostnameRankRow,
+    UnderestimationReport,
+    top_mx_hostnames,
+    underestimation_of,
+)
+from .concentration import ConcentrationPoint, concentration_series, market_concentration
+from .eventual import EventualProviderReport, adjusted_mailbox_counts, eventual_provider_report
+from .market_share import (
+    MarketShare,
+    ShareRow,
+    compute_market_share,
+    self_hosted_count,
+    top_rows_with_display,
+)
+from .render import format_count_percent, format_percent, format_table, sparkline
+
+__all__ = [
+    "AccuracyCell",
+    "AccuracyEvaluation",
+    "AvailabilityBreakdown",
+    "CATEGORIES",
+    "CATEGORY_NO_SMTP",
+    "CATEGORY_OTHERS",
+    "CATEGORY_SELF",
+    "CATEGORY_TOP100",
+    "CCTLDS",
+    "ChurnMatrix",
+    "ConcentrationPoint",
+    "CountryCell",
+    "EventualProviderReport",
+    "HostnameRankRow",
+    "UnderestimationReport",
+    "adjusted_mailbox_counts",
+    "concentration_series",
+    "eventual_provider_report",
+    "market_concentration",
+    "top_mx_hostnames",
+    "underestimation_of",
+    "CountryPreferences",
+    "FOCAL_PROVIDERS",
+    "LongitudinalResult",
+    "MarketShare",
+    "ShareRow",
+    "TrendSeries",
+    "availability_breakdown",
+    "churn_matrix",
+    "classify_domain",
+    "compute_market_share",
+    "country_preferences",
+    "domain_category",
+    "evaluate_approaches",
+    "format_count_percent",
+    "format_percent",
+    "format_table",
+    "inference_labels",
+    "is_correct",
+    "market_share_over_time",
+    "sample_with_smtp",
+    "self_hosted_count",
+    "sparkline",
+    "top_provider_labels",
+    "top_rows_with_display",
+    "truth_labels",
+    "unique_mx_domains",
+]

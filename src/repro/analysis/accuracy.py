@@ -1,0 +1,173 @@
+"""Approach-accuracy evaluation (Section 3.3, Figure 4).
+
+Samples evaluation sets from each corpus — 200 random domains with SMTP
+servers, and 200 such domains with *unique* MX records — and scores the
+four approaches against ground truth.  The priority-based approach also
+reports how many domains step 4 examined (Figure 4's dark-green bars).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.baselines import (
+    ALL_APPROACHES,
+    APPROACH_BANNER,
+    APPROACH_CERT,
+    APPROACH_MX_ONLY,
+    APPROACH_PRIORITY,
+)
+from ..core.companies import NONE_LABEL, SELF_LABEL, CompanyMap
+from ..core.types import DomainInference, DomainStatus
+from ..measure.dataset import DomainMeasurement
+from ..world.entities import TRUTH_NONE, TRUTH_SELF
+
+DEFAULT_SAMPLE_SIZE = 200
+
+
+def truth_labels(ground_truth: dict[str, float]) -> set[str]:
+    """Normalize a world ground-truth dict to analysis labels."""
+    labels = set()
+    for label in ground_truth:
+        if label == TRUTH_SELF:
+            labels.add(SELF_LABEL)
+        elif label == TRUTH_NONE:
+            labels.add(NONE_LABEL)
+        else:
+            labels.add(label)
+    return labels
+
+
+def inference_labels(inference: DomainInference, company_map: CompanyMap) -> set[str]:
+    """The label set an inference asserts (company slugs / SELF / NONE)."""
+    if inference.status in (
+        DomainStatus.NO_SMTP, DomainStatus.NO_MX_IP, DomainStatus.NO_MX,
+    ):
+        return {NONE_LABEL}
+    resolved = company_map.resolve_attributions(
+        inference.domain, inference.attributions
+    )
+    return set(resolved)
+
+
+def is_correct(
+    inference: DomainInference,
+    ground_truth: dict[str, float],
+    company_map: CompanyMap,
+) -> bool:
+    """Does an inference agree with ground truth (exact label-set match)?"""
+    return inference_labels(inference, company_map) == truth_labels(ground_truth)
+
+
+def unique_mx_domains(measurements: dict[str, DomainMeasurement]) -> list[str]:
+    """Domains whose primary MX names appear for no other domain."""
+    owners: dict[str, set[str]] = {}
+    for domain, measurement in measurements.items():
+        for mx in measurement.primary_mx:
+            owners.setdefault(mx.name, set()).add(domain)
+    unique = []
+    for domain, measurement in measurements.items():
+        names = [mx.name for mx in measurement.primary_mx]
+        if names and all(len(owners[name]) == 1 for name in names):
+            unique.append(domain)
+    return unique
+
+
+def sample_with_smtp(
+    measurements: dict[str, DomainMeasurement],
+    candidates: list[str],
+    size: int,
+    rng: random.Random,
+) -> list[str]:
+    """Sample domains that actually run an SMTP server (footnote 4)."""
+    eligible = sorted(
+        domain for domain in candidates if measurements[domain].has_smtp_server
+    )
+    if len(eligible) <= size:
+        return eligible
+    return rng.sample(eligible, size)
+
+
+@dataclass(frozen=True)
+class AccuracyCell:
+    """One bar of Figure 4: an approach on one evaluation set."""
+
+    sample_set: str
+    approach: str
+    correct: int
+    total: int
+    examined: int = 0  # step-4 candidates inside the sample (priority only)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+@dataclass
+class AccuracyEvaluation:
+    """Figure 4 for one corpus: plain and unique-MX samples × 4 approaches."""
+
+    cells: list[AccuracyCell]
+
+    def cell(self, sample_set: str, approach: str) -> AccuracyCell:
+        for cell in self.cells:
+            if cell.sample_set == sample_set and cell.approach == approach:
+                return cell
+        raise KeyError((sample_set, approach))
+
+
+def evaluate_approaches(
+    dataset_name: str,
+    measurements: dict[str, DomainMeasurement],
+    inferences_by_approach: dict[str, dict[str, DomainInference]],
+    ground_truth_of: "callable",
+    company_map: CompanyMap,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 1729,
+) -> AccuracyEvaluation:
+    """Build Figure 4 cells for one corpus.
+
+    ``inferences_by_approach`` maps approach names (see
+    :mod:`repro.core.baselines`) to full-corpus inference dicts;
+    ``ground_truth_of`` maps a domain name to its truth attribution.
+    """
+    missing = set(ALL_APPROACHES) - set(inferences_by_approach)
+    if missing:
+        raise ValueError(f"missing approaches: {sorted(missing)}")
+
+    rng = random.Random(seed)
+    all_domains = sorted(measurements)
+    samples = {
+        f"{dataset_name}": sample_with_smtp(measurements, all_domains, sample_size, rng),
+        f"{dataset_name} w/Unique MX": sample_with_smtp(
+            measurements, unique_mx_domains(measurements), sample_size, rng
+        ),
+    }
+
+    cells = []
+    for sample_name, sample in samples.items():
+        for approach in (
+            APPROACH_MX_ONLY, APPROACH_CERT, APPROACH_BANNER, APPROACH_PRIORITY,
+        ):
+            inferences = inferences_by_approach[approach]
+            correct = sum(
+                1
+                for domain in sample
+                if is_correct(inferences[domain], ground_truth_of(domain), company_map)
+            )
+            examined = 0
+            if approach == APPROACH_PRIORITY:
+                examined = sum(
+                    1 for domain in sample if inferences[domain].examined
+                )
+            cells.append(
+                AccuracyCell(
+                    sample_set=sample_name,
+                    approach=approach,
+                    correct=correct,
+                    total=len(sample),
+                    examined=examined,
+                )
+            )
+    return AccuracyEvaluation(cells=cells)

@@ -1,0 +1,145 @@
+"""Provider churn between snapshots (Section 5.3, Figure 7).
+
+Buckets every domain into a Sankey category at the first and last snapshot
+and counts the flows between categories.  Categories follow the paper:
+the top three third-party mail hosting providers individually, the rest of
+the top-100 providers, self-hosted domains, all other providers, and the
+residual with no responding SMTP server.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.companies import SELF_LABEL, CompanyMap
+from ..core.types import DomainInference, DomainStatus
+from .market_share import compute_market_share
+
+CATEGORY_SELF = "Self-Hosted"
+CATEGORY_TOP100 = "Top100"
+CATEGORY_OTHERS = "Others"
+CATEGORY_NO_SMTP = "No SMTP"
+
+
+@dataclass
+class ChurnMatrix:
+    """Flows between Sankey categories from one snapshot to another."""
+
+    categories: list[str]
+    flows: Counter  # (from_category, to_category) -> domain count
+
+    def flow(self, source: str, target: str) -> int:
+        return self.flows.get((source, target), 0)
+
+    def outgoing(self, source: str) -> int:
+        """Domains that left *source* for any other category."""
+        return sum(
+            count for (s, t), count in self.flows.items() if s == source and t != source
+        )
+
+    def incoming(self, target: str) -> int:
+        """Domains that arrived at *target* from any other category."""
+        return sum(
+            count for (s, t), count in self.flows.items() if t == target and s != target
+        )
+
+    def stayed(self, category: str) -> int:
+        return self.flow(category, category)
+
+    def total_from(self, source: str) -> int:
+        return sum(count for (s, _t), count in self.flows.items() if s == source)
+
+    def total_to(self, target: str) -> int:
+        return sum(count for (_s, t), count in self.flows.items() if t == target)
+
+    @property
+    def total(self) -> int:
+        return sum(self.flows.values())
+
+    def to_sankey(self, first_label: str = "first", last_label: str = "last") -> dict:
+        """Node/link structure for a Sankey renderer (Figure 7's format).
+
+        Nodes are category names suffixed with the snapshot label; links
+        carry the inter-category flow counts (zero flows omitted).
+        """
+        nodes = [
+            {"id": f"{category} {first_label}"} for category in self.categories
+        ] + [
+            {"id": f"{category} {last_label}"} for category in self.categories
+        ]
+        links = [
+            {
+                "source": f"{source} {first_label}",
+                "target": f"{target} {last_label}",
+                "value": count,
+            }
+            for (source, target), count in sorted(self.flows.items())
+            if count > 0
+        ]
+        return {"nodes": nodes, "links": links}
+
+
+def domain_category(
+    domain: str,
+    inference: DomainInference | None,
+    company_map: CompanyMap,
+    top3: list[str],
+    top100: set[str],
+) -> str:
+    """Sankey category of one domain at one snapshot."""
+    if inference is None or inference.status in (
+        DomainStatus.NO_SMTP, DomainStatus.NO_MX_IP, DomainStatus.NO_MX,
+    ):
+        return CATEGORY_NO_SMTP
+    resolved = company_map.resolve_attributions(domain, inference.attributions)
+    # Deterministic pick: the heaviest label, ties broken by name.
+    label = min(resolved, key=lambda item: (-resolved[item], item))
+    if label == SELF_LABEL:
+        return CATEGORY_SELF
+    if label in top3:
+        return company_map.display(label)
+    if label in top100:
+        return CATEGORY_TOP100
+    return CATEGORY_OTHERS
+
+
+def top_provider_labels(
+    inferences: dict[str, DomainInference],
+    domains: list[str],
+    company_map: CompanyMap,
+    k: int,
+) -> list[str]:
+    """The top-k provider labels by weighted count (SELF excluded)."""
+    share = compute_market_share(inferences, domains, company_map)
+    return [row.label for row in share.top(k)]
+
+
+def churn_matrix(
+    first: dict[str, DomainInference],
+    last: dict[str, DomainInference],
+    domains: list[str],
+    company_map: CompanyMap,
+    top3_count: int = 3,
+    top100_count: int = 100,
+) -> ChurnMatrix:
+    """Figure 7's flow matrix between the first and last snapshots.
+
+    Top-3 / top-100 membership is fixed from the *first* snapshot's ranking,
+    as in the paper's category definition.
+    """
+    ranked = top_provider_labels(first, domains, company_map, top100_count)
+    top3 = ranked[:top3_count]
+    top100 = set(ranked[top3_count:])
+
+    display_top3 = [company_map.display(label) for label in top3]
+    categories = display_top3 + [
+        CATEGORY_TOP100, CATEGORY_SELF, CATEGORY_OTHERS, CATEGORY_NO_SMTP,
+    ]
+
+    flows: Counter = Counter()
+    for domain in domains:
+        source = domain_category(domain, first.get(domain), company_map, top3, top100)
+        target = domain_category(domain, last.get(domain), company_map, top3, top100)
+        flows[(source, target)] += 1
+    return ChurnMatrix(categories=categories, flows=flows)

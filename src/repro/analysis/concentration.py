@@ -1,0 +1,87 @@
+"""Market-concentration metrics (extension).
+
+The paper's motivation is the *centralization* of mail service (Section 1:
+"such centralization can bring both economies of scale and shared failure
+risk").  This module quantifies it with the standard concentration
+measures — the Herfindahl–Hirschman Index and CR-k concentration ratios —
+computed over the inferred provider market, per snapshot, so the
+consolidation trend of Figure 6 becomes a single rising curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.companies import SELF_LABEL, CompanyMap
+from ..core.types import DomainInference
+from .market_share import MarketShare, compute_market_share
+
+
+@dataclass(frozen=True)
+class ConcentrationPoint:
+    """Concentration measures for one corpus at one snapshot."""
+
+    hhi: float                 # 0..10_000 (monopoly)
+    cr1: float                 # share of the largest provider (0..1)
+    cr4: float
+    cr10: float
+    effective_providers: float  # 1 / sum(share^2): "numbers equivalent"
+    attributed_domains: float
+
+
+def market_concentration(
+    share: MarketShare, treat_self_as_distinct: bool = True
+) -> ConcentrationPoint:
+    """Concentration of the provider market behind a share computation.
+
+    Shares are normalized over *attributed* mass (domains with a working,
+    identified provider).  When ``treat_self_as_distinct`` each self-hosting
+    domain is its own one-domain provider — the decentralized baseline —
+    rather than one aggregate "SELF" pseudo-provider.
+    """
+    weights = dict(share.weights)
+    self_mass = weights.pop(SELF_LABEL, 0.0)
+    total = sum(weights.values()) + self_mass
+    if total <= 0:
+        return ConcentrationPoint(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    shares = sorted((weight / total for weight in weights.values()), reverse=True)
+    sum_squares = sum(value * value for value in shares)
+    if self_mass > 0:
+        if treat_self_as_distinct:
+            # n one-domain providers, each with share (1/total).
+            sum_squares += self_mass * (1.0 / total) ** 2
+            # CR-k is unaffected: single domains never reach the top.
+        else:
+            shares.append(self_mass / total)
+            shares.sort(reverse=True)
+            sum_squares += (self_mass / total) ** 2
+
+    def cr(k: int) -> float:
+        return sum(shares[:k])
+
+    return ConcentrationPoint(
+        hhi=10_000.0 * sum_squares,
+        cr1=cr(1),
+        cr4=cr(4),
+        cr10=cr(10),
+        effective_providers=1.0 / sum_squares if sum_squares else math.inf,
+        attributed_domains=total,
+    )
+
+
+def concentration_series(
+    per_snapshot_inferences: list[dict[str, DomainInference] | None],
+    domains: list[str],
+    company_map: CompanyMap,
+) -> list[ConcentrationPoint | None]:
+    """Concentration at every snapshot (None where coverage is missing)."""
+    series: list[ConcentrationPoint | None] = []
+    for inferences in per_snapshot_inferences:
+        if inferences is None:
+            series.append(None)
+            continue
+        share = compute_market_share(inferences, domains, company_map)
+        series.append(market_concentration(share))
+    return series

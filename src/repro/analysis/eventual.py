@@ -1,0 +1,85 @@
+"""Eventual-provider analysis (extension of Section 3.4).
+
+Quantifies how much the MX-only view of "who's got your mail" understates
+the mailbox duopoly: for every domain whose MX points at a filtering
+service, the SPF heuristic recovers the mailbox provider behind the filter
+and re-attributes the domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.companies import CompanyMap
+from ..core.spf import EventualInference, EventualProviderAnalyzer
+from ..core.types import DomainInference, DomainStatus
+from ..measure.dataset import DomainMeasurement
+from ..world.entities import CompanyKind
+
+
+@dataclass
+class EventualProviderReport:
+    """Results of the SPF sweep over one corpus."""
+
+    inferences: dict[str, EventualInference]
+    filtered_total: int          # domains fronted by a security company
+    revealed: int                # ... whose SPF reveals the mailbox provider
+    eventual_counts: dict[str, int]  # mailbox slug → domains behind filters
+
+    @property
+    def reveal_rate(self) -> float:
+        return self.revealed / self.filtered_total if self.filtered_total else 0.0
+
+
+def eventual_provider_report(
+    measurements: dict[str, DomainMeasurement],
+    inferences: dict[str, DomainInference],
+    company_map: CompanyMap,
+) -> EventualProviderReport:
+    """Run the SPF eventual-provider heuristic over a corpus."""
+    analyzer = EventualProviderAnalyzer(company_map=company_map, psl=company_map.psl)
+    results: dict[str, EventualInference] = {}
+    eventual_counts: dict[str, int] = {}
+    filtered_total = 0
+    revealed = 0
+
+    for domain, inference in inferences.items():
+        if inference.status is not DomainStatus.INFERRED:
+            continue
+        resolved = company_map.resolve_attributions(domain, inference.attributions)
+        front = max(resolved, key=lambda label: (resolved[label], label))
+        if company_map.kind(front) is not CompanyKind.SECURITY:
+            continue
+        filtered_total += 1
+        measurement = measurements.get(domain)
+        spf_texts = measurement.spf_records if measurement is not None else ()
+        result = analyzer.analyze(domain, spf_texts, front)
+        results[domain] = result
+        if result.hides_mailbox_provider:
+            revealed += 1
+            assert result.eventual_slug is not None
+            eventual_counts[result.eventual_slug] = (
+                eventual_counts.get(result.eventual_slug, 0) + 1
+            )
+
+    return EventualProviderReport(
+        inferences=results,
+        filtered_total=filtered_total,
+        revealed=revealed,
+        eventual_counts=eventual_counts,
+    )
+
+
+def adjusted_mailbox_counts(
+    report: EventualProviderReport,
+    base_counts: dict[str, float],
+) -> dict[str, float]:
+    """Mailbox-provider counts with filtered domains re-attributed.
+
+    ``base_counts`` are the MX-level company weights; domains whose SPF
+    reveals a mailbox provider behind a filter are added to that provider.
+    """
+    adjusted = dict(base_counts)
+    for slug, count in report.eventual_counts.items():
+        adjusted[slug] = adjusted.get(slug, 0.0) + count
+    return adjusted

@@ -1,0 +1,101 @@
+"""Data-availability breakdown (Section 4.3, Table 4).
+
+Partitions a corpus's measurements into the paper's exclusive waterfall
+categories: the first missing layer of the evidence stack claims the
+domain.
+
+1. **No MX IP** — no MX name resolves to an address.
+2. **No Censys** — addresses resolve, but Censys has no data for any.
+3. **No Port 25 Data** — scan data exists, but no address accepts SMTP.
+4. **No Valid SSL Cert.** — SMTP answers, but no server presents a
+   browser-trusted certificate.
+5. **No Valid Banner/EHLO** — a valid certificate exists, but no usable
+   banner/EHLO identity.
+6. **No Missing Data** — everything available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import DomainMeasurement
+from ..smtp.banner import identity_from_message
+from ..tls.ca import TrustStore
+
+CATEGORY_NO_MX_IP = "No MX IP"
+CATEGORY_NO_CENSYS = "No Censys"
+CATEGORY_NO_PORT25 = "No Port 25 Data"
+CATEGORY_NO_VALID_CERT = "No Valid SSL Cert."
+CATEGORY_NO_VALID_BANNER = "No Valid Banner/EHLO"
+CATEGORY_COMPLETE = "No Missing Data"
+
+CATEGORIES = (
+    CATEGORY_NO_MX_IP,
+    CATEGORY_NO_CENSYS,
+    CATEGORY_NO_PORT25,
+    CATEGORY_NO_VALID_CERT,
+    CATEGORY_NO_VALID_BANNER,
+    CATEGORY_COMPLETE,
+)
+
+
+@dataclass
+class AvailabilityBreakdown:
+    """Table 4 for one corpus: category → domain count."""
+
+    counts: dict[str, int]
+    total: int
+
+    def fraction(self, category: str) -> float:
+        return self.counts.get(category, 0) / self.total if self.total else 0.0
+
+
+def classify_domain(
+    measurement: DomainMeasurement,
+    trust_store: TrustStore,
+    psl: PublicSuffixList | None = None,
+) -> str:
+    """Assign one domain to its Table 4 waterfall category."""
+    psl = psl or default_psl()
+    ips = [ip for mx in measurement.primary_mx for ip in mx.ips]
+    if not ips:
+        return CATEGORY_NO_MX_IP
+
+    scans = [ip.scan for ip in ips if ip.scan is not None]
+    if not scans:
+        return CATEGORY_NO_CENSYS
+
+    open_scans = [scan for scan in scans if scan.has_smtp]
+    if not open_scans:
+        return CATEGORY_NO_PORT25
+
+    has_valid_cert = any(
+        scan.certificate is not None
+        and trust_store.is_valid(scan.certificate, on=measurement.measured_on)
+        for scan in open_scans
+    )
+    if not has_valid_cert:
+        return CATEGORY_NO_VALID_CERT
+
+    has_valid_banner = any(
+        (scan.banner and identity_from_message(scan.banner, psl).usable)
+        or (scan.ehlo and identity_from_message(scan.ehlo, psl).usable)
+        for scan in open_scans
+    )
+    if not has_valid_banner:
+        return CATEGORY_NO_VALID_BANNER
+    return CATEGORY_COMPLETE
+
+
+def availability_breakdown(
+    measurements: dict[str, DomainMeasurement],
+    trust_store: TrustStore,
+    psl: PublicSuffixList | None = None,
+) -> AvailabilityBreakdown:
+    """Table 4 over a full corpus."""
+    psl = psl or default_psl()
+    counts = {category: 0 for category in CATEGORIES}
+    for measurement in measurements.values():
+        counts[classify_domain(measurement, trust_store, psl)] += 1
+    return AvailabilityBreakdown(counts=counts, total=len(measurements))

@@ -1,0 +1,120 @@
+"""Longitudinal market-share trends (Section 5.2, Figure 6).
+
+Given one inference run per snapshot, produces per-company time series of
+weighted domain counts and corpus percentages — the curves of Figures
+6a–6i — plus the self-hosted series and category totals (the "Top5 Total"
+and security/hosting "Total" lines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.companies import SELF_LABEL, CompanyMap
+from ..core.types import DomainInference
+from .market_share import MarketShare, compute_market_share
+
+
+@dataclass(frozen=True)
+class TrendSeries:
+    """One curve: a label and its value at every snapshot (NaN = no data)."""
+
+    label: str
+    display: str
+    counts: tuple[float, ...]
+    percents: tuple[float, ...]
+
+    def delta_percent(self) -> float:
+        """Change from the first to the last *measured* snapshot."""
+        measured = [p for p in self.percents if not math.isnan(p)]
+        if len(measured) < 2:
+            return 0.0
+        return measured[-1] - measured[0]
+
+    @property
+    def first_measured(self) -> float:
+        for value in self.percents:
+            if not math.isnan(value):
+                return value
+        return math.nan
+
+    @property
+    def last_measured(self) -> float:
+        for value in reversed(self.percents):
+            if not math.isnan(value):
+                return value
+        return math.nan
+
+
+@dataclass
+class LongitudinalResult:
+    """All series for one corpus across the study window."""
+
+    series: dict[str, TrendSeries]
+    snapshots: int
+
+    def __getitem__(self, label: str) -> TrendSeries:
+        return self.series[label]
+
+    def total_series(self, labels: list[str], display: str = "Total") -> TrendSeries:
+        """Sum of several series (e.g. "Top5 Total")."""
+        counts, percents = [], []
+        for index in range(self.snapshots):
+            values = [self.series[label].percents[index] for label in labels]
+            if any(math.isnan(value) for value in values):
+                counts.append(math.nan)
+                percents.append(math.nan)
+            else:
+                counts.append(sum(self.series[label].counts[index] for label in labels))
+                percents.append(sum(values))
+        return TrendSeries(
+            label="total",
+            display=display,
+            counts=tuple(counts),
+            percents=tuple(percents),
+        )
+
+
+def market_share_over_time(
+    per_snapshot_inferences: list[dict[str, DomainInference] | None],
+    domains: list[str],
+    company_map: CompanyMap,
+    labels: list[str],
+    include_self_hosted: bool = True,
+) -> LongitudinalResult:
+    """Build trend series for *labels* over the snapshots.
+
+    ``per_snapshot_inferences`` may contain None entries for snapshots
+    without measurement coverage (the pre-2018 ``.gov`` gap); those yield
+    NaN points.
+    """
+    wanted = list(labels)
+    if include_self_hosted and SELF_LABEL not in wanted:
+        wanted.append(SELF_LABEL)
+
+    shares: list[MarketShare | None] = []
+    for inferences in per_snapshot_inferences:
+        if inferences is None:
+            shares.append(None)
+        else:
+            shares.append(compute_market_share(inferences, domains, company_map))
+
+    series = {}
+    for label in wanted:
+        counts, percents = [], []
+        for share in shares:
+            if share is None:
+                counts.append(math.nan)
+                percents.append(math.nan)
+            else:
+                counts.append(share.count_of(label))
+                percents.append(100.0 * share.share_of(label))
+        display = "Self-Hosted" if label == SELF_LABEL else company_map.display(label)
+        series[label] = TrendSeries(
+            label=label,
+            display=display,
+            counts=tuple(counts),
+            percents=tuple(percents),
+        )
+    return LongitudinalResult(series=series, snapshots=len(per_snapshot_inferences))

@@ -1,0 +1,95 @@
+"""Company market share (Section 5.1, Figure 5; Appendix Table 6).
+
+Resolves per-domain attributions to companies and ranks them.  Percentages
+use the full corpus as denominator (domains without working mail service
+simply contribute to no company), matching the paper's presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.companies import SELF_LABEL, CompanyMap
+from ..core.types import DomainInference, DomainStatus
+
+
+@dataclass(frozen=True)
+class ShareRow:
+    """One company's standing in one corpus."""
+
+    rank: int
+    label: str          # company slug, SELF, or a raw provider ID
+    display: str
+    count: float        # weighted domain count (split-MX domains count 0.5)
+    percent: float
+
+
+@dataclass
+class MarketShare:
+    """Weighted company attribution over a set of domains."""
+
+    weights: dict[str, float]
+    total_domains: int
+
+    def share_of(self, label: str) -> float:
+        return self.weights.get(label, 0.0) / self.total_domains if self.total_domains else 0.0
+
+    def count_of(self, label: str) -> float:
+        return self.weights.get(label, 0.0)
+
+    def top(self, k: int, exclude: tuple[str, ...] = (SELF_LABEL,)) -> list[ShareRow]:
+        """The top *k* companies (self-hosting excluded by default)."""
+        entries = [
+            (label, weight)
+            for label, weight in self.weights.items()
+            if label not in exclude
+        ]
+        entries.sort(key=lambda item: (-item[1], item[0]))
+        return [
+            ShareRow(
+                rank=index + 1,
+                label=label,
+                display=label,
+                count=weight,
+                percent=100.0 * weight / self.total_domains if self.total_domains else 0.0,
+            )
+            for index, (label, weight) in enumerate(entries[:k])
+        ]
+
+
+def compute_market_share(
+    inferences: dict[str, DomainInference],
+    domains: list[str],
+    company_map: CompanyMap,
+) -> MarketShare:
+    """Aggregate inferences for *domains* into company-level weights."""
+    weights: dict[str, float] = {}
+    for domain in domains:
+        inference = inferences.get(domain)
+        if inference is None or inference.status is not DomainStatus.INFERRED:
+            continue
+        resolved = company_map.resolve_attributions(domain, inference.attributions)
+        for label, weight in resolved.items():
+            weights[label] = weights.get(label, 0.0) + weight
+    return MarketShare(weights=weights, total_domains=len(domains))
+
+
+def top_rows_with_display(
+    share: MarketShare, company_map: CompanyMap, k: int
+) -> list[ShareRow]:
+    """Top-k rows with human-readable company names filled in."""
+    return [
+        ShareRow(
+            rank=row.rank,
+            label=row.label,
+            display=company_map.display(row.label),
+            count=row.count,
+            percent=row.percent,
+        )
+        for row in share.top(k)
+    ]
+
+
+def self_hosted_count(share: MarketShare) -> float:
+    """Weighted count of self-hosting domains (Section 5.2.1's criterion)."""
+    return share.count_of(SELF_LABEL)

@@ -1,0 +1,78 @@
+"""Plain-text renderers for tables and figure data.
+
+Every experiment prints its output through these helpers so benchmark runs
+regenerate paper-shaped artifacts (rows of Table 6, series of Figure 6, …)
+as readable monospace tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[index]) for index, value in enumerate(values)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    if math.isnan(value):
+        return "-"
+    return f"{value:.{decimals}f}%"
+
+
+def format_count_percent(count: float, percent: float) -> str:
+    """The paper's "26,697 (28.5%)" cell format."""
+    return f"{count:,.0f} ({format_percent(percent)})"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Tiny inline trend for a series (NaN renders as a gap)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    measured = [value for value in values if not math.isnan(value)]
+    if not measured:
+        return ""
+    low, high = min(measured), max(measured)
+    span = (high - low) or 1.0
+    out = []
+    for value in values:
+        if math.isnan(value):
+            out.append(" ")
+        else:
+            index = int((value - low) / span * (len(blocks) - 1))
+            out.append(blocks[index])
+    return "".join(out)

@@ -1,0 +1,299 @@
+"""Learned misidentification detection (extension of Section 3.4).
+
+Step 4 of the methodology finds misidentifications with hand-written
+heuristics plus manual review; the paper suggests "better handle corner
+cases in an automatic way (e.g., with machine learning techniques)" as
+future work.  This module implements that idea end to end:
+
+* :func:`extract_features` turns one (domain, MX, identity) case into a
+  numeric feature vector using only measurement-observable signals —
+  endpoint popularity, evidence agreement, AS consistency, and hostname
+  shape (VPS-style names are digit/dash-heavy);
+* :class:`LogisticModel` is a small, dependency-light logistic regression
+  (numpy, full-batch gradient descent, L2);
+* :class:`MisidentificationLearner` builds a labeled dataset from a world
+  with ground truth ("was the steps-1–3 inference wrong?"), trains, and
+  evaluates on a *different* world so the result measures generalization,
+  not memorization.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import DomainMeasurement, MXData
+from .companies import CompanyMap
+from .misident import PopularityCounters
+from .types import EvidenceSource, MXIdentity
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "log_confidence",
+    "source_is_cert",
+    "source_is_banner",
+    "cert_available",
+    "banner_available",
+    "cert_banner_agree",
+    "id_is_own_domain",
+    "id_is_large_provider",
+    "as_matches_claimed_company",
+    "as_info_available",
+    "hostname_digit_fraction",
+    "hostname_dash_count",
+    "hostname_matches_vps_shape",
+    "id_equals_mx_fallback",
+)
+
+_VPS_SHAPE_RE = re.compile(r"^(vps|s)[0-9a-f-]*\d[0-9a-f-]*\.", re.IGNORECASE)
+
+
+def _hostname_shape(names: list[str]) -> tuple[float, float, float]:
+    """(digit fraction, dash count, vps-shape flag) over endpoint names."""
+    if not names:
+        return 0.0, 0.0, 0.0
+    digit_fractions, dash_counts, vps_flags = [], [], []
+    for name in names:
+        first_label = name.split(".")[0]
+        digits = sum(1 for char in first_label if char.isdigit())
+        digit_fractions.append(digits / len(first_label) if first_label else 0.0)
+        dash_counts.append(float(first_label.count("-")))
+        vps_flags.append(1.0 if _VPS_SHAPE_RE.match(name) else 0.0)
+    return max(digit_fractions), max(dash_counts), max(vps_flags)
+
+
+def extract_features(
+    domain: str,
+    mx: MXData,
+    identity: MXIdentity,
+    counters: PopularityCounters,
+    company_map: CompanyMap,
+    psl: PublicSuffixList | None = None,
+) -> np.ndarray:
+    """Feature vector for one inference case (see FEATURE_NAMES)."""
+    psl = psl or default_psl()
+    own = psl.registered_domain(domain) or domain
+    mx_fallback = psl.registered_domain(identity.mx_name) or identity.mx_name
+
+    cert_ids = {ip.cert_id for ip in identity.ip_identities if ip.cert_id}
+    banner_ids = {ip.banner_id for ip in identity.ip_identities if ip.banner_id}
+
+    slug = company_map.slug_for_provider_id(identity.provider_id)
+    legitimate_asns = company_map.company_asns(slug) if slug else frozenset()
+    observed_asns = {ip.as_info.asn for ip in mx.ips if ip.as_info is not None}
+    as_available = 1.0 if observed_asns else 0.0
+    as_match = (
+        1.0 if legitimate_asns and observed_asns & legitimate_asns else 0.0
+    )
+
+    endpoint_names: list[str] = []
+    for ip_identity in identity.ip_identities:
+        if ip_identity.banner_fqdn:
+            endpoint_names.append(ip_identity.banner_fqdn)
+        endpoint_names.extend(
+            name[2:] if name.startswith("*.") else name
+            for name in ip_identity.cert_names
+        )
+    digit_fraction, dash_count, vps_shape = _hostname_shape(endpoint_names)
+
+    return np.array(
+        [
+            math.log1p(counters.confidence(identity)),
+            1.0 if identity.source is EvidenceSource.CERT else 0.0,
+            1.0 if identity.source is EvidenceSource.BANNER else 0.0,
+            1.0 if cert_ids else 0.0,
+            1.0 if banner_ids else 0.0,
+            1.0 if cert_ids and cert_ids == banner_ids else 0.0,
+            1.0 if identity.provider_id == own else 0.0,
+            1.0 if company_map.is_large_provider_id(identity.provider_id) else 0.0,
+            as_match,
+            as_available,
+            digit_fraction,
+            dash_count,
+            vps_shape,
+            1.0 if identity.provider_id == mx_fallback else 0.0,
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class LogisticModel:
+    """L2-regularized logistic regression, full-batch gradient descent."""
+
+    weights: np.ndarray | None = None
+    bias: float = 0.0
+    _mean: np.ndarray | None = None
+    _scale: np.ndarray | None = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 400,
+        learning_rate: float = 0.5,
+        l2: float = 1e-3,
+        class_weighted: bool = True,
+    ) -> "LogisticModel":
+        if features.ndim != 2 or len(features) != len(labels):
+            raise ValueError("features must be (n, d) aligned with labels")
+        self._mean = features.mean(axis=0)
+        self._scale = features.std(axis=0)
+        self._scale[self._scale == 0] = 1.0
+        X = (features - self._mean) / self._scale
+        y = labels.astype(np.float64)
+
+        # Misidentifications are rare; weight the positive class up so the
+        # model does not learn "always say correct".
+        if class_weighted and y.sum() > 0:
+            positive_weight = (len(y) - y.sum()) / y.sum()
+        else:
+            positive_weight = 1.0
+        sample_weights = np.where(y > 0.5, positive_weight, 1.0)
+        sample_weights = sample_weights / sample_weights.sum() * len(y)
+
+        self.weights = np.zeros(X.shape[1])
+        self.bias = 0.0
+        n = len(y)
+        for _epoch in range(epochs):
+            logits = X @ self.weights + self.bias
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            error = (probabilities - y) * sample_weights
+            gradient_w = X.T @ error / n + l2 * self.weights
+            gradient_b = float(error.mean())
+            self.weights -= learning_rate * gradient_w
+            self.bias -= learning_rate * gradient_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None or self._mean is None or self._scale is None:
+            raise RuntimeError("model is not fitted")
+        X = (np.atleast_2d(features) - self._mean) / self._scale
+        return 1.0 / (1.0 + np.exp(-(X @ self.weights + self.bias)))
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    def feature_importance(self) -> dict[str, float]:
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        return dict(zip(FEATURE_NAMES, (float(w) for w in self.weights)))
+
+
+@dataclass(frozen=True)
+class EvaluationMetrics:
+    """Binary-classification quality on a held-out world."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives + self.false_positives
+            + self.false_negatives + self.true_negatives
+        )
+
+
+@dataclass
+class LabeledCases:
+    """A feature matrix plus labels ("1 = steps 1–3 got this MX wrong")."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    domains: list[str] = field(default_factory=list)
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.labels.mean()) if len(self.labels) else 0.0
+
+
+class MisidentificationLearner:
+    """Builds datasets, trains, and evaluates the learned detector."""
+
+    def __init__(self, company_map: CompanyMap, psl: PublicSuffixList | None = None):
+        self.company_map = company_map
+        self.psl = psl or default_psl()
+        self.model = LogisticModel()
+
+    def build_cases(
+        self,
+        measurements: dict[str, DomainMeasurement],
+        identities: dict[str, dict[str, MXIdentity]],
+        truth_of,
+    ) -> LabeledCases:
+        """Label each (domain, primary MX) case against ground truth.
+
+        ``identities`` maps domain → {mx name → *uncorrected* identity};
+        ``truth_of(domain)`` returns the ground-truth attribution dict.
+        """
+        counters = PopularityCounters()
+        for measurement in measurements.values():
+            counters.observe_domain(measurement)
+
+        rows, labels, domains = [], [], []
+        for domain, by_mx in identities.items():
+            measurement = measurements[domain]
+            truth_labels = {
+                label if label not in ("SELF",) else "SELF"
+                for label in truth_of(domain)
+            }
+            for mx in measurement.primary_mx:
+                identity = by_mx.get(mx.name)
+                if identity is None:
+                    continue
+                rows.append(
+                    extract_features(
+                        domain, mx, identity, counters, self.company_map, self.psl
+                    )
+                )
+                resolved = self.company_map.resolve(domain, identity.provider_id)
+                wrong = resolved not in truth_labels and not (
+                    resolved == "SELF" and "SELF" in truth_labels
+                )
+                labels.append(1 if wrong else 0)
+                domains.append(domain)
+        if not rows:
+            return LabeledCases(
+                features=np.zeros((0, len(FEATURE_NAMES))),
+                labels=np.zeros(0, dtype=np.int64),
+            )
+        return LabeledCases(
+            features=np.vstack(rows),
+            labels=np.array(labels, dtype=np.int64),
+            domains=domains,
+        )
+
+    def train(self, cases: LabeledCases, **fit_kwargs) -> LogisticModel:
+        self.model.fit(cases.features, cases.labels, **fit_kwargs)
+        return self.model
+
+    def evaluate(self, cases: LabeledCases, threshold: float = 0.5) -> EvaluationMetrics:
+        predictions = self.model.predict(cases.features, threshold=threshold)
+        labels = cases.labels
+        return EvaluationMetrics(
+            true_positives=int(((predictions == 1) & (labels == 1)).sum()),
+            false_positives=int(((predictions == 1) & (labels == 0)).sum()),
+            false_negatives=int(((predictions == 0) & (labels == 1)).sum()),
+            true_negatives=int(((predictions == 0) & (labels == 0)).sum()),
+        )

@@ -1,0 +1,130 @@
+"""The three baseline approaches of Section 3.3.
+
+* **MX-only** — Trost's approach [36]: the registered domain of the MX name.
+* **cert-based** — certificate IDs where available, MX fallback otherwise.
+* **banner-based** — banner/EHLO IDs where available, MX fallback otherwise.
+
+All three share steps 1–3 machinery with the priority pipeline but use a
+single SMTP-level evidence source and never run step 4; the MX-only
+approach uses no SMTP data at all (and is therefore "oblivious to SMTP
+server presence" — footnote 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import DomainMeasurement
+from ..tls.ca import TrustStore
+from .certgroup import CertificatePreprocessor
+from .domainident import DomainIdentifier
+from .ipident import IPIdentifier
+from .mxident import MXIdentifier, mx_fallback_id
+from .types import DomainInference, DomainStatus, EvidenceSource, MXIdentity
+
+APPROACH_MX_ONLY = "mx-only"
+APPROACH_CERT = "cert-based"
+APPROACH_BANNER = "banner-based"
+APPROACH_PRIORITY = "priority-based"
+
+ALL_APPROACHES = (APPROACH_MX_ONLY, APPROACH_CERT, APPROACH_BANNER, APPROACH_PRIORITY)
+
+
+@dataclass
+class MXOnlyApproach:
+    """Provider = registered domain of the most preferred MX name."""
+
+    psl: PublicSuffixList | None = None
+    split_credit: bool = True
+
+    def __post_init__(self) -> None:
+        self.psl = self.psl or default_psl()
+
+    def run(self, measurements: dict[str, DomainMeasurement]) -> dict[str, DomainInference]:
+        inferences = {}
+        for domain, measurement in measurements.items():
+            inferences[domain] = self._infer(measurement)
+        return inferences
+
+    def _infer(self, measurement: DomainMeasurement) -> DomainInference:
+        if not measurement.has_mx:
+            return DomainInference(domain=measurement.domain, status=DomainStatus.NO_MX)
+        assert self.psl is not None
+        provider_ids: list[str] = []
+        identities = []
+        for mx in measurement.primary_mx:
+            provider_id = mx_fallback_id(mx.name, self.psl)
+            identities.append(
+                MXIdentity(mx_name=mx.name, provider_id=provider_id, source=EvidenceSource.MX)
+            )
+            if provider_id not in provider_ids:
+                provider_ids.append(provider_id)
+        if self.split_credit:
+            weight = 1.0 / len(provider_ids)
+            attributions = {provider_id: weight for provider_id in provider_ids}
+        else:
+            attributions = {provider_ids[0]: 1.0}
+        return DomainInference(
+            domain=measurement.domain,
+            status=DomainStatus.INFERRED,
+            attributions=attributions,
+            mx_identities=tuple(identities),
+        )
+
+
+@dataclass
+class SingleSourceApproach:
+    """cert-based or banner-based: one SMTP evidence source + MX fallback."""
+
+    trust_store: TrustStore
+    source: EvidenceSource
+    psl: PublicSuffixList | None = None
+    split_credit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.source is EvidenceSource.MX:
+            raise ValueError("use MXOnlyApproach for the MX-only baseline")
+        self.psl = self.psl or default_psl()
+
+    def run(self, measurements: dict[str, DomainMeasurement]) -> dict[str, DomainInference]:
+        certificates = [
+            ip.scan.certificate
+            for measurement in measurements.values()
+            for ip in measurement.all_ips()
+            if ip.scan is not None and ip.scan.certificate is not None
+        ]
+        groups = CertificatePreprocessor(self.psl).build(certificates)
+        ip_identifier = IPIdentifier(groups=groups, trust_store=self.trust_store, psl=self.psl)
+        mx_identifier = MXIdentifier(
+            psl=self.psl,
+            use_certs=self.source is EvidenceSource.CERT,
+            use_banners=self.source is EvidenceSource.BANNER,
+        )
+        domain_identifier = DomainIdentifier(split_credit=self.split_credit)
+
+        inferences = {}
+        cache: dict[tuple, MXIdentity] = {}
+        for domain, measurement in measurements.items():
+            identities = {}
+            for mx in measurement.primary_mx:
+                key = (mx.name, tuple(ip.address for ip in mx.ips))
+                if key not in cache:
+                    ip_identities = [
+                        ip_identifier.identify(ip, on=measurement.measured_on)
+                        for ip in mx.ips
+                    ]
+                    cache[key] = mx_identifier.identify(mx, ip_identities)
+                identities[mx.name] = cache[key]
+            inferences[domain] = domain_identifier.identify(measurement, identities)
+        return inferences
+
+
+def cert_based(trust_store: TrustStore, psl: PublicSuffixList | None = None) -> SingleSourceApproach:
+    """The cert-based baseline (TLS certificates + MX fallback)."""
+    return SingleSourceApproach(trust_store=trust_store, source=EvidenceSource.CERT, psl=psl)
+
+
+def banner_based(trust_store: TrustStore, psl: PublicSuffixList | None = None) -> SingleSourceApproach:
+    """The banner-based baseline (Banner/EHLO messages + MX fallback)."""
+    return SingleSourceApproach(trust_store=trust_store, source=EvidenceSource.BANNER, psl=psl)

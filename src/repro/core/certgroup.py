@@ -1,0 +1,163 @@
+"""Step 1 — certificate preprocessing (Section 3.2.1).
+
+Groups the certificates observed across a dataset by FQDN overlap and
+derives a *representative name* per group:
+
+1. count occurrences of each registered domain across all certificates
+   (every FQDN on a certificate's CN + SANs contributes once),
+2. union certificates that share at least one FQDN,
+3. per group, pick the most common registered domain as the representative
+   (within-group count; global count, then name, break ties).
+
+Wildcard names (``*.mailspamprotection.com``) participate through their
+base domain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..tls.cert import Certificate
+
+
+def _strip_wildcard(name: str) -> str:
+    return name[2:] if name.startswith("*.") else name
+
+
+class _UnionFind:
+    """Plain union-find with path compression over arbitrary hashables."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def add(self, item: object) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: object) -> object:
+        parent = self._parent[item]
+        if parent is not item:
+            parent = self.find(parent)
+            self._parent[item] = parent
+        return parent
+
+    def union(self, left: object, right: object) -> None:
+        self.add(left)
+        self.add(right)
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root is not right_root:
+            self._parent[right_root] = left_root
+
+    def groups(self) -> dict[object, list[object]]:
+        out: dict[object, list[object]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+
+@dataclass(frozen=True)
+class CertGroup:
+    """One group of related certificates and its representative name."""
+
+    fingerprints: frozenset[str]
+    fqdns: frozenset[str]
+    representative: str
+    size: int
+
+
+@dataclass
+class CertificateGroups:
+    """Queryable result of certificate preprocessing."""
+
+    groups: list[CertGroup]
+    _by_fingerprint: dict[str, CertGroup] = field(default_factory=dict)
+    registered_domain_counts: Counter = field(default_factory=Counter)
+
+    def group_of(self, cert: Certificate) -> CertGroup | None:
+        return self._by_fingerprint.get(cert.fingerprint())
+
+    def representative_for(self, cert: Certificate) -> str | None:
+        group = self.group_of(cert)
+        return group.representative if group else None
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+class CertificatePreprocessor:
+    """Builds :class:`CertificateGroups` from the certificates in a dataset."""
+
+    def __init__(self, psl: PublicSuffixList | None = None):
+        self.psl = psl or default_psl()
+
+    def _registered(self, fqdn: str) -> str | None:
+        return self.psl.registered_domain(_strip_wildcard(fqdn))
+
+    def build(self, certificates: Iterable[Certificate]) -> CertificateGroups:
+        # Deduplicate by fingerprint: the same shared provider certificate is
+        # observed once per IP, but counts once for grouping purposes.
+        unique: dict[str, Certificate] = {}
+        for cert in certificates:
+            unique.setdefault(cert.fingerprint(), cert)
+
+        # Step 1.1 — global registered-domain occurrence counts.
+        global_counts: Counter = Counter()
+        cert_names: dict[str, tuple[str, ...]] = {}
+        for fingerprint, cert in unique.items():
+            names = cert.dns_names() or cert.names()
+            cert_names[fingerprint] = names
+            for name in names:
+                registered = self._registered(name)
+                if registered:
+                    global_counts[registered] += 1
+
+        # Step 1.2 — group certificates sharing at least one FQDN.
+        union = _UnionFind()
+        first_owner: dict[str, str] = {}
+        for fingerprint, names in cert_names.items():
+            union.add(fingerprint)
+            for name in names:
+                key = _strip_wildcard(name)
+                if key in first_owner:
+                    union.union(first_owner[key], fingerprint)
+                else:
+                    first_owner[key] = fingerprint
+
+        # Step 1.3 — representative name per group.
+        result = CertificateGroups(groups=[], registered_domain_counts=global_counts)
+        for members in union.groups().values():
+            member_prints = [str(m) for m in members]
+            within: Counter = Counter()
+            fqdns: set[str] = set()
+            for fingerprint in member_prints:
+                for name in cert_names[fingerprint]:
+                    fqdns.add(_strip_wildcard(name))
+                    registered = self._registered(name)
+                    if registered:
+                        within[registered] += 1
+            representative = self._pick_representative(within, global_counts, fqdns)
+            group = CertGroup(
+                fingerprints=frozenset(member_prints),
+                fqdns=frozenset(fqdns),
+                representative=representative,
+                size=len(member_prints),
+            )
+            result.groups.append(group)
+            for fingerprint in member_prints:
+                result._by_fingerprint[fingerprint] = group
+        result.groups.sort(key=lambda g: g.representative)
+        return result
+
+    @staticmethod
+    def _pick_representative(
+        within: Counter, global_counts: Counter, fqdns: set[str]
+    ) -> str:
+        if within:
+            return max(
+                within,
+                key=lambda name: (within[name], global_counts[name], name),
+            )
+        # Degenerate group with no registrable names: fall back to any FQDN.
+        return min(fqdns) if fqdns else "(unknown)"

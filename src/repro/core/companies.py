@@ -1,0 +1,124 @@
+"""Provider-ID → company aggregation (Section 4.4).
+
+A single company operates under many provider IDs — different services,
+regional brands, or different evidence sources surfacing different names
+(Table 5: Microsoft appears as outlook.com, office365.us, hotmail.com, …).
+The paper resolves prominent provider IDs to companies by hand;
+:class:`CompanyMap` is that curated artifact, generated from the world
+catalog (or any list of :class:`~repro.world.entities.CompanySpec`).
+
+The map also carries the auxiliary knowledge step 4's heuristics need:
+which ASes each company announces from, and the hostname patterns hosting
+companies use for rented VPS boxes versus their own dedicated mail stores.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..world.entities import CompanyKind, CompanySpec
+
+# Sentinel labels shared with the world's ground truth.
+SELF_LABEL = "SELF"
+NONE_LABEL = "NONE"
+
+
+@dataclass
+class CompanyMap:
+    """Resolves provider IDs to companies, with step-4 heuristic metadata."""
+
+    id_to_slug: dict[str, str] = field(default_factory=dict)
+    display_names: dict[str, str] = field(default_factory=dict)
+    kinds: dict[str, CompanyKind] = field(default_factory=dict)
+    countries: dict[str, str] = field(default_factory=dict)
+    asns_by_slug: dict[str, frozenset[int]] = field(default_factory=dict)
+    vps_patterns: dict[str, re.Pattern] = field(default_factory=dict)
+    dedicated_patterns: dict[str, re.Pattern] = field(default_factory=dict)
+    # Provider IDs of the "predetermined set" of large providers whose
+    # potential misidentifications step 4 examines.
+    large_provider_ids: set[str] = field(default_factory=set)
+    psl: PublicSuffixList = field(default_factory=default_psl)
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Iterable[CompanySpec],
+        large_kinds: tuple[CompanyKind, ...] = (
+            CompanyKind.MAILBOX,
+            CompanyKind.SECURITY,
+            CompanyKind.HOSTING,
+            CompanyKind.AGENCY,
+        ),
+        psl: PublicSuffixList | None = None,
+    ) -> "CompanyMap":
+        company_map = cls(psl=psl or default_psl())
+        for spec in specs:
+            company_map.add_company(spec, is_large=spec.kind in large_kinds)
+        return company_map
+
+    def add_company(self, spec: CompanySpec, is_large: bool = False) -> None:
+        self.display_names[spec.slug] = spec.display_name
+        self.kinds[spec.slug] = spec.kind
+        self.countries[spec.slug] = spec.country
+        self.asns_by_slug[spec.slug] = frozenset(asn.number for asn in spec.asns)
+        for provider_id in spec.provider_ids:
+            self.id_to_slug.setdefault(provider_id, spec.slug)
+            if is_large:
+                self.large_provider_ids.add(provider_id)
+        if spec.vps_cert_domain:
+            # The VPS certificate domain maps to the hosting company too;
+            # GoDaddy VPS certs live under secureserver.net.
+            self.id_to_slug.setdefault(spec.vps_cert_domain, spec.slug)
+            if is_large:
+                self.large_provider_ids.add(spec.vps_cert_domain)
+        if spec.vps_host_pattern:
+            self.vps_patterns[spec.slug] = re.compile(spec.vps_host_pattern)
+        if spec.dedicated_host_pattern:
+            self.dedicated_patterns[spec.slug] = re.compile(spec.dedicated_host_pattern)
+
+    # ------------------------------------------------------------------
+
+    def slug_for_provider_id(self, provider_id: str) -> str | None:
+        return self.id_to_slug.get(provider_id)
+
+    def is_large_provider_id(self, provider_id: str) -> bool:
+        return provider_id in self.large_provider_ids
+
+    def company_asns(self, slug: str) -> frozenset[int]:
+        return self.asns_by_slug.get(slug, frozenset())
+
+    def display(self, label: str) -> str:
+        return self.display_names.get(label, label)
+
+    def kind(self, label: str) -> CompanyKind | None:
+        return self.kinds.get(label)
+
+    def country(self, label: str) -> str | None:
+        return self.countries.get(label)
+
+    def resolve(self, domain: str, provider_id: str) -> str:
+        """Map a provider ID to an analysis label for *domain*.
+
+        Returns a company slug when the ID belongs to a known company,
+        ``SELF`` when the ID is the domain's own registered domain (the
+        paper's self-hosting criterion, Section 5.2.1), or the raw provider
+        ID for companies outside the curated map.
+        """
+        own = self.psl.registered_domain(domain) or domain
+        if provider_id == own:
+            return SELF_LABEL
+        slug = self.id_to_slug.get(provider_id)
+        return slug if slug is not None else provider_id
+
+    def resolve_attributions(
+        self, domain: str, attributions: dict[str, float]
+    ) -> dict[str, float]:
+        """Resolve a whole attribution dict, merging IDs of one company."""
+        resolved: dict[str, float] = {}
+        for provider_id, weight in attributions.items():
+            label = self.resolve(domain, provider_id)
+            resolved[label] = resolved.get(label, 0.0) + weight
+        return resolved

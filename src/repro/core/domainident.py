@@ -1,0 +1,74 @@
+"""Step 5 — provider ID of a domain (Section 3.2.5).
+
+A domain inherits the provider ID of its most preferred MX record.  When a
+domain publishes several MX records tied at the best preference with
+*different* provider IDs, credit is split equally across the distinct IDs.
+Domains whose MX infrastructure is unusable are classified instead
+(no MX / unresolvable MX / no SMTP listener), mirroring the categories of
+Table 4 and Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..measure.dataset import DomainMeasurement
+from .types import DomainInference, DomainStatus, MXIdentity
+
+
+@dataclass
+class DomainIdentifier:
+    """Turns per-MX identities into a per-domain attribution."""
+
+    split_credit: bool = True
+
+    def identify(
+        self,
+        measurement: DomainMeasurement,
+        identities: dict[str, MXIdentity],
+    ) -> DomainInference:
+        """Attribute *measurement*'s domain using its primary MX identities.
+
+        ``identities`` maps MX names to their (possibly step-4-corrected)
+        identities; only the most-preferred MX records participate.
+        """
+        domain = measurement.domain
+        if not measurement.has_mx:
+            return DomainInference(domain=domain, status=DomainStatus.NO_MX)
+
+        primary = measurement.primary_mx
+        resolved = [mx for mx in primary if mx.resolved]
+        if not resolved:
+            return DomainInference(domain=domain, status=DomainStatus.NO_MX_IP)
+
+        # "No SMTP": every primary-MX address was scanned and none accepts
+        # SMTP.  Addresses missing from the scan data leave the possibility
+        # open, so the inference proceeds on the MX fallback instead.
+        scans = [ip.scan for mx in resolved for ip in mx.ips]
+        if scans and all(scan is not None for scan in scans) and not any(
+            scan.has_smtp for scan in scans if scan is not None
+        ):
+            return DomainInference(
+                domain=domain,
+                status=DomainStatus.NO_SMTP,
+                mx_identities=tuple(
+                    identities[mx.name] for mx in resolved if mx.name in identities
+                ),
+            )
+
+        used = [identities[mx.name] for mx in resolved]
+        provider_ids = []
+        for identity in used:
+            if identity.provider_id not in provider_ids:
+                provider_ids.append(identity.provider_id)
+        if self.split_credit:
+            weight = 1.0 / len(provider_ids)
+            attributions = {provider_id: weight for provider_id in provider_ids}
+        else:
+            attributions = {provider_ids[0]: 1.0}
+        return DomainInference(
+            domain=domain,
+            status=DomainStatus.INFERRED,
+            attributions=attributions,
+            mx_identities=tuple(used),
+        )

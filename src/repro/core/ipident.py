@@ -1,0 +1,89 @@
+"""Step 2 — IDs of an IP address (Section 3.2.2).
+
+For each IP address an MX resolves to, derive up to two candidate provider
+IDs:
+
+* **ID from TLS certificate** — if the address presented a certificate that
+  a browser trust store accepts, use the representative name of its
+  certificate group.
+* **ID from Banner/EHLO** — the registered domain of the FQDN the server
+  claims, when banner and EHLO agree (or only one of the two carries a
+  valid FQDN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import IPObservation
+from ..smtp.banner import identity_from_message
+from ..tls.ca import TrustStore
+from .certgroup import CertificateGroups
+from .types import IPIdentity
+
+
+@dataclass
+class IPIdentifier:
+    """Derives :class:`IPIdentity` objects from scan observations."""
+
+    groups: CertificateGroups
+    trust_store: TrustStore
+    psl: PublicSuffixList | None = None
+    require_valid_cert: bool = True
+
+    def __post_init__(self) -> None:
+        self.psl = self.psl or default_psl()
+
+    def identify(self, observation: IPObservation, on: date | None = None) -> IPIdentity:
+        scan = observation.scan
+        if scan is None or not scan.has_smtp:
+            return IPIdentity(address=observation.address)
+
+        cert_id = None
+        fingerprint = None
+        cert_names: tuple[str, ...] = ()
+        if scan.certificate is not None:
+            fingerprint = scan.certificate.fingerprint()
+            cert_names = scan.certificate.names()
+            acceptable = (
+                self.trust_store.is_valid(scan.certificate, on=on)
+                if self.require_valid_cert
+                else True
+            )
+            if acceptable:
+                cert_id = self.groups.representative_for(scan.certificate)
+
+        banner_id, banner_fqdn = self._banner_id(scan.banner, scan.ehlo)
+        return IPIdentity(
+            address=observation.address,
+            cert_id=cert_id,
+            banner_id=banner_id,
+            cert_fingerprint=fingerprint,
+            banner_fqdn=banner_fqdn,
+            cert_names=cert_names,
+        )
+
+    def _banner_id(
+        self, banner: str | None, ehlo: str | None
+    ) -> tuple[str | None, str | None]:
+        """(registered domain, claimed FQDN) from the banner/EHLO pair.
+
+        The methodology uses the registered domain that shows up in both
+        messages; when only one message carries a valid FQDN, that one is
+        used.
+        """
+        banner_identity = identity_from_message(banner, self.psl) if banner else None
+        ehlo_identity = identity_from_message(ehlo, self.psl) if ehlo else None
+        banner_domain = banner_identity.registered_domain if banner_identity else None
+        ehlo_domain = ehlo_identity.registered_domain if ehlo_identity else None
+        fqdn = (
+            (banner_identity.fqdn if banner_identity else None)
+            or (ehlo_identity.fqdn if ehlo_identity else None)
+        )
+        if banner_domain and ehlo_domain:
+            if banner_domain == ehlo_domain:
+                return banner_domain, fqdn
+            return None, fqdn
+        return banner_domain or ehlo_domain, fqdn

@@ -1,0 +1,227 @@
+"""Step 4 — misidentification detection and correction (Section 3.2.4).
+
+The corner cases that defeat steps 1–3 share a signature: they involve
+*unpopular* endpoints.  A VPS certificate is only ever seen behind a couple
+of domains, whereas a real GoDaddy mail-store certificate fronts thousands.
+The checker therefore keeps two global counters — how many domains point at
+each IP (``numIP``) and at each certificate (``numCert``) — and only
+examines MX records whose inferred provider ID belongs to the predetermined
+set of large providers but whose confidence ``max(numIP, numCert)`` is low.
+
+For each candidate it applies the paper's published heuristics:
+
+* **VPS hostname patterns** — a GoDaddy-shaped ``s1-2-3.secureserver.net``
+  certificate marks a rented VPS, so the mail server belongs to whoever
+  rents it: fall back to the MX registered domain (usually the customer).
+* **Dedicated hostname patterns** — ``mailstore1.secureserver.net`` is
+  GoDaddy's own infrastructure: the inference stands.
+* **AS check** — a server claiming ``mx.google.com`` from outside Google's
+  ASes is lying: fall back to the MX registered domain.
+
+It also catches the inverse situation (Section 3.1.4's utexas.edu): the
+certificate names the *customer* while banner and ASN agree on a large
+provider — correct to the provider.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import DomainMeasurement, MXData
+from .companies import CompanyMap
+from .mxident import mx_fallback_id
+from .types import EvidenceSource, MXIdentity
+
+DEFAULT_CONFIDENCE_THRESHOLD = 3
+
+
+@dataclass
+class PopularityCounters:
+    """``numIP`` and ``numCert``: domains behind each IP / certificate."""
+
+    num_ip: Counter = field(default_factory=Counter)
+    num_cert: Counter = field(default_factory=Counter)
+
+    def observe_domain(self, measurement: DomainMeasurement) -> None:
+        """Count one domain against every primary-MX IP and certificate."""
+        seen_ips: set[str] = set()
+        seen_certs: set[str] = set()
+        for mx in measurement.primary_mx:
+            for ip in mx.ips:
+                seen_ips.add(ip.address)
+                if ip.scan is not None and ip.scan.certificate is not None:
+                    seen_certs.add(ip.scan.certificate.fingerprint())
+        for address in seen_ips:
+            self.num_ip[address] += 1
+        for fingerprint in seen_certs:
+            self.num_cert[fingerprint] += 1
+
+    def confidence(self, identity: MXIdentity) -> int:
+        """Confidence of an MX inference: max(numIP, numCert) over its IPs."""
+        best = 0
+        for ip_identity in identity.ip_identities:
+            score = self.num_ip[ip_identity.address]
+            if ip_identity.cert_fingerprint is not None:
+                score = max(score, self.num_cert[ip_identity.cert_fingerprint])
+            best = max(best, score)
+        return best
+
+
+@dataclass
+class CorrectionStats:
+    """Bookkeeping for evaluation: how much manual-style work step 4 took."""
+
+    candidates_examined: int = 0
+    corrected: int = 0
+
+
+@dataclass
+class MisidentificationChecker:
+    """Finds and corrects likely misidentifications (step 4)."""
+
+    company_map: CompanyMap
+    psl: PublicSuffixList | None = None
+    confidence_threshold: int = DEFAULT_CONFIDENCE_THRESHOLD
+    stats: CorrectionStats = field(default_factory=CorrectionStats)
+
+    def __post_init__(self) -> None:
+        self.psl = self.psl or default_psl()
+
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        domain: str,
+        mx: MXData,
+        identity: MXIdentity,
+        counters: PopularityCounters,
+    ) -> MXIdentity:
+        """Return the (possibly corrected) identity for one MX record."""
+        if identity.source is EvidenceSource.MX:
+            # Nothing to second-guess: the fallback is already the MX name.
+            return identity
+
+        if self._is_customer_cert_candidate(domain, identity):
+            corrected = self._correct_customer_cert(mx, identity)
+            if corrected is not None:
+                return corrected
+            return identity.as_examined()
+
+        if not self.company_map.is_large_provider_id(identity.provider_id):
+            return identity
+        if counters.confidence(identity) >= self.confidence_threshold:
+            return identity
+
+        self.stats.candidates_examined += 1
+        identity = identity.as_examined()
+
+        corrected = self._apply_vps_heuristic(identity)
+        if corrected is not None:
+            return corrected
+        corrected = self._apply_as_heuristic(mx, identity)
+        if corrected is not None:
+            return corrected
+        return identity
+
+    # ------------------------------------------------------------------
+    # candidate class 1: large-provider ID on an unpopular endpoint
+    # ------------------------------------------------------------------
+
+    def _apply_vps_heuristic(self, identity: MXIdentity) -> MXIdentity | None:
+        """Rented-VPS detection via provider hostname patterns."""
+        slug = self.company_map.slug_for_provider_id(identity.provider_id)
+        if slug is None:
+            return None
+        vps_pattern = self.company_map.vps_patterns.get(slug)
+        dedicated_pattern = self.company_map.dedicated_patterns.get(slug)
+        if vps_pattern is None:
+            return None
+        hostnames = self._endpoint_hostnames(identity)
+        if not hostnames:
+            return None
+        if dedicated_pattern is not None and any(
+            dedicated_pattern.match(name) for name in hostnames
+        ):
+            self.stats.corrected += 0  # dedicated box: inference stands
+            return identity
+        if any(vps_pattern.match(name) for name in hostnames):
+            assert self.psl is not None
+            self.stats.corrected += 1
+            return identity.with_correction(
+                mx_fallback_id(identity.mx_name, self.psl),
+                reason=f"VPS hostname pattern of {slug}",
+            )
+        return None
+
+    def _apply_as_heuristic(self, mx: MXData, identity: MXIdentity) -> MXIdentity | None:
+        """A provider claim from outside the provider's ASes is false."""
+        slug = self.company_map.slug_for_provider_id(identity.provider_id)
+        if slug is None:
+            return None
+        legitimate_asns = self.company_map.company_asns(slug)
+        if not legitimate_asns:
+            return None
+        observed_asns = {
+            ip.as_info.asn for ip in mx.ips if ip.as_info is not None
+        }
+        if not observed_asns or observed_asns & legitimate_asns:
+            return None
+        assert self.psl is not None
+        self.stats.corrected += 1
+        return identity.with_correction(
+            mx_fallback_id(identity.mx_name, self.psl),
+            reason=f"claims {slug} but announced from AS {sorted(observed_asns)}",
+        )
+
+    # ------------------------------------------------------------------
+    # candidate class 2: customer certificate on provider infrastructure
+    # ------------------------------------------------------------------
+
+    def _is_customer_cert_candidate(self, domain: str, identity: MXIdentity) -> bool:
+        """Cert says "the customer itself" while the banner says a provider."""
+        if identity.source is not EvidenceSource.CERT:
+            return False
+        assert self.psl is not None
+        own = self.psl.registered_domain(domain) or domain
+        if identity.provider_id != own:
+            return False
+        banner_ids = {
+            ip.banner_id for ip in identity.ip_identities if ip.banner_id is not None
+        }
+        return len(banner_ids) == 1 and self.company_map.is_large_provider_id(
+            next(iter(banner_ids))
+        )
+
+    def _correct_customer_cert(self, mx: MXData, identity: MXIdentity) -> MXIdentity | None:
+        """Correct to the banner's provider when the ASN corroborates it."""
+        self.stats.candidates_examined += 1
+        banner_ids = {
+            ip.banner_id for ip in identity.ip_identities if ip.banner_id is not None
+        }
+        banner_id = next(iter(banner_ids))
+        slug = self.company_map.slug_for_provider_id(banner_id)
+        if slug is None:
+            return None
+        legitimate_asns = self.company_map.company_asns(slug)
+        observed_asns = {ip.as_info.asn for ip in mx.ips if ip.as_info is not None}
+        if legitimate_asns and observed_asns and not (observed_asns & legitimate_asns):
+            return None
+        self.stats.corrected += 1
+        return identity.with_correction(
+            banner_id,
+            reason=f"customer certificate on {slug} infrastructure",
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _endpoint_hostnames(identity: MXIdentity) -> set[str]:
+        """Hostnames the endpoint itself claims (banner FQDNs + cert names)."""
+        names: set[str] = set()
+        for ip_identity in identity.ip_identities:
+            if ip_identity.banner_fqdn:
+                names.add(ip_identity.banner_fqdn)
+            names.update(ip_identity.cert_names)
+        return names

@@ -1,0 +1,71 @@
+"""Step 3 — provider ID of an MX record (Section 3.2.3).
+
+Aggregates the per-IP identities of all addresses behind one MX record:
+
+* if every IP has a certificate-derived ID and they agree, use it;
+* else if every IP has a banner-derived ID and they agree, use it;
+* else fall back to the registered domain of the MX name itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import MXData
+from .types import EvidenceSource, IPIdentity, MXIdentity
+
+
+def mx_fallback_id(mx_name: str, psl: PublicSuffixList) -> str:
+    """The registered domain of an MX name (the name itself if unregistrable)."""
+    return psl.registered_domain(mx_name) or mx_name
+
+
+@dataclass
+class MXIdentifier:
+    """Assigns a provider ID to MX records from their IPs' identities."""
+
+    psl: PublicSuffixList | None = None
+    use_certs: bool = True
+    use_banners: bool = True
+
+    def __post_init__(self) -> None:
+        self.psl = self.psl or default_psl()
+
+    def identify(self, mx: MXData, ip_identities: list[IPIdentity]) -> MXIdentity:
+        identities = tuple(ip_identities)
+        if self.use_certs:
+            cert_id = self._agreeing(identities, "cert_id")
+            if cert_id is not None:
+                return MXIdentity(
+                    mx_name=mx.name,
+                    provider_id=cert_id,
+                    source=EvidenceSource.CERT,
+                    ip_identities=identities,
+                )
+        if self.use_banners:
+            banner_id = self._agreeing(identities, "banner_id")
+            if banner_id is not None:
+                return MXIdentity(
+                    mx_name=mx.name,
+                    provider_id=banner_id,
+                    source=EvidenceSource.BANNER,
+                    ip_identities=identities,
+                )
+        assert self.psl is not None
+        return MXIdentity(
+            mx_name=mx.name,
+            provider_id=mx_fallback_id(mx.name, self.psl),
+            source=EvidenceSource.MX,
+            ip_identities=identities,
+        )
+
+    @staticmethod
+    def _agreeing(identities: tuple[IPIdentity, ...], attribute: str) -> str | None:
+        """The shared ID if *every* IP has one and they all agree."""
+        if not identities:
+            return None
+        values = {getattr(identity, attribute) for identity in identities}
+        if None in values or len(values) != 1:
+            return None
+        return next(iter(values))

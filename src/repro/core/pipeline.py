@@ -1,0 +1,146 @@
+"""The priority-based approach, end to end (Figure 3).
+
+:class:`PriorityPipeline` wires the five steps together over a joined
+measurement dataset:
+
+1. preprocess all observed certificates into groups,
+2. derive cert/banner IDs per IP,
+3. assign a provider ID per MX record,
+4. detect and correct likely misidentifications,
+5. attribute each domain to the provider of its most preferred MX.
+
+:class:`PipelineConfig` exposes the design choices DESIGN.md marks for
+ablation (disable step 4, accept self-signed certificates, drop one of the
+evidence sources, first-MX-wins instead of credit splitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..measure.dataset import DomainMeasurement
+from ..tls.ca import TrustStore
+from .certgroup import CertificatePreprocessor
+from .companies import CompanyMap
+from .domainident import DomainIdentifier
+from .ipident import IPIdentifier
+from .misident import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    CorrectionStats,
+    MisidentificationChecker,
+    PopularityCounters,
+)
+from .mxident import MXIdentifier
+from .types import DomainInference, MXIdentity
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable design choices of the priority-based approach."""
+
+    use_certs: bool = True
+    use_banners: bool = True
+    check_misidentifications: bool = True
+    require_valid_cert: bool = True
+    split_credit: bool = True
+    confidence_threshold: int = DEFAULT_CONFIDENCE_THRESHOLD
+
+
+@dataclass
+class PipelineResult:
+    """All inferences from one pipeline run, plus step-4 bookkeeping."""
+
+    inferences: dict[str, DomainInference]
+    correction_stats: CorrectionStats
+    mx_identities: dict[str, MXIdentity] = field(default_factory=dict)
+
+    def __getitem__(self, domain: str) -> DomainInference:
+        return self.inferences[domain]
+
+    def __iter__(self):
+        return iter(self.inferences.values())
+
+    def __len__(self) -> int:
+        return len(self.inferences)
+
+
+class PriorityPipeline:
+    """The paper's methodology over a joined measurement dataset."""
+
+    def __init__(
+        self,
+        trust_store: TrustStore,
+        company_map: CompanyMap,
+        psl: PublicSuffixList | None = None,
+        config: PipelineConfig | None = None,
+    ):
+        self.trust_store = trust_store
+        self.company_map = company_map
+        self.psl = psl or default_psl()
+        self.config = config or PipelineConfig()
+
+    def run(self, measurements: dict[str, DomainMeasurement]) -> PipelineResult:
+        """Infer a provider for every measured domain."""
+        config = self.config
+
+        # Step 1 — certificate preprocessing over the whole dataset.
+        certificates = [
+            ip.scan.certificate
+            for measurement in measurements.values()
+            for ip in measurement.all_ips()
+            if ip.scan is not None and ip.scan.certificate is not None
+        ]
+        groups = CertificatePreprocessor(self.psl).build(certificates)
+
+        ip_identifier = IPIdentifier(
+            groups=groups,
+            trust_store=self.trust_store,
+            psl=self.psl,
+            require_valid_cert=config.require_valid_cert,
+        )
+        mx_identifier = MXIdentifier(
+            psl=self.psl, use_certs=config.use_certs, use_banners=config.use_banners
+        )
+        domain_identifier = DomainIdentifier(split_credit=config.split_credit)
+        checker = MisidentificationChecker(
+            company_map=self.company_map,
+            psl=self.psl,
+            confidence_threshold=config.confidence_threshold,
+        )
+
+        # Popularity counters feed step 4's candidate filter.
+        counters = PopularityCounters()
+        for measurement in measurements.values():
+            counters.observe_domain(measurement)
+
+        # Steps 2–3, computed once per distinct MX observation.  The same
+        # MX name (with the same addresses) backs many domains; its identity
+        # is a property of the infrastructure, not of the domain.
+        mx_identity_cache: dict[tuple, MXIdentity] = {}
+        all_identities: dict[str, MXIdentity] = {}
+        inferences: dict[str, DomainInference] = {}
+        for domain, measurement in measurements.items():
+            identities: dict[str, MXIdentity] = {}
+            for mx in measurement.primary_mx:
+                cache_key = (mx.name, tuple(ip.address for ip in mx.ips))
+                if cache_key not in mx_identity_cache:
+                    ip_identities = [
+                        ip_identifier.identify(ip, on=measurement.measured_on)
+                        for ip in mx.ips
+                    ]
+                    mx_identity_cache[cache_key] = mx_identifier.identify(mx, ip_identities)
+                identity = mx_identity_cache[cache_key]
+                # Step 4 — per (domain, MX): the customer-certificate check
+                # depends on which domain is asking.
+                if config.check_misidentifications:
+                    identity = checker.check(domain, mx, identity, counters)
+                identities[mx.name] = identity
+                all_identities[mx.name] = identity
+            inferences[domain] = domain_identifier.identify(measurement, identities)
+
+        return PipelineResult(
+            inferences=inferences,
+            correction_stats=checker.stats,
+            mx_identities=all_identities,
+        )

@@ -1,0 +1,84 @@
+"""Inference-result serialization: publishable per-domain verdicts.
+
+The paper ships its analysis results alongside the code; this module
+renders :class:`~repro.core.types.DomainInference` objects to and from
+plain JSON-compatible dictionaries so pipeline outputs can be persisted,
+diffed between runs, or consumed by external tooling.
+"""
+
+from __future__ import annotations
+
+from .types import DomainInference, DomainStatus, EvidenceSource, MXIdentity
+
+
+class SerializeError(ValueError):
+    """Raised on malformed serialized inference payloads."""
+
+
+def mx_identity_to_dict(identity: MXIdentity) -> dict:
+    payload: dict = {
+        "mx": identity.mx_name,
+        "provider_id": identity.provider_id,
+        "source": identity.source.value,
+    }
+    if identity.corrected:
+        payload["corrected"] = True
+        payload["correction_reason"] = identity.correction_reason
+    if identity.examined:
+        payload["examined"] = True
+    return payload
+
+
+def mx_identity_from_dict(data: dict) -> MXIdentity:
+    try:
+        return MXIdentity(
+            mx_name=data["mx"],
+            provider_id=data["provider_id"],
+            source=EvidenceSource(data["source"]),
+            corrected=bool(data.get("corrected", False)),
+            correction_reason=data.get("correction_reason"),
+            examined=bool(data.get("examined", False)),
+        )
+    except (KeyError, ValueError) as error:
+        raise SerializeError(f"bad MX identity payload: {error}") from error
+
+
+def inference_to_dict(inference: DomainInference) -> dict:
+    payload: dict = {
+        "domain": inference.domain,
+        "status": inference.status.value,
+    }
+    if inference.attributions:
+        payload["attributions"] = dict(inference.attributions)
+    if inference.mx_identities:
+        payload["mx"] = [
+            mx_identity_to_dict(identity) for identity in inference.mx_identities
+        ]
+    return payload
+
+
+def inference_from_dict(data: dict) -> DomainInference:
+    try:
+        return DomainInference(
+            domain=data["domain"],
+            status=DomainStatus(data["status"]),
+            attributions=dict(data.get("attributions", {})),
+            mx_identities=tuple(
+                mx_identity_from_dict(entry) for entry in data.get("mx", ())
+            ),
+        )
+    except (KeyError, ValueError) as error:
+        raise SerializeError(f"bad inference payload: {error}") from error
+
+
+def results_to_dicts(inferences: dict[str, DomainInference]) -> list[dict]:
+    """Serialize a whole run, sorted by domain for stable diffs."""
+    return [inference_to_dict(inferences[domain]) for domain in sorted(inferences)]
+
+
+def results_from_dicts(payloads: list[dict]) -> dict[str, DomainInference]:
+    inferences = {}
+    for payload in payloads:
+        inference = inference_from_dict(payload)
+        inferences[inference.domain] = inference
+    return inferences

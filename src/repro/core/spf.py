@@ -1,0 +1,162 @@
+"""SPF record parsing and eventual-provider inference (extension).
+
+Section 3.4 notes that the MX record only reveals the *first hop* of mail
+delivery: a domain fronted by a filtering service (ProofPoint, Mimecast, …)
+ultimately delivers to a mailbox provider the MX never names.  The paper
+leaves "certain heuristics, such as SPF records" to future work; this
+module implements that heuristic.
+
+A domain authorizing senders via ``v=spf1 include:_spf.<provider> …``
+names every provider allowed to *send* on its behalf — which, for
+filtering customers, typically covers both the filter and the mailbox
+provider behind it.  :class:`EventualProviderAnalyzer` parses the published
+policy and reports the mailbox provider hiding behind the MX-visible front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dnscore.names import is_valid_hostname
+from ..dnscore.psl import PublicSuffixList, default_psl
+from ..world.entities import CompanyKind
+from .companies import CompanyMap
+
+QUALIFIERS = ("+", "-", "~", "?")
+MECHANISM_KINDS = ("all", "include", "a", "mx", "ip4", "ip6", "exists", "ptr")
+
+
+@dataclass(frozen=True)
+class SPFMechanism:
+    """One mechanism of an SPF record, e.g. ``include:_spf.google.com``."""
+
+    qualifier: str  # one of + - ~ ?
+    kind: str       # all / include / a / mx / ip4 / ip6 / exists / ptr
+    value: str = ""
+
+    def __str__(self) -> str:
+        prefix = self.qualifier if self.qualifier != "+" else ""
+        suffix = f":{self.value}" if self.value else ""
+        return f"{prefix}{self.kind}{suffix}"
+
+
+@dataclass(frozen=True)
+class SPFRecord:
+    """A parsed ``v=spf1`` policy."""
+
+    mechanisms: tuple[SPFMechanism, ...]
+
+    def includes(self) -> list[str]:
+        """Targets of every (non-negative) include mechanism, in order."""
+        return [
+            mechanism.value
+            for mechanism in self.mechanisms
+            if mechanism.kind == "include" and mechanism.qualifier != "-"
+        ]
+
+    def authorizes_self(self) -> bool:
+        """True when the policy authorizes the domain's own hosts (a / mx)."""
+        return any(
+            mechanism.kind in ("a", "mx") and mechanism.qualifier != "-"
+            for mechanism in self.mechanisms
+        )
+
+
+def parse_spf(text: str) -> SPFRecord | None:
+    """Parse SPF policy text; None if this is not a ``v=spf1`` record.
+
+    Tolerant of the junk real zones contain: unknown mechanisms and
+    modifiers (``redirect=``, ``exp=``) are skipped, not fatal.
+    """
+    tokens = text.strip().split()
+    if not tokens or tokens[0].lower() != "v=spf1":
+        return None
+    mechanisms: list[SPFMechanism] = []
+    for token in tokens[1:]:
+        if "=" in token:  # modifier (redirect= / exp=): not a mechanism
+            continue
+        qualifier = "+"
+        if token[:1] in QUALIFIERS:
+            qualifier, token = token[0], token[1:]
+        kind, _, value = token.partition(":")
+        if "/" in kind:  # "a/24" style CIDR suffix on a bare mechanism
+            kind, _, value = kind.partition("/")
+        kind = kind.lower()
+        if kind not in MECHANISM_KINDS:
+            continue
+        mechanisms.append(SPFMechanism(qualifier=qualifier, kind=kind, value=value))
+    return SPFRecord(mechanisms=tuple(mechanisms))
+
+
+@dataclass(frozen=True)
+class EventualInference:
+    """MX-visible front vs. SPF-revealed eventual provider for one domain."""
+
+    domain: str
+    front_slug: str
+    eventual_slug: str | None
+    spf_provider_slugs: tuple[str, ...]
+
+    @property
+    def hides_mailbox_provider(self) -> bool:
+        return self.eventual_slug is not None
+
+
+@dataclass
+class EventualProviderAnalyzer:
+    """Finds the mailbox provider behind a filtering-service front."""
+
+    company_map: CompanyMap
+    psl: PublicSuffixList | None = None
+
+    def __post_init__(self) -> None:
+        self.psl = self.psl or default_psl()
+
+    def provider_of_include(self, target: str) -> str | None:
+        """Company slug behind one SPF include target.
+
+        ``_spf.google.com`` → strip ``_``-prefixed scoping labels, take the
+        registered domain, resolve through the company map.
+        """
+        labels = [label for label in target.lower().split(".") if label]
+        while labels and labels[0].startswith("_"):
+            labels.pop(0)
+        candidate = ".".join(labels)
+        if not candidate or not is_valid_hostname(candidate):
+            return None
+        assert self.psl is not None
+        registered = self.psl.registered_domain(candidate)
+        if registered is None:
+            return None
+        return self.company_map.slug_for_provider_id(registered)
+
+    def analyze(
+        self, domain: str, spf_texts: tuple[str, ...], front_slug: str
+    ) -> EventualInference:
+        """Infer the eventual mailbox provider from published SPF policy.
+
+        Only meaningful when the MX-visible front is a filtering service;
+        for mailbox-provider fronts the eventual provider is the front.
+        """
+        slugs: list[str] = []
+        for text in spf_texts:
+            record = parse_spf(text)
+            if record is None:
+                continue
+            for target in record.includes():
+                slug = self.provider_of_include(target)
+                if slug is not None and slug not in slugs:
+                    slugs.append(slug)
+
+        eventual = None
+        if self.company_map.kind(front_slug) is CompanyKind.SECURITY:
+            for slug in slugs:
+                if slug != front_slug and self.company_map.kind(slug) is CompanyKind.MAILBOX:
+                    eventual = slug
+                    break
+        return EventualInference(
+            domain=domain,
+            front_slug=front_slug,
+            eventual_slug=eventual,
+            spf_provider_slugs=tuple(slugs),
+        )

@@ -1,0 +1,112 @@
+"""Data model of the inference pipeline: evidence sources, per-MX and
+per-domain inference results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EvidenceSource(enum.Enum):
+    """Which data source determined a provider ID (priority order)."""
+
+    CERT = "cert"
+    BANNER = "banner"
+    MX = "mx"
+
+    @property
+    def priority(self) -> int:
+        """Lower is stronger: certificates beat banners beat MX names."""
+        return {"cert": 0, "banner": 1, "mx": 2}[self.value]
+
+
+class DomainStatus(enum.Enum):
+    """Inference outcome category for a domain (Table 4 / Figure 7)."""
+
+    INFERRED = "inferred"      # a provider ID was assigned
+    NO_MX = "no_mx"            # no MX record published
+    NO_MX_IP = "no_mx_ip"      # MX records exist but none resolves
+    NO_SMTP = "no_smtp"        # IPs resolve, nothing answers on port 25
+
+
+@dataclass(frozen=True)
+class IPIdentity:
+    """Step-2 output: the IDs derivable for one IP address."""
+
+    address: str
+    cert_id: str | None = None       # representative name of the cert group
+    banner_id: str | None = None     # registered domain from banner/EHLO
+    cert_fingerprint: str | None = None
+    banner_fqdn: str | None = None   # full FQDN the banner/EHLO claimed
+    cert_names: tuple[str, ...] = () # FQDNs on the presented certificate
+
+    @property
+    def best_id(self) -> str | None:
+        return self.cert_id or self.banner_id
+
+
+@dataclass(frozen=True)
+class MXIdentity:
+    """Step-3 output (possibly revised by step 4) for one MX record."""
+
+    mx_name: str
+    provider_id: str
+    source: EvidenceSource
+    ip_identities: tuple[IPIdentity, ...] = ()
+    corrected: bool = False
+    correction_reason: str | None = None
+    examined: bool = False           # surfaced by the step-4 candidate filter
+
+    def with_correction(self, provider_id: str, reason: str) -> "MXIdentity":
+        return MXIdentity(
+            mx_name=self.mx_name,
+            provider_id=provider_id,
+            source=self.source,
+            ip_identities=self.ip_identities,
+            corrected=True,
+            correction_reason=reason,
+            examined=True,
+        )
+
+    def as_examined(self) -> "MXIdentity":
+        if self.examined:
+            return self
+        return MXIdentity(
+            mx_name=self.mx_name,
+            provider_id=self.provider_id,
+            source=self.source,
+            ip_identities=self.ip_identities,
+            corrected=self.corrected,
+            correction_reason=self.correction_reason,
+            examined=True,
+        )
+
+
+@dataclass(frozen=True)
+class DomainInference:
+    """Step-5 output: the provider attribution for one domain.
+
+    ``attributions`` maps provider IDs to weights summing to 1 for
+    INFERRED domains (a single 1.0 normally; equal splits when several
+    providers tie at the best MX preference).
+    """
+
+    domain: str
+    status: DomainStatus
+    attributions: dict[str, float] = field(default_factory=dict)
+    mx_identities: tuple[MXIdentity, ...] = ()
+
+    @property
+    def sole_provider_id(self) -> str | None:
+        """The provider ID when the attribution is undivided, else None."""
+        if len(self.attributions) == 1:
+            return next(iter(self.attributions))
+        return None
+
+    @property
+    def examined(self) -> bool:
+        return any(identity.examined for identity in self.mx_identities)
+
+    @property
+    def corrected(self) -> bool:
+        return any(identity.corrected for identity in self.mx_identities)

@@ -1,0 +1,39 @@
+"""DNS substrate: names, the Public Suffix List, records, zones, resolution."""
+
+from .names import (
+    extract_fqdn,
+    is_subdomain_of,
+    is_valid_fqdn,
+    is_valid_hostname,
+    normalize,
+)
+from .psl import PublicSuffixList, default_psl, registered_domain
+from .records import Record, RRset, RRType, a, cname, mx, ns, spf, txt
+from .resolver import Answer, Rcode, Resolver
+from .zone import Zone, ZoneConflictError, ZoneDB
+
+__all__ = [
+    "Answer",
+    "PublicSuffixList",
+    "Rcode",
+    "Record",
+    "Resolver",
+    "RRType",
+    "RRset",
+    "Zone",
+    "ZoneConflictError",
+    "ZoneDB",
+    "a",
+    "cname",
+    "default_psl",
+    "extract_fqdn",
+    "is_subdomain_of",
+    "is_valid_fqdn",
+    "is_valid_hostname",
+    "mx",
+    "normalize",
+    "ns",
+    "registered_domain",
+    "spf",
+    "txt",
+]

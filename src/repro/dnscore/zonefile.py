@@ -1,0 +1,160 @@
+"""Zone-file serialization: dump and parse RFC 1035 presentation format.
+
+The measurement platforms in this package work on live :class:`ZoneDB`
+objects; real pipelines exchange zone data as text.  This module renders
+zones in conventional master-file syntax and parses it back, covering the
+record types the simulator uses (A, AAAA, CNAME, MX, NS, TXT), ``$ORIGIN``
+handling, relative names, comments, and quoted TXT data.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .names import normalize
+from .records import Record, RRType
+from .zone import Zone, ZoneDB
+
+
+class ZoneFileError(ValueError):
+    """Raised on unparseable zone-file content."""
+
+
+def dump_zone(zone: Zone) -> str:
+    """Render one zone in master-file format (sorted, $ORIGIN header)."""
+    lines = [f"$ORIGIN {zone.apex}."]
+    for record in sorted(
+        zone.all_records(), key=lambda r: (r.name, r.rtype.value, r.preference, r.rdata)
+    ):
+        lines.append(record.to_zone_line())
+    return "\n".join(lines) + "\n"
+
+
+def dump_zonedb(db: ZoneDB) -> str:
+    """Render every zone of a :class:`ZoneDB`, apex order."""
+    return "\n".join(dump_zone(db.zone_for(apex)) for apex in db.zone_apexes())
+
+
+_TXT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a ``;`` comment (quote-aware for TXT data)."""
+    in_quotes = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_quotes = not in_quotes
+        elif char == ";" and not in_quotes:
+            return line[:index]
+    return line
+
+
+def _absolute(name: str, origin: str | None) -> str:
+    """Resolve a possibly relative name against ``$ORIGIN``."""
+    if name == "@":
+        if origin is None:
+            raise ZoneFileError("'@' used without $ORIGIN")
+        return origin
+    if name.endswith("."):
+        return normalize(name)
+    if origin is None:
+        raise ZoneFileError(f"relative name {name!r} without $ORIGIN")
+    return normalize(f"{name}.{origin}")
+
+
+def parse_zone_file(text: str) -> list[Record]:
+    """Parse master-file text into records.
+
+    Supports ``$ORIGIN`` and ``$TTL`` directives, optional TTL and class
+    fields per record, relative owner names, and ``;`` comments.
+    """
+    records: list[Record] = []
+    origin: str | None = None
+    default_ttl = 3600
+
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.upper().startswith("$ORIGIN"):
+            origin = normalize(line.split()[1])
+            continue
+        if line.upper().startswith("$TTL"):
+            try:
+                default_ttl = int(line.split()[1])
+            except (IndexError, ValueError) as error:
+                raise ZoneFileError(f"bad $TTL line: {raw_line!r}") from error
+            continue
+        records.append(_parse_record_line(line, origin, default_ttl))
+    return records
+
+
+def _parse_record_line(line: str, origin: str | None, default_ttl: int) -> Record:
+    tokens = line.split()
+    if len(tokens) < 3:
+        raise ZoneFileError(f"short record line: {line!r}")
+    owner = _absolute(tokens[0], origin)
+    index = 1
+
+    ttl = default_ttl
+    if tokens[index].isdigit():
+        ttl = int(tokens[index])
+        index += 1
+    if index < len(tokens) and tokens[index].upper() == "IN":
+        index += 1
+    if index >= len(tokens):
+        raise ZoneFileError(f"missing record type: {line!r}")
+
+    type_token = tokens[index].upper()
+    index += 1
+    try:
+        rtype = RRType(type_token)
+    except ValueError as error:
+        raise ZoneFileError(f"unsupported record type {type_token!r}") from error
+
+    rest = tokens[index:]
+    if rtype is RRType.MX:
+        if len(rest) != 2 or not rest[0].isdigit():
+            raise ZoneFileError(f"bad MX rdata: {line!r}")
+        return Record(
+            name=owner, rtype=rtype, ttl=ttl,
+            preference=int(rest[0]), rdata=_absolute(rest[1], origin),
+        )
+    if rtype in (RRType.CNAME, RRType.NS):
+        if len(rest) != 1:
+            raise ZoneFileError(f"bad {rtype} rdata: {line!r}")
+        return Record(name=owner, rtype=rtype, ttl=ttl, rdata=_absolute(rest[0], origin))
+    if rtype is RRType.TXT:
+        remainder = line.split(None, index)[-1]
+        match = _TXT_RE.search(remainder)
+        if not match:
+            raise ZoneFileError(f"TXT rdata must be quoted: {line!r}")
+        return Record(
+            name=owner, rtype=rtype, ttl=ttl,
+            rdata=match.group(1).replace('\\"', '"'),
+        )
+    # A / AAAA: the address literal verbatim.
+    if len(rest) != 1:
+        raise ZoneFileError(f"bad {rtype} rdata: {line!r}")
+    return Record(name=owner, rtype=rtype, ttl=ttl, rdata=rest[0])
+
+
+def load_zonedb(text: str, apexes: Iterable[str] = ()) -> ZoneDB:
+    """Build a :class:`ZoneDB` from master-file text.
+
+    Zones are created for every ``$ORIGIN`` encountered plus any extra
+    *apexes*; records route to the most specific enclosing zone.
+    """
+    db = ZoneDB()
+    for apex in apexes:
+        db.ensure_zone(apex)
+    for line in text.splitlines():
+        stripped = _strip_comment(line).strip()
+        if stripped.upper().startswith("$ORIGIN"):
+            db.ensure_zone(stripped.split()[1])
+    for record in parse_zone_file(text):
+        if db.zone_for(record.name) is None:
+            db.ensure_zone(record.name)
+        db.add(record)
+    return db

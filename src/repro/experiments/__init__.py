@@ -1,0 +1,43 @@
+"""Experiment runners: one per table/figure in the paper's evaluation.
+
+Each module exposes ``run(ctx) -> <ExperimentResult>`` where the result has
+a ``render()`` method producing the paper-shaped text artifact.  Use
+:func:`repro.experiments.common.default_context` for the standard world.
+"""
+
+from . import (
+    ext_concentration,
+    ext_ml,
+    ext_spf,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    sec41_corpus,
+    tab1_2_3,
+    tab4,
+    tab5,
+    tab6,
+)
+from .common import LAST_SNAPSHOT, StudyContext, default_context, env_scale
+
+__all__ = [
+    "LAST_SNAPSHOT",
+    "StudyContext",
+    "default_context",
+    "env_scale",
+    "ext_concentration",
+    "ext_ml",
+    "ext_spf",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "sec41_corpus",
+    "tab1_2_3",
+    "tab4",
+    "tab5",
+    "tab6",
+]

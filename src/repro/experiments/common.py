@@ -1,0 +1,183 @@
+"""Shared experiment context: one world, cached measurements and inferences.
+
+Every experiment (and benchmark) runs against a :class:`StudyContext` —
+a built world plus memoized measurement gathering and inference runs per
+(corpus, snapshot).  The default context is scaled by the ``REPRO_SCALE``
+environment variable (1.0 = the test-size world; the paper's corpora are
+roughly 78× larger and behave identically, just slower).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..core.baselines import (
+    APPROACH_BANNER,
+    APPROACH_CERT,
+    APPROACH_MX_ONLY,
+    APPROACH_PRIORITY,
+    MXOnlyApproach,
+    banner_based,
+    cert_based,
+)
+from ..core.companies import CompanyMap
+from ..core.pipeline import PipelineConfig, PipelineResult, PriorityPipeline
+from ..core.types import DomainInference
+from ..measure import (
+    CensysScanner,
+    MeasurementGatherer,
+    OpenINTELPlatform,
+    Prefix2ASDataset,
+)
+from ..measure.dataset import DomainMeasurement
+from ..world.build import World, WorldConfig, build_world
+from ..world.entities import DatasetTag
+from ..world.population import GOV_FIRST_SNAPSHOT, NUM_SNAPSHOTS
+
+LAST_SNAPSHOT = NUM_SNAPSHOTS - 1
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Corpus scale factor from the REPRO_SCALE environment variable."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class StudyContext:
+    """A world plus cached measurement and inference state."""
+
+    world: World
+    gatherer: MeasurementGatherer
+    company_map: CompanyMap
+    _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
+        default_factory=dict
+    )
+    _priority: dict[tuple[DatasetTag, int], PipelineResult] = field(default_factory=dict)
+    _baselines: dict[tuple[str, DatasetTag, int], dict[str, DomainInference]] = field(
+        default_factory=dict
+    )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def create(cls, config: WorldConfig | None = None) -> "StudyContext":
+        world = build_world(config)
+        openintel = OpenINTELPlatform(world.snapshot_zones, world.snapshot_dates)
+        censys = CensysScanner(world.host_table, coverage_for=world.censys_coverage_for)
+        prefix2as = Prefix2ASDataset.from_table(world.prefix2as)
+        gatherer = MeasurementGatherer(openintel, censys, prefix2as)
+        company_map = CompanyMap.from_specs(
+            [infra.spec for infra in world.companies.values()], psl=world.psl
+        )
+        return cls(world=world, gatherer=gatherer, company_map=company_map)
+
+    # -- corpus access ---------------------------------------------------
+
+    def domains(self, dataset: DatasetTag) -> list[str]:
+        return sorted(entity.name for entity in self.world.domains_in(dataset))
+
+    def covered(self, dataset: DatasetTag, snapshot_index: int) -> bool:
+        if dataset is DatasetTag.GOV:
+            return snapshot_index >= GOV_FIRST_SNAPSHOT
+        return 0 <= snapshot_index < NUM_SNAPSHOTS
+
+    def measurements(
+        self, dataset: DatasetTag, snapshot_index: int
+    ) -> dict[str, DomainMeasurement] | None:
+        if not self.covered(dataset, snapshot_index):
+            return None
+        key = (dataset, snapshot_index)
+        if key not in self._measurements:
+            self._measurements[key] = self.gatherer.gather(
+                self.domains(dataset), snapshot_index
+            )
+        return self._measurements[key]
+
+    # -- inference runs --------------------------------------------------
+
+    def priority_result(
+        self, dataset: DatasetTag, snapshot_index: int,
+        config: PipelineConfig | None = None,
+    ) -> PipelineResult | None:
+        """Priority-pipeline run (cached only for the default config)."""
+        measurements = self.measurements(dataset, snapshot_index)
+        if measurements is None:
+            return None
+        if config is not None:
+            pipeline = PriorityPipeline(
+                self.world.trust_store, self.company_map, self.world.psl, config
+            )
+            return pipeline.run(measurements)
+        key = (dataset, snapshot_index)
+        if key not in self._priority:
+            pipeline = PriorityPipeline(
+                self.world.trust_store, self.company_map, self.world.psl
+            )
+            self._priority[key] = pipeline.run(measurements)
+        return self._priority[key]
+
+    def priority(
+        self, dataset: DatasetTag, snapshot_index: int
+    ) -> dict[str, DomainInference] | None:
+        result = self.priority_result(dataset, snapshot_index)
+        return result.inferences if result is not None else None
+
+    def baseline(
+        self, approach: str, dataset: DatasetTag, snapshot_index: int
+    ) -> dict[str, DomainInference] | None:
+        measurements = self.measurements(dataset, snapshot_index)
+        if measurements is None:
+            return None
+        key = (approach, dataset, snapshot_index)
+        if key not in self._baselines:
+            if approach == APPROACH_MX_ONLY:
+                runner = MXOnlyApproach(psl=self.world.psl)
+            elif approach == APPROACH_CERT:
+                runner = cert_based(self.world.trust_store, psl=self.world.psl)
+            elif approach == APPROACH_BANNER:
+                runner = banner_based(self.world.trust_store, psl=self.world.psl)
+            else:
+                raise ValueError(f"unknown baseline approach: {approach}")
+            self._baselines[key] = runner.run(measurements)
+        return self._baselines[key]
+
+    def all_approaches(
+        self, dataset: DatasetTag, snapshot_index: int
+    ) -> dict[str, dict[str, DomainInference]] | None:
+        priority = self.priority(dataset, snapshot_index)
+        if priority is None:
+            return None
+        return {
+            APPROACH_MX_ONLY: self.baseline(APPROACH_MX_ONLY, dataset, snapshot_index),
+            APPROACH_CERT: self.baseline(APPROACH_CERT, dataset, snapshot_index),
+            APPROACH_BANNER: self.baseline(APPROACH_BANNER, dataset, snapshot_index),
+            APPROACH_PRIORITY: priority,
+        }
+
+    # -- ground truth ----------------------------------------------------
+
+    def ground_truth(self, domain: str, snapshot_index: int) -> dict[str, float]:
+        return self.world.ground_truth(domain, snapshot_index)
+
+    def truth_fn(self, snapshot_index: int):
+        """A domain → truth callable bound to one snapshot."""
+        return lambda domain: self.world.ground_truth(domain, snapshot_index)
+
+
+_default_context: StudyContext | None = None
+_default_key: tuple | None = None
+
+
+def default_context() -> StudyContext:
+    """The shared REPRO_SCALE-sized context (built once per process)."""
+    global _default_context, _default_key
+    scale = env_scale()
+    key = ("default", scale)
+    if _default_context is None or _default_key != key:
+        _default_context = StudyContext.create(WorldConfig().scaled(scale))
+        _default_key = key
+    return _default_context

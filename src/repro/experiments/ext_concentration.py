@@ -1,0 +1,61 @@
+"""Extension experiment — consolidation as a single metric.
+
+Computes HHI / CR-k concentration of the inferred mail-provider market per
+snapshot, per corpus: the centralization the paper documents qualitatively
+in Figure 6, reduced to rising curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.concentration import ConcentrationPoint, concentration_series
+from ..analysis.render import format_table, sparkline
+from ..world.entities import DatasetTag
+from ..world.population import NUM_SNAPSHOTS
+from .common import StudyContext
+
+
+@dataclass
+class ExtConcentrationResult:
+    series: dict[DatasetTag, list[ConcentrationPoint | None]]
+
+    def _measured(self, dataset: DatasetTag) -> list[ConcentrationPoint]:
+        return [point for point in self.series[dataset] if point is not None]
+
+    def hhi_delta(self, dataset: DatasetTag) -> float:
+        measured = self._measured(dataset)
+        return measured[-1].hhi - measured[0].hhi
+
+    def render(self) -> str:
+        rows = []
+        for dataset, points in self.series.items():
+            measured = [p for p in points if p is not None]
+            first, last = measured[0], measured[-1]
+            hhi_values = [p.hhi if p is not None else float("nan") for p in points]
+            rows.append(
+                [
+                    dataset.value.upper(),
+                    f"{first.hhi:.0f} -> {last.hhi:.0f}",
+                    f"{100 * first.cr4:.1f}% -> {100 * last.cr4:.1f}%",
+                    f"{first.effective_providers:.1f} -> {last.effective_providers:.1f}",
+                    sparkline(hhi_values),
+                ]
+            )
+        return format_table(
+            ["Dataset", "HHI", "CR-4", "Effective providers", "HHI trend"],
+            rows,
+            title="Extension — concentration of the mail-provider market, 2017–2021",
+        )
+
+
+def run(ctx: StudyContext) -> ExtConcentrationResult:
+    series = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV):
+        per_snapshot = [
+            ctx.priority(dataset, index) for index in range(NUM_SNAPSHOTS)
+        ]
+        series[dataset] = concentration_series(
+            per_snapshot, ctx.domains(dataset), ctx.company_map
+        )
+    return ExtConcentrationResult(series=series)

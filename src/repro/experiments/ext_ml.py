@@ -1,0 +1,179 @@
+"""Extension experiment — learned misidentification detection.
+
+Trains the logistic detector of :mod:`repro.core.autocorrect` on one world
+and evaluates it on a *different* world (different seed → different
+domains, providers' customers, corner-case instances), then compares it
+with the paper's rule-based step 4 on the same held-out cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.render import format_table
+from ..core.autocorrect import EvaluationMetrics, LabeledCases, MisidentificationLearner
+from ..core.pipeline import PipelineConfig, PriorityPipeline
+from ..core.types import DomainInference, MXIdentity
+from ..measure.dataset import DomainMeasurement
+from ..world.build import WorldConfig
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+EVAL_SEED_OFFSET = 16
+
+
+@dataclass
+class ExtMLResult:
+    train_cases: int
+    train_positive_rate: float
+    eval_cases: int
+    eval_positive_rate: float
+    learned: EvaluationMetrics
+    rule_based: EvaluationMetrics
+    top_features: list[tuple[str, float]]
+
+    def render(self) -> str:
+        summary = format_table(
+            ["Split", "Cases", "Misidentified"],
+            [
+                ["train", self.train_cases, f"{100 * self.train_positive_rate:.1f}%"],
+                ["eval (held-out world)", self.eval_cases, f"{100 * self.eval_positive_rate:.1f}%"],
+            ],
+            title="Extension — learned misidentification detection (Section 3.4)",
+        )
+        comparison = format_table(
+            ["Detector", "Precision", "Recall", "F1"],
+            [
+                [
+                    "learned (logistic)",
+                    f"{100 * self.learned.precision:.1f}%",
+                    f"{100 * self.learned.recall:.1f}%",
+                    f"{100 * self.learned.f1:.1f}%",
+                ],
+                [
+                    "rule-based step 4",
+                    f"{100 * self.rule_based.precision:.1f}%",
+                    f"{100 * self.rule_based.recall:.1f}%",
+                    f"{100 * self.rule_based.f1:.1f}%",
+                ],
+            ],
+            title="Held-out detection quality",
+        )
+        features = format_table(
+            ["Feature", "Weight"],
+            [[name, f"{weight:+.2f}"] for name, weight in self.top_features],
+            title="Most informative features",
+        )
+        return "\n\n".join((summary, comparison, features))
+
+
+def _uncorrected_identities(
+    ctx: StudyContext, measurements: dict[str, DomainMeasurement]
+) -> dict[str, dict[str, MXIdentity]]:
+    """Per-domain steps-1–3 identities (step 4 disabled)."""
+    pipeline = PriorityPipeline(
+        ctx.world.trust_store, ctx.company_map, ctx.world.psl,
+        PipelineConfig(check_misidentifications=False),
+    )
+    result = pipeline.run(measurements)
+    return {
+        domain: {identity.mx_name: identity for identity in inference.mx_identities}
+        for domain, inference in result.inferences.items()
+    }
+
+
+def _corrected_flags(
+    ctx: StudyContext, measurements: dict[str, DomainMeasurement]
+) -> dict[str, dict[str, bool]]:
+    """Which (domain, MX) cases the rule-based step 4 changed."""
+    pipeline = PriorityPipeline(ctx.world.trust_store, ctx.company_map, ctx.world.psl)
+    result = pipeline.run(measurements)
+    return {
+        domain: {identity.mx_name: identity.corrected for identity in inference.mx_identities}
+        for domain, inference in result.inferences.items()
+    }
+
+
+def _gather_cases(
+    ctx: StudyContext, learner: MisidentificationLearner, snapshot_index: int
+) -> tuple[LabeledCases, dict[str, DomainMeasurement], dict[str, dict[str, MXIdentity]]]:
+    measurements: dict[str, DomainMeasurement] = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM):
+        gathered = ctx.measurements(dataset, snapshot_index)
+        assert gathered is not None
+        measurements.update(gathered)
+    identities = _uncorrected_identities(ctx, measurements)
+    cases = learner.build_cases(
+        measurements, identities, lambda domain: ctx.ground_truth(domain, snapshot_index)
+    )
+    return cases, measurements, identities
+
+
+def _rule_based_metrics(
+    ctx: StudyContext,
+    measurements: dict[str, DomainMeasurement],
+    cases: LabeledCases,
+    identities: dict[str, dict[str, MXIdentity]],
+) -> EvaluationMetrics:
+    flags = _corrected_flags(ctx, measurements)
+    tp = fp = fn = tn = 0
+    index = 0
+    for domain, by_mx in identities.items():
+        measurement = measurements[domain]
+        for mx in measurement.primary_mx:
+            if mx.name not in by_mx:
+                continue
+            label = int(cases.labels[index])
+            predicted = 1 if flags.get(domain, {}).get(mx.name, False) else 0
+            index += 1
+            if predicted and label:
+                tp += 1
+            elif predicted and not label:
+                fp += 1
+            elif not predicted and label:
+                fn += 1
+            else:
+                tn += 1
+    return EvaluationMetrics(
+        true_positives=tp, false_positives=fp, false_negatives=fn, true_negatives=tn
+    )
+
+
+def run(ctx: StudyContext, snapshot_index: int = LAST_SNAPSHOT) -> ExtMLResult:
+    learner = MisidentificationLearner(ctx.company_map, ctx.world.psl)
+    train_cases, _, _ = _gather_cases(ctx, learner, snapshot_index)
+    learner.train(train_cases)
+
+    # Held-out world: new seed, smaller corpora (enough corner cases).
+    base = ctx.world.config
+    eval_config = WorldConfig(
+        seed=base.seed + EVAL_SEED_OFFSET,
+        alexa_size=max(200, base.alexa_size // 2),
+        com_size=max(200, base.com_size // 2),
+        gov_size=max(50, base.gov_size // 2),
+    )
+    eval_ctx = StudyContext.create(eval_config)
+    eval_learner = MisidentificationLearner(eval_ctx.company_map, eval_ctx.world.psl)
+    eval_learner.model = learner.model
+    eval_cases, eval_measurements, eval_identities = _gather_cases(
+        eval_ctx, eval_learner, snapshot_index
+    )
+
+    learned = eval_learner.evaluate(eval_cases)
+    rule_based = _rule_based_metrics(
+        eval_ctx, eval_measurements, eval_cases, eval_identities
+    )
+
+    importance = sorted(
+        learner.model.feature_importance().items(),
+        key=lambda item: -abs(item[1]),
+    )[:6]
+    return ExtMLResult(
+        train_cases=len(train_cases.labels),
+        train_positive_rate=train_cases.positive_rate,
+        eval_cases=len(eval_cases.labels),
+        eval_positive_rate=eval_cases.positive_rate,
+        learned=learned,
+        rule_based=rule_based,
+        top_features=importance,
+    )

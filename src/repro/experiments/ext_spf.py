@@ -1,0 +1,75 @@
+"""Extension experiment — SPF-revealed eventual providers.
+
+Not a paper table: this implements the future-work heuristic of Section
+3.4 and reports (a) how often SPF reveals the mailbox provider behind a
+filtering front, and (b) how the Google/Microsoft counts grow once those
+hidden customers are re-attributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.eventual import (
+    EventualProviderReport,
+    adjusted_mailbox_counts,
+    eventual_provider_report,
+)
+from ..analysis.market_share import compute_market_share
+from ..analysis.render import format_table
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+
+@dataclass
+class ExtSPFResult:
+    reports: dict[DatasetTag, EventualProviderReport]
+    adjustments: dict[DatasetTag, list[tuple[str, float, float]]]
+
+    def render(self) -> str:
+        rows = []
+        for dataset, report in self.reports.items():
+            rows.append(
+                [
+                    dataset.value.upper(),
+                    report.filtered_total,
+                    report.revealed,
+                    f"{100 * report.reveal_rate:.0f}%",
+                ]
+            )
+        summary = format_table(
+            ["Dataset", "Filter-fronted domains", "SPF reveals mailbox", "Rate"],
+            rows,
+            title="Extension — eventual providers behind e-mail security services",
+        )
+        adjustment_rows = []
+        for dataset, entries in self.adjustments.items():
+            for slug, before, after in entries:
+                adjustment_rows.append(
+                    [dataset.value.upper(), slug, before, after, f"+{after - before:.0f}"]
+                )
+        adjustments = format_table(
+            ["Dataset", "Mailbox provider", "MX-level count", "With SPF", "Hidden customers"],
+            adjustment_rows,
+            title="Mailbox-provider counts after re-attributing filtered domains",
+        )
+        return summary + "\n\n" + adjustments
+
+
+def run(ctx: StudyContext, snapshot_index: int = LAST_SNAPSHOT) -> ExtSPFResult:
+    reports = {}
+    adjustments = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.GOV):
+        measurements = ctx.measurements(dataset, snapshot_index)
+        inferences = ctx.priority(dataset, snapshot_index)
+        assert measurements is not None and inferences is not None
+        report = eventual_provider_report(measurements, inferences, ctx.company_map)
+        reports[dataset] = report
+
+        share = compute_market_share(inferences, ctx.domains(dataset), ctx.company_map)
+        base = {slug: share.count_of(slug) for slug in ("google", "microsoft")}
+        adjusted = adjusted_mailbox_counts(report, base)
+        adjustments[dataset] = [
+            (slug, base[slug], adjusted[slug]) for slug in ("google", "microsoft")
+        ]
+    return ExtSPFResult(reports=reports, adjustments=adjustments)

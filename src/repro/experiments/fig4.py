@@ -1,0 +1,71 @@
+"""Experiment E2 — Figure 4: accuracy of the four approaches.
+
+For each corpus, samples 200 SMTP-running domains (plain and unique-MX)
+and scores MX-only, cert-based, banner-based and priority-based inference
+against ground truth, reporting step-4 examination counts for the
+priority approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.accuracy import AccuracyEvaluation, evaluate_approaches
+from ..analysis.render import format_table
+from ..core.baselines import ALL_APPROACHES
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+DATASET_TITLES = {
+    DatasetTag.ALEXA: "Alexa",
+    DatasetTag.COM: ".com",
+    DatasetTag.GOV: ".gov",
+}
+
+
+@dataclass
+class Fig4Result:
+    evaluations: dict[DatasetTag, AccuracyEvaluation]
+
+    def render(self) -> str:
+        rows = []
+        for dataset, evaluation in self.evaluations.items():
+            for cell in evaluation.cells:
+                rows.append(
+                    [
+                        cell.sample_set,
+                        cell.approach,
+                        f"{cell.correct}/{cell.total}",
+                        f"{100 * cell.accuracy:.1f}%",
+                        cell.examined if cell.approach == "priority-based" else "",
+                    ]
+                )
+        return format_table(
+            ["Sample", "Approach", "Correct", "Accuracy", "Examined (step 4)"],
+            rows,
+            title="Figure 4 — accuracy of inference approaches on 200-domain samples",
+        )
+
+
+def run(
+    ctx: StudyContext,
+    snapshot_index: int = LAST_SNAPSHOT,
+    sample_size: int = 200,
+    seed: int = 1729,
+) -> Fig4Result:
+    evaluations: dict[DatasetTag, AccuracyEvaluation] = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV):
+        measurements = ctx.measurements(dataset, snapshot_index)
+        approaches = ctx.all_approaches(dataset, snapshot_index)
+        assert measurements is not None and approaches is not None
+        assert set(approaches) == set(ALL_APPROACHES)
+        evaluations[dataset] = evaluate_approaches(
+            dataset_name=DATASET_TITLES[dataset],
+            measurements=measurements,
+            inferences_by_approach=approaches,
+            ground_truth_of=ctx.truth_fn(snapshot_index),
+            company_map=ctx.company_map,
+            sample_size=sample_size,
+            seed=seed,
+        )
+    return Fig4Result(evaluations=evaluations)

@@ -1,0 +1,86 @@
+"""Experiment E5 — Figure 5: top companies per domain set (June 2021).
+
+Reports the top-5 companies for the Alexa Top 1k / 10k / 100k / full set,
+the random ``.com`` corpus, and federal / non-federal / all ``.gov``
+domains, with counts and percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.market_share import ShareRow, compute_market_share, top_rows_with_display
+from ..analysis.render import format_count_percent, format_table
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+
+@dataclass
+class Fig5Result:
+    # ordered mapping: panel title → top-k rows
+    panels: dict[str, list[ShareRow]]
+
+    def render(self) -> str:
+        sections = []
+        for title, rows in self.panels.items():
+            table_rows = [
+                [row.rank, row.display, format_count_percent(row.count, row.percent)]
+                for row in rows
+            ]
+            sections.append(
+                format_table(["#", "Company", "Domains"], table_rows, title=title)
+            )
+        header = "Figure 5 — top providers per domain set (June 2021)"
+        return header + "\n\n" + "\n\n".join(sections)
+
+
+def _alexa_rank_slice(ctx: StudyContext, max_rank: int | None) -> list[str]:
+    return sorted(
+        entity.name
+        for entity in ctx.world.domains_in(DatasetTag.ALEXA)
+        if max_rank is None or (entity.alexa_rank or 0) <= max_rank
+    )
+
+
+def _gov_slice(ctx: StudyContext, federal: bool | None) -> list[str]:
+    return sorted(
+        entity.name
+        for entity in ctx.world.domains_in(DatasetTag.GOV)
+        if federal is None or entity.is_federal is federal
+    )
+
+
+def run(ctx: StudyContext, snapshot_index: int = LAST_SNAPSHOT, k: int = 5) -> Fig5Result:
+    panels: dict[str, list[ShareRow]] = {}
+
+    alexa_inferences = ctx.priority(DatasetTag.ALEXA, snapshot_index)
+    assert alexa_inferences is not None
+    for title, max_rank in (
+        ("Alexa Top 1k", 1_000),
+        ("Alexa Top 10k", 10_000),
+        ("Alexa Top 100k", 100_000),
+        ("Alexa Top 1M", None),
+    ):
+        domains = _alexa_rank_slice(ctx, max_rank)
+        share = compute_market_share(alexa_inferences, domains, ctx.company_map)
+        panels[title] = top_rows_with_display(share, ctx.company_map, k)
+
+    com_inferences = ctx.priority(DatasetTag.COM, snapshot_index)
+    assert com_inferences is not None
+    com_share = compute_market_share(
+        com_inferences, ctx.domains(DatasetTag.COM), ctx.company_map
+    )
+    panels["COM"] = top_rows_with_display(com_share, ctx.company_map, k)
+
+    gov_inferences = ctx.priority(DatasetTag.GOV, snapshot_index)
+    assert gov_inferences is not None
+    for title, federal in (
+        ("GOV (federal)", True),
+        ("GOV (non-federal)", False),
+        ("GOV (all)", None),
+    ):
+        domains = _gov_slice(ctx, federal)
+        share = compute_market_share(gov_inferences, domains, ctx.company_map)
+        panels[title] = top_rows_with_display(share, ctx.company_map, k)
+
+    return Fig5Result(panels=panels)

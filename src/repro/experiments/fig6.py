@@ -1,0 +1,129 @@
+"""Experiment E6 — Figure 6 (a–i): longitudinal market share.
+
+Nine panels: for each corpus (Alexa, .com, .gov), the top-company series,
+the five e-mail security companies, and the five web hosting companies,
+across every snapshot of the study window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.longitudinal import LongitudinalResult, market_share_over_time
+from ..analysis.market_share import compute_market_share
+from ..analysis.render import format_percent, format_table, sparkline
+from ..core.companies import SELF_LABEL
+from ..world.entities import DatasetTag
+from ..world.population import NUM_SNAPSHOTS
+from .common import StudyContext
+
+# The fixed company panels of Figures 6b/e/h and 6c/f/i.
+SECURITY_PANEL = ("proofpoint", "mimecast", "barracuda", "ironport", "appriver")
+HOSTING_PANEL = ("godaddy", "ovh", "unitedinternet", "ukraine_ua", "namecheap")
+
+
+@dataclass
+class Fig6Panel:
+    title: str
+    result: LongitudinalResult
+    labels: list[str]
+
+    def render(self) -> str:
+        rows = []
+        for label in self.labels + [SELF_LABEL]:
+            if label not in self.result.series:
+                continue
+            series = self.result.series[label]
+            rows.append(
+                [
+                    series.display,
+                    format_percent(series.first_measured),
+                    format_percent(series.last_measured),
+                    f"{series.delta_percent():+.1f}pp",
+                    sparkline(series.percents),
+                ]
+            )
+        total = self.result.total_series(self.labels)
+        rows.append(
+            [
+                "Total",
+                format_percent(total.first_measured),
+                format_percent(total.last_measured),
+                f"{total.delta_percent():+.1f}pp",
+                sparkline(total.percents),
+            ]
+        )
+        return format_table(
+            ["Company", "First", "Last", "Δ", "Trend"], rows, title=self.title
+        )
+
+
+@dataclass
+class Fig6Result:
+    panels: dict[str, Fig6Panel]
+
+    def render(self) -> str:
+        header = "Figure 6 — market share of service types, 2017–2021"
+        return header + "\n\n" + "\n\n".join(
+            panel.render() for panel in self.panels.values()
+        )
+
+    def panel(self, key: str) -> Fig6Panel:
+        return self.panels[key]
+
+
+def _snapshot_inferences(ctx: StudyContext, dataset: DatasetTag):
+    return [ctx.priority(dataset, index) for index in range(NUM_SNAPSHOTS)]
+
+
+def top_company_labels(ctx: StudyContext, dataset: DatasetTag, k: int = 5) -> list[str]:
+    """Top-k companies in the final snapshot (the Figure 5 panel set)."""
+    inferences = ctx.priority(dataset, NUM_SNAPSHOTS - 1)
+    assert inferences is not None
+    share = compute_market_share(inferences, ctx.domains(dataset), ctx.company_map)
+    return [row.label for row in share.top(k)]
+
+
+def run(ctx: StudyContext) -> Fig6Result:
+    panels: dict[str, Fig6Panel] = {}
+    dataset_titles = {
+        DatasetTag.ALEXA: "Alexa",
+        DatasetTag.COM: "COM",
+        DatasetTag.GOV: "GOV",
+    }
+    panel_specs = {
+        "top": ("Top Companies", None),
+        "security": ("Popular E-mail Security Companies", list(SECURITY_PANEL)),
+        "hosting": ("Popular Web Hosting Companies", list(HOSTING_PANEL)),
+    }
+    for dataset, dataset_title in dataset_titles.items():
+        per_snapshot = _snapshot_inferences(ctx, dataset)
+        domains = ctx.domains(dataset)
+        for panel_key, (panel_title, labels) in panel_specs.items():
+            panel_labels = labels if labels is not None else top_company_labels(ctx, dataset)
+            result = market_share_over_time(
+                per_snapshot, domains, ctx.company_map, panel_labels,
+                include_self_hosted=(panel_key == "top"),
+            )
+            key = f"{dataset.value}:{panel_key}"
+            panels[key] = Fig6Panel(
+                title=f"(6{_panel_letter(dataset, panel_key)}) {panel_title} in {dataset_title}",
+                result=result,
+                labels=panel_labels,
+            )
+    return Fig6Result(panels=panels)
+
+
+def _panel_letter(dataset: DatasetTag, panel_key: str) -> str:
+    order = {
+        (DatasetTag.ALEXA, "top"): "a",
+        (DatasetTag.ALEXA, "security"): "b",
+        (DatasetTag.ALEXA, "hosting"): "c",
+        (DatasetTag.COM, "top"): "d",
+        (DatasetTag.COM, "security"): "e",
+        (DatasetTag.COM, "hosting"): "f",
+        (DatasetTag.GOV, "top"): "g",
+        (DatasetTag.GOV, "security"): "h",
+        (DatasetTag.GOV, "hosting"): "i",
+    }
+    return order[(dataset, panel_key)]

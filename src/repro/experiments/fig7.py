@@ -1,0 +1,60 @@
+"""Experiment E7 — Figure 7: churn in mail providers, Alexa 2017 → 2021."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.churn import ChurnMatrix, churn_matrix
+from ..analysis.render import format_table
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+
+@dataclass
+class Fig7Result:
+    matrix: ChurnMatrix
+    first_year: int
+    last_year: int
+
+    def render(self) -> str:
+        categories = self.matrix.categories
+        rows = []
+        for source in categories:
+            rows.append(
+                [f"{source} {self.first_year}"]
+                + [self.matrix.flow(source, target) for target in categories]
+                + [self.matrix.total_from(source)]
+            )
+        headers = ["From \\ To"] + [f"{c} {self.last_year}" for c in categories] + ["Total"]
+        flow_table = format_table(
+            headers, rows,
+            title=f"Figure 7 — churn in mail providers, Alexa {self.first_year}→{self.last_year}",
+        )
+        summary_rows = [
+            [category,
+             self.matrix.stayed(category),
+             self.matrix.outgoing(category),
+             self.matrix.incoming(category)]
+            for category in categories
+        ]
+        summary = format_table(
+            ["Category", "Stayed", "Left", "Joined"], summary_rows, title="Node summary"
+        )
+        return flow_table + "\n\n" + summary
+
+
+def run(
+    ctx: StudyContext,
+    dataset: DatasetTag = DatasetTag.ALEXA,
+    first_snapshot: int = 0,
+    last_snapshot: int = LAST_SNAPSHOT,
+) -> Fig7Result:
+    first = ctx.priority(dataset, first_snapshot)
+    last = ctx.priority(dataset, last_snapshot)
+    assert first is not None and last is not None
+    matrix = churn_matrix(first, last, ctx.domains(dataset), ctx.company_map)
+    return Fig7Result(
+        matrix=matrix,
+        first_year=ctx.world.snapshot_dates[first_snapshot].year,
+        last_year=ctx.world.snapshot_dates[last_snapshot].year,
+    )

@@ -1,0 +1,55 @@
+"""Experiment E8 — Figure 8: mail-provider preferences by country (ccTLD)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.country import CCTLDS, FOCAL_PROVIDERS, CountryPreferences, country_preferences
+from ..analysis.render import format_percent, format_table
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+
+@dataclass
+class Fig8Result:
+    preferences: CountryPreferences
+
+    def render(self) -> str:
+        rows = []
+        for cctld in self.preferences.cctlds:
+            total = self.preferences.cell(cctld, self.preferences.providers[0]).total_domains
+            rows.append(
+                [f".{cctld}", total]
+                + [
+                    format_percent(self.preferences.percent(cctld, provider))
+                    for provider in self.preferences.providers
+                ]
+                + [format_percent(self.preferences.us_share(cctld))]
+            )
+        headers = (
+            ["ccTLD", "Domains"]
+            + [provider.capitalize() for provider in self.preferences.providers]
+            + ["US total"]
+        )
+        return format_table(
+            headers, rows,
+            title="Figure 8 — mail provider preferences by country (June 2021)",
+        )
+
+
+def domains_by_cctld(ctx: StudyContext) -> dict[str, list[str]]:
+    """Alexa domains under each of the fifteen ccTLDs of Section 5.4."""
+    by_cctld: dict[str, list[str]] = {cctld: [] for cctld in CCTLDS}
+    for entity in ctx.world.domains_in(DatasetTag.ALEXA):
+        if entity.cctld in by_cctld:
+            by_cctld[entity.cctld].append(entity.name)
+    return {cctld: sorted(domains) for cctld, domains in by_cctld.items() if domains}
+
+
+def run(ctx: StudyContext, snapshot_index: int = LAST_SNAPSHOT) -> Fig8Result:
+    inferences = ctx.priority(DatasetTag.ALEXA, snapshot_index)
+    assert inferences is not None
+    preferences = country_preferences(
+        inferences, domains_by_cctld(ctx), ctx.company_map, FOCAL_PROVIDERS
+    )
+    return Fig8Result(preferences=preferences)

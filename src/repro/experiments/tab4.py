@@ -1,0 +1,45 @@
+"""Experiment E3 — Table 4: data-availability breakdown (June 2021)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.filtering import CATEGORIES, AvailabilityBreakdown, availability_breakdown
+from ..analysis.render import format_table
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+DATASET_COLUMNS = {
+    DatasetTag.ALEXA: "Alexa Domains",
+    DatasetTag.COM: "COM Domains",
+    DatasetTag.GOV: "GOV Domains",
+}
+
+
+@dataclass
+class Tab4Result:
+    breakdowns: dict[DatasetTag, AvailabilityBreakdown]
+
+    def render(self) -> str:
+        headers = ["Category"] + [DATASET_COLUMNS[d] for d in self.breakdowns]
+        rows = []
+        for category in CATEGORIES:
+            rows.append(
+                [category]
+                + [self.breakdowns[d].counts.get(category, 0) for d in self.breakdowns]
+            )
+        rows.append(["Total"] + [self.breakdowns[d].total for d in self.breakdowns])
+        return format_table(
+            headers, rows, title="Table 4 — breakdown of the June 2021 snapshot"
+        )
+
+
+def run(ctx: StudyContext, snapshot_index: int = LAST_SNAPSHOT) -> Tab4Result:
+    breakdowns = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV):
+        measurements = ctx.measurements(dataset, snapshot_index)
+        assert measurements is not None
+        breakdowns[dataset] = availability_breakdown(
+            measurements, ctx.world.trust_store, ctx.world.psl
+        )
+    return Tab4Result(breakdowns=breakdowns)

@@ -1,0 +1,76 @@
+"""Experiment E4 — Table 5: provider IDs operated by one company.
+
+Empirically collects, from a pipeline run, the distinct provider IDs that
+resolve to each focal company together with the ASNs its infrastructure is
+announced from — the Microsoft / ProofPoint table of Section 4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.render import format_table
+from ..core.types import DomainStatus
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+FOCAL_COMPANIES = ("microsoft", "proofpoint")
+
+
+@dataclass
+class Tab5Result:
+    # company slug → (provider IDs observed, ASNs observed)
+    entries: dict[str, tuple[list[str], list[tuple[int, str]]]]
+
+    def render(self) -> str:
+        rows = []
+        for slug, (provider_ids, asns) in self.entries.items():
+            depth = max(len(provider_ids), len(asns))
+            for index in range(depth):
+                rows.append(
+                    [
+                        slug if index == 0 else "",
+                        provider_ids[index] if index < len(provider_ids) else "",
+                        f"{asns[index][0]} ({asns[index][1]})" if index < len(asns) else "",
+                    ]
+                )
+        return format_table(
+            ["Company", "Provider ID", "ASN"],
+            rows,
+            title="Table 5 — provider IDs operated by focal companies",
+        )
+
+
+def run(
+    ctx: StudyContext,
+    snapshot_index: int = LAST_SNAPSHOT,
+    companies: tuple[str, ...] = FOCAL_COMPANIES,
+) -> Tab5Result:
+    observed_ids: dict[str, set[str]] = {slug: set() for slug in companies}
+    observed_asns: dict[str, set[tuple[int, str]]] = {slug: set() for slug in companies}
+
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV):
+        inferences = ctx.priority(dataset, snapshot_index)
+        measurements = ctx.measurements(dataset, snapshot_index)
+        assert inferences is not None and measurements is not None
+        for domain, inference in inferences.items():
+            if inference.status is not DomainStatus.INFERRED:
+                continue
+            mx_by_name = {mx.name: mx for mx in measurements[domain].primary_mx}
+            for identity in inference.mx_identities:
+                slug = ctx.company_map.slug_for_provider_id(identity.provider_id)
+                if slug not in observed_ids:
+                    continue
+                observed_ids[slug].add(identity.provider_id)
+                mx = mx_by_name.get(identity.mx_name)
+                if mx is None:
+                    continue
+                for ip in mx.ips:
+                    if ip.as_info is not None:
+                        observed_asns[slug].add((ip.as_info.asn, ip.as_info.name))
+
+    entries = {
+        slug: (sorted(observed_ids[slug]), sorted(observed_asns[slug]))
+        for slug in companies
+    }
+    return Tab5Result(entries=entries)

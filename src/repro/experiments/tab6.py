@@ -1,0 +1,58 @@
+"""Experiment E9 — Table 6 (appendix): top-15 companies per corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.market_share import ShareRow, compute_market_share, top_rows_with_display
+from ..analysis.render import format_count_percent, format_table
+from ..world.entities import DatasetTag
+from .common import LAST_SNAPSHOT, StudyContext
+
+
+@dataclass
+class Tab6Result:
+    rankings: dict[DatasetTag, list[ShareRow]]
+    totals: dict[DatasetTag, tuple[float, float]]  # (count, percent) of top-15
+
+    def render(self) -> str:
+        datasets = list(self.rankings)
+        headers = ["Rank"] + [dataset.value.upper() for dataset in datasets]
+        depth = max(len(rows) for rows in self.rankings.values())
+        rows = []
+        for index in range(depth):
+            row: list[object] = [index + 1]
+            for dataset in datasets:
+                ranking = self.rankings[dataset]
+                if index < len(ranking):
+                    entry = ranking[index]
+                    row.append(
+                        f"{entry.display} {format_count_percent(entry.count, entry.percent)}"
+                    )
+                else:
+                    row.append("")
+            rows.append(row)
+        total_row: list[object] = ["Total"]
+        for dataset in datasets:
+            count, percent = self.totals[dataset]
+            total_row.append(format_count_percent(count, percent))
+        rows.append(total_row)
+        return format_table(
+            headers, rows, title="Table 6 — top 15 companies per dataset (June 2021)"
+        )
+
+
+def run(ctx: StudyContext, snapshot_index: int = LAST_SNAPSHOT, k: int = 15) -> Tab6Result:
+    rankings = {}
+    totals = {}
+    for dataset in (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV):
+        inferences = ctx.priority(dataset, snapshot_index)
+        assert inferences is not None
+        domains = ctx.domains(dataset)
+        share = compute_market_share(inferences, domains, ctx.company_map)
+        rows = top_rows_with_display(share, ctx.company_map, k)
+        rankings[dataset] = rows
+        count = sum(row.count for row in rows)
+        percent = sum(row.percent for row in rows)
+        totals[dataset] = (count, percent)
+    return Tab6Result(rankings=rankings, totals=totals)

@@ -1,0 +1,21 @@
+"""Measurement substrates: OpenINTEL, Censys, CAIDA, and the joined dataset."""
+
+from .caida import ASInfo, Prefix2ASDataset
+from .censys import CensysScanner, Port25State, PortScanRecord
+from .dataset import DomainMeasurement, IPObservation, MeasurementGatherer, MXData
+from .openintel import DNSSnapshotRecord, MXObservation, OpenINTELPlatform
+
+__all__ = [
+    "ASInfo",
+    "CensysScanner",
+    "DNSSnapshotRecord",
+    "DomainMeasurement",
+    "IPObservation",
+    "MXData",
+    "MXObservation",
+    "MeasurementGatherer",
+    "OpenINTELPlatform",
+    "Port25State",
+    "PortScanRecord",
+    "Prefix2ASDataset",
+]

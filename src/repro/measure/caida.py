@@ -1,0 +1,70 @@
+"""CAIDA Routeviews prefix2as snapshots.
+
+The paper augments every IP address with routing information from CAIDA's
+prefix-to-AS dataset [6].  :class:`Prefix2ASDataset` is the file-shaped
+artifact: a frozen list of (prefix, origin ASN) rows exported from the live
+routing table, with its own LPM lookup, so the inference pipeline consumes
+a dataset snapshot rather than the simulator's internals — exactly as the
+real pipeline consumes a downloaded file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.asn import AutonomousSystem, PrefixToASTable
+from ..netsim.ip import IPv4Prefix
+
+
+@dataclass(frozen=True)
+class ASInfo:
+    """Routing metadata for one address: origin AS number, name, country."""
+
+    asn: int
+    name: str
+    country: str
+
+
+class Prefix2ASDataset:
+    """An immutable prefix→AS snapshot with longest-prefix-match lookup."""
+
+    def __init__(
+        self,
+        rows: list[tuple[IPv4Prefix, int]],
+        as_index: dict[int, AutonomousSystem],
+    ):
+        self._table = PrefixToASTable()
+        for asys in as_index.values():
+            self._table.register_as(asys)
+        for prefix, asn in rows:
+            self._table.announce(prefix, asn)
+        self._rows = list(rows)
+
+    @classmethod
+    def from_table(cls, table: PrefixToASTable) -> "Prefix2ASDataset":
+        """Export a snapshot from a live routing table."""
+        as_index = {asys.number: asys for asys in table.autonomous_systems()}
+        return cls(rows=table.announcements(), as_index=as_index)
+
+    def lookup(self, address: str) -> ASInfo | None:
+        asys = self._table.lookup(address)
+        if asys is None:
+            return None
+        return ASInfo(asn=asys.number, name=asys.name, country=asys.country)
+
+    def lookup_asn(self, address: str) -> int | None:
+        return self._table.lookup_asn(address)
+
+    def rows(self) -> list[tuple[IPv4Prefix, int]]:
+        """The dataset rows, as they would appear in the published file."""
+        return list(self._rows)
+
+    def to_lines(self) -> list[str]:
+        """Render in the Routeviews ``prefix<TAB>length<TAB>asn`` format."""
+        return [
+            f"{prefix.first}\t{prefix.length}\t{asn}"
+            for prefix, asn in self._rows
+        ]
+
+    def __len__(self) -> int:
+        return len(self._rows)

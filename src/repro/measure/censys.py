@@ -1,0 +1,108 @@
+"""Censys-style Internet-wide port-25 scanning.
+
+Models the scan data the paper consumes from Censys [12] (Section 4.2.2):
+per-IP, per-day application-layer captures of the SMTP banner, the EHLO
+response, and any STARTTLS certificate — including the platform's blind
+spots: addresses can be missing from the data entirely (owner opt-outs,
+intermittent failures; the paper calls out EIG specifically), and covered
+addresses may simply not listen on port 25.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Callable
+
+from ..smtp.server import SMTP_RELAY_PORT, SMTPHostTable
+from ..smtp.session import SessionOutcome, SMTPClient
+from ..tls.cert import Certificate
+
+
+class Port25State(enum.Enum):
+    """What the scanner observed on TCP port 25."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class PortScanRecord:
+    """One IP's port-25 capture on one scan day."""
+
+    address: str
+    scanned_on: date
+    state: Port25State
+    banner: str | None = None
+    ehlo: str | None = None
+    starttls: bool = False
+    certificate: Certificate | None = None
+
+    @property
+    def has_smtp(self) -> bool:
+        return self.state is Port25State.OPEN
+
+
+def _coverage_roll(address: str, scanned_on: date) -> float:
+    """Deterministic uniform roll for coverage decisions."""
+    return zlib.crc32(f"{address}|{scanned_on.isoformat()}".encode()) / 0xFFFFFFFF
+
+
+@dataclass
+class CensysScanner:
+    """Scans the simulated IPv4 space and serves per-IP records.
+
+    ``coverage_for`` maps an address to the probability that Censys has any
+    data for it on a given day; misses are deterministic in (address, date).
+    """
+
+    host_table: SMTPHostTable
+    coverage_for: Callable[[str], float] = lambda _address: 1.0
+    helo_name: str = "scanner.censys.io"
+    _cache: dict[tuple[str, date], PortScanRecord | None] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._client = SMTPClient(self.host_table, helo_name=self.helo_name)
+
+    def scan_address(self, address: str, scanned_on: date) -> PortScanRecord | None:
+        """Scan one address; None models "Censys has no data for this IP"."""
+        key = (address, scanned_on)
+        if key not in self._cache:
+            self._cache[key] = self._scan_uncached(address, scanned_on)
+        return self._cache[key]
+
+    def _scan_uncached(self, address: str, scanned_on: date) -> PortScanRecord | None:
+        if _coverage_roll(address, scanned_on) >= self.coverage_for(address):
+            return None
+        result = self._client.probe(address, port=SMTP_RELAY_PORT)
+        if result.outcome is SessionOutcome.TIMEOUT:
+            return PortScanRecord(
+                address=address, scanned_on=scanned_on, state=Port25State.TIMEOUT
+            )
+        if result.outcome is SessionOutcome.CONNECTION_REFUSED:
+            return PortScanRecord(
+                address=address, scanned_on=scanned_on, state=Port25State.CLOSED
+            )
+        return PortScanRecord(
+            address=address,
+            scanned_on=scanned_on,
+            state=Port25State.OPEN,
+            banner=result.banner_text,
+            ehlo=result.ehlo_identity,
+            starttls=result.starttls_offered,
+            certificate=result.certificate,
+        )
+
+    def scan_many(
+        self, addresses: list[str], scanned_on: date
+    ) -> dict[str, PortScanRecord]:
+        """Scan a batch; addresses without data are omitted (as in the API)."""
+        records = {}
+        for address in addresses:
+            record = self.scan_address(address, scanned_on)
+            if record is not None:
+                records[address] = record
+        return records

@@ -1,0 +1,131 @@
+"""The joined measurement dataset: what the inference pipeline consumes.
+
+Reproduces Section 4.3 ("Data Gathering"): starting from a target list and
+a snapshot, pull MX + A records from OpenINTEL, augment addresses with
+CAIDA routing data, and attach Censys port-25 captures.  The result is one
+:class:`DomainMeasurement` per domain — the single input type for both the
+priority-based approach and the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from .caida import ASInfo, Prefix2ASDataset
+from .censys import CensysScanner, PortScanRecord
+from .openintel import DNSSnapshotRecord, OpenINTELPlatform
+
+
+@dataclass(frozen=True)
+class IPObservation:
+    """One resolved MX address with routing and scan context."""
+
+    address: str
+    as_info: ASInfo | None
+    scan: PortScanRecord | None  # None = Censys has no data for this IP
+
+    @property
+    def has_smtp(self) -> bool:
+        return self.scan is not None and self.scan.has_smtp
+
+
+@dataclass(frozen=True)
+class MXData:
+    """One MX record with fully joined per-address observations."""
+
+    name: str
+    preference: int
+    ips: tuple[IPObservation, ...]
+
+    @property
+    def resolved(self) -> bool:
+        return bool(self.ips)
+
+    @property
+    def has_smtp(self) -> bool:
+        return any(ip.has_smtp for ip in self.ips)
+
+
+@dataclass(frozen=True)
+class DomainMeasurement:
+    """Everything measured about one domain on one snapshot day."""
+
+    domain: str
+    measured_on: date
+    mx_set: tuple[MXData, ...]
+    txt: tuple[str, ...] = ()  # apex TXT records (SPF policies)
+
+    @property
+    def spf_records(self) -> tuple[str, ...]:
+        return tuple(t for t in self.txt if t.lower().startswith("v=spf1"))
+
+    @property
+    def has_mx(self) -> bool:
+        return bool(self.mx_set)
+
+    @property
+    def primary_mx(self) -> tuple[MXData, ...]:
+        """The most-preferred MX records (the paper's "primary" provider)."""
+        if not self.mx_set:
+            return ()
+        best = min(mx.preference for mx in self.mx_set)
+        return tuple(mx for mx in self.mx_set if mx.preference == best)
+
+    @property
+    def has_smtp_server(self) -> bool:
+        return any(mx.has_smtp for mx in self.mx_set)
+
+    def all_ips(self) -> list[IPObservation]:
+        seen: dict[str, IPObservation] = {}
+        for mx in self.mx_set:
+            for ip in mx.ips:
+                seen.setdefault(ip.address, ip)
+        return list(seen.values())
+
+
+@dataclass
+class MeasurementGatherer:
+    """Joins the three data sources into per-domain measurements."""
+
+    openintel: OpenINTELPlatform
+    censys: CensysScanner
+    prefix2as: Prefix2ASDataset
+
+    def gather_domain(self, domain: str, snapshot_index: int) -> DomainMeasurement | None:
+        """Join all sources for one domain; None when out of DNS coverage."""
+        dns_record = self.openintel.measure_domain(domain, snapshot_index)
+        if dns_record is None:
+            return None
+        return self._join(dns_record)
+
+    def gather(
+        self, domains: list[str], snapshot_index: int
+    ) -> dict[str, DomainMeasurement]:
+        """Join all sources for a target list at one snapshot."""
+        measurements = {}
+        for domain, dns_record in self.openintel.measure(domains, snapshot_index).items():
+            measurements[domain] = self._join(dns_record)
+        return measurements
+
+    def _join(self, dns_record: DNSSnapshotRecord) -> DomainMeasurement:
+        scanned_on = dns_record.measured_on
+        mx_set = []
+        for observation in dns_record.mx:
+            ips = tuple(
+                IPObservation(
+                    address=address,
+                    as_info=self.prefix2as.lookup(address),
+                    scan=self.censys.scan_address(address, scanned_on),
+                )
+                for address in observation.addresses
+            )
+            mx_set.append(
+                MXData(name=observation.name, preference=observation.preference, ips=ips)
+            )
+        return DomainMeasurement(
+            domain=dns_record.domain,
+            measured_on=scanned_on,
+            mx_set=tuple(mx_set),
+            txt=dns_record.txt,
+        )

@@ -1,0 +1,190 @@
+"""Dataset export / import: JSONL serialization of measurement records.
+
+OpenINTEL and Censys publish their measurements as files (Avro/JSON); the
+paper's pipeline consumes those files, not live services.  This module
+provides the same decoupling for the simulator: DNS snapshot records and
+port-25 scan records serialize to JSON lines and load back into the exact
+objects the inference pipeline consumes, so a measurement run can be
+persisted once and re-analyzed many times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import date
+from typing import Iterable, Iterator, TextIO
+
+from ..tls.cert import Certificate
+from .censys import Port25State, PortScanRecord
+from .openintel import DNSSnapshotRecord, MXObservation
+
+
+class ExportError(ValueError):
+    """Raised on malformed exported data."""
+
+
+# ---------------------------------------------------------------------------
+# certificates
+# ---------------------------------------------------------------------------
+
+def certificate_to_dict(cert: Certificate) -> dict:
+    return {
+        "subject_cn": cert.subject_cn,
+        "sans": list(cert.sans),
+        "issuer": cert.issuer,
+        "self_signed": cert.self_signed,
+        "not_before": cert.not_before.isoformat(),
+        "not_after": cert.not_after.isoformat(),
+        "serial": cert.serial,
+    }
+
+
+def certificate_from_dict(data: dict) -> Certificate:
+    try:
+        return Certificate(
+            subject_cn=data["subject_cn"],
+            sans=tuple(data.get("sans", ())),
+            issuer=data.get("issuer", "Simulated CA"),
+            self_signed=bool(data.get("self_signed", False)),
+            not_before=date.fromisoformat(data["not_before"]),
+            not_after=date.fromisoformat(data["not_after"]),
+            serial=int(data.get("serial", 0)),
+        )
+    except (KeyError, ValueError) as error:
+        raise ExportError(f"bad certificate payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# DNS snapshot records (the OpenINTEL export)
+# ---------------------------------------------------------------------------
+
+def dns_record_to_dict(record: DNSSnapshotRecord) -> dict:
+    return {
+        "domain": record.domain,
+        "date": record.measured_on.isoformat(),
+        "mx": [
+            {
+                "name": observation.name,
+                "preference": observation.preference,
+                "addresses": list(observation.addresses),
+            }
+            for observation in record.mx
+        ],
+        "txt": list(record.txt),
+    }
+
+
+def dns_record_from_dict(data: dict) -> DNSSnapshotRecord:
+    try:
+        return DNSSnapshotRecord(
+            domain=data["domain"],
+            measured_on=date.fromisoformat(data["date"]),
+            mx=tuple(
+                MXObservation(
+                    name=entry["name"],
+                    preference=int(entry["preference"]),
+                    addresses=tuple(entry.get("addresses", ())),
+                )
+                for entry in data.get("mx", ())
+            ),
+            txt=tuple(data.get("txt", ())),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ExportError(f"bad DNS record payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# port-25 scan records (the Censys export)
+# ---------------------------------------------------------------------------
+
+def scan_record_to_dict(record: PortScanRecord) -> dict:
+    payload: dict = {
+        "ip": record.address,
+        "date": record.scanned_on.isoformat(),
+        "state": record.state.value,
+    }
+    if record.has_smtp:
+        payload.update(
+            {
+                "banner": record.banner,
+                "ehlo": record.ehlo,
+                "starttls": record.starttls,
+            }
+        )
+        if record.certificate is not None:
+            payload["certificate"] = certificate_to_dict(record.certificate)
+    return payload
+
+
+def scan_record_from_dict(data: dict) -> PortScanRecord:
+    try:
+        certificate = None
+        if "certificate" in data:
+            certificate = certificate_from_dict(data["certificate"])
+        return PortScanRecord(
+            address=data["ip"],
+            scanned_on=date.fromisoformat(data["date"]),
+            state=Port25State(data["state"]),
+            banner=data.get("banner"),
+            ehlo=data.get("ehlo"),
+            starttls=bool(data.get("starttls", False)),
+            certificate=certificate,
+        )
+    except (KeyError, ValueError) as error:
+        raise ExportError(f"bad scan record payload: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# JSONL streams
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JSONLWriter:
+    """Writes one JSON document per line to a text stream."""
+
+    stream: TextIO
+    count: int = 0
+
+    def write(self, payload: dict) -> None:
+        self.stream.write(json.dumps(payload, sort_keys=True))
+        self.stream.write("\n")
+        self.count += 1
+
+
+def write_dns_snapshot(records: Iterable[DNSSnapshotRecord], stream: TextIO) -> int:
+    writer = JSONLWriter(stream)
+    for record in records:
+        writer.write(dns_record_to_dict(record))
+    return writer.count
+
+
+def read_dns_snapshot(stream: TextIO) -> Iterator[DNSSnapshotRecord]:
+    for line_number, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ExportError(f"line {line_number}: invalid JSON") from error
+        yield dns_record_from_dict(data)
+
+
+def write_scan_data(records: Iterable[PortScanRecord], stream: TextIO) -> int:
+    writer = JSONLWriter(stream)
+    for record in records:
+        writer.write(scan_record_to_dict(record))
+    return writer.count
+
+
+def read_scan_data(stream: TextIO) -> Iterator[PortScanRecord]:
+    for line_number, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ExportError(f"line {line_number}: invalid JSON") from error
+        yield scan_record_from_dict(data)

@@ -1,0 +1,160 @@
+"""IPv4 addresses and prefixes.
+
+Small, dependency-free IPv4 arithmetic.  Addresses are value objects wrapping
+a 32-bit integer; prefixes support containment, iteration, subdivision and
+canonical CIDR rendering.  The whole measurement substrate (AS announcements,
+the scanner's target space, the address registry) is built on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+_MAX32 = 0xFFFFFFFF
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad text into a 32-bit integer.
+
+    Strict: exactly four decimal octets, no leading ``+``, each 0..255.
+    Leading zeros are accepted (``"010"`` == 10) because scan data contains
+    them in the wild.
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"bad octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad text."""
+    if not 0 <= value <= _MAX32:
+        raise AddressError(f"address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX32:
+            raise AddressError(f"address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        return cls(parse_ipv4(text))
+
+    def __str__(self) -> str:
+        return format_ipv4(self.value)
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+    def is_private(self) -> bool:
+        """RFC 1918 check — the world generator never hands these out."""
+        return (
+            (self.value >> 24) == 10
+            or (self.value >> 20) == (172 << 4 | 1)  # 172.16/12
+            or (self.value >> 16) == (192 << 8 | 168)
+        )
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Prefix:
+    """A CIDR prefix; ``network`` is always masked to the prefix length."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"bad prefix length: {self.length}")
+        if not 0 <= self.network <= _MAX32:
+            raise AddressError(f"network out of range: {self.network}")
+        if self.network & ~self.mask():
+            raise AddressError(
+                f"network {format_ipv4(self.network)} has host bits set for /{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``"a.b.c.d/len"``; host bits must be zero."""
+        if "/" not in text:
+            raise AddressError(f"missing prefix length: {text!r}")
+        addr_text, _, length_text = text.partition("/")
+        if not length_text.isdigit():
+            raise AddressError(f"bad prefix length: {text!r}")
+        return cls(parse_ipv4(addr_text), int(length_text))
+
+    @classmethod
+    def of(cls, address: IPv4Address | str, length: int) -> "IPv4Prefix":
+        """The /length prefix containing *address* (host bits masked off)."""
+        if isinstance(address, str):
+            address = IPv4Address.parse(address)
+        mask = (_MAX32 << (32 - length)) & _MAX32 if length else 0
+        return cls(address.value & mask, length)
+
+    def mask(self) -> int:
+        return (_MAX32 << (32 - self.length)) & _MAX32 if self.length else 0
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.network)}/{self.length}"
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, IPv4Address):
+            value = item.value
+        elif isinstance(item, IPv4Prefix):
+            return item.length >= self.length and (item.network & self.mask()) == self.network
+        elif isinstance(item, str):
+            value = parse_ipv4(item)
+        elif isinstance(item, int):
+            value = item
+        else:
+            return False
+        return (value & self.mask()) == self.network
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> IPv4Address:
+        return IPv4Address(self.network)
+
+    @property
+    def last(self) -> IPv4Address:
+        return IPv4Address(self.network + self.size - 1)
+
+    def addresses(self) -> Iterator[IPv4Address]:
+        """Iterate every address in the prefix (use only on small prefixes)."""
+        for offset in range(self.size):
+            yield IPv4Address(self.network + offset)
+
+    def subdivide(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        """Yield the child prefixes of the given longer length."""
+        if new_length < self.length or new_length > 32:
+            raise AddressError(
+                f"cannot subdivide /{self.length} into /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        for network in range(self.network, self.network + self.size, step):
+            yield IPv4Prefix(network, new_length)
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        return other in self or self in other

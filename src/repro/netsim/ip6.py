@@ -1,0 +1,187 @@
+"""IPv6 addresses and prefixes (future-work groundwork, Section 3.4).
+
+The paper develops "a generic inference method based on IPv4 addresses"
+and names IPv6 as future work.  This module provides the address layer
+that extension needs: RFC 4291 parsing (``::`` compression, embedded IPv4
+tails), RFC 5952 canonical formatting, and prefix arithmetic mirroring the
+IPv4 API, so the AAAA side of the measurement pipeline has the same
+foundations as the A side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ip import AddressError, parse_ipv4
+
+_MAX128 = (1 << 128) - 1
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse IPv6 text (with optional ``::`` and IPv4-mapped tail)."""
+    text = text.strip().lower()
+    if not text:
+        raise AddressError("empty IPv6 address")
+    if text.count("::") > 1:
+        raise AddressError(f"multiple '::' in {text!r}")
+
+    if "::" in text:
+        head_text, _, tail_text = text.partition("::")
+        head = _parse_groups(head_text, allow_v4_tail=False)
+        tail = _parse_groups(tail_text)
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise AddressError(f"'::' expands to nothing in {text!r}")
+        groups = head + [0] * missing + tail
+    else:
+        groups = _parse_groups(text)
+        if len(groups) != 8:
+            raise AddressError(f"need 8 groups in {text!r}")
+
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _parse_groups(text: str, allow_v4_tail: bool = True) -> list[int]:
+    if not text:
+        return []
+    groups: list[int] = []
+    parts = text.split(":")
+    for index, part in enumerate(parts):
+        if "." in part:
+            # Embedded IPv4 (only legal as the final component overall).
+            if not allow_v4_tail or index != len(parts) - 1:
+                raise AddressError(f"embedded IPv4 not at tail: {text!r}")
+            v4 = parse_ipv4(part)
+            groups.append(v4 >> 16)
+            groups.append(v4 & 0xFFFF)
+            continue
+        if not part or len(part) > 4:
+            raise AddressError(f"bad group {part!r} in {text!r}")
+        try:
+            value = int(part, 16)
+        except ValueError as error:
+            raise AddressError(f"bad group {part!r} in {text!r}") from error
+        groups.append(value)
+    return groups
+
+
+def format_ipv6(value: int) -> str:
+    """Canonical RFC 5952 text: lowercase, longest zero run compressed."""
+    if not 0 <= value <= _MAX128:
+        raise AddressError(f"IPv6 value out of range: {value}")
+    groups = [(value >> (16 * (7 - index))) & 0xFFFF for index in range(8)]
+
+    # Find the longest run of zero groups (length ≥ 2) to compress.
+    best_start, best_length = -1, 0
+    run_start, run_length = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_length = index, 0
+            run_length += 1
+            if run_length > best_length:
+                best_start, best_length = run_start, run_length
+        else:
+            run_start, run_length = -1, 0
+
+    if best_length < 2:
+        return ":".join(f"{group:x}" for group in groups)
+    head = groups[:best_start]
+    tail = groups[best_start + best_length:]
+    left = ":".join(f"{group:x}" for group in head)
+    right = ":".join(f"{group:x}" for group in tail)
+    return f"{left}::{right}"
+
+
+@dataclass(frozen=True, order=True)
+class IPv6Address:
+    """An IPv6 address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX128:
+            raise AddressError(f"IPv6 value out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Address":
+        return cls(parse_ipv6(text))
+
+    def __str__(self) -> str:
+        return format_ipv6(self.value)
+
+    def __add__(self, offset: int) -> "IPv6Address":
+        return IPv6Address(self.value + offset)
+
+    def is_link_local(self) -> bool:
+        return (self.value >> 118) == 0x3FA  # fe80::/10
+
+    def is_unique_local(self) -> bool:
+        return (self.value >> 121) == 0x7E  # fc00::/7
+
+    def is_documentation(self) -> bool:
+        return (self.value >> 96) == 0x20010DB8  # 2001:db8::/32
+
+
+@dataclass(frozen=True, order=True)
+class IPv6Prefix:
+    """A CIDR IPv6 prefix; ``network`` always masked to the length."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 128:
+            raise AddressError(f"bad IPv6 prefix length: {self.length}")
+        if not 0 <= self.network <= _MAX128:
+            raise AddressError("IPv6 network out of range")
+        if self.network & ~self.mask():
+            raise AddressError(
+                f"network {format_ipv6(self.network)} has host bits for /{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Prefix":
+        if "/" not in text:
+            raise AddressError(f"missing IPv6 prefix length: {text!r}")
+        address_text, _, length_text = text.partition("/")
+        if not length_text.isdigit():
+            raise AddressError(f"bad IPv6 prefix length: {text!r}")
+        return cls(parse_ipv6(address_text), int(length_text))
+
+    @classmethod
+    def of(cls, address: IPv6Address | str, length: int) -> "IPv6Prefix":
+        if isinstance(address, str):
+            address = IPv6Address.parse(address)
+        mask = (_MAX128 << (128 - length)) & _MAX128 if length else 0
+        return cls(address.value & mask, length)
+
+    def mask(self) -> int:
+        return (_MAX128 << (128 - self.length)) & _MAX128 if self.length else 0
+
+    def __str__(self) -> str:
+        return f"{format_ipv6(self.network)}/{self.length}"
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, IPv6Address):
+            value = item.value
+        elif isinstance(item, IPv6Prefix):
+            return item.length >= self.length and (item.network & self.mask()) == self.network
+        elif isinstance(item, str):
+            value = parse_ipv6(item)
+        elif isinstance(item, int):
+            value = item
+        else:
+            return False
+        return (value & self.mask()) == self.network
+
+    @property
+    def first(self) -> IPv6Address:
+        return IPv6Address(self.network)
+
+    @property
+    def last(self) -> IPv6Address:
+        return IPv6Address(self.network + (1 << (128 - self.length)) - 1)

@@ -1,0 +1,105 @@
+"""Banner and EHLO message content: generation styles and interpretation.
+
+Section 3.1.3 of the paper observes that banner/EHLO text is unrestricted:
+most providers emit their mail-host FQDN, but servers also emit decorated
+IP strings (``IP-1-2-3-4``), ``localhost``, arbitrary prose, or outright
+spoofed provider names.  :class:`BannerStyle` enumerates these behaviours
+for the world generator, and :func:`identity_from_message` is the consumer
+side — the registered-domain extraction the inference pipeline applies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..dnscore.names import extract_fqdn
+from ..dnscore.psl import PublicSuffixList, default_psl
+
+
+class BannerStyle(enum.Enum):
+    """How a simulated MTA populates its banner/EHLO identity."""
+
+    FQDN = "fqdn"                    # "220 mx1.provider.com ESMTP"
+    DECORATED_IP = "decorated_ip"    # "220 IP-1-2-3-4"
+    LOCALHOST = "localhost"          # "220 localhost ESMTP Postfix"
+    BLANK = "blank"                  # "220 ESMTP service ready"
+    SPOOFED = "spoofed"              # claims someone else's FQDN
+
+
+def render_banner(
+    style: BannerStyle,
+    identity: str | None,
+    address: str | None = None,
+    software: str = "ESMTP",
+) -> str:
+    """Produce the text portion of a 220 greeting for the given style."""
+    if style is BannerStyle.FQDN or style is BannerStyle.SPOOFED:
+        if not identity:
+            raise ValueError(f"{style} banner requires an identity")
+        return f"{identity} {software} service ready"
+    if style is BannerStyle.DECORATED_IP:
+        if not address:
+            raise ValueError("decorated-IP banner requires an address")
+        return f"IP-{address.replace('.', '-')} {software}"
+    if style is BannerStyle.LOCALHOST:
+        return f"localhost.localdomain {software} Postfix"
+    return f"{software} service ready"
+
+
+def render_ehlo_identity(style: BannerStyle, identity: str | None, address: str | None) -> str:
+    """The first line of the EHLO response (the server's claimed identity)."""
+    if style in (BannerStyle.FQDN, BannerStyle.SPOOFED) and identity:
+        return identity
+    if style is BannerStyle.DECORATED_IP and address:
+        return f"[{address}]"
+    if style is BannerStyle.LOCALHOST:
+        return "localhost"
+    return "smtp"
+
+
+@dataclass(frozen=True)
+class MessageIdentity:
+    """What the inference side extracts from one banner or EHLO message."""
+
+    fqdn: str | None
+    registered_domain: str | None
+
+    @property
+    def usable(self) -> bool:
+        return self.registered_domain is not None
+
+
+def identity_from_message(text: str, psl: PublicSuffixList | None = None) -> MessageIdentity:
+    """Extract the claimed FQDN and its registered domain from message text.
+
+    Returns an unusable identity when no valid FQDN is present — the exact
+    condition under which the methodology refuses to assign a banner-based
+    ID (Section 3.2.2, "if the Banner/EHLO message is available and contains
+    a valid FQDN").
+    """
+    psl = psl or default_psl()
+    fqdn = extract_fqdn(text)
+    if fqdn is None:
+        return MessageIdentity(fqdn=None, registered_domain=None)
+    registered = psl.registered_domain(fqdn)
+    return MessageIdentity(fqdn=fqdn, registered_domain=registered)
+
+
+def consistent_identity(
+    banner_text: str, ehlo_text: str, psl: PublicSuffixList | None = None
+) -> str | None:
+    """The registered domain if banner and EHLO agree on one, else None.
+
+    Implements step 2.2 of Figure 3: "if the same registered domain shows
+    up in both, use that registered domain".
+    """
+    banner_id = identity_from_message(banner_text, psl)
+    ehlo_id = identity_from_message(ehlo_text, psl)
+    if (
+        banner_id.usable
+        and ehlo_id.usable
+        and banner_id.registered_domain == ehlo_id.registered_domain
+    ):
+        return banner_id.registered_domain
+    return None

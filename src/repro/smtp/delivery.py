@@ -1,0 +1,215 @@
+"""The sending MTA: MX-based mail relay (RFC 5321 section 5).
+
+Completes the paper's mail-processing model (Section 2.1): for each
+recipient domain the outbound MTA looks up MX records, resolves the
+exchange names, and attempts delivery in preference order with failover —
+exactly the path whose *first hop* the measurement study characterizes.
+
+Delivery needs transaction-capable endpoints, so :class:`MailNetwork`
+pairs an :class:`~repro.smtp.server.SMTPHostTable` with per-address
+recipient policies and mailbox stores, and :class:`SendingMTA` drives the
+client side of the protocol against them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dnscore.resolver import Resolver
+from .transaction import (
+    MailboxError,
+    MailboxStore,
+    RecipientPolicy,
+    SMTPTransactionServer,
+    parse_address,
+)
+from .server import SMTPHostTable
+
+
+class DeliveryStatus(enum.Enum):
+    """Outcome of delivering to one recipient domain."""
+
+    DELIVERED = "delivered"
+    NO_MX = "no_mx"                    # no MX and no fallback A record
+    NO_SERVER = "no_server"            # nothing answered on port 25
+    REJECTED = "rejected"              # RCPT refused by every exchange
+    MALFORMED = "malformed"
+
+
+@dataclass(frozen=True)
+class DeliveryAttempt:
+    """One connection attempt in the delivery trace."""
+
+    mx_name: str
+    address: str
+    outcome: str  # "delivered" / "no-listener" / "rcpt-rejected" / "unresolvable"
+
+
+@dataclass(frozen=True)
+class DeliveryResult:
+    """Outcome of delivering a message to one recipient domain."""
+
+    domain: str
+    status: DeliveryStatus
+    attempts: tuple[DeliveryAttempt, ...] = ()
+    delivered_via: str | None = None  # MX name that accepted the message
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is DeliveryStatus.DELIVERED
+
+
+@dataclass
+class MailNetwork:
+    """Transaction-capable view of the simulated SMTP hosts.
+
+    Each bound address gets a recipient policy (which domains it accepts)
+    and shares a mailbox store per serving organization.
+    """
+
+    hosts: SMTPHostTable
+    _policies: dict[str, RecipientPolicy] = field(default_factory=dict)
+    _stores: dict[str, MailboxStore] = field(default_factory=dict)
+
+    def serve(
+        self, address: str, accepted_domains: set[str], store_key: str | None = None
+    ) -> MailboxStore:
+        """Make the MTA at *address* accept mail for *accepted_domains*.
+
+        Returns the mailbox store (shared across addresses with the same
+        ``store_key``, so a provider's many hosts deliver to one store).
+        """
+        if self.hosts.get(address) is None:
+            raise ValueError(f"no MTA bound at {address}")
+        key = store_key or address
+        store = self._stores.setdefault(key, MailboxStore())
+        policy = self._policies.get(address)
+        if policy is None:
+            self._policies[address] = RecipientPolicy(set(accepted_domains))
+        else:
+            policy.accepted_domains |= accepted_domains
+        self._stores[address] = store
+        return store
+
+    def add_accepted_domain(self, address: str, domain: str) -> None:
+        if address in self._policies:
+            self._policies[address].accepted_domains.add(domain)
+
+    def open_session(self, address: str) -> SMTPTransactionServer | None:
+        """Open a transaction session with the MTA at *address* (or None)."""
+        config = self.hosts.get(address)
+        if config is None or not config.listens_on(25):
+            return None
+        policy = self._policies.get(address, RecipientPolicy())
+        store = self._stores.get(address, MailboxStore())
+        self._stores.setdefault(address, store)
+        return SMTPTransactionServer(
+            config=config, policy=policy, store=store, address=address
+        )
+
+    def store_at(self, address: str) -> MailboxStore | None:
+        return self._stores.get(address)
+
+
+@dataclass
+class SendingMTA:
+    """An outbound MTA relaying messages through the simulated Internet."""
+
+    resolver: Resolver
+    network: MailNetwork
+    helo_name: str = "out.sender.example"
+
+    def send(
+        self, mail_from: str, recipients: list[str], body: str
+    ) -> dict[str, DeliveryResult]:
+        """Relay one message; returns a per-recipient-domain result."""
+        by_domain: dict[str, list[str]] = {}
+        results: dict[str, DeliveryResult] = {}
+        for recipient in recipients:
+            try:
+                _user, domain = parse_address(recipient)
+            except MailboxError:
+                results[recipient] = DeliveryResult(
+                    domain=recipient, status=DeliveryStatus.MALFORMED
+                )
+                continue
+            by_domain.setdefault(domain, []).append(recipient)
+
+        for domain, domain_recipients in by_domain.items():
+            results[domain] = self._deliver_domain(
+                domain, mail_from, domain_recipients, body
+            )
+        return results
+
+    def _deliver_domain(
+        self, domain: str, mail_from: str, recipients: list[str], body: str
+    ) -> DeliveryResult:
+        exchanges = [(r.preference, r.rdata) for r in self.resolver.resolve_mx(domain)]
+        if not exchanges:
+            # RFC 5321 5.1: fall back to an implicit MX on the domain's A.
+            if self.resolver.resolve_a(domain):
+                exchanges = [(0, domain)]
+            else:
+                return DeliveryResult(domain=domain, status=DeliveryStatus.NO_MX)
+
+        attempts: list[DeliveryAttempt] = []
+        saw_rejection = False
+        for _preference, mx_name in sorted(exchanges):
+            addresses = self.resolver.resolve_a(mx_name)
+            if not addresses:
+                attempts.append(
+                    DeliveryAttempt(mx_name=mx_name, address="-", outcome="unresolvable")
+                )
+                continue
+            for address in addresses:
+                outcome, delivered = self._attempt(
+                    address, mail_from, recipients, body
+                )
+                attempts.append(
+                    DeliveryAttempt(mx_name=mx_name, address=address, outcome=outcome)
+                )
+                if delivered:
+                    return DeliveryResult(
+                        domain=domain,
+                        status=DeliveryStatus.DELIVERED,
+                        attempts=tuple(attempts),
+                        delivered_via=mx_name,
+                    )
+                if outcome == "rcpt-rejected":
+                    saw_rejection = True
+
+        status = DeliveryStatus.REJECTED if saw_rejection else DeliveryStatus.NO_SERVER
+        return DeliveryResult(domain=domain, status=status, attempts=tuple(attempts))
+
+    def _attempt(
+        self, address: str, mail_from: str, recipients: list[str], body: str
+    ) -> tuple[str, bool]:
+        session = self.network.open_session(address)
+        if session is None:
+            return "no-listener", False
+        if not session.greeting().is_positive:
+            return "no-listener", False
+        if not session.handle(f"EHLO {self.helo_name}").is_positive:
+            return "no-listener", False
+        if not session.handle(f"MAIL FROM:<{mail_from}>").is_positive:
+            return "rcpt-rejected", False
+        accepted_any = False
+        for recipient in recipients:
+            if session.handle(f"RCPT TO:<{recipient}>").is_positive:
+                accepted_any = True
+        if not accepted_any:
+            session.handle("QUIT")
+            return "rcpt-rejected", False
+        reply = session.handle("DATA")
+        if reply.code != 354:
+            session.handle("QUIT")
+            return "rcpt-rejected", False
+        for line in body.split("\n"):
+            # Dot transparency on the wire.
+            session.handle("." + line if line.startswith(".") else line)
+        final = session.handle(".")
+        session.handle("QUIT")
+        if final.is_positive:
+            return "delivered", True
+        return "rcpt-rejected", False

@@ -1,0 +1,90 @@
+"""Client-side SMTP sessions against the simulated host table.
+
+Reproduces what a port-25 scanner observes: connect, read the banner, send
+EHLO, read the EHLO response, optionally run STARTTLS and capture the
+certificate.  The result object carries exactly the fields the Censys
+substrate snapshots and the inference pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..tls.cert import Certificate
+from .replies import Reply
+from .server import SMTP_RELAY_PORT, SMTPHostTable
+
+
+class SessionOutcome(enum.Enum):
+    """How far a probe session got."""
+
+    CONNECTED = "connected"            # full handshake observed
+    CONNECTION_REFUSED = "refused"     # host exists, port closed
+    TIMEOUT = "timeout"                # nothing at the address
+    TLS_FAILED = "tls_failed"          # STARTTLS advertised but failed
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Observable artifacts of one SMTP probe."""
+
+    address: str
+    port: int
+    outcome: SessionOutcome
+    banner: Reply | None = None
+    ehlo: Reply | None = None
+    starttls_offered: bool = False
+    certificate: Certificate | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is SessionOutcome.CONNECTED
+
+    @property
+    def banner_text(self) -> str | None:
+        return self.banner.text if self.banner else None
+
+    @property
+    def ehlo_identity(self) -> str | None:
+        return self.ehlo.first_line if self.ehlo else None
+
+
+class SMTPClient:
+    """Drives probe sessions against an :class:`SMTPHostTable`."""
+
+    def __init__(self, hosts: SMTPHostTable, helo_name: str = "scanner.example"):
+        self.hosts = hosts
+        self.helo_name = helo_name
+
+    def probe(self, address: str, port: int = SMTP_RELAY_PORT) -> SessionResult:
+        """Run one scan-style session against address:port."""
+        config = self.hosts.get(address)
+        if config is None:
+            return SessionResult(address=address, port=port, outcome=SessionOutcome.TIMEOUT)
+        if not config.listens_on(port):
+            return SessionResult(
+                address=address, port=port, outcome=SessionOutcome.CONNECTION_REFUSED
+            )
+
+        banner = config.greet(address)
+        ehlo = config.respond_ehlo(address)
+        offered = any(line.startswith("STARTTLS") for line in ehlo.lines[1:])
+
+        certificate: Certificate | None = None
+        outcome = SessionOutcome.CONNECTED
+        if offered:
+            if config.certificate is not None:
+                certificate = config.certificate
+            else:  # pragma: no cover - config forbids this, defensive only
+                outcome = SessionOutcome.TLS_FAILED
+
+        return SessionResult(
+            address=address,
+            port=port,
+            outcome=outcome,
+            banner=banner,
+            ehlo=ehlo,
+            starttls_offered=offered,
+            certificate=certificate,
+        )

@@ -1,0 +1,244 @@
+"""Server-side SMTP transactions (RFC 5321 section 3).
+
+The measurement pipeline only needs the banner/EHLO/STARTTLS prefix of a
+session, but the paper's mail-processing model (Section 2.1, Figure 1)
+describes full store-and-forward delivery.  This module implements the
+receiving half: a command state machine covering HELO/EHLO, MAIL FROM,
+RCPT TO, DATA, RSET, NOOP, VRFY, STARTTLS and QUIT, with recipient policy
+and a mailbox store — enough for a sending MTA to relay real messages
+through the simulated Internet.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from .replies import Reply
+from .server import SMTPServerConfig
+
+_ADDRESS_RE = re.compile(r"^<?([^<>@\s]+)@([^<>@\s]+?)>?$")
+
+
+class MailboxError(ValueError):
+    """Raised for malformed mailbox addresses."""
+
+
+def parse_address(text: str) -> tuple[str, str]:
+    """Parse ``user@domain`` (optionally angle-bracketed) → (user, domain)."""
+    match = _ADDRESS_RE.match(text.strip())
+    if not match:
+        raise MailboxError(f"malformed address: {text!r}")
+    return match.group(1), match.group(2).lower()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One accepted message: envelope addresses plus the message body."""
+
+    mail_from: str
+    recipients: tuple[str, ...]
+    body: str
+    received_by: str  # identity of the accepting server
+
+
+class TransactionState(enum.Enum):
+    """Position in the SMTP command sequence."""
+
+    CONNECTED = "connected"      # banner sent, no HELO/EHLO yet
+    GREETED = "greeted"          # HELO/EHLO done
+    MAIL = "mail"                # MAIL FROM accepted
+    RCPT = "rcpt"                # ≥1 RCPT TO accepted
+    DATA = "data"                # reading message body
+    CLOSED = "closed"
+
+
+@dataclass
+class MailboxStore:
+    """Delivered messages, keyed by recipient address."""
+
+    _messages: dict[str, list[Envelope]] = field(default_factory=dict)
+
+    def deliver(self, envelope: Envelope) -> None:
+        for recipient in envelope.recipients:
+            self._messages.setdefault(recipient.lower(), []).append(envelope)
+
+    def messages_for(self, address: str) -> list[Envelope]:
+        return list(self._messages.get(address.lower(), []))
+
+    def total_messages(self) -> int:
+        return sum(len(bucket) for bucket in self._messages.values())
+
+
+@dataclass
+class RecipientPolicy:
+    """Which RCPT TO addresses a server accepts.
+
+    ``accepted_domains`` is the set of domains the MTA receives mail for
+    (a provider accepts all its customers' domains; a self-hosted box only
+    its own).  An empty set means accept everything (an open relay — used
+    by tests, never by the world builder).
+    """
+
+    accepted_domains: set[str] = field(default_factory=set)
+
+    def accepts(self, address: str) -> bool:
+        try:
+            _user, domain = parse_address(address)
+        except MailboxError:
+            return False
+        return not self.accepted_domains or domain in self.accepted_domains
+
+
+class SMTPTransactionServer:
+    """The receiving MTA: drives one SMTP session command by command."""
+
+    def __init__(
+        self,
+        config: SMTPServerConfig,
+        policy: RecipientPolicy,
+        store: MailboxStore,
+        address: str = "0.0.0.0",
+    ):
+        self.config = config
+        self.policy = policy
+        self.store = store
+        self.address = address
+        self.state = TransactionState.CONNECTED
+        self.tls_active = False
+        self._mail_from: str | None = None
+        self._recipients: list[str] = []
+        self._data_lines: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def greeting(self) -> Reply:
+        return self.config.greet(self.address)
+
+    def handle(self, line: str) -> Reply:
+        """Process one client line and return the server's reply."""
+        if self.state is TransactionState.CLOSED:
+            return Reply(code=421, lines=("connection closed",))
+        if self.state is TransactionState.DATA:
+            return self._handle_data_line(line)
+
+        verb, _, argument = line.strip().partition(" ")
+        verb = verb.upper()
+        handler = {
+            "HELO": self._cmd_helo,
+            "EHLO": self._cmd_ehlo,
+            "MAIL": self._cmd_mail,
+            "RCPT": self._cmd_rcpt,
+            "DATA": self._cmd_data,
+            "RSET": self._cmd_rset,
+            "NOOP": self._cmd_noop,
+            "VRFY": self._cmd_vrfy,
+            "QUIT": self._cmd_quit,
+            "STARTTLS": self._cmd_starttls,
+        }.get(verb)
+        if handler is None:
+            return Reply(code=500, lines=(f"command unrecognized: {verb}",))
+        return handler(argument.strip())
+
+    # -- commands -------------------------------------------------------
+
+    def _cmd_helo(self, argument: str) -> Reply:
+        if not argument:
+            return Reply(code=501, lines=("HELO requires a domain",))
+        self._reset_envelope()
+        self.state = TransactionState.GREETED
+        return Reply(code=250, lines=(self.config.identity or self.address,))
+
+    def _cmd_ehlo(self, argument: str) -> Reply:
+        if not argument:
+            return Reply(code=501, lines=("EHLO requires a domain",))
+        self._reset_envelope()
+        self.state = TransactionState.GREETED
+        return self.config.respond_ehlo(self.address)
+
+    def _cmd_mail(self, argument: str) -> Reply:
+        if self.state is TransactionState.CONNECTED:
+            return Reply(code=503, lines=("send HELO/EHLO first",))
+        if self.state in (TransactionState.MAIL, TransactionState.RCPT):
+            return Reply(code=503, lines=("nested MAIL command",))
+        if not argument.upper().startswith("FROM:"):
+            return Reply(code=501, lines=("syntax: MAIL FROM:<address>",))
+        sender = argument[5:].strip()
+        if sender not in ("<>", ""):  # null reverse-path is legal (bounces)
+            try:
+                parse_address(sender)
+            except MailboxError:
+                return Reply(code=553, lines=("malformed sender address",))
+        self._mail_from = sender.strip("<>")
+        self.state = TransactionState.MAIL
+        return Reply(code=250, lines=("OK",))
+
+    def _cmd_rcpt(self, argument: str) -> Reply:
+        if self.state not in (TransactionState.MAIL, TransactionState.RCPT):
+            return Reply(code=503, lines=("need MAIL before RCPT",))
+        if not argument.upper().startswith("TO:"):
+            return Reply(code=501, lines=("syntax: RCPT TO:<address>",))
+        recipient = argument[3:].strip().strip("<>")
+        if not self.policy.accepts(recipient):
+            return Reply(code=550, lines=("relay access denied",))
+        self._recipients.append(recipient)
+        self.state = TransactionState.RCPT
+        return Reply(code=250, lines=("OK",))
+
+    def _cmd_data(self, _argument: str) -> Reply:
+        if self.state is not TransactionState.RCPT:
+            return Reply(code=503, lines=("need RCPT before DATA",))
+        self.state = TransactionState.DATA
+        self._data_lines = []
+        return Reply(code=354, lines=("end data with <CRLF>.<CRLF>",))
+
+    def _handle_data_line(self, line: str) -> Reply:
+        if line == ".":
+            assert self._mail_from is not None
+            envelope = Envelope(
+                mail_from=self._mail_from,
+                recipients=tuple(self._recipients),
+                body="\n".join(self._data_lines),
+                received_by=self.config.identity or self.address,
+            )
+            self.store.deliver(envelope)
+            self._reset_envelope()
+            self.state = TransactionState.GREETED
+            return Reply(code=250, lines=("OK: message accepted for delivery",))
+        # Transparency: a leading dot is doubled on the wire (RFC 5321
+        # section 4.5.2); undo it.
+        self._data_lines.append(line[1:] if line.startswith("..") else line)
+        return Reply(code=250, lines=("",))  # no wire reply during DATA; ignored
+
+    def _cmd_rset(self, _argument: str) -> Reply:
+        self._reset_envelope()
+        if self.state is not TransactionState.CONNECTED:
+            self.state = TransactionState.GREETED
+        return Reply(code=250, lines=("OK",))
+
+    def _cmd_noop(self, _argument: str) -> Reply:
+        return Reply(code=250, lines=("OK",))
+
+    def _cmd_vrfy(self, argument: str) -> Reply:
+        if self.policy.accepts(argument):
+            return Reply(code=252, lines=("cannot VRFY user, but will accept message",))
+        return Reply(code=550, lines=("unknown recipient",))
+
+    def _cmd_quit(self, _argument: str) -> Reply:
+        self.state = TransactionState.CLOSED
+        return Reply(code=221, lines=("closing connection",))
+
+    def _cmd_starttls(self, _argument: str) -> Reply:
+        if not self.config.starttls or self.config.certificate is None:
+            return Reply(code=502, lines=("STARTTLS not supported",))
+        if self.tls_active:
+            return Reply(code=503, lines=("TLS already active",))
+        self.tls_active = True
+        self.state = TransactionState.CONNECTED  # RFC 3207: restart session
+        return Reply(code=220, lines=("ready to start TLS",))
+
+    def _reset_envelope(self) -> None:
+        self._mail_from = None
+        self._recipients = []
+        self._data_lines = []

@@ -1,0 +1,19 @@
+"""TLS certificate substrate: certificates, CAs, trust evaluation."""
+
+from .ca import (
+    DEFAULT_TRUSTED_CAS,
+    CertificateAuthority,
+    TrustStore,
+    ValidationStatus,
+    self_signed,
+)
+from .cert import Certificate
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "DEFAULT_TRUSTED_CAS",
+    "TrustStore",
+    "ValidationStatus",
+    "self_signed",
+]

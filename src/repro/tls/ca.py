@@ -1,0 +1,106 @@
+"""Certificate authorities and trust evaluation.
+
+The methodology only asks one question of a certificate: *is it trusted by a
+major browser?* (Section 3.2.2 — "We consider a certificate valid if it is
+trusted by a major browser").  We model a browser root store as a set of
+trusted issuer names; a :class:`CertificateAuthority` issues leaf certs
+under its name, and :class:`TrustStore.validate` reproduces the valid /
+self-signed / expired / untrusted-issuer distinctions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+
+from .cert import Certificate
+
+_serial_counter = itertools.count(1)
+
+
+class ValidationStatus(enum.Enum):
+    """Outcome of chain validation against a trust store."""
+
+    VALID = "valid"
+    SELF_SIGNED = "self_signed"
+    EXPIRED = "expired"
+    UNTRUSTED_ISSUER = "untrusted_issuer"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is ValidationStatus.VALID
+
+
+@dataclass
+class CertificateAuthority:
+    """A CA that can issue leaf certificates under its name."""
+
+    name: str
+
+    def issue(
+        self,
+        subject_cn: str,
+        sans: tuple[str, ...] | list[str] = (),
+        not_before: date = date(2016, 1, 1),
+        lifetime_days: int = 365 * 15,
+    ) -> Certificate:
+        return Certificate(
+            subject_cn=subject_cn,
+            sans=tuple(sans),
+            issuer=self.name,
+            self_signed=False,
+            not_before=not_before,
+            not_after=not_before + timedelta(days=lifetime_days),
+            serial=next(_serial_counter),
+        )
+
+
+def self_signed(
+    subject_cn: str,
+    sans: tuple[str, ...] | list[str] = (),
+    not_before: date = date(2016, 1, 1),
+) -> Certificate:
+    """Create a self-signed certificate (issuer == subject)."""
+    return Certificate(
+        subject_cn=subject_cn,
+        sans=tuple(sans),
+        issuer=subject_cn,
+        self_signed=True,
+        not_before=not_before,
+        serial=next(_serial_counter),
+    )
+
+
+DEFAULT_TRUSTED_CAS: tuple[str, ...] = (
+    "Simulated CA",
+    "Let's Encrypt R3 (simulated)",
+    "DigiCert (simulated)",
+    "GlobalSign (simulated)",
+)
+
+
+@dataclass
+class TrustStore:
+    """A browser-style root store: a set of trusted issuer names."""
+
+    trusted_issuers: set[str] = field(
+        default_factory=lambda: set(DEFAULT_TRUSTED_CAS)
+    )
+
+    def trust(self, ca: CertificateAuthority | str) -> None:
+        self.trusted_issuers.add(ca.name if isinstance(ca, CertificateAuthority) else ca)
+
+    def validate(self, cert: Certificate, on: date | None = None) -> ValidationStatus:
+        """Classify *cert*; time validity is checked when *on* is given."""
+        if cert.self_signed:
+            return ValidationStatus.SELF_SIGNED
+        if on is not None and not cert.is_time_valid(on):
+            return ValidationStatus.EXPIRED
+        if cert.issuer not in self.trusted_issuers:
+            return ValidationStatus.UNTRUSTED_ISSUER
+        return ValidationStatus.VALID
+
+    def is_valid(self, cert: Certificate, on: date | None = None) -> bool:
+        return self.validate(cert, on).is_valid

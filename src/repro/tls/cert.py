@@ -1,0 +1,99 @@
+"""TLS certificates as observed in STARTTLS handshakes.
+
+Certificates are modeled at exactly the fidelity the methodology consumes
+(Section 2.3): a subject Common Name, a set of Subject Alternative Names,
+an issuer, a validity window, and whether the issuing CA chains to a trusted
+root.  Wildcard matching follows RFC 6125 (single left-most label only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from datetime import date
+
+from ..dnscore.names import is_valid_hostname, normalize
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An X.509 leaf certificate, reduced to measurement-relevant fields.
+
+    ``serial`` exists so two certificates with identical names remain
+    distinct objects (re-issued certs, per-host duplicates).
+    """
+
+    subject_cn: str
+    sans: tuple[str, ...] = ()
+    issuer: str = "Simulated CA"
+    self_signed: bool = False
+    not_before: date = date(2016, 1, 1)
+    not_after: date = date(2031, 1, 1)
+    serial: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subject_cn", self._normalize_name(self.subject_cn))
+        object.__setattr__(
+            self, "sans", tuple(self._normalize_name(san) for san in self.sans)
+        )
+        if self.not_after < self.not_before:
+            raise ValueError("certificate validity window is inverted")
+
+    @staticmethod
+    def _normalize_name(name: str) -> str:
+        name = name.strip().lower()
+        if name.endswith(".") and len(name) > 1:
+            name = name[:-1]
+        return name
+
+    def names(self) -> tuple[str, ...]:
+        """All FQDN-shaped names on the certificate (CN first, then SANs).
+
+        Per RFC 6125 the SANs are authoritative when present, but the
+        paper's grouping step (Section 3.2.1) considers "FQDNs that appear
+        on a certificate's Subject CN and SANs", so we expose both.
+        """
+        seen: list[str] = []
+        for name in (self.subject_cn, *self.sans):
+            if name and name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def dns_names(self) -> tuple[str, ...]:
+        """Names that are syntactically valid hostnames (incl. wildcards)."""
+        valid = []
+        for name in self.names():
+            bare = name[2:] if name.startswith("*.") else name
+            if is_valid_hostname(bare) and "." in bare:
+                valid.append(name)
+        return tuple(valid)
+
+    def matches(self, hostname: str) -> bool:
+        """RFC 6125 host matching: exact, or single-label wildcard."""
+        hostname = normalize(hostname)
+        for name in self.names():
+            if name == hostname:
+                return True
+            if name.startswith("*."):
+                suffix = name[2:]
+                if (
+                    hostname.endswith("." + suffix)
+                    and "." not in hostname[: -(len(suffix) + 1)]
+                ):
+                    return True
+        return False
+
+    def is_time_valid(self, on: date) -> bool:
+        return self.not_before <= on <= self.not_after
+
+    def fingerprint(self) -> str:
+        """Stable identity for counting/grouping (the SHA-256 stand-in).
+
+        Deterministic across processes (unlike built-in ``hash``), so
+        exported datasets re-group identically when reloaded.
+        """
+        body = "|".join(
+            (self.subject_cn, *sorted(self.sans), self.issuer,
+             self.not_before.isoformat(), str(self.serial))
+        )
+        return hashlib.sha256(body.encode()).hexdigest()[:16]

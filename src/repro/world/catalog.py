@@ -1,0 +1,454 @@
+"""The company catalog: every organization the synthetic Internet contains.
+
+The catalog mirrors the provider ecosystem the paper reports (Figure 5,
+Figure 6, Tables 5 and 6): the two dominant mailbox providers, the regional
+mailbox providers, the five e-mail security companies the paper tracks, the
+web-hosting companies, the two US agencies visible in federal `.gov` data,
+and a Google Cloud entry so security vendors can rent IP space inside
+Google's network (the ``beats24-7.com`` corner case).
+
+AS numbers follow the real operators where the paper names them
+(Google 15169, Microsoft 8075, ProofPoint's four ASes from Table 5, …) so
+rendered tables read like the paper's.
+"""
+
+from __future__ import annotations
+
+from ..smtp.banner import BannerStyle
+from .entities import ASNSpec, CompanyKind, CompanySpec
+
+# --------------------------------------------------------------------------
+# Mailbox providers
+# --------------------------------------------------------------------------
+
+GOOGLE = CompanySpec(
+    slug="google",
+    display_name="Google",
+    kind=CompanyKind.MAILBOX,
+    country="US",
+    asns=(ASNSpec(15169, "Google", "US"),),
+    provider_ids=("google.com", "googlemail.com", "smtp.goog"),
+    mx_host_count=5,
+    ips_per_host=2,
+    mx_fqdns=(
+        "aspmx.l.google.com",
+        "alt1.aspmx.l.google.com",
+        "alt2.aspmx.l.google.com",
+        "aspmx2.googlemail.com",
+        "aspmx3.googlemail.com",
+    ),
+    cert_cn="mx.google.com",
+    cert_extra_sans=("mx1.smtp.goog",),
+)
+
+MICROSOFT = CompanySpec(
+    slug="microsoft",
+    display_name="Microsoft",
+    kind=CompanyKind.MAILBOX,
+    country="US",
+    # Table 5: Microsoft operates from its own AS plus regional partners.
+    asns=(
+        ASNSpec(8075, "Microsoft", "US"),
+        ASNSpec(200517, "MS Deutschland", "DE"),
+        ASNSpec(58593, "Blue Cloud", "CN"),
+    ),
+    provider_ids=("outlook.com", "office365.us", "hotmail.com", "outlook.cn", "outlook.de"),
+    mx_host_count=5,
+    ips_per_host=2,
+    mx_fqdns=(
+        "mx1.mail.protection.outlook.com",
+        "mx2.mail.protection.outlook.com",
+        "mx3.mail.protection.outlook.com",
+        "mx1.office365.us",
+        "mx1.outlook.de",
+    ),
+    customer_mx_template="{label}-{hash4}.mail.protection.outlook.com",
+    regional_shared_fraction=0.15,
+)
+
+YANDEX = CompanySpec(
+    slug="yandex",
+    display_name="Yandex",
+    kind=CompanyKind.MAILBOX,
+    country="RU",
+    asns=(ASNSpec(13238, "Yandex", "RU"),),
+    provider_ids=("yandex.net", "yandex.ru"),
+    mx_host_count=3,
+)
+
+TENCENT = CompanySpec(
+    slug="tencent",
+    display_name="Tencent",
+    kind=CompanyKind.MAILBOX,
+    country="CN",
+    asns=(ASNSpec(45090, "Tencent", "CN"),),
+    provider_ids=("qq.com", "exmail.qq.com"),
+    mx_host_count=3,
+)
+
+ZOHO = CompanySpec(
+    slug="zoho",
+    display_name="Zoho",
+    kind=CompanyKind.MAILBOX,
+    country="US",
+    asns=(ASNSpec(2639, "Zoho", "US"),),
+    provider_ids=("zoho.com",),
+)
+
+MAIL_RU = CompanySpec(
+    slug="mail_ru",
+    display_name="Mail.Ru",
+    kind=CompanyKind.MAILBOX,
+    country="RU",
+    asns=(ASNSpec(47764, "Mail.Ru", "RU"),),
+    provider_ids=("mail.ru",),
+)
+
+YAHOO = CompanySpec(
+    slug="yahoo",
+    display_name="Yahoo",
+    kind=CompanyKind.MAILBOX,
+    country="US",
+    asns=(ASNSpec(36647, "Yahoo", "US"),),
+    provider_ids=("yahoodns.net", "yahoo.com"),
+)
+
+INTERMEDIA = CompanySpec(
+    slug="intermedia",
+    display_name="IntermediaCloud",
+    kind=CompanyKind.MAILBOX,
+    country="US",
+    asns=(ASNSpec(16406, "Intermedia", "US"),),
+    provider_ids=("serverdata.net", "intermedia.net"),
+)
+
+# --------------------------------------------------------------------------
+# E-mail security companies (the five tracked in Figures 6b/6e/6h, plus the
+# smaller ones appearing in Table 6)
+# --------------------------------------------------------------------------
+
+PROOFPOINT = CompanySpec(
+    slug="proofpoint",
+    display_name="ProofPoint",
+    kind=CompanyKind.SECURITY,
+    country="US",
+    # Table 5: ProofPoint's provider IDs and ASes.
+    asns=(
+        ASNSpec(22843, "ProofPoint", "US"),
+        ASNSpec(26211, "ProofPoint", "US"),
+        ASNSpec(52129, "ProofPoint", "US"),
+        ASNSpec(13916, "ProofPoint", "US"),
+    ),
+    provider_ids=("pphosted.com", "ppe-hosted.com", "gpphosted.com", "ppops.net"),
+    mx_host_count=4,
+    mx_fqdns=(
+        "mx0a.pphosted.com",
+        "mx0b.pphosted.com",
+        "mx1.ppe-hosted.com",
+        "mxa.ppops.net",
+    ),
+    customer_mx_template="mx0a-{hash8}.{pid}",
+)
+
+MIMECAST = CompanySpec(
+    slug="mimecast",
+    display_name="Mimecast",
+    kind=CompanyKind.SECURITY,
+    country="UK",
+    asns=(ASNSpec(30031, "Mimecast", "UK"),),
+    provider_ids=("mimecast.com",),
+    mx_host_count=3,
+)
+
+BARRACUDA = CompanySpec(
+    slug="barracuda",
+    display_name="Barracuda",
+    kind=CompanyKind.SECURITY,
+    country="US",
+    asns=(ASNSpec(15324, "Barracuda", "US"),),
+    provider_ids=("barracudanetworks.com", "ess.barracudanetworks.com"),
+)
+
+IRONPORT = CompanySpec(
+    slug="ironport",
+    display_name="Cisco Ironport",
+    kind=CompanyKind.SECURITY,
+    country="US",
+    asns=(ASNSpec(109, "Cisco", "US"),),
+    provider_ids=("iphmx.com",),
+    customer_mx_template="mx1.{label}-{hash4}.iphmx.com",
+    # Ironport appliances frequently present the *customer's* certificate
+    # (the utexas.edu situation, Section 3.1.4).
+    customer_cert_fraction=0.4,
+)
+
+APPRIVER = CompanySpec(
+    slug="appriver",
+    display_name="AppRiver",
+    kind=CompanyKind.SECURITY,
+    country="US",
+    asns=(ASNSpec(27357, "AppRiver", "US"),),
+    provider_ids=("arsmtp.com",),
+)
+
+MESSAGELABS = CompanySpec(
+    slug="messagelabs",
+    display_name="MessageLabs",
+    kind=CompanyKind.SECURITY,
+    country="UK",
+    asns=(ASNSpec(21345, "MessageLabs", "UK"),),
+    provider_ids=("messagelabs.com",),
+)
+
+TRENDMICRO = CompanySpec(
+    slug="trendmicro",
+    display_name="TrendMicro",
+    kind=CompanyKind.SECURITY,
+    country="JP",
+    asns=(ASNSpec(17212, "TrendMicro", "JP"),),
+    provider_ids=("trendmicro.eu", "trendmicro.com"),
+)
+
+SOPHOS = CompanySpec(
+    slug="sophos",
+    display_name="Sophos",
+    kind=CompanyKind.SECURITY,
+    country="UK",
+    asns=(ASNSpec(31735, "Sophos", "UK"),),
+    provider_ids=("sophos.com", "reflexion.net"),
+)
+
+SOLARWINDS = CompanySpec(
+    slug="solarwinds",
+    display_name="Solarwinds",
+    kind=CompanyKind.SECURITY,
+    country="US",
+    asns=(ASNSpec(13782, "Solarwinds", "US"),),
+    provider_ids=("spamexperts.com",),
+)
+
+# --------------------------------------------------------------------------
+# Web hosting companies
+# --------------------------------------------------------------------------
+
+GODADDY = CompanySpec(
+    slug="godaddy",
+    display_name="GoDaddy",
+    kind=CompanyKind.HOSTING,
+    country="US",
+    asns=(ASNSpec(26496, "GoDaddy", "US"),),
+    provider_ids=("secureserver.net", "godaddy.com"),
+    mx_host_count=4,
+    default_mx_is_customer_named=False,
+    vps_cert_domain="secureserver.net",
+    vps_host_pattern=r"^s\d+-\d+-\d+\.secureserver\.net$",
+    dedicated_host_pattern=r"^mailstore\d+\.secureserver\.net$",
+)
+
+UNITEDINTERNET = CompanySpec(
+    slug="unitedinternet",
+    display_name="UnitedInternet",
+    kind=CompanyKind.HOSTING,
+    country="DE",
+    asns=(ASNSpec(8560, "IONOS (UnitedInternet)", "DE"),),
+    provider_ids=("kundenserver.de", "ui-dns.de"),
+    mx_host_count=3,
+    default_mx_is_customer_named=True,
+)
+
+EIG = CompanySpec(
+    slug="eig",
+    display_name="EIG",
+    kind=CompanyKind.HOSTING,
+    country="US",
+    asns=(ASNSpec(46606, "Unified Layer (EIG)", "US"),),
+    provider_ids=("bluehost.com", "hostgator.com"),
+    # The paper notes Censys is "only intermittently successful in scanning
+    # EIG for unknown reasons"; model that as low scan coverage.
+    censys_coverage=0.35,
+    default_mx_is_customer_named=True,
+)
+
+OVH = CompanySpec(
+    slug="ovh",
+    display_name="OVH",
+    kind=CompanyKind.HOSTING,
+    country="FR",
+    asns=(ASNSpec(16276, "OVH", "FR"),),
+    provider_ids=("ovh.net", "mail.ovh.net"),
+    default_mx_is_customer_named=False,
+    vps_cert_domain="ovh.net",
+    vps_host_pattern=r"^vps-[0-9a-f]+\.vps\.ovh\.net$",
+)
+
+NAMECHEAP = CompanySpec(
+    slug="namecheap",
+    display_name="NameCheap",
+    kind=CompanyKind.HOSTING,
+    country="US",
+    asns=(ASNSpec(22612, "NameCheap", "US"),),
+    provider_ids=("registrar-servers.com", "privateemail.com"),
+    default_mx_is_customer_named=False,
+)
+
+TUCOWS = CompanySpec(
+    slug="tucows",
+    display_name="Tucows",
+    kind=CompanyKind.HOSTING,
+    country="CA",
+    asns=(ASNSpec(15348, "Tucows", "CA"),),
+    provider_ids=("hostedemail.com", "tucows.com"),
+)
+
+STRATO = CompanySpec(
+    slug="strato",
+    display_name="Strato",
+    kind=CompanyKind.HOSTING,
+    country="DE",
+    asns=(ASNSpec(6724, "Strato", "DE"),),
+    provider_ids=("rzone.de", "strato.de"),
+    default_mx_is_customer_named=True,
+)
+
+RACKSPACE = CompanySpec(
+    slug="rackspace",
+    display_name="Rackspace",
+    kind=CompanyKind.HOSTING,
+    country="US",
+    asns=(ASNSpec(33070, "Rackspace", "US"),),
+    provider_ids=("emailsrvr.com", "rackspace.com"),
+)
+
+WEBCOM = CompanySpec(
+    slug="webcom",
+    display_name="Web.com Group",
+    kind=CompanyKind.HOSTING,
+    country="US",
+    asns=(ASNSpec(29873, "Web.com", "US"),),
+    provider_ids=("netsolmail.net", "web.com"),
+    default_mx_is_customer_named=True,
+)
+
+ARUBA = CompanySpec(
+    slug="aruba",
+    display_name="Aruba",
+    kind=CompanyKind.HOSTING,
+    country="IT",
+    asns=(ASNSpec(31034, "Aruba", "IT"),),
+    provider_ids=("aruba.it", "arubabusiness.it"),
+    default_mx_is_customer_named=True,
+)
+
+SITEGROUND = CompanySpec(
+    slug="siteground",
+    display_name="SiteGround",
+    kind=CompanyKind.HOSTING,
+    country="BG",
+    asns=(ASNSpec(396982, "SiteGround (GCP)", "US"),),
+    provider_ids=("sgvps.net", "siteground.com"),
+    default_mx_is_customer_named=True,
+)
+
+UKRAINE_UA = CompanySpec(
+    slug="ukraine_ua",
+    display_name="Ukraine.ua",
+    kind=CompanyKind.HOSTING,
+    country="UA",
+    asns=(ASNSpec(200000, "Hosting Ukraine", "UA"),),
+    provider_ids=("ukraine.com.ua",),
+    default_mx_is_customer_named=True,
+    has_valid_cert=False,
+)
+
+BEGET = CompanySpec(
+    slug="beget",
+    display_name="Beget",
+    kind=CompanyKind.HOSTING,
+    country="RU",
+    asns=(ASNSpec(198610, "Beget", "RU"),),
+    provider_ids=("beget.com", "beget.ru"),
+    default_mx_is_customer_named=True,
+    has_valid_cert=False,
+)
+
+# --------------------------------------------------------------------------
+# Cloud IaaS (address space that hosts *other* companies' servers)
+# --------------------------------------------------------------------------
+
+GOOGLE_CLOUD = CompanySpec(
+    slug="google_cloud",
+    display_name="Google Cloud",
+    kind=CompanyKind.CLOUD,
+    country="US",
+    # Announced from Google's AS — that is precisely what makes the
+    # ASN-based inference unreliable (Section 3.1.2).
+    asns=(ASNSpec(15169, "Google", "US"),),
+    provider_ids=("googleusercontent.com",),
+    mx_host_count=0,
+)
+
+# A security vendor that rents Google Cloud space: the beats24-7.com case.
+MAILSPAMPROTECTION = CompanySpec(
+    slug="mailspamprotection",
+    display_name="SiteLock (mailspamprotection)",
+    kind=CompanyKind.SECURITY,
+    country="US",
+    asns=(ASNSpec(15169, "Google", "US"),),  # hosted inside Google Cloud
+    provider_ids=("mailspamprotection.com",),
+    mx_host_count=3,
+    mx_fqdns=(
+        "mx10.mailspamprotection.com",
+        "mx20.mailspamprotection.com",
+        "se26.mailspamprotection.com",
+    ),
+    cert_cn="*.mailspamprotection.com",
+)
+
+# --------------------------------------------------------------------------
+# Government agencies operating shared mail infrastructure (Table 6, GOV)
+# --------------------------------------------------------------------------
+
+HHS = CompanySpec(
+    slug="hhs",
+    display_name="hhs.gov",
+    kind=CompanyKind.AGENCY,
+    country="US",
+    asns=(ASNSpec(1999, "US Dept of Health", "US"),),
+    provider_ids=("hhs.gov",),
+)
+
+TREASURY = CompanySpec(
+    slug="treasury",
+    display_name="treasury.gov",
+    kind=CompanyKind.AGENCY,
+    country="US",
+    asns=(ASNSpec(1733, "US Dept of Treasury", "US"),),
+    provider_ids=("treasury.gov",),
+)
+
+
+CATALOG: tuple[CompanySpec, ...] = (
+    GOOGLE, MICROSOFT, YANDEX, TENCENT, ZOHO, MAIL_RU, YAHOO, INTERMEDIA,
+    PROOFPOINT, MIMECAST, BARRACUDA, IRONPORT, APPRIVER, MESSAGELABS,
+    TRENDMICRO, SOPHOS, SOLARWINDS,
+    GODADDY, UNITEDINTERNET, EIG, OVH, NAMECHEAP, TUCOWS, STRATO, RACKSPACE,
+    WEBCOM, ARUBA, SITEGROUND, UKRAINE_UA, BEGET,
+    GOOGLE_CLOUD, MAILSPAMPROTECTION, HHS, TREASURY,
+)
+
+
+def catalog_by_slug() -> dict[str, CompanySpec]:
+    return {spec.slug: spec for spec in CATALOG}
+
+
+def mail_companies() -> list[CompanySpec]:
+    """Companies that actually operate customer-facing MX infrastructure."""
+    return [spec for spec in CATALOG if spec.mx_host_count > 0 and spec.kind is not CompanyKind.CLOUD]
+
+
+def security_companies() -> list[CompanySpec]:
+    return [spec for spec in CATALOG if spec.kind is CompanyKind.SECURITY]
+
+
+def hosting_companies() -> list[CompanySpec]:
+    return [spec for spec in CATALOG if spec.kind is CompanyKind.HOSTING]

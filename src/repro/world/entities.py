@@ -1,0 +1,206 @@
+"""World entity model: companies, mail infrastructure, domain configurations.
+
+These are the *ground truth* objects of the synthetic Internet.  The
+measurement substrates observe projections of them (DNS records, SMTP
+banners, certificates); the inference pipeline tries to recover the company
+behind each domain; the world keeps the answer key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..netsim.registry import AddressBlock
+from ..smtp.banner import BannerStyle
+from ..smtp.server import SMTPServerConfig
+from ..tls.cert import Certificate
+
+
+class CompanyKind(enum.Enum):
+    """What business a company is in (drives analysis groupings)."""
+
+    MAILBOX = "mailbox"          # full mail hosting (Google, Microsoft, Yandex)
+    SECURITY = "security"        # e-mail security filtering (ProofPoint, Mimecast)
+    HOSTING = "hosting"          # web hosting with bundled mail (GoDaddy, OVH)
+    CLOUD = "cloud"              # IaaS whose IPs host third parties (Google Cloud)
+    AGENCY = "agency"            # government agencies operating shared mail (hhs.gov)
+    OTHER = "other"              # long-tail small providers
+
+
+@dataclass(frozen=True)
+class ASNSpec:
+    """One AS a company announces from."""
+
+    number: int
+    name: str
+    country: str = "US"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.number < 2**32:
+            raise ValueError(f"bad AS number: {self.number}")
+
+
+@dataclass(frozen=True)
+class CompanySpec:
+    """Static description of a company in the catalog.
+
+    ``provider_ids`` are the registered domains under which the company's
+    mail infrastructure identifies itself (certificates, banners, MX names);
+    the first entry is the canonical one.  ``vps_cert_domain`` is set for
+    hosting companies that let rented VPS machines obtain certificates under
+    a company domain (the GoDaddy ``secureserver.net`` situation), and
+    ``vps_host_pattern``/``dedicated_host_pattern`` are the hostname shapes
+    step 4 of the methodology uses to tell them apart.
+    """
+
+    slug: str
+    display_name: str
+    kind: CompanyKind
+    country: str
+    asns: tuple[ASNSpec, ...]
+    provider_ids: tuple[str, ...]
+    mx_host_count: int = 2
+    ips_per_host: int = 1
+    banner_style: BannerStyle = BannerStyle.FQDN
+    has_valid_cert: bool = True
+    censys_coverage: float = 1.0
+    vps_cert_domain: str | None = None
+    vps_host_pattern: str | None = None
+    dedicated_host_pattern: str | None = None
+    default_mx_is_customer_named: bool = False
+    # Explicit MX host FQDNs (overrides the mx{i}.<provider-id> default).
+    mx_fqdns: tuple[str, ...] = ()
+    # Subject CN of a single shared certificate covering all hosts.  When
+    # unset and the company spans several registered domains, each domain
+    # group gets its own certificate (the ProofPoint / Microsoft-regional
+    # structure behind Table 5).
+    cert_cn: str | None = None
+    # Extra SAN entries on the shared certificate (Gmail's certificate
+    # lists mx1.smtp.goog alongside the googlemail.com names, Section 2.3).
+    cert_extra_sans: tuple[str, ...] = ()
+    # Customers get an individual MX name rendered from this template
+    # ("{label}" = customer-derived label, "{hash4}"/"{hash8}" = hex
+    # fingerprints, "{pid}" = a per-customer provider-ID choice) that
+    # resolves to the shared infrastructure.
+    customer_mx_template: str | None = None
+    # Fraction of template customers that instead use a shared regional
+    # host directly (Microsoft's sovereign-cloud MXes).
+    regional_shared_fraction: float = 0.0
+    # Fraction of customers whose dedicated endpoint presents the
+    # *customer's* certificate instead of the provider's (the utexas.edu /
+    # Ironport situation, Section 3.1.4).
+    customer_cert_fraction: float = 0.0
+
+    @property
+    def canonical_provider_id(self) -> str:
+        return self.provider_ids[0]
+
+    @property
+    def primary_asn(self) -> int:
+        return self.asns[0].number
+
+
+@dataclass
+class MailHost:
+    """One deployed MTA endpoint: an FQDN, its addresses, its server config."""
+
+    fqdn: str
+    addresses: list[str]
+    server: SMTPServerConfig
+    owner_slug: str
+
+
+@dataclass
+class CompanyInfra:
+    """A company's deployed mail infrastructure."""
+
+    spec: CompanySpec
+    mx_hosts: list[MailHost] = field(default_factory=list)
+    shared_certificate: Certificate | None = None
+    # CIDR prefixes for the company's published SPF policy (_spf.<pid>).
+    spf_prefixes: list[str] = field(default_factory=list)
+    # Spare address space for per-customer machines: rented VPS boxes
+    # (hosting companies) and dedicated filtering relays (security vendors).
+    vps_block: "AddressBlock | None" = None
+    dedicated_block: "AddressBlock | None" = None
+    # Round-robin cursor for assigning customers to MX hosts.
+    _cursor: int = 0
+
+    def next_mx_host(self) -> MailHost:
+        if not self.mx_hosts:
+            raise RuntimeError(f"{self.spec.slug} has no MX hosts deployed")
+        host = self.mx_hosts[self._cursor % len(self.mx_hosts)]
+        self._cursor += 1
+        return host
+
+
+class ProvisioningStyle(enum.Enum):
+    """How a domain's MX is wired to its actual provider.
+
+    The style determines what each evidence source (MX name, ASN, banner,
+    certificate) will say, and therefore which inference approaches succeed.
+    """
+
+    PROVIDER_NAMED = "provider_named"      # MX names the provider (netflix.com case)
+    CUSTOMER_NAMED = "customer_named"      # MX under own name, A → provider (gsipartners case)
+    HOSTING_DEFAULT = "hosting_default"    # mx.<domain> → hosting company infra
+    SELF_HOSTED = "self_hosted"            # runs own MTA on own address space
+    SELF_ON_VPS = "self_on_vps"            # own MTA on a rented VPS (cert under host domain)
+    SELF_SPOOFED = "self_spoofed"          # own MTA, banner claims a big provider
+    SELF_MISCONFIGURED = "self_misconfigured"  # own MTA, localhost/IP-style banner
+    NO_SMTP = "no_smtp"                    # MX resolves, nothing listens on 25
+    DANGLING_MX = "dangling_mx"            # MX name does not resolve
+
+
+# Ground-truth label for a domain at one snapshot: a company slug, or one of
+# these sentinel strings.
+TRUTH_SELF = "SELF"
+TRUTH_NONE = "NONE"  # no working mail service
+
+
+@dataclass
+class DomainAssignment:
+    """Ground truth for one domain at one snapshot."""
+
+    company_slug: str | None          # None for SELF/NONE sentinels
+    truth: str                        # company slug, TRUTH_SELF, or TRUTH_NONE
+    style: ProvisioningStyle
+    # Occasionally a domain publishes two equally preferred MX records at
+    # different providers; step 5 of the methodology splits credit.
+    secondary_slug: str | None = None
+    # For customers of filtering (security) services: the mailbox provider
+    # the filter forwards to.  The MX only reveals the first hop (the
+    # paper's Section 3.4 limitation); SPF records can reveal this one.
+    eventual_slug: str | None = None
+
+    @property
+    def is_self_hosted(self) -> bool:
+        return self.truth == TRUTH_SELF
+
+    @property
+    def has_provider(self) -> bool:
+        return self.truth not in (TRUTH_SELF, TRUTH_NONE)
+
+
+class DatasetTag(enum.Enum):
+    """Which paper corpus a domain belongs to."""
+
+    ALEXA = "alexa"
+    COM = "com"
+    GOV = "gov"
+
+
+@dataclass
+class DomainEntity:
+    """One registered domain in a corpus, with its per-snapshot ground truth."""
+
+    name: str
+    dataset: DatasetTag
+    alexa_rank: int | None = None          # ALEXA only
+    cctld: str | None = None               # e.g. "ru"; None for gTLDs
+    is_federal: bool = False               # GOV only
+    assignments: list[DomainAssignment] = field(default_factory=list)
+
+    def assignment_at(self, snapshot_index: int) -> DomainAssignment:
+        return self.assignments[snapshot_index]

@@ -1,0 +1,223 @@
+"""Longitudinal category assignment: who serves each domain at each snapshot.
+
+Given a segment's share table (category → trajectory), this module assigns
+every domain in the segment a category *per snapshot* such that:
+
+* per-snapshot category counts match the trajectory targets exactly
+  (largest-remainder apportionment),
+* domains are sticky — net share drift is realized by moving the minimum
+  number of domains, picked at random,
+* an additional seeded swap volume creates the bidirectional gross churn the
+  paper's Sankey diagram (Figure 7) shows: providers both gain and lose
+  domains even when their net share rises.
+
+Categories are company slugs plus the ``SELF`` / ``NONE`` sentinels and the
+``OTHERS`` residual; OTHERS is resolved to a stable per-domain small
+provider so the long tail is made of concrete companies.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from .entities import ProvisioningStyle
+from .population import NONE, NUM_SNAPSHOTS, OTHERS, SELF, ShareTable, snapshot_fraction
+
+
+def domain_fingerprint(domain: str, salt: str = "") -> int:
+    """Stable, unsalted 32-bit fingerprint of a domain name."""
+    return zlib.crc32(f"{salt}|{domain}".encode())
+
+
+def apportion(total: int, shares: dict[str, float]) -> dict[str, int]:
+    """Largest-remainder apportionment of *total* items across categories.
+
+    Shares must sum to at most 1 (a tiny float fringe is tolerated); the
+    shortfall goes to ``OTHERS``.  Deterministic: ties break by category
+    name.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    share_sum = sum(shares.values())
+    if share_sum > 1.0 + 1e-9:
+        raise ValueError(f"shares sum to {share_sum:.4f} > 1")
+    quotas = {name: total * share for name, share in shares.items()}
+    counts = {name: int(quota) for name, quota in quotas.items()}
+    assigned = sum(counts.values())
+    remainders = sorted(
+        quotas, key=lambda name: (quotas[name] - counts[name], name), reverse=True
+    )
+    leftover = total - assigned
+    # Top up fractional parts only as far as the table's own mass; the
+    # rest of the leftover is the OTHERS residual.
+    others_quota = total - min(total, round(sum(quotas.values())))
+    for name in remainders:
+        if leftover <= others_quota:
+            break
+        counts[name] += 1
+        leftover -= 1
+    counts[OTHERS] = counts.get(OTHERS, 0) + leftover
+    return counts
+
+
+@dataclass
+class SegmentAssignment:
+    """Per-domain category sequences for one segment."""
+
+    domains: list[str]
+    categories: dict[str, list[str]]  # domain -> category per snapshot
+
+    def at(self, domain: str, snapshot_index: int) -> str:
+        return self.categories[domain][snapshot_index]
+
+
+class SegmentEvolver:
+    """Assigns categories across snapshots for one segment of domains."""
+
+    def __init__(
+        self,
+        table: ShareTable,
+        rng: random.Random,
+        others_pool: tuple[str, ...],
+        swap_rate: float = 0.015,
+        num_snapshots: int = NUM_SNAPSHOTS,
+    ):
+        if not others_pool:
+            raise ValueError("others_pool must contain at least one slug")
+        self.table = table
+        self.rng = rng
+        self.others_pool = others_pool
+        self.swap_rate = swap_rate
+        self.num_snapshots = num_snapshots
+
+    def _targets(self, total: int, snapshot_index: int) -> dict[str, int]:
+        t = snapshot_fraction(snapshot_index)
+        shares = {name: trajectory.at(t) for name, trajectory in self.table.items()}
+        return apportion(total, shares)
+
+    def _resolve_others(self, domain: str) -> str:
+        """Stable small-provider choice for a domain in the OTHERS residual."""
+        index = domain_fingerprint(domain, "others") % len(self.others_pool)
+        return self.others_pool[index]
+
+    def assign(self, domains: list[str]) -> SegmentAssignment:
+        total = len(domains)
+        sequences: dict[str, list[str]] = {domain: [] for domain in domains}
+        if total == 0:
+            return SegmentAssignment(domains=[], categories={})
+
+        # Snapshot 0: random permutation sliced by target counts.
+        order = list(domains)
+        self.rng.shuffle(order)
+        targets = self._targets(total, 0)
+        current: dict[str, str] = {}
+        cursor = 0
+        for category in sorted(targets):
+            count = targets[category]
+            for domain in order[cursor:cursor + count]:
+                current[domain] = category
+            cursor += count
+        assert cursor == total
+
+        self._record(sequences, current)
+
+        for snapshot_index in range(1, self.num_snapshots):
+            targets = self._targets(total, snapshot_index)
+            self._drift_to_targets(current, targets)
+            self._swap_churn(current, total)
+            self._record(sequences, current)
+
+        resolved = {
+            domain: [
+                self._resolve_others(domain) if category == OTHERS else category
+                for category in sequence
+            ]
+            for domain, sequence in sequences.items()
+        }
+        return SegmentAssignment(domains=list(domains), categories=resolved)
+
+    def _record(self, sequences: dict[str, list[str]], current: dict[str, str]) -> None:
+        for domain, category in current.items():
+            sequences[domain].append(category)
+
+    def _drift_to_targets(self, current: dict[str, str], targets: dict[str, int]) -> None:
+        members: dict[str, list[str]] = {category: [] for category in targets}
+        for domain, category in current.items():
+            members.setdefault(category, []).append(domain)
+
+        pool: list[str] = []
+        for category in sorted(members):
+            surplus = len(members[category]) - targets.get(category, 0)
+            if surplus > 0:
+                bucket = sorted(members[category])
+                self.rng.shuffle(bucket)
+                pool.extend(bucket[:surplus])
+
+        self.rng.shuffle(pool)
+        cursor = 0
+        for category in sorted(targets):
+            deficit = targets[category] - len(members.get(category, []))
+            for domain in pool[cursor:cursor + max(deficit, 0)]:
+                current[domain] = category
+            cursor += max(deficit, 0)
+        assert cursor == len(pool), "drift bookkeeping mismatch"
+
+    def _swap_churn(self, current: dict[str, str], total: int) -> None:
+        """Swap categories between random domain pairs (gross churn)."""
+        swaps = int(round(self.swap_rate * total))
+        if swaps == 0:
+            return
+        domains = sorted(current)
+        for _ in range(swaps):
+            left = self.rng.choice(domains)
+            right = self.rng.choice(domains)
+            if current[left] != current[right]:
+                current[left], current[right] = current[right], current[left]
+
+
+# ---------------------------------------------------------------------------
+# Provisioning styles
+# ---------------------------------------------------------------------------
+
+# How domains wire themselves to each kind of assignment, as cumulative
+# probability tables keyed on a stable per-domain fingerprint, so a domain
+# keeps its style while it stays with a category.
+_SELF_STYLES: tuple[tuple[float, ProvisioningStyle], ...] = (
+    (0.80, ProvisioningStyle.SELF_HOSTED),
+    (0.90, ProvisioningStyle.SELF_ON_VPS),
+    (0.92, ProvisioningStyle.SELF_SPOOFED),
+    (1.00, ProvisioningStyle.SELF_MISCONFIGURED),
+)
+
+_NONE_STYLES: tuple[tuple[float, ProvisioningStyle], ...] = (
+    (0.70, ProvisioningStyle.NO_SMTP),
+    (1.00, ProvisioningStyle.DANGLING_MX),
+)
+
+# Fraction of provider customers who keep a customer-named MX in front of
+# the provider (the gsipartners.com situation).
+CUSTOMER_NAMED_FRACTION = 0.10
+
+
+def pick_style(
+    domain: str,
+    category: str,
+    default_mx_is_customer_named: bool = False,
+) -> ProvisioningStyle:
+    """Deterministic provisioning style for (domain, category)."""
+    roll = (domain_fingerprint(domain, f"style|{category}") % 10_000) / 10_000.0
+    if category == SELF:
+        for ceiling, style in _SELF_STYLES:
+            if roll < ceiling:
+                return style
+    if category == NONE:
+        for ceiling, style in _NONE_STYLES:
+            if roll < ceiling:
+                return style
+    if default_mx_is_customer_named:
+        return ProvisioningStyle.HOSTING_DEFAULT
+    if roll < CUSTOMER_NAMED_FRACTION:
+        return ProvisioningStyle.CUSTOMER_NAMED
+    return ProvisioningStyle.PROVIDER_NAMED

@@ -1,0 +1,43 @@
+"""Mail-delivery view of the world: who accepts mail for whom.
+
+Builds a :class:`~repro.smtp.delivery.MailNetwork` for one snapshot by
+walking every domain's ground-truth assignment and registering its domain
+at the MTA endpoints its MX records point to — so a
+:class:`~repro.smtp.delivery.SendingMTA` can relay real messages through
+the simulated Internet and they land in the operating company's mailbox
+store (one store per company; per-domain stores for self-hosters).
+"""
+
+from __future__ import annotations
+
+from ..dnscore.resolver import Resolver
+from ..smtp.delivery import MailNetwork, SendingMTA
+from .build import World
+from .entities import TRUTH_NONE
+
+
+def build_mail_network(world: World, snapshot_index: int) -> MailNetwork:
+    """Register every domain's accepted-mail endpoints for one snapshot."""
+    network = MailNetwork(hosts=world.host_table)
+    resolver = Resolver(db=world.snapshot_zones[snapshot_index])
+    for entity in world.all_entities():
+        assignment = entity.assignment_at(snapshot_index)
+        if assignment.truth == TRUTH_NONE:
+            continue  # nothing operational to register
+        store_key = assignment.company_slug or entity.name
+        for record in resolver.resolve_mx(entity.name):
+            for address in resolver.resolve_a(record.rdata):
+                if world.host_table.get(address) is not None:
+                    network.serve(address, {entity.name}, store_key=store_key)
+    return network
+
+
+def sending_mta(
+    world: World, snapshot_index: int, helo_name: str = "out.sender.example"
+) -> SendingMTA:
+    """A ready-to-use outbound MTA for one snapshot of the world."""
+    return SendingMTA(
+        resolver=Resolver(db=world.snapshot_zones[snapshot_index]),
+        network=build_mail_network(world, snapshot_index),
+        helo_name=helo_name,
+    )

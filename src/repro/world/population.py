@@ -1,0 +1,354 @@
+"""Domain corpora and market-share trajectories.
+
+This module encodes *what the synthetic Internet should look like over
+time*: for each corpus segment (Alexa rank buckets, Alexa ccTLD slices,
+random ``.com``, federal / non-federal ``.gov``), the share of domains using
+each company, as a piecewise-linear trajectory over the study window.
+
+The trajectories are calibrated to the paper's reported figures (Figure 5,
+Figure 6, Figure 8, Table 6): Google/Microsoft rising everywhere, security
+companies rising, hosting companies falling or flat, self-hosting falling,
+GoDaddy dominating random ``.com``, Microsoft leading ``.gov``, Yandex and
+Tencent essentially confined to ``.ru`` and ``.cn``.  Absolute values are
+approximate reads of the paper's plots; the *shape* relations are what the
+reproduction must preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+# The nine semi-annual measurement snapshots (Section 4, June 2017–June 2021).
+SNAPSHOT_DATES: tuple[date, ...] = (
+    date(2017, 6, 8), date(2017, 12, 8),
+    date(2018, 6, 8), date(2018, 12, 8),
+    date(2019, 6, 8), date(2019, 12, 8),
+    date(2020, 6, 8), date(2020, 12, 8),
+    date(2021, 6, 8),
+)
+NUM_SNAPSHOTS = len(SNAPSHOT_DATES)
+
+# OpenINTEL has no .gov coverage before June 2018 (Section 4.1), so .gov
+# measurements exist for seven snapshots only.
+GOV_FIRST_SNAPSHOT = 2
+
+# Category sentinels used alongside company slugs in share tables.
+SELF = "SELF"
+NONE = "NONE"
+OTHERS = "OTHERS"
+
+
+def snapshot_fraction(index: int) -> float:
+    """Position of snapshot *index* in [0, 1] across the study window."""
+    return index / (NUM_SNAPSHOTS - 1)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """Piecewise-linear share curve over normalized time [0, 1]."""
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("trajectory needs at least one breakpoint")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise ValueError("trajectory breakpoints must be time-ordered")
+        for _, share in self.points:
+            if not 0.0 <= share <= 1.0:
+                raise ValueError(f"share out of range: {share}")
+
+    def at(self, t: float) -> float:
+        """Interpolated share at normalized time *t* (clamped to [0, 1])."""
+        t = min(max(t, 0.0), 1.0)
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        for (t0, s0), (t1, s1) in zip(points, points[1:]):
+            if t <= t1:
+                if t1 == t0:
+                    return s1
+                return s0 + (s1 - s0) * (t - t0) / (t1 - t0)
+        return points[-1][1]
+
+
+def traj(start: float, end: float | None = None, *mid: tuple[float, float]) -> Trajectory:
+    """Shorthand: linear from *start* to *end* with optional midpoints."""
+    if end is None:
+        return Trajectory(points=((0.0, start),))
+    points = [(0.0, start), *mid, (1.0, end)]
+    return Trajectory(points=tuple(sorted(points)))
+
+
+# A share table maps category (company slug / SELF / NONE) to a trajectory.
+ShareTable = dict[str, Trajectory]
+
+
+def table_total_at(table: ShareTable, t: float) -> float:
+    return sum(trajectory.at(t) for trajectory in table.values())
+
+
+def validate_table(table: ShareTable) -> None:
+    """Ensure a table never allocates more than 100% at any snapshot."""
+    for index in range(NUM_SNAPSHOTS):
+        total = table_total_at(table, snapshot_fraction(index))
+        if total > 0.98:
+            raise ValueError(f"share table exceeds capacity at snapshot {index}: {total:.3f}")
+
+
+# ---------------------------------------------------------------------------
+# Alexa gTLD rank-bucket tables (Figure 5 left half, Figure 6 a–c)
+# ---------------------------------------------------------------------------
+
+ALEXA_GTLD_TOP1K: ShareTable = {
+    "google": traj(0.300, 0.320),
+    "microsoft": traj(0.130, 0.160),
+    "proofpoint": traj(0.055, 0.075),
+    "mimecast": traj(0.030, 0.045),
+    "ironport": traj(0.020, 0.022),
+    "barracuda": traj(0.010, 0.011),
+    "messagelabs": traj(0.012, 0.008),
+    "rackspace": traj(0.012, 0.010),
+    "godaddy": traj(0.004, 0.003),
+    "zoho": traj(0.002, 0.003),
+    "yandex": traj(0.004, 0.004),
+    SELF: traj(0.160, 0.110),
+    NONE: traj(0.020, 0.020),
+}
+
+ALEXA_GTLD_1K_10K: ShareTable = {
+    "google": traj(0.300, 0.320),
+    "microsoft": traj(0.110, 0.140),
+    "proofpoint": traj(0.040, 0.055),
+    "mimecast": traj(0.022, 0.033),
+    "ironport": traj(0.013, 0.014),
+    "barracuda": traj(0.008, 0.009),
+    "messagelabs": traj(0.009, 0.006),
+    "rackspace": traj(0.011, 0.010),
+    "godaddy": traj(0.008, 0.006),
+    "zoho": traj(0.004, 0.006),
+    "yandex": traj(0.006, 0.006),
+    SELF: traj(0.150, 0.100),
+    NONE: traj(0.030, 0.030),
+}
+
+ALEXA_GTLD_10K_100K: ShareTable = {
+    "google": traj(0.290, 0.310),
+    "microsoft": traj(0.090, 0.120),
+    "proofpoint": traj(0.020, 0.030),
+    "mimecast": traj(0.010, 0.018),
+    "ironport": traj(0.008, 0.009),
+    "barracuda": traj(0.006, 0.007),
+    "rackspace": traj(0.010, 0.009),
+    "godaddy": traj(0.015, 0.011),
+    "unitedinternet": traj(0.006, 0.005),
+    "zoho": traj(0.007, 0.011),
+    "yandex": traj(0.010, 0.011),
+    "mail_ru": traj(0.004, 0.004),
+    "tencent": traj(0.004, 0.006),
+    SELF: traj(0.130, 0.090),
+    NONE: traj(0.050, 0.050),
+}
+
+ALEXA_GTLD_TAIL: ShareTable = {
+    "google": traj(0.260, 0.280),
+    "microsoft": traj(0.060, 0.090),
+    "proofpoint": traj(0.008, 0.013),
+    "mimecast": traj(0.005, 0.009),
+    "ironport": traj(0.005, 0.006),
+    "barracuda": traj(0.004, 0.005),
+    "rackspace": traj(0.008, 0.007),
+    "godaddy": traj(0.030, 0.020),
+    "unitedinternet": traj(0.009, 0.007),
+    "ovh": traj(0.006, 0.006),
+    "namecheap": traj(0.003, 0.004),
+    "zoho": traj(0.009, 0.014),
+    "yandex": traj(0.020, 0.022),
+    "mail_ru": traj(0.007, 0.007),
+    "tencent": traj(0.007, 0.010),
+    "beget": traj(0.005, 0.005),
+    "ukraine_ua": traj(0.004, 0.004),
+    SELF: traj(0.110, 0.075),
+    NONE: traj(0.070, 0.070),
+}
+
+# Alexa rank buckets: (low rank, high rank, corpus fraction, gTLD table,
+# ccTLD fraction of the bucket).
+ALEXA_BUCKETS: tuple[tuple[int, int, float, ShareTable, float], ...] = (
+    (1, 1_000, 0.01, ALEXA_GTLD_TOP1K, 0.25),
+    (1_001, 10_000, 0.09, ALEXA_GTLD_1K_10K, 0.30),
+    (10_001, 100_000, 0.30, ALEXA_GTLD_10K_100K, 0.35),
+    (100_001, 1_000_000, 0.60, ALEXA_GTLD_TAIL, 0.45),
+)
+
+# Relative weights of the fifteen ccTLDs (Section 5.4) inside a bucket's
+# ccTLD slice, per bucket (the long tail skews Russian/Chinese, which is
+# what pushes Yandex into the full-Alexa top three).
+CCTLD_WEIGHTS_HEAD: dict[str, float] = {
+    "ru": 0.13, "de": 0.11, "uk": 0.10, "br": 0.08, "jp": 0.09, "fr": 0.08,
+    "it": 0.06, "in": 0.06, "es": 0.05, "ca": 0.06, "au": 0.06, "cn": 0.04,
+    "ar": 0.03, "ro": 0.03, "sg": 0.02,
+}
+CCTLD_WEIGHTS_TAIL: dict[str, float] = {
+    "ru": 0.25, "de": 0.09, "uk": 0.07, "br": 0.08, "jp": 0.07, "fr": 0.06,
+    "it": 0.05, "in": 0.06, "es": 0.04, "ca": 0.04, "au": 0.04, "cn": 0.07,
+    "ar": 0.03, "ro": 0.03, "sg": 0.02,
+}
+
+
+def _cctld_table(
+    google: float, microsoft: float, yandex: float = 0.002, tencent: float = 0.001,
+    self_share: float = 0.12, extra: dict[str, Trajectory] | None = None,
+) -> ShareTable:
+    """Build a ccTLD share table from June-2021 targets for the big four.
+
+    Google and Microsoft start at 80% of their final share (steady growth);
+    Yandex/Tencent are flat.
+    """
+    table: ShareTable = {
+        "google": traj(google * 0.8, google),
+        "microsoft": traj(microsoft * 0.8, microsoft),
+        "yandex": traj(yandex, yandex),
+        "tencent": traj(tencent, tencent),
+        SELF: traj(self_share, self_share * 0.7),
+        NONE: traj(0.06, 0.06),
+    }
+    if extra:
+        table.update(extra)
+    return table
+
+
+# June-2021 Google/Microsoft/Yandex/Tencent targets per ccTLD (Figure 8).
+ALEXA_CCTLD_TABLES: dict[str, ShareTable] = {
+    "br": _cctld_table(0.50, 0.15),
+    "ar": _cctld_table(0.45, 0.12),
+    "uk": _cctld_table(0.30, 0.25, extra={"mimecast": traj(0.02, 0.035)}),
+    "fr": _cctld_table(0.28, 0.15, extra={"ovh": traj(0.09, 0.08)}),
+    "de": _cctld_table(0.18, 0.15, extra={"unitedinternet": traj(0.11, 0.09), "strato": traj(0.05, 0.045)}),
+    "it": _cctld_table(0.22, 0.16, extra={"aruba": traj(0.08, 0.07)}),
+    "es": _cctld_table(0.25, 0.18),
+    "ro": _cctld_table(0.30, 0.12),
+    "ca": _cctld_table(0.35, 0.20),
+    "au": _cctld_table(0.30, 0.25),
+    "ru": _cctld_table(
+        0.13, 0.05, yandex=0.28, tencent=0.002, self_share=0.12,
+        extra={"mail_ru": traj(0.09, 0.10), "beget": traj(0.05, 0.05)},
+    ),
+    "cn": _cctld_table(0.02, 0.05, yandex=0.002, tencent=0.26, self_share=0.15),
+    "jp": _cctld_table(0.25, 0.15),
+    "in": _cctld_table(0.40, 0.15),
+    "sg": _cctld_table(0.35, 0.22),
+}
+# Yandex in .ru grows (Figure 8 counts are June 2021; growth keeps the
+# full-Alexa Yandex series rising as in Figure 6a).
+ALEXA_CCTLD_TABLES["ru"]["yandex"] = traj(0.24, 0.28)
+ALEXA_CCTLD_TABLES["cn"]["tencent"] = traj(0.22, 0.26)
+
+# ---------------------------------------------------------------------------
+# Random .com table (Figure 5 bottom, Figure 6 d–f, Table 6 COM column)
+# ---------------------------------------------------------------------------
+
+COM_TABLE: ShareTable = {
+    "godaddy": traj(0.330, 0.290),
+    "google": traj(0.075, 0.094),
+    "microsoft": traj(0.042, 0.058),
+    "unitedinternet": traj(0.055, 0.046),
+    "eig": traj(0.017, 0.015),
+    "ovh": traj(0.013, 0.013),
+    "namecheap": traj(0.009, 0.011),
+    "tucows": traj(0.011, 0.010),
+    "strato": traj(0.010, 0.009),
+    "rackspace": traj(0.009, 0.0085),
+    "webcom": traj(0.008, 0.007),
+    "aruba": traj(0.0075, 0.0066),
+    "yahoo": traj(0.007, 0.0063),
+    "siteground": traj(0.005, 0.006),
+    "tencent": traj(0.005, 0.0059),
+    "yandex": traj(0.004, 0.004),
+    "mail_ru": traj(0.003, 0.003),
+    "zoho": traj(0.006, 0.008),
+    "proofpoint": traj(0.002, 0.004),
+    "mimecast": traj(0.001, 0.003),
+    "barracuda": traj(0.001, 0.002),
+    "ironport": traj(0.001, 0.002),
+    "appriver": traj(0.0005, 0.001),
+    SELF: traj(0.004, 0.0032),
+    NONE: traj(0.110, 0.110),
+}
+
+# ---------------------------------------------------------------------------
+# .gov tables (Figure 5 right, Figure 6 g–i, Table 6 GOV column)
+# ---------------------------------------------------------------------------
+
+GOV_FEDERAL_TABLE: ShareTable = {
+    "microsoft": traj(0.200, 0.330),
+    # Google rises then falls in .gov (footnote 10: domains moved to Microsoft).
+    "google": Trajectory(points=((0.0, 0.090), (0.55, 0.105), (1.0, 0.080))),
+    "barracuda": traj(0.050, 0.070),
+    "proofpoint": traj(0.030, 0.050),
+    "mimecast": traj(0.015, 0.030),
+    "appriver": traj(0.012, 0.017),
+    "hhs": traj(0.018, 0.016),
+    "treasury": traj(0.015, 0.013),
+    "ironport": traj(0.013, 0.014),
+    "intermedia": traj(0.007, 0.007),
+    SELF: traj(0.180, 0.110),
+    NONE: traj(0.050, 0.050),
+}
+
+GOV_NONFEDERAL_TABLE: ShareTable = {
+    "microsoft": traj(0.200, 0.310),
+    "google": Trajectory(points=((0.0, 0.100), (0.55, 0.120), (1.0, 0.096))),
+    "barracuda": traj(0.065, 0.085),
+    "proofpoint": traj(0.020, 0.040),
+    "mimecast": traj(0.010, 0.022),
+    "appriver": traj(0.012, 0.017),
+    "rackspace": traj(0.016, 0.014),
+    "ironport": traj(0.013, 0.014),
+    "godaddy": traj(0.013, 0.010),
+    "sophos": traj(0.007, 0.008),
+    "solarwinds": traj(0.008, 0.008),
+    "intermedia": traj(0.007, 0.007),
+    "trendmicro": traj(0.006, 0.006),
+    SELF: traj(0.130, 0.085),
+    NONE: traj(0.070, 0.070),
+}
+
+GOV_FEDERAL_FRACTION = 0.35
+
+
+def all_share_tables() -> dict[str, ShareTable]:
+    """Every table, keyed by a diagnostic name (used by validation tests)."""
+    tables: dict[str, ShareTable] = {
+        "alexa_gtld_top1k": ALEXA_GTLD_TOP1K,
+        "alexa_gtld_1k_10k": ALEXA_GTLD_1K_10K,
+        "alexa_gtld_10k_100k": ALEXA_GTLD_10K_100K,
+        "alexa_gtld_tail": ALEXA_GTLD_TAIL,
+        "com": COM_TABLE,
+        "gov_federal": GOV_FEDERAL_TABLE,
+        "gov_nonfederal": GOV_NONFEDERAL_TABLE,
+    }
+    for cctld, table in ALEXA_CCTLD_TABLES.items():
+        tables[f"alexa_cctld_{cctld}"] = table
+    return tables
+
+
+# Word fragments for deterministic synthetic domain names.
+_NAME_SYLLABLES = (
+    "al", "an", "ar", "ba", "bel", "bo", "ca", "cen", "cor", "da", "del",
+    "do", "el", "en", "fa", "fin", "ga", "gen", "go", "ha", "hel", "in",
+    "ka", "kin", "la", "lek", "ma", "mar", "mo", "na", "nor", "or", "pa",
+    "pel", "po", "ra", "rin", "ro", "sa", "sol", "ta", "tel", "to", "ur",
+    "va", "ven", "vo", "wa", "win", "za",
+)
+
+
+def synth_label(rng, min_syllables: int = 2, max_syllables: int = 4) -> str:
+    """Generate one pronounceable DNS label from a seeded RNG."""
+    count = rng.randint(min_syllables, max_syllables)
+    label = "".join(rng.choice(_NAME_SYLLABLES) for _ in range(count))
+    if rng.random() < 0.15:
+        label += str(rng.randint(2, 99))
+    return label

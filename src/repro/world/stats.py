@@ -1,0 +1,101 @@
+"""World statistics: composition summaries of a built world.
+
+Diagnostic views used by documentation, examples, and tests: corpus sizes,
+TLD mix, provisioning-style mix, ground-truth category mix — the knobs of
+:mod:`repro.world.population` read back from an actual build.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .build import World
+from .entities import CompanyKind, DatasetTag
+from .population import NUM_SNAPSHOTS
+
+
+@dataclass
+class WorldStats:
+    """Composition counters for one world at one snapshot."""
+
+    snapshot_index: int
+    corpus_sizes: dict[DatasetTag, int]
+    tld_mix: Counter
+    style_mix: Counter
+    truth_kind_mix: Counter
+    company_counts: dict[CompanyKind, int]
+    total_servers: int
+    total_zones: int
+
+    def render(self) -> str:
+        # Imported here: repro.analysis depends on repro.core which depends
+        # on repro.world — a module-level import would close that cycle.
+        from ..analysis.render import format_table
+
+        corpus_rows = [[tag.value, count] for tag, count in self.corpus_sizes.items()]
+        style_rows = [
+            [style, count] for style, count in self.style_mix.most_common()
+        ]
+        kind_rows = [
+            [kind, count] for kind, count in self.truth_kind_mix.most_common()
+        ]
+        company_rows = [
+            [kind.value, count] for kind, count in sorted(
+                self.company_counts.items(), key=lambda item: item[0].value
+            )
+        ]
+        tld_rows = [[f".{tld}", count] for tld, count in self.tld_mix.most_common(12)]
+        sections = [
+            format_table(["Corpus", "Domains"], corpus_rows, title="Corpora"),
+            format_table(["TLD", "Domains"], tld_rows, title="Top TLDs"),
+            format_table(
+                ["Provisioning style", "Domains"], style_rows,
+                title=f"Styles at snapshot {self.snapshot_index}",
+            ),
+            format_table(
+                ["Operator kind", "Domains"], kind_rows,
+                title=f"Ground-truth operators at snapshot {self.snapshot_index}",
+            ),
+            format_table(["Company kind", "Companies"], company_rows, title="Companies"),
+            format_table(
+                ["Resource", "Count"],
+                [["SMTP servers", self.total_servers], ["DNS zones", self.total_zones]],
+                title="Infrastructure",
+            ),
+        ]
+        return "\n\n".join(sections)
+
+
+def collect_stats(world: World, snapshot_index: int = NUM_SNAPSHOTS - 1) -> WorldStats:
+    """Summarize a world's composition at one snapshot."""
+    corpus_sizes: dict[DatasetTag, int] = {tag: 0 for tag in DatasetTag}
+    tld_mix: Counter = Counter()
+    style_mix: Counter = Counter()
+    truth_kind_mix: Counter = Counter()
+
+    for entity in world.domains.values():
+        corpus_sizes[entity.dataset] += 1
+        tld_mix[entity.name.rsplit(".", 1)[-1]] += 1
+        assignment = entity.assignment_at(snapshot_index)
+        style_mix[assignment.style.value] += 1
+        if assignment.company_slug is not None:
+            kind = world.companies[assignment.company_slug].spec.kind.value
+        else:
+            kind = assignment.truth.lower()
+        truth_kind_mix[kind] += 1
+
+    company_counts: dict[CompanyKind, int] = Counter()
+    for infra in world.companies.values():
+        company_counts[infra.spec.kind] += 1
+
+    return WorldStats(
+        snapshot_index=snapshot_index,
+        corpus_sizes=corpus_sizes,
+        tld_mix=tld_mix,
+        style_mix=style_mix,
+        truth_kind_mix=truth_kind_mix,
+        company_counts=dict(company_counts),
+        total_servers=len(world.host_table),
+        total_zones=len(world.snapshot_zones[snapshot_index]),
+    )

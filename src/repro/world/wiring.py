@@ -1,0 +1,493 @@
+"""Per-domain materialization: turn ground-truth assignments into DNS + hosts.
+
+The :class:`DomainWirer` owns every per-domain artifact the measurement
+layer can observe: MX records, glue A records, self-hosted / VPS / spoofed
+/ misconfigured endpoints and their certificates.  Endpoints are created
+once per (domain, flavor) and cached so a domain keeps the same server and
+addresses across snapshots; only the DNS changes as domains churn.
+
+All randomness is derived from stable per-domain fingerprints
+(:func:`~repro.world.evolve.domain_fingerprint`), so wiring is reproducible
+and independent of iteration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dnscore import ZoneDB, a as a_record, mx as mx_record, spf as spf_record
+from ..dnscore.psl import PublicSuffixList
+from ..netsim.registry import AddressBlock
+from ..smtp.banner import BannerStyle
+from ..smtp.server import SMTPHostTable, SMTPServerConfig
+from ..tls.ca import CertificateAuthority, self_signed
+from .entities import (
+    CompanyInfra,
+    DomainAssignment,
+    DomainEntity,
+    MailHost,
+    ProvisioningStyle,
+)
+from .evolve import domain_fingerprint
+
+
+@dataclass
+class Endpoint:
+    """One per-domain MTA endpoint (self-hosted box, VPS, dedicated relay)."""
+
+    mx_target: str          # FQDN the MX record should point at
+    glue_name: str          # name that carries the A record
+    addresses: list[str]
+    owner_zone: str         # zone apex owning the glue A record
+
+
+def _roll(domain: str, salt: str) -> float:
+    """Deterministic uniform [0,1) roll for (domain, salt)."""
+    return (domain_fingerprint(domain, salt) % 100_000) / 100_000.0
+
+
+def _label_of(domain: str) -> str:
+    return domain.split(".")[0]
+
+
+@dataclass
+class DomainWirer:
+    """Creates DNS records and endpoints for domains, one snapshot at a time."""
+
+    companies: dict[str, CompanyInfra]
+    host_table: SMTPHostTable
+    ca: CertificateAuthority
+    psl: PublicSuffixList
+    transit_blocks: list[AddressBlock]
+    vps_hosting_slugs: tuple[str, ...] = ("godaddy", "ovh")
+    small_vps_slugs: tuple[str, ...] = ()   # "unpopular" hosts; misses in Fig 4
+    cloud_block: AddressBlock | None = None
+    # Domains forced into specific corner-case paths (showcase examples).
+    force_cloud_nosmtp: frozenset[str] = frozenset()
+    force_customer_cert: frozenset[str] = frozenset()
+
+    _endpoints: dict[tuple[str, str], Endpoint] = field(default_factory=dict)
+    _customer_mx: dict[tuple[str, str], str] = field(default_factory=dict)
+    _vps_serial: int = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def wire(
+        self,
+        zdb: ZoneDB,
+        entity: DomainEntity,
+        assignment: DomainAssignment,
+    ) -> None:
+        """Install *entity*'s records for one snapshot into *zdb*."""
+        zdb.ensure_zone(entity.name)
+        self._publish_spf(zdb, entity, assignment)
+        style = assignment.style
+        if style is ProvisioningStyle.PROVIDER_NAMED:
+            self._wire_provider_named(zdb, entity, assignment)
+        elif style is ProvisioningStyle.CUSTOMER_NAMED:
+            self._wire_customer_named(zdb, entity, assignment)
+        elif style is ProvisioningStyle.HOSTING_DEFAULT:
+            self._wire_hosting_default(zdb, entity, assignment)
+        elif style is ProvisioningStyle.SELF_HOSTED:
+            self._wire_endpoint(zdb, entity, self._self_hosted_endpoint(entity))
+        elif style is ProvisioningStyle.SELF_ON_VPS:
+            self._wire_endpoint(zdb, entity, self._vps_endpoint(entity))
+        elif style is ProvisioningStyle.SELF_SPOOFED:
+            self._wire_endpoint(zdb, entity, self._spoofed_endpoint(entity))
+        elif style is ProvisioningStyle.SELF_MISCONFIGURED:
+            self._wire_endpoint(zdb, entity, self._misconfigured_endpoint(entity))
+        elif style is ProvisioningStyle.NO_SMTP:
+            self._wire_no_smtp(zdb, entity)
+        elif style is ProvisioningStyle.DANGLING_MX:
+            zdb.add(mx_record(entity.name, f"mail.{entity.name}", preference=10))
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled style {style}")
+
+    # ------------------------------------------------------------------
+    # sender policy (SPF) publication
+    # ------------------------------------------------------------------
+
+    def _publish_spf(
+        self, zdb: ZoneDB, entity: DomainEntity, assignment: DomainAssignment
+    ) -> None:
+        """Publish the domain's SPF policy (a minority publish none).
+
+        Filtering-service customers commonly authorize *both* the filter
+        and the mailbox provider behind it — which is what makes SPF a
+        useful signal for the eventual provider (Section 3.4).
+        """
+        if _roll(entity.name, "nospf") < 0.20:
+            return
+        style = assignment.style
+        if style in (
+            ProvisioningStyle.PROVIDER_NAMED,
+            ProvisioningStyle.CUSTOMER_NAMED,
+            ProvisioningStyle.HOSTING_DEFAULT,
+        ):
+            assert assignment.company_slug is not None
+            includes = []
+            if assignment.eventual_slug is not None:
+                eventual = self._infra(assignment.eventual_slug)
+                includes.append(f"include:_spf.{eventual.spec.canonical_provider_id}")
+            front = self._infra(assignment.company_slug)
+            includes.append(f"include:_spf.{front.spec.canonical_provider_id}")
+            if assignment.secondary_slug is not None:
+                secondary = self._infra(assignment.secondary_slug)
+                includes.append(
+                    f"include:_spf.{secondary.spec.canonical_provider_id}"
+                )
+            zdb.add(spf_record(entity.name, " ".join(includes) + " ~all"))
+        elif style in (
+            ProvisioningStyle.SELF_HOSTED,
+            ProvisioningStyle.SELF_ON_VPS,
+            ProvisioningStyle.SELF_SPOOFED,
+            ProvisioningStyle.SELF_MISCONFIGURED,
+        ):
+            zdb.add(spf_record(entity.name, "a mx ~all"))
+        # NO_SMTP / DANGLING_MX domains publish no policy.
+
+    # ------------------------------------------------------------------
+    # provider-backed wiring
+    # ------------------------------------------------------------------
+
+    def _infra(self, slug: str | None) -> CompanyInfra:
+        if slug is None or slug not in self.companies:
+            raise KeyError(f"unknown company slug: {slug!r}")
+        return self.companies[slug]
+
+    def _pick_hosts(self, entity: DomainEntity, infra: CompanyInfra, count: int) -> list[MailHost]:
+        hosts = infra.mx_hosts
+        if not hosts:
+            raise RuntimeError(f"{infra.spec.slug} has no MX hosts")
+        start = domain_fingerprint(entity.name, f"host|{infra.spec.slug}") % len(hosts)
+        return [hosts[(start + i) % len(hosts)] for i in range(min(count, len(hosts)))]
+
+    def _wire_provider_named(
+        self, zdb: ZoneDB, entity: DomainEntity, assignment: DomainAssignment
+    ) -> None:
+        infra = self._infra(assignment.company_slug)
+        spec = infra.spec
+        use_template = spec.customer_mx_template is not None and not (
+            spec.regional_shared_fraction > 0
+            and _roll(entity.name, f"regional|{spec.slug}") < spec.regional_shared_fraction
+        )
+        if use_template:
+            mx_name = self._customer_specific_mx(zdb, entity, infra)
+            zdb.add(mx_record(entity.name, mx_name, preference=10))
+        else:
+            primary, *rest = self._pick_hosts(entity, infra, 2)
+            zdb.add(mx_record(entity.name, primary.fqdn, preference=10))
+            for backup in rest:
+                zdb.add(mx_record(entity.name, backup.fqdn, preference=20))
+        self._maybe_add_split_mx(zdb, entity, assignment)
+
+    def _maybe_add_split_mx(
+        self, zdb: ZoneDB, entity: DomainEntity, assignment: DomainAssignment
+    ) -> None:
+        """Occasionally add a second, equally preferred MX at another provider."""
+        if assignment.secondary_slug is None:
+            return
+        infra = self._infra(assignment.secondary_slug)
+        if infra.spec.customer_mx_template:
+            mx_name = self._customer_specific_mx(zdb, entity, infra)
+        else:
+            mx_name = self._pick_hosts(entity, infra, 1)[0].fqdn
+        zdb.add(mx_record(entity.name, mx_name, preference=10))
+
+    def _customer_pid(self, entity: DomainEntity, infra: CompanyInfra) -> str:
+        """Per-customer provider-ID choice for ``{pid}`` templates.
+
+        Limited to provider IDs with deployed MX hosts; the canonical ID is
+        favored, the rest split the remainder evenly.
+        """
+        eligible = []
+        for provider_id in infra.spec.provider_ids:
+            if any(
+                self.psl.registered_domain(host.fqdn) == provider_id
+                for host in infra.mx_hosts
+            ):
+                eligible.append(provider_id)
+        if not eligible:
+            return infra.spec.canonical_provider_id
+        roll = _roll(entity.name, f"pid|{infra.spec.slug}")
+        if roll < 0.70 or len(eligible) == 1:
+            return eligible[0]
+        index = domain_fingerprint(entity.name, f"pidpick|{infra.spec.slug}") % (
+            len(eligible) - 1
+        )
+        return eligible[1 + index]
+
+    def _customer_specific_mx(
+        self, zdb: ZoneDB, entity: DomainEntity, infra: CompanyInfra
+    ) -> str:
+        """Create (once) and publish a per-customer MX name for *entity*."""
+        spec = infra.spec
+        key = (entity.name, spec.slug)
+        if key not in self._customer_mx:
+            fingerprint = domain_fingerprint(entity.name, f"custmx|{spec.slug}")
+            label = _label_of(entity.name).replace("_", "-")
+            assert spec.customer_mx_template is not None
+            self._customer_mx[key] = spec.customer_mx_template.format(
+                label=label,
+                hash4=f"{fingerprint & 0xFFFF:04x}",
+                hash8=f"{fingerprint:08x}",
+                pid=self._customer_pid(entity, infra),
+            )
+        mx_name = self._customer_mx[key]
+        endpoint_addresses = self._customer_endpoint_addresses(entity, infra, mx_name)
+        for address in endpoint_addresses:
+            zdb.add(a_record(mx_name, address))
+        return mx_name
+
+    def _customer_endpoint_addresses(
+        self, entity: DomainEntity, infra: CompanyInfra, mx_name: str
+    ) -> list[str]:
+        """Addresses behind a customer-specific MX name.
+
+        Usually the provider's shared hosts (under the MX name's own
+        provider ID when one matches); for providers with a
+        ``customer_cert_fraction`` some customers get a dedicated relay that
+        presents the *customer's* certificate (utexas.edu-style).
+        """
+        spec = infra.spec
+        if entity.name in self.force_customer_cert or (
+            spec.customer_cert_fraction > 0
+            and _roll(entity.name, f"custcert|{spec.slug}") < spec.customer_cert_fraction
+        ):
+            endpoint = self._dedicated_customer_cert_endpoint(entity, infra)
+            return endpoint.addresses
+        mx_registered = self.psl.registered_domain(mx_name)
+        matching = [
+            host for host in infra.mx_hosts
+            if self.psl.registered_domain(host.fqdn) == mx_registered
+        ]
+        if matching:
+            index = domain_fingerprint(entity.name, f"host|{spec.slug}") % len(matching)
+            return matching[index].addresses
+        return self._pick_hosts(entity, infra, 1)[0].addresses
+
+    def _dedicated_customer_cert_endpoint(
+        self, entity: DomainEntity, infra: CompanyInfra
+    ) -> Endpoint:
+        key = (entity.name, f"dedicated|{infra.spec.slug}")
+        if key in self._endpoints:
+            return self._endpoints[key]
+        block = infra.dedicated_block or self._transit_block(entity)
+        address = str(block.allocate_address())
+        relay_identity = f"esa.{_label_of(entity.name)}.{infra.spec.canonical_provider_id}"
+        customer_cert = self.ca.issue(f"inbound.mail.{entity.name}")
+        self.host_table.bind(
+            address,
+            SMTPServerConfig(
+                identity=relay_identity,
+                banner_style=BannerStyle.FQDN,
+                starttls=True,
+                certificate=customer_cert,
+            ),
+        )
+        endpoint = Endpoint(
+            mx_target=relay_identity,
+            glue_name=relay_identity,
+            addresses=[address],
+            owner_zone=infra.spec.canonical_provider_id,
+        )
+        self._endpoints[key] = endpoint
+        return endpoint
+
+    def _wire_customer_named(
+        self, zdb: ZoneDB, entity: DomainEntity, assignment: DomainAssignment
+    ) -> None:
+        """MX under the customer's own name, pointing at provider IPs."""
+        infra = self._infra(assignment.company_slug)
+        host = self._pick_hosts(entity, infra, 1)[0]
+        glue = f"mailhost.{entity.name}"
+        zdb.add(mx_record(entity.name, glue, preference=10))
+        for address in host.addresses:
+            zdb.add(a_record(glue, address))
+
+    def _wire_hosting_default(
+        self, zdb: ZoneDB, entity: DomainEntity, assignment: DomainAssignment
+    ) -> None:
+        """The hosting-company default: mx.<domain> → hosting company IPs."""
+        infra = self._infra(assignment.company_slug)
+        host = self._pick_hosts(entity, infra, 1)[0]
+        glue = f"mx.{entity.name}"
+        zdb.add(mx_record(entity.name, glue, preference=0))
+        for address in host.addresses:
+            zdb.add(a_record(glue, address))
+
+    # ------------------------------------------------------------------
+    # self-operated endpoints
+    # ------------------------------------------------------------------
+
+    def _transit_block(self, entity: DomainEntity) -> AddressBlock:
+        index = domain_fingerprint(entity.name, "transit") % len(self.transit_blocks)
+        return self.transit_blocks[index]
+
+    def _wire_endpoint(self, zdb: ZoneDB, entity: DomainEntity, endpoint: Endpoint) -> None:
+        zdb.add(mx_record(entity.name, endpoint.mx_target, preference=10))
+        if endpoint.owner_zone != entity.name:
+            zdb.ensure_zone(endpoint.owner_zone)
+        for address in endpoint.addresses:
+            zdb.add(a_record(endpoint.glue_name, address))
+
+    def _self_hosted_endpoint(self, entity: DomainEntity) -> Endpoint:
+        key = (entity.name, "self")
+        if key in self._endpoints:
+            return self._endpoints[key]
+        address = str(self._transit_block(entity).allocate_address())
+        identity = f"mx.{entity.name}"
+        roll = _roll(entity.name, "selfcert")
+        if roll < 0.55:
+            certificate, starttls = self.ca.issue(identity), True
+        elif roll < 0.80:
+            certificate, starttls = self_signed(identity), True
+        else:
+            certificate, starttls = None, False
+        self.host_table.bind(
+            address,
+            SMTPServerConfig(
+                identity=identity,
+                banner_style=BannerStyle.FQDN,
+                starttls=starttls,
+                certificate=certificate,
+            ),
+        )
+        endpoint = Endpoint(
+            mx_target=identity, glue_name=identity,
+            addresses=[address], owner_zone=entity.name,
+        )
+        self._endpoints[key] = endpoint
+        return endpoint
+
+    def _vps_endpoint(self, entity: DomainEntity) -> Endpoint:
+        """Self-hosting on a rented VPS: cert and banner under the host's domain."""
+        key = (entity.name, "vps")
+        if key in self._endpoints:
+            return self._endpoints[key]
+        # 70% rent from a well-known host (step 4 heuristics recover these);
+        # the rest from unpopular hosts (the paper's residual error cases).
+        use_small = (
+            bool(self.small_vps_slugs)
+            and _roll(entity.name, "vpshost") < 0.30
+        )
+        pool = self.small_vps_slugs if use_small else self.vps_hosting_slugs
+        slug = pool[domain_fingerprint(entity.name, "vpspick") % len(pool)]
+        infra = self._infra(slug)
+        self._vps_serial += 1
+        serial = self._vps_serial
+        vps_domain = infra.spec.vps_cert_domain or infra.spec.canonical_provider_id
+        if slug == "godaddy":
+            vps_host = f"s{serial % 97}-{serial % 251}-{serial % 13}.{vps_domain}"
+        elif slug == "ovh":
+            vps_host = f"vps-{domain_fingerprint(entity.name, 'ovh'):08x}.vps.{vps_domain}"
+        else:
+            vps_host = f"vps{serial}.{vps_domain}"
+        block = infra.vps_block or self._transit_block(entity)
+        address = str(block.allocate_address())
+        certificate = self.ca.issue(vps_host)
+        self.host_table.bind(
+            address,
+            SMTPServerConfig(
+                identity=vps_host,
+                banner_style=BannerStyle.FQDN,
+                starttls=True,
+                certificate=certificate,
+            ),
+        )
+        glue = f"mx.{entity.name}"
+        endpoint = Endpoint(
+            mx_target=glue, glue_name=glue,
+            addresses=[address], owner_zone=entity.name,
+        )
+        self._endpoints[key] = endpoint
+        return endpoint
+
+    def _spoofed_endpoint(self, entity: DomainEntity) -> Endpoint:
+        """Self-hosted box whose banner falsely claims to be Google."""
+        key = (entity.name, "spoof")
+        if key in self._endpoints:
+            return self._endpoints[key]
+        address = str(self._transit_block(entity).allocate_address())
+        self.host_table.bind(
+            address,
+            SMTPServerConfig(
+                identity="mx.google.com",
+                banner_style=BannerStyle.SPOOFED,
+                starttls=True,
+                certificate=self_signed("mx.google.com"),
+            ),
+        )
+        glue = f"mx.{entity.name}"
+        endpoint = Endpoint(
+            mx_target=glue, glue_name=glue,
+            addresses=[address], owner_zone=entity.name,
+        )
+        self._endpoints[key] = endpoint
+        return endpoint
+
+    def _misconfigured_endpoint(self, entity: DomainEntity) -> Endpoint:
+        """Self-hosted box with a useless banner (localhost / IP-1-2-3-4)."""
+        key = (entity.name, "misconf")
+        if key in self._endpoints:
+            return self._endpoints[key]
+        address = str(self._transit_block(entity).allocate_address())
+        style = (
+            BannerStyle.LOCALHOST
+            if _roll(entity.name, "misconf") < 0.5
+            else BannerStyle.DECORATED_IP
+        )
+        self.host_table.bind(
+            address,
+            SMTPServerConfig(
+                identity=None,
+                banner_style=style,
+                starttls=False,
+                certificate=None,
+            ),
+        )
+        glue = f"mx.{entity.name}"
+        endpoint = Endpoint(
+            mx_target=glue, glue_name=glue,
+            addresses=[address], owner_zone=entity.name,
+        )
+        self._endpoints[key] = endpoint
+        return endpoint
+
+    def _cloud_web_endpoint(self) -> Endpoint:
+        """The shared Google web-hosting frontend (no SMTP listener).
+
+        The jeniustoto.net case: an MX naming ``ghs.google.com`` resolves to
+        Google web-hosting address space where nothing answers on port 25.
+        """
+        key = ("__shared__", "cloud_web")
+        if key not in self._endpoints:
+            assert self.cloud_block is not None
+            address = str(self.cloud_block.allocate_address())
+            self._endpoints[key] = Endpoint(
+                mx_target="ghs.google.com",
+                glue_name="ghs.google.com",
+                addresses=[address],
+                owner_zone="google.com",
+            )
+        return self._endpoints[key]
+
+    def _wire_no_smtp(self, zdb: ZoneDB, entity: DomainEntity) -> None:
+        """MX resolves to an address where nothing listens on port 25."""
+        use_cloud = self.cloud_block is not None and (
+            entity.name in self.force_cloud_nosmtp or _roll(entity.name, "nosmtp") < 0.30
+        )
+        if use_cloud:
+            self._wire_endpoint(zdb, entity, self._cloud_web_endpoint())
+            return
+        key = (entity.name, "nosmtp")
+        if key not in self._endpoints:
+            address = str(self._transit_block(entity).allocate_address())
+            glue = f"mx.{entity.name}"
+            self._endpoints[key] = Endpoint(
+                mx_target=glue, glue_name=glue,
+                addresses=[address], owner_zone=entity.name,
+            )
+        self._wire_endpoint(zdb, entity, self._endpoints[key])

@@ -1,0 +1,161 @@
+"""Unit tests for the accuracy-evaluation machinery (Figure 4 internals)."""
+
+import random
+from datetime import date
+
+import pytest
+
+from repro.analysis.accuracy import (
+    AccuracyCell,
+    evaluate_approaches,
+    inference_labels,
+    is_correct,
+    sample_with_smtp,
+    truth_labels,
+    unique_mx_domains,
+)
+from repro.core.baselines import ALL_APPROACHES, APPROACH_PRIORITY
+from repro.core.companies import CompanyMap
+from repro.core.types import DomainInference, DomainStatus
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.world.catalog import CATALOG
+
+DAY = date(2021, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def company_map():
+    return CompanyMap.from_specs(CATALOG)
+
+
+def measurement(domain, mx_names, with_smtp=True):
+    scan = PortScanRecord(
+        address="11.0.0.1", scanned_on=DAY,
+        state=Port25State.OPEN if with_smtp else Port25State.TIMEOUT,
+        banner="x" if with_smtp else None,
+    )
+    return DomainMeasurement(
+        domain=domain,
+        measured_on=DAY,
+        mx_set=tuple(
+            MXData(name, 10, (IPObservation("11.0.0.1", None, scan),))
+            for name in mx_names
+        ),
+    )
+
+
+class TestLabelNormalization:
+    def test_truth_labels(self):
+        assert truth_labels({"google": 1.0}) == {"google"}
+        assert truth_labels({"SELF": 1.0}) == {"SELF"}
+        assert truth_labels({"NONE": 1.0}) == {"NONE"}
+        assert truth_labels({"google": 0.5, "microsoft": 0.5}) == {"google", "microsoft"}
+
+    def test_inference_labels_statuses(self, company_map):
+        for status in (DomainStatus.NO_SMTP, DomainStatus.NO_MX, DomainStatus.NO_MX_IP):
+            inference = DomainInference(domain="x.com", status=status)
+            assert inference_labels(inference, company_map) == {"NONE"}
+
+    def test_inference_labels_resolution(self, company_map):
+        inference = DomainInference(
+            domain="x.com", status=DomainStatus.INFERRED,
+            attributions={"googlemail.com": 1.0},
+        )
+        assert inference_labels(inference, company_map) == {"google"}
+
+    def test_is_correct_split(self, company_map):
+        inference = DomainInference(
+            domain="x.com", status=DomainStatus.INFERRED,
+            attributions={"google.com": 0.5, "outlook.com": 0.5},
+        )
+        assert is_correct(inference, {"google": 0.5, "microsoft": 0.5}, company_map)
+        assert not is_correct(inference, {"google": 1.0}, company_map)
+
+    def test_is_correct_none_statuses(self, company_map):
+        inference = DomainInference(domain="x.com", status=DomainStatus.NO_SMTP)
+        assert is_correct(inference, {"NONE": 1.0}, company_map)
+        assert not is_correct(inference, {"google": 1.0}, company_map)
+
+
+class TestUniqueMX:
+    def test_shared_mx_excluded(self):
+        measurements = {
+            "a.com": measurement("a.com", ["mx.shared.net"]),
+            "b.com": measurement("b.com", ["mx.shared.net"]),
+            "c.com": measurement("c.com", ["mx.c.com"]),
+        }
+        assert unique_mx_domains(measurements) == ["c.com"]
+
+    def test_all_mx_must_be_unique(self):
+        measurements = {
+            "a.com": measurement("a.com", ["mx.own.com", "mx.shared.net"]),
+            "b.com": measurement("b.com", ["mx.shared.net"]),
+        }
+        assert unique_mx_domains(measurements) == []
+
+    def test_no_mx_excluded(self):
+        measurements = {"a.com": measurement("a.com", [])}
+        assert unique_mx_domains(measurements) == []
+
+
+class TestSampling:
+    def test_only_smtp_domains(self):
+        measurements = {
+            "live.com": measurement("live.com", ["mx.live.com"], with_smtp=True),
+            "dead.com": measurement("dead.com", ["mx.dead.com"], with_smtp=False),
+        }
+        sample = sample_with_smtp(measurements, sorted(measurements), 10, random.Random(1))
+        assert sample == ["live.com"]
+
+    def test_sample_size_respected(self):
+        measurements = {
+            f"d{i}.com": measurement(f"d{i}.com", [f"mx.d{i}.com"]) for i in range(50)
+        }
+        sample = sample_with_smtp(measurements, sorted(measurements), 10, random.Random(1))
+        assert len(sample) == 10
+
+    def test_deterministic_given_seed(self):
+        measurements = {
+            f"d{i}.com": measurement(f"d{i}.com", [f"mx.d{i}.com"]) for i in range(50)
+        }
+        a = sample_with_smtp(measurements, sorted(measurements), 10, random.Random(7))
+        b = sample_with_smtp(measurements, sorted(measurements), 10, random.Random(7))
+        assert a == b
+
+
+class TestEvaluateApproaches:
+    def test_missing_approach_rejected(self, company_map):
+        with pytest.raises(ValueError):
+            evaluate_approaches(
+                "x", {}, {"mx-only": {}}, lambda d: {}, company_map
+            )
+
+    def test_cells_cover_grid(self, company_map):
+        measurements = {
+            f"d{i}.com": measurement(f"d{i}.com", [f"mx.d{i}.com"]) for i in range(30)
+        }
+        inferences = {
+            domain: DomainInference(
+                domain=domain, status=DomainStatus.INFERRED,
+                attributions={domain: 1.0},
+            )
+            for domain in measurements
+        }
+        per_approach = {approach: inferences for approach in ALL_APPROACHES}
+        evaluation = evaluate_approaches(
+            "x", measurements, per_approach,
+            lambda d: {"SELF": 1.0}, company_map, sample_size=10,
+        )
+        assert len(evaluation.cells) == 8  # 2 sample sets × 4 approaches
+        cell = evaluation.cell("x", APPROACH_PRIORITY)
+        assert cell.accuracy == 1.0
+
+    def test_cell_lookup_missing(self):
+        from repro.analysis.accuracy import AccuracyEvaluation
+
+        with pytest.raises(KeyError):
+            AccuracyEvaluation(cells=[]).cell("x", "mx-only")
+
+    def test_accuracy_cell_zero_division(self):
+        assert AccuracyCell("s", "a", 0, 0).accuracy == 0.0

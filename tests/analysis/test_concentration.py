@@ -1,0 +1,91 @@
+"""Unit tests for market-concentration metrics."""
+
+import pytest
+
+from repro.analysis.concentration import market_concentration
+from repro.analysis.market_share import MarketShare
+
+
+def share_of(weights, total=None):
+    return MarketShare(weights=weights, total_domains=total or int(sum(weights.values())))
+
+
+class TestMarketConcentration:
+    def test_monopoly(self):
+        point = market_concentration(share_of({"google": 100.0}))
+        assert point.hhi == pytest.approx(10_000.0)
+        assert point.cr1 == pytest.approx(1.0)
+        assert point.effective_providers == pytest.approx(1.0)
+
+    def test_duopoly(self):
+        point = market_concentration(share_of({"google": 50.0, "microsoft": 50.0}))
+        assert point.hhi == pytest.approx(5_000.0)
+        assert point.cr1 == pytest.approx(0.5)
+        assert point.cr4 == pytest.approx(1.0)
+        assert point.effective_providers == pytest.approx(2.0)
+
+    def test_fragmented_market_low_hhi(self):
+        weights = {f"p{i}": 1.0 for i in range(100)}
+        point = market_concentration(share_of(weights))
+        assert point.hhi == pytest.approx(100.0)
+        assert point.effective_providers == pytest.approx(100.0)
+
+    def test_self_hosting_as_distinct_providers(self):
+        # 50 domains on one provider + 50 self-hosted singletons:
+        # far less concentrated than a 50/50 duopoly.
+        point = market_concentration(share_of({"google": 50.0, "SELF": 50.0}))
+        duopoly = market_concentration(
+            share_of({"google": 50.0, "SELF": 50.0}), treat_self_as_distinct=False
+        )
+        assert point.hhi < duopoly.hhi
+        assert point.cr1 == pytest.approx(0.5)
+
+    def test_self_aggregate_mode(self):
+        point = market_concentration(
+            share_of({"google": 50.0, "SELF": 50.0}), treat_self_as_distinct=False
+        )
+        assert point.hhi == pytest.approx(5_000.0)
+
+    def test_consolidation_raises_hhi(self):
+        before = market_concentration(
+            share_of({"google": 30.0, "microsoft": 20.0, "SELF": 50.0})
+        )
+        after = market_concentration(
+            share_of({"google": 45.0, "microsoft": 35.0, "SELF": 20.0})
+        )
+        assert after.hhi > before.hhi
+        assert after.effective_providers < before.effective_providers
+
+    def test_empty_market(self):
+        point = market_concentration(share_of({}, total=10))
+        assert point.hhi == 0.0
+        assert point.attributed_domains == 0.0
+
+    def test_cr_ordering(self):
+        weights = {f"p{i}": float(20 - i) for i in range(12)}
+        point = market_concentration(share_of(weights))
+        assert point.cr1 <= point.cr4 <= point.cr10 <= 1.0
+
+
+class TestWorldConcentration:
+    def test_consolidation_trend_in_every_corpus(self, ctx):
+        from repro.experiments import ext_concentration
+        from repro.world.entities import DatasetTag
+
+        result = ext_concentration.run(ctx)
+        for dataset in (DatasetTag.ALEXA, DatasetTag.GOV):
+            assert result.hhi_delta(dataset) > 0, dataset
+
+    def test_gov_gap_preserved(self, ctx):
+        from repro.experiments import ext_concentration
+        from repro.world.entities import DatasetTag
+
+        result = ext_concentration.run(ctx)
+        gov = result.series[DatasetTag.GOV]
+        assert gov[0] is None and gov[1] is None and gov[2] is not None
+
+    def test_render(self, ctx):
+        from repro.experiments import ext_concentration
+
+        text = ext_concentration.run(ctx).render()
+        assert "HHI" in text and "ALEXA" in text

@@ -1,0 +1,160 @@
+"""Unit tests for Table 4 classification, Figure 8 preferences, renderers."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis.country import country_preferences
+from repro.analysis.filtering import (
+    CATEGORY_COMPLETE,
+    CATEGORY_NO_CENSYS,
+    CATEGORY_NO_MX_IP,
+    CATEGORY_NO_PORT25,
+    CATEGORY_NO_VALID_BANNER,
+    CATEGORY_NO_VALID_CERT,
+    availability_breakdown,
+    classify_domain,
+)
+from repro.analysis.render import (
+    format_count_percent,
+    format_percent,
+    format_table,
+    sparkline,
+)
+from repro.core.companies import CompanyMap
+from repro.core.types import DomainInference, DomainStatus
+from repro.measure.caida import ASInfo
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.tls.ca import CertificateAuthority, TrustStore, self_signed
+from repro.world.catalog import CATALOG
+
+DAY = date(2021, 6, 8)
+CA = CertificateAuthority("Simulated CA")
+
+
+def build_measurement(domain, ips):
+    return DomainMeasurement(
+        domain=domain, measured_on=DAY,
+        mx_set=(MXData(f"mx.{domain}", 10, tuple(ips)),),
+    )
+
+
+def ip_obs(address, scan):
+    return IPObservation(address=address, as_info=ASInfo(1, "X", "US"), scan=scan)
+
+
+def open_scan(address, banner, cert):
+    return PortScanRecord(
+        address=address, scanned_on=DAY, state=Port25State.OPEN,
+        banner=banner, ehlo=banner.split(" ")[0] if banner else None,
+        starttls=cert is not None, certificate=cert,
+    )
+
+
+class TestClassifyDomain:
+    def test_no_mx_ip(self):
+        measurement = build_measurement("x.com", [])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_NO_MX_IP
+
+    def test_no_censys(self):
+        measurement = build_measurement("x.com", [ip_obs("1.1.1.1", None)])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_NO_CENSYS
+
+    def test_no_port25(self):
+        scan = PortScanRecord(address="1.1.1.1", scanned_on=DAY, state=Port25State.TIMEOUT)
+        measurement = build_measurement("x.com", [ip_obs("1.1.1.1", scan)])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_NO_PORT25
+
+    def test_no_valid_cert(self):
+        scan = open_scan("1.1.1.1", "mx.x.com ESMTP", self_signed("mx.x.com"))
+        measurement = build_measurement("x.com", [ip_obs("1.1.1.1", scan)])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_NO_VALID_CERT
+
+    def test_no_valid_banner(self):
+        scan = open_scan("1.1.1.1", "IP-1-1-1-1 ESMTP", CA.issue("mx.x.com"))
+        measurement = build_measurement("x.com", [ip_obs("1.1.1.1", scan)])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_NO_VALID_BANNER
+
+    def test_complete(self):
+        scan = open_scan("1.1.1.1", "mx.x.com ESMTP", CA.issue("mx.x.com"))
+        measurement = build_measurement("x.com", [ip_obs("1.1.1.1", scan)])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_COMPLETE
+
+    def test_any_good_ip_suffices(self):
+        good = ip_obs("1.1.1.1", open_scan("1.1.1.1", "mx.x.com ESMTP", CA.issue("mx.x.com")))
+        bad = ip_obs("1.1.1.2", open_scan("1.1.1.2", "IP-1-1-1-2", None))
+        measurement = build_measurement("x.com", [bad, good])
+        assert classify_domain(measurement, TrustStore()) == CATEGORY_COMPLETE
+
+    def test_breakdown_partitions(self):
+        measurements = {
+            "a.com": build_measurement("a.com", []),
+            "b.com": build_measurement(
+                "b.com",
+                [ip_obs("1.1.1.1", open_scan("1.1.1.1", "mx.b.com ESMTP", CA.issue("mx.b.com")))],
+            ),
+        }
+        breakdown = availability_breakdown(measurements, TrustStore())
+        assert sum(breakdown.counts.values()) == breakdown.total == 2
+        assert breakdown.fraction(CATEGORY_COMPLETE) == pytest.approx(0.5)
+
+
+class TestCountryPreferences:
+    def test_matrix(self):
+        company_map = CompanyMap.from_specs(CATALOG)
+        inferences = {
+            "a.ru": DomainInference("a.ru", DomainStatus.INFERRED, {"yandex.net": 1.0}),
+            "b.ru": DomainInference("b.ru", DomainStatus.INFERRED, {"google.com": 1.0}),
+            "a.cn": DomainInference("a.cn", DomainStatus.INFERRED, {"qq.com": 1.0}),
+            "b.cn": DomainInference("b.cn", DomainStatus.INFERRED, {"qq.com": 1.0}),
+        }
+        prefs = country_preferences(
+            inferences, {"ru": ["a.ru", "b.ru"], "cn": ["a.cn", "b.cn"]}, company_map
+        )
+        assert prefs.percent("ru", "yandex") == pytest.approx(50.0)
+        assert prefs.percent("cn", "tencent") == pytest.approx(100.0)
+        assert prefs.percent("cn", "yandex") == 0.0
+        assert prefs.us_share("ru") == pytest.approx(50.0)
+        assert prefs.dominant_cctld("tencent") == "cn"
+
+
+class TestRender:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Blong"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "Blong" in lines[2]
+        assert len(lines) == 6
+
+    def test_number_formatting(self):
+        text = format_table(["n"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_float_formatting(self):
+        text = format_table(["n"], [[12.345]])
+        assert "12.3" in text
+
+    def test_nan_renders_dash(self):
+        assert format_percent(float("nan")) == "-"
+
+    def test_percent(self):
+        assert format_percent(28.53) == "28.5%"
+
+    def test_count_percent(self):
+        assert format_count_percent(26697, 28.5) == "26,697 (28.5%)"
+
+    def test_sparkline(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_with_nan(self):
+        line = sparkline([float("nan"), 1.0, 2.0])
+        assert line[0] == " "
+
+    def test_sparkline_empty(self):
+        assert sparkline([float("nan")]) == ""
+
+    def test_sparkline_constant(self):
+        assert sparkline([5.0, 5.0]) == "▁▁"

@@ -1,0 +1,138 @@
+"""Unit tests for trend series and churn matrices."""
+
+import math
+
+import pytest
+
+from repro.analysis.churn import (
+    CATEGORY_NO_SMTP,
+    CATEGORY_SELF,
+    CATEGORY_TOP100,
+    churn_matrix,
+    domain_category,
+)
+from repro.analysis.longitudinal import market_share_over_time
+from repro.core.companies import SELF_LABEL, CompanyMap
+from repro.core.types import DomainInference, DomainStatus
+from repro.world.catalog import CATALOG
+
+
+@pytest.fixture(scope="module")
+def company_map():
+    return CompanyMap.from_specs(CATALOG)
+
+
+def inferred(domain, provider_id):
+    return DomainInference(
+        domain=domain, status=DomainStatus.INFERRED, attributions={provider_id: 1.0}
+    )
+
+
+class TestLongitudinal:
+    def test_series_shape(self, company_map):
+        snap0 = {"a.com": inferred("a.com", "google.com")}
+        snap1 = {"a.com": inferred("a.com", "outlook.com")}
+        result = market_share_over_time(
+            [snap0, snap1], ["a.com"], company_map, ["google", "microsoft"]
+        )
+        google = result["google"]
+        assert google.percents == (100.0, 0.0)
+        assert result["microsoft"].percents == (0.0, 100.0)
+        assert google.delta_percent() == -100.0
+
+    def test_nan_for_uncovered_snapshots(self, company_map):
+        snap1 = {"a.com": inferred("a.com", "google.com")}
+        result = market_share_over_time(
+            [None, snap1], ["a.com"], company_map, ["google"]
+        )
+        series = result["google"]
+        assert math.isnan(series.percents[0])
+        assert series.percents[1] == 100.0
+        assert series.first_measured == 100.0
+        assert series.last_measured == 100.0
+        assert series.delta_percent() == 0.0
+
+    def test_self_hosted_included_by_default(self, company_map):
+        snap = {"a.com": inferred("a.com", "a.com")}
+        result = market_share_over_time([snap], ["a.com"], company_map, ["google"])
+        assert result[SELF_LABEL].percents == (100.0,)
+        assert result[SELF_LABEL].display == "Self-Hosted"
+
+    def test_total_series(self, company_map):
+        snap = {
+            "a.com": inferred("a.com", "google.com"),
+            "b.com": inferred("b.com", "outlook.com"),
+        }
+        result = market_share_over_time(
+            [snap], ["a.com", "b.com"], company_map, ["google", "microsoft"]
+        )
+        total = result.total_series(["google", "microsoft"])
+        assert total.percents == (100.0,)
+
+    def test_total_series_nan_propagates(self, company_map):
+        result = market_share_over_time([None], ["a.com"], company_map, ["google"])
+        total = result.total_series(["google"])
+        assert math.isnan(total.percents[0])
+
+
+class TestChurn:
+    def _snapshots(self):
+        first = {
+            "stay-google.com": inferred("stay-google.com", "google.com"),
+            "to-ms.com": inferred("to-ms.com", "google.com"),
+            "self-to-google.com": inferred("self-to-google.com", "self-to-google.com"),
+            "always-dead.com": DomainInference(
+                domain="always-dead.com", status=DomainStatus.NO_SMTP
+            ),
+            "small.com": inferred("small.com", "zoho.com"),
+        }
+        last = {
+            "stay-google.com": inferred("stay-google.com", "google.com"),
+            "to-ms.com": inferred("to-ms.com", "outlook.com"),
+            "self-to-google.com": inferred("self-to-google.com", "google.com"),
+            "always-dead.com": DomainInference(
+                domain="always-dead.com", status=DomainStatus.NO_SMTP
+            ),
+            "small.com": inferred("small.com", "zoho.com"),
+        }
+        return first, last
+
+    def test_flow_matrix(self, company_map):
+        first, last = self._snapshots()
+        domains = sorted(first)
+        matrix = churn_matrix(first, last, domains, company_map, top3_count=2)
+        assert matrix.flow("Google", "Google") == 1
+        assert matrix.flow(CATEGORY_SELF, "Google") == 1
+        assert matrix.flow(CATEGORY_NO_SMTP, CATEGORY_NO_SMTP) == 1
+        assert matrix.total == len(domains)
+
+    def test_node_accounting(self, company_map):
+        first, last = self._snapshots()
+        matrix = churn_matrix(first, last, sorted(first), company_map, top3_count=2)
+        assert matrix.stayed("Google") == 1
+        assert matrix.outgoing("Google") == 1   # to-ms.com left
+        assert matrix.incoming("Google") == 1   # self-to-google.com arrived
+        assert matrix.total_from("Google") == 2
+        assert matrix.total_to("Google") == 2
+
+    def test_missing_inference_is_no_smtp(self, company_map):
+        category = domain_category("x.com", None, company_map, [], set())
+        assert category == CATEGORY_NO_SMTP
+
+    def test_top100_bucketing(self, company_map):
+        inference = inferred("x.com", "zoho.com")
+        category = domain_category(
+            "x.com", inference, company_map, ["google"], {"zoho"}
+        )
+        assert category == CATEGORY_TOP100
+
+    def test_sankey_export(self, company_map):
+        first, last = self._snapshots()
+        matrix = churn_matrix(first, last, sorted(first), company_map, top3_count=2)
+        sankey = matrix.to_sankey("2017", "2021")
+        node_ids = {node["id"] for node in sankey["nodes"]}
+        assert "Google 2017" in node_ids and "Google 2021" in node_ids
+        assert all(link["value"] > 0 for link in sankey["links"])
+        assert sum(link["value"] for link in sankey["links"]) == matrix.total
+        for link in sankey["links"]:
+            assert link["source"] in node_ids and link["target"] in node_ids

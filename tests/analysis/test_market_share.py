@@ -1,0 +1,101 @@
+"""Unit tests for market-share aggregation."""
+
+import pytest
+
+from repro.analysis.market_share import (
+    compute_market_share,
+    self_hosted_count,
+    top_rows_with_display,
+)
+from repro.core.companies import SELF_LABEL, CompanyMap
+from repro.core.types import DomainInference, DomainStatus
+from repro.world.catalog import CATALOG
+
+
+@pytest.fixture(scope="module")
+def company_map():
+    return CompanyMap.from_specs(CATALOG)
+
+
+def inferred(domain, attributions):
+    return DomainInference(
+        domain=domain, status=DomainStatus.INFERRED, attributions=attributions
+    )
+
+
+@pytest.fixture
+def inferences():
+    return {
+        "a.com": inferred("a.com", {"google.com": 1.0}),
+        "b.com": inferred("b.com", {"googlemail.com": 1.0}),  # merges into google
+        "c.com": inferred("c.com", {"outlook.com": 1.0}),
+        "d.com": inferred("d.com", {"d.com": 1.0}),           # self-hosted
+        "e.com": inferred("e.com", {"google.com": 0.5, "outlook.com": 0.5}),
+        "f.com": DomainInference(domain="f.com", status=DomainStatus.NO_SMTP),
+    }
+
+
+class TestComputeMarketShare:
+    def test_weights(self, inferences, company_map):
+        domains = sorted(inferences)
+        share = compute_market_share(inferences, domains, company_map)
+        assert share.count_of("google") == pytest.approx(2.5)
+        assert share.count_of("microsoft") == pytest.approx(1.5)
+        assert share.count_of(SELF_LABEL) == pytest.approx(1.0)
+
+    def test_percentages_use_full_denominator(self, inferences, company_map):
+        domains = sorted(inferences)
+        share = compute_market_share(inferences, domains, company_map)
+        assert share.total_domains == 6
+        assert share.share_of("google") == pytest.approx(2.5 / 6)
+
+    def test_non_inferred_contribute_nothing(self, inferences, company_map):
+        domains = sorted(inferences)
+        share = compute_market_share(inferences, domains, company_map)
+        total_weight = sum(share.weights.values())
+        assert total_weight == pytest.approx(5.0)  # f.com contributes 0
+
+    def test_subset_of_domains(self, inferences, company_map):
+        share = compute_market_share(inferences, ["a.com", "c.com"], company_map)
+        assert share.count_of("google") == pytest.approx(1.0)
+        assert share.total_domains == 2
+
+    def test_missing_domains_ignored(self, inferences, company_map):
+        share = compute_market_share(inferences, ["a.com", "zz.com"], company_map)
+        assert share.count_of("google") == pytest.approx(1.0)
+        assert share.total_domains == 2
+
+    def test_empty(self, company_map):
+        share = compute_market_share({}, [], company_map)
+        assert share.share_of("google") == 0.0
+
+
+class TestRanking:
+    def test_top_excludes_self(self, inferences, company_map):
+        share = compute_market_share(inferences, sorted(inferences), company_map)
+        rows = share.top(10)
+        assert [row.label for row in rows][:2] == ["google", "microsoft"]
+        assert SELF_LABEL not in [row.label for row in rows]
+
+    def test_rank_numbers(self, inferences, company_map):
+        share = compute_market_share(inferences, sorted(inferences), company_map)
+        rows = share.top(2)
+        assert [row.rank for row in rows] == [1, 2]
+
+    def test_display_names(self, inferences, company_map):
+        share = compute_market_share(inferences, sorted(inferences), company_map)
+        rows = top_rows_with_display(share, company_map, 2)
+        assert rows[0].display == "Google"
+        assert rows[1].display == "Microsoft"
+
+    def test_self_hosted_count(self, inferences, company_map):
+        share = compute_market_share(inferences, sorted(inferences), company_map)
+        assert self_hosted_count(share) == pytest.approx(1.0)
+
+    def test_deterministic_tie_break(self, company_map):
+        inferences = {
+            "a.com": inferred("a.com", {"google.com": 1.0}),
+            "b.com": inferred("b.com", {"outlook.com": 1.0}),
+        }
+        share = compute_market_share(inferences, ["a.com", "b.com"], company_map)
+        assert [row.label for row in share.top(2)] == ["google", "microsoft"]

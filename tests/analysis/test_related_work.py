@@ -1,0 +1,87 @@
+"""Tests for the §2.4 hostname-level estimator comparison.
+
+Reproduces the paper's claim that Durumeric-style hostname counting
+underestimates providers with per-customer MX names (Microsoft), while
+Google's shared hostnames aggregate correctly.
+"""
+
+import pytest
+
+from repro.analysis.market_share import compute_market_share
+from repro.analysis.related_work import top_mx_hostnames, underestimation_of
+from repro.world.entities import DatasetTag
+
+LAST = 8
+
+
+@pytest.fixture(scope="module")
+def alexa(ctx):
+    measurements = ctx.measurements(DatasetTag.ALEXA, LAST)
+    inferences = ctx.priority(DatasetTag.ALEXA, LAST)
+    share = compute_market_share(inferences, ctx.domains(DatasetTag.ALEXA), ctx.company_map)
+    return measurements, share
+
+
+class TestHostnameRanking:
+    def test_google_hostnames_rank_high(self, ctx, alexa):
+        measurements, _share = alexa
+        rows = top_mx_hostnames(measurements, ctx.company_map, k=10)
+        google_rows = [row for row in rows if row.company == "google"]
+        assert google_rows and google_rows[0].rank <= 3
+
+    def test_microsoft_absent_from_hostname_top10(self, ctx, alexa):
+        """The paper's point: per-customer MX names hide Microsoft."""
+        measurements, share = alexa
+        rows = top_mx_hostnames(measurements, ctx.company_map, k=10)
+        hostname_companies = {row.company for row in rows}
+        # Microsoft is the #2 company by true share...
+        ranking = [row.label for row in share.top(3)]
+        assert "microsoft" in ranking[:2]
+        # ...but no Microsoft hostname makes the top 10.
+        assert "microsoft" not in hostname_companies
+
+    def test_rank_ordering(self, ctx, alexa):
+        measurements, _share = alexa
+        rows = top_mx_hostnames(measurements, ctx.company_map, k=10)
+        counts = [row.domains for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert [row.rank for row in rows] == list(range(1, len(rows) + 1))
+
+
+class TestUnderestimation:
+    def test_microsoft_fragmented(self, ctx, alexa):
+        measurements, share = alexa
+        report = underestimation_of(
+            "microsoft", measurements, share.weights, ctx.company_map
+        )
+        # Customer-specific MXes: many hostnames, none anywhere near the
+        # company's true count.
+        assert report.distinct_hostnames > 20
+        assert report.fragmentation > 5.0
+
+    def test_google_not_fragmented(self, ctx, alexa):
+        measurements, share = alexa
+        report = underestimation_of(
+            "google", measurements, share.weights, ctx.company_map
+        )
+        # Shared hostnames: the busiest one carries a large share of the
+        # company's customers.
+        assert report.distinct_hostnames <= 10
+        assert report.fragmentation < 6.0
+
+    def test_microsoft_more_fragmented_than_google(self, ctx, alexa):
+        measurements, share = alexa
+        microsoft = underestimation_of(
+            "microsoft", measurements, share.weights, ctx.company_map
+        )
+        google = underestimation_of(
+            "google", measurements, share.weights, ctx.company_map
+        )
+        assert microsoft.fragmentation > 3 * google.fragmentation
+
+    def test_absent_company(self, ctx, alexa):
+        measurements, share = alexa
+        report = underestimation_of(
+            "google_cloud", measurements, share.weights, ctx.company_map
+        )
+        assert report.best_single_hostname == 0

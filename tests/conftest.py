@@ -1,0 +1,25 @@
+"""Shared fixtures: a small world and study context, built once per session."""
+
+import pytest
+
+from repro.experiments.common import StudyContext
+from repro.world.build import WorldConfig, build_world
+
+SMALL_CONFIG = WorldConfig(seed=7, alexa_size=600, com_size=700, gov_size=200)
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small but fully featured world (session-scoped: ~0.5 s to build)."""
+    return build_world(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """A study context over the small world, with memoized inference runs."""
+    return StudyContext.create(SMALL_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def last_snapshot(ctx):
+    return len(ctx.world.snapshot_dates) - 1

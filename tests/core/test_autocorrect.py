@@ -1,0 +1,165 @@
+"""Unit tests for the learned misidentification detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.autocorrect import (
+    FEATURE_NAMES,
+    EvaluationMetrics,
+    LogisticModel,
+    MisidentificationLearner,
+    extract_features,
+)
+from repro.core.companies import CompanyMap
+from repro.core.misident import PopularityCounters
+from repro.core.types import EvidenceSource, IPIdentity, MXIdentity
+from repro.measure.caida import ASInfo
+from repro.measure.dataset import IPObservation, MXData
+from repro.world.catalog import CATALOG
+
+
+@pytest.fixture(scope="module")
+def company_map():
+    return CompanyMap.from_specs(CATALOG)
+
+
+def make_case(
+    provider_id="google.com",
+    source=EvidenceSource.CERT,
+    asn=15169,
+    banner_fqdn="mx.google.com",
+    cert_names=("mx.google.com",),
+    num_ip=100,
+):
+    ip = IPObservation(
+        address="11.0.0.1",
+        as_info=ASInfo(asn, "AS", "US") if asn else None,
+        scan=None,
+    )
+    mx = MXData(name="aspmx.l.google.com", preference=10, ips=(ip,))
+    identity = MXIdentity(
+        mx_name="aspmx.l.google.com",
+        provider_id=provider_id,
+        source=source,
+        ip_identities=(
+            IPIdentity(
+                address="11.0.0.1",
+                cert_id=provider_id if source is EvidenceSource.CERT else None,
+                banner_id=provider_id,
+                banner_fqdn=banner_fqdn,
+                cert_names=cert_names,
+            ),
+        ),
+    )
+    counters = PopularityCounters()
+    counters.num_ip["11.0.0.1"] = num_ip
+    return "customer.com", mx, identity, counters
+
+
+class TestExtractFeatures:
+    def test_shape_and_names(self, company_map):
+        domain, mx, identity, counters = make_case()
+        vector = extract_features(domain, mx, identity, counters, company_map)
+        assert vector.shape == (len(FEATURE_NAMES),)
+
+    def test_as_match_feature(self, company_map):
+        domain, mx, identity, counters = make_case(asn=15169)
+        vector = extract_features(domain, mx, identity, counters, company_map)
+        index = FEATURE_NAMES.index("as_matches_claimed_company")
+        assert vector[index] == 1.0
+        domain, mx, identity, counters = make_case(asn=64512)
+        vector = extract_features(domain, mx, identity, counters, company_map)
+        assert vector[index] == 0.0
+
+    def test_vps_shape_feature(self, company_map):
+        domain, mx, identity, counters = make_case(
+            provider_id="secureserver.net",
+            cert_names=("s1-22-3.secureserver.net",),
+            banner_fqdn="s1-22-3.secureserver.net",
+        )
+        vector = extract_features(domain, mx, identity, counters, company_map)
+        index = FEATURE_NAMES.index("hostname_matches_vps_shape")
+        assert vector[index] == 1.0
+
+    def test_popularity_feature_monotone(self, company_map):
+        low = make_case(num_ip=1)
+        high = make_case(num_ip=10_000)
+        index = FEATURE_NAMES.index("log_confidence")
+        low_v = extract_features(low[0], low[1], low[2], low[3], company_map)[index]
+        high_v = extract_features(high[0], high[1], high[2], high[3], company_map)[index]
+        assert high_v > low_v
+
+
+class TestLogisticModel:
+    def _separable_data(self, n=400, seed=3):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 4))
+        y = (X[:, 0] + 2 * X[:, 1] > 0).astype(np.int64)
+        return X, y
+
+    def test_learns_separable_problem(self):
+        X, y = self._separable_data()
+        model = LogisticModel().fit(X, y, epochs=300)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_in_range(self):
+        X, y = self._separable_data()
+        model = LogisticModel().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticModel().predict(np.zeros((1, 4)))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticModel().fit(np.zeros((10, 3)), np.zeros(5))
+
+    def test_class_weighting_helps_rare_positives(self):
+        rng = np.random.default_rng(5)
+        n = 600
+        X = rng.normal(size=(n, 3))
+        y = np.zeros(n, dtype=np.int64)
+        positives = X[:, 0] > 1.8  # ~3.5% positive
+        y[positives] = 1
+        weighted = LogisticModel().fit(X, y, class_weighted=True)
+        recall = ((weighted.predict(X) == 1) & (y == 1)).sum() / max(y.sum(), 1)
+        assert recall > 0.6
+
+    def test_feature_importance_named(self):
+        X = np.zeros((10, len(FEATURE_NAMES)))
+        y = np.zeros(10, dtype=np.int64)
+        model = LogisticModel().fit(X, y, epochs=5)
+        importance = model.feature_importance()
+        assert set(importance) == set(FEATURE_NAMES)
+
+
+class TestEvaluationMetrics:
+    def test_perfect(self):
+        metrics = EvaluationMetrics(10, 0, 0, 90)
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+        assert metrics.total == 100
+
+    def test_degenerate(self):
+        metrics = EvaluationMetrics(0, 0, 0, 100)
+        assert metrics.precision == 0.0 and metrics.recall == 0.0 and metrics.f1 == 0.0
+
+
+class TestEndToEnd:
+    def test_cross_world_generalization(self, ctx):
+        """Train on the shared ctx world, evaluate on a fresh one: the
+        learned detector must beat the rule-based step 4 on recall."""
+        from repro.experiments import ext_ml
+
+        result = ext_ml.run(ctx)
+        assert result.eval_cases > 100
+        assert 0.01 < result.eval_positive_rate < 0.30
+        assert result.learned.recall > result.rule_based.recall
+        assert result.learned.f1 > 0.5
+
+    def test_learner_empty_input(self, company_map):
+        learner = MisidentificationLearner(company_map)
+        cases = learner.build_cases({}, {}, lambda domain: {})
+        assert len(cases.labels) == 0

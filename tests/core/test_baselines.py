@@ -1,0 +1,137 @@
+"""Unit tests for the MX-only / cert-based / banner-based baselines."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.baselines import (
+    MXOnlyApproach,
+    SingleSourceApproach,
+    banner_based,
+    cert_based,
+)
+from repro.core.types import DomainStatus, EvidenceSource
+from repro.measure.caida import ASInfo
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.tls.ca import CertificateAuthority, TrustStore
+
+DAY = date(2021, 6, 8)
+CA = CertificateAuthority("Simulated CA")
+
+
+def scanned_ip(address, banner=None, ehlo=None, cert=None):
+    record = PortScanRecord(
+        address=address, scanned_on=DAY, state=Port25State.OPEN,
+        banner=banner, ehlo=ehlo, starttls=cert is not None, certificate=cert,
+    )
+    return IPObservation(address=address, as_info=ASInfo(1, "X", "US"), scan=record)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    cert = CA.issue("mx.provider.com")
+    hidden = DomainMeasurement(
+        domain="hidden.com",
+        measured_on=DAY,
+        mx_set=(
+            MXData(
+                "mailhost.hidden.com", 10,
+                (scanned_ip(
+                    "11.0.0.1",
+                    banner="mx.provider.com ESMTP", ehlo="mx.provider.com", cert=cert,
+                ),),
+            ),
+        ),
+    )
+    explicit = DomainMeasurement(
+        domain="explicit.com",
+        measured_on=DAY,
+        mx_set=(MXData("mx.provider.com", 10, (scanned_ip("11.0.0.1", cert=cert),)),),
+    )
+    bannerless = DomainMeasurement(
+        domain="bannerless.com",
+        measured_on=DAY,
+        mx_set=(
+            MXData(
+                "mx.bannerless.com", 10,
+                (scanned_ip("11.0.0.9", banner="IP-11-0-0-9 ESMTP", ehlo="[11.0.0.9]"),),
+            ),
+        ),
+    )
+    return {
+        "hidden.com": hidden,
+        "explicit.com": explicit,
+        "bannerless.com": bannerless,
+    }
+
+
+class TestMXOnly:
+    def test_uses_only_mx_names(self, measurements):
+        inferences = MXOnlyApproach().run(measurements)
+        assert inferences["hidden.com"].attributions == {"hidden.com": 1.0}
+        assert inferences["explicit.com"].attributions == {"provider.com": 1.0}
+
+    def test_oblivious_to_smtp_presence(self):
+        no_server = DomainMeasurement(
+            domain="dead.com",
+            measured_on=DAY,
+            mx_set=(MXData("mx.dead.com", 10, ()),),
+        )
+        inferences = MXOnlyApproach().run({"dead.com": no_server})
+        assert inferences["dead.com"].status is DomainStatus.INFERRED
+
+    def test_no_mx(self):
+        empty = DomainMeasurement(domain="nomx.com", measured_on=DAY, mx_set=())
+        inferences = MXOnlyApproach().run({"nomx.com": empty})
+        assert inferences["nomx.com"].status is DomainStatus.NO_MX
+
+    def test_split_credit(self):
+        tied = DomainMeasurement(
+            domain="tied.com",
+            measured_on=DAY,
+            mx_set=(
+                MXData("mx.a-provider.com", 10, ()),
+                MXData("mx.b-provider.com", 10, ()),
+            ),
+        )
+        inferences = MXOnlyApproach().run({"tied.com": tied})
+        assert inferences["tied.com"].attributions == {
+            "a-provider.com": 0.5, "b-provider.com": 0.5,
+        }
+
+
+class TestCertBased:
+    def test_cert_reveals_provider(self, measurements):
+        inferences = cert_based(TrustStore()).run(measurements)
+        assert inferences["hidden.com"].attributions == {"provider.com": 1.0}
+
+    def test_falls_back_to_mx_without_cert(self, measurements):
+        inferences = cert_based(TrustStore()).run(measurements)
+        assert inferences["bannerless.com"].attributions == {"bannerless.com": 1.0}
+
+    def test_source_marked(self, measurements):
+        inferences = cert_based(TrustStore()).run(measurements)
+        assert inferences["hidden.com"].mx_identities[0].source is EvidenceSource.CERT
+
+
+class TestBannerBased:
+    def test_banner_reveals_provider(self, measurements):
+        inferences = banner_based(TrustStore()).run(measurements)
+        assert inferences["hidden.com"].attributions == {"provider.com": 1.0}
+
+    def test_decorated_ip_banner_falls_back(self, measurements):
+        inferences = banner_based(TrustStore()).run(measurements)
+        assert inferences["bannerless.com"].attributions == {"bannerless.com": 1.0}
+
+    def test_ignores_certificates(self, measurements):
+        inferences = banner_based(TrustStore()).run(measurements)
+        assert inferences["explicit.com"].mx_identities[0].source in (
+            EvidenceSource.BANNER, EvidenceSource.MX,
+        )
+
+
+class TestConstruction:
+    def test_mx_source_rejected(self):
+        with pytest.raises(ValueError):
+            SingleSourceApproach(trust_store=TrustStore(), source=EvidenceSource.MX)

@@ -1,0 +1,88 @@
+"""Unit tests for step 1 — certificate preprocessing and grouping."""
+
+from repro.core.certgroup import CertificatePreprocessor
+from repro.tls.ca import CertificateAuthority
+
+CA = CertificateAuthority("Simulated CA")
+
+
+def build(certs):
+    return CertificatePreprocessor().build(certs)
+
+
+class TestGrouping:
+    def test_paper_worked_example(self):
+        """Table 3: two provider certs sharing FQDNs group together; the
+        VPS cert stands alone; both groups get provider.com as name."""
+        cert_a = CA.issue("mx1.provider.com", sans=["mx2.provider.com"])
+        cert_b = CA.issue("mx2.provider.com", sans=["mx1.provider.com"])
+        cert_vps = CA.issue("myvps.provider.com")
+        groups = build([cert_a, cert_b, cert_vps])
+        assert len(groups) == 2
+        assert groups.representative_for(cert_a) == "provider.com"
+        assert groups.representative_for(cert_b) == "provider.com"
+        assert groups.representative_for(cert_vps) == "provider.com"
+        assert groups.group_of(cert_a) is groups.group_of(cert_b)
+        assert groups.group_of(cert_a) is not groups.group_of(cert_vps)
+
+    def test_registered_domain_counts(self):
+        cert_a = CA.issue("mx1.provider.com", sans=["mx2.provider.com"])
+        cert_b = CA.issue("mx2.provider.com", sans=["mx1.provider.com"])
+        cert_vps = CA.issue("myvps.provider.com")
+        groups = build([cert_a, cert_b, cert_vps])
+        # Paper: "the count for provider.com will be 5".
+        assert groups.registered_domain_counts["provider.com"] == 5
+
+    def test_transitive_grouping(self):
+        """A—B share one name, B—C share another: all three group."""
+        cert_a = CA.issue("a.x.com", sans=["b.x.com"])
+        cert_b = CA.issue("b.x.com", sans=["c.y.com"])
+        cert_c = CA.issue("c.y.com")
+        groups = build([cert_a, cert_b, cert_c])
+        assert len(groups) == 1
+        group = groups.group_of(cert_a)
+        assert group.size == 3
+
+    def test_representative_majority_wins(self):
+        cert = CA.issue("mx.majority.com", sans=["mx2.majority.com", "mx.minority.net"])
+        groups = build([cert])
+        assert groups.representative_for(cert) == "majority.com"
+
+    def test_wildcard_participates_via_base(self):
+        cert_wild = CA.issue("*.mailspamprotection.com")
+        cert_host = CA.issue("se26.mailspamprotection.com", sans=["*.mailspamprotection.com"])
+        groups = build([cert_wild, cert_host])
+        assert len(groups) == 1
+        assert groups.representative_for(cert_wild) == "mailspamprotection.com"
+
+    def test_duplicate_certificates_counted_once(self):
+        cert = CA.issue("mx.provider.com")
+        groups = build([cert, cert, cert])
+        assert len(groups) == 1
+        assert groups.group_of(cert).size == 1
+        assert groups.registered_domain_counts["provider.com"] == 1
+
+    def test_unknown_cert_has_no_group(self):
+        known = CA.issue("mx.provider.com")
+        stranger = CA.issue("mx.other.com")
+        groups = build([known])
+        assert groups.representative_for(stranger) is None
+
+    def test_disjoint_providers_stay_separate(self):
+        google = CA.issue("mx.google.com", sans=["aspmx.l.google.com"])
+        microsoft = CA.issue("mail.protection.outlook.com")
+        groups = build([google, microsoft])
+        assert len(groups) == 2
+        assert groups.representative_for(google) == "google.com"
+        assert groups.representative_for(microsoft) == "outlook.com"
+
+    def test_empty_input(self):
+        groups = build([])
+        assert len(groups) == 0
+
+    def test_group_without_registrable_names(self):
+        cert = CA.issue("localhost")
+        groups = build([cert])
+        assert len(groups) == 1
+        # Falls back to an FQDN-ish name rather than crashing.
+        assert groups.group_of(cert).representative

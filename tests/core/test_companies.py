@@ -1,0 +1,102 @@
+"""Unit tests for the provider-ID → company map."""
+
+import pytest
+
+from repro.core.companies import NONE_LABEL, SELF_LABEL, CompanyMap
+from repro.world.catalog import CATALOG
+from repro.world.entities import ASNSpec, CompanyKind, CompanySpec
+
+
+@pytest.fixture(scope="module")
+def company_map():
+    return CompanyMap.from_specs(CATALOG)
+
+
+class TestResolution:
+    def test_known_provider_id(self, company_map):
+        assert company_map.resolve("netflix.com", "google.com") == "google"
+        assert company_map.resolve("x.com", "googlemail.com") == "google"
+
+    def test_all_microsoft_ids_merge(self, company_map):
+        for provider_id in ("outlook.com", "office365.us", "hotmail.com", "outlook.de"):
+            assert company_map.resolve("x.com", provider_id) == "microsoft"
+
+    def test_self_detection(self, company_map):
+        assert company_map.resolve("example.com", "example.com") == SELF_LABEL
+
+    def test_self_detection_uses_registered_domain(self, company_map):
+        # a subdomain-owning domain whose provider ID is its registered domain
+        assert company_map.resolve("mail.example.co.uk", "example.co.uk") == SELF_LABEL
+
+    def test_unknown_id_passes_through(self, company_map):
+        assert company_map.resolve("x.com", "tinyhost.net") == "tinyhost.net"
+
+    def test_own_domain_beats_company_match(self, company_map):
+        # google.com's own mail is SELF, not "google the provider".
+        assert company_map.resolve("google.com", "google.com") == SELF_LABEL
+
+    def test_resolve_attributions_merges(self, company_map):
+        resolved = company_map.resolve_attributions(
+            "x.com", {"outlook.com": 0.5, "office365.us": 0.25, "google.com": 0.25}
+        )
+        assert resolved == {"microsoft": 0.75, "google": 0.25}
+
+
+class TestMetadata:
+    def test_display_names(self, company_map):
+        assert company_map.display("google") == "Google"
+        assert company_map.display("unknown-label") == "unknown-label"
+
+    def test_kinds(self, company_map):
+        assert company_map.kind("proofpoint") is CompanyKind.SECURITY
+        assert company_map.kind("godaddy") is CompanyKind.HOSTING
+        assert company_map.kind("nope") is None
+
+    def test_countries(self, company_map):
+        assert company_map.country("yandex") == "RU"
+        assert company_map.country("tencent") == "CN"
+
+    def test_company_asns(self, company_map):
+        assert 15169 in company_map.company_asns("google")
+        assert company_map.company_asns("missing") == frozenset()
+
+    def test_large_provider_ids(self, company_map):
+        assert company_map.is_large_provider_id("google.com")
+        assert company_map.is_large_provider_id("secureserver.net")
+        assert not company_map.is_large_provider_id("tinyhost.net")
+
+    def test_vps_patterns_registered(self, company_map):
+        assert "godaddy" in company_map.vps_patterns
+        assert company_map.vps_patterns["godaddy"].match("s1-2-3.secureserver.net")
+        assert "godaddy" in company_map.dedicated_patterns
+
+
+class TestConstruction:
+    def test_other_kind_not_large(self):
+        spec = CompanySpec(
+            slug="tiny",
+            display_name="Tiny",
+            kind=CompanyKind.OTHER,
+            country="US",
+            asns=(ASNSpec(64512, "Tiny"),),
+            provider_ids=("tiny.net",),
+        )
+        company_map = CompanyMap.from_specs([spec])
+        assert company_map.resolve("x.com", "tiny.net") == "tiny"
+        assert not company_map.is_large_provider_id("tiny.net")
+
+    def test_first_company_claims_shared_id(self):
+        a = CompanySpec(
+            slug="first", display_name="First", kind=CompanyKind.MAILBOX,
+            country="US", asns=(ASNSpec(64512, "A"),), provider_ids=("shared.net",),
+        )
+        b = CompanySpec(
+            slug="second", display_name="Second", kind=CompanyKind.MAILBOX,
+            country="US", asns=(ASNSpec(64513, "B"),), provider_ids=("shared.net",),
+        )
+        company_map = CompanyMap.from_specs([a, b])
+        assert company_map.resolve("x.com", "shared.net") == "first"
+
+    def test_labels(self):
+        assert SELF_LABEL == "SELF"
+        assert NONE_LABEL == "NONE"

@@ -1,0 +1,191 @@
+"""Unit tests for step 5 and the end-to-end pipeline."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.companies import CompanyMap
+from repro.core.domainident import DomainIdentifier
+from repro.core.pipeline import PipelineConfig, PriorityPipeline
+from repro.core.types import DomainStatus, EvidenceSource, MXIdentity
+from repro.measure.caida import ASInfo
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.tls.ca import CertificateAuthority, TrustStore
+from repro.world.catalog import CATALOG
+
+DAY = date(2021, 6, 8)
+CA = CertificateAuthority("Simulated CA")
+
+
+def scan(address, banner=None, ehlo=None, cert=None, state=Port25State.OPEN):
+    return PortScanRecord(
+        address=address, scanned_on=DAY, state=state,
+        banner=banner, ehlo=ehlo, starttls=cert is not None, certificate=cert,
+    )
+
+
+def ip(address, asn=64512, scan_record=None):
+    return IPObservation(
+        address=address,
+        as_info=ASInfo(asn, f"AS{asn}", "US") if asn else None,
+        scan=scan_record,
+    )
+
+
+def measurement(domain, mx_set):
+    return DomainMeasurement(domain=domain, measured_on=DAY, mx_set=tuple(mx_set))
+
+
+def mk_identity(name, provider_id):
+    return MXIdentity(mx_name=name, provider_id=provider_id, source=EvidenceSource.MX)
+
+
+class TestDomainIdentifier:
+    def test_no_mx(self):
+        inference = DomainIdentifier().identify(measurement("x.com", []), {})
+        assert inference.status is DomainStatus.NO_MX
+
+    def test_no_mx_ip(self):
+        mx = MXData(name="mx.x.com", preference=10, ips=())
+        inference = DomainIdentifier().identify(measurement("x.com", [mx]), {})
+        assert inference.status is DomainStatus.NO_MX_IP
+
+    def test_no_smtp_when_all_scanned_closed(self):
+        mx = MXData(
+            name="mx.x.com", preference=10,
+            ips=(ip("11.0.0.1", scan_record=scan("11.0.0.1", state=Port25State.TIMEOUT)),),
+        )
+        inference = DomainIdentifier().identify(
+            measurement("x.com", [mx]), {"mx.x.com": mk_identity("mx.x.com", "x.com")}
+        )
+        assert inference.status is DomainStatus.NO_SMTP
+
+    def test_unscanned_ip_keeps_inference_open(self):
+        mx = MXData(name="mx.x.com", preference=10, ips=(ip("11.0.0.1"),))
+        inference = DomainIdentifier().identify(
+            measurement("x.com", [mx]), {"mx.x.com": mk_identity("mx.x.com", "x.com")}
+        )
+        assert inference.status is DomainStatus.INFERRED
+        assert inference.attributions == {"x.com": 1.0}
+
+    def test_split_credit_on_tied_preferences(self):
+        mx_a = MXData(name="mx.a.com", preference=10, ips=(ip("11.0.0.1"),))
+        mx_b = MXData(name="mx.b.com", preference=10, ips=(ip("11.0.0.2"),))
+        identities = {
+            "mx.a.com": mk_identity("mx.a.com", "a.com"),
+            "mx.b.com": mk_identity("mx.b.com", "b.com"),
+        }
+        inference = DomainIdentifier().identify(
+            measurement("x.com", [mx_a, mx_b]), identities
+        )
+        assert inference.attributions == {"a.com": 0.5, "b.com": 0.5}
+
+    def test_same_provider_not_split(self):
+        mx_a = MXData(name="mx1.p.com", preference=10, ips=(ip("11.0.0.1"),))
+        mx_b = MXData(name="mx2.p.com", preference=10, ips=(ip("11.0.0.2"),))
+        identities = {
+            "mx1.p.com": mk_identity("mx1.p.com", "p.com"),
+            "mx2.p.com": mk_identity("mx2.p.com", "p.com"),
+        }
+        inference = DomainIdentifier().identify(
+            measurement("x.com", [mx_a, mx_b]), identities
+        )
+        assert inference.attributions == {"p.com": 1.0}
+
+    def test_backup_mx_ignored(self):
+        primary = MXData(name="mx.p.com", preference=5, ips=(ip("11.0.0.1"),))
+        backup = MXData(name="mx.backup.com", preference=50, ips=(ip("11.0.0.2"),))
+        identities = {"mx.p.com": mk_identity("mx.p.com", "p.com")}
+        inference = DomainIdentifier().identify(
+            measurement("x.com", [primary, backup]), identities
+        )
+        assert inference.attributions == {"p.com": 1.0}
+
+    def test_first_wins_without_split_credit(self):
+        mx_a = MXData(name="mx.a.com", preference=10, ips=(ip("11.0.0.1"),))
+        mx_b = MXData(name="mx.b.com", preference=10, ips=(ip("11.0.0.2"),))
+        identities = {
+            "mx.a.com": mk_identity("mx.a.com", "a.com"),
+            "mx.b.com": mk_identity("mx.b.com", "b.com"),
+        }
+        inference = DomainIdentifier(split_credit=False).identify(
+            measurement("x.com", [mx_a, mx_b]), identities
+        )
+        assert inference.attributions == {"a.com": 1.0}
+
+
+@pytest.fixture(scope="module")
+def company_map():
+    return CompanyMap.from_specs(CATALOG)
+
+
+class TestPriorityPipeline:
+    def _measurements(self):
+        google_cert = CA.issue("mx.google.com", sans=["aspmx.l.google.com"])
+        google_scan = scan(
+            "11.1.0.1",
+            banner="mx.google.com ESMTP", ehlo="mx.google.com", cert=google_cert,
+        )
+        provider_named = measurement(
+            "netflix-like.com",
+            [MXData("aspmx.l.google.com", 10, (ip("11.1.0.1", 15169, google_scan),))],
+        )
+        customer_named = measurement(
+            "gsipartners-like.com",
+            [MXData("mailhost.gsipartners-like.com", 10, (ip("11.1.0.1", 15169, google_scan),))],
+        )
+        plain_self = measurement(
+            "selfhosted.com",
+            [MXData(
+                "mx.selfhosted.com", 10,
+                (ip("11.5.0.1", 64512, scan(
+                    "11.5.0.1", banner="mx.selfhosted.com ESMTP", ehlo="mx.selfhosted.com",
+                )),),
+            )],
+        )
+        return {
+            "netflix-like.com": provider_named,
+            "gsipartners-like.com": customer_named,
+            "selfhosted.com": plain_self,
+        }
+
+    def test_end_to_end(self, company_map):
+        pipeline = PriorityPipeline(TrustStore(), company_map)
+        result = pipeline.run(self._measurements())
+        assert result["netflix-like.com"].attributions == {"google.com": 1.0}
+        assert result["gsipartners-like.com"].attributions == {"google.com": 1.0}
+        assert result["selfhosted.com"].attributions == {"selfhosted.com": 1.0}
+
+    def test_evidence_sources(self, company_map):
+        pipeline = PriorityPipeline(TrustStore(), company_map)
+        result = pipeline.run(self._measurements())
+        google_identity = result["netflix-like.com"].mx_identities[0]
+        assert google_identity.source is EvidenceSource.CERT
+        self_identity = result["selfhosted.com"].mx_identities[0]
+        assert self_identity.source is EvidenceSource.BANNER
+
+    def test_config_disables_certs(self, company_map):
+        pipeline = PriorityPipeline(
+            TrustStore(), company_map, config=PipelineConfig(use_certs=False)
+        )
+        result = pipeline.run(self._measurements())
+        identity = result["netflix-like.com"].mx_identities[0]
+        assert identity.source is EvidenceSource.BANNER
+
+    def test_config_disables_both_smtp_sources(self, company_map):
+        pipeline = PriorityPipeline(
+            TrustStore(), company_map,
+            config=PipelineConfig(use_certs=False, use_banners=False),
+        )
+        result = pipeline.run(self._measurements())
+        # Degenerates to the MX-only approach.
+        assert result["gsipartners-like.com"].attributions == {
+            "gsipartners-like.com": 1.0
+        }
+
+    def test_result_container(self, company_map):
+        pipeline = PriorityPipeline(TrustStore(), company_map)
+        result = pipeline.run(self._measurements())
+        assert len(result) == 3
+        assert {inference.domain for inference in result} == set(self._measurements())

@@ -1,0 +1,173 @@
+"""Unit tests for steps 2 and 3 — IP and MX identification."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.certgroup import CertificatePreprocessor
+from repro.core.ipident import IPIdentifier
+from repro.core.mxident import MXIdentifier, mx_fallback_id
+from repro.core.types import EvidenceSource, IPIdentity
+from repro.dnscore.psl import default_psl
+from repro.measure.caida import ASInfo
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.dataset import IPObservation, MXData
+from repro.tls.ca import CertificateAuthority, TrustStore, self_signed
+
+CA = CertificateAuthority("Simulated CA")
+DAY = date(2021, 6, 8)
+
+
+def observation(address="11.0.0.1", banner=None, ehlo=None, cert=None, state=Port25State.OPEN):
+    scan = PortScanRecord(
+        address=address,
+        scanned_on=DAY,
+        state=state,
+        banner=banner,
+        ehlo=ehlo,
+        starttls=cert is not None,
+        certificate=cert,
+    )
+    return IPObservation(address=address, as_info=ASInfo(1, "Test", "US"), scan=scan)
+
+
+def identifier(certs=(), require_valid_cert=True):
+    groups = CertificatePreprocessor().build(list(certs))
+    return IPIdentifier(
+        groups=groups, trust_store=TrustStore(), require_valid_cert=require_valid_cert
+    )
+
+
+class TestIPIdentifier:
+    def test_cert_and_banner_ids(self):
+        cert = CA.issue("mx1.provider.com", sans=["mx2.provider.com"])
+        ident = identifier([cert]).identify(
+            observation(banner="mx1.provider.com ESMTP", ehlo="mx1.provider.com", cert=cert)
+        )
+        assert ident.cert_id == "provider.com"
+        assert ident.banner_id == "provider.com"
+        assert ident.banner_fqdn == "mx1.provider.com"
+        assert "mx1.provider.com" in ident.cert_names
+
+    def test_self_signed_cert_rejected(self):
+        cert = self_signed("mx.myvps.com")
+        ident = identifier([cert]).identify(observation(banner="x", ehlo="y", cert=cert))
+        assert ident.cert_id is None
+        assert ident.cert_fingerprint == cert.fingerprint()
+
+    def test_self_signed_accepted_when_relaxed(self):
+        cert = self_signed("mx.myvps.com")
+        ident = identifier([cert], require_valid_cert=False).identify(
+            observation(cert=cert)
+        )
+        assert ident.cert_id == "myvps.com"
+
+    def test_banner_requires_agreement(self):
+        ident = identifier().identify(
+            observation(banner="mx.a-corp.com ESMTP", ehlo="mx.b-corp.com")
+        )
+        assert ident.banner_id is None
+
+    def test_banner_one_sided(self):
+        ident = identifier().identify(
+            observation(banner="IP-1-2-3-4 ESMTP", ehlo="mx.provider.com")
+        )
+        assert ident.banner_id == "provider.com"
+
+    def test_no_smtp_yields_empty_identity(self):
+        ident = identifier().identify(observation(state=Port25State.CLOSED))
+        assert ident.cert_id is None and ident.banner_id is None
+
+    def test_no_scan_data(self):
+        ip = IPObservation(address="11.0.0.1", as_info=None, scan=None)
+        ident = identifier().identify(ip)
+        assert ident.best_id is None
+
+    def test_localhost_banner_unusable(self):
+        ident = identifier().identify(
+            observation(banner="localhost.localdomain ESMTP Postfix", ehlo="localhost")
+        )
+        assert ident.banner_id is None
+
+
+def mxdata(name="mx.customer.com", n_ips=2):
+    ips = tuple(
+        IPObservation(address=f"11.0.0.{i+1}", as_info=None, scan=None)
+        for i in range(n_ips)
+    )
+    return MXData(name=name, preference=10, ips=ips)
+
+
+def ip_identity(address, cert_id=None, banner_id=None):
+    return IPIdentity(address=address, cert_id=cert_id, banner_id=banner_id)
+
+
+class TestMXIdentifier:
+    def test_cert_agreement_wins(self):
+        identity = MXIdentifier().identify(
+            mxdata(),
+            [
+                ip_identity("11.0.0.1", cert_id="provider.com", banner_id="other.com"),
+                ip_identity("11.0.0.2", cert_id="provider.com", banner_id="mismatch.com"),
+            ],
+        )
+        assert identity.provider_id == "provider.com"
+        assert identity.source is EvidenceSource.CERT
+
+    def test_cert_disagreement_falls_to_banner(self):
+        identity = MXIdentifier().identify(
+            mxdata(),
+            [
+                ip_identity("11.0.0.1", cert_id="a.com", banner_id="shared.com"),
+                ip_identity("11.0.0.2", cert_id="b.com", banner_id="shared.com"),
+            ],
+        )
+        assert identity.provider_id == "shared.com"
+        assert identity.source is EvidenceSource.BANNER
+
+    def test_partial_cert_coverage_falls_to_banner(self):
+        identity = MXIdentifier().identify(
+            mxdata(),
+            [
+                ip_identity("11.0.0.1", cert_id="a.com", banner_id="shared.com"),
+                ip_identity("11.0.0.2", cert_id=None, banner_id="shared.com"),
+            ],
+        )
+        assert identity.source is EvidenceSource.BANNER
+
+    def test_all_sources_fail_falls_to_mx(self):
+        identity = MXIdentifier().identify(
+            mxdata("mx.customer.com"),
+            [ip_identity("11.0.0.1"), ip_identity("11.0.0.2")],
+        )
+        assert identity.provider_id == "customer.com"
+        assert identity.source is EvidenceSource.MX
+
+    def test_no_ips_falls_to_mx(self):
+        identity = MXIdentifier().identify(mxdata(n_ips=0), [])
+        assert identity.source is EvidenceSource.MX
+
+    def test_certs_disabled(self):
+        identity = MXIdentifier(use_certs=False).identify(
+            mxdata(),
+            [
+                ip_identity("11.0.0.1", cert_id="cert.com", banner_id="banner.com"),
+                ip_identity("11.0.0.2", cert_id="cert.com", banner_id="banner.com"),
+            ],
+        )
+        assert identity.provider_id == "banner.com"
+
+    def test_banners_disabled(self):
+        identity = MXIdentifier(use_banners=False).identify(
+            mxdata("mx.customer.com"),
+            [ip_identity("11.0.0.1", banner_id="banner.com")],
+        )
+        assert identity.provider_id == "customer.com"
+
+
+class TestMXFallback:
+    def test_registered_domain(self):
+        assert mx_fallback_id("aspmx.l.google.com", default_psl()) == "google.com"
+
+    def test_public_suffix_mx_uses_name(self):
+        assert mx_fallback_id("co.uk", default_psl()) == "co.uk"

@@ -1,0 +1,236 @@
+"""Unit tests for step 4 — misidentification detection and correction."""
+
+import pytest
+
+from repro.core.companies import CompanyMap
+from repro.core.misident import MisidentificationChecker, PopularityCounters
+from repro.core.types import EvidenceSource, IPIdentity, MXIdentity
+from repro.measure.caida import ASInfo
+from repro.measure.dataset import IPObservation, MXData
+from repro.world.catalog import CATALOG
+
+
+@pytest.fixture
+def checker():
+    return MisidentificationChecker(
+        company_map=CompanyMap.from_specs(CATALOG), confidence_threshold=3
+    )
+
+
+def mxdata(name, address, asn, as_name="AS"):
+    ip = IPObservation(
+        address=address,
+        as_info=ASInfo(asn, as_name, "US") if asn else None,
+        scan=None,
+    )
+    return MXData(name=name, preference=10, ips=(ip,))
+
+
+def identity(mx_name, provider_id, source, ips=()):
+    return MXIdentity(
+        mx_name=mx_name, provider_id=provider_id, source=source,
+        ip_identities=tuple(ips),
+    )
+
+
+class TestCandidateFilter:
+    def test_popular_identity_not_examined(self, checker):
+        counters = PopularityCounters()
+        counters.num_ip["11.0.0.1"] = 500
+        ident = identity(
+            "aspmx.l.google.com", "google.com", EvidenceSource.CERT,
+            [IPIdentity(address="11.0.0.1", cert_id="google.com")],
+        )
+        result = checker.check(
+            "customer.com", mxdata("aspmx.l.google.com", "11.0.0.1", 15169),
+            ident, counters,
+        )
+        assert not result.examined and not result.corrected
+        assert checker.stats.candidates_examined == 0
+
+    def test_small_provider_identity_not_examined(self, checker):
+        counters = PopularityCounters()  # zero counts: unpopular
+        ident = identity(
+            "mx.tinyhost.net", "tinyhost.net", EvidenceSource.BANNER,
+            [IPIdentity(address="11.0.0.1", banner_id="tinyhost.net")],
+        )
+        result = checker.check(
+            "customer.com", mxdata("mx.tinyhost.net", "11.0.0.1", 64512),
+            ident, counters,
+        )
+        assert not result.examined
+
+    def test_mx_source_never_examined(self, checker):
+        ident = identity("mx.customer.com", "customer.com", EvidenceSource.MX)
+        result = checker.check(
+            "customer.com", mxdata("mx.customer.com", "11.0.0.1", 64512),
+            ident, PopularityCounters(),
+        )
+        assert result is ident
+
+    def test_confidence_uses_cert_counter(self, checker):
+        counters = PopularityCounters()
+        counters.num_cert["fp1"] = 100
+        ident = identity(
+            "mx.x.com", "google.com", EvidenceSource.CERT,
+            [IPIdentity(address="11.0.0.1", cert_id="google.com", cert_fingerprint="fp1")],
+        )
+        assert counters.confidence(ident) == 100
+
+
+class TestVPSHeuristic:
+    def test_godaddy_vps_corrected_to_self(self, checker):
+        counters = PopularityCounters()
+        counters.num_ip["11.0.0.1"] = 1
+        ident = identity(
+            "mx.myvps.com", "secureserver.net", EvidenceSource.CERT,
+            [IPIdentity(
+                address="11.0.0.1",
+                cert_id="secureserver.net",
+                cert_names=("s1-2-3.secureserver.net",),
+            )],
+        )
+        result = checker.check(
+            "myvps.com", mxdata("mx.myvps.com", "11.0.0.1", 26496),
+            ident, counters,
+        )
+        assert result.corrected
+        assert result.provider_id == "myvps.com"
+        assert "VPS" in result.correction_reason
+
+    def test_godaddy_dedicated_store_stands(self, checker):
+        counters = PopularityCounters()
+        counters.num_ip["11.0.0.1"] = 1
+        ident = identity(
+            "mailstore1.secureserver.net", "secureserver.net", EvidenceSource.CERT,
+            [IPIdentity(
+                address="11.0.0.1",
+                cert_id="secureserver.net",
+                cert_names=("mailstore1.secureserver.net",),
+            )],
+        )
+        result = checker.check(
+            "customer.com", mxdata("mailstore1.secureserver.net", "11.0.0.1", 26496),
+            ident, counters,
+        )
+        assert not result.corrected
+        assert result.provider_id == "secureserver.net"
+
+
+class TestASHeuristic:
+    def test_spoofed_google_banner_corrected(self, checker):
+        counters = PopularityCounters()
+        counters.num_ip["11.0.0.1"] = 1
+        ident = identity(
+            "mx.liar.com", "google.com", EvidenceSource.BANNER,
+            [IPIdentity(address="11.0.0.1", banner_id="google.com",
+                        banner_fqdn="mx.google.com")],
+        )
+        result = checker.check(
+            "liar.com", mxdata("mx.liar.com", "11.0.0.1", 64512, "Random ISP"),
+            ident, counters,
+        )
+        assert result.corrected
+        assert result.provider_id == "liar.com"
+        assert "claims google" in result.correction_reason
+
+    def test_genuine_google_inside_as_stands(self, checker):
+        counters = PopularityCounters()
+        counters.num_ip["11.0.0.1"] = 1
+        ident = identity(
+            "mailhost.customer.com", "google.com", EvidenceSource.BANNER,
+            [IPIdentity(address="11.0.0.1", banner_id="google.com",
+                        banner_fqdn="mx.google.com")],
+        )
+        result = checker.check(
+            "customer.com", mxdata("mailhost.customer.com", "11.0.0.1", 15169),
+            ident, counters,
+        )
+        assert not result.corrected
+        assert result.examined  # it was a candidate, but the AS matched
+
+
+class TestCustomerCertHeuristic:
+    def test_customer_cert_on_provider_infra_corrected(self, checker):
+        """The utexas.edu situation: cert = customer, banner + AS = Ironport."""
+        counters = PopularityCounters()
+        counters.num_ip["11.0.0.1"] = 1
+        ident = identity(
+            "mx1.utexas.iphmx.com", "utexas.edu", EvidenceSource.CERT,
+            [IPIdentity(
+                address="11.0.0.1",
+                cert_id="utexas.edu",
+                banner_id="iphmx.com",
+                cert_names=("inbound.mail.utexas.edu",),
+            )],
+        )
+        result = checker.check(
+            "utexas.edu", mxdata("mx1.utexas.iphmx.com", "11.0.0.1", 109, "Cisco"),
+            ident, counters,
+        )
+        assert result.corrected
+        assert result.provider_id == "iphmx.com"
+
+    def test_true_self_hosting_not_corrected(self, checker):
+        """cert = own domain and banner = own domain: genuine self-hosting."""
+        counters = PopularityCounters()
+        ident = identity(
+            "mx.selfhosted.com", "selfhosted.com", EvidenceSource.CERT,
+            [IPIdentity(
+                address="11.0.0.1",
+                cert_id="selfhosted.com",
+                banner_id="selfhosted.com",
+            )],
+        )
+        result = checker.check(
+            "selfhosted.com", mxdata("mx.selfhosted.com", "11.0.0.1", 64512),
+            ident, counters,
+        )
+        assert not result.corrected
+        assert result.provider_id == "selfhosted.com"
+
+    def test_customer_cert_without_as_corroboration_stands(self, checker):
+        counters = PopularityCounters()
+        ident = identity(
+            "mx.someone.com", "someone.com", EvidenceSource.CERT,
+            [IPIdentity(
+                address="11.0.0.1", cert_id="someone.com", banner_id="iphmx.com",
+            )],
+        )
+        result = checker.check(
+            "someone.com", mxdata("mx.someone.com", "11.0.0.1", 64512),
+            ident, counters,
+        )
+        assert not result.corrected
+
+
+class TestCounters:
+    def test_observe_domain_counts_primary_only(self):
+        from datetime import date
+
+        from repro.measure.censys import Port25State, PortScanRecord
+        from repro.measure.dataset import DomainMeasurement
+        from repro.tls.ca import CertificateAuthority
+
+        ca = CertificateAuthority("Simulated CA")
+        cert = ca.issue("mx.shared.com")
+        scan = PortScanRecord(
+            address="11.0.0.1", scanned_on=date(2021, 6, 8),
+            state=Port25State.OPEN, certificate=cert,
+        )
+        primary_ip = IPObservation(address="11.0.0.1", as_info=None, scan=scan)
+        backup_ip = IPObservation(address="11.0.0.2", as_info=None, scan=None)
+        measurement = DomainMeasurement(
+            domain="x.com",
+            measured_on=date(2021, 6, 8),
+            mx_set=(
+                MXData(name="mx.shared.com", preference=10, ips=(primary_ip,)),
+                MXData(name="backup.shared.com", preference=20, ips=(backup_ip,)),
+            ),
+        )
+        counters = PopularityCounters()
+        counters.observe_domain(measurement)
+        counters.observe_domain(measurement)
+        assert counters.num_ip["11.0.0.1"] == 2
+        assert counters.num_ip["11.0.0.2"] == 0  # backup MX not counted
+        assert counters.num_cert[cert.fingerprint()] == 2

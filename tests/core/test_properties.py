@@ -1,0 +1,126 @@
+"""Property-based tests for core-methodology invariants."""
+
+import string
+from datetime import date
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.certgroup import CertificatePreprocessor
+from repro.core.domainident import DomainIdentifier
+from repro.core.types import DomainStatus, EvidenceSource, MXIdentity
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.tls.cert import Certificate
+from repro.world.evolve import apportion
+
+DAY = date(2021, 6, 8)
+
+label = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+hostname = st.lists(label, min_size=2, max_size=4).map(".".join)
+
+certificates = st.builds(
+    lambda cn, sans, serial: Certificate(
+        subject_cn=cn, sans=tuple(sans), serial=serial
+    ),
+    cn=hostname,
+    sans=st.lists(hostname, max_size=3),
+    serial=st.integers(min_value=1, max_value=10_000),
+)
+
+
+class TestCertGroupProperties:
+    @given(st.lists(certificates, max_size=25))
+    @settings(max_examples=60)
+    def test_groups_partition_certs(self, certs):
+        groups = CertificatePreprocessor().build(certs)
+        fingerprints = {cert.fingerprint() for cert in certs}
+        grouped = set()
+        for group in groups.groups:
+            assert not (group.fingerprints & grouped), "groups must be disjoint"
+            grouped |= group.fingerprints
+        assert grouped == fingerprints
+
+    @given(st.lists(certificates, max_size=25))
+    @settings(max_examples=60)
+    def test_shared_fqdn_implies_same_group(self, certs):
+        groups = CertificatePreprocessor().build(certs)
+        for left in certs:
+            for right in certs:
+                if set(left.names()) & set(right.names()):
+                    assert groups.group_of(left) is groups.group_of(right)
+
+    @given(st.lists(certificates, min_size=1, max_size=25))
+    @settings(max_examples=60)
+    def test_every_cert_has_representative(self, certs):
+        groups = CertificatePreprocessor().build(certs)
+        for cert in certs:
+            assert groups.representative_for(cert)
+
+
+class TestApportionProperties:
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.dictionaries(
+            label,
+            st.floats(min_value=0, max_value=0.2, allow_nan=False),
+            min_size=1, max_size=8,
+        ).filter(lambda shares: sum(shares.values()) <= 1.0),
+    )
+    def test_total_conserved_and_nonnegative(self, total, shares):
+        counts = apportion(total, shares)
+        assert sum(counts.values()) == total
+        assert all(count >= 0 for count in counts.values())
+
+    @given(
+        st.integers(min_value=1, max_value=5_000),
+        st.dictionaries(
+            label,
+            st.floats(min_value=0, max_value=0.15, allow_nan=False),
+            min_size=1, max_size=6,
+        ),
+    )
+    def test_counts_within_one_of_quota(self, total, shares):
+        counts = apportion(total, shares)
+        for name, share in shares.items():
+            assert abs(counts[name] - total * share) <= 1.0
+
+
+@st.composite
+def tied_mx_measurements(draw):
+    n_mx = draw(st.integers(min_value=1, max_value=5))
+    mx_set = []
+    identities = {}
+    for index in range(n_mx):
+        name = f"mx{index}.{draw(label)}.com"
+        ip = IPObservation(address=f"11.0.0.{index + 1}", as_info=None, scan=None)
+        mx_set.append(MXData(name=name, preference=10, ips=(ip,)))
+        identities[name] = MXIdentity(
+            mx_name=name,
+            provider_id=draw(st.sampled_from(["a.com", "b.com", "c.com"])),
+            source=EvidenceSource.MX,
+        )
+    measurement = DomainMeasurement(
+        domain="domain.com", measured_on=DAY, mx_set=tuple(mx_set)
+    )
+    return measurement, identities
+
+
+class TestCreditSplittingProperties:
+    @given(tied_mx_measurements())
+    @settings(max_examples=100)
+    def test_weights_always_sum_to_one(self, case):
+        measurement, identities = case
+        inference = DomainIdentifier().identify(measurement, identities)
+        assert inference.status is DomainStatus.INFERRED
+        assert abs(sum(inference.attributions.values()) - 1.0) < 1e-9
+
+    @given(tied_mx_measurements())
+    @settings(max_examples=100)
+    def test_equal_split_across_distinct_ids(self, case):
+        measurement, identities = case
+        inference = DomainIdentifier().identify(measurement, identities)
+        distinct = {identity.provider_id for identity in identities.values()}
+        assert set(inference.attributions) == distinct
+        expected = 1.0 / len(distinct)
+        for weight in inference.attributions.values():
+            assert abs(weight - expected) < 1e-9

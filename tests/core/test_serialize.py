@@ -1,0 +1,93 @@
+"""Unit tests for inference-result serialization."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import (
+    SerializeError,
+    inference_from_dict,
+    inference_to_dict,
+    results_from_dicts,
+    results_to_dicts,
+)
+from repro.core.types import DomainInference, DomainStatus, EvidenceSource, MXIdentity
+
+
+def sample_inference():
+    identity = MXIdentity(
+        mx_name="mx.myvps.com",
+        provider_id="myvps.com",
+        source=EvidenceSource.CERT,
+        corrected=True,
+        correction_reason="VPS hostname pattern of godaddy",
+        examined=True,
+    )
+    return DomainInference(
+        domain="myvps.com",
+        status=DomainStatus.INFERRED,
+        attributions={"myvps.com": 1.0},
+        mx_identities=(identity,),
+    )
+
+
+class TestRoundTrip:
+    def test_inference_round_trip(self):
+        original = sample_inference()
+        clone = inference_from_dict(inference_to_dict(original))
+        assert clone.domain == original.domain
+        assert clone.status == original.status
+        assert clone.attributions == original.attributions
+        assert clone.mx_identities[0].corrected
+        assert clone.mx_identities[0].correction_reason == (
+            original.mx_identities[0].correction_reason
+        )
+
+    def test_status_only_inference(self):
+        original = DomainInference(domain="dead.com", status=DomainStatus.NO_SMTP)
+        payload = inference_to_dict(original)
+        assert "attributions" not in payload
+        clone = inference_from_dict(payload)
+        assert clone.status is DomainStatus.NO_SMTP
+
+    def test_json_compatible(self):
+        payload = inference_to_dict(sample_inference())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_results_round_trip_sorted(self):
+        inferences = {
+            "b.com": DomainInference(domain="b.com", status=DomainStatus.NO_MX),
+            "a.com": sample_inference(),
+        }
+        # rename to match keys
+        inferences["a.com"] = DomainInference(
+            domain="a.com", status=DomainStatus.INFERRED, attributions={"x.com": 1.0}
+        )
+        payloads = results_to_dicts(inferences)
+        assert [payload["domain"] for payload in payloads] == ["a.com", "b.com"]
+        assert set(results_from_dicts(payloads)) == {"a.com", "b.com"}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"domain": "x.com"},
+            {"domain": "x.com", "status": "weird"},
+            {"domain": "x.com", "status": "inferred", "mx": [{"mx": "m"}]},
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SerializeError):
+            inference_from_dict(bad)
+
+
+class TestPipelineRoundTrip:
+    def test_full_run_round_trips(self, ctx, last_snapshot):
+        from repro.world.entities import DatasetTag
+
+        inferences = ctx.priority(DatasetTag.GOV, last_snapshot)
+        payloads = results_to_dicts(inferences)
+        reloaded = results_from_dicts(payloads)
+        for domain, inference in inferences.items():
+            assert reloaded[domain].attributions == inference.attributions
+            assert reloaded[domain].status == inference.status
+            assert reloaded[domain].corrected == inference.corrected

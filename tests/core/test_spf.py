@@ -1,0 +1,127 @@
+"""Unit tests for SPF parsing and eventual-provider inference."""
+
+import pytest
+
+from repro.core.companies import CompanyMap
+from repro.core.spf import (
+    EventualProviderAnalyzer,
+    SPFMechanism,
+    parse_spf,
+)
+from repro.world.catalog import CATALOG
+
+
+class TestParseSPF:
+    def test_simple_include(self):
+        record = parse_spf("v=spf1 include:_spf.google.com ~all")
+        assert record is not None
+        assert record.includes() == ["_spf.google.com"]
+        assert not record.authorizes_self()
+
+    def test_self_authorizing(self):
+        record = parse_spf("v=spf1 a mx ip4:11.0.0.1 -all")
+        assert record.authorizes_self()
+        assert record.includes() == []
+
+    def test_qualifiers(self):
+        record = parse_spf("v=spf1 +include:a.com -include:b.com ~include:c.com")
+        assert record.includes() == ["a.com", "c.com"]  # '-' excluded
+
+    def test_not_spf(self):
+        assert parse_spf("google-site-verification=abc") is None
+        assert parse_spf("") is None
+        assert parse_spf("v=DKIM1; k=rsa") is None
+
+    def test_modifiers_skipped(self):
+        record = parse_spf("v=spf1 redirect=_spf.example.com exp=explain.example.com all")
+        assert record.includes() == []
+        assert record.mechanisms == (SPFMechanism("+", "all"),)
+
+    def test_unknown_mechanisms_skipped(self):
+        record = parse_spf("v=spf1 frobnicate:xyz include:real.com all")
+        assert record.includes() == ["real.com"]
+
+    def test_cidr_suffix_on_bare_mechanism(self):
+        record = parse_spf("v=spf1 a/24 mx/28 ~all")
+        assert record.authorizes_self()
+
+    def test_case_insensitive_version(self):
+        assert parse_spf("V=SPF1 INCLUDE:a.com ALL") is not None
+
+    def test_mechanism_str(self):
+        assert str(SPFMechanism("+", "include", "a.com")) == "include:a.com"
+        assert str(SPFMechanism("~", "all")) == "~all"
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return EventualProviderAnalyzer(company_map=CompanyMap.from_specs(CATALOG))
+
+
+class TestEventualProviderAnalyzer:
+    def test_include_resolution(self, analyzer):
+        assert analyzer.provider_of_include("_spf.google.com") == "google"
+        assert analyzer.provider_of_include("spf.protection.outlook.com") == "microsoft"
+        assert analyzer.provider_of_include("_spf.unknownhost.net") is None
+        assert analyzer.provider_of_include("_spf") is None
+
+    def test_filter_front_with_mailbox_behind(self, analyzer):
+        result = analyzer.analyze(
+            "ge-like.com",
+            ("v=spf1 include:_spf.outlook.com include:_spf.pphosted.com ~all",),
+            front_slug="proofpoint",
+        )
+        assert result.hides_mailbox_provider
+        assert result.eventual_slug == "microsoft"
+        assert set(result.spf_provider_slugs) == {"microsoft", "proofpoint"}
+
+    def test_filter_front_without_spf(self, analyzer):
+        result = analyzer.analyze("x.com", (), front_slug="proofpoint")
+        assert not result.hides_mailbox_provider
+
+    def test_mailbox_front_reports_nothing(self, analyzer):
+        result = analyzer.analyze(
+            "y.com", ("v=spf1 include:_spf.google.com ~all",), front_slug="google"
+        )
+        assert result.eventual_slug is None
+
+    def test_filter_only_spf(self, analyzer):
+        result = analyzer.analyze(
+            "z.com", ("v=spf1 include:_spf.pphosted.com ~all",), front_slug="proofpoint"
+        )
+        assert result.eventual_slug is None
+
+    def test_hosting_include_not_mailbox(self, analyzer):
+        result = analyzer.analyze(
+            "w.com",
+            ("v=spf1 include:_spf.secureserver.net include:_spf.mimecast.com ~all",),
+            front_slug="mimecast",
+        )
+        # GoDaddy is a hosting company, not a mailbox provider.
+        assert result.eventual_slug is None
+
+
+class TestWorldIntegration:
+    def test_spf_published_and_revealing(self, ctx, last_snapshot):
+        from repro.analysis.eventual import eventual_provider_report
+        from repro.world.entities import DatasetTag
+
+        measurements = ctx.measurements(DatasetTag.GOV, last_snapshot)
+        inferences = ctx.priority(DatasetTag.GOV, last_snapshot)
+        report = eventual_provider_report(measurements, inferences, ctx.company_map)
+        assert report.filtered_total > 0
+        assert 0.2 < report.reveal_rate < 0.9
+        # Revealed eventual providers are mailbox companies only.
+        assert set(report.eventual_counts) <= {"google", "microsoft"}
+
+    def test_reveals_match_ground_truth(self, ctx, last_snapshot):
+        from repro.analysis.eventual import eventual_provider_report
+        from repro.world.entities import DatasetTag
+
+        measurements = ctx.measurements(DatasetTag.GOV, last_snapshot)
+        inferences = ctx.priority(DatasetTag.GOV, last_snapshot)
+        report = eventual_provider_report(measurements, inferences, ctx.company_map)
+        for domain, result in report.inferences.items():
+            truth = ctx.world.entity(domain).assignment_at(last_snapshot)
+            if result.eventual_slug is not None:
+                assert result.eventual_slug == truth.eventual_slug

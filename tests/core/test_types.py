@@ -1,0 +1,83 @@
+"""Unit tests for the inference data model."""
+
+import pytest
+
+from repro.core.types import (
+    DomainInference,
+    DomainStatus,
+    EvidenceSource,
+    IPIdentity,
+    MXIdentity,
+)
+
+
+class TestEvidenceSource:
+    def test_priority_ordering(self):
+        assert EvidenceSource.CERT.priority < EvidenceSource.BANNER.priority
+        assert EvidenceSource.BANNER.priority < EvidenceSource.MX.priority
+
+
+class TestIPIdentity:
+    def test_best_id_prefers_cert(self):
+        identity = IPIdentity(address="1.1.1.1", cert_id="a.com", banner_id="b.com")
+        assert identity.best_id == "a.com"
+
+    def test_best_id_falls_to_banner(self):
+        identity = IPIdentity(address="1.1.1.1", banner_id="b.com")
+        assert identity.best_id == "b.com"
+
+    def test_best_id_none(self):
+        assert IPIdentity(address="1.1.1.1").best_id is None
+
+
+class TestMXIdentity:
+    def test_with_correction(self):
+        identity = MXIdentity(
+            mx_name="mx.x.com", provider_id="wrong.com", source=EvidenceSource.BANNER
+        )
+        corrected = identity.with_correction("right.com", "AS mismatch")
+        assert corrected.provider_id == "right.com"
+        assert corrected.corrected and corrected.examined
+        assert corrected.correction_reason == "AS mismatch"
+        assert corrected.source is EvidenceSource.BANNER  # evidence preserved
+        assert not identity.corrected  # original untouched
+
+    def test_as_examined_idempotent(self):
+        identity = MXIdentity(
+            mx_name="mx.x.com", provider_id="p.com", source=EvidenceSource.CERT
+        )
+        examined = identity.as_examined()
+        assert examined.examined and not examined.corrected
+        assert examined.as_examined() is examined
+
+
+class TestDomainInference:
+    def test_sole_provider(self):
+        inference = DomainInference(
+            domain="x.com", status=DomainStatus.INFERRED,
+            attributions={"p.com": 1.0},
+        )
+        assert inference.sole_provider_id == "p.com"
+
+    def test_split_has_no_sole_provider(self):
+        inference = DomainInference(
+            domain="x.com", status=DomainStatus.INFERRED,
+            attributions={"a.com": 0.5, "b.com": 0.5},
+        )
+        assert inference.sole_provider_id is None
+
+    def test_examined_and_corrected_aggregate(self):
+        clean = MXIdentity(
+            mx_name="a", provider_id="p.com", source=EvidenceSource.MX
+        )
+        fixed = clean.with_correction("q.com", "reason")
+        inference = DomainInference(
+            domain="x.com", status=DomainStatus.INFERRED,
+            attributions={"q.com": 1.0}, mx_identities=(clean, fixed),
+        )
+        assert inference.examined and inference.corrected
+
+    def test_empty_inference(self):
+        inference = DomainInference(domain="x.com", status=DomainStatus.NO_MX)
+        assert not inference.examined and not inference.corrected
+        assert inference.sole_provider_id is None

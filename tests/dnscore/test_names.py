@@ -1,0 +1,145 @@
+"""Unit tests for domain-name parsing and validation."""
+
+import pytest
+
+from repro.dnscore.names import (
+    NameError_,
+    extract_fqdn,
+    is_subdomain_of,
+    is_valid_fqdn,
+    is_valid_hostname,
+    iter_fqdn_candidates,
+    labels,
+    normalize,
+    parent,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("MX1.Provider.COM") == "mx1.provider.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize("  example.com \n") == "example.com"
+
+    def test_empty_raises(self):
+        with pytest.raises(NameError_):
+            normalize("   ")
+
+    def test_lone_dot_raises(self):
+        with pytest.raises(NameError_):
+            normalize(".")
+
+
+class TestLabels:
+    def test_splits(self):
+        assert labels("a.b.c") == ["a", "b", "c"]
+
+    def test_single_label(self):
+        assert labels("localhost") == ["localhost"]
+
+
+class TestIsValidHostname:
+    def test_simple(self):
+        assert is_valid_hostname("mx.google.com")
+
+    def test_single_label_ok(self):
+        assert is_valid_hostname("localhost")
+
+    def test_hyphenated(self):
+        assert is_valid_hostname("beats24-7.com")
+
+    def test_leading_hyphen_rejected(self):
+        assert not is_valid_hostname("-bad.com")
+
+    def test_trailing_hyphen_rejected(self):
+        assert not is_valid_hostname("bad-.com")
+
+    def test_underscore_rejected(self):
+        assert not is_valid_hostname("bad_label.com")
+
+    def test_empty_label_rejected(self):
+        assert not is_valid_hostname("a..com")
+
+    def test_long_label_rejected(self):
+        assert not is_valid_hostname("a" * 64 + ".com")
+
+    def test_63_char_label_ok(self):
+        assert is_valid_hostname("a" * 63 + ".com")
+
+    def test_overlong_name_rejected(self):
+        name = ".".join(["a" * 60] * 5)
+        assert len(name) > 253
+        assert not is_valid_hostname(name)
+
+    def test_empty_string(self):
+        assert not is_valid_hostname("")
+
+
+class TestIsValidFqdn:
+    def test_provider_name(self):
+        assert is_valid_fqdn("mx.google.com")
+
+    def test_single_label_rejected(self):
+        assert not is_valid_fqdn("mailserver")
+
+    def test_localhost_rejected(self):
+        assert not is_valid_fqdn("localhost")
+        assert not is_valid_fqdn("localhost.localdomain")
+
+    def test_ip_address_rejected(self):
+        assert not is_valid_fqdn("1.2.3.4")
+
+    def test_numeric_tld_rejected(self):
+        assert not is_valid_fqdn("host.123")
+
+    def test_example_domains_rejected(self):
+        assert not is_valid_fqdn("example.com")
+
+    def test_normalizes_case(self):
+        assert is_valid_fqdn("MX.GOOGLE.COM")
+
+
+class TestExtractFqdn:
+    def test_typical_banner(self):
+        assert extract_fqdn("mx.google.com ESMTP ready") == "mx.google.com"
+
+    def test_decorated_ip_yields_none(self):
+        assert extract_fqdn("IP-1-2-3-4 ESMTP") is None
+
+    def test_localhost_banner_yields_none(self):
+        assert extract_fqdn("localhost.localdomain ESMTP Postfix") is None
+
+    def test_embedded_ip_skipped_fqdn_found(self):
+        text = "220 1.2.3.4 welcome to mx1.provider.com"
+        assert extract_fqdn(text) == "mx1.provider.com"
+
+    def test_no_candidates(self):
+        assert extract_fqdn("ESMTP service ready") is None
+
+    def test_case_normalized(self):
+        assert extract_fqdn("MX1.Provider.COM ESMTP") == "mx1.provider.com"
+
+    def test_iter_candidates_order(self):
+        text = "a.example.org then b.example.net"
+        assert list(iter_fqdn_candidates(text)) == ["a.example.org", "b.example.net"]
+
+
+class TestHierarchy:
+    def test_subdomain(self):
+        assert is_subdomain_of("mx1.provider.com", "provider.com")
+
+    def test_equal_counts(self):
+        assert is_subdomain_of("provider.com", "provider.com")
+
+    def test_suffix_not_label_boundary(self):
+        assert not is_subdomain_of("evilprovider.com", "provider.com")
+
+    def test_parent(self):
+        assert parent("mx1.provider.com") == "provider.com"
+
+    def test_parent_of_tld(self):
+        assert parent("com") is None

@@ -1,0 +1,120 @@
+"""Property-based tests for names and the PSL."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnscore.names import (
+    extract_fqdn,
+    is_valid_fqdn,
+    is_valid_hostname,
+    normalize,
+)
+from repro.dnscore.psl import default_psl
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=10).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-")
+)
+hostname = st.lists(label, min_size=1, max_size=5).map(".".join)
+arbitrary_text = st.text(max_size=120)
+
+
+class TestNameProperties:
+    @given(hostname)
+    def test_normalize_idempotent(self, name):
+        assert normalize(normalize(name)) == normalize(name)
+
+    @given(hostname)
+    def test_normalize_strips_trailing_dot(self, name):
+        assert normalize(name + ".") == normalize(name)
+
+    @given(hostname)
+    def test_fqdn_implies_hostname(self, name):
+        if is_valid_fqdn(name):
+            assert is_valid_hostname(name)
+
+    @given(hostname)
+    def test_case_insensitivity(self, name):
+        assert is_valid_hostname(name) == is_valid_hostname(name.upper())
+
+    @given(arbitrary_text)
+    def test_extract_never_crashes_and_returns_valid(self, text):
+        result = extract_fqdn(text)
+        assert result is None or is_valid_fqdn(result)
+
+    @given(hostname)
+    def test_valid_fqdn_extracted_from_banner(self, name):
+        if is_valid_fqdn(name):
+            assert extract_fqdn(f"220 {name} ESMTP ready") == normalize(name)
+
+
+class TestZoneFileProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "mx", "cname", "txt"]),
+                hostname,
+                st.integers(min_value=0, max_value=65535),
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=80)
+    def test_dump_parse_roundtrip(self, entries):
+        from repro.dnscore.records import a as a_rec, cname as cname_rec
+        from repro.dnscore.records import mx as mx_rec, txt as txt_rec
+        from repro.dnscore.zone import Zone, ZoneConflictError
+        from repro.dnscore.zonefile import dump_zone, parse_zone_file
+
+        zone = Zone(apex="zone.test")
+        for kind, name, number in entries:
+            owner = f"{name}.zone.test"
+            try:
+                if kind == "a":
+                    zone.add(a_rec(owner, f"11.0.{number % 256}.{number // 256 % 256}"))
+                elif kind == "mx":
+                    zone.add(mx_rec(owner, f"mx.{owner}", preference=number))
+                elif kind == "cname":
+                    zone.add(cname_rec(owner, "target.zone.test"))
+                else:
+                    zone.add(txt_rec(owner, f"text {number}"))
+            except ZoneConflictError:
+                continue  # CNAME exclusivity; skip conflicting inserts
+        reparsed = parse_zone_file(dump_zone(zone))
+        assert sorted(reparsed) == sorted(zone.all_records())
+
+
+class TestPSLProperties:
+    @given(hostname)
+    @settings(max_examples=300)
+    def test_registered_domain_is_suffix(self, name):
+        psl = default_psl()
+        registered = psl.registered_domain(name)
+        if registered is not None:
+            normalized = normalize(name)
+            assert normalized == registered or normalized.endswith("." + registered)
+
+    @given(hostname)
+    def test_public_suffix_is_suffix_of_registered(self, name):
+        psl = default_psl()
+        registered = psl.registered_domain(name)
+        if registered is not None:
+            suffix = psl.public_suffix(name)
+            assert registered.endswith(suffix)
+            # Registered domain = public suffix + exactly one more label.
+            assert len(registered.split(".")) == len(suffix.split(".")) + 1
+
+    @given(hostname)
+    def test_registered_domain_idempotent(self, name):
+        psl = default_psl()
+        registered = psl.registered_domain(name)
+        if registered is not None:
+            assert psl.registered_domain(registered) == registered
+
+    @given(hostname, label)
+    def test_prepending_label_preserves_registered_domain(self, name, extra):
+        psl = default_psl()
+        registered = psl.registered_domain(name)
+        if registered is not None:
+            assert psl.registered_domain(f"{extra}.{name}") == registered

@@ -1,0 +1,102 @@
+"""Unit tests for the Public Suffix List implementation."""
+
+import pytest
+
+from repro.dnscore.psl import PublicSuffixList, default_psl, registered_domain
+
+
+@pytest.fixture(scope="module")
+def psl():
+    return PublicSuffixList.default()
+
+
+class TestPublicSuffix:
+    def test_gtld(self, psl):
+        assert psl.public_suffix("provider.com") == "com"
+
+    def test_layered_cctld(self, psl):
+        assert psl.public_suffix("bar.co.uk") == "co.uk"
+
+    def test_unknown_tld_falls_back_to_star(self, psl):
+        assert psl.public_suffix("foo.unknowntld") == "unknowntld"
+
+    def test_wildcard_rule(self, psl):
+        # '*.ck' makes every second-level .ck name a public suffix.
+        assert psl.public_suffix("foo.anything.ck") == "anything.ck"
+
+    def test_exception_rule(self, psl):
+        # '!www.ck' carves www.ck out of the wildcard.
+        assert psl.public_suffix("www.ck") == "ck"
+
+    def test_name_is_itself_suffix(self, psl):
+        assert psl.is_public_suffix("co.uk")
+        assert psl.is_public_suffix("com")
+        assert not psl.is_public_suffix("google.com")
+
+
+class TestRegisteredDomain:
+    def test_basic(self, psl):
+        assert psl.registered_domain("mx1.provider.com") == "provider.com"
+
+    def test_deeply_nested(self, psl):
+        assert psl.registered_domain("a.b.c.provider.com") == "provider.com"
+
+    def test_layered_cctld(self, psl):
+        assert psl.registered_domain("mail.bar.co.uk") == "bar.co.uk"
+
+    def test_exact_registered_domain(self, psl):
+        assert psl.registered_domain("provider.com") == "provider.com"
+
+    def test_suffix_itself_has_none(self, psl):
+        assert psl.registered_domain("com") is None
+        assert psl.registered_domain("co.uk") is None
+
+    def test_wildcard_needs_extra_label(self, psl):
+        assert psl.registered_domain("anything.ck") is None
+        assert psl.registered_domain("foo.anything.ck") == "foo.anything.ck"
+
+    def test_exception_registered_at_www(self, psl):
+        assert psl.registered_domain("www.ck") == "www.ck"
+        assert psl.registered_domain("sub.www.ck") == "www.ck"
+
+    def test_kawasaki_exception(self, psl):
+        assert psl.registered_domain("city.kawasaki.jp") == "city.kawasaki.jp"
+        assert psl.registered_domain("foo.other.kawasaki.jp") == "foo.other.kawasaki.jp"
+
+    def test_invalid_input_gives_none(self, psl):
+        assert psl.registered_domain("") is None
+
+    def test_paper_cctlds_have_second_level(self, psl):
+        assert psl.registered_domain("shop.foo.com.br") == "foo.com.br"
+        assert psl.registered_domain("mail.foo.com.cn") == "foo.com.cn"
+        assert psl.registered_domain("x.foo.co.jp") == "foo.co.jp"
+
+    def test_plain_cctld(self, psl):
+        assert psl.registered_domain("mail.foo.de") == "foo.de"
+        assert psl.registered_domain("mail.foo.ru") == "foo.ru"
+
+
+class TestModuleHelpers:
+    def test_default_is_singleton(self):
+        assert default_psl() is default_psl()
+
+    def test_shorthand(self):
+        assert registered_domain("mx.google.com") == "google.com"
+
+
+class TestRuleManagement:
+    def test_add_rule_and_match(self):
+        psl = PublicSuffixList()
+        psl.add_rule("com")
+        psl.add_rule("co.com")
+        assert psl.registered_domain("a.b.co.com") == "b.co.com"
+
+    def test_empty_rule_rejected(self):
+        psl = PublicSuffixList()
+        with pytest.raises(ValueError):
+            psl.add_rule("  ")
+
+    def test_longest_rule_wins(self):
+        psl = PublicSuffixList.from_suffixes(["uk", "co.uk"])
+        assert psl.public_suffix("x.co.uk") == "co.uk"
+        assert psl.public_suffix("x.org.uk") == "uk"

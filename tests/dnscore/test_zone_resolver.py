@@ -1,0 +1,160 @@
+"""Unit tests for zones and the resolver."""
+
+import pytest
+
+from repro.dnscore.records import RRType, a, cname, mx, txt
+from repro.dnscore.resolver import MAX_CNAME_CHAIN, Rcode, Resolver
+from repro.dnscore.zone import Zone, ZoneConflictError, ZoneDB
+
+
+class TestZone:
+    def test_add_and_lookup(self):
+        zone = Zone(apex="example.com")
+        zone.add(a("mail.example.com", "1.2.3.4"))
+        assert zone.lookup("mail.example.com", RRType.A)[0].rdata == "1.2.3.4"
+
+    def test_foreign_record_rejected(self):
+        zone = Zone(apex="example.com")
+        with pytest.raises(ZoneConflictError):
+            zone.add(a("other.org", "1.2.3.4"))
+
+    def test_duplicate_records_collapse(self):
+        zone = Zone(apex="example.com")
+        zone.add(a("mail.example.com", "1.2.3.4"))
+        zone.add(a("mail.example.com", "1.2.3.4"))
+        assert len(zone.lookup("mail.example.com", RRType.A)) == 1
+
+    def test_multiple_a_records(self):
+        zone = Zone(apex="example.com")
+        zone.add(a("mail.example.com", "1.2.3.4"))
+        zone.add(a("mail.example.com", "1.2.3.5"))
+        assert len(zone.lookup("mail.example.com", RRType.A)) == 2
+
+    def test_cname_excludes_other_data(self):
+        zone = Zone(apex="example.com")
+        zone.add(cname("www.example.com", "example.com"))
+        with pytest.raises(ZoneConflictError):
+            zone.add(a("www.example.com", "1.2.3.4"))
+
+    def test_other_data_excludes_cname(self):
+        zone = Zone(apex="example.com")
+        zone.add(a("www.example.com", "1.2.3.4"))
+        with pytest.raises(ZoneConflictError):
+            zone.add(cname("www.example.com", "example.com"))
+
+    def test_conflicting_cname_targets_rejected(self):
+        zone = Zone(apex="example.com")
+        zone.add(cname("www.example.com", "a.example.com"))
+        with pytest.raises(ZoneConflictError):
+            zone.add(cname("www.example.com", "b.example.com"))
+
+    def test_remove(self):
+        zone = Zone(apex="example.com")
+        zone.add(a("mail.example.com", "1.2.3.4"))
+        zone.remove("mail.example.com", RRType.A)
+        assert zone.lookup("mail.example.com", RRType.A) == []
+
+    def test_len_and_names(self):
+        zone = Zone(apex="example.com")
+        zone.add(a("mail.example.com", "1.2.3.4"))
+        zone.add(mx("example.com", "mail.example.com"))
+        assert len(zone) == 2
+        assert zone.names() == {"mail.example.com", "example.com"}
+
+
+class TestZoneDB:
+    def test_routes_to_most_specific_zone(self):
+        db = ZoneDB()
+        db.ensure_zone("example.com")
+        db.ensure_zone("sub.example.com")
+        db.add(a("mail.sub.example.com", "1.2.3.4"))
+        assert len(db.zone_for("mail.sub.example.com")._store) == 1
+        assert db.lookup("mail.sub.example.com", RRType.A).rdatas() == ["1.2.3.4"]
+
+    def test_add_without_zone_fails(self):
+        db = ZoneDB()
+        with pytest.raises(ZoneConflictError):
+            db.add(a("orphan.example.net", "1.2.3.4"))
+
+    def test_zones_under_tld(self):
+        db = ZoneDB()
+        db.ensure_zone("a.com")
+        db.ensure_zone("b.com")
+        db.ensure_zone("c.gov")
+        assert db.zones_under_tld("com") == ["a.com", "b.com"]
+
+    def test_contains_and_len(self):
+        db = ZoneDB()
+        db.ensure_zone("a.com")
+        assert "a.com" in db
+        assert len(db) == 1
+
+
+@pytest.fixture
+def resolver():
+    db = ZoneDB()
+    zone = db.ensure_zone("example.com")
+    zone.add(mx("example.com", "mx.example.com", preference=10))
+    zone.add(mx("example.com", "backup.example.com", preference=20))
+    zone.add(a("mx.example.com", "1.2.3.4"))
+    zone.add(a("backup.example.com", "1.2.3.5"))
+    zone.add(cname("alias.example.com", "mx.example.com"))
+    zone.add(txt("nodata.example.com", "txt only"))
+    # A CNAME loop and an over-long chain.
+    zone.add(cname("loop1.example.com", "loop2.example.com"))
+    zone.add(cname("loop2.example.com", "loop1.example.com"))
+    previous = "deep0.example.com"
+    for index in range(1, MAX_CNAME_CHAIN + 3):
+        current = f"deep{index}.example.com"
+        zone.add(cname(previous, current))
+        previous = current
+    return Resolver(db=db)
+
+
+class TestResolver:
+    def test_direct_a(self, resolver):
+        answer = resolver.resolve("mx.example.com", RRType.A)
+        assert answer.rcode is Rcode.NOERROR
+        assert answer.rdatas == ["1.2.3.4"]
+
+    def test_cname_chase(self, resolver):
+        answer = resolver.resolve("alias.example.com", RRType.A)
+        assert answer.rcode is Rcode.NOERROR
+        assert answer.rdatas == ["1.2.3.4"]
+        assert answer.chain == ("alias.example.com", "mx.example.com")
+
+    def test_cname_query_not_chased(self, resolver):
+        answer = resolver.resolve("alias.example.com", RRType.CNAME)
+        assert answer.rdatas == ["mx.example.com"]
+
+    def test_nxdomain(self, resolver):
+        answer = resolver.resolve("missing.example.com", RRType.A)
+        assert answer.rcode is Rcode.NXDOMAIN
+        assert not answer
+
+    def test_nodata(self, resolver):
+        answer = resolver.resolve("nodata.example.com", RRType.A)
+        assert answer.rcode is Rcode.NODATA
+
+    def test_cname_loop_servfail(self, resolver):
+        answer = resolver.resolve("loop1.example.com", RRType.A)
+        assert answer.rcode is Rcode.SERVFAIL
+
+    def test_chain_too_long_servfail(self, resolver):
+        answer = resolver.resolve("deep0.example.com", RRType.A)
+        assert answer.rcode is Rcode.SERVFAIL
+
+    def test_mx_convenience_sorted(self, resolver):
+        records = resolver.resolve_mx("example.com")
+        assert [r.rdata for r in records] == ["mx.example.com", "backup.example.com"]
+
+    def test_a_convenience_on_failure(self, resolver):
+        assert resolver.resolve_a("missing.example.com") == []
+
+    def test_cache_round_trip(self, resolver):
+        first = resolver.resolve("mx.example.com", RRType.A)
+        second = resolver.resolve("mx.example.com", RRType.A)
+        assert first is second
+        resolver.clear_cache()
+        third = resolver.resolve("mx.example.com", RRType.A)
+        assert third == first and third is not first

@@ -1,0 +1,139 @@
+"""Unit tests for zone-file serialization and parsing."""
+
+import pytest
+
+from repro.dnscore.records import RRType, a, cname, mx, ns, txt
+from repro.dnscore.zone import Zone, ZoneDB
+from repro.dnscore.zonefile import (
+    ZoneFileError,
+    dump_zone,
+    dump_zonedb,
+    load_zonedb,
+    parse_zone_file,
+)
+
+
+@pytest.fixture
+def zone():
+    zone = Zone(apex="example.com")
+    zone.add(mx("example.com", "mx1.example.com", preference=10))
+    zone.add(mx("example.com", "mx2.example.com", preference=20))
+    zone.add(a("mx1.example.com", "11.0.0.1"))
+    zone.add(a("mx2.example.com", "11.0.0.2"))
+    zone.add(cname("mail.example.com", "mx1.example.com"))
+    zone.add(txt("example.com", "v=spf1 include:_spf.google.com ~all"))
+    zone.add(ns("example.com", "ns1.example.com"))
+    return zone
+
+
+class TestDump:
+    def test_origin_header(self, zone):
+        assert dump_zone(zone).startswith("$ORIGIN example.com.\n")
+
+    def test_all_records_rendered(self, zone):
+        text = dump_zone(zone)
+        assert "MX 10 mx1.example.com." in text
+        assert "11.0.0.1" in text
+        assert '"v=spf1 include:_spf.google.com ~all"' in text
+
+    def test_deterministic(self, zone):
+        assert dump_zone(zone) == dump_zone(zone)
+
+    def test_dump_zonedb(self, zone):
+        db = ZoneDB()
+        db.ensure_zone("example.com")
+        for record in zone.all_records():
+            db.add(record)
+        db.ensure_zone("other.org")
+        text = dump_zonedb(db)
+        assert "$ORIGIN example.com." in text
+        assert "$ORIGIN other.org." in text
+
+
+class TestParse:
+    def test_round_trip(self, zone):
+        records = parse_zone_file(dump_zone(zone))
+        assert sorted(records) == sorted(zone.all_records())
+
+    def test_relative_names(self):
+        text = """
+        $ORIGIN example.com.
+        @ 3600 IN MX 10 mx1
+        mx1 3600 IN A 11.0.0.1
+        """
+        records = parse_zone_file(text)
+        assert records[0].name == "example.com"
+        assert records[0].rdata == "mx1.example.com"
+        assert records[1].name == "mx1.example.com"
+
+    def test_default_ttl_directive(self):
+        text = "$ORIGIN x.com.\n$TTL 999\nhost IN A 1.2.3.4\n"
+        (record,) = parse_zone_file(text)
+        assert record.ttl == 999
+
+    def test_optional_ttl_and_class(self):
+        text = "$ORIGIN x.com.\nhost A 1.2.3.4\nhost2 600 A 1.2.3.5\n"
+        records = parse_zone_file(text)
+        assert records[0].ttl == 3600
+        assert records[1].ttl == 600
+
+    def test_comments_stripped(self):
+        text = "$ORIGIN x.com.  ; the zone\nhost IN A 1.2.3.4 ; web server\n"
+        (record,) = parse_zone_file(text)
+        assert record.rdata == "1.2.3.4"
+
+    def test_semicolon_inside_txt_kept(self):
+        text = '$ORIGIN x.com.\n@ IN TXT "k=rsa; p=abc" ; comment\n'
+        (record,) = parse_zone_file(text)
+        assert record.rdata == "k=rsa; p=abc"
+
+    def test_escaped_quote_in_txt(self):
+        text = '$ORIGIN x.com.\n@ IN TXT "say \\"hi\\""\n'
+        (record,) = parse_zone_file(text)
+        assert record.rdata == 'say "hi"'
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "@ IN A 1.2.3.4",                      # '@' without $ORIGIN
+            "host IN A 1.2.3.4",                   # relative without $ORIGIN
+            "$ORIGIN x.com.\nhost IN MX mx1",      # MX missing preference
+            "$ORIGIN x.com.\nhost IN TXT bare",    # unquoted TXT
+            "$ORIGIN x.com.\nhost IN SRV 1 2 3 t", # unsupported type
+            "$ORIGIN x.com.\nhost IN",             # short line
+            "$TTL abc\n",                          # bad TTL
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ZoneFileError):
+            parse_zone_file(bad)
+
+
+class TestLoadZoneDB:
+    def test_zones_created_from_origins(self, zone):
+        db = load_zonedb(dump_zone(zone))
+        assert "example.com" in db
+        assert db.lookup("example.com", RRType.MX).best_preference() == 10
+
+    def test_round_trip_through_text(self, zone):
+        db = ZoneDB()
+        db.ensure_zone("example.com")
+        for record in zone.all_records():
+            db.add(record)
+        reloaded = load_zonedb(dump_zonedb(db))
+        assert dump_zonedb(reloaded) == dump_zonedb(db)
+
+    def test_extra_apexes(self):
+        text = "$ORIGIN a.com.\nhost IN A 1.2.3.4\n"
+        db = load_zonedb(text, apexes=["b.com"])
+        assert "b.com" in db
+
+    def test_world_zone_round_trips(self, small_world):
+        """A real snapshot's zone survives dump+parse bit-for-bit."""
+        db = small_world.snapshot_zones[-1]
+        apex = next(
+            name for name in db.zone_apexes() if name in small_world.domains
+        )
+        zone = db.zone_for(apex)
+        reparsed = parse_zone_file(dump_zone(zone))
+        assert sorted(reparsed) == sorted(zone.all_records())

@@ -1,0 +1,69 @@
+"""Determinism: identical configs produce identical artifacts end to end."""
+
+import pytest
+
+from repro.experiments import fig5, fig8, tab4
+from repro.experiments.common import StudyContext
+from repro.world.build import WorldConfig
+
+CONFIG = WorldConfig(seed=31, alexa_size=250, com_size=250, gov_size=80)
+
+
+@pytest.fixture(scope="module")
+def twin_contexts():
+    return StudyContext.create(CONFIG), StudyContext.create(CONFIG)
+
+
+class TestEndToEndDeterminism:
+    def test_measurements_identical(self, twin_contexts):
+        from repro.world.entities import DatasetTag
+
+        a, b = twin_contexts
+        measurements_a = a.measurements(DatasetTag.GOV, 8)
+        measurements_b = b.measurements(DatasetTag.GOV, 8)
+        assert set(measurements_a) == set(measurements_b)
+        for domain in measurements_a:
+            ma, mb = measurements_a[domain], measurements_b[domain]
+            assert [
+                (mx.name, mx.preference, tuple(ip.address for ip in mx.ips))
+                for mx in ma.mx_set
+            ] == [
+                (mx.name, mx.preference, tuple(ip.address for ip in mx.ips))
+                for mx in mb.mx_set
+            ]
+            assert ma.txt == mb.txt
+
+    def test_inferences_identical(self, twin_contexts):
+        from repro.world.entities import DatasetTag
+
+        a, b = twin_contexts
+        inferences_a = a.priority(DatasetTag.ALEXA, 8)
+        inferences_b = b.priority(DatasetTag.ALEXA, 8)
+        for domain in inferences_a:
+            assert inferences_a[domain].attributions == inferences_b[domain].attributions
+            assert inferences_a[domain].status == inferences_b[domain].status
+
+    def test_rendered_artifacts_identical(self, twin_contexts):
+        a, b = twin_contexts
+        for module in (tab4, fig5, fig8):
+            assert module.run(a).render() == module.run(b).render()
+
+    def test_pipeline_rerun_is_idempotent(self, twin_contexts):
+        """Running the pipeline twice over the same measurements agrees."""
+        from repro.core.pipeline import PriorityPipeline
+        from repro.world.entities import DatasetTag
+
+        ctx, _ = twin_contexts
+        measurements = ctx.measurements(DatasetTag.COM, 8)
+        pipeline = PriorityPipeline(ctx.world.trust_store, ctx.company_map, ctx.world.psl)
+        first = pipeline.run(measurements)
+        second = pipeline.run(measurements)
+        for domain in measurements:
+            assert first[domain].attributions == second[domain].attributions
+
+    def test_different_seed_differs(self):
+        other = StudyContext.create(
+            WorldConfig(seed=32, alexa_size=250, com_size=250, gov_size=80)
+        )
+        base = StudyContext.create(CONFIG)
+        assert set(base.world.domains) != set(other.world.domains)

@@ -1,0 +1,115 @@
+"""Unit-level tests of the experiment runners' result objects."""
+
+import pytest
+
+from repro.experiments import ext_spf, fig4, fig5, fig6, sec41_corpus, tab4, tab6
+from repro.world.entities import DatasetTag
+
+
+class TestFig4Result:
+    def test_cells_per_dataset(self, ctx):
+        result = fig4.run(ctx, sample_size=50)
+        for evaluation in result.evaluations.values():
+            assert len(evaluation.cells) == 8
+        assert set(result.evaluations) == {
+            DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV,
+        }
+
+    def test_sample_size_parameter(self, ctx):
+        result = fig4.run(ctx, sample_size=50)
+        for evaluation in result.evaluations.values():
+            for cell in evaluation.cells:
+                assert cell.total <= 50
+
+    def test_seed_changes_samples(self, ctx):
+        a = fig4.run(ctx, sample_size=50, seed=1)
+        b = fig4.run(ctx, sample_size=50, seed=2)
+        a_corrects = [c.correct for e in a.evaluations.values() for c in e.cells]
+        b_corrects = [c.correct for e in b.evaluations.values() for c in e.cells]
+        assert a_corrects != b_corrects
+
+    def test_render_mentions_all_approaches(self, ctx):
+        text = fig4.run(ctx, sample_size=50).render()
+        for approach in ("mx-only", "cert-based", "banner-based", "priority-based"):
+            assert approach in text
+
+
+class TestFig5Result:
+    def test_panel_structure(self, ctx):
+        result = fig5.run(ctx, k=3)
+        assert len(result.panels) == 8
+        for rows in result.panels.values():
+            assert len(rows) <= 3
+            assert all(row.rank == index + 1 for index, row in enumerate(rows))
+
+    def test_rank_slices_nested(self, ctx):
+        result = fig5.run(ctx)
+        # Google's count can only grow as the rank slice widens.
+        counts = [
+            next(row.count for row in result.panels[panel] if row.label == "google")
+            for panel in ("Alexa Top 10k", "Alexa Top 100k", "Alexa Top 1M")
+        ]
+        assert counts == sorted(counts)
+
+
+class TestFig6Result:
+    def test_nine_panels(self, ctx):
+        result = fig6.run(ctx)
+        assert len(result.panels) == 9
+        letters = {panel.title.split(")")[0][-1] for panel in result.panels.values()}
+        assert letters == set("abcdefghi")
+
+    def test_security_panel_membership(self, ctx):
+        result = fig6.run(ctx)
+        panel = result.panel("com:security")
+        assert set(panel.labels) == set(fig6.SECURITY_PANEL)
+
+
+class TestTab6Result:
+    def test_totals_are_sums(self, ctx):
+        result = tab6.run(ctx, k=10)
+        for dataset, rows in result.rankings.items():
+            count, percent = result.totals[dataset]
+            assert count == pytest.approx(sum(row.count for row in rows))
+
+    def test_k_parameter(self, ctx):
+        result = tab6.run(ctx, k=5)
+        assert all(len(rows) == 5 for rows in result.rankings.values())
+
+
+class TestTab4Result:
+    def test_render_has_total_row(self, ctx):
+        text = tab4.run(ctx).render()
+        assert "Total" in text
+
+    def test_snapshot_parameter(self, ctx):
+        early = tab4.run(ctx, snapshot_index=3)
+        late = tab4.run(ctx, snapshot_index=8)
+        assert early.breakdowns[DatasetTag.ALEXA].total == (
+            late.breakdowns[DatasetTag.ALEXA].total
+        )
+
+
+class TestExtSPFResult:
+    def test_structure(self, ctx):
+        result = ext_spf.run(ctx)
+        for dataset, entries in result.adjustments.items():
+            for slug, before, after in entries:
+                assert after >= before
+                assert slug in ("google", "microsoft")
+
+    def test_render(self, ctx):
+        text = ext_spf.run(ctx).render()
+        assert "SPF" in text and "Hidden customers" in text
+
+
+class TestSec41Result:
+    def test_churn_rate_changes_funnel(self, ctx):
+        low = sec41_corpus.run(ctx, churn_rate=0.1)
+        high = sec41_corpus.run(ctx, churn_rate=0.4)
+        assert high.funnel.union_domains > low.funnel.union_domains
+        assert high.funnel.list_stable == low.funnel.list_stable
+
+    def test_render(self, ctx):
+        text = sec41_corpus.run(ctx).render()
+        assert "funnel" in text.lower() or "Stage" in text

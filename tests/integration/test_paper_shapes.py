@@ -1,0 +1,312 @@
+"""Integration tests: every paper artifact reproduces with the right shape.
+
+These run the full stack (world → measurement → inference → analysis) on the
+session-scoped small world and assert the *qualitative* results the paper
+reports: who wins, what rises and falls, where the approaches differ.
+"""
+
+import pytest
+
+from repro.core.baselines import (
+    APPROACH_BANNER,
+    APPROACH_CERT,
+    APPROACH_MX_ONLY,
+    APPROACH_PRIORITY,
+)
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, tab1_2_3, tab4, tab5, tab6
+from repro.world.entities import DatasetTag
+
+
+@pytest.fixture(scope="module")
+def fig4_result(ctx):
+    return fig4.run(ctx)
+
+
+class TestFigure4Shapes:
+    def test_priority_at_least_95_percent_everywhere(self, fig4_result):
+        for evaluation in fig4_result.evaluations.values():
+            for cell in evaluation.cells:
+                if cell.approach == APPROACH_PRIORITY:
+                    assert cell.accuracy >= 0.95, cell
+
+    def test_priority_beats_or_ties_every_baseline(self, fig4_result):
+        for evaluation in fig4_result.evaluations.values():
+            samples = {cell.sample_set for cell in evaluation.cells}
+            for sample in samples:
+                priority = evaluation.cell(sample, APPROACH_PRIORITY)
+                for approach in (APPROACH_MX_ONLY, APPROACH_CERT, APPROACH_BANNER):
+                    baseline = evaluation.cell(sample, approach)
+                    assert priority.correct >= baseline.correct, (sample, approach)
+
+    def test_mx_only_is_worst_in_aggregate(self, fig4_result):
+        totals = {a: 0 for a in (APPROACH_MX_ONLY, APPROACH_CERT, APPROACH_BANNER)}
+        for evaluation in fig4_result.evaluations.values():
+            for cell in evaluation.cells:
+                if cell.approach in totals:
+                    totals[cell.approach] += cell.correct
+        assert totals[APPROACH_MX_ONLY] < totals[APPROACH_CERT]
+        assert totals[APPROACH_MX_ONLY] < totals[APPROACH_BANNER]
+
+    def test_banner_at_least_cert_in_aggregate(self, fig4_result):
+        """Section 3.3: banner-based outperforms cert-based (availability)."""
+        cert = banner = 0
+        for evaluation in fig4_result.evaluations.values():
+            for cell in evaluation.cells:
+                if cell.approach == APPROACH_CERT:
+                    cert += cell.correct
+                elif cell.approach == APPROACH_BANNER:
+                    banner += cell.correct
+        assert banner >= cert
+
+    def test_mx_only_collapses_on_com_unique_mx(self, fig4_result):
+        """The paper's headline: 40% accuracy on .com unique-MX domains."""
+        evaluation = fig4_result.evaluations[DatasetTag.COM]
+        cell = evaluation.cell(".com w/Unique MX", APPROACH_MX_ONLY)
+        assert cell.accuracy <= 0.60
+
+    def test_mx_only_better_on_alexa_and_gov_than_com(self, fig4_result):
+        com = fig4_result.evaluations[DatasetTag.COM].cell(
+            ".com w/Unique MX", APPROACH_MX_ONLY
+        )
+        alexa = fig4_result.evaluations[DatasetTag.ALEXA].cell(
+            "Alexa w/Unique MX", APPROACH_MX_ONLY
+        )
+        gov = fig4_result.evaluations[DatasetTag.GOV].cell(
+            ".gov w/Unique MX", APPROACH_MX_ONLY
+        )
+        assert alexa.accuracy > com.accuracy
+        assert gov.accuracy > com.accuracy
+
+    def test_step4_examined_counts_are_small(self, fig4_result):
+        """The paper: manual-examination load is ~1.7% of sampled domains."""
+        for evaluation in fig4_result.evaluations.values():
+            for cell in evaluation.cells:
+                if cell.approach == APPROACH_PRIORITY:
+                    assert cell.examined <= cell.total * 0.15
+
+
+class TestTable4Shapes:
+    def test_partition_is_exhaustive(self, ctx):
+        result = tab4.run(ctx)
+        for dataset, breakdown in result.breakdowns.items():
+            assert sum(breakdown.counts.values()) == breakdown.total
+            assert breakdown.total == len(ctx.domains(dataset))
+
+    def test_every_category_occupied_in_alexa(self, ctx):
+        result = tab4.run(ctx)
+        breakdown = result.breakdowns[DatasetTag.ALEXA]
+        for category, count in breakdown.counts.items():
+            assert count > 0, category
+
+    def test_complete_data_is_majority(self, ctx):
+        result = tab4.run(ctx)
+        for breakdown in result.breakdowns.values():
+            assert breakdown.fraction("No Missing Data") > 0.5
+
+    def test_invalid_cert_is_largest_gap(self, ctx):
+        """Paper: 'No Valid SSL Cert.' dominates the missing-data rows."""
+        breakdown = tab4.run(ctx).breakdowns[DatasetTag.ALEXA]
+        gaps = {
+            category: count
+            for category, count in breakdown.counts.items()
+            if category != "No Missing Data"
+        }
+        assert max(gaps, key=gaps.get) == "No Valid SSL Cert."
+
+
+class TestFigure5Shapes:
+    @pytest.fixture(scope="class")
+    def panels(self, ctx):
+        return fig5.run(ctx).panels
+
+    def test_google_tops_alexa(self, panels):
+        assert panels["Alexa Top 1M"][0].label == "google"
+        assert panels["Alexa Top 1M"][1].label == "microsoft"
+
+    def test_yandex_third_in_full_alexa(self, panels):
+        assert panels["Alexa Top 1M"][2].label == "yandex"
+
+    def test_godaddy_dominates_com(self, panels):
+        assert panels["COM"][0].label == "godaddy"
+        assert panels["COM"][0].percent > 2 * panels["COM"][1].percent
+
+    def test_microsoft_tops_gov(self, panels):
+        for key in ("GOV (federal)", "GOV (non-federal)", "GOV (all)"):
+            assert panels[key][0].label == "microsoft"
+
+    def test_security_company_in_gov_top5(self, panels):
+        labels = {row.label for row in panels["GOV (all)"]}
+        assert labels & {"barracuda", "proofpoint", "mimecast"}
+
+    def test_hosting_companies_in_com_top5(self, panels):
+        labels = [row.label for row in panels["COM"]]
+        assert "unitedinternet" in labels or "eig" in labels or "ovh" in labels
+
+
+class TestFigure6Shapes:
+    @pytest.fixture(scope="class")
+    def result(self, ctx):
+        return fig6.run(ctx)
+
+    def test_google_and_microsoft_rise_in_alexa(self, result):
+        panel = result.panel("alexa:top")
+        assert panel.result["google"].delta_percent() > 0
+        assert panel.result["microsoft"].delta_percent() > 0
+
+    def test_self_hosting_falls_everywhere(self, result):
+        for dataset in ("alexa", "com", "gov"):
+            panel = result.panel(f"{dataset}:top")
+            assert panel.result["SELF"].delta_percent() < 0, dataset
+
+    def test_security_total_rises_everywhere(self, result):
+        for dataset in ("alexa", "com", "gov"):
+            panel = result.panel(f"{dataset}:security")
+            total = panel.result.total_series(panel.labels)
+            assert total.delta_percent() > 0, dataset
+
+    def test_hosting_total_falls_in_alexa_and_com(self, result):
+        for dataset in ("alexa", "com"):
+            panel = result.panel(f"{dataset}:hosting")
+            total = panel.result.total_series(panel.labels)
+            assert total.delta_percent() < 0, dataset
+
+    def test_godaddy_falls_in_com(self, result):
+        panel = result.panel("com:hosting")
+        assert panel.result["godaddy"].delta_percent() < 0
+
+    def test_gov_microsoft_rises_strongly(self, result):
+        panel = result.panel("gov:top")
+        assert panel.result["microsoft"].delta_percent() > 5.0
+
+    def test_gov_series_have_gap_before_2018(self, result):
+        import math
+
+        panel = result.panel("gov:top")
+        series = panel.result["microsoft"]
+        assert math.isnan(series.percents[0]) and math.isnan(series.percents[1])
+        assert not math.isnan(series.percents[2])
+
+    def test_top5_total_rises_in_alexa(self, result):
+        panel = result.panel("alexa:top")
+        total = panel.result.total_series(panel.labels)
+        assert total.delta_percent() > 0
+
+
+class TestFigure7Shapes:
+    @pytest.fixture(scope="class")
+    def matrix(self, ctx):
+        return fig7.run(ctx).matrix
+
+    def test_all_domains_accounted(self, ctx, matrix):
+        assert matrix.total == len(ctx.domains(DatasetTag.ALEXA))
+
+    def test_self_hosted_shrinks(self, matrix):
+        assert matrix.outgoing("Self-Hosted") > matrix.incoming("Self-Hosted")
+
+    def test_quarter_of_self_hosted_leavers_go_to_google_or_microsoft(self, matrix):
+        """Section 5.3: more than a quarter switch to Google or Microsoft."""
+        leavers = matrix.outgoing("Self-Hosted")
+        to_big_two = matrix.flow("Self-Hosted", "Google") + matrix.flow(
+            "Self-Hosted", "Microsoft"
+        )
+        assert leavers > 0
+        assert to_big_two > leavers / 4
+
+    def test_big_two_exceed_top100_remainder(self, matrix):
+        """...a quantity larger than the sum switching to the rest of the
+        top 100."""
+        to_big_two = matrix.flow("Self-Hosted", "Google") + matrix.flow(
+            "Self-Hosted", "Microsoft"
+        )
+        assert to_big_two > matrix.flow("Self-Hosted", "Top100")
+
+    def test_google_gains_from_all_categories(self, matrix):
+        sources = [
+            source
+            for source in matrix.categories
+            if source != "Google" and matrix.flow(source, "Google") > 0
+        ]
+        assert len(sources) >= 3
+
+    def test_churn_is_bidirectional(self, matrix):
+        assert matrix.outgoing("Google") > 0
+        assert matrix.incoming("Google") > matrix.outgoing("Google")
+
+
+class TestFigure8Shapes:
+    @pytest.fixture(scope="class")
+    def prefs(self, ctx):
+        return fig8.run(ctx).preferences
+
+    def test_yandex_confined_to_ru(self, prefs):
+        assert prefs.dominant_cctld("yandex") == "ru"
+        assert prefs.percent("ru", "yandex") > 15
+        for cctld in prefs.cctlds:
+            if cctld != "ru":
+                assert prefs.percent(cctld, "yandex") < 10
+
+    def test_tencent_confined_to_cn(self, prefs):
+        assert prefs.dominant_cctld("tencent") == "cn"
+        assert prefs.percent("cn", "tencent") > 15
+        for cctld in prefs.cctlds:
+            if cctld != "cn":
+                assert prefs.percent(cctld, "tencent") < 10
+
+    def test_us_providers_broadly_used(self, prefs):
+        """Google+Microsoft exceed 30% in most non-CN/RU ccTLDs."""
+        broad = [
+            cctld for cctld in prefs.cctlds
+            if cctld not in ("cn", "ru") and prefs.us_share(cctld) > 30
+        ]
+        assert len(broad) >= 9
+
+    def test_us_share_lowest_in_cn(self, prefs):
+        assert prefs.us_share("cn") == min(
+            prefs.us_share(cctld) for cctld in prefs.cctlds
+        )
+
+    def test_brazil_exceeds_alexa_baseline(self, ctx, prefs):
+        """Section 5.4: .br's US-provider share exceeds the Alexa baseline."""
+        from repro.analysis.market_share import compute_market_share
+
+        inferences = ctx.priority(DatasetTag.ALEXA, 8)
+        share = compute_market_share(
+            inferences, ctx.domains(DatasetTag.ALEXA), ctx.company_map
+        )
+        baseline = 100 * (share.share_of("google") + share.share_of("microsoft"))
+        assert prefs.us_share("br") > baseline
+
+
+class TestTables:
+    def test_table6_depth_and_totals(self, ctx):
+        result = tab6.run(ctx)
+        for dataset, rows in result.rankings.items():
+            assert len(rows) == 15
+            count, percent = result.totals[dataset]
+            assert percent == pytest.approx(sum(row.percent for row in rows))
+            assert 30 < percent < 90
+
+    def test_table5_multi_id_structure(self, ctx):
+        result = tab5.run(ctx)
+        ms_ids, ms_asns = result.entries["microsoft"]
+        pp_ids, pp_asns = result.entries["proofpoint"]
+        assert len(ms_ids) >= 2 and "outlook.com" in ms_ids
+        assert len(pp_ids) >= 2 and "pphosted.com" in pp_ids
+        assert len(pp_asns) >= 2
+        assert all(name == "ProofPoint" for _asn, name in pp_asns)
+
+    def test_tables_1_2_3_worked_examples(self, ctx):
+        result = tab1_2_3.run(ctx)
+        rendered = result.render()
+        # Table 1/2's key observations survive the simulation:
+        assert "mailhost.gsipartners.com" in rendered  # MX hides the provider
+        assert "mx.google.com" in rendered             # ...but the cert reveals it
+        assert "ghs.google.com" in rendered            # the no-SMTP web host
+        assert "inbound.mail.utexas.edu" in rendered   # customer cert at Ironport
+        assert result.inferences["utexas.edu"].attributions == {"iphmx.com": 1.0}
+        assert result.inferences["jeniustoto.net"].status.value == "no_smtp"
+
+    def test_renders_are_nonempty_strings(self, ctx):
+        for module in (tab4, fig5, fig7, fig8, tab5, tab6):
+            text = module.run(ctx).render()
+            assert isinstance(text, str) and len(text) > 100

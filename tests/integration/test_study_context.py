@@ -1,0 +1,73 @@
+"""Tests for the StudyContext caching layer and scale handling."""
+
+import os
+
+import pytest
+
+from repro.core.baselines import APPROACH_BANNER, APPROACH_CERT, APPROACH_MX_ONLY
+from repro.core.pipeline import PipelineConfig
+from repro.experiments.common import env_scale
+from repro.world.entities import DatasetTag
+
+
+class TestCaching:
+    def test_measurements_cached(self, ctx):
+        first = ctx.measurements(DatasetTag.GOV, 8)
+        second = ctx.measurements(DatasetTag.GOV, 8)
+        assert first is second
+
+    def test_priority_cached(self, ctx):
+        first = ctx.priority(DatasetTag.GOV, 8)
+        second = ctx.priority(DatasetTag.GOV, 8)
+        assert first is second
+
+    def test_custom_config_not_cached(self, ctx):
+        default = ctx.priority_result(DatasetTag.GOV, 8)
+        custom = ctx.priority_result(
+            DatasetTag.GOV, 8, config=PipelineConfig(check_misidentifications=False)
+        )
+        assert custom is not default
+
+    def test_baselines_cached_per_approach(self, ctx):
+        for approach in (APPROACH_MX_ONLY, APPROACH_CERT, APPROACH_BANNER):
+            first = ctx.baseline(approach, DatasetTag.GOV, 8)
+            second = ctx.baseline(approach, DatasetTag.GOV, 8)
+            assert first is second
+
+    def test_unknown_baseline_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.baseline("oracle", DatasetTag.GOV, 8)
+
+    def test_all_approaches_complete(self, ctx):
+        approaches = ctx.all_approaches(DatasetTag.GOV, 8)
+        assert approaches is not None and len(approaches) == 4
+
+    def test_all_approaches_none_when_uncovered(self, ctx):
+        assert ctx.all_approaches(DatasetTag.GOV, 0) is None
+
+
+class TestCoverage:
+    def test_gov_coverage_window(self, ctx):
+        assert not ctx.covered(DatasetTag.GOV, 1)
+        assert ctx.covered(DatasetTag.GOV, 2)
+        assert ctx.covered(DatasetTag.ALEXA, 0)
+        assert not ctx.covered(DatasetTag.ALEXA, 9)
+
+    def test_truth_fn_binding(self, ctx):
+        domains = ctx.domains(DatasetTag.ALEXA)
+        truth_fn = ctx.truth_fn(8)
+        assert truth_fn(domains[0]) == ctx.ground_truth(domains[0], 8)
+
+
+class TestEnvScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert env_scale() == 2.5
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "a lot")
+        assert env_scale() == 1.0

@@ -1,0 +1,114 @@
+"""Unit tests for prefix2as snapshots and the measurement joiner."""
+
+from datetime import date
+
+import pytest
+
+from repro.dnscore import ZoneDB, a, mx
+from repro.measure.caida import Prefix2ASDataset
+from repro.measure.censys import CensysScanner
+from repro.measure.dataset import MeasurementGatherer
+from repro.measure.openintel import OpenINTELPlatform
+from repro.netsim.asn import AutonomousSystem, PrefixToASTable
+from repro.smtp.server import SMTPHostTable, SMTPServerConfig
+from repro.tls.ca import CertificateAuthority
+
+DAY = date(2021, 6, 8)
+
+
+@pytest.fixture
+def routing_table():
+    table = PrefixToASTable()
+    table.register_as(AutonomousSystem(15169, "Google", "US"))
+    table.register_as(AutonomousSystem(8075, "Microsoft", "US"))
+    table.announce("11.1.0.0/16", 15169)
+    table.announce("11.2.0.0/16", 8075)
+    return table
+
+
+class TestPrefix2ASDataset:
+    def test_snapshot_lookup(self, routing_table):
+        dataset = Prefix2ASDataset.from_table(routing_table)
+        info = dataset.lookup("11.1.2.3")
+        assert info is not None and info.asn == 15169 and info.name == "Google"
+
+    def test_snapshot_is_independent(self, routing_table):
+        dataset = Prefix2ASDataset.from_table(routing_table)
+        routing_table.announce("11.3.0.0/16", 8075)
+        assert dataset.lookup("11.3.0.1") is None
+
+    def test_lookup_miss(self, routing_table):
+        dataset = Prefix2ASDataset.from_table(routing_table)
+        assert dataset.lookup("12.0.0.1") is None
+        assert dataset.lookup_asn("12.0.0.1") is None
+
+    def test_rows_and_len(self, routing_table):
+        dataset = Prefix2ASDataset.from_table(routing_table)
+        assert len(dataset) == 2
+        assert len(dataset.rows()) == 2
+
+    def test_routeviews_export_format(self, routing_table):
+        dataset = Prefix2ASDataset.from_table(routing_table)
+        lines = dataset.to_lines()
+        assert lines[0] == "11.1.0.0\t16\t15169"
+
+
+@pytest.fixture
+def gatherer(routing_table):
+    zdb = ZoneDB()
+    zone = zdb.ensure_zone("example.com")
+    zone.add(mx("example.com", "mx1.example.com", preference=5))
+    zone.add(mx("example.com", "mx2.example.com", preference=5))
+    zone.add(mx("example.com", "backup.example.com", preference=50))
+    zone.add(a("mx1.example.com", "11.1.0.1"))
+    zone.add(a("mx2.example.com", "11.2.0.1"))
+    zone.add(a("backup.example.com", "11.9.0.1"))
+
+    ca = CertificateAuthority("Simulated CA")
+    hosts = SMTPHostTable()
+    hosts.bind(
+        "11.1.0.1",
+        SMTPServerConfig(identity="mx1.example.com", certificate=ca.issue("mx1.example.com")),
+    )
+    # 11.2.0.1 intentionally unbound (no SMTP), 11.9.0.1 not covered.
+
+    openintel = OpenINTELPlatform([zdb], (DAY,))
+    censys = CensysScanner(hosts, coverage_for=lambda addr: 0.0 if addr == "11.9.0.1" else 1.0)
+    return MeasurementGatherer(openintel, censys, Prefix2ASDataset.from_table(routing_table))
+
+
+class TestMeasurementGatherer:
+    def test_join_shape(self, gatherer):
+        measurement = gatherer.gather_domain("example.com", 0)
+        assert measurement is not None
+        assert len(measurement.mx_set) == 3
+        assert len(measurement.primary_mx) == 2  # two MXs tied at pref 5
+
+    def test_as_info_joined(self, gatherer):
+        measurement = gatherer.gather_domain("example.com", 0)
+        by_name = {mx.name: mx for mx in measurement.mx_set}
+        assert by_name["mx1.example.com"].ips[0].as_info.asn == 15169
+        assert by_name["mx2.example.com"].ips[0].as_info.asn == 8075
+        assert by_name["backup.example.com"].ips[0].as_info is None
+
+    def test_scan_joined(self, gatherer):
+        measurement = gatherer.gather_domain("example.com", 0)
+        by_name = {mx.name: mx for mx in measurement.mx_set}
+        assert by_name["mx1.example.com"].ips[0].has_smtp
+        assert not by_name["mx2.example.com"].ips[0].has_smtp
+        assert by_name["backup.example.com"].ips[0].scan is None  # no Censys data
+
+    def test_has_smtp_server(self, gatherer):
+        measurement = gatherer.gather_domain("example.com", 0)
+        assert measurement.has_smtp_server
+
+    def test_all_ips_deduplicated(self, gatherer):
+        measurement = gatherer.gather_domain("example.com", 0)
+        addresses = [ip.address for ip in measurement.all_ips()]
+        assert len(addresses) == len(set(addresses)) == 3
+
+    def test_gather_batch(self, gatherer):
+        results = gatherer.gather(["example.com", "missing.org"], 0)
+        assert "example.com" in results
+        # missing.org has no zone: measured with empty MX set.
+        assert not results["missing.org"].has_mx

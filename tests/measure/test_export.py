@@ -1,0 +1,133 @@
+"""Unit tests for JSONL dataset export/import."""
+
+import io
+from datetime import date
+
+import pytest
+
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.export import (
+    ExportError,
+    certificate_from_dict,
+    certificate_to_dict,
+    dns_record_from_dict,
+    dns_record_to_dict,
+    read_dns_snapshot,
+    read_scan_data,
+    scan_record_from_dict,
+    scan_record_to_dict,
+    write_dns_snapshot,
+    write_scan_data,
+)
+from repro.measure.openintel import DNSSnapshotRecord, MXObservation
+from repro.tls.ca import CertificateAuthority, self_signed
+
+CA = CertificateAuthority("Simulated CA")
+DAY = date(2021, 6, 8)
+
+
+class TestCertificateRoundTrip:
+    def test_ca_issued(self):
+        cert = CA.issue("mx1.provider.com", sans=["mx2.provider.com"])
+        clone = certificate_from_dict(certificate_to_dict(cert))
+        assert clone == cert
+        assert clone.fingerprint() == cert.fingerprint()
+
+    def test_self_signed(self):
+        cert = self_signed("mx.myvps.com")
+        clone = certificate_from_dict(certificate_to_dict(cert))
+        assert clone.self_signed
+        assert clone == cert
+
+    def test_malformed(self):
+        with pytest.raises(ExportError):
+            certificate_from_dict({"subject_cn": "x"})
+
+
+class TestDNSRecordRoundTrip:
+    def _record(self):
+        return DNSSnapshotRecord(
+            domain="example.com",
+            measured_on=DAY,
+            mx=(
+                MXObservation("mx1.example.com", 10, ("11.0.0.1", "11.0.0.2")),
+                MXObservation("mx2.example.com", 20, ()),
+            ),
+            txt=("v=spf1 include:_spf.google.com ~all",),
+        )
+
+    def test_round_trip(self):
+        record = self._record()
+        assert dns_record_from_dict(dns_record_to_dict(record)) == record
+
+    def test_jsonl_round_trip(self):
+        records = [self._record()]
+        buffer = io.StringIO()
+        count = write_dns_snapshot(records, buffer)
+        assert count == 1
+        buffer.seek(0)
+        assert list(read_dns_snapshot(buffer)) == records
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        write_dns_snapshot([self._record()], buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(list(read_dns_snapshot(buffer))) == 1
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ExportError):
+            list(read_dns_snapshot(io.StringIO("not json\n")))
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ExportError):
+            dns_record_from_dict({"domain": "x.com"})
+
+
+class TestScanRecordRoundTrip:
+    def test_open_with_cert(self):
+        cert = CA.issue("mx.example.com")
+        record = PortScanRecord(
+            address="11.0.0.1", scanned_on=DAY, state=Port25State.OPEN,
+            banner="mx.example.com ESMTP", ehlo="mx.example.com",
+            starttls=True, certificate=cert,
+        )
+        clone = scan_record_from_dict(scan_record_to_dict(record))
+        assert clone == record
+
+    def test_closed_has_minimal_payload(self):
+        record = PortScanRecord(address="11.0.0.2", scanned_on=DAY, state=Port25State.CLOSED)
+        payload = scan_record_to_dict(record)
+        assert "banner" not in payload and "certificate" not in payload
+        assert scan_record_from_dict(payload) == record
+
+    def test_jsonl_round_trip(self):
+        records = [
+            PortScanRecord(address="11.0.0.1", scanned_on=DAY, state=Port25State.TIMEOUT),
+            PortScanRecord(
+                address="11.0.0.2", scanned_on=DAY, state=Port25State.OPEN,
+                banner="b", ehlo="e", starttls=False,
+            ),
+        ]
+        buffer = io.StringIO()
+        assert write_scan_data(records, buffer) == 2
+        buffer.seek(0)
+        assert list(read_scan_data(buffer)) == records
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(ExportError):
+            scan_record_from_dict({"ip": "1.1.1.1", "date": "2021-06-08", "state": "weird"})
+
+
+class TestWorldExport:
+    def test_full_corpus_round_trip(self, ctx, last_snapshot):
+        """Export a real OpenINTEL snapshot, reload it, identical records."""
+        from repro.world.entities import DatasetTag
+
+        domains = ctx.domains(DatasetTag.GOV)
+        records = list(ctx.gatherer.openintel.measure(domains, last_snapshot).values())
+        buffer = io.StringIO()
+        write_dns_snapshot(records, buffer)
+        buffer.seek(0)
+        reloaded = list(read_dns_snapshot(buffer))
+        assert reloaded == records

@@ -1,0 +1,88 @@
+"""Unit tests for AS objects and prefix-to-AS LPM."""
+
+import pytest
+
+from repro.netsim.asn import AutonomousSystem, PrefixToASTable
+from repro.netsim.ip import IPv4Address, IPv4Prefix
+
+
+@pytest.fixture
+def table():
+    table = PrefixToASTable()
+    table.register_as(AutonomousSystem(15169, "Google"))
+    table.register_as(AutonomousSystem(8075, "Microsoft"))
+    table.register_as(AutonomousSystem(22843, "ProofPoint"))
+    table.announce("11.1.0.0/16", 15169)
+    table.announce("11.1.128.0/17", 8075)   # more specific inside Google's block
+    table.announce("11.2.0.0/16", 22843)
+    return table
+
+
+class TestAutonomousSystem:
+    def test_bad_number(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, "zero")
+
+    def test_str(self):
+        assert "15169" in str(AutonomousSystem(15169, "Google"))
+
+
+class TestPrefixToASTable:
+    def test_basic_lookup(self, table):
+        assert table.lookup_asn("11.1.0.5") == 15169
+
+    def test_longest_prefix_wins(self, table):
+        assert table.lookup_asn("11.1.200.1") == 8075
+
+    def test_boundary(self, table):
+        assert table.lookup_asn("11.1.127.255") == 15169
+        assert table.lookup_asn("11.1.128.0") == 8075
+
+    def test_miss(self, table):
+        assert table.lookup_asn("12.0.0.1") is None
+        assert table.lookup("12.0.0.1") is None
+
+    def test_lookup_returns_as_object(self, table):
+        asys = table.lookup("11.2.3.4")
+        assert asys is not None and asys.name == "ProofPoint"
+
+    def test_lookup_accepts_address_types(self, table):
+        assert table.lookup_asn(IPv4Address.parse("11.1.0.5")) == 15169
+        assert table.lookup_asn(IPv4Address.parse("11.1.0.5").value) == 15169
+
+    def test_announce_unregistered_as_fails(self, table):
+        with pytest.raises(KeyError):
+            table.announce("11.9.0.0/16", 99999)
+
+    def test_reregister_same_as_ok(self, table):
+        table.register_as(AutonomousSystem(15169, "Google"))
+
+    def test_reregister_conflict_fails(self, table):
+        with pytest.raises(ValueError):
+            table.register_as(AutonomousSystem(15169, "Not Google"))
+
+    def test_announce_accepts_prefix_object(self, table):
+        table.announce(IPv4Prefix.parse("11.3.0.0/16"), 15169)
+        assert table.lookup_asn("11.3.1.1") == 15169
+
+    def test_trie_matches_linear_scan(self, table):
+        for address in ("11.1.0.1", "11.1.129.1", "11.2.0.1", "11.9.9.9", "10.0.0.1"):
+            assert table.lookup_asn(address) == table.lookup_linear(address)
+
+    def test_announcements_order(self, table):
+        prefixes = [str(p) for p, _ in table.announcements()]
+        assert prefixes == ["11.1.0.0/16", "11.1.128.0/17", "11.2.0.0/16"]
+
+    def test_autonomous_systems_sorted(self, table):
+        numbers = [a.number for a in table.autonomous_systems()]
+        assert numbers == sorted(numbers)
+
+    def test_get_as(self, table):
+        assert table.get_as(8075).name == "Microsoft"
+        assert table.get_as(1) is None
+
+    def test_default_route(self):
+        table = PrefixToASTable()
+        table.register_as(AutonomousSystem(1, "Everything"))
+        table.announce("0.0.0.0/0", 1)
+        assert table.lookup_asn("203.0.113.1") == 1

@@ -1,0 +1,127 @@
+"""Unit tests for IPv4 arithmetic."""
+
+import pytest
+
+from repro.netsim.ip import (
+    AddressError,
+    IPv4Address,
+    IPv4Prefix,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+class TestParseFormat:
+    def test_round_trip(self):
+        assert format_ipv4(parse_ipv4("172.217.222.26")) == "172.217.222.26"
+
+    def test_zero_and_max(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_leading_zeros_accepted(self):
+        assert parse_ipv4("010.0.0.1") == parse_ipv4("10.0.0.1")
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1.2.3.-4", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv4(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv4(-1)
+        with pytest.raises(AddressError):
+            format_ipv4(2**32)
+
+
+class TestIPv4Address:
+    def test_parse_and_str(self):
+        addr = IPv4Address.parse("11.0.0.1")
+        assert str(addr) == "11.0.0.1"
+
+    def test_ordering(self):
+        assert IPv4Address.parse("1.0.0.1") < IPv4Address.parse("1.0.0.2")
+
+    def test_addition(self):
+        assert str(IPv4Address.parse("1.0.0.255") + 1) == "1.0.1.0"
+
+    def test_private_detection(self):
+        assert IPv4Address.parse("10.1.2.3").is_private()
+        assert IPv4Address.parse("172.16.0.1").is_private()
+        assert IPv4Address.parse("172.31.255.255").is_private()
+        assert IPv4Address.parse("192.168.1.1").is_private()
+        assert not IPv4Address.parse("172.32.0.1").is_private()
+        assert not IPv4Address.parse("11.0.0.1").is_private()
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPv4Address(2**32)
+
+
+class TestIPv4Prefix:
+    def test_parse_and_str(self):
+        prefix = IPv4Prefix.parse("11.0.16.0/20")
+        assert str(prefix) == "11.0.16.0/20"
+        assert prefix.size == 4096
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("11.0.16.1/20")
+
+    def test_of_masks_host_bits(self):
+        prefix = IPv4Prefix.of("11.0.16.77", 20)
+        assert str(prefix) == "11.0.16.0/20"
+
+    def test_containment_address(self):
+        prefix = IPv4Prefix.parse("11.0.16.0/20")
+        assert IPv4Address.parse("11.0.31.255") in prefix
+        assert IPv4Address.parse("11.0.32.0") not in prefix
+        assert "11.0.16.1" in prefix
+        assert parse_ipv4("11.0.16.1") in prefix
+
+    def test_containment_prefix(self):
+        outer = IPv4Prefix.parse("11.0.0.0/8")
+        inner = IPv4Prefix.parse("11.5.0.0/16")
+        assert inner in outer
+        assert outer not in inner
+
+    def test_containment_other_type(self):
+        assert object() not in IPv4Prefix.parse("11.0.0.0/8")
+
+    def test_first_last(self):
+        prefix = IPv4Prefix.parse("11.0.16.0/30")
+        assert str(prefix.first) == "11.0.16.0"
+        assert str(prefix.last) == "11.0.16.3"
+
+    def test_addresses_iteration(self):
+        addrs = list(IPv4Prefix.parse("11.0.16.0/30").addresses())
+        assert [str(a) for a in addrs] == [
+            "11.0.16.0", "11.0.16.1", "11.0.16.2", "11.0.16.3",
+        ]
+
+    def test_subdivide(self):
+        children = list(IPv4Prefix.parse("11.0.16.0/22").subdivide(24))
+        assert [str(c) for c in children] == [
+            "11.0.16.0/24", "11.0.17.0/24", "11.0.18.0/24", "11.0.19.0/24",
+        ]
+
+    def test_subdivide_invalid(self):
+        with pytest.raises(AddressError):
+            list(IPv4Prefix.parse("11.0.16.0/22").subdivide(20))
+
+    def test_overlaps(self):
+        a = IPv4Prefix.parse("11.0.0.0/16")
+        b = IPv4Prefix.parse("11.0.128.0/17")
+        c = IPv4Prefix.parse("11.1.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_zero_length_prefix(self):
+        everything = IPv4Prefix(0, 0)
+        assert "255.255.255.255" in everything
+        assert everything.mask() == 0
+
+    @pytest.mark.parametrize("bad", ["11.0.0.0", "11.0.0.0/33", "11.0.0.0/x"])
+    def test_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse(bad)

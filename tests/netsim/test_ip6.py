@@ -1,0 +1,147 @@
+"""Unit and property tests for IPv6 addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.asn import AutonomousSystem, PrefixToASTable
+from repro.netsim.ip import AddressError
+from repro.netsim.ip6 import IPv6Address, IPv6Prefix, format_ipv6, parse_ipv6
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("::", 0),
+            ("::1", 1),
+            ("2001:db8::", 0x20010DB8 << 96),
+            ("2001:db8::1", (0x20010DB8 << 96) | 1),
+            ("fe80::1", (0xFE80 << 112) | 1),
+            ("1:2:3:4:5:6:7:8", 0x00010002000300040005000600070008),
+            ("::ffff:1.2.3.4", 0xFFFF01020304),
+            ("2001:DB8::A", (0x20010DB8 << 96) | 0xA),  # case-insensitive
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_ipv6(text) == expected
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "", ":::", "1::2::3", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9",
+            "12345::", "g::1", "1.2.3.4::1", "::1.2.3.300",
+        ],
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv6(bad)
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "text,canonical",
+        [
+            ("2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"),
+            ("0:0:0:0:0:0:0:0", "::"),
+            ("0:0:0:0:0:0:0:1", "::1"),
+            ("2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"),  # single 0 not compressed
+            ("2001:0:0:1:0:0:0:1", "2001:0:0:1::1"),           # longest run wins
+            ("fe80:0:0:0:1:0:0:1", "fe80::1:0:0:1"),           # first-longest wins
+        ],
+    )
+    def test_canonical(self, text, canonical):
+        assert format_ipv6(parse_ipv6(text)) == canonical
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv6(-1)
+        with pytest.raises(AddressError):
+            format_ipv6(1 << 128)
+
+
+class TestAddress:
+    def test_classification(self):
+        assert IPv6Address.parse("fe80::1").is_link_local()
+        assert IPv6Address.parse("fd00::1").is_unique_local()
+        assert IPv6Address.parse("2001:db8::1").is_documentation()
+        assert not IPv6Address.parse("2a00::1").is_link_local()
+
+    def test_arithmetic_and_ordering(self):
+        a = IPv6Address.parse("2001:db8::1")
+        assert str(a + 1) == "2001:db8::2"
+        assert a < a + 1
+
+
+class TestPrefix:
+    def test_parse_and_containment(self):
+        prefix = IPv6Prefix.parse("2001:db8::/32")
+        assert IPv6Address.parse("2001:db8:ffff::1") in prefix
+        assert IPv6Address.parse("2001:db9::1") not in prefix
+        assert "2001:db8::5" in prefix
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            IPv6Prefix.parse("2001:db8::1/32")
+
+    def test_of_masks(self):
+        prefix = IPv6Prefix.of("2001:db8::1234", 64)
+        assert str(prefix) == "2001:db8::/64"
+
+    def test_nested_prefixes(self):
+        outer = IPv6Prefix.parse("2001:db8::/32")
+        inner = IPv6Prefix.parse("2001:db8:1::/48")
+        assert inner in outer and outer not in inner
+
+    def test_first_last(self):
+        prefix = IPv6Prefix.parse("2001:db8::/126")
+        assert str(prefix.first) == "2001:db8::"
+        assert str(prefix.last) == "2001:db8::3"
+
+
+class TestIPv6Routing:
+    def test_announce_and_lookup(self):
+        table = PrefixToASTable()
+        table.register_as(AutonomousSystem(15169, "Google"))
+        table.register_as(AutonomousSystem(8075, "Microsoft"))
+        table.announce6("2a00:1450::/29", 15169)
+        table.announce6("2a01:111::/32", 8075)
+        assert table.lookup_asn6("2a00:1450:4001::1a") == 15169
+        assert table.lookup6("2a01:111::25").name == "Microsoft"
+        assert table.lookup_asn6("2400::1") is None
+
+    def test_longest_prefix_wins(self):
+        table = PrefixToASTable()
+        table.register_as(AutonomousSystem(1, "Outer"))
+        table.register_as(AutonomousSystem(2, "Inner"))
+        table.announce6("2001:db8::/32", 1)
+        table.announce6("2001:db8:dead::/48", 2)
+        assert table.lookup_asn6("2001:db8:dead::1") == 2
+        assert table.lookup_asn6("2001:db8:beef::1") == 1
+
+    def test_v4_and_v6_tables_independent(self):
+        table = PrefixToASTable()
+        table.register_as(AutonomousSystem(1, "X"))
+        table.announce("11.0.0.0/8", 1)
+        assert table.lookup_asn("11.1.2.3") == 1
+        assert table.lookup_asn6("::ffff:11.1.2.3") is None
+        assert table.announcements6() == []
+
+
+hex_value = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestProperties:
+    @given(hex_value)
+    def test_parse_format_roundtrip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+    @given(hex_value)
+    def test_canonical_form_is_fixed_point(self, value):
+        text = format_ipv6(value)
+        assert format_ipv6(parse_ipv6(text)) == text
+
+    @given(hex_value, st.integers(min_value=0, max_value=128))
+    def test_prefix_of_contains_address(self, value, length):
+        prefix = IPv6Prefix.of(IPv6Address(value), length)
+        assert IPv6Address(value) in prefix

@@ -1,0 +1,86 @@
+"""Property-based tests for IPv4 arithmetic and LPM."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.asn import AutonomousSystem, PrefixToASTable
+from repro.netsim.ip import IPv4Address, IPv4Prefix, format_ipv4, parse_ipv4
+
+address_value = st.integers(min_value=0, max_value=0xFFFFFFFF)
+prefix_length = st.integers(min_value=0, max_value=32)
+
+
+class TestAddressProperties:
+    @given(address_value)
+    def test_parse_format_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+    @given(address_value)
+    def test_ordering_matches_integers(self, value):
+        if value < 0xFFFFFFFF:
+            assert IPv4Address(value) < IPv4Address(value + 1)
+
+
+class TestPrefixProperties:
+    @given(address_value, prefix_length)
+    def test_of_contains_source_address(self, value, length):
+        prefix = IPv4Prefix.of(IPv4Address(value), length)
+        assert IPv4Address(value) in prefix
+
+    @given(address_value, prefix_length)
+    def test_parse_str_roundtrip(self, value, length):
+        prefix = IPv4Prefix.of(IPv4Address(value), length)
+        assert IPv4Prefix.parse(str(prefix)) == prefix
+
+    @given(address_value, st.integers(min_value=0, max_value=30))
+    def test_subdivision_partitions(self, value, length):
+        prefix = IPv4Prefix.of(IPv4Address(value), length)
+        children = list(prefix.subdivide(min(length + 2, 32)))
+        assert sum(child.size for child in children) == prefix.size
+        for left, right in zip(children, children[1:]):
+            assert left.last.value + 1 == right.first.value
+        for child in children:
+            assert child in prefix
+
+    @given(address_value, prefix_length, address_value, prefix_length)
+    def test_containment_antisymmetry(self, v1, l1, v2, l2):
+        a = IPv4Prefix.of(IPv4Address(v1), l1)
+        b = IPv4Prefix.of(IPv4Address(v2), l2)
+        if a in b and b in a:
+            assert a == b
+
+
+@st.composite
+def routing_tables(draw):
+    table = PrefixToASTable()
+    n_as = draw(st.integers(min_value=1, max_value=5))
+    for index in range(n_as):
+        table.register_as(AutonomousSystem(64500 + index, f"AS{index}"))
+    n_prefixes = draw(st.integers(min_value=1, max_value=20))
+    for _ in range(n_prefixes):
+        value = draw(address_value)
+        length = draw(st.integers(min_value=4, max_value=28))
+        asn = 64500 + draw(st.integers(min_value=0, max_value=n_as - 1))
+        table.announce(IPv4Prefix.of(IPv4Address(value), length), asn)
+    return table
+
+
+class TestLPMProperties:
+    @given(routing_tables(), st.lists(address_value, min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_trie_equals_linear_scan(self, table, addresses):
+        for value in addresses:
+            assert table.lookup_asn(value) == table.lookup_linear(value)
+
+    @given(routing_tables())
+    def test_announced_prefix_first_address_resolves(self, table):
+        for prefix, asn in table.announcements():
+            found = table.lookup_asn(prefix.network)
+            assert found is not None
+            # The found AS must originate some covering prefix at least as
+            # specific as this one.
+            covering = [
+                (p, a) for p, a in table.announcements()
+                if prefix.network in p and p.length >= prefix.length
+            ]
+            assert found in {a for _p, a in covering}

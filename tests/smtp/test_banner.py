@@ -1,0 +1,94 @@
+"""Unit tests for banner/EHLO generation and interpretation."""
+
+import pytest
+
+from repro.smtp.banner import (
+    BannerStyle,
+    consistent_identity,
+    identity_from_message,
+    render_banner,
+    render_ehlo_identity,
+)
+
+
+class TestRenderBanner:
+    def test_fqdn(self):
+        text = render_banner(BannerStyle.FQDN, "mx1.provider.com")
+        assert text.startswith("mx1.provider.com")
+
+    def test_spoofed_looks_like_fqdn(self):
+        text = render_banner(BannerStyle.SPOOFED, "mx.google.com")
+        assert "mx.google.com" in text
+
+    def test_decorated_ip(self):
+        text = render_banner(BannerStyle.DECORATED_IP, None, address="1.2.3.4")
+        assert "IP-1-2-3-4" in text
+
+    def test_localhost(self):
+        assert "localhost" in render_banner(BannerStyle.LOCALHOST, None)
+
+    def test_blank(self):
+        text = render_banner(BannerStyle.BLANK, None)
+        assert identity_from_message(text).fqdn is None
+
+    def test_fqdn_requires_identity(self):
+        with pytest.raises(ValueError):
+            render_banner(BannerStyle.FQDN, None)
+
+    def test_decorated_requires_address(self):
+        with pytest.raises(ValueError):
+            render_banner(BannerStyle.DECORATED_IP, None)
+
+
+class TestRenderEhloIdentity:
+    def test_fqdn(self):
+        assert render_ehlo_identity(BannerStyle.FQDN, "mx.example.com", None) == "mx.example.com"
+
+    def test_decorated_ip_bracketed(self):
+        assert render_ehlo_identity(BannerStyle.DECORATED_IP, None, "1.2.3.4") == "[1.2.3.4]"
+
+    def test_localhost(self):
+        assert render_ehlo_identity(BannerStyle.LOCALHOST, None, None) == "localhost"
+
+    def test_blank(self):
+        assert render_ehlo_identity(BannerStyle.BLANK, None, None) == "smtp"
+
+
+class TestIdentityFromMessage:
+    def test_provider_banner(self):
+        identity = identity_from_message("mx.google.com ESMTP ready")
+        assert identity.fqdn == "mx.google.com"
+        assert identity.registered_domain == "google.com"
+        assert identity.usable
+
+    def test_subdomain_reduced_to_registered(self):
+        identity = identity_from_message("se26.mailspamprotection.com ESMTP")
+        assert identity.registered_domain == "mailspamprotection.com"
+
+    def test_decorated_ip_unusable(self):
+        assert not identity_from_message("IP-1-2-3-4 ESMTP").usable
+
+    def test_localhost_unusable(self):
+        assert not identity_from_message("localhost.localdomain ESMTP Postfix").usable
+
+    def test_plain_prose_unusable(self):
+        assert not identity_from_message("ESMTP service ready").usable
+
+
+class TestConsistentIdentity:
+    def test_agreeing_messages(self):
+        banner = "mx1.provider.com ESMTP service ready"
+        ehlo = "mx1.provider.com"
+        assert consistent_identity(banner, ehlo) == "provider.com"
+
+    def test_different_hosts_same_registered_domain(self):
+        banner = "mx1.provider.com ESMTP"
+        ehlo = "mx2.provider.com"
+        assert consistent_identity(banner, ehlo) == "provider.com"
+
+    def test_disagreeing_messages(self):
+        assert consistent_identity("mx.a-corp.com ESMTP", "mx.b-corp.com") is None
+
+    def test_one_side_unusable(self):
+        assert consistent_identity("IP-1-2-3-4", "mx1.provider.com") is None
+        assert consistent_identity("mx1.provider.com ESMTP", "localhost") is None

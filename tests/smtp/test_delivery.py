@@ -1,0 +1,171 @@
+"""Unit tests for MX-based relay delivery."""
+
+import pytest
+
+from repro.dnscore import Resolver, ZoneDB, a, mx
+from repro.smtp.delivery import DeliveryStatus, MailNetwork, SendingMTA
+from repro.smtp.server import SMTPHostTable, SMTPServerConfig, SUBMISSION_PORT
+from repro.tls.ca import CertificateAuthority
+
+CA = CertificateAuthority("Simulated CA")
+
+
+@pytest.fixture
+def setting():
+    zdb = ZoneDB()
+    zone = zdb.ensure_zone("dest.com")
+    zone.add(mx("dest.com", "mx1.dest.com", preference=10))
+    zone.add(mx("dest.com", "mx2.dest.com", preference=20))
+    zone.add(a("mx1.dest.com", "11.0.0.1"))
+    zone.add(a("mx2.dest.com", "11.0.0.2"))
+
+    implicit = zdb.ensure_zone("implicit.com")
+    implicit.add(a("implicit.com", "11.0.0.3"))
+
+    dead = zdb.ensure_zone("dead.com")
+    dead.add(mx("dead.com", "mx.dead.com", preference=10))
+    dead.add(a("mx.dead.com", "11.0.0.9"))  # nothing listens there
+
+    zdb.ensure_zone("nxmail.com")  # no MX, no A
+
+    hosts = SMTPHostTable()
+    for address, identity in (
+        ("11.0.0.1", "mx1.dest.com"),
+        ("11.0.0.2", "mx2.dest.com"),
+        ("11.0.0.3", "implicit.com"),
+    ):
+        hosts.bind(
+            address,
+            SMTPServerConfig(identity=identity, certificate=CA.issue(identity)),
+        )
+
+    network = MailNetwork(hosts=hosts)
+    store = network.serve("11.0.0.1", {"dest.com"}, store_key="dest")
+    network.serve("11.0.0.2", {"dest.com"}, store_key="dest")
+    network.serve("11.0.0.3", {"implicit.com"})
+
+    mta = SendingMTA(resolver=Resolver(db=zdb), network=network)
+    return mta, store, network
+
+
+class TestDelivery:
+    def test_delivers_to_primary_mx(self, setting):
+        mta, store, _ = setting
+        results = mta.send("alice@sender.com", ["bob@dest.com"], "hello bob")
+        result = results["dest.com"]
+        assert result.succeeded
+        assert result.delivered_via == "mx1.dest.com"
+        messages = store.messages_for("bob@dest.com")
+        assert len(messages) == 1
+        assert messages[0].body == "hello bob"
+
+    def test_shared_store_across_exchanges(self, setting):
+        mta, store, network = setting
+        assert network.store_at("11.0.0.2") is store
+
+    def test_failover_to_backup_mx(self, setting):
+        mta, store, network = setting
+        network.hosts.unbind("11.0.0.1")  # primary goes dark
+        results = mta.send("alice@sender.com", ["bob@dest.com"], "failover")
+        result = results["dest.com"]
+        assert result.succeeded
+        assert result.delivered_via == "mx2.dest.com"
+        assert any(attempt.outcome == "no-listener" for attempt in result.attempts)
+
+    def test_implicit_mx_fallback(self, setting):
+        mta, _, network = setting
+        results = mta.send("alice@sender.com", ["x@implicit.com"], "implicit")
+        assert results["implicit.com"].succeeded
+        assert results["implicit.com"].delivered_via == "implicit.com"
+
+    def test_no_mail_service(self, setting):
+        mta, _, _ = setting
+        results = mta.send("a@s.com", ["x@nxmail.com"], "void")
+        assert results["nxmail.com"].status is DeliveryStatus.NO_MX
+
+    def test_dead_server(self, setting):
+        mta, _, _ = setting
+        results = mta.send("a@s.com", ["x@dead.com"], "void")
+        assert results["dead.com"].status is DeliveryStatus.NO_SERVER
+
+    def test_relay_rejection(self, setting):
+        mta, _, network = setting
+        # dest.com's servers do not accept mail for other.com even if DNS
+        # maliciously pointed there.
+        zdb = mta.resolver.db
+        zone = zdb.ensure_zone("other.com")
+        zone.add(mx("other.com", "mx1.dest.com", preference=10))
+        results = mta.send("a@s.com", ["x@other.com"], "spam")
+        assert results["other.com"].status is DeliveryStatus.REJECTED
+
+    def test_malformed_recipient(self, setting):
+        mta, _, _ = setting
+        results = mta.send("a@s.com", ["not-an-address"], "x")
+        assert results["not-an-address"].status is DeliveryStatus.MALFORMED
+
+    def test_multiple_domains_one_send(self, setting):
+        mta, store, _ = setting
+        results = mta.send(
+            "a@s.com", ["bob@dest.com", "x@implicit.com", "y@nxmail.com"], "multi"
+        )
+        assert results["dest.com"].succeeded
+        assert results["implicit.com"].succeeded
+        assert not results["nxmail.com"].succeeded
+
+    def test_dot_transparency_end_to_end(self, setting):
+        mta, store, _ = setting
+        body = "line one\n.hidden dot line\nlast"
+        mta.send("a@s.com", ["bob@dest.com"], body)
+        assert store.messages_for("bob@dest.com")[0].body == body
+
+
+class TestMailNetwork:
+    def test_serve_unbound_address_fails(self, setting):
+        _, _, network = setting
+        with pytest.raises(ValueError):
+            network.serve("11.9.9.9", {"x.com"})
+
+    def test_session_respects_port(self, setting):
+        _, _, network = setting
+        network.hosts.rebind(
+            "11.0.0.1",
+            SMTPServerConfig(
+                identity="mx1.dest.com",
+                starttls=False,
+                certificate=None,
+                open_ports=(SUBMISSION_PORT,),
+            ),
+        )
+        assert network.open_session("11.0.0.1") is None
+
+
+class TestWorldIntegration:
+    def test_mail_flows_through_the_synthetic_internet(self, small_world):
+        from repro.world.mailnet import sending_mta
+
+        mta = sending_mta(small_world, snapshot_index=8)
+        # Deliver to the showcase Google customer.
+        results = mta.send("reporter@press.example", ["info@netflix.com"], "hi")
+        assert results["netflix.com"].succeeded
+        # The accepting exchange is Google infrastructure.
+        assert "google" in results["netflix.com"].delivered_via
+
+    def test_no_smtp_domain_bounces(self, small_world):
+        from repro.smtp.delivery import DeliveryStatus
+        from repro.world.mailnet import sending_mta
+
+        mta = sending_mta(small_world, snapshot_index=8)
+        results = mta.send("a@s.com", ["x@jeniustoto.net"], "void")
+        assert results["jeniustoto.net"].status is DeliveryStatus.NO_SERVER
+
+    def test_customer_named_mx_delivers_to_provider_store(self, small_world):
+        from repro.world.mailnet import build_mail_network, sending_mta
+
+        mta = sending_mta(small_world, snapshot_index=8)
+        results = mta.send("a@s.com", ["ceo@gsipartners.com"], "deal")
+        assert results["gsipartners.com"].succeeded
+        # gsipartners' MX is under its own name but the mail lands on
+        # Google's store — the exact situation the paper's methodology
+        # uncovers from the outside.
+        address = results["gsipartners.com"].attempts[-1].address
+        assert small_world.registry.lookup_asn(address) == 15169

@@ -1,0 +1,38 @@
+"""Property-based tests for SMTP reply wire format."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smtp.replies import Reply, parse_reply
+
+reply_line = st.text(
+    alphabet=string.ascii_letters + string.digits + " .-_/:", max_size=60
+)
+replies = st.builds(
+    Reply,
+    code=st.integers(min_value=200, max_value=599),
+    lines=st.lists(reply_line, min_size=1, max_size=6).map(tuple),
+)
+
+
+class TestReplyProperties:
+    @given(replies)
+    def test_render_parse_roundtrip(self, reply):
+        assert parse_reply(reply.render()) == reply
+
+    @given(replies)
+    def test_render_line_structure(self, reply):
+        rendered = reply.render()
+        lines = rendered.split("\r\n")
+        assert lines[-1] == ""  # trailing CRLF
+        body = lines[:-1]
+        assert len(body) == len(reply.lines)
+        for line in body[:-1]:
+            assert line[3] == "-"
+        assert body[-1][3:4] in (" ", "")
+
+    @given(replies)
+    def test_text_preserves_content(self, reply):
+        assert reply.text.split("\n") == list(reply.lines)

@@ -1,0 +1,195 @@
+"""Unit tests for the server-side SMTP transaction state machine."""
+
+import pytest
+
+from repro.smtp.server import SMTPServerConfig
+from repro.smtp.transaction import (
+    MailboxError,
+    MailboxStore,
+    RecipientPolicy,
+    SMTPTransactionServer,
+    TransactionState,
+    parse_address,
+)
+from repro.tls.ca import CertificateAuthority
+
+CA = CertificateAuthority("Simulated CA")
+
+
+def make_server(accepted=("example.com",), starttls=True):
+    config = SMTPServerConfig(
+        identity="mx.example.com",
+        starttls=starttls,
+        certificate=CA.issue("mx.example.com") if starttls else None,
+    )
+    store = MailboxStore()
+    server = SMTPTransactionServer(
+        config=config,
+        policy=RecipientPolicy(set(accepted)),
+        store=store,
+        address="11.0.0.1",
+    )
+    return server, store
+
+
+def deliver(server, mail_from="alice@sender.com", rcpt="bob@example.com", body="hi"):
+    assert server.handle("EHLO client.sender.com").is_positive
+    assert server.handle(f"MAIL FROM:<{mail_from}>").is_positive
+    assert server.handle(f"RCPT TO:<{rcpt}>").is_positive
+    assert server.handle("DATA").code == 354
+    for line in body.split("\n"):
+        server.handle(line)
+    return server.handle(".")
+
+
+class TestParseAddress:
+    def test_plain(self):
+        assert parse_address("bob@example.com") == ("bob", "example.com")
+
+    def test_angle_brackets(self):
+        assert parse_address("<bob@Example.COM>") == ("bob", "example.com")
+
+    @pytest.mark.parametrize("bad", ["nodomain", "@x.com", "a@", "a b@x.com", "a@@x.com"])
+    def test_malformed(self, bad):
+        with pytest.raises(MailboxError):
+            parse_address(bad)
+
+
+class TestHappyPath:
+    def test_full_transaction_delivers(self):
+        server, store = make_server()
+        reply = deliver(server, body="line1\nline2")
+        assert reply.code == 250
+        messages = store.messages_for("bob@example.com")
+        assert len(messages) == 1
+        assert messages[0].mail_from == "alice@sender.com"
+        assert messages[0].body == "line1\nline2"
+        assert messages[0].received_by == "mx.example.com"
+
+    def test_multiple_recipients(self):
+        server, store = make_server()
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@s.com>")
+        server.handle("RCPT TO:<bob@example.com>")
+        server.handle("RCPT TO:<carol@example.com>")
+        server.handle("DATA")
+        server.handle("hello")
+        assert server.handle(".").code == 250
+        assert store.messages_for("bob@example.com")
+        assert store.messages_for("carol@example.com")
+        assert store.total_messages() == 2
+
+    def test_dot_transparency(self):
+        server, store = make_server()
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@s.com>")
+        server.handle("RCPT TO:<bob@example.com>")
+        server.handle("DATA")
+        server.handle("..starts with a dot")
+        server.handle(".")
+        assert store.messages_for("bob@example.com")[0].body == ".starts with a dot"
+
+    def test_consecutive_messages_in_one_session(self):
+        server, store = make_server()
+        deliver(server)
+        # Session returns to GREETED; a second envelope works without EHLO.
+        assert server.handle("MAIL FROM:<x@y.com>").is_positive
+        assert server.handle("RCPT TO:<bob@example.com>").is_positive
+        server.handle("DATA")
+        server.handle("again")
+        assert server.handle(".").code == 250
+        assert store.total_messages() == 2
+
+
+class TestSequencing:
+    def test_mail_before_greeting_rejected(self):
+        server, _ = make_server()
+        assert server.handle("MAIL FROM:<a@b.com>").code == 503
+
+    def test_rcpt_before_mail_rejected(self):
+        server, _ = make_server()
+        server.handle("EHLO c.com")
+        assert server.handle("RCPT TO:<bob@example.com>").code == 503
+
+    def test_data_before_rcpt_rejected(self):
+        server, _ = make_server()
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@b.com>")
+        assert server.handle("DATA").code == 503
+
+    def test_nested_mail_rejected(self):
+        server, _ = make_server()
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@b.com>")
+        assert server.handle("MAIL FROM:<c@d.com>").code == 503
+
+    def test_rset_clears_envelope(self):
+        server, store = make_server()
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@b.com>")
+        server.handle("RCPT TO:<bob@example.com>")
+        assert server.handle("RSET").is_positive
+        assert server.handle("RCPT TO:<bob@example.com>").code == 503  # no MAIL
+
+    def test_quit_closes(self):
+        server, _ = make_server()
+        assert server.handle("QUIT").code == 221
+        assert server.state is TransactionState.CLOSED
+        assert server.handle("NOOP").code == 421
+
+    def test_unknown_command(self):
+        server, _ = make_server()
+        assert server.handle("FROBNICATE now").code == 500
+
+
+class TestPolicy:
+    def test_relay_denied_for_foreign_domain(self):
+        server, store = make_server(accepted=("example.com",))
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@b.com>")
+        assert server.handle("RCPT TO:<bob@other.com>").code == 550
+        assert store.total_messages() == 0
+
+    def test_open_relay_policy(self):
+        server, _ = make_server(accepted=())
+        server.handle("EHLO c.com")
+        server.handle("MAIL FROM:<a@b.com>")
+        assert server.handle("RCPT TO:<anyone@anywhere.net>").is_positive
+
+    def test_null_reverse_path_accepted(self):
+        server, _ = make_server()
+        server.handle("EHLO c.com")
+        assert server.handle("MAIL FROM:<>").is_positive
+
+    def test_malformed_sender_rejected(self):
+        server, _ = make_server()
+        server.handle("EHLO c.com")
+        assert server.handle("MAIL FROM:<not-an-address>").code == 553
+
+    def test_vrfy(self):
+        server, _ = make_server()
+        assert server.handle("VRFY bob@example.com").code == 252
+        assert server.handle("VRFY bob@other.com").code == 550
+
+
+class TestStartTLS:
+    def test_starttls_resets_session(self):
+        server, _ = make_server(starttls=True)
+        server.handle("EHLO c.com")
+        reply = server.handle("STARTTLS")
+        assert reply.code == 220
+        assert server.tls_active
+        # RFC 3207: client must re-EHLO after TLS.
+        assert server.handle("MAIL FROM:<a@b.com>").code == 503
+
+    def test_starttls_unsupported(self):
+        server, _ = make_server(starttls=False)
+        server.handle("EHLO c.com")
+        assert server.handle("STARTTLS").code == 502
+
+    def test_double_starttls_rejected(self):
+        server, _ = make_server(starttls=True)
+        server.handle("EHLO c.com")
+        server.handle("STARTTLS")
+        server.handle("EHLO c.com")
+        assert server.handle("STARTTLS").code == 503

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, PAPER_ORDER, build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4"])
+        assert args.experiment == "fig4"
+        assert args.seed == 7 and args.scale == 1.0
+
+    def test_scale_and_seed(self):
+        args = build_parser().parse_args(["tab6", "--scale", "0.5", "--seed", "11"])
+        assert args.scale == 0.5 and args.seed == 11
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_paper_order_covers_catalog(self):
+        assert set(PAPER_ORDER) == set(EXPERIMENTS)
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in PAPER_ORDER:
+            assert name in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["tab4", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "No Missing Data" in out
+
+    def test_run_experiment_renders(self, ctx):
+        text = run_experiment("fig8", ctx)
+        assert "Figure 8" in text and ".ru" in text

@@ -1,0 +1,84 @@
+"""Unit tests for CAs and trust evaluation."""
+
+from datetime import date
+
+from repro.tls.ca import (
+    CertificateAuthority,
+    TrustStore,
+    ValidationStatus,
+    self_signed,
+)
+
+
+class TestIssue:
+    def test_issued_cert_fields(self):
+        ca = CertificateAuthority("Simulated CA")
+        cert = ca.issue("mx1.provider.com", sans=["mx2.provider.com"])
+        assert cert.issuer == "Simulated CA"
+        assert not cert.self_signed
+        assert cert.sans == ("mx2.provider.com",)
+
+    def test_serials_unique(self):
+        ca = CertificateAuthority("Simulated CA")
+        a = ca.issue("mx.example.com")
+        b = ca.issue("mx.example.com")
+        assert a.serial != b.serial
+
+    def test_lifetime(self):
+        ca = CertificateAuthority("Simulated CA")
+        cert = ca.issue("mx.example.com", not_before=date(2020, 1, 1), lifetime_days=90)
+        assert cert.not_after == date(2020, 3, 31)
+
+
+class TestSelfSigned:
+    def test_marks_self_signed(self):
+        cert = self_signed("mx.myvps.com")
+        assert cert.self_signed
+        assert cert.issuer == cert.subject_cn
+
+
+class TestTrustStore:
+    def test_default_ca_trusted(self):
+        store = TrustStore()
+        cert = CertificateAuthority("Simulated CA").issue("mx.example.com")
+        assert store.validate(cert) is ValidationStatus.VALID
+        assert store.is_valid(cert)
+
+    def test_self_signed_not_valid(self):
+        store = TrustStore()
+        assert store.validate(self_signed("mx.example.com")) is ValidationStatus.SELF_SIGNED
+
+    def test_unknown_issuer(self):
+        store = TrustStore()
+        cert = CertificateAuthority("Shady CA").issue("mx.example.com")
+        assert store.validate(cert) is ValidationStatus.UNTRUSTED_ISSUER
+
+    def test_trust_new_ca(self):
+        store = TrustStore()
+        ca = CertificateAuthority("Shady CA")
+        store.trust(ca)
+        assert store.is_valid(ca.issue("mx.example.com"))
+
+    def test_trust_by_name(self):
+        store = TrustStore()
+        store.trust("Another CA")
+        assert store.is_valid(CertificateAuthority("Another CA").issue("x.example.com"))
+
+    def test_expired(self):
+        store = TrustStore()
+        cert = CertificateAuthority("Simulated CA").issue(
+            "mx.example.com", not_before=date(2018, 1, 1), lifetime_days=30
+        )
+        assert store.validate(cert, on=date(2020, 1, 1)) is ValidationStatus.EXPIRED
+        assert store.validate(cert, on=date(2018, 1, 15)) is ValidationStatus.VALID
+
+    def test_time_ignored_without_date(self):
+        store = TrustStore()
+        cert = CertificateAuthority("Simulated CA").issue(
+            "mx.example.com", not_before=date(2018, 1, 1), lifetime_days=30
+        )
+        assert store.is_valid(cert)
+
+    def test_is_valid_property(self):
+        assert ValidationStatus.VALID.is_valid
+        assert not ValidationStatus.SELF_SIGNED.is_valid

@@ -1,0 +1,85 @@
+"""Unit tests for certificates."""
+
+from datetime import date
+
+import pytest
+
+from repro.tls.cert import Certificate
+
+
+class TestNames:
+    def test_cn_first_then_sans(self):
+        cert = Certificate(
+            subject_cn="mx.google.com",
+            sans=("aspmx2.googlemail.com", "mx1.smtp.goog"),
+        )
+        assert cert.names() == (
+            "mx.google.com", "aspmx2.googlemail.com", "mx1.smtp.goog",
+        )
+
+    def test_duplicates_collapsed(self):
+        cert = Certificate(subject_cn="a.example.com", sans=("a.example.com", "b.example.com"))
+        assert cert.names() == ("a.example.com", "b.example.com")
+
+    def test_normalization(self):
+        cert = Certificate(subject_cn="MX.Google.COM.")
+        assert cert.subject_cn == "mx.google.com"
+
+    def test_dns_names_filters_non_hostnames(self):
+        cert = Certificate(
+            subject_cn="mx.example.com",
+            sans=("*.mailspamprotection.com", "not a name!", "single-label"),
+        )
+        assert cert.dns_names() == ("mx.example.com", "*.mailspamprotection.com")
+
+
+class TestMatching:
+    def test_exact_match(self):
+        assert Certificate(subject_cn="mx.google.com").matches("mx.google.com")
+
+    def test_case_insensitive(self):
+        assert Certificate(subject_cn="mx.google.com").matches("MX.GOOGLE.COM")
+
+    def test_san_match(self):
+        cert = Certificate(subject_cn="mx.google.com", sans=("alt.google.com",))
+        assert cert.matches("alt.google.com")
+
+    def test_wildcard_single_label(self):
+        cert = Certificate(subject_cn="*.mailspamprotection.com")
+        assert cert.matches("se26.mailspamprotection.com")
+        assert not cert.matches("a.b.mailspamprotection.com")
+        assert not cert.matches("mailspamprotection.com")
+
+    def test_no_match(self):
+        assert not Certificate(subject_cn="mx.google.com").matches("mx.yahoo.com")
+
+
+class TestValidity:
+    def test_window(self):
+        cert = Certificate(
+            subject_cn="mx.example.com",
+            not_before=date(2020, 1, 1),
+            not_after=date(2021, 1, 1),
+        )
+        assert cert.is_time_valid(date(2020, 6, 1))
+        assert not cert.is_time_valid(date(2021, 6, 1))
+        assert not cert.is_time_valid(date(2019, 6, 1))
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            Certificate(
+                subject_cn="x.example.com",
+                not_before=date(2021, 1, 1),
+                not_after=date(2020, 1, 1),
+            )
+
+
+class TestFingerprint:
+    def test_stable(self):
+        cert = Certificate(subject_cn="mx.example.com", serial=7)
+        assert cert.fingerprint() == cert.fingerprint()
+
+    def test_distinct_serials_distinct_prints(self):
+        a = Certificate(subject_cn="mx.example.com", serial=1)
+        b = Certificate(subject_cn="mx.example.com", serial=2)
+        assert a.fingerprint() != b.fingerprint()

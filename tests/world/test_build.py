@@ -1,0 +1,173 @@
+"""Integration-style unit tests for the world builder."""
+
+from collections import Counter
+
+import pytest
+
+from repro.dnscore import RRType
+from repro.world.build import SHOWCASE_DOMAINS, WorldConfig, build_world
+from repro.world.entities import (
+    CompanyKind,
+    DatasetTag,
+    ProvisioningStyle,
+    TRUTH_NONE,
+    TRUTH_SELF,
+)
+from repro.world.population import NUM_SNAPSHOTS
+
+
+class TestWorldConfig:
+    def test_scaled(self):
+        config = WorldConfig(alexa_size=1000, com_size=2000, gov_size=400)
+        half = config.scaled(0.5)
+        assert (half.alexa_size, half.com_size, half.gov_size) == (500, 1000, 200)
+        assert half.seed == config.seed
+
+    def test_scaled_never_zero(self):
+        assert WorldConfig(alexa_size=10).scaled(0.01).alexa_size == 1
+
+
+class TestWorldStructure:
+    def test_corpus_sizes(self, small_world):
+        by_dataset = Counter(e.dataset for e in small_world.domains.values())
+        config = small_world.config
+        assert abs(by_dataset[DatasetTag.ALEXA] - config.alexa_size) <= 3
+        assert by_dataset[DatasetTag.COM] == config.com_size
+        assert by_dataset[DatasetTag.GOV] == config.gov_size
+
+    def test_one_zonedb_per_snapshot(self, small_world):
+        assert len(small_world.snapshot_zones) == NUM_SNAPSHOTS
+
+    def test_every_domain_has_all_assignments(self, small_world):
+        for entity in small_world.domains.values():
+            assert len(entity.assignments) == NUM_SNAPSHOTS
+
+    def test_showcase_domains_present(self, small_world):
+        assert set(small_world.showcase) == set(SHOWCASE_DOMAINS)
+        for entity in small_world.showcase.values():
+            assert len(entity.assignments) == NUM_SNAPSHOTS
+
+    def test_alexa_domains_have_ranks(self, small_world):
+        for entity in small_world.domains_in(DatasetTag.ALEXA):
+            assert entity.alexa_rank is not None
+            assert 1 <= entity.alexa_rank <= 1_000_000
+
+    def test_gov_has_federal_and_nonfederal(self, small_world):
+        gov = small_world.domains_in(DatasetTag.GOV)
+        assert any(e.is_federal for e in gov)
+        assert any(not e.is_federal for e in gov)
+
+    def test_cctlds_populated(self, small_world):
+        cctlds = {e.cctld for e in small_world.domains_in(DatasetTag.ALEXA) if e.cctld}
+        assert {"ru", "de", "br", "cn"} <= cctlds
+
+    def test_companies_include_others_pool(self, small_world):
+        kinds = Counter(infra.spec.kind for infra in small_world.companies.values())
+        assert kinds[CompanyKind.OTHER] == small_world.config.num_other_providers
+
+
+class TestDNSMaterialization:
+    def test_mx_records_present_at_every_snapshot(self, small_world):
+        entity = next(iter(small_world.domains.values()))
+        for zdb in small_world.snapshot_zones:
+            rrset = zdb.lookup(entity.name, RRType.MX)
+            assignment = entity.assignment_at(small_world.snapshot_zones.index(zdb))
+            assert len(rrset) >= 1
+
+    def test_provider_named_mx_resolves_to_provider_as(self, small_world):
+        checked = 0
+        for entity in small_world.domains.values():
+            assignment = entity.assignment_at(NUM_SNAPSHOTS - 1)
+            if (
+                assignment.style is ProvisioningStyle.PROVIDER_NAMED
+                and assignment.company_slug == "google"
+            ):
+                zdb = small_world.snapshot_zones[-1]
+                mx = zdb.lookup(entity.name, RRType.MX).sorted_by_preference()[0]
+                addresses = zdb.lookup(mx.rdata, RRType.A).rdatas()
+                assert addresses, entity.name
+                for address in addresses:
+                    assert small_world.registry.lookup_asn(address) == 15169
+                checked += 1
+                if checked >= 5:
+                    break
+        assert checked > 0
+
+    def test_dangling_mx_does_not_resolve(self, small_world):
+        found = False
+        zdb = small_world.snapshot_zones[-1]
+        for entity in small_world.domains.values():
+            assignment = entity.assignment_at(NUM_SNAPSHOTS - 1)
+            if assignment.style is ProvisioningStyle.DANGLING_MX:
+                mx = zdb.lookup(entity.name, RRType.MX).records[0]
+                assert zdb.lookup(mx.rdata, RRType.A).rdatas() == []
+                found = True
+                break
+        assert found
+
+    def test_self_hosted_server_bound(self, small_world):
+        zdb = small_world.snapshot_zones[-1]
+        found = False
+        for entity in small_world.domains.values():
+            assignment = entity.assignment_at(NUM_SNAPSHOTS - 1)
+            if assignment.style is ProvisioningStyle.SELF_HOSTED:
+                mx = zdb.lookup(entity.name, RRType.MX).records[0]
+                addresses = zdb.lookup(mx.rdata, RRType.A).rdatas()
+                assert addresses
+                server = small_world.host_table.get(addresses[0])
+                assert server is not None
+                assert server.identity == f"mx.{entity.name}"
+                found = True
+                break
+        assert found
+
+
+class TestGroundTruth:
+    def test_ground_truth_weights_sum_to_one(self, small_world):
+        for entity in list(small_world.domains.values())[:200]:
+            truth = small_world.ground_truth(entity.name, NUM_SNAPSHOTS - 1)
+            assert sum(truth.values()) == pytest.approx(1.0)
+
+    def test_self_and_none_present(self, small_world):
+        truths = Counter(
+            entity.assignment_at(NUM_SNAPSHOTS - 1).truth
+            for entity in small_world.domains.values()
+        )
+        assert truths[TRUTH_SELF] > 0
+        assert truths[TRUTH_NONE] > 0
+
+    def test_split_mx_truth(self, small_world):
+        for entity in small_world.domains.values():
+            assignment = entity.assignment_at(NUM_SNAPSHOTS - 1)
+            if assignment.secondary_slug is not None:
+                truth = small_world.ground_truth(entity.name, NUM_SNAPSHOTS - 1)
+                assert len(truth) == 2
+                assert all(weight == 0.5 for weight in truth.values())
+                return
+        # Split MX is rare (0.5%); a small world may legitimately have none.
+
+    def test_coverage_map(self, small_world):
+        eig_asn = small_world.companies["eig"].spec.primary_asn
+        eig_block = next(
+            block for block in small_world.registry.blocks() if block.asn == eig_asn
+        )
+        address = str(eig_block.prefix.first + 1)
+        assert small_world.censys_coverage_for(address) < 0.5
+        assert small_world.censys_coverage_for("203.0.113.7") == pytest.approx(0.97)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = WorldConfig(seed=42, alexa_size=80, com_size=80, gov_size=40)
+        first = build_world(config)
+        second = build_world(config)
+        assert set(first.domains) == set(second.domains)
+        for name in first.domains:
+            a = first.domains[name].assignments
+            b = second.domains[name].assignments
+            assert [(x.truth, x.style) for x in a] == [(y.truth, y.style) for y in b]
+
+    def test_different_seed_different_world(self):
+        first = build_world(WorldConfig(seed=1, alexa_size=80, com_size=80, gov_size=40))
+        second = build_world(WorldConfig(seed=2, alexa_size=80, com_size=80, gov_size=40))
+        assert set(first.domains) != set(second.domains)

@@ -1,0 +1,106 @@
+"""Unit tests for the company catalog."""
+
+from repro.dnscore.names import is_valid_hostname
+from repro.world.catalog import (
+    CATALOG,
+    GODADDY,
+    GOOGLE,
+    MICROSOFT,
+    PROOFPOINT,
+    catalog_by_slug,
+    hosting_companies,
+    mail_companies,
+    security_companies,
+)
+from repro.world.entities import CompanyKind
+
+
+class TestCatalogIntegrity:
+    def test_slugs_unique(self):
+        slugs = [spec.slug for spec in CATALOG]
+        assert len(slugs) == len(set(slugs))
+
+    def test_provider_ids_are_hostnames(self):
+        for spec in CATALOG:
+            for provider_id in spec.provider_ids:
+                assert is_valid_hostname(provider_id), provider_id
+
+    def test_every_company_has_asn(self):
+        for spec in CATALOG:
+            assert spec.asns, spec.slug
+
+    def test_mx_fqdns_are_hostnames(self):
+        for spec in CATALOG:
+            for fqdn in spec.mx_fqdns:
+                assert is_valid_hostname(fqdn), fqdn
+
+    def test_catalog_by_slug_roundtrip(self):
+        index = catalog_by_slug()
+        assert index["google"] is GOOGLE
+        assert len(index) == len(CATALOG)
+
+    def test_provider_ids_unique_across_companies(self):
+        seen = {}
+        for spec in CATALOG:
+            for provider_id in spec.provider_ids:
+                assert provider_id not in seen, (provider_id, spec.slug, seen.get(provider_id))
+                seen[provider_id] = spec.slug
+
+
+class TestPaperStructure:
+    def test_proofpoint_has_four_ases(self):
+        """Table 5: ProofPoint operates from four ASes."""
+        assert len(PROOFPOINT.asns) == 4
+        assert {asn.number for asn in PROOFPOINT.asns} == {22843, 26211, 52129, 13916}
+
+    def test_proofpoint_provider_ids(self):
+        assert set(PROOFPOINT.provider_ids) == {
+            "pphosted.com", "ppe-hosted.com", "gpphosted.com", "ppops.net",
+        }
+
+    def test_microsoft_regional_ids(self):
+        """Table 5: Microsoft's regional provider IDs and partner ASes."""
+        assert "outlook.de" in MICROSOFT.provider_ids
+        assert "office365.us" in MICROSOFT.provider_ids
+        assert {asn.number for asn in MICROSOFT.asns} == {8075, 200517, 58593}
+
+    def test_google_cert_structure(self):
+        """Section 2.3: Gmail's cert has CN mx.google.com + smtp.goog SAN."""
+        assert GOOGLE.cert_cn == "mx.google.com"
+        assert "mx1.smtp.goog" in GOOGLE.cert_extra_sans
+
+    def test_godaddy_vps_patterns(self):
+        """Section 3.2.4's GoDaddy hostname heuristics."""
+        import re
+
+        assert GODADDY.vps_cert_domain == "secureserver.net"
+        assert re.match(GODADDY.vps_host_pattern, "s1-2-3.secureserver.net")
+        assert re.match(GODADDY.dedicated_host_pattern, "mailstore1.secureserver.net")
+        assert not re.match(GODADDY.vps_host_pattern, "mailstore1.secureserver.net")
+
+    def test_kind_queries(self):
+        assert {spec.slug for spec in security_companies()} >= {
+            "proofpoint", "mimecast", "barracuda", "ironport", "appriver",
+        }
+        assert {spec.slug for spec in hosting_companies()} >= {
+            "godaddy", "ovh", "unitedinternet", "namecheap", "eig",
+        }
+        mail_slugs = {spec.slug for spec in mail_companies()}
+        assert "google" in mail_slugs
+        assert "google_cloud" not in mail_slugs  # cloud: no MX infrastructure
+
+    def test_eig_flaky_scan_coverage(self):
+        """The paper: Censys only intermittently scans EIG."""
+        eig = catalog_by_slug()["eig"]
+        assert eig.censys_coverage < 0.5
+
+    def test_ironport_presents_customer_certs(self):
+        ironport = catalog_by_slug()["ironport"]
+        assert ironport.customer_cert_fraction > 0
+
+    def test_kinds_present(self):
+        kinds = {spec.kind for spec in CATALOG}
+        assert kinds >= {
+            CompanyKind.MAILBOX, CompanyKind.SECURITY,
+            CompanyKind.HOSTING, CompanyKind.CLOUD, CompanyKind.AGENCY,
+        }

@@ -1,0 +1,103 @@
+"""Unit tests for the world entity model."""
+
+import pytest
+
+from repro.smtp.server import SMTPServerConfig
+from repro.world.entities import (
+    ASNSpec,
+    CompanyInfra,
+    CompanyKind,
+    CompanySpec,
+    DatasetTag,
+    DomainAssignment,
+    DomainEntity,
+    MailHost,
+    ProvisioningStyle,
+    TRUTH_NONE,
+    TRUTH_SELF,
+)
+
+
+def spec(**overrides):
+    defaults = dict(
+        slug="acme",
+        display_name="Acme Mail",
+        kind=CompanyKind.MAILBOX,
+        country="US",
+        asns=(ASNSpec(64512, "Acme"), ASNSpec(64513, "Acme EU", "DE")),
+        provider_ids=("acmemail.net", "acme-mx.com"),
+    )
+    defaults.update(overrides)
+    return CompanySpec(**defaults)
+
+
+class TestCompanySpec:
+    def test_canonical_provider_id(self):
+        assert spec().canonical_provider_id == "acmemail.net"
+
+    def test_primary_asn(self):
+        assert spec().primary_asn == 64512
+
+    def test_bad_asn_number_rejected(self):
+        with pytest.raises(ValueError):
+            ASNSpec(0, "zero")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            spec().slug = "other"
+
+
+class TestCompanyInfra:
+    def test_round_robin_hosts(self):
+        infra = CompanyInfra(spec=spec())
+        server = SMTPServerConfig(identity="mx1.acmemail.net", starttls=False, certificate=None)
+        for index in range(2):
+            infra.mx_hosts.append(
+                MailHost(
+                    fqdn=f"mx{index + 1}.acmemail.net",
+                    addresses=[f"11.0.0.{index + 1}"],
+                    server=server,
+                    owner_slug="acme",
+                )
+            )
+        picks = [infra.next_mx_host().fqdn for _ in range(4)]
+        assert picks == [
+            "mx1.acmemail.net", "mx2.acmemail.net",
+            "mx1.acmemail.net", "mx2.acmemail.net",
+        ]
+
+    def test_no_hosts_raises(self):
+        with pytest.raises(RuntimeError):
+            CompanyInfra(spec=spec()).next_mx_host()
+
+
+class TestDomainAssignment:
+    def test_provider_assignment(self):
+        assignment = DomainAssignment(
+            company_slug="google", truth="google",
+            style=ProvisioningStyle.PROVIDER_NAMED,
+        )
+        assert assignment.has_provider and not assignment.is_self_hosted
+
+    def test_self_assignment(self):
+        assignment = DomainAssignment(
+            company_slug=None, truth=TRUTH_SELF,
+            style=ProvisioningStyle.SELF_HOSTED,
+        )
+        assert assignment.is_self_hosted and not assignment.has_provider
+
+    def test_none_assignment(self):
+        assignment = DomainAssignment(
+            company_slug=None, truth=TRUTH_NONE, style=ProvisioningStyle.NO_SMTP
+        )
+        assert not assignment.has_provider and not assignment.is_self_hosted
+
+
+class TestDomainEntity:
+    def test_assignment_at(self):
+        entity = DomainEntity(name="x.com", dataset=DatasetTag.COM)
+        first = DomainAssignment(None, TRUTH_SELF, ProvisioningStyle.SELF_HOSTED)
+        second = DomainAssignment("google", "google", ProvisioningStyle.PROVIDER_NAMED)
+        entity.assignments = [first, second]
+        assert entity.assignment_at(0) is first
+        assert entity.assignment_at(1) is second

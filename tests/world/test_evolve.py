@@ -1,0 +1,182 @@
+"""Unit tests for apportionment and longitudinal category assignment."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.world.entities import ProvisioningStyle
+from repro.world.evolve import (
+    SegmentEvolver,
+    apportion,
+    domain_fingerprint,
+    pick_style,
+)
+from repro.world.population import NONE, NUM_SNAPSHOTS, OTHERS, SELF, traj
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert domain_fingerprint("example.com") == domain_fingerprint("example.com")
+
+    def test_salt_changes_value(self):
+        assert domain_fingerprint("example.com", "a") != domain_fingerprint("example.com", "b")
+
+
+class TestApportion:
+    def test_exact_split(self):
+        counts = apportion(100, {"a": 0.5, "b": 0.3})
+        assert counts == {"a": 50, "b": 30, OTHERS: 20}
+
+    def test_largest_remainder(self):
+        counts = apportion(10, {"a": 0.55, "b": 0.45})
+        assert counts["a"] + counts["b"] + counts[OTHERS] == 10
+        assert counts["a"] in (5, 6)
+
+    def test_total_preserved(self):
+        for total in (0, 1, 7, 99, 1234):
+            counts = apportion(total, {"a": 0.21, "b": 0.33, "c": 0.11})
+            assert sum(counts.values()) == total
+
+    def test_no_negative_counts(self):
+        counts = apportion(3, {"a": 0.9, "b": 0.05})
+        assert all(count >= 0 for count in counts.values())
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            apportion(-1, {"a": 0.5})
+
+    def test_oversubscribed_shares_rejected(self):
+        with pytest.raises(ValueError):
+            apportion(100, {"a": 0.7, "b": 0.5})
+
+    def test_shares_summing_to_exactly_one(self):
+        counts = apportion(65, {"a": 0.5, "b": 0.5})
+        assert sum(counts.values()) == 65
+        assert all(count >= 0 for count in counts.values())
+
+    def test_deterministic_tie_break(self):
+        first = apportion(10, {"a": 0.25, "b": 0.25, "c": 0.25})
+        second = apportion(10, {"a": 0.25, "b": 0.25, "c": 0.25})
+        assert first == second
+
+
+def make_evolver(seed=3, swap_rate=0.02):
+    table = {
+        "google": traj(0.20, 0.30),
+        "microsoft": traj(0.10, 0.15),
+        SELF: traj(0.20, 0.10),
+        NONE: traj(0.05, 0.05),
+    }
+    return SegmentEvolver(
+        table=table,
+        rng=random.Random(seed),
+        others_pool=("other000", "other001", "other002"),
+        swap_rate=swap_rate,
+    )
+
+
+DOMAINS = [f"domain{i}.com" for i in range(400)]
+
+
+class TestSegmentEvolver:
+    def test_every_domain_has_full_sequence(self):
+        assignment = make_evolver().assign(DOMAINS)
+        for domain in DOMAINS:
+            assert len(assignment.categories[domain]) == NUM_SNAPSHOTS
+
+    def test_counts_match_targets(self):
+        assignment = make_evolver().assign(DOMAINS)
+        first = Counter(assignment.at(domain, 0) for domain in DOMAINS)
+        last = Counter(assignment.at(domain, NUM_SNAPSHOTS - 1) for domain in DOMAINS)
+        assert first["google"] == 80   # 20% of 400
+        assert last["google"] == 120   # 30% of 400
+        assert first[SELF] == 80
+        assert last[SELF] == 40
+
+    def test_others_resolved_to_pool(self):
+        assignment = make_evolver().assign(DOMAINS)
+        pool = {"other000", "other001", "other002"}
+        named = {"google", "microsoft", SELF, NONE}
+        for domain in DOMAINS:
+            for category in assignment.categories[domain]:
+                assert category in pool | named
+
+    def test_others_choice_sticky(self):
+        assignment = make_evolver().assign(DOMAINS)
+        pool = {"other000", "other001", "other002"}
+        for domain in DOMAINS:
+            chosen = {
+                category
+                for category in assignment.categories[domain]
+                if category in pool
+            }
+            assert len(chosen) <= 1  # one stable small provider per domain
+
+    def test_deterministic(self):
+        first = make_evolver(seed=9).assign(DOMAINS)
+        second = make_evolver(seed=9).assign(DOMAINS)
+        assert first.categories == second.categories
+
+    def test_seed_changes_assignment(self):
+        first = make_evolver(seed=1).assign(DOMAINS)
+        second = make_evolver(seed=2).assign(DOMAINS)
+        assert first.categories != second.categories
+
+    def test_gross_churn_is_bidirectional(self):
+        """Growing categories must also lose some domains (Figure 7 shape)."""
+        assignment = make_evolver(swap_rate=0.03).assign(DOMAINS)
+        leavers = 0
+        for domain in DOMAINS:
+            sequence = assignment.categories[domain]
+            if sequence[0] == "google" and sequence[-1] != "google":
+                leavers += 1
+        assert leavers > 0
+
+    def test_stickiness(self):
+        """Most domains never change category despite drift + swaps."""
+        assignment = make_evolver().assign(DOMAINS)
+        stable = sum(
+            1
+            for domain in DOMAINS
+            if len(set(assignment.categories[domain])) == 1
+        )
+        assert stable > len(DOMAINS) * 0.6
+
+    def test_empty_segment(self):
+        assignment = make_evolver().assign([])
+        assert assignment.categories == {}
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentEvolver(table={"a": traj(0.5)}, rng=random.Random(0), others_pool=())
+
+
+class TestPickStyle:
+    def test_self_styles(self):
+        styles = {pick_style(f"d{i}.com", SELF) for i in range(300)}
+        assert ProvisioningStyle.SELF_HOSTED in styles
+        assert ProvisioningStyle.SELF_ON_VPS in styles
+        assert ProvisioningStyle.SELF_MISCONFIGURED in styles
+
+    def test_none_styles(self):
+        styles = {pick_style(f"d{i}.com", NONE) for i in range(100)}
+        assert styles <= {ProvisioningStyle.NO_SMTP, ProvisioningStyle.DANGLING_MX}
+        assert len(styles) == 2
+
+    def test_provider_styles(self):
+        styles = {pick_style(f"d{i}.com", "google") for i in range(200)}
+        assert ProvisioningStyle.PROVIDER_NAMED in styles
+        assert ProvisioningStyle.CUSTOMER_NAMED in styles
+
+    def test_hosting_default(self):
+        style = pick_style("anything.com", "unitedinternet", default_mx_is_customer_named=True)
+        assert style is ProvisioningStyle.HOSTING_DEFAULT
+
+    def test_deterministic(self):
+        assert pick_style("a.com", "google") is pick_style("a.com", "google")
+
+    def test_self_hosted_majority(self):
+        styles = [pick_style(f"d{i}.com", SELF) for i in range(500)]
+        hosted = sum(1 for style in styles if style is ProvisioningStyle.SELF_HOSTED)
+        assert hosted > 300

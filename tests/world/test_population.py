@@ -1,0 +1,139 @@
+"""Unit tests for trajectories and share tables."""
+
+import pytest
+
+from repro.world.population import (
+    ALEXA_BUCKETS,
+    GOV_FIRST_SNAPSHOT,
+    NUM_SNAPSHOTS,
+    SNAPSHOT_DATES,
+    Trajectory,
+    all_share_tables,
+    snapshot_fraction,
+    synth_label,
+    table_total_at,
+    traj,
+    validate_table,
+)
+
+
+class TestSnapshots:
+    def test_nine_semiannual_snapshots(self):
+        assert NUM_SNAPSHOTS == 9
+        assert SNAPSHOT_DATES[0].year == 2017 and SNAPSHOT_DATES[-1].year == 2021
+
+    def test_dates_strictly_increasing(self):
+        assert list(SNAPSHOT_DATES) == sorted(SNAPSHOT_DATES)
+
+    def test_gov_coverage_starts_2018(self):
+        assert SNAPSHOT_DATES[GOV_FIRST_SNAPSHOT].year == 2018
+
+    def test_snapshot_fraction_endpoints(self):
+        assert snapshot_fraction(0) == 0.0
+        assert snapshot_fraction(NUM_SNAPSHOTS - 1) == 1.0
+
+
+class TestTrajectory:
+    def test_constant(self):
+        assert traj(0.25).at(0.0) == 0.25
+        assert traj(0.25).at(1.0) == 0.25
+
+    def test_linear_interpolation(self):
+        t = traj(0.10, 0.30)
+        assert t.at(0.0) == pytest.approx(0.10)
+        assert t.at(0.5) == pytest.approx(0.20)
+        assert t.at(1.0) == pytest.approx(0.30)
+
+    def test_midpoint_breakpoints(self):
+        t = Trajectory(points=((0.0, 0.10), (0.5, 0.20), (1.0, 0.05)))
+        assert t.at(0.25) == pytest.approx(0.15)
+        assert t.at(0.75) == pytest.approx(0.125)
+
+    def test_clamping(self):
+        t = traj(0.10, 0.30)
+        assert t.at(-1.0) == 0.10
+        assert t.at(2.0) == 0.30
+
+    def test_unordered_breakpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(points=((0.5, 0.1), (0.0, 0.2)))
+
+    def test_out_of_range_share_rejected(self):
+        with pytest.raises(ValueError):
+            traj(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(points=())
+
+
+class TestShareTables:
+    def test_all_tables_within_capacity(self):
+        for name, table in all_share_tables().items():
+            validate_table(table)  # raises on violation
+
+    def test_alexa_buckets_cover_corpus(self):
+        assert sum(fraction for _, _, fraction, _, _ in ALEXA_BUCKETS) == pytest.approx(1.0)
+
+    def test_bucket_ranges_disjoint_and_ordered(self):
+        previous_high = 0
+        for low, high, _, _, _ in ALEXA_BUCKETS:
+            assert low == previous_high + 1
+            assert high > low
+            previous_high = high
+
+    def test_com_dominated_by_godaddy(self):
+        table = all_share_tables()["com"]
+        final = {name: trajectory.at(1.0) for name, trajectory in table.items()}
+        assert final["godaddy"] == max(
+            share for name, share in final.items() if name not in ("NONE",)
+        )
+
+    def test_gov_dominated_by_microsoft(self):
+        table = all_share_tables()["gov_nonfederal"]
+        final = {name: trajectory.at(1.0) for name, trajectory in table.items()}
+        assert final["microsoft"] == max(
+            share for name, share in final.items() if name not in ("NONE",)
+        )
+
+    def test_self_hosting_declines_everywhere(self):
+        for name, table in all_share_tables().items():
+            self_trajectory = table["SELF"]
+            assert self_trajectory.at(1.0) < self_trajectory.at(0.0), name
+
+    def test_google_and_microsoft_rise_in_alexa(self):
+        table = all_share_tables()["alexa_gtld_tail"]
+        for label in ("google", "microsoft"):
+            assert table[label].at(1.0) > table[label].at(0.0)
+
+    def test_yandex_confined_to_ru(self):
+        tables = all_share_tables()
+        ru_share = tables["alexa_cctld_ru"]["yandex"].at(1.0)
+        for cctld in ("br", "de", "cn", "jp"):
+            assert tables[f"alexa_cctld_{cctld}"]["yandex"].at(1.0) < ru_share / 10
+
+    def test_tencent_confined_to_cn(self):
+        tables = all_share_tables()
+        cn_share = tables["alexa_cctld_cn"]["tencent"].at(1.0)
+        for cctld in ("br", "de", "ru", "uk"):
+            assert tables[f"alexa_cctld_{cctld}"]["tencent"].at(1.0) < cn_share / 10
+
+    def test_table_total_helper(self):
+        table = {"a": traj(0.3), "b": traj(0.2)}
+        assert table_total_at(table, 0.5) == pytest.approx(0.5)
+
+
+class TestSynthLabel:
+    def test_deterministic(self):
+        import random
+
+        assert synth_label(random.Random(5)) == synth_label(random.Random(5))
+
+    def test_valid_dns_label(self):
+        import random
+
+        from repro.dnscore.names import is_valid_hostname
+
+        rng = random.Random(11)
+        for _ in range(100):
+            assert is_valid_hostname(synth_label(rng))

@@ -1,0 +1,57 @@
+"""Unit tests for world composition statistics."""
+
+from repro.world.entities import CompanyKind, DatasetTag
+from repro.world.stats import collect_stats
+
+
+class TestCollectStats:
+    def test_corpus_sizes_match_config(self, small_world):
+        stats = collect_stats(small_world)
+        config = small_world.config
+        assert abs(stats.corpus_sizes[DatasetTag.ALEXA] - config.alexa_size) <= 3
+        assert stats.corpus_sizes[DatasetTag.COM] == config.com_size
+        assert stats.corpus_sizes[DatasetTag.GOV] == config.gov_size
+
+    def test_style_mix_covers_corner_cases(self, small_world):
+        stats = collect_stats(small_world)
+        assert stats.style_mix["provider_named"] > 0
+        assert stats.style_mix["hosting_default"] > 0
+        assert stats.style_mix["self_hosted"] > 0
+        assert stats.style_mix["no_smtp"] > 0
+
+    def test_truth_kinds(self, small_world):
+        stats = collect_stats(small_world)
+        assert stats.truth_kind_mix["mailbox"] > stats.truth_kind_mix["security"] > 0
+        assert stats.truth_kind_mix["self"] > 0
+        assert stats.truth_kind_mix["none"] > 0
+
+    def test_company_kind_counts(self, small_world):
+        stats = collect_stats(small_world)
+        assert stats.company_counts[CompanyKind.OTHER] == (
+            small_world.config.num_other_providers
+        )
+        assert stats.company_counts[CompanyKind.MAILBOX] >= 5
+
+    def test_tld_mix(self, small_world):
+        stats = collect_stats(small_world)
+        assert stats.tld_mix["com"] > stats.tld_mix["gov"] > 0
+        assert stats.tld_mix["ru"] > 0
+
+    def test_totals(self, small_world):
+        stats = collect_stats(small_world)
+        assert stats.total_servers == len(small_world.host_table)
+        assert stats.total_zones > small_world.config.alexa_size
+
+    def test_style_totals_match_corpus(self, small_world):
+        stats = collect_stats(small_world)
+        assert sum(stats.style_mix.values()) == sum(stats.corpus_sizes.values())
+
+    def test_render(self, small_world):
+        text = collect_stats(small_world).render()
+        assert "Corpora" in text and "SMTP servers" in text
+
+    def test_snapshot_parameter(self, small_world):
+        first = collect_stats(small_world, 0)
+        last = collect_stats(small_world, 8)
+        # Self-hosting shrinks between the first and last snapshot.
+        assert last.truth_kind_mix["self"] < first.truth_kind_mix["self"]

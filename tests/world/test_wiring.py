@@ -1,0 +1,154 @@
+"""Unit tests for per-domain wiring corner cases (over the small world)."""
+
+from repro.dnscore import RRType
+from repro.world.entities import DatasetTag, ProvisioningStyle
+from repro.world.population import NUM_SNAPSHOTS
+
+LAST = NUM_SNAPSHOTS - 1
+
+
+def find_styled(world, style, snapshot=LAST):
+    for entity in world.domains.values():
+        if entity.assignment_at(snapshot).style is style:
+            yield entity
+
+
+def mx_and_addresses(world, entity, snapshot=LAST):
+    zdb = world.snapshot_zones[snapshot]
+    records = zdb.lookup(entity.name, RRType.MX).sorted_by_preference()
+    assert records
+    primary = records[0]
+    return primary, zdb.lookup(primary.rdata, RRType.A).rdatas()
+
+
+class TestCustomerNamed:
+    def test_mx_under_own_name_points_at_provider(self, small_world):
+        entity = next(find_styled(small_world, ProvisioningStyle.CUSTOMER_NAMED))
+        mx, addresses = mx_and_addresses(small_world, entity)
+        assert mx.rdata == f"mailhost.{entity.name}"
+        assert addresses
+        slug = entity.assignment_at(LAST).company_slug
+        spec = small_world.companies[slug].spec
+        company_asns = {asn.number for asn in spec.asns}
+        for address in addresses:
+            assert small_world.registry.lookup_asn(address) in company_asns
+
+
+class TestHostingDefault:
+    def test_mx_is_mx_dot_domain(self, small_world):
+        entity = next(find_styled(small_world, ProvisioningStyle.HOSTING_DEFAULT))
+        mx, addresses = mx_and_addresses(small_world, entity)
+        assert mx.rdata == f"mx.{entity.name}"
+        assert addresses
+        server = small_world.host_table.get(addresses[0])
+        assert server is not None
+        # The server identifies as the hosting company, not the customer.
+        assert entity.name not in (server.identity or "")
+
+
+class TestVPS:
+    def test_vps_cert_under_hosting_domain(self, small_world):
+        for entity in find_styled(small_world, ProvisioningStyle.SELF_ON_VPS):
+            _mx, addresses = mx_and_addresses(small_world, entity)
+            server = small_world.host_table.get(addresses[0])
+            assert server is not None and server.certificate is not None
+            # Certificate is NOT under the customer's own domain.
+            assert not server.certificate.subject_cn.endswith(entity.name)
+            return
+        raise AssertionError("no VPS-style domain in world")
+
+    def test_large_host_vps_matches_step4_pattern(self, small_world):
+        import re
+
+        patterns = [
+            re.compile(small_world.companies[slug].spec.vps_host_pattern)
+            for slug in ("godaddy", "ovh")
+        ]
+        matched = 0
+        for entity in find_styled(small_world, ProvisioningStyle.SELF_ON_VPS):
+            _mx, addresses = mx_and_addresses(small_world, entity)
+            server = small_world.host_table.get(addresses[0])
+            if server and server.certificate and any(
+                pattern.match(server.certificate.subject_cn) for pattern in patterns
+            ):
+                matched += 1
+        assert matched > 0
+
+
+class TestSpoofed:
+    def test_banner_claims_google_outside_google_as(self, small_world):
+        for entity in find_styled(small_world, ProvisioningStyle.SELF_SPOOFED):
+            _mx, addresses = mx_and_addresses(small_world, entity)
+            server = small_world.host_table.get(addresses[0])
+            assert server is not None
+            assert server.identity == "mx.google.com"
+            assert small_world.registry.lookup_asn(addresses[0]) != 15169
+            # Self-signed only — a CA would never issue this.
+            assert server.certificate is None or server.certificate.self_signed
+            return
+        raise AssertionError("no spoofed-style domain in world")
+
+
+class TestMisconfigured:
+    def test_banner_has_no_usable_fqdn(self, small_world):
+        from repro.smtp.banner import BannerStyle
+
+        for entity in find_styled(small_world, ProvisioningStyle.SELF_MISCONFIGURED):
+            _mx, addresses = mx_and_addresses(small_world, entity)
+            server = small_world.host_table.get(addresses[0])
+            assert server is not None
+            assert server.banner_style in (BannerStyle.LOCALHOST, BannerStyle.DECORATED_IP)
+            return
+        raise AssertionError("no misconfigured-style domain in world")
+
+
+class TestNoSMTP:
+    def test_no_listener_at_mx_ip(self, small_world):
+        for entity in find_styled(small_world, ProvisioningStyle.NO_SMTP):
+            _mx, addresses = mx_and_addresses(small_world, entity)
+            assert addresses
+            for address in addresses:
+                assert small_world.host_table.get(address) is None
+            return
+        raise AssertionError("no NO_SMTP-style domain in world")
+
+    def test_cloud_variant_uses_ghs_google(self, small_world):
+        entity = small_world.showcase["jeniustoto.net"]
+        mx, addresses = mx_and_addresses(small_world, entity)
+        assert mx.rdata == "ghs.google.com"
+        assert small_world.registry.lookup_asn(addresses[0]) == 15169
+        assert small_world.host_table.get(addresses[0]) is None
+
+
+class TestEndpointStability:
+    def test_endpoint_reused_across_snapshots(self, small_world):
+        """A domain that stays self-hosted keeps its server and address."""
+        for entity in small_world.domains.values():
+            styles = [a.style for a in entity.assignments]
+            if all(style is ProvisioningStyle.SELF_HOSTED for style in styles):
+                first = mx_and_addresses(small_world, entity, 0)[1]
+                last = mx_and_addresses(small_world, entity, LAST)[1]
+                assert first == last
+                return
+        raise AssertionError("no stable self-hosted domain found")
+
+
+class TestCustomerSpecificMX:
+    def test_microsoft_template_mx_unique_and_resolves(self, small_world):
+        zdb = small_world.snapshot_zones[LAST]
+        seen = set()
+        for entity in small_world.domains_in(DatasetTag.ALEXA):
+            assignment = entity.assignment_at(LAST)
+            if (
+                assignment.company_slug == "microsoft"
+                and assignment.style is ProvisioningStyle.PROVIDER_NAMED
+            ):
+                mx = zdb.lookup(entity.name, RRType.MX).sorted_by_preference()[0]
+                is_shared_regional = bool(
+                    __import__("re").match(r"^mx\d+\.", mx.rdata)
+                )
+                if mx.rdata.endswith(".mail.protection.outlook.com") and not is_shared_regional:
+                    assert mx.rdata not in seen
+                    seen.add(mx.rdata)
+                    assert zdb.lookup(mx.rdata, RRType.A).rdatas()
+        assert len(seen) > 2
