@@ -1,0 +1,101 @@
+"""Engine benches: the 3-corpora × 9-snapshot longitudinal sweep.
+
+Three execution modes of the same sweep (the workload behind Figures 6/7
+and Tables 4/6):
+
+* **serial** — jobs=1, memoization off: the seed repo's from-scratch path,
+* **parallel** — sharded gathering/identification, memoization off,
+* **engine** — sharded *and* cache-aware (the default engine).
+
+``test_bench_engine_speedup_report`` prints the before/after comparison
+(wall clock, speedup, cache hit rates) that perf PRs quote.  Worker count
+comes from ``REPRO_JOBS`` (default 4 here, the acceptance configuration).
+"""
+
+import time
+
+from repro.engine import EngineOptions, env_jobs
+from repro.engine.stats import STATS
+from repro.experiments.common import StudyContext, env_scale
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+from repro.world.population import NUM_SNAPSHOTS
+
+CORPORA = (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV)
+
+# Wall-clock per mode, recorded even under --benchmark-disable so the
+# speedup report works in smoke runs too.
+_RECORDED: dict[str, float] = {}
+_SECOND_CORPUS_REUSE: dict[str, float | None] = {}
+
+
+def _context(**kwargs) -> StudyContext:
+    config = WorldConfig().scaled(env_scale())
+    return StudyContext.create(config, engine=EngineOptions(**kwargs))
+
+
+def _sweep(ctx: StudyContext, mode: str) -> None:
+    started = time.perf_counter()
+    reuse: float | None = None
+    for corpus_index, dataset in enumerate(CORPORA):
+        if corpus_index == 1:
+            before_second = STATS.snapshot()
+        for index in range(NUM_SNAPSHOTS):
+            ctx.priority(dataset, index)
+        if corpus_index == 1:
+            reuse = STATS.delta_hit_rate("gather.obs", before_second)
+    _RECORDED[mode] = time.perf_counter() - started
+    _SECOND_CORPUS_REUSE[mode] = reuse
+
+
+def test_bench_sweep_serial(benchmark):
+    benchmark.pedantic(
+        _sweep,
+        setup=lambda: ((_context(jobs=1, memoize=False), "serial"), {}),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_sweep_parallel(benchmark):
+    jobs = env_jobs(default=4)
+    benchmark.pedantic(
+        _sweep,
+        setup=lambda: ((_context(jobs=jobs, memoize=False), "parallel"), {}),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_sweep_engine(benchmark):
+    jobs = env_jobs(default=4)
+    benchmark.pedantic(
+        _sweep,
+        setup=lambda: ((_context(jobs=jobs, memoize=True), "engine"), {}),
+        rounds=1,
+        iterations=1,
+    )
+    # The acceptance criterion: on the second corpus of a sweep, more than
+    # half of all scan-path lookups are served from the interning cache.
+    reuse = _SECOND_CORPUS_REUSE["engine"]
+    assert reuse is not None and reuse > 0.5, f"scan-cache reuse {reuse}"
+
+
+def test_bench_engine_speedup_report():
+    """Print the serial/parallel/engine comparison table."""
+    missing = {"serial", "engine"} - set(_RECORDED)
+    assert not missing, f"run the sweep benches first (missing {missing})"
+    serial = _RECORDED["serial"]
+    print()
+    print(f"longitudinal sweep ({len(CORPORA)} corpora x {NUM_SNAPSHOTS} snapshots, "
+          f"scale={env_scale()}, jobs={env_jobs(default=4)})")
+    print(f"{'mode':<10s} {'wall':>8s} {'speedup':>8s} {'2nd-corpus scan reuse':>22s}")
+    for mode in ("serial", "parallel", "engine"):
+        if mode not in _RECORDED:
+            continue
+        wall = _RECORDED[mode]
+        reuse = _SECOND_CORPUS_REUSE.get(mode)
+        shown = f"{100 * reuse:.1f}%" if reuse is not None else "--"
+        print(f"{mode:<10s} {wall:>7.2f}s {serial / wall:>7.2f}x {shown:>22s}")
+    # The cache-aware engine must beat the from-scratch serial path.
+    assert serial / _RECORDED["engine"] > 1.0

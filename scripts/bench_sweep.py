@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""One-command perf baseline: the longitudinal sweep across engine modes.
+
+Runs the 3-corpora × 9-snapshot measure→infer sweep at a couple of corpus
+scales and worker counts, and prints a speedup / cache-hit table.  Future
+perf PRs quote this table as their before/after evidence.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sweep.py
+    PYTHONPATH=src python scripts/bench_sweep.py --scales 1 2 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.engine import EngineOptions
+from repro.engine.stats import STATS, reset_stats
+from repro.experiments.common import StudyContext
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+from repro.world.population import NUM_SNAPSHOTS
+
+CORPORA = (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV)
+
+
+def run_sweep(scale: float, engine: EngineOptions) -> tuple[float, dict[str, float | None]]:
+    """Build a context and run the full sweep; returns (wall, cache rates)."""
+    ctx = StudyContext.create(WorldConfig().scaled(scale), engine=engine)
+    reset_stats()
+    started = time.perf_counter()
+    for dataset in CORPORA:
+        for index in range(NUM_SNAPSHOTS):
+            ctx.priority(dataset, index)
+    wall = time.perf_counter() - started
+    rates = {
+        prefix: STATS.hit_rate(prefix)
+        for prefix in ("gather.obs", "censys.scan", "pipeline.mxident")
+    }
+    return wall, rates
+
+
+def fmt_rate(rate: float | None) -> str:
+    return f"{100 * rate:5.1f}%" if rate is not None else "    --"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scales", type=float, nargs="+", default=[1.0, 2.0],
+        help="corpus scale factors to sweep (default: 1 2)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker count for the parallel/engine modes (default 4)",
+    )
+    args = parser.parse_args(argv)
+
+    header = (
+        f"{'scale':>5s} {'mode':<10s} {'jobs':>4s} {'wall':>8s} {'speedup':>8s}"
+        f" {'obs-cache':>9s} {'scan':>7s} {'mxident':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scale in args.scales:
+        modes = [
+            ("serial", EngineOptions(jobs=1, memoize=False)),
+            ("parallel", EngineOptions(jobs=args.jobs, memoize=False)),
+            ("engine", EngineOptions(jobs=args.jobs, memoize=True)),
+        ]
+        baseline: float | None = None
+        for name, engine in modes:
+            wall, rates = run_sweep(scale, engine)
+            if baseline is None:
+                baseline = wall
+            jobs = 1 if name == "serial" else args.jobs
+            print(
+                f"{scale:>5.1f} {name:<10s} {jobs:>4d} {wall:>7.2f}s"
+                f" {baseline / wall:>7.2f}x"
+                f" {fmt_rate(rates['gather.obs']):>9s}"
+                f" {fmt_rate(rates['censys.scan']):>7s}"
+                f" {fmt_rate(rates['pipeline.mxident']):>8s}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

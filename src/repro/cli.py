@@ -32,6 +32,7 @@ from .experiments import (
     tab5,
     tab6,
 )
+from .engine import EngineOptions, get_stats
 from .experiments.common import StudyContext
 from .world.build import WorldConfig
 
@@ -73,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0,
         help="corpus scale factor (1.0 = 1200/1500/300 domains)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="engine workers for gathering/identification "
+             "(default: REPRO_JOBS or 1; results are identical for any N)",
+    )
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="print engine perf stats (cache hit rates, timings) to stderr",
+    )
     return parser
 
 
@@ -96,13 +106,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{config.alexa_size}/{config.com_size}/{config.gov_size} domains) ...",
         file=sys.stderr,
     )
-    ctx = StudyContext.create(config)
+    ctx = StudyContext.create(config, engine=EngineOptions(jobs=args.jobs))
 
     names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
     for name in names:
         print(run_experiment(name, ctx))
         print()
     print(f"Done in {time.time() - started:.1f}s", file=sys.stderr)
+    if args.perf:
+        print(get_stats().render(), file=sys.stderr)
     return 0
 
 

@@ -16,12 +16,17 @@ evidence sources, first-MX-wins instead of credit splitting).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..dnscore.psl import PublicSuffixList, default_psl
-from ..measure.dataset import DomainMeasurement
+from ..engine.identcache import MXIdentityCache, evidence_key
+from ..engine.parallel import resolve_jobs
+from ..engine.stats import STATS
+from ..measure.dataset import DomainMeasurement, MXData
 from ..tls.ca import TrustStore
-from .certgroup import CertificatePreprocessor
+from ..tls.cert import Certificate
+from .certgroup import CertificateGroups, CertificatePreprocessor
 from .companies import CompanyMap
 from .domainident import DomainIdentifier
 from .ipident import IPIdentifier
@@ -74,24 +79,63 @@ class PriorityPipeline:
         company_map: CompanyMap,
         psl: PublicSuffixList | None = None,
         config: PipelineConfig | None = None,
+        identity_cache: MXIdentityCache | None = None,
     ):
         self.trust_store = trust_store
         self.company_map = company_map
         self.psl = psl or default_psl()
         self.config = config or PipelineConfig()
+        # Optional cross-run store for step-2/3 identities.  Keys carry the
+        # full observation evidence plus the config flags, so one cache can
+        # safely serve every snapshot and ablation config of a study.
+        self.identity_cache = identity_cache
 
-    def run(self, measurements: dict[str, DomainMeasurement]) -> PipelineResult:
-        """Infer a provider for every measured domain."""
-        config = self.config
+    # -- step 1 ----------------------------------------------------------
 
-        # Step 1 — certificate preprocessing over the whole dataset.
-        certificates = [
+    @staticmethod
+    def collect_certificates(
+        measurements: dict[str, DomainMeasurement],
+    ) -> list[Certificate]:
+        """All observed certificates in a dataset, in measurement order."""
+        return [
             ip.scan.certificate
             for measurement in measurements.values()
             for ip in measurement.all_ips()
             if ip.scan is not None and ip.scan.certificate is not None
         ]
-        groups = CertificatePreprocessor(self.psl).build(certificates)
+
+    def build_groups(
+        self, measurements: dict[str, DomainMeasurement]
+    ) -> CertificateGroups:
+        """Step 1 — certificate preprocessing over the whole dataset.
+
+        Grouping depends only on the certificates and the PSL — never on
+        :class:`PipelineConfig` — so one grouping can be shared by every
+        config run over the same measurements.
+        """
+        certificates = self.collect_certificates(measurements)
+        return CertificatePreprocessor(self.psl).build(certificates)
+
+    # -- the full run ----------------------------------------------------
+
+    def run(
+        self,
+        measurements: dict[str, DomainMeasurement],
+        *,
+        groups: CertificateGroups | None = None,
+        jobs: int | None = None,
+    ) -> PipelineResult:
+        """Infer a provider for every measured domain.
+
+        ``groups`` supplies a precomputed step-1 grouping (hoisted by
+        callers running several configs over the same measurements);
+        ``jobs`` parallelizes steps 2–3 over the distinct-MX work list.
+        Both are pure optimizations: results are identical for any value.
+        """
+        config = self.config
+
+        if groups is None:
+            groups = self.build_groups(measurements)
 
         ip_identifier = IPIdentifier(
             groups=groups,
@@ -117,22 +161,26 @@ class PriorityPipeline:
         # Steps 2–3, computed once per distinct MX observation.  The same
         # MX name (with the same addresses) backs many domains; its identity
         # is a property of the infrastructure, not of the domain.
-        mx_identity_cache: dict[tuple, MXIdentity] = {}
+        worklist: dict[tuple, tuple[MXData, object]] = {}
+        for measurement in measurements.values():
+            for mx in measurement.primary_mx:
+                run_key = (mx.name, tuple(ip.address for ip in mx.ips))
+                if run_key not in worklist:
+                    worklist[run_key] = (mx, measurement.measured_on)
+        identities_by_key = self._identify_worklist(
+            worklist, ip_identifier, mx_identifier, groups, jobs
+        )
+
+        # Steps 4–5 — per (domain, MX), serial and in measurement order:
+        # the customer-certificate check depends on which domain is asking,
+        # and the correction stats count in deterministic order.
         all_identities: dict[str, MXIdentity] = {}
         inferences: dict[str, DomainInference] = {}
         for domain, measurement in measurements.items():
             identities: dict[str, MXIdentity] = {}
             for mx in measurement.primary_mx:
-                cache_key = (mx.name, tuple(ip.address for ip in mx.ips))
-                if cache_key not in mx_identity_cache:
-                    ip_identities = [
-                        ip_identifier.identify(ip, on=measurement.measured_on)
-                        for ip in mx.ips
-                    ]
-                    mx_identity_cache[cache_key] = mx_identifier.identify(mx, ip_identities)
-                identity = mx_identity_cache[cache_key]
-                # Step 4 — per (domain, MX): the customer-certificate check
-                # depends on which domain is asking.
+                run_key = (mx.name, tuple(ip.address for ip in mx.ips))
+                identity = identities_by_key[run_key]
                 if config.check_misidentifications:
                     identity = checker.check(domain, mx, identity, counters)
                 identities[mx.name] = identity
@@ -144,3 +192,48 @@ class PriorityPipeline:
             correction_stats=checker.stats,
             mx_identities=all_identities,
         )
+
+    # -- steps 2–3 over the distinct-MX work list ------------------------
+
+    def _identify_worklist(
+        self,
+        worklist: dict[tuple, tuple[MXData, object]],
+        ip_identifier: IPIdentifier,
+        mx_identifier: MXIdentifier,
+        groups: CertificateGroups,
+        jobs: int | None,
+    ) -> dict[tuple, MXIdentity]:
+        config = self.config
+
+        def identify_one(item: tuple[MXData, object]) -> MXIdentity:
+            mx, on = item
+            evidence = None
+            if self.identity_cache is not None:
+                evidence = evidence_key(
+                    mx,
+                    on,
+                    use_certs=config.use_certs,
+                    use_banners=config.use_banners,
+                    require_valid_cert=config.require_valid_cert,
+                    groups=groups,
+                    trust_store=self.trust_store,
+                )
+                cached = self.identity_cache.lookup(evidence)
+                if cached is not None:
+                    return cached
+            ip_identities = [ip_identifier.identify(ip, on=on) for ip in mx.ips]
+            identity = mx_identifier.identify(mx, ip_identities)
+            if evidence is not None:
+                self.identity_cache.store(evidence, identity)
+            return identity
+
+        jobs = resolve_jobs(jobs)
+        items = list(worklist.items())
+        if jobs <= 1 or len(items) < 2 * jobs:
+            return {key: identify_one(work) for key, work in items}
+        # identify_one is pure, so any execution order yields the same
+        # per-key identity; keys are re-associated positionally.
+        with STATS.timer("pipeline.identify_parallel"):
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(identify_one, (work for _, work in items)))
+        return {key: identity for (key, _), identity in zip(items, results)}

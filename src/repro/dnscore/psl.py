@@ -62,9 +62,16 @@ class _Rule:
         return len(self.labels)
 
 
+_MISS = object()  # cache sentinel: None is a legitimate cached value
+
+
 @dataclass
 class PublicSuffixList:
     """PSL matcher over a rule set.
+
+    Extraction results are memoized per instance (the same MX names,
+    banner FQDNs, and certificate names recur across an entire corpus);
+    ``set_cache(False)`` restores uncached rule scans.
 
     >>> psl = PublicSuffixList.default()
     >>> psl.registered_domain("mx1.provider.com")
@@ -74,6 +81,18 @@ class PublicSuffixList:
     """
 
     rules: dict[tuple[str, ...], _Rule] = field(default_factory=dict)
+    _suffix_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _registered_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _cache_enabled: bool = field(default=True, repr=False, compare=False)
+
+    def set_cache(self, enabled: bool) -> None:
+        """Enable/disable extraction memoization (flushes on any change)."""
+        self._cache_enabled = enabled
+        self.cache_clear()
+
+    def cache_clear(self) -> None:
+        self._suffix_cache.clear()
+        self._registered_cache.clear()
 
     @classmethod
     def from_suffixes(cls, suffixes: tuple[str, ...] | list[str]) -> "PublicSuffixList":
@@ -96,6 +115,7 @@ class PublicSuffixList:
             entry = entry[1:]
         key = tuple(entry.split("."))
         self.rules[key] = _Rule(labels=key, is_exception=is_exception)
+        self.cache_clear()
 
     def _matching_rule(self, parts: list[str]) -> _Rule | None:
         """Find the prevailing rule for a label sequence (leftmost first)."""
@@ -120,6 +140,16 @@ class PublicSuffixList:
 
     def public_suffix(self, name: str) -> str:
         """Return the public suffix of *name* (always non-empty)."""
+        if self._cache_enabled:
+            cached = self._suffix_cache.get(name, _MISS)
+            if cached is not _MISS:
+                return cached
+            suffix = self._public_suffix_uncached(name)
+            self._suffix_cache[name] = suffix
+            return suffix
+        return self._public_suffix_uncached(name)
+
+    def _public_suffix_uncached(self, name: str) -> str:
         parts = normalize(name).split(".")
         rule = self._matching_rule(parts)
         if rule is None:
@@ -140,6 +170,16 @@ class PublicSuffixList:
         None when *name* is itself a public suffix (e.g. ``"com"``) —
         such names cannot identify a provider.
         """
+        if self._cache_enabled:
+            cached = self._registered_cache.get(name, _MISS)
+            if cached is not _MISS:
+                return cached
+            registered = self._registered_domain_uncached(name)
+            self._registered_cache[name] = registered
+            return registered
+        return self._registered_domain_uncached(name)
+
+    def _registered_domain_uncached(self, name: str) -> str | None:
         try:
             name = normalize(name)
         except NameError_:

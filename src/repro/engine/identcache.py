@@ -1,0 +1,84 @@
+"""Cross-run MX-identity memoization.
+
+The identity of an MX record is a property of the mail infrastructure
+behind it, not of the asking domain — ``aspmx.l.google.com`` backs most of
+a corpus in *every* snapshot.  Steps 2–3 of the priority pipeline are pure
+functions of the observation evidence, so their output can be reused across
+snapshots (and corpora) of a study whenever the evidence is unchanged.
+
+The cache key captures everything those steps consume:
+
+* the MX name and the ordered per-IP observations,
+* per IP: the scan outcome (state, banner, EHLO) or its absence,
+* per certificate: fingerprint, trust verdict *at the snapshot date*, and
+  the representative name of its certificate group (groups are rebuilt per
+  dataset run, so the representative is part of the key, not assumed),
+* the pipeline-config flags that alter steps 2–3.
+
+Step 4 (misidentification checking) is deliberately *not* cached: it
+depends on the asking domain and on per-run popularity counters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .stats import STATS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.certgroup import CertificateGroups
+    from ..core.types import MXIdentity
+    from ..measure.dataset import MXData
+    from ..tls.ca import TrustStore
+
+
+def evidence_key(
+    mx: "MXData",
+    on,
+    *,
+    use_certs: bool,
+    use_banners: bool,
+    require_valid_cert: bool,
+    groups: "CertificateGroups",
+    trust_store: "TrustStore",
+) -> tuple:
+    """The full observation tuple steps 2–3 depend on for one MX record."""
+    ip_evidence = []
+    for ip in mx.ips:
+        scan = ip.scan
+        if scan is None:
+            ip_evidence.append((ip.address, None))
+            continue
+        cert_sig = None
+        if scan.certificate is not None:
+            cert = scan.certificate
+            accepted = trust_store.is_valid(cert, on=on) if require_valid_cert else True
+            cert_sig = (cert.fingerprint(), accepted, groups.representative_for(cert))
+        ip_evidence.append(
+            (ip.address, (scan.state.value, scan.banner, scan.ehlo, cert_sig))
+        )
+    return (mx.name, use_certs, use_banners, require_valid_cert, tuple(ip_evidence))
+
+
+class MXIdentityCache:
+    """A persistent evidence-keyed store of step-2/3 MX identities."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, "MXIdentity"] = {}
+
+    def lookup(self, key: tuple) -> "MXIdentity | None":
+        identity = self._entries.get(key)
+        if identity is not None:
+            STATS.inc("pipeline.mxident.hit")
+        else:
+            STATS.inc("pipeline.mxident.miss")
+        return identity
+
+    def store(self, key: tuple, identity: "MXIdentity") -> None:
+        self._entries[key] = identity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,33 @@
+"""Execution options for the measurement/inference engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parallel import resolve_jobs
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """How a :class:`~repro.experiments.common.StudyContext` executes runs.
+
+    ``jobs``
+        Worker count for sharded gathering and pipeline identification;
+        ``None`` defers to the ``REPRO_JOBS`` environment variable
+        (default 1 = serial).
+    ``memoize``
+        Enables the cross-run caches: PSL extraction, per-(address, date)
+        observation interning, cert-group reuse, and the MX-identity
+        cache.  Disabling reproduces the seed's from-scratch behaviour
+        (the serial baseline of the benchmarks).
+    ``executor``
+        ``"process"``, ``"thread"``, or ``None`` to pick automatically
+        (processes when fork and multiple cores are available).
+    """
+
+    jobs: int | None = None
+    memoize: bool = True
+    executor: str | None = None
+
+    def resolved_jobs(self) -> int:
+        return resolve_jobs(self.jobs)

@@ -1,0 +1,158 @@
+"""Shard-parallel measurement gathering.
+
+Splits a target list into contiguous shards and gathers them concurrently.
+The preferred executor is a ``ProcessPoolExecutor`` over a fork context —
+the gatherer is handed to workers through fork inheritance (no pickling of
+the world), and only the per-shard measurement dicts travel back.  Where
+fork is unavailable (or the caller asks for it) a ``ThreadPoolExecutor``
+runs the same shards against the shared gatherer.
+
+Results are merged in shard order, so the output is identical — same
+domains, same order, same values — to a serial ``gatherer.gather`` call.
+Worker results are folded back into the parent gatherer's caches so later
+runs stay warm regardless of which executor produced them.
+
+The shard count comes from an explicit ``jobs`` argument, the CLI's
+``--jobs`` flag, or the ``REPRO_JOBS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+import warnings
+from typing import Sequence
+
+from .sharding import merge_shard_results, split_shards
+from .stats import STATS
+
+JOBS_ENV = "REPRO_JOBS"
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+# Below this many targets a shard is not worth an executor round-trip.
+MIN_PARALLEL_TARGETS = 64
+
+# Set immediately before forking a process pool; workers inherit it.
+_FORK_GATHERER = None
+
+
+def env_jobs(default: int = 1) -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable.
+
+    Unparseable values warn (instead of failing silently) and fall back
+    to *default*; values below 1 are clamped to 1.
+    """
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None:
+        return default
+    try:
+        jobs = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"unparseable {JOBS_ENV}={raw!r}; falling back to {default}",
+            stacklevel=2,
+        )
+        return default
+    return max(1, jobs)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """An explicit jobs count, or the environment default."""
+    if jobs is None:
+        return env_jobs()
+    return max(1, int(jobs))
+
+
+def _pick_executor(executor: str | None) -> str:
+    """Choose ``process`` or ``thread`` (explicit arg > env > hardware)."""
+    choice = executor or os.environ.get(EXECUTOR_ENV)
+    if choice in ("process", "thread"):
+        return choice
+    if choice is not None:
+        warnings.warn(f"unknown {EXECUTOR_ENV}={choice!r}; using auto", stacklevel=2)
+    # Processes only pay off with real cores and a fork start method.
+    if (os.cpu_count() or 1) > 1 and "fork" in multiprocessing.get_all_start_methods():
+        return "process"
+    return "thread"
+
+
+def _gather_shard_fork(shard: list[str], snapshot_index: int):
+    """Process-pool worker: gather one shard with the fork-inherited gatherer."""
+    started = time.perf_counter()
+    result = _FORK_GATHERER.gather(shard, snapshot_index)
+    return result, time.perf_counter() - started
+
+
+def parallel_gather(
+    gatherer,
+    domains: Sequence[str],
+    snapshot_index: int,
+    jobs: int | None = None,
+    executor: str | None = None,
+) -> dict:
+    """Gather a target list, sharded across *jobs* workers.
+
+    Bit-identical to ``gatherer.gather(list(domains), snapshot_index)``;
+    with ``jobs <= 1`` (or a tiny target list) it *is* that call.
+    """
+    domains = list(domains)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(domains) < MIN_PARALLEL_TARGETS:
+        with STATS.timer("gather.serial"):
+            return gatherer.gather(domains, snapshot_index)
+
+    shards = split_shards(domains, jobs)
+    kind = _pick_executor(executor)
+    with STATS.timer(f"gather.{kind}"):
+        if kind == "process":
+            try:
+                results, timings = _gather_process(gatherer, shards, snapshot_index)
+            except (OSError, ValueError, concurrent.futures.BrokenExecutor) as exc:
+                warnings.warn(
+                    f"process-pool gather failed ({exc!r}); "
+                    "falling back to threads",
+                    stacklevel=2,
+                )
+                results, timings = _gather_thread(gatherer, shards, snapshot_index)
+        else:
+            results, timings = _gather_thread(gatherer, shards, snapshot_index)
+
+    STATS.record_shards(f"gather.jobs{jobs}", timings)
+    merged = merge_shard_results(results)
+    # Fold worker-produced records back into the parent caches so the
+    # next run over overlapping infrastructure starts warm.
+    adopt = getattr(gatherer, "adopt", None)
+    if adopt is not None:
+        adopt(merged)
+    return merged
+
+
+def _gather_process(gatherer, shards, snapshot_index):
+    global _FORK_GATHERER
+    context = multiprocessing.get_context("fork")
+    _FORK_GATHERER = gatherer
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(_gather_shard_fork, shard, snapshot_index)
+                for shard in shards
+            ]
+            outcomes = [future.result() for future in futures]
+    finally:
+        _FORK_GATHERER = None
+    return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]
+
+
+def _gather_thread(gatherer, shards, snapshot_index):
+    def gather_one(shard):
+        started = time.perf_counter()
+        result = gatherer.gather(shard, snapshot_index)
+        return result, time.perf_counter() - started
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=len(shards)) as pool:
+        outcomes = list(pool.map(gather_one, shards))
+    return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]

@@ -1,0 +1,47 @@
+"""Deterministic sharding of target lists.
+
+Shards are contiguous slices, so concatenating per-shard results in shard
+order reproduces exactly the iteration order of a serial run — the
+foundation of the engine's bit-identical-to-serial guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def split_shards(items: Sequence[T], num_shards: int) -> list[list[T]]:
+    """Split *items* into at most *num_shards* contiguous, ordered shards.
+
+    Shard sizes differ by at most one and empty shards are dropped, so
+    ``[x for shard in split_shards(items, n) for x in shard] == list(items)``
+    holds for every ``n >= 1``.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    items = list(items)
+    if not items:
+        return []
+    num_shards = min(num_shards, len(items))
+    base, extra = divmod(len(items), num_shards)
+    shards: list[list[T]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+def merge_shard_results(shard_results: Sequence[dict]) -> dict:
+    """Merge per-shard result dicts in shard order.
+
+    With contiguous shards this reproduces the exact key order a serial
+    run would have produced.
+    """
+    merged: dict = {}
+    for result in shard_results:
+        merged.update(result)
+    return merged

@@ -1,0 +1,150 @@
+"""Lightweight perf instrumentation for the measurement/inference engine.
+
+One process-wide :class:`EngineStats` instance accumulates named counters
+(cache hits/misses), cumulative timers, and per-shard timings.  Everything
+is plain stdlib and deliberately cheap: a counter bump is one dict update,
+so the facility can sit on hot paths (scan cache, identity cache) without
+distorting what it measures.
+
+Counters follow a ``<area>.<cache>.hit`` / ``<area>.<cache>.miss`` naming
+convention so hit rates can be derived generically; ``render()`` produces
+the table behind ``python -m repro <exp> --perf``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters, cumulative timers, and shard timings for one process."""
+
+    counters: Counter = field(default_factory=Counter)
+    timers: dict[str, float] = field(default_factory=dict)
+    timer_calls: Counter = field(default_factory=Counter)
+    shard_timings: dict[str, list[float]] = field(default_factory=dict)
+
+    # -- counters --------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def hit_rate(self, prefix: str) -> float | None:
+        """Hit rate of a ``<prefix>.hit``/``<prefix>.miss`` counter pair."""
+        hits = self.counters.get(f"{prefix}.hit", 0)
+        misses = self.counters.get(f"{prefix}.miss", 0)
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def cache_prefixes(self) -> list[str]:
+        """All counter prefixes that look like hit/miss cache pairs."""
+        prefixes = {
+            name.rsplit(".", 1)[0]
+            for name in self.counters
+            if name.endswith(".hit") or name.endswith(".miss")
+        }
+        return sorted(prefixes)
+
+    # -- timers ----------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        self.timer_calls[name] += 1
+
+    @contextmanager
+    def timer(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def record_shards(self, label: str, timings: list[float]) -> None:
+        self.shard_timings.setdefault(label, []).extend(timings)
+
+    # -- lifecycle / reporting ------------------------------------------
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+        self.timer_calls.clear()
+        self.shard_timings.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (for deltas between phases of a sweep)."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+        }
+
+    def delta_hit_rate(self, prefix: str, since: dict) -> float | None:
+        """Hit rate of a cache pair since a prior :meth:`snapshot`."""
+        before = since.get("counters", {})
+        hits = self.counters.get(f"{prefix}.hit", 0) - before.get(f"{prefix}.hit", 0)
+        misses = self.counters.get(f"{prefix}.miss", 0) - before.get(
+            f"{prefix}.miss", 0
+        )
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def render(self) -> str:
+        """A human-readable perf report (caches, timers, shards)."""
+        lines = ["engine perf stats", "-----------------"]
+        prefixes = self.cache_prefixes()
+        if prefixes:
+            lines.append("caches:")
+            for prefix in prefixes:
+                hits = self.counters.get(f"{prefix}.hit", 0)
+                misses = self.counters.get(f"{prefix}.miss", 0)
+                rate = self.hit_rate(prefix)
+                shown = f"{100 * rate:5.1f}%" if rate is not None else "    --"
+                lines.append(
+                    f"  {prefix:<24s} hits {hits:>8d}  misses {misses:>8d}  rate {shown}"
+                )
+        other = sorted(
+            name
+            for name in self.counters
+            if not (name.endswith(".hit") or name.endswith(".miss"))
+        )
+        if other:
+            lines.append("counters:")
+            for name in other:
+                lines.append(f"  {name:<24s} {self.counters[name]:>8d}")
+        if self.timers:
+            lines.append("timers:")
+            for name in sorted(self.timers):
+                lines.append(
+                    f"  {name:<24s} {self.timers[name]:>8.3f}s"
+                    f"  ({self.timer_calls[name]} calls)"
+                )
+        if self.shard_timings:
+            lines.append("shards:")
+            for label in sorted(self.shard_timings):
+                timings = self.shard_timings[label]
+                lines.append(
+                    f"  {label:<24s} n={len(timings)}"
+                    f"  total={sum(timings):.3f}s  max={max(timings):.3f}s"
+                )
+        if len(lines) == 2:
+            lines.append("(no activity recorded)")
+        return "\n".join(lines)
+
+
+STATS = EngineStats()
+
+
+def get_stats() -> EngineStats:
+    """The process-wide stats instance."""
+    return STATS
+
+
+def reset_stats() -> None:
+    STATS.reset()

@@ -10,6 +10,7 @@ roughly 78× larger and behave identically, just slower).
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 
 from ..core.baselines import (
@@ -21,9 +22,12 @@ from ..core.baselines import (
     banner_based,
     cert_based,
 )
+from ..core.certgroup import CertificateGroups
 from ..core.companies import CompanyMap
 from ..core.pipeline import PipelineConfig, PipelineResult, PriorityPipeline
 from ..core.types import DomainInference
+from ..engine import EngineOptions, MXIdentityCache, parallel_gather
+from ..engine.stats import STATS
 from ..measure import (
     CensysScanner,
     MeasurementGatherer,
@@ -39,20 +43,40 @@ LAST_SNAPSHOT = NUM_SNAPSHOTS - 1
 
 
 def env_scale(default: float = 1.0) -> float:
-    """Corpus scale factor from the REPRO_SCALE environment variable."""
+    """Corpus scale factor from the REPRO_SCALE environment variable.
+
+    Unparseable values warn (instead of failing silently) and fall back
+    to *default*.
+    """
+    raw = os.environ.get("REPRO_SCALE")
+    if raw is None:
+        return default
     try:
-        return float(os.environ.get("REPRO_SCALE", default))
+        return float(raw)
     except ValueError:
+        warnings.warn(
+            f"unparseable REPRO_SCALE={raw!r}; falling back to {default}",
+            stacklevel=2,
+        )
         return default
 
 
 @dataclass
 class StudyContext:
-    """A world plus cached measurement and inference state."""
+    """A world plus cached measurement and inference state.
+
+    ``engine`` controls execution: worker count for sharded gathering and
+    pipeline identification, and whether the cross-run memoization layers
+    (PSL extraction, observation interning, cert-group reuse, MX-identity
+    cache) are active.  All engine settings are pure optimizations — every
+    inference is bit-identical across jobs counts and cache settings.
+    """
 
     world: World
     gatherer: MeasurementGatherer
     company_map: CompanyMap
+    engine: EngineOptions = field(default_factory=EngineOptions)
+    identity_cache: MXIdentityCache | None = None
     _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
         default_factory=dict
     )
@@ -60,20 +84,37 @@ class StudyContext:
     _baselines: dict[tuple[str, DatasetTag, int], dict[str, DomainInference]] = field(
         default_factory=dict
     )
+    _cert_groups: dict[tuple[DatasetTag, int], CertificateGroups] = field(
+        default_factory=dict
+    )
 
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def create(cls, config: WorldConfig | None = None) -> "StudyContext":
+    def create(
+        cls,
+        config: WorldConfig | None = None,
+        engine: EngineOptions | None = None,
+    ) -> "StudyContext":
+        engine = engine or EngineOptions()
         world = build_world(config)
+        world.psl.set_cache(engine.memoize)
         openintel = OpenINTELPlatform(world.snapshot_zones, world.snapshot_dates)
         censys = CensysScanner(world.host_table, coverage_for=world.censys_coverage_for)
         prefix2as = Prefix2ASDataset.from_table(world.prefix2as)
-        gatherer = MeasurementGatherer(openintel, censys, prefix2as)
+        gatherer = MeasurementGatherer(
+            openintel, censys, prefix2as, memoize=engine.memoize
+        )
         company_map = CompanyMap.from_specs(
             [infra.spec for infra in world.companies.values()], psl=world.psl
         )
-        return cls(world=world, gatherer=gatherer, company_map=company_map)
+        return cls(
+            world=world,
+            gatherer=gatherer,
+            company_map=company_map,
+            engine=engine,
+            identity_cache=MXIdentityCache() if engine.memoize else None,
+        )
 
     # -- corpus access ---------------------------------------------------
 
@@ -92,12 +133,43 @@ class StudyContext:
             return None
         key = (dataset, snapshot_index)
         if key not in self._measurements:
-            self._measurements[key] = self.gatherer.gather(
-                self.domains(dataset), snapshot_index
-            )
+            with STATS.timer("context.gather"):
+                self._measurements[key] = parallel_gather(
+                    self.gatherer,
+                    self.domains(dataset),
+                    snapshot_index,
+                    jobs=self.engine.resolved_jobs(),
+                    executor=self.engine.executor,
+                )
         return self._measurements[key]
 
     # -- inference runs --------------------------------------------------
+
+    def cert_groups(
+        self, dataset: DatasetTag, snapshot_index: int
+    ) -> CertificateGroups | None:
+        """The step-1 certificate grouping for one (corpus, snapshot).
+
+        Grouping depends only on the measurements (never on the pipeline
+        config), so one grouping serves the default run and every ablation
+        config over the same snapshot.
+        """
+        measurements = self.measurements(dataset, snapshot_index)
+        if measurements is None:
+            return None
+        if not self.engine.memoize:
+            return None  # let each run rebuild, as the seed did
+        key = (dataset, snapshot_index)
+        if key not in self._cert_groups:
+            STATS.inc("pipeline.groups.miss")
+            builder = PriorityPipeline(
+                self.world.trust_store, self.company_map, self.world.psl
+            )
+            with STATS.timer("context.cert_groups"):
+                self._cert_groups[key] = builder.build_groups(measurements)
+        else:
+            STATS.inc("pipeline.groups.hit")
+        return self._cert_groups[key]
 
     def priority_result(
         self, dataset: DatasetTag, snapshot_index: int,
@@ -109,15 +181,27 @@ class StudyContext:
             return None
         if config is not None:
             pipeline = PriorityPipeline(
-                self.world.trust_store, self.company_map, self.world.psl, config
+                self.world.trust_store, self.company_map, self.world.psl, config,
+                identity_cache=self.identity_cache,
             )
-            return pipeline.run(measurements)
+            with STATS.timer("context.pipeline"):
+                return pipeline.run(
+                    measurements,
+                    groups=self.cert_groups(dataset, snapshot_index),
+                    jobs=self.engine.resolved_jobs(),
+                )
         key = (dataset, snapshot_index)
         if key not in self._priority:
             pipeline = PriorityPipeline(
-                self.world.trust_store, self.company_map, self.world.psl
+                self.world.trust_store, self.company_map, self.world.psl,
+                identity_cache=self.identity_cache,
             )
-            self._priority[key] = pipeline.run(measurements)
+            with STATS.timer("context.pipeline"):
+                self._priority[key] = pipeline.run(
+                    measurements,
+                    groups=self.cert_groups(dataset, snapshot_index),
+                    jobs=self.engine.resolved_jobs(),
+                )
         return self._priority[key]
 
     def priority(

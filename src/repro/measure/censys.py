@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from datetime import date
 from typing import Callable
 
+from ..engine.stats import STATS
 from ..smtp.server import SMTP_RELAY_PORT, SMTPHostTable
 from ..smtp.session import SessionOutcome, SMTPClient
 from ..tls.cert import Certificate
@@ -71,8 +72,15 @@ class CensysScanner:
         """Scan one address; None models "Censys has no data for this IP"."""
         key = (address, scanned_on)
         if key not in self._cache:
+            STATS.inc("censys.scan.miss")
             self._cache[key] = self._scan_uncached(address, scanned_on)
+        else:
+            STATS.inc("censys.scan.hit")
         return self._cache[key]
+
+    def adopt(self, address: str, scanned_on: date, record: PortScanRecord | None) -> None:
+        """Intern a record produced elsewhere (a parallel gather worker)."""
+        self._cache.setdefault((address, scanned_on), record)
 
     def _scan_uncached(self, address: str, scanned_on: date) -> PortScanRecord | None:
         if _coverage_roll(address, scanned_on) >= self.coverage_for(address):

@@ -9,9 +9,10 @@ priority-based approach and the baselines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import date
 
+from ..engine.stats import STATS
 from .caida import ASInfo, Prefix2ASDataset
 from .censys import CensysScanner, PortScanRecord
 from .openintel import DNSSnapshotRecord, OpenINTELPlatform
@@ -86,11 +87,22 @@ class DomainMeasurement:
 
 @dataclass
 class MeasurementGatherer:
-    """Joins the three data sources into per-domain measurements."""
+    """Joins the three data sources into per-domain measurements.
+
+    With ``memoize`` on (the default), joined per-``(address, date)``
+    observations and per-address routing lookups are interned across
+    calls: the same provider addresses back thousands of domains in every
+    corpus and snapshot, so repeat joins are dictionary hits rather than
+    scan/LPM work.  Interned objects are immutable, so sharing them across
+    measurements cannot change any inference.
+    """
 
     openintel: OpenINTELPlatform
     censys: CensysScanner
     prefix2as: Prefix2ASDataset
+    memoize: bool = True
+    _obs_cache: dict[tuple[str, date], IPObservation] = field(default_factory=dict)
+    _as_cache: dict[str, ASInfo | None] = field(default_factory=dict)
 
     def gather_domain(self, domain: str, snapshot_index: int) -> DomainMeasurement | None:
         """Join all sources for one domain; None when out of DNS coverage."""
@@ -113,12 +125,7 @@ class MeasurementGatherer:
         mx_set = []
         for observation in dns_record.mx:
             ips = tuple(
-                IPObservation(
-                    address=address,
-                    as_info=self.prefix2as.lookup(address),
-                    scan=self.censys.scan_address(address, scanned_on),
-                )
-                for address in observation.addresses
+                self._observe(address, scanned_on) for address in observation.addresses
             )
             mx_set.append(
                 MXData(name=observation.name, preference=observation.preference, ips=ips)
@@ -129,3 +136,51 @@ class MeasurementGatherer:
             mx_set=tuple(mx_set),
             txt=dns_record.txt,
         )
+
+    def _observe(self, address: str, scanned_on: date) -> IPObservation:
+        """One joined address observation, interned per (address, date)."""
+        if not self.memoize:
+            return IPObservation(
+                address=address,
+                as_info=self.prefix2as.lookup(address),
+                scan=self.censys.scan_address(address, scanned_on),
+            )
+        key = (address, scanned_on)
+        cached = self._obs_cache.get(key)
+        if cached is not None:
+            STATS.inc("gather.obs.hit")
+            return cached
+        STATS.inc("gather.obs.miss")
+        observation = IPObservation(
+            address=address,
+            as_info=self._lookup_as(address),
+            scan=self.censys.scan_address(address, scanned_on),
+        )
+        self._obs_cache[key] = observation
+        return observation
+
+    def _lookup_as(self, address: str) -> ASInfo | None:
+        """Routing lookup, interned per address (prefix2as has no date axis)."""
+        if address in self._as_cache:
+            STATS.inc("gather.as.hit")
+            return self._as_cache[address]
+        STATS.inc("gather.as.miss")
+        info = self.prefix2as.lookup(address)
+        self._as_cache[address] = info
+        return info
+
+    def adopt(self, measurements: dict[str, DomainMeasurement]) -> None:
+        """Intern observations produced elsewhere (parallel gather workers).
+
+        Keeps the parent-process caches warm when shards were gathered in
+        forked workers whose in-process caches are discarded.
+        """
+        if not self.memoize:
+            return
+        for measurement in measurements.values():
+            for mx in measurement.mx_set:
+                for ip in mx.ips:
+                    self._obs_cache.setdefault((ip.address, measurement.measured_on), ip)
+                    if ip.address not in self._as_cache:
+                        self._as_cache[ip.address] = ip.as_info
+                    self.censys.adopt(ip.address, measurement.measured_on, ip.scan)

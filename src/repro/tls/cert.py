@@ -90,10 +90,17 @@ class Certificate:
         """Stable identity for counting/grouping (the SHA-256 stand-in).
 
         Deterministic across processes (unlike built-in ``hash``), so
-        exported datasets re-group identically when reloaded.
+        exported datasets re-group identically when reloaded.  Computed
+        once per instance: popularity counting and identity caching call
+        this on every observation of the same certificate.
         """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
         body = "|".join(
             (self.subject_cn, *sorted(self.sans), self.issuer,
              self.not_before.isoformat(), str(self.serial))
         )
-        return hashlib.sha256(body.encode()).hexdigest()[:16]
+        digest = hashlib.sha256(body.encode()).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from datetime import date
 
 from ..dnscore import ZoneDB, a as a_record, spf as spf_record
-from ..dnscore.psl import PublicSuffixList, default_psl
+from ..dnscore.psl import PublicSuffixList
 from ..netsim.asn import PrefixToASTable
 from ..netsim.registry import AddressBlock, AddressRegistry
 from ..smtp.banner import BannerStyle
@@ -165,7 +165,9 @@ class _WorldBuilder:
     def __init__(self, config: WorldConfig):
         self.config = config
         self.rng = random.Random(config.seed)
-        self.psl = default_psl()
+        # Each world owns its PSL instance so per-context cache toggles
+        # (EngineOptions.memoize) never leak across StudyContexts.
+        self.psl = PublicSuffixList.default()
         self.ca = CertificateAuthority("Simulated CA")
         self.trust_store = TrustStore()
         self.registry = AddressRegistry()

@@ -1,0 +1,138 @@
+"""Unit tests for the engine package: sharding, stats, env knobs, caches."""
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.engine import EngineOptions, env_jobs, merge_shard_results, split_shards
+from repro.engine.stats import STATS, EngineStats
+from repro.experiments.common import StudyContext, env_scale
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+
+SMALL = WorldConfig(seed=7, alexa_size=130, com_size=130, gov_size=70)
+
+
+class TestSharding:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7, 100])
+    def test_split_preserves_order_and_content(self, num_shards):
+        items = [f"d{i}.com" for i in range(23)]
+        shards = split_shards(items, num_shards)
+        assert [x for shard in shards for x in shard] == items
+        assert all(shards)  # no empty shards
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_empty(self):
+        assert split_shards([], 4) == []
+
+    def test_split_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            split_shards([1], 0)
+
+    def test_merge_preserves_shard_order(self):
+        merged = merge_shard_results([{"a": 1}, {"b": 2}, {"c": 3}])
+        assert list(merged) == ["a", "b", "c"]
+
+
+class TestStats:
+    def test_hit_rate(self):
+        stats = EngineStats()
+        assert stats.hit_rate("x") is None
+        stats.inc("x.hit", 3)
+        stats.inc("x.miss", 1)
+        assert stats.hit_rate("x") == 0.75
+
+    def test_delta_hit_rate(self):
+        stats = EngineStats()
+        stats.inc("x.hit", 10)
+        snap = stats.snapshot()
+        stats.inc("x.hit", 1)
+        stats.inc("x.miss", 1)
+        assert stats.delta_hit_rate("x", snap) == 0.5
+
+    def test_timer_accumulates(self):
+        stats = EngineStats()
+        with stats.timer("t"):
+            pass
+        with stats.timer("t"):
+            pass
+        assert stats.timer_calls["t"] == 2
+        assert stats.timers["t"] >= 0.0
+
+    def test_render_mentions_caches_and_timers(self):
+        stats = EngineStats()
+        stats.inc("demo.hit")
+        stats.inc("demo.miss")
+        with stats.timer("phase"):
+            pass
+        text = stats.render()
+        assert "demo" in text and "phase" in text and "50.0%" in text
+
+
+class TestEnvKnobs:
+    def test_jobs_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert env_jobs() == 1
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert env_jobs() == 4
+
+    def test_jobs_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert env_jobs() == 1
+
+    def test_jobs_garbage_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(UserWarning, match="REPRO_JOBS"):
+            assert env_jobs() == 1
+
+    def test_scale_garbage_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "a lot")
+        with pytest.warns(UserWarning, match="REPRO_SCALE"):
+            assert env_scale() == 1.0
+
+
+@pytest.fixture(scope="module")
+def engine_ctx():
+    return StudyContext.create(SMALL, engine=EngineOptions(jobs=1, memoize=True))
+
+
+class TestCrossRunCaches:
+    def test_cert_groups_shared_across_configs(self, engine_ctx):
+        """Ablation configs over one snapshot reuse the step-1 grouping."""
+        engine_ctx.priority_result(DatasetTag.ALEXA, 8)
+        snap = STATS.snapshot()
+        engine_ctx.priority_result(
+            DatasetTag.ALEXA, 8, config=PipelineConfig(check_misidentifications=False)
+        )
+        engine_ctx.priority_result(
+            DatasetTag.ALEXA, 8, config=PipelineConfig(split_credit=False)
+        )
+        delta = STATS.delta_hit_rate("pipeline.groups", snap)
+        assert delta == 1.0  # both ablation runs hit the hoisted grouping
+
+    def test_mx_identities_reused_across_snapshots(self, engine_ctx):
+        """The second snapshot of a corpus mostly hits the identity cache."""
+        engine_ctx.priority_result(DatasetTag.COM, 7)
+        snap = STATS.snapshot()
+        engine_ctx.priority_result(DatasetTag.COM, 8)
+        rate = STATS.delta_hit_rate("pipeline.mxident", snap)
+        assert rate is not None and rate > 0.5
+
+    def test_scan_cache_reused_across_corpora(self, engine_ctx):
+        """Shared provider IPs make the second corpus hit the scan cache.
+
+        The per-(address, date) interning cache fronts the Censys layer,
+        so cross-corpus scan reuse is measured at ``gather.obs``.
+        """
+        engine_ctx.measurements(DatasetTag.ALEXA, 6)
+        snap = STATS.snapshot()
+        engine_ctx.measurements(DatasetTag.COM, 6)
+        rate = STATS.delta_hit_rate("gather.obs", snap)
+        assert rate is not None and rate > 0.5
+
+    def test_memoize_off_has_no_identity_cache(self):
+        ctx = StudyContext.create(SMALL, engine=EngineOptions(memoize=False))
+        assert ctx.identity_cache is None
+        assert ctx.cert_groups(DatasetTag.ALEXA, 8) is None

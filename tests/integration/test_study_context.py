@@ -68,6 +68,7 @@ class TestEnvScale:
         monkeypatch.setenv("REPRO_SCALE", "2.5")
         assert env_scale() == 2.5
 
-    def test_garbage_falls_back(self, monkeypatch):
+    def test_garbage_warns_and_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "a lot")
-        assert env_scale() == 1.0
+        with pytest.warns(UserWarning, match="REPRO_SCALE"):
+            assert env_scale() == 1.0
