@@ -1,0 +1,93 @@
+"""Store benches: columnar codec vs pickle, and the cold/warm store paths.
+
+The codec's pitch is quantified here: per-(corpus, snapshot) snapshots
+round-trip through interned, packed columns that are several times
+smaller than a naive pickle of the same objects and faster to round-trip
+than the equally-compact zlib-compressed pickle.  The context benches
+time the write-through (cold) and load (warm) paths end to end.
+"""
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.experiments.common import StudyContext
+from repro.store import (
+    ArtifactStore,
+    decode_measurements,
+    decode_result,
+    encode_measurements,
+    encode_result,
+)
+from repro.world.entities import DatasetTag
+
+LAST = 8
+
+
+@pytest.fixture(scope="module")
+def measurements(ctx):
+    return ctx.measurements(DatasetTag.COM, LAST)
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return ctx.priority_result(DatasetTag.COM, LAST)
+
+
+def test_bench_encode_measurements(measurements, benchmark):
+    encoded = benchmark(encode_measurements, measurements)
+    # The size pitch: beats even a compressed pickle, let alone a raw one.
+    assert len(encoded) < len(zlib.compress(pickle.dumps(measurements), 3))
+
+
+def test_bench_decode_measurements(measurements, benchmark):
+    encoded = encode_measurements(measurements)
+    decoded = benchmark(decode_measurements, encoded)
+    assert decoded == measurements
+
+
+def test_bench_encode_result(result, benchmark):
+    encoded = benchmark(encode_result, result)
+    assert len(encoded) < len(pickle.dumps(result)) / 2
+
+
+def test_bench_decode_result(result, benchmark):
+    encoded = encode_result(result)
+    decoded = benchmark(decode_result, encoded)
+    assert decoded.inferences == result.inferences
+
+
+def test_bench_pickle_round_trip_baseline(measurements, benchmark):
+    """The naive alternative, for the comparison table."""
+
+    def round_trip():
+        return pickle.loads(pickle.dumps(measurements))
+
+    assert benchmark(round_trip) == measurements
+
+
+def test_bench_store_cold_snapshot(ctx, tmp_path, benchmark):
+    """Write-through cost: encode + atomic write of one snapshot."""
+    measurements = ctx.measurements(DatasetTag.COM, LAST)
+    store = ArtifactStore(tmp_path)
+    config = ctx.world.config
+
+    def write_through():
+        store.save_measurements(config, DatasetTag.COM, LAST, measurements)
+
+    benchmark(write_through)
+    assert store.entry_count() == 1
+
+
+def test_bench_store_warm_snapshot(ctx, tmp_path, benchmark):
+    """Warm-path cost: read + decode of one persisted snapshot."""
+    measurements = ctx.measurements(DatasetTag.COM, LAST)
+    store = ArtifactStore(tmp_path)
+    config = ctx.world.config
+    store.save_measurements(config, DatasetTag.COM, LAST, measurements)
+
+    def load():
+        return store.load_measurements(config, DatasetTag.COM, LAST)
+
+    assert benchmark(load) == measurements

@@ -5,42 +5,101 @@ Runs the 3-corpora × 9-snapshot measure→infer sweep at a couple of corpus
 scales and worker counts, and prints a speedup / cache-hit table.  Future
 perf PRs quote this table as their before/after evidence.
 
+Five modes per scale:
+
+* ``serial``     — jobs=1, memoization off (the seed's from-scratch path),
+* ``parallel``   — sharded gathering, memoization off,
+* ``engine``     — sharded and cache-aware (PR 1's default),
+* ``store-cold`` — engine plus a *fresh* persistent artifact store
+  (measures write-through overhead vs ``engine``),
+* ``store-warm`` — the same store again in a new context (measures the
+  cross-process warm path: everything loads, nothing is measured).
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_sweep.py
     PYTHONPATH=src python scripts/bench_sweep.py --scales 1 2 --jobs 4
+    PYTHONPATH=src python scripts/bench_sweep.py --json bench-sweep.json \\
+        --min-warm-hit-rate 0.9        # CI: fail unless the warm run hits
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
 import time
 
 from repro.engine import EngineOptions
 from repro.engine.stats import STATS, reset_stats
 from repro.experiments.common import StudyContext
+from repro.store import ArtifactStore
 from repro.world.build import WorldConfig
 from repro.world.entities import DatasetTag
 from repro.world.population import NUM_SNAPSHOTS
 
 CORPORA = (DatasetTag.ALEXA, DatasetTag.COM, DatasetTag.GOV)
+STORE_PREFIXES = ("store.meas", "store.result", "store.baseline")
 
 
-def run_sweep(scale: float, engine: EngineOptions) -> tuple[float, dict[str, float | None]]:
-    """Build a context and run the full sweep; returns (wall, cache rates)."""
-    ctx = StudyContext.create(WorldConfig().scaled(scale), engine=engine)
-    reset_stats()
-    started = time.perf_counter()
-    for dataset in CORPORA:
-        for index in range(NUM_SNAPSHOTS):
-            ctx.priority(dataset, index)
-    wall = time.perf_counter() - started
-    rates = {
-        prefix: STATS.hit_rate(prefix)
-        for prefix in ("gather.obs", "censys.scan", "pipeline.mxident")
+def store_hit_rate() -> float | None:
+    """Combined hit rate across every store counter pair."""
+    hits = sum(STATS.counters.get(f"{p}.hit", 0) for p in STORE_PREFIXES)
+    misses = sum(STATS.counters.get(f"{p}.miss", 0) for p in STORE_PREFIXES)
+    total = hits + misses
+    return hits / total if total else None
+
+
+def run_sweep(
+    scale: float,
+    engine: EngineOptions,
+    store_dir: str | None,
+    repeat: int = 1,
+    clear_store_between: bool = False,
+) -> dict:
+    """Build a context and run the full sweep; returns a metrics row.
+
+    With ``repeat`` > 1 the sweep runs that many times on fresh contexts
+    and the fastest run wins — best-of-N is the standard guard against
+    scheduler noise on shared machines.  ``clear_store_between`` empties
+    the store before every run so each repetition of a cold-store mode
+    really starts cold (the last run still leaves the store populated
+    for a subsequent warm mode).
+    """
+    wall = None
+    for _ in range(max(1, repeat)):
+        store = ArtifactStore(store_dir) if store_dir is not None else None
+        if store is not None and clear_store_between:
+            store.clear()
+        ctx = StudyContext.create(
+            WorldConfig().scaled(scale), engine=engine, store=store
+        )
+        reset_stats()
+        started = time.perf_counter()
+        for dataset in CORPORA:
+            for index in range(NUM_SNAPSHOTS):
+                ctx.priority(dataset, index)
+        elapsed = time.perf_counter() - started
+        wall = elapsed if wall is None else min(wall, elapsed)
+    return {
+        "wall_seconds": wall,
+        "rates": {
+            prefix: STATS.hit_rate(prefix)
+            for prefix in ("gather.obs", "censys.scan", "pipeline.mxident")
+        },
+        "store": {
+            "hit_rate": store_hit_rate(),
+            "hits": sum(
+                STATS.counters.get(f"{p}.hit", 0) for p in STORE_PREFIXES
+            ),
+            "misses": sum(
+                STATS.counters.get(f"{p}.miss", 0) for p in STORE_PREFIXES
+            ),
+            "read_bytes": STATS.counters.get("store.read_bytes", 0),
+            "write_bytes": STATS.counters.get("store.write_bytes", 0),
+        },
     }
-    return wall, rates
 
 
 def fmt_rate(rate: float | None) -> str:
@@ -57,33 +116,106 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=4,
         help="worker count for the parallel/engine modes (default 4)",
     )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run each mode N times and report the fastest wall time "
+             "(best-of-N; default 1)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the table as machine-readable JSON "
+             "(the BENCH_*.json trajectory convention)",
+    )
+    parser.add_argument(
+        "--min-warm-hit-rate", type=float, default=None, metavar="RATE",
+        help="exit non-zero unless every store-warm run's store hit rate "
+             "is at least RATE (0-1); CI gate for the persistent store",
+    )
     args = parser.parse_args(argv)
 
     header = (
         f"{'scale':>5s} {'mode':<10s} {'jobs':>4s} {'wall':>8s} {'speedup':>8s}"
-        f" {'obs-cache':>9s} {'scan':>7s} {'mxident':>8s}"
+        f" {'obs-cache':>9s} {'scan':>7s} {'mxident':>8s} {'store':>7s}"
     )
     print(header)
     print("-" * len(header))
+    rows: list[dict] = []
+    summaries: list[dict] = []
+    failures: list[str] = []
     for scale in args.scales:
-        modes = [
-            ("serial", EngineOptions(jobs=1, memoize=False)),
-            ("parallel", EngineOptions(jobs=args.jobs, memoize=False)),
-            ("engine", EngineOptions(jobs=args.jobs, memoize=True)),
-        ]
-        baseline: float | None = None
-        for name, engine in modes:
-            wall, rates = run_sweep(scale, engine)
-            if baseline is None:
-                baseline = wall
-            jobs = 1 if name == "serial" else args.jobs
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+            modes = [
+                ("serial", EngineOptions(jobs=1, memoize=False), None),
+                ("parallel", EngineOptions(jobs=args.jobs, memoize=False), None),
+                ("engine", EngineOptions(jobs=args.jobs, memoize=True), None),
+                ("store-cold", EngineOptions(jobs=args.jobs, memoize=True), cache_dir),
+                ("store-warm", EngineOptions(jobs=args.jobs, memoize=True), cache_dir),
+            ]
+            walls: dict[str, float] = {}
+            for name, engine, store_dir in modes:
+                metrics = run_sweep(
+                    scale, engine, store_dir,
+                    repeat=args.repeat,
+                    clear_store_between=(name == "store-cold"),
+                )
+                wall = metrics["wall_seconds"]
+                walls[name] = wall
+                baseline = walls["serial"]
+                jobs = 1 if name == "serial" else args.jobs
+                row = {
+                    "scale": scale,
+                    "mode": name,
+                    "jobs": jobs,
+                    "speedup_vs_serial": baseline / wall if wall else None,
+                    **metrics,
+                }
+                rows.append(row)
+                print(
+                    f"{scale:>5.1f} {name:<10s} {jobs:>4d} {wall:>7.2f}s"
+                    f" {baseline / wall:>7.2f}x"
+                    f" {fmt_rate(metrics['rates']['gather.obs']):>9s}"
+                    f" {fmt_rate(metrics['rates']['censys.scan']):>7s}"
+                    f" {fmt_rate(metrics['rates']['pipeline.mxident']):>8s}"
+                    f" {fmt_rate(metrics['store']['hit_rate']):>7s}"
+                )
+                if (
+                    name == "store-warm"
+                    and args.min_warm_hit_rate is not None
+                    and (metrics["store"]["hit_rate"] or 0.0) < args.min_warm_hit_rate
+                ):
+                    failures.append(
+                        f"scale {scale}: store-warm hit rate "
+                        f"{fmt_rate(metrics['store']['hit_rate']).strip()} < "
+                        f"{100 * args.min_warm_hit_rate:.0f}%"
+                    )
+            summary = {
+                "scale": scale,
+                "warm_speedup_vs_cold": walls["store-cold"] / walls["store-warm"],
+                "cold_overhead_vs_engine": walls["store-cold"] / walls["engine"] - 1.0,
+            }
+            summaries.append(summary)
             print(
-                f"{scale:>5.1f} {name:<10s} {jobs:>4d} {wall:>7.2f}s"
-                f" {baseline / wall:>7.2f}x"
-                f" {fmt_rate(rates['gather.obs']):>9s}"
-                f" {fmt_rate(rates['censys.scan']):>7s}"
-                f" {fmt_rate(rates['pipeline.mxident']):>8s}"
+                f"{'':>5s} warm {summary['warm_speedup_vs_cold']:.1f}x faster than"
+                f" cold; cold overhead vs engine"
+                f" {100 * summary['cold_overhead_vs_engine']:+.1f}%"
             )
+    if args.json:
+        document = {
+            "bench": "sweep",
+            "corpora": [dataset.value for dataset in CORPORA],
+            "num_snapshots": NUM_SNAPSHOTS,
+            "jobs": args.jobs,
+            "rows": rows,
+            "summaries": summaries,
+        }
+        with open(args.json, "w") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

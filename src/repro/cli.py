@@ -6,9 +6,13 @@ Usage::
     python -m repro fig4                 # regenerate Figure 4
     python -m repro tab6 --scale 2.0     # Table 6 on a 2x-sized world
     python -m repro all                  # everything, in paper order
+    python -m repro cache stats          # persistent artifact cache usage
+    python -m repro cache clear          # drop every cached artifact
 
 The world is deterministic in (--seed, --scale); the default matches the
-test suite's standard world.
+test suite's standard world.  With a cache configured (``--cache-dir`` or
+``REPRO_CACHE``), gathered snapshots and inference results persist across
+invocations, so repeat runs skip the measure→infer work entirely.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from .experiments import (
 )
 from .engine import EngineOptions, get_stats
 from .experiments.common import StudyContext
+from .store import CACHE_ENV, ArtifactStore
 from .world.build import WorldConfig
 
 EXPERIMENTS = {
@@ -66,8 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which table/figure to regenerate ('all' for everything)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "cache"],
+        help="which table/figure to regenerate ('all' for everything; "
+             "'cache' for store maintenance)",
+    )
+    parser.add_argument(
+        "cache_action",
+        nargs="?",
+        choices=["stats", "clear"],
+        help="with 'cache': show usage stats (default) or drop all entries",
     )
     parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
     parser.add_argument(
@@ -83,7 +95,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf", action="store_true",
         help="print engine perf stats (cache hit rates, timings) to stderr",
     )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help=f"persistent artifact store directory (default: ${CACHE_ENV})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact store for this run",
+    )
     return parser
+
+
+def resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
+    """The artifact store selected by flags/environment, or None."""
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return ArtifactStore(args.cache_dir)
+    return ArtifactStore.from_env()
+
+
+def run_cache_command(args: argparse.Namespace) -> int:
+    """The ``repro cache [stats|clear]`` maintenance subcommand."""
+    store = resolve_store(args)
+    if store is None:
+        print(
+            f"no artifact cache configured (set {CACHE_ENV} or pass --cache-dir)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache_action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} entries from {store.root}")
+    else:
+        print(f"cache {store.describe()}")
+    return 0
 
 
 def run_experiment(name: str, ctx: StudyContext) -> str:
@@ -92,12 +138,17 @@ def run_experiment(name: str, ctx: StudyContext) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.cache_action is not None and args.experiment != "cache":
+        parser.error("positional ACTION is only valid with the 'cache' command")
 
     if args.experiment == "list":
         for name in PAPER_ORDER:
             print(f"{name:8s} {EXPERIMENTS[name][1]}")
         return 0
+    if args.experiment == "cache":
+        return run_cache_command(args)
 
     config = WorldConfig(seed=args.seed).scaled(args.scale)
     started = time.time()
@@ -106,12 +157,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{config.alexa_size}/{config.com_size}/{config.gov_size} domains) ...",
         file=sys.stderr,
     )
-    ctx = StudyContext.create(config, engine=EngineOptions(jobs=args.jobs))
+    ctx = StudyContext.create(
+        config, engine=EngineOptions(jobs=args.jobs), store=resolve_store(args)
+    )
 
     names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
     for name in names:
+        experiment_started = time.time()
         print(run_experiment(name, ctx))
         print()
+        print(
+            f"[{name}] done in {time.time() - experiment_started:.1f}s",
+            file=sys.stderr,
+        )
     print(f"Done in {time.time() - started:.1f}s", file=sys.stderr)
     if args.perf:
         print(get_stats().render(), file=sys.stderr)

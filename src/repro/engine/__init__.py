@@ -18,7 +18,7 @@ from .identcache import MXIdentityCache, evidence_key
 from .options import EngineOptions
 from .parallel import env_jobs, parallel_gather, resolve_jobs
 from .sharding import merge_shard_results, split_shards
-from .stats import STATS, EngineStats, get_stats, reset_stats
+from .stats import STATS, EngineStats, format_bytes, get_stats, reset_stats
 
 __all__ = [
     "EngineOptions",
@@ -27,6 +27,7 @@ __all__ = [
     "STATS",
     "env_jobs",
     "evidence_key",
+    "format_bytes",
     "get_stats",
     "merge_shard_results",
     "parallel_gather",

@@ -117,7 +117,11 @@ class EngineStats:
         if other:
             lines.append("counters:")
             for name in other:
-                lines.append(f"  {name:<24s} {self.counters[name]:>8d}")
+                if name.endswith("_bytes"):
+                    shown = format_bytes(self.counters[name]).rjust(10)
+                else:
+                    shown = f"{self.counters[name]:>8d}"
+                lines.append(f"  {name:<24s} {shown}")
         if self.timers:
             lines.append("timers:")
             for name in sorted(self.timers):
@@ -136,6 +140,18 @@ class EngineStats:
         if len(lines) == 2:
             lines.append("(no activity recorded)")
         return "\n".join(lines)
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count for ``*_bytes`` counters (KiB/MiB/GiB)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024
+    return f"{int(count)} B"  # pragma: no cover - unreachable
 
 
 STATS = EngineStats()

@@ -35,11 +35,15 @@ from ..measure import (
     Prefix2ASDataset,
 )
 from ..measure.dataset import DomainMeasurement
+from ..store import ArtifactStore
 from ..world.build import World, WorldConfig, build_world
 from ..world.entities import DatasetTag
 from ..world.population import GOV_FIRST_SNAPSHOT, NUM_SNAPSHOTS
 
 LAST_SNAPSHOT = NUM_SNAPSHOTS - 1
+
+# Sentinel distinguishing "no store" (None) from "resolve from REPRO_CACHE".
+STORE_FROM_ENV = object()
 
 
 def env_scale(default: float = 1.0) -> float:
@@ -70,12 +74,21 @@ class StudyContext:
     (PSL extraction, observation interning, cert-group reuse, MX-identity
     cache) are active.  All engine settings are pure optimizations — every
     inference is bit-identical across jobs counts and cache settings.
+
+    ``store`` adds the persistent layer: gathered measurement snapshots,
+    priority-pipeline results, and baseline inference maps are read from
+    and written through to an on-disk :class:`~repro.store.ArtifactStore`,
+    keyed on (world config, corpus, snapshot, schema version).  Because
+    engine settings never change results, they are excluded from store
+    keys — a snapshot cached by any run serves every later run over the
+    same world.
     """
 
     world: World
     gatherer: MeasurementGatherer
     company_map: CompanyMap
     engine: EngineOptions = field(default_factory=EngineOptions)
+    store: ArtifactStore | None = None
     identity_cache: MXIdentityCache | None = None
     _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
         default_factory=dict
@@ -95,8 +108,16 @@ class StudyContext:
         cls,
         config: WorldConfig | None = None,
         engine: EngineOptions | None = None,
+        store: "ArtifactStore | None | object" = STORE_FROM_ENV,
     ) -> "StudyContext":
+        """Build a context; *store* defaults to the ``REPRO_CACHE`` store.
+
+        Pass ``store=None`` to disable persistence explicitly, or an
+        :class:`~repro.store.ArtifactStore` to use a specific cache dir.
+        """
         engine = engine or EngineOptions()
+        if store is STORE_FROM_ENV:
+            store = ArtifactStore.from_env()
         world = build_world(config)
         world.psl.set_cache(engine.memoize)
         openintel = OpenINTELPlatform(world.snapshot_zones, world.snapshot_dates)
@@ -113,6 +134,7 @@ class StudyContext:
             gatherer=gatherer,
             company_map=company_map,
             engine=engine,
+            store=store,
             identity_cache=MXIdentityCache() if engine.memoize else None,
         )
 
@@ -133,14 +155,31 @@ class StudyContext:
             return None
         key = (dataset, snapshot_index)
         if key not in self._measurements:
-            with STATS.timer("context.gather"):
-                self._measurements[key] = parallel_gather(
-                    self.gatherer,
-                    self.domains(dataset),
-                    snapshot_index,
-                    jobs=self.engine.resolved_jobs(),
-                    executor=self.engine.executor,
+            loaded = None
+            if self.store is not None:
+                loaded = self.store.load_measurements(
+                    self.world.config, dataset, snapshot_index
                 )
+            if loaded is not None:
+                # Warm the gatherer's observation caches so follow-up
+                # gathers (showcase domains, churn studies) reuse the
+                # persisted scan/routing records.
+                self.gatherer.adopt(loaded)
+                self._measurements[key] = loaded
+            else:
+                with STATS.timer("context.gather"):
+                    gathered = parallel_gather(
+                        self.gatherer,
+                        self.domains(dataset),
+                        snapshot_index,
+                        jobs=self.engine.resolved_jobs(),
+                        executor=self.engine.executor,
+                    )
+                if self.store is not None:
+                    self.store.save_measurements(
+                        self.world.config, dataset, snapshot_index, gathered
+                    )
+                self._measurements[key] = gathered
         return self._measurements[key]
 
     # -- inference runs --------------------------------------------------
@@ -175,11 +214,16 @@ class StudyContext:
         self, dataset: DatasetTag, snapshot_index: int,
         config: PipelineConfig | None = None,
     ) -> PipelineResult | None:
-        """Priority-pipeline run (cached only for the default config)."""
-        measurements = self.measurements(dataset, snapshot_index)
-        if measurements is None:
+        """Priority-pipeline run (cached only for the default config).
+
+        A store hit for the default config short-circuits measurement
+        gathering entirely — the warm path never touches the measurement
+        layer unless a later caller asks for the raw snapshot.
+        """
+        if not self.covered(dataset, snapshot_index):
             return None
         if config is not None:
+            measurements = self.measurements(dataset, snapshot_index)
             pipeline = PriorityPipeline(
                 self.world.trust_store, self.company_map, self.world.psl, config,
                 identity_cache=self.identity_cache,
@@ -192,16 +236,30 @@ class StudyContext:
                 )
         key = (dataset, snapshot_index)
         if key not in self._priority:
-            pipeline = PriorityPipeline(
-                self.world.trust_store, self.company_map, self.world.psl,
-                identity_cache=self.identity_cache,
-            )
-            with STATS.timer("context.pipeline"):
-                self._priority[key] = pipeline.run(
-                    measurements,
-                    groups=self.cert_groups(dataset, snapshot_index),
-                    jobs=self.engine.resolved_jobs(),
+            loaded = None
+            if self.store is not None:
+                loaded = self.store.load_result(
+                    self.world.config, dataset, snapshot_index
                 )
+            if loaded is not None:
+                self._priority[key] = loaded
+            else:
+                measurements = self.measurements(dataset, snapshot_index)
+                pipeline = PriorityPipeline(
+                    self.world.trust_store, self.company_map, self.world.psl,
+                    identity_cache=self.identity_cache,
+                )
+                with STATS.timer("context.pipeline"):
+                    result = pipeline.run(
+                        measurements,
+                        groups=self.cert_groups(dataset, snapshot_index),
+                        jobs=self.engine.resolved_jobs(),
+                    )
+                if self.store is not None:
+                    self.store.save_result(
+                        self.world.config, dataset, snapshot_index, result
+                    )
+                self._priority[key] = result
         return self._priority[key]
 
     def priority(
@@ -213,8 +271,7 @@ class StudyContext:
     def baseline(
         self, approach: str, dataset: DatasetTag, snapshot_index: int
     ) -> dict[str, DomainInference] | None:
-        measurements = self.measurements(dataset, snapshot_index)
-        if measurements is None:
+        if not self.covered(dataset, snapshot_index):
             return None
         key = (approach, dataset, snapshot_index)
         if key not in self._baselines:
@@ -226,7 +283,22 @@ class StudyContext:
                 runner = banner_based(self.world.trust_store, psl=self.world.psl)
             else:
                 raise ValueError(f"unknown baseline approach: {approach}")
-            self._baselines[key] = runner.run(measurements)
+            loaded = None
+            if self.store is not None:
+                loaded = self.store.load_baseline(
+                    self.world.config, dataset, snapshot_index, approach
+                )
+            if loaded is not None:
+                self._baselines[key] = loaded
+            else:
+                measurements = self.measurements(dataset, snapshot_index)
+                inferences = runner.run(measurements)
+                if self.store is not None:
+                    self.store.save_baseline(
+                        self.world.config, dataset, snapshot_index, approach,
+                        inferences,
+                    )
+                self._baselines[key] = inferences
         return self._baselines[key]
 
     def all_approaches(

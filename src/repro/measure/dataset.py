@@ -170,17 +170,26 @@ class MeasurementGatherer:
         return info
 
     def adopt(self, measurements: dict[str, DomainMeasurement]) -> None:
-        """Intern observations produced elsewhere (parallel gather workers).
+        """Intern observations produced elsewhere.
 
         Keeps the parent-process caches warm when shards were gathered in
-        forked workers whose in-process caches are discarded.
+        forked workers whose in-process caches are discarded — and when a
+        snapshot was loaded from the persistent artifact store instead of
+        measured, so follow-up gathers over overlapping infrastructure
+        (showcase domains, churn studies) reuse the persisted records.
         """
         if not self.memoize:
             return
+        adopted = 0
         for measurement in measurements.values():
             for mx in measurement.mx_set:
                 for ip in mx.ips:
-                    self._obs_cache.setdefault((ip.address, measurement.measured_on), ip)
+                    key = (ip.address, measurement.measured_on)
+                    if key not in self._obs_cache:
+                        self._obs_cache[key] = ip
+                        adopted += 1
                     if ip.address not in self._as_cache:
                         self._as_cache[ip.address] = ip.as_info
                     self.censys.adopt(ip.address, measurement.measured_on, ip.scan)
+        if adopted:
+            STATS.inc("gather.adopted", adopted)

@@ -1,0 +1,333 @@
+"""Persistent content-addressed artifact store for the measure→infer path.
+
+Entries live under a root directory, named by a SHA-256 digest of the
+entry's full provenance: the world configuration, the corpus tag, the
+snapshot index, the artifact kind, and the store schema version.  Engine
+options (worker counts, executors, memoization) are deliberately *not*
+part of the key — PR 1's equivalence suite pins inferences bit-identical
+across every engine setting, so one cached artifact serves them all.
+Any change to the world or to the serialization bumps the digest and the
+old entry simply stops being addressed.
+
+Failure policy: the store must never make a run worse than having no
+store.  Unreadable, truncated, or garbage entries are discarded with a
+warning and the caller recomputes; an unwritable root disables writes
+(with one warning) and the pipeline proceeds uncached.  Writes are
+atomic (tmp file + ``os.replace``) so a crashed run can leave at most a
+stale tmp file, never a half-written entry.
+
+A byte-budgeted LRU garbage collector bounds the store's disk footprint:
+reads refresh an entry's mtime, and writes evict least-recently-used
+entries until the store fits ``max_bytes`` again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+import zlib
+from pathlib import Path
+
+from ..engine.stats import STATS
+from .codec import (
+    CODEC_VERSION,
+    decode_inferences,
+    decode_measurements,
+    decode_result,
+    encode_inferences,
+    encode_measurements,
+    encode_result,
+)
+
+SCHEMA_VERSION = CODEC_VERSION
+CACHE_ENV = "REPRO_CACHE"
+CACHE_MAX_ENV = "REPRO_CACHE_MAX_MB"
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+_MAGIC = b"RSTO"
+_HEADER_SIZE = len(_MAGIC) + 2 + 4 + 8
+_ENTRY_SUFFIX = ".rsto"
+
+KIND_MEASUREMENTS = "measurements"
+KIND_PRIORITY = "result:priority"
+
+
+def baseline_kind(approach: str) -> str:
+    return f"baseline:{approach}"
+
+
+def cache_key(config, dataset, snapshot_index: int, kind: str) -> str:
+    """Content address of one artifact: digest of its full provenance."""
+    provenance = {
+        "schema": SCHEMA_VERSION,
+        "world": dataclasses.asdict(config),
+        "corpus": dataset.value,
+        "snapshot": int(snapshot_index),
+        "kind": kind,
+    }
+    body = json.dumps(provenance, sort_keys=True, default=str)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def _wrap(payload: bytes) -> bytes:
+    header = (
+        _MAGIC
+        + SCHEMA_VERSION.to_bytes(2, "little")
+        + zlib.crc32(payload).to_bytes(4, "little")
+        + len(payload).to_bytes(8, "little")
+    )
+    return header + payload
+
+
+class ArtifactStore:
+    """A size-capped, corruption-tolerant on-disk cache of artifacts."""
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int | None = DEFAULT_MAX_BYTES):
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self._writes_disabled = False
+        self._bytes_since_gc = 0
+
+    @classmethod
+    def from_env(cls) -> "ArtifactStore | None":
+        """The store named by ``REPRO_CACHE``, or None when unconfigured."""
+        raw = os.environ.get(CACHE_ENV)
+        if not raw or raw.strip().lower() in {"0", "off", "none", "no"}:
+            return None
+        max_bytes: int | None = DEFAULT_MAX_BYTES
+        raw_max = os.environ.get(CACHE_MAX_ENV)
+        if raw_max is not None:
+            try:
+                megabytes = float(raw_max)
+                max_bytes = None if megabytes <= 0 else int(megabytes * 1024 * 1024)
+            except ValueError:
+                warnings.warn(
+                    f"unparseable {CACHE_MAX_ENV}={raw_max!r}; "
+                    f"using default {DEFAULT_MAX_BYTES // (1024 * 1024)} MiB",
+                    stacklevel=2,
+                )
+        return cls(raw, max_bytes=max_bytes)
+
+    # -- raw entry IO ----------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{_ENTRY_SUFFIX}"
+
+    def read(self, key: str) -> bytes | None:
+        """The payload stored under *key*, or None (missing/corrupt/stale)."""
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            warnings.warn(f"repro.store: unreadable entry {path}: {error}", stacklevel=2)
+            return None
+        payload = self._unwrap(data, path)
+        if payload is None:
+            return None
+        STATS.inc("store.read_bytes", len(data))
+        try:
+            os.utime(path)  # mark recently-used for the LRU GC
+        except OSError:
+            pass
+        return payload
+
+    def _unwrap(self, data: bytes, path: Path) -> bytes | None:
+        if len(data) < _HEADER_SIZE or data[: len(_MAGIC)] != _MAGIC:
+            return self._reject(path, "bad magic")
+        version = int.from_bytes(data[4:6], "little")
+        if version != SCHEMA_VERSION:
+            # Stale schema, not corruption — still recompute and rewrite.
+            return self._reject(path, f"schema v{version} != v{SCHEMA_VERSION}")
+        crc = int.from_bytes(data[6:10], "little")
+        length = int.from_bytes(data[10:18], "little")
+        payload = data[_HEADER_SIZE:]
+        if len(payload) != length:
+            return self._reject(path, "truncated entry")
+        if zlib.crc32(payload) != crc:
+            return self._reject(path, "checksum mismatch")
+        return payload
+
+    def _reject(self, path: Path, reason: str) -> None:
+        warnings.warn(
+            f"repro.store: discarding cache entry {path.name} ({reason}); "
+            "recomputing",
+            stacklevel=3,
+        )
+        STATS.inc("store.rejected")
+        self._discard(path)
+        return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def discard(self, key: str) -> None:
+        self._discard(self._path(key))
+
+    def write(self, key: str, payload: bytes) -> None:
+        """Atomically persist *payload* under *key* (best-effort)."""
+        if self._writes_disabled:
+            return
+        path = self._path(key)
+        entry = _wrap(payload)
+        tmp_name: str | None = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(entry)
+            os.replace(tmp_name, path)
+            tmp_name = None
+        except OSError as error:
+            if tmp_name is not None:
+                self._discard(Path(tmp_name))
+            self._writes_disabled = True
+            warnings.warn(
+                f"repro.store: cache root {self.root} is unwritable ({error}); "
+                "continuing without persistence",
+                stacklevel=2,
+            )
+            return
+        STATS.inc("store.write_bytes", len(entry))
+        # Amortize the directory scan: a full GC per write would rescan the
+        # store for every entry.  The cap can therefore be overshot by at
+        # most 1/32 of max_bytes between collections.
+        self._bytes_since_gc += len(entry)
+        if self.max_bytes is not None and (
+            self._bytes_since_gc >= self.max_bytes // 32
+        ):
+            self.gc()
+
+    # -- maintenance -----------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [
+            path
+            for path in self.root.glob(f"*/*{_ENTRY_SUFFIX}")
+            if path.is_file()
+        ]
+
+    def entry_count(self) -> int:
+        return len(self._entries())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            self._discard(path)
+            removed += 1
+        return removed
+
+    def gc(self) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``."""
+        self._bytes_since_gc = 0
+        if self.max_bytes is None:
+            return 0
+        stated = []
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stated.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        for _mtime, size, path in sorted(stated):
+            if total <= self.max_bytes:
+                break
+            self._discard(path)
+            total -= size
+            evicted += 1
+        STATS.inc("store.evicted", evicted)
+        return evicted
+
+    # -- typed artifact API ----------------------------------------------
+
+    def _load(self, counter: str, key: str, decode):
+        payload = self.read(key)
+        if payload is not None:
+            try:
+                with STATS.timer("store.decode"):
+                    value = decode(payload)
+            except Exception as error:  # corrupt beyond the envelope checks
+                warnings.warn(
+                    f"repro.store: undecodable cache entry ({error}); recomputing",
+                    stacklevel=2,
+                )
+                STATS.inc("store.rejected")
+                self.discard(key)
+                payload = None
+            else:
+                STATS.inc(f"{counter}.hit")
+                return value
+        STATS.inc(f"{counter}.miss")
+        return None
+
+    def _save(self, key: str, encode, value) -> None:
+        with STATS.timer("store.encode"):
+            payload = encode(value)
+        self.write(key, payload)
+
+    def load_measurements(self, config, dataset, snapshot_index: int):
+        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS)
+        return self._load("store.meas", key, decode_measurements)
+
+    def save_measurements(self, config, dataset, snapshot_index: int, measurements) -> None:
+        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS)
+        self._save(key, encode_measurements, measurements)
+
+    def load_result(self, config, dataset, snapshot_index: int):
+        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY)
+        return self._load("store.result", key, decode_result)
+
+    def save_result(self, config, dataset, snapshot_index: int, result) -> None:
+        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY)
+        self._save(key, encode_result, result)
+
+    def load_baseline(self, config, dataset, snapshot_index: int, approach: str):
+        key = cache_key(config, dataset, snapshot_index, baseline_kind(approach))
+        return self._load("store.baseline", key, decode_inferences)
+
+    def save_baseline(
+        self, config, dataset, snapshot_index: int, approach: str, inferences
+    ) -> None:
+        key = cache_key(config, dataset, snapshot_index, baseline_kind(approach))
+        self._save(key, encode_inferences, inferences)
+
+    # -- reporting -------------------------------------------------------
+
+    def describe(self) -> str:
+        count = self.entry_count()
+        total = self.total_bytes()
+        cap = (
+            "unbounded"
+            if self.max_bytes is None
+            else f"{self.max_bytes / (1024 * 1024):.0f} MiB cap"
+        )
+        return (
+            f"{self.root}: {count} entries, {total / 1024:.1f} KiB"
+            f" (schema v{SCHEMA_VERSION}, {cap})"
+        )

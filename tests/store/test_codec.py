@@ -1,0 +1,110 @@
+"""Codec tests: exact round-trips, compactness, and corruption behavior."""
+
+import pickle
+
+import pytest
+
+from repro.core.baselines import APPROACH_MX_ONLY
+from repro.store import (
+    CodecError,
+    decode_inferences,
+    decode_measurements,
+    decode_result,
+    encode_inferences,
+    encode_measurements,
+    encode_result,
+)
+from repro.world.entities import DatasetTag
+
+SNAPSHOT = 4
+
+
+@pytest.fixture(scope="module")
+def measurements(ctx):
+    return ctx.measurements(DatasetTag.COM, SNAPSHOT)
+
+
+@pytest.fixture(scope="module")
+def result(ctx):
+    return ctx.priority_result(DatasetTag.COM, SNAPSHOT)
+
+
+class TestMeasurementRoundTrip:
+    def test_exact_equality(self, measurements):
+        decoded = decode_measurements(encode_measurements(measurements))
+        assert decoded == measurements
+
+    def test_repr_identical(self, measurements):
+        decoded = decode_measurements(encode_measurements(measurements))
+        assert repr(decoded) == repr(measurements)
+
+    def test_order_preserved(self, measurements):
+        decoded = decode_measurements(encode_measurements(measurements))
+        assert list(decoded) == list(measurements)
+
+    def test_all_corpora(self, ctx):
+        for dataset in DatasetTag:
+            original = ctx.measurements(dataset, SNAPSHOT)
+            assert decode_measurements(encode_measurements(original)) == original
+
+    def test_empty_dict(self):
+        assert decode_measurements(encode_measurements({})) == {}
+
+
+class TestResultRoundTrip:
+    def test_exact_equality(self, result):
+        decoded = decode_result(encode_result(result))
+        assert decoded.inferences == result.inferences
+        assert decoded.mx_identities == result.mx_identities
+        assert decoded.correction_stats == result.correction_stats
+
+    def test_repr_identical(self, result):
+        assert repr(decode_result(encode_result(result))) == repr(result)
+
+    def test_baseline_inferences(self, ctx):
+        baseline = ctx.baseline(APPROACH_MX_ONLY, DatasetTag.COM, SNAPSHOT)
+        assert decode_inferences(encode_inferences(baseline)) == baseline
+
+
+class TestCompactness:
+    def test_smaller_than_naive_pickle(self, measurements):
+        encoded = encode_measurements(measurements)
+        pickled = pickle.dumps(measurements)
+        assert len(encoded) < len(pickled) / 2
+
+    def test_result_smaller_than_naive_pickle(self, result):
+        assert len(encode_result(result)) < len(pickle.dumps(result)) / 2
+
+    def test_deterministic_bytes(self, measurements):
+        assert encode_measurements(measurements) == encode_measurements(
+            measurements
+        )
+
+
+class TestCorruption:
+    def test_garbage_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            decode_measurements(b"this is not a payload")
+
+    def test_empty_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            decode_measurements(b"")
+
+    def test_truncated_stream_raises_codec_error(self, measurements):
+        encoded = encode_measurements(measurements)
+        with pytest.raises(CodecError):
+            decode_measurements(encoded[: len(encoded) // 2])
+
+    def test_truncated_columns_raise_codec_error(self, measurements):
+        # Re-compress a truncated uncompressed body: the zlib layer is
+        # intact, so the bounds checks inside the reader must catch it.
+        import zlib
+
+        raw = zlib.decompress(encode_measurements(measurements))
+        clipped = zlib.compress(raw[: len(raw) // 2], 1)
+        with pytest.raises(CodecError):
+            decode_measurements(clipped)
+
+    def test_result_codec_rejects_measurement_garbage(self, measurements):
+        with pytest.raises(CodecError):
+            decode_result(b"\x00" * 64)

@@ -1,0 +1,139 @@
+"""Write-through integration: StudyContext over a persistent store.
+
+The equivalence tests compare a warm context's loaded artifacts against
+the cold context that populated the store.  (They deliberately do not
+compare against a third independently built world: certificate serial
+numbers come from a process-wide counter, so a second world built in the
+same process differs in serials — across *processes* the build is fully
+deterministic, which is the case the store actually serves.)
+"""
+
+import pytest
+
+from repro.core.baselines import APPROACH_CERT, APPROACH_MX_ONLY
+from repro.engine.stats import STATS, reset_stats
+from repro.experiments.common import StudyContext
+from repro.store import ArtifactStore
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+from repro.world.population import GOV_FIRST_SNAPSHOT
+
+CONFIG = WorldConfig(seed=7, alexa_size=240, com_size=300, gov_size=60)
+SNAPSHOT = 4
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("artifact-store")
+
+
+@pytest.fixture(scope="module")
+def cold(store_dir):
+    """A cold context: computes everything and populates the store."""
+    ctx = StudyContext.create(CONFIG, store=ArtifactStore(store_dir))
+    ctx.measurements(DatasetTag.COM, SNAPSHOT)
+    ctx.priority_result(DatasetTag.COM, SNAPSHOT)
+    ctx.baseline(APPROACH_MX_ONLY, DatasetTag.COM, SNAPSHOT)
+    return ctx
+
+
+@pytest.fixture()
+def warm(store_dir, cold):
+    """A fresh context over the now-populated store."""
+    return StudyContext.create(CONFIG, store=ArtifactStore(store_dir))
+
+
+class TestWriteThrough:
+    def test_cold_run_populates_store(self, cold, store_dir):
+        store = ArtifactStore(store_dir)
+        assert store.entry_count() >= 3  # measurements + result + baseline
+
+    def test_warm_measurements_identical(self, cold, warm):
+        reset_stats()
+        loaded = warm.measurements(DatasetTag.COM, SNAPSHOT)
+        original = cold.measurements(DatasetTag.COM, SNAPSHOT)
+        assert loaded == original
+        assert repr(loaded) == repr(original)
+        assert STATS.counters["store.meas.hit"] == 1
+        assert "context.gather" not in STATS.timers
+
+    def test_warm_result_identical_and_short_circuits(self, cold, warm):
+        reset_stats()
+        loaded = warm.priority_result(DatasetTag.COM, SNAPSHOT)
+        original = cold.priority_result(DatasetTag.COM, SNAPSHOT)
+        assert loaded.inferences == original.inferences
+        assert loaded.mx_identities == original.mx_identities
+        assert loaded.correction_stats == original.correction_stats
+        assert STATS.counters["store.result.hit"] == 1
+        # The warm path must not have gathered or measured anything.
+        assert STATS.counters.get("store.meas.hit", 0) == 0
+        assert "context.gather" not in STATS.timers
+
+    def test_warm_baseline_identical(self, cold, warm):
+        reset_stats()
+        loaded = warm.baseline(APPROACH_MX_ONLY, DatasetTag.COM, SNAPSHOT)
+        assert loaded == cold.baseline(APPROACH_MX_ONLY, DatasetTag.COM, SNAPSHOT)
+        assert STATS.counters["store.baseline.hit"] == 1
+
+    def test_uncached_baseline_computes_from_loaded_measurements(
+        self, cold, warm
+    ):
+        # CERT was never run cold, so the warm context must fall back to
+        # the persisted measurements and still match a cold computation.
+        loaded = warm.baseline(APPROACH_CERT, DatasetTag.COM, SNAPSHOT)
+        original = cold.baseline(APPROACH_CERT, DatasetTag.COM, SNAPSHOT)
+        assert loaded == original
+
+
+class TestCoverage:
+    def test_gov_before_first_snapshot_never_cached(self, store_dir):
+        store = ArtifactStore(store_dir)
+        before = store.entry_count()
+        ctx = StudyContext.create(CONFIG, store=store)
+        for index in range(GOV_FIRST_SNAPSHOT):
+            assert ctx.measurements(DatasetTag.GOV, index) is None
+            assert ctx.priority_result(DatasetTag.GOV, index) is None
+        assert store.entry_count() == before
+
+    def test_gov_covered_snapshot_round_trips(self, cold, store_dir):
+        populate = StudyContext.create(CONFIG, store=ArtifactStore(store_dir))
+        original = populate.priority_result(DatasetTag.GOV, GOV_FIRST_SNAPSHOT)
+        fresh = StudyContext.create(CONFIG, store=ArtifactStore(store_dir))
+        reset_stats()
+        loaded = fresh.priority_result(DatasetTag.GOV, GOV_FIRST_SNAPSHOT)
+        assert loaded.inferences == original.inferences
+        assert STATS.counters["store.result.hit"] == 1
+
+
+class TestDegradation:
+    def test_corrupt_entries_recompute_and_rewrite(self, cold, store_dir):
+        store = ArtifactStore(store_dir)
+        count = store.entry_count()
+        assert count > 0
+        for path in store._entries():
+            path.write_bytes(b"rotten")
+        ctx = StudyContext.create(CONFIG, store=ArtifactStore(store_dir))
+        with pytest.warns(UserWarning, match="bad magic"):
+            result = ctx.priority_result(DatasetTag.COM, SNAPSHOT)
+        # Serial numbers differ across same-process worlds, but the
+        # attribution outcome is serial-independent and must match.
+        original = cold.priority_result(DatasetTag.COM, SNAPSHOT)
+        assert {
+            domain: inference.attributions
+            for domain, inference in result.inferences.items()
+        } == {
+            domain: inference.attributions
+            for domain, inference in original.inferences.items()
+        }
+        # The recomputed artifacts were written back.
+        fresh = ArtifactStore(store_dir)
+        reset_stats()
+        reloaded = StudyContext.create(CONFIG, store=fresh).priority_result(
+            DatasetTag.COM, SNAPSHOT
+        )
+        assert STATS.counters["store.result.hit"] == 1
+        assert reloaded.inferences == result.inferences
+
+    def test_store_none_still_works(self):
+        ctx = StudyContext.create(CONFIG, store=None)
+        assert ctx.priority_result(DatasetTag.COM, SNAPSHOT) is not None

@@ -1,0 +1,220 @@
+"""ArtifactStore tests: entry IO, failure paths, GC, and env config."""
+
+import os
+
+import pytest
+
+from repro.engine.stats import STATS, reset_stats
+from repro.store import (
+    CACHE_ENV,
+    CACHE_MAX_ENV,
+    DEFAULT_MAX_BYTES,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    cache_key,
+)
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+
+
+class TestEntryIO:
+    def test_write_read_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write(KEY_A, b"payload bytes")
+        assert store.read(KEY_A) == b"payload bytes"
+
+    def test_missing_entry_is_none(self, tmp_path):
+        assert ArtifactStore(tmp_path).read(KEY_A) is None
+
+    def test_entries_are_sharded_by_prefix(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write(KEY_A, b"x")
+        assert (tmp_path / "aa" / f"{KEY_A}.rsto").is_file()
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write(KEY_A, b"x")
+        store.write(KEY_B, b"y")
+        assert store.entry_count() == 2
+        assert store.clear() == 2
+        assert store.entry_count() == 0
+        assert store.read(KEY_A) is None
+
+    def test_describe_mentions_root_and_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write(KEY_A, b"x")
+        text = store.describe()
+        assert str(tmp_path) in text and "1 entries" in text
+
+
+class TestFailurePaths:
+    def test_truncated_entry_warns_and_recovers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write(KEY_A, b"some payload that will be cut short")
+        path = tmp_path / "aa" / f"{KEY_A}.rsto"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        reset_stats()
+        with pytest.warns(UserWarning, match="truncated"):
+            assert store.read(KEY_A) is None
+        assert not path.exists()  # discarded so the rewrite starts clean
+        assert STATS.counters["store.rejected"] == 1
+
+    def test_garbage_entry_warns_and_recovers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = tmp_path / "aa" / f"{KEY_A}.rsto"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"complete nonsense")
+        with pytest.warns(UserWarning, match="bad magic"):
+            assert store.read(KEY_A) is None
+        assert not path.exists()
+
+    def test_wrong_schema_version_warns_and_recovers(self, tmp_path):
+        import zlib
+
+        store = ArtifactStore(tmp_path)
+        payload = b"old-schema payload"
+        stale = (
+            b"RSTO"
+            + (SCHEMA_VERSION + 1).to_bytes(2, "little")
+            + zlib.crc32(payload).to_bytes(4, "little")
+            + len(payload).to_bytes(8, "little")
+            + payload
+        )
+        path = tmp_path / "aa" / f"{KEY_A}.rsto"
+        path.parent.mkdir(parents=True)
+        path.write_bytes(stale)
+        with pytest.warns(UserWarning, match="schema"):
+            assert store.read(KEY_A) is None
+
+    def test_checksum_mismatch_warns_and_recovers(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.write(KEY_A, b"payload whose bits will rot away")
+        path = tmp_path / "aa" / f"{KEY_A}.rsto"
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.warns(UserWarning, match="checksum"):
+            assert store.read(KEY_A) is None
+
+    def test_unwritable_root_disables_writes_once(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_bytes(b"")
+        store = ArtifactStore(blocker)
+        with pytest.warns(UserWarning, match="unwritable"):
+            store.write(KEY_A, b"x")
+        # Degraded, not broken: later writes are silent no-ops and reads
+        # warn-and-miss through the unreadable root.
+        store.write(KEY_B, b"y")
+        with pytest.warns(UserWarning, match="unreadable"):
+            assert store.read(KEY_A) is None
+
+    def test_undecodable_typed_entry_recomputes(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        config = WorldConfig()
+        key = cache_key(config, DatasetTag.COM, 0, "measurements")
+        store.write(key, b"valid envelope, garbage payload")
+        with pytest.warns(UserWarning, match="undecodable"):
+            assert store.load_measurements(config, DatasetTag.COM, 0) is None
+        assert store.read(key) is None  # discarded for the rewrite
+
+
+class TestGC:
+    def _write_aged(self, store, key, payload, age):
+        store.write(key, payload)
+        path = store._path(key)
+        stat = path.stat()
+        os.utime(path, (stat.st_atime - age, stat.st_mtime - age))
+
+    def test_lru_eviction_order(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=None)
+        self._write_aged(store, KEY_A, b"a" * 100, age=300)
+        self._write_aged(store, KEY_B, b"b" * 100, age=200)
+        self._write_aged(store, KEY_C, b"c" * 100, age=100)
+        store.max_bytes = 2 * (100 + 18)  # room for two wrapped entries
+        assert store.gc() == 1
+        assert store.read(KEY_A) is None  # oldest went first
+        assert store.read(KEY_B) is not None
+        assert store.read(KEY_C) is not None
+
+    def test_read_refreshes_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=None)
+        self._write_aged(store, KEY_A, b"a" * 100, age=300)
+        self._write_aged(store, KEY_B, b"b" * 100, age=200)
+        assert store.read(KEY_A) is not None  # touch: A becomes newest
+        store.max_bytes = 100 + 18
+        store.gc()
+        assert store.read(KEY_B) is None
+        assert store.read(KEY_A) is not None
+
+    def test_writes_trigger_gc_automatically(self, tmp_path):
+        reset_stats()
+        store = ArtifactStore(tmp_path, max_bytes=150)
+        for index in range(5):
+            store.write(f"{index:02d}" + "0" * 62, bytes(100))
+        assert store.total_bytes() <= 150
+        assert STATS.counters["store.evicted"] > 0
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=None)
+        for index in range(5):
+            store.write(f"{index:02d}" + "0" * 62, bytes(100))
+        assert store.gc() == 0
+        assert store.entry_count() == 5
+
+
+class TestCacheKey:
+    CONFIG = WorldConfig()
+
+    def test_stable(self):
+        assert cache_key(self.CONFIG, DatasetTag.COM, 3, "measurements") == (
+            cache_key(self.CONFIG, DatasetTag.COM, 3, "measurements")
+        )
+
+    def test_distinct_per_dimension(self):
+        base = cache_key(self.CONFIG, DatasetTag.COM, 3, "measurements")
+        assert base != cache_key(self.CONFIG, DatasetTag.ALEXA, 3, "measurements")
+        assert base != cache_key(self.CONFIG, DatasetTag.COM, 4, "measurements")
+        assert base != cache_key(self.CONFIG, DatasetTag.COM, 3, "result:priority")
+        assert base != cache_key(
+            WorldConfig(seed=8), DatasetTag.COM, 3, "measurements"
+        )
+
+
+class TestFromEnv:
+    def test_unset_means_no_store(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert ArtifactStore.from_env() is None
+
+    @pytest.mark.parametrize("value", ["0", "off", "none", "NO", " Off "])
+    def test_off_values_mean_no_store(self, monkeypatch, value):
+        monkeypatch.setenv(CACHE_ENV, value)
+        assert ArtifactStore.from_env() is None
+
+    def test_directory_and_default_cap(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        monkeypatch.delenv(CACHE_MAX_ENV, raising=False)
+        store = ArtifactStore.from_env()
+        assert store.root == tmp_path
+        assert store.max_bytes == DEFAULT_MAX_BYTES
+
+    def test_max_mb_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        monkeypatch.setenv(CACHE_MAX_ENV, "64")
+        assert ArtifactStore.from_env().max_bytes == 64 * 1024 * 1024
+
+    def test_max_mb_zero_means_unbounded(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        monkeypatch.setenv(CACHE_MAX_ENV, "0")
+        assert ArtifactStore.from_env().max_bytes is None
+
+    def test_max_mb_garbage_warns_and_defaults(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        monkeypatch.setenv(CACHE_MAX_ENV, "lots")
+        with pytest.warns(UserWarning, match="unparseable"):
+            store = ArtifactStore.from_env()
+        assert store.max_bytes == DEFAULT_MAX_BYTES

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, PAPER_ORDER, build_parser, main, run_experiment
+from repro.engine.stats import STATS, reset_stats
+from repro.store import CACHE_ENV, ArtifactStore
 
 
 class TestParser:
@@ -40,3 +42,57 @@ class TestMain:
     def test_run_experiment_renders(self, ctx):
         text = run_experiment("fig8", ctx)
         assert "Figure 8" in text and ".ru" in text
+
+
+class TestCacheCommand:
+    def test_stats_requires_a_configured_store(self, monkeypatch, capsys):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no artifact cache configured" in capsys.readouterr().err
+
+    def test_no_cache_flag_wins(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--no-cache"]) == 2
+
+    def test_stats_reports_usage(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["tab4", "--scale", "0.2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("cache") and "entries" in out
+
+    def test_action_defaults_to_stats(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries" in capsys.readouterr().out
+
+    def test_clear_empties_the_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["tab4", "--scale", "0.2", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert capsys.readouterr().out.startswith("cleared")
+        assert ArtifactStore(cache).entry_count() == 0
+
+    def test_action_rejected_without_cache_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "stats"])
+
+
+class TestCacheSmoke:
+    def test_all_experiments_identical_stdout_cold_vs_warm(
+        self, tmp_path, capsys
+    ):
+        """Every experiment, tiny scale, twice over one cache dir.
+
+        The warm run must serve from the persistent store and still print
+        byte-identical artifacts.
+        """
+        args = ["all", "--scale", "0.2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        reset_stats()
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+        assert STATS.counters["store.result.hit"] > 0
+        assert ArtifactStore(tmp_path).entry_count() > 0
