@@ -99,6 +99,21 @@ def run_sweep(
             "read_bytes": STATS.counters.get("store.read_bytes", 0),
             "write_bytes": STATS.counters.get("store.write_bytes", 0),
         },
+        # Per-phase timer breakdown (cumulative time descending), so the
+        # JSON trajectory shows where each mode's wall clock went — not
+        # just the total.  A list, because the writer's sort_keys=True
+        # would destroy dict ordering.  Like the rates above, timers
+        # describe the last repetition (stats are reset per repeat).
+        "timers": [
+            {
+                "name": name,
+                "seconds": seconds,
+                "calls": STATS.timer_calls.get(name, 0),
+            }
+            for name, seconds in sorted(
+                STATS.timers.items(), key=lambda item: (-item[1], item[0])
+            )
+        ],
     }
 
 

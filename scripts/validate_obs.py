@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Validate observability artifacts against their JSON schemas.
+
+CI runs a small traced sweep, then checks that the trace file (plus its
+JSONL event stream), the metrics export, and the run manifest all match
+the schemas in :mod:`repro.obs.schemas` before uploading them as build
+artifacts.  Optionally asserts that the trace actually contains the span
+categories a sharded sweep must produce.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_obs.py \\
+        --trace trace.json --metrics metrics.json --manifest manifest.json \\
+        --expect-cats run,experiment,snapshot,gather,shard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import schemas, trace
+
+
+def check(label: str, errors: list[str]) -> bool:
+    if errors:
+        for error in errors:
+            print(f"FAIL [{label}] {error}", file=sys.stderr)
+        return False
+    print(f"ok   [{label}]")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", metavar="PATH", help="Chrome-trace JSON file")
+    parser.add_argument("--metrics", metavar="PATH", help="metrics JSON export")
+    parser.add_argument("--manifest", metavar="PATH", help="run manifest JSON")
+    parser.add_argument(
+        "--expect-cats", metavar="CATS", default=None,
+        help="comma-separated span categories the trace must contain "
+             "(e.g. run,experiment,snapshot,gather,shard)",
+    )
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.manifest):
+        parser.error("nothing to validate; pass --trace/--metrics/--manifest")
+
+    ok = True
+    if args.trace:
+        ok &= check("trace", schemas.validate_file(args.trace, schemas.TRACE_SCHEMA))
+        stream = trace.jsonl_path(args.trace)
+        ok &= check(
+            "trace-jsonl",
+            schemas.validate_jsonl_file(stream, schemas.TRACE_EVENT_SCHEMA),
+        )
+        if args.expect_cats:
+            wanted = {cat.strip() for cat in args.expect_cats.split(",") if cat.strip()}
+            with open(args.trace) as handle:
+                events = json.load(handle)["traceEvents"]
+            present = {event.get("cat") for event in events}
+            missing = sorted(wanted - present)
+            ok &= check(
+                "trace-cats",
+                [f"missing span categories: {missing}"] if missing else [],
+            )
+    if args.metrics:
+        ok &= check(
+            "metrics", schemas.validate_file(args.metrics, schemas.METRICS_SCHEMA)
+        )
+    if args.manifest:
+        ok &= check(
+            "manifest", schemas.validate_file(args.manifest, schemas.MANIFEST_SCHEMA)
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,18 +8,29 @@ Usage::
     python -m repro all                  # everything, in paper order
     python -m repro cache stats          # persistent artifact cache usage
     python -m repro cache clear          # drop every cached artifact
+    python -m repro explain example.com --date 2021-06-08
+                                         # why did this domain get its ID?
 
 The world is deterministic in (--seed, --scale); the default matches the
 test suite's standard world.  With a cache configured (``--cache-dir`` or
 ``REPRO_CACHE``), gathered snapshots and inference results persist across
 invocations, so repeat runs skip the measure→infer work entirely.
+
+Observability: ``--trace PATH`` (or ``REPRO_TRACE``) writes a Chrome-trace/
+Perfetto span file plus a ``.jsonl`` event stream, ``--metrics-out PATH``
+exports the unified metrics registry (JSON, or Prometheus textfile for
+``.prom`` paths), ``--manifest PATH`` records the per-run provenance
+manifest, and ``REPRO_LOG``/``--log-level`` enables structured logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+from datetime import date as date_type
 
 from .experiments import (
     ext_concentration,
@@ -38,8 +49,14 @@ from .experiments import (
 )
 from .engine import EngineOptions, get_stats
 from .experiments.common import StudyContext
+from .obs import log as obs_log
+from .obs import manifest as obs_manifest
+from .obs import metrics as obs_metrics
+from .obs import provenance as obs_provenance
+from .obs import trace as obs_trace
 from .store import CACHE_ENV, ArtifactStore
 from .world.build import WorldConfig
+from .world.population import SNAPSHOT_DATES
 
 EXPERIMENTS = {
     "sec4-corpus": (sec41_corpus, "Section 4.1 — stable-corpus construction funnel"),
@@ -63,6 +80,8 @@ PAPER_ORDER = (
     "fig8", "tab6", "ext-spf", "ext-hhi", "ext-ml",
 )
 
+log = obs_log.get_logger("cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -71,15 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "cache"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "cache", "explain"],
         help="which table/figure to regenerate ('all' for everything; "
-             "'cache' for store maintenance)",
+             "'cache' for store maintenance; 'explain' for a per-domain "
+             "inference audit trail)",
     )
     parser.add_argument(
-        "cache_action",
+        "argument",
         nargs="?",
-        choices=["stats", "clear"],
-        help="with 'cache': show usage stats (default) or drop all entries",
+        metavar="ARG",
+        help="with 'cache': 'stats' (default) or 'clear'; "
+             "with 'explain': the domain to explain",
     )
     parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
     parser.add_argument(
@@ -103,6 +124,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the persistent artifact store for this run",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome-trace/Perfetto span file to PATH (plus a "
+             f"PATH.jsonl event stream; default: ${obs_trace.TRACE_ENV})",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="export the unified metrics registry to PATH "
+             "(JSON, or Prometheus textfile when PATH ends in .prom/.txt)",
+    )
+    parser.add_argument(
+        "--manifest", metavar="PATH", default=None,
+        help="write a per-run provenance manifest (world config, cache "
+             "state, schema versions, timing summary) to PATH",
+    )
+    parser.add_argument(
+        "--log-level", metavar="LEVEL", default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help=f"structured-log level on stderr (default: ${obs_log.LOG_ENV})",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured logs as JSON lines "
+             f"(default: ${obs_log.LOG_JSON_ENV})",
+    )
+    parser.add_argument(
+        "--date", metavar="SNAPSHOT", default=None,
+        help="with 'explain': snapshot index (0-8) or ISO date, e.g. "
+             "2021-06-08 (default: the last snapshot)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with 'explain': print the provenance record as JSON "
+             "instead of the rendered audit trail",
+    )
     return parser
 
 
@@ -115,6 +171,24 @@ def resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
     return ArtifactStore.from_env()
 
 
+def resolve_snapshot(raw: str | None) -> int | None:
+    """A snapshot index from ``--date`` (index or ISO date), or None."""
+    if raw is None:
+        return len(SNAPSHOT_DATES) - 1
+    try:
+        index = int(raw)
+    except ValueError:
+        try:
+            wanted = date_type.fromisoformat(raw)
+        except ValueError:
+            return None
+        try:
+            return SNAPSHOT_DATES.index(wanted)
+        except ValueError:
+            return None
+    return index if 0 <= index < len(SNAPSHOT_DATES) else None
+
+
 def run_cache_command(args: argparse.Namespace) -> int:
     """The ``repro cache [stats|clear]`` maintenance subcommand."""
     store = resolve_store(args)
@@ -124,11 +198,50 @@ def run_cache_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.cache_action == "clear":
+    if args.argument == "clear":
         removed = store.clear()
         print(f"cleared {removed} entries from {store.root}")
     else:
         print(f"cache {store.describe()}")
+    return 0
+
+
+def run_explain_command(args: argparse.Namespace) -> int:
+    """``repro explain <domain> [--date SNAPSHOT]`` — the audit trail."""
+    domain = args.argument
+    snapshot_index = resolve_snapshot(args.date)
+    if snapshot_index is None:
+        known = ", ".join(day.isoformat() for day in SNAPSHOT_DATES)
+        print(
+            f"unknown snapshot {args.date!r}; use an index (0-"
+            f"{len(SNAPSHOT_DATES) - 1}) or one of: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    config = WorldConfig(seed=args.seed).scaled(args.scale)
+    ctx = StudyContext.create(
+        config, engine=EngineOptions(jobs=args.jobs), store=resolve_store(args)
+    )
+    dataset = obs_provenance.locate_domain(ctx, domain)
+    if dataset is None:
+        print(
+            f"{domain}: not in any corpus of this world "
+            f"(seed={config.seed}, scale via --scale must match the sweep)",
+            file=sys.stderr,
+        )
+        return 2
+    record = obs_provenance.explain(ctx, domain, snapshot_index, dataset=dataset)
+    if record is None:
+        print(
+            f"{domain}: corpus {dataset.value} has no coverage at snapshot "
+            f"{snapshot_index}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(obs_provenance.render_explanation(record))
     return 0
 
 
@@ -140,8 +253,15 @@ def run_experiment(name: str, ctx: StudyContext) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.cache_action is not None and args.experiment != "cache":
-        parser.error("positional ACTION is only valid with the 'cache' command")
+    if args.argument is not None and args.experiment not in ("cache", "explain"):
+        parser.error("positional ARG is only valid with 'cache' or 'explain'")
+    if args.experiment == "cache" and args.argument not in (None, "stats", "clear"):
+        parser.error("cache action must be 'stats' or 'clear'")
+    if args.experiment == "explain" and args.argument is None:
+        parser.error("explain requires a domain argument")
+
+    if args.log_level or args.log_json or obs_log.env_level():
+        obs_log.configure(level=args.log_level, json_lines=args.log_json or None)
 
     if args.experiment == "list":
         for name in PAPER_ORDER:
@@ -150,29 +270,76 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "cache":
         return run_cache_command(args)
 
+    trace_path = args.trace or os.environ.get(obs_trace.TRACE_ENV)
+    if trace_path:
+        obs_trace.enable(stream_path=obs_trace.jsonl_path(trace_path))
+
+    try:
+        if args.experiment == "explain":
+            return run_explain_command(args)
+        return _run_experiments(args, trace_path, argv)
+    finally:
+        if trace_path:
+            tracer = obs_trace.active()
+            if tracer is not None:
+                tracer.write_chrome(trace_path)
+            obs_trace.disable()
+
+
+def _run_experiments(
+    args: argparse.Namespace, trace_path: str | None, argv: list[str] | None
+) -> int:
     config = WorldConfig(seed=args.seed).scaled(args.scale)
+    store = resolve_store(args)
     started = time.time()
     print(
         f"Building world (seed={config.seed}, "
         f"{config.alexa_size}/{config.com_size}/{config.gov_size} domains) ...",
         file=sys.stderr,
     )
-    ctx = StudyContext.create(
-        config, engine=EngineOptions(jobs=args.jobs), store=resolve_store(args)
-    )
-
+    engine = EngineOptions(jobs=args.jobs)
     names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
-    for name in names:
-        experiment_started = time.time()
-        print(run_experiment(name, ctx))
-        print()
-        print(
-            f"[{name}] done in {time.time() - experiment_started:.1f}s",
-            file=sys.stderr,
-        )
-    print(f"Done in {time.time() - started:.1f}s", file=sys.stderr)
+    log.info(
+        "run.start",
+        extra={"fields": {"experiments": list(names), "seed": config.seed}},
+    )
+    with obs_trace.span("run", cat="run", experiments=len(names)):
+        ctx = StudyContext.create(config, engine=engine, store=store)
+        for name in names:
+            experiment_started = time.time()
+            with obs_trace.span(name, cat="experiment"):
+                print(run_experiment(name, ctx))
+            print()
+            elapsed = time.time() - experiment_started
+            print(f"[{name}] done in {elapsed:.1f}s", file=sys.stderr)
+            log.info(
+                "experiment.done",
+                extra={"fields": {"experiment": name, "seconds": round(elapsed, 3)}},
+            )
+    total_elapsed = time.time() - started
+    print(f"Done in {total_elapsed:.1f}s", file=sys.stderr)
     if args.perf:
         print(get_stats().render(), file=sys.stderr)
+    if args.metrics_out:
+        obs_metrics.write_metrics(args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.manifest:
+        document = obs_manifest.build_manifest(
+            config=config,
+            engine=engine,
+            store=store,
+            experiments=list(names),
+            elapsed_seconds=total_elapsed,
+            argv=argv,
+        )
+        obs_manifest.write_manifest(args.manifest, document)
+        print(f"wrote manifest to {args.manifest}", file=sys.stderr)
+    if trace_path:
+        print(
+            f"wrote trace to {trace_path} "
+            f"(+ {obs_trace.jsonl_path(trace_path)})",
+            file=sys.stderr,
+        )
     return 0
 
 

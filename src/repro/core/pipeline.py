@@ -23,6 +23,7 @@ from ..dnscore.psl import PublicSuffixList, default_psl
 from ..engine.identcache import MXIdentityCache, evidence_key
 from ..engine.parallel import resolve_jobs
 from ..engine.stats import STATS
+from ..obs import trace
 from ..measure.dataset import DomainMeasurement, MXData
 from ..tls.ca import TrustStore
 from ..tls.cert import Certificate
@@ -113,8 +114,11 @@ class PriorityPipeline:
         :class:`PipelineConfig` — so one grouping can be shared by every
         config run over the same measurements.
         """
-        certificates = self.collect_certificates(measurements)
-        return CertificatePreprocessor(self.psl).build(certificates)
+        with trace.span(
+            "pipeline.groups", cat="pipeline-step", domains=len(measurements)
+        ):
+            certificates = self.collect_certificates(measurements)
+            return CertificatePreprocessor(self.psl).build(certificates)
 
     # -- the full run ----------------------------------------------------
 
@@ -167,25 +171,31 @@ class PriorityPipeline:
                 run_key = (mx.name, tuple(ip.address for ip in mx.ips))
                 if run_key not in worklist:
                     worklist[run_key] = (mx, measurement.measured_on)
-        identities_by_key = self._identify_worklist(
-            worklist, ip_identifier, mx_identifier, groups, jobs
-        )
+        with trace.span(
+            "pipeline.identify", cat="pipeline-step", worklist=len(worklist)
+        ):
+            identities_by_key = self._identify_worklist(
+                worklist, ip_identifier, mx_identifier, groups, jobs
+            )
 
         # Steps 4–5 — per (domain, MX), serial and in measurement order:
         # the customer-certificate check depends on which domain is asking,
         # and the correction stats count in deterministic order.
         all_identities: dict[str, MXIdentity] = {}
         inferences: dict[str, DomainInference] = {}
-        for domain, measurement in measurements.items():
-            identities: dict[str, MXIdentity] = {}
-            for mx in measurement.primary_mx:
-                run_key = (mx.name, tuple(ip.address for ip in mx.ips))
-                identity = identities_by_key[run_key]
-                if config.check_misidentifications:
-                    identity = checker.check(domain, mx, identity, counters)
-                identities[mx.name] = identity
-                all_identities[mx.name] = identity
-            inferences[domain] = domain_identifier.identify(measurement, identities)
+        with trace.span(
+            "pipeline.attribute", cat="pipeline-step", domains=len(measurements)
+        ):
+            for domain, measurement in measurements.items():
+                identities: dict[str, MXIdentity] = {}
+                for mx in measurement.primary_mx:
+                    run_key = (mx.name, tuple(ip.address for ip in mx.ips))
+                    identity = identities_by_key[run_key]
+                    if config.check_misidentifications:
+                        identity = checker.check(domain, mx, identity, counters)
+                    identities[mx.name] = identity
+                    all_identities[mx.name] = identity
+                inferences[domain] = domain_identifier.identify(measurement, identities)
 
         return PipelineResult(
             inferences=inferences,

@@ -25,6 +25,7 @@ import time
 import warnings
 from typing import Sequence
 
+from ..obs import trace
 from .sharding import merge_shard_results, split_shards
 from .stats import STATS
 
@@ -78,11 +79,24 @@ def _pick_executor(executor: str | None) -> str:
     return "thread"
 
 
-def _gather_shard_fork(shard: list[str], snapshot_index: int):
-    """Process-pool worker: gather one shard with the fork-inherited gatherer."""
+def _gather_shard_fork(index: int, shard: list[str], snapshot_index: int):
+    """Process-pool worker: gather one shard with the fork-inherited gatherer.
+
+    The forked child accumulates cache counters and spans in its *copy*
+    of the process-wide stats/tracer; both would vanish with the worker.
+    Each shard therefore ships its stats delta (everything since this
+    task started — the inherited pre-fork totals subtract out) and its
+    new trace events back alongside the measurements, and the parent
+    merges them, so ``--perf`` hit rates and traces stay correct at
+    ``--jobs > 1``.
+    """
+    baseline = STATS.snapshot()
+    mark = trace.mark()
     started = time.perf_counter()
-    result = _FORK_GATHERER.gather(shard, snapshot_index)
-    return result, time.perf_counter() - started
+    with trace.span(f"gather.shard{index}", cat="shard", targets=len(shard)):
+        result = _FORK_GATHERER.gather(shard, snapshot_index)
+    elapsed = time.perf_counter() - started
+    return result, elapsed, STATS.delta_since(baseline), trace.drain_new(mark)
 
 
 def parallel_gather(
@@ -105,7 +119,9 @@ def parallel_gather(
 
     shards = split_shards(domains, jobs)
     kind = _pick_executor(executor)
-    with STATS.timer(f"gather.{kind}"):
+    with STATS.timer(f"gather.{kind}"), trace.span(
+        "gather", cat="gather", executor=kind, jobs=jobs, targets=len(domains)
+    ):
         if kind == "process":
             try:
                 results, timings = _gather_process(gatherer, shards, snapshot_index)
@@ -138,21 +154,32 @@ def _gather_process(gatherer, shards, snapshot_index):
             max_workers=len(shards), mp_context=context
         ) as pool:
             futures = [
-                pool.submit(_gather_shard_fork, shard, snapshot_index)
-                for shard in shards
+                pool.submit(_gather_shard_fork, index, shard, snapshot_index)
+                for index, shard in enumerate(shards)
             ]
             outcomes = [future.result() for future in futures]
     finally:
         _FORK_GATHERER = None
-    return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]
+    # Merge what the forked workers measured about themselves: their
+    # cache counters (previously silently dropped) and their spans.
+    for _result, _elapsed, stats_delta, events in outcomes:
+        STATS.merge(stats_delta)
+        trace.adopt(events)
+    return (
+        [result for result, _, _, _ in outcomes],
+        [elapsed for _, elapsed, _, _ in outcomes],
+    )
 
 
 def _gather_thread(gatherer, shards, snapshot_index):
-    def gather_one(shard):
+    def gather_one(indexed):
+        index, shard = indexed
         started = time.perf_counter()
-        result = gatherer.gather(shard, snapshot_index)
+        # Threads share the process stats/tracer — nothing to ship back.
+        with trace.span(f"gather.shard{index}", cat="shard", targets=len(shard)):
+            result = gatherer.gather(shard, snapshot_index)
         return result, time.perf_counter() - started
 
     with concurrent.futures.ThreadPoolExecutor(max_workers=len(shards)) as pool:
-        outcomes = list(pool.map(gather_one, shards))
+        outcomes = list(pool.map(gather_one, enumerate(shards)))
     return [result for result, _ in outcomes], [elapsed for _, elapsed in outcomes]

@@ -81,7 +81,46 @@ class EngineStats:
         return {
             "counters": dict(self.counters),
             "timers": dict(self.timers),
+            "timer_calls": dict(self.timer_calls),
         }
+
+    def delta_since(self, since: dict) -> dict:
+        """What changed since a prior :meth:`snapshot` (only the changes).
+
+        This is what a forked pool worker ships back with its shard
+        result: the counters and timers it accumulated after the fork,
+        without the parent's pre-fork totals it inherited.
+        """
+        before_counters = since.get("counters", {})
+        before_timers = since.get("timers", {})
+        before_calls = since.get("timer_calls", {})
+        counters = {
+            name: value - before_counters.get(name, 0)
+            for name, value in self.counters.items()
+            if value != before_counters.get(name, 0)
+        }
+        timers = {
+            name: value - before_timers.get(name, 0.0)
+            for name, value in self.timers.items()
+            if value != before_timers.get(name, 0.0)
+        }
+        timer_calls = {
+            name: value - before_calls.get(name, 0)
+            for name, value in self.timer_calls.items()
+            if value != before_calls.get(name, 0)
+        }
+        return {"counters": counters, "timers": timers, "timer_calls": timer_calls}
+
+    def merge(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta_since` payload into this instance."""
+        for name, value in delta.get("counters", {}).items():
+            self.counters[name] += value
+        for name, value in delta.get("timers", {}).items():
+            self.timers[name] = self.timers.get(name, 0.0) + value
+        for name, value in delta.get("timer_calls", {}).items():
+            self.timer_calls[name] += value
+        for label, timings in delta.get("shard_timings", {}).items():
+            self.shard_timings.setdefault(label, []).extend(timings)
 
     def delta_hit_rate(self, prefix: str, since: dict) -> float | None:
         """Hit rate of a cache pair since a prior :meth:`snapshot`."""
@@ -124,18 +163,24 @@ class EngineStats:
                 lines.append(f"  {name:<24s} {shown}")
         if self.timers:
             lines.append("timers:")
-            for name in sorted(self.timers):
+            # Cumulative time descending, so the hottest phase leads.
+            ordered = sorted(self.timers.items(), key=lambda item: (-item[1], item[0]))
+            for name, seconds in ordered:
                 lines.append(
-                    f"  {name:<24s} {self.timers[name]:>8.3f}s"
+                    f"  {name:<24s} {seconds:>8.3f}s"
                     f"  ({self.timer_calls[name]} calls)"
                 )
         if self.shard_timings:
             lines.append("shards:")
             for label in sorted(self.shard_timings):
                 timings = self.shard_timings[label]
+                mean = sum(timings) / len(timings)
+                # max/mean straggler factor: 1.00 = perfectly balanced.
+                imbalance = f"{max(timings) / mean:.2f}x" if mean else "--"
                 lines.append(
                     f"  {label:<24s} n={len(timings)}"
                     f"  total={sum(timings):.3f}s  max={max(timings):.3f}s"
+                    f"  mean={mean:.3f}s  imbalance={imbalance}"
                 )
         if len(lines) == 2:
             lines.append("(no activity recorded)")

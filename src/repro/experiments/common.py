@@ -28,6 +28,7 @@ from ..core.pipeline import PipelineConfig, PipelineResult, PriorityPipeline
 from ..core.types import DomainInference
 from ..engine import EngineOptions, MXIdentityCache, parallel_gather
 from ..engine.stats import STATS
+from ..obs import trace
 from ..measure import (
     CensysScanner,
     MeasurementGatherer,
@@ -167,10 +168,17 @@ class StudyContext:
                 self.gatherer.adopt(loaded)
                 self._measurements[key] = loaded
             else:
-                with STATS.timer("context.gather"):
+                targets = self.domains(dataset)
+                with STATS.timer("context.gather"), trace.span(
+                    f"{dataset.value}[s{snapshot_index}].gather",
+                    cat="snapshot",
+                    corpus=dataset.value,
+                    snapshot=snapshot_index,
+                    targets=len(targets),
+                ):
                     gathered = parallel_gather(
                         self.gatherer,
-                        self.domains(dataset),
+                        targets,
                         snapshot_index,
                         jobs=self.engine.resolved_jobs(),
                         executor=self.engine.executor,
@@ -228,7 +236,13 @@ class StudyContext:
                 self.world.trust_store, self.company_map, self.world.psl, config,
                 identity_cache=self.identity_cache,
             )
-            with STATS.timer("context.pipeline"):
+            with STATS.timer("context.pipeline"), trace.span(
+                f"{dataset.value}[s{snapshot_index}].pipeline",
+                cat="snapshot",
+                corpus=dataset.value,
+                snapshot=snapshot_index,
+                config="ablation",
+            ):
                 return pipeline.run(
                     measurements,
                     groups=self.cert_groups(dataset, snapshot_index),
@@ -249,7 +263,13 @@ class StudyContext:
                     self.world.trust_store, self.company_map, self.world.psl,
                     identity_cache=self.identity_cache,
                 )
-                with STATS.timer("context.pipeline"):
+                with STATS.timer("context.pipeline"), trace.span(
+                    f"{dataset.value}[s{snapshot_index}].pipeline",
+                    cat="snapshot",
+                    corpus=dataset.value,
+                    snapshot=snapshot_index,
+                    config="default",
+                ):
                     result = pipeline.run(
                         measurements,
                         groups=self.cert_groups(dataset, snapshot_index),

@@ -1,0 +1,45 @@
+"""repro.obs — observability for the measure→infer system.
+
+Four concerns, one package:
+
+* :mod:`repro.obs.trace` — hierarchical span tracing (run → experiment →
+  corpus × snapshot → gather/pipeline-step → shard), exported as
+  Chrome-trace/Perfetto JSON plus a JSONL event stream; fork- and
+  thread-safe, near-zero overhead when disabled.
+* :mod:`repro.obs.metrics` — unified metrics export (JSON + Prometheus
+  textfile) over the engine's stats registry, worker counters included.
+* :mod:`repro.obs.provenance` — per-domain inference audit trails (which
+  evidence tier won, what step 4 corrected), behind ``repro explain``.
+* :mod:`repro.obs.log` — structured logging (``REPRO_LOG`` level,
+  optional JSON lines) and :mod:`repro.obs.manifest` — the per-run
+  provenance manifest; :mod:`repro.obs.schemas` validates every export.
+
+:mod:`repro.obs.trace` and :mod:`repro.obs.log` are stdlib-only, so the
+engine/store/measure layers can import them without cycles; the other
+modules defer their ``repro`` imports into function bodies for the same
+reason.
+"""
+
+from . import log, manifest, metrics, provenance, schemas, trace
+from .log import configure as configure_logging
+from .log import get_logger
+from .metrics import collect as collect_metrics
+from .metrics import write_metrics
+from .provenance import explain, render_explanation
+from .trace import span
+
+__all__ = [
+    "collect_metrics",
+    "configure_logging",
+    "explain",
+    "get_logger",
+    "log",
+    "manifest",
+    "metrics",
+    "provenance",
+    "render_explanation",
+    "schemas",
+    "span",
+    "trace",
+    "write_metrics",
+]

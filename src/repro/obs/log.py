@@ -1,0 +1,115 @@
+"""Structured logging for the repro system.
+
+A thin layer over stdlib :mod:`logging`:
+
+* every module logs through ``get_logger("area")`` → ``repro.area``;
+* :func:`configure` installs one stderr handler on the ``repro`` root,
+  with the level from ``REPRO_LOG`` (silent by default — experiments
+  print artifacts to stdout and must stay byte-identical) and an optional
+  JSON-lines format (``REPRO_LOG_JSON=1`` or ``--log-json``) whose one
+  object per line carries the event name plus structured fields.
+
+Structured fields ride on the standard ``extra`` mechanism::
+
+    log.info("store.reject", extra={"fields": {"path": name, "reason": r}})
+
+The text formatter renders them as ``key=value`` suffixes; the JSON
+formatter embeds them as object members.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+LOG_ENV = "REPRO_LOG"
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def get_logger(area: str) -> logging.Logger:
+    """The logger for one subsystem (``engine``, ``store``, ``cli`` ...)."""
+    return logging.getLogger(f"repro.{area}")
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            document.update(fields)
+        if record.exc_info:
+            document["exception"] = self.formatException(record.exc_info)
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS level logger event key=value ...`` on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        line = (
+            f"{stamp} {record.levelname.lower():<7s} "
+            f"{record.name} {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            line += "".join(f" {key}={value}" for key, value in fields.items())
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def env_level(default: str | None = None) -> str | None:
+    """The ``REPRO_LOG`` level name, or *default* when unset/garbage."""
+    raw = os.environ.get(LOG_ENV)
+    if not raw:
+        return default
+    name = raw.strip().lower()
+    if name in {"debug", "info", "warning", "error", "critical"}:
+        return name
+    return default
+
+
+def env_json(default: bool = False) -> bool:
+    raw = os.environ.get(LOG_JSON_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in {"", "0", "off", "no", "false"}
+
+
+def configure(
+    level: str | None = None,
+    json_lines: bool | None = None,
+    stream=None,
+) -> logging.Logger:
+    """Install (or replace) the repro log handler; returns the root.
+
+    With no explicit *level* and no ``REPRO_LOG``, logging stays disabled
+    (level WARNING, no handler churn beyond ours).  Safe to call more
+    than once: the previously installed repro handler is swapped out.
+    """
+    root = logging.getLogger("repro")
+    level = level or env_level()
+    json_lines = env_json() if json_lines is None else json_lines
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLinesFormatter() if json_lines else TextFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    root.setLevel((level or "warning").upper())
+    return root

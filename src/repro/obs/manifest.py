@@ -1,0 +1,100 @@
+"""Per-run manifest: everything needed to audit or reproduce one run.
+
+A manifest pins the inputs (world config, seed, corpora, snapshot dates),
+the execution environment (engine options, cache state, schema versions,
+interpreter/platform), and the outcome (experiments run, wall time, the
+hottest phase timers) of one CLI invocation.  Written alongside the
+experiment output via ``--manifest PATH``, it is the provenance anchor
+longitudinal studies keep next to each result set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _snapshot_dates():
+    from ..world.population import SNAPSHOT_DATES
+
+    return SNAPSHOT_DATES
+
+
+def _store_state(store) -> dict | None:
+    if store is None:
+        return None
+    return {
+        "root": str(store.root),
+        "entries": store.entry_count(),
+        "total_bytes": store.total_bytes(),
+        "max_bytes": store.max_bytes,
+    }
+
+
+def build_manifest(
+    *,
+    config,
+    engine=None,
+    store=None,
+    experiments: list[str] | tuple[str, ...] = (),
+    elapsed_seconds: float | None = None,
+    stats=None,
+    argv: list[str] | None = None,
+) -> dict:
+    """Assemble the manifest document for one run."""
+    from ..store.artifacts import SCHEMA_VERSION as STORE_SCHEMA
+    from .metrics import METRICS_SCHEMA_VERSION
+    from .provenance import PROVENANCE_SCHEMA_VERSION
+    from .trace import TRACE_SCHEMA_VERSION
+
+    if stats is None:
+        from ..engine.stats import get_stats
+
+        stats = get_stats()
+    timers = sorted(stats.timers.items(), key=lambda item: (-item[1], item[0]))
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+        "world": {
+            **dataclasses.asdict(config),
+            "snapshot_dates": [date.isoformat() for date in _snapshot_dates()],
+        },
+        "engine": dataclasses.asdict(engine) if engine is not None else None,
+        "cache": _store_state(store),
+        "schemas": {
+            "manifest": MANIFEST_SCHEMA_VERSION,
+            "store": STORE_SCHEMA,
+            "trace": TRACE_SCHEMA_VERSION,
+            "metrics": METRICS_SCHEMA_VERSION,
+            "provenance": PROVENANCE_SCHEMA_VERSION,
+        },
+        "experiments": list(experiments),
+        "timing": {
+            "elapsed_seconds": elapsed_seconds,
+            "timers": {
+                name: {
+                    "seconds": seconds,
+                    "calls": stats.timer_calls.get(name, 0),
+                }
+                for name, seconds in timers
+            },
+        },
+        "runtime": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "pid": os.getpid(),
+        },
+    }
+
+
+def write_manifest(path: str | os.PathLike, manifest: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")

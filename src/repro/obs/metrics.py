@@ -1,0 +1,135 @@
+"""Unified metrics export over the engine's stats registry.
+
+:class:`~repro.engine.stats.EngineStats` is the single accumulation point
+for every counter in the system — gather/scan/identity cache hits, store
+read/write bytes, pipeline timers, shard timings — including counters
+shipped back from process-pool workers.  This module turns one stats
+instance into machine-readable exports:
+
+* :func:`collect` — a structured dict (the ``--metrics-out foo.json``
+  payload), with derived cache hit rates and shard-imbalance summaries;
+* :func:`render_prometheus` — the Prometheus textfile format
+  (``--metrics-out foo.prom``), using labels rather than name-mangling so
+  the repo's dotted ``<area>.<cache>.hit`` convention survives intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+METRICS_SCHEMA_VERSION = 1
+
+
+def _shard_summary(timings: list[float]) -> dict:
+    total = sum(timings)
+    mean = total / len(timings) if timings else 0.0
+    peak = max(timings) if timings else 0.0
+    return {
+        "count": len(timings),
+        "total_seconds": total,
+        "max_seconds": peak,
+        "mean_seconds": mean,
+        # max/mean straggler factor: 1.0 = perfectly balanced shards.
+        "imbalance": (peak / mean) if mean else None,
+    }
+
+
+def collect(stats=None) -> dict:
+    """A structured metrics document from one stats registry."""
+    if stats is None:
+        from ..engine.stats import get_stats
+
+        stats = get_stats()
+    caches = {}
+    for prefix in stats.cache_prefixes():
+        hits = stats.counters.get(f"{prefix}.hit", 0)
+        misses = stats.counters.get(f"{prefix}.miss", 0)
+        caches[prefix] = {
+            "hits": hits,
+            "misses": misses,
+            "rate": stats.hit_rate(prefix),
+        }
+    return {
+        "schema": METRICS_SCHEMA_VERSION,
+        "counters": dict(stats.counters),
+        "caches": caches,
+        "timers": {
+            name: {
+                "seconds": seconds,
+                "calls": stats.timer_calls.get(name, 0),
+            }
+            for name, seconds in stats.timers.items()
+        },
+        "shards": {
+            label: _shard_summary(timings)
+            for label, timings in stats.shard_timings.items()
+        },
+    }
+
+
+def render_prometheus(metrics: dict) -> str:
+    """The Prometheus textfile exposition of a :func:`collect` document."""
+    lines = [
+        "# HELP repro_counter_total Engine counter (dotted repro name as label).",
+        "# TYPE repro_counter_total counter",
+    ]
+    for name in sorted(metrics["counters"]):
+        lines.append(
+            f'repro_counter_total{{name="{name}"}} {metrics["counters"][name]}'
+        )
+    lines += [
+        "# HELP repro_cache_hit_ratio Derived hit rate of one cache pair.",
+        "# TYPE repro_cache_hit_ratio gauge",
+    ]
+    for prefix in sorted(metrics["caches"]):
+        rate = metrics["caches"][prefix]["rate"]
+        if rate is not None:
+            lines.append(f'repro_cache_hit_ratio{{cache="{prefix}"}} {rate:.6f}')
+    lines += [
+        "# HELP repro_timer_seconds_total Cumulative wall time per phase.",
+        "# TYPE repro_timer_seconds_total counter",
+        "# HELP repro_timer_calls_total Invocations per phase timer.",
+        "# TYPE repro_timer_calls_total counter",
+    ]
+    for name in sorted(metrics["timers"]):
+        timer = metrics["timers"][name]
+        lines.append(
+            f'repro_timer_seconds_total{{timer="{name}"}} {timer["seconds"]:.6f}'
+        )
+        lines.append(f'repro_timer_calls_total{{timer="{name}"}} {timer["calls"]}')
+    lines += [
+        "# HELP repro_shard_imbalance Max/mean shard straggler factor.",
+        "# TYPE repro_shard_imbalance gauge",
+    ]
+    for label in sorted(metrics["shards"]):
+        imbalance = metrics["shards"][label]["imbalance"]
+        if imbalance is not None:
+            lines.append(
+                f'repro_shard_imbalance{{shards="{label}"}} {imbalance:.6f}'
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(
+    path: str | os.PathLike, stats=None, fmt: str | None = None
+) -> dict:
+    """Export metrics to *path*; format from *fmt* or the file extension.
+
+    ``.prom``/``.txt`` paths get the Prometheus textfile format, anything
+    else the JSON document.  Returns the collected document either way.
+    """
+    metrics = collect(stats)
+    if fmt is None:
+        fmt = (
+            "prometheus"
+            if os.fspath(path).endswith((".prom", ".txt"))
+            else "json"
+        )
+    with open(path, "w") as handle:
+        if fmt == "prometheus":
+            handle.write(render_prometheus(metrics))
+        else:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return metrics

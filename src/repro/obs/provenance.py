@@ -1,0 +1,194 @@
+"""Per-domain inference provenance: why a domain got its provider ID.
+
+The priority pipeline already records its reasoning in the result model —
+each :class:`~repro.core.types.MXIdentity` carries the evidence tier that
+won (cert / banner / MX name, the paper's §3.2 priority order), the
+per-IP evidence it aggregated, and any step-4 misidentification
+correction applied.  This module turns one stored inference into an
+explicit audit-trail record (a plain dict, schema-versioned for the CI
+validators) and a human-readable rendering — the backend of the
+``repro explain <domain> --date <snapshot>`` subcommand.
+
+Because provenance is derived from the :class:`PipelineResult` itself,
+explaining a domain is consistent by construction with whatever the
+sweep stored — including results served warm from the artifact store,
+whose codec round-trips the full evidence tuples.
+"""
+
+from __future__ import annotations
+
+PROVENANCE_SCHEMA_VERSION = 1
+
+# Human labels for the evidence tiers, in the paper's priority order.
+TIER_LABELS = {
+    "cert": "TLS certificate",
+    "banner": "SMTP banner/EHLO",
+    "mx": "MX name fallback",
+}
+
+
+def _ip_record(ip_identity) -> dict:
+    return {
+        "address": ip_identity.address,
+        "cert_id": ip_identity.cert_id,
+        "cert_fingerprint": ip_identity.cert_fingerprint,
+        "cert_names": list(ip_identity.cert_names),
+        "banner_id": ip_identity.banner_id,
+        "banner_fqdn": ip_identity.banner_fqdn,
+    }
+
+
+def _mx_record(identity) -> dict:
+    return {
+        "name": identity.mx_name,
+        "provider_id": identity.provider_id,
+        "evidence": identity.source.value,
+        "examined": identity.examined,
+        "corrected": identity.corrected,
+        "correction_reason": identity.correction_reason,
+        "ips": [_ip_record(ip) for ip in identity.ip_identities],
+    }
+
+
+def provenance_record(
+    inference,
+    *,
+    corpus: str,
+    snapshot_index: int,
+    snapshot_date=None,
+    measurement=None,
+) -> dict:
+    """The audit-trail record for one domain's stored inference.
+
+    *measurement* (optional) adds the raw MX set with preferences, so the
+    trail also shows records that did **not** participate (non-primary
+    preferences, unresolvable names).
+    """
+    record = {
+        "schema": PROVENANCE_SCHEMA_VERSION,
+        "domain": inference.domain,
+        "corpus": corpus,
+        "snapshot": int(snapshot_index),
+        "date": snapshot_date.isoformat() if snapshot_date is not None else None,
+        "status": inference.status.value,
+        "attributions": dict(inference.attributions),
+        "mx": [_mx_record(identity) for identity in inference.mx_identities],
+    }
+    if record["mx"]:
+        # The tier that decided the attribution: strongest evidence among
+        # the participating MX identities (priority order cert > banner > mx).
+        best = min(
+            inference.mx_identities, key=lambda identity: identity.source.priority
+        )
+        record["winning_evidence"] = best.source.value
+    else:
+        record["winning_evidence"] = None
+    if measurement is not None:
+        primary = {mx.name for mx in measurement.primary_mx}
+        record["mx_set"] = [
+            {
+                "name": mx.name,
+                "preference": mx.preference,
+                "primary": mx.name in primary,
+                "resolved": mx.resolved,
+                "addresses": [ip.address for ip in mx.ips],
+            }
+            for mx in measurement.mx_set
+        ]
+    return record
+
+
+def explain(ctx, domain: str, snapshot_index: int, dataset=None) -> dict | None:
+    """Build the provenance record for *domain* at one snapshot.
+
+    Locates the corpus when *dataset* is not given; returns None when the
+    domain is in no corpus or the corpus has no coverage at the snapshot.
+    Runs (or loads) the default-config priority pipeline for the whole
+    (corpus, snapshot) — provenance always reflects the real sweep, never
+    a domain re-run in isolation.
+    """
+    if dataset is None:
+        dataset = locate_domain(ctx, domain)
+        if dataset is None:
+            return None
+    result = ctx.priority_result(dataset, snapshot_index)
+    if result is None or domain not in result.inferences:
+        return None
+    measurements = ctx.measurements(dataset, snapshot_index) or {}
+    return provenance_record(
+        result.inferences[domain],
+        corpus=dataset.value,
+        snapshot_index=snapshot_index,
+        snapshot_date=ctx.world.snapshot_dates[snapshot_index],
+        measurement=measurements.get(domain),
+    )
+
+
+def locate_domain(ctx, domain: str):
+    """The corpus tag containing *domain*, or None."""
+    from ..world.entities import DatasetTag
+
+    for dataset in DatasetTag:
+        if domain in set(ctx.domains(dataset)):
+            return dataset
+    return None
+
+
+def render_explanation(record: dict) -> str:
+    """The human-readable audit trail behind ``repro explain``."""
+    lines = [
+        f"{record['domain']} — corpus {record['corpus']}, "
+        f"snapshot {record['snapshot']}"
+        + (f" ({record['date']})" if record.get("date") else ""),
+        f"status: {record['status']}",
+    ]
+    if record["attributions"]:
+        shares = ", ".join(
+            f"{provider} ({weight:.2f})"
+            for provider, weight in sorted(record["attributions"].items())
+        )
+        lines.append(f"attribution: {shares}")
+    if record.get("winning_evidence"):
+        tier = record["winning_evidence"]
+        lines.append(
+            f"winning evidence tier: {tier} — {TIER_LABELS.get(tier, tier)}"
+        )
+    if record.get("mx_set"):
+        lines.append("published MX set:")
+        for mx in record["mx_set"]:
+            notes = []
+            if mx["primary"]:
+                notes.append("primary")
+            if not mx["resolved"]:
+                notes.append("unresolvable")
+            suffix = f"  [{', '.join(notes)}]" if notes else ""
+            lines.append(
+                f"  pref {mx['preference']:>3d}  {mx['name']}"
+                f"  → {len(mx['addresses'])} address(es){suffix}"
+            )
+    if record["mx"]:
+        lines.append("evidence trail (priority: cert > banner > mx-name):")
+    for mx in record["mx"]:
+        lines.append(
+            f"  MX {mx['name']}  → provider {mx['provider_id']}"
+            f"  [tier: {mx['evidence']}]"
+        )
+        for ip in mx["ips"]:
+            parts = [f"    ip {ip['address']}"]
+            if ip["cert_id"] is not None:
+                fingerprint = ip["cert_fingerprint"] or ""
+                parts.append(f"cert→{ip['cert_id']} ({fingerprint[:12]})")
+            if ip["banner_id"] is not None:
+                parts.append(f"banner→{ip['banner_id']} ({ip['banner_fqdn']})")
+            if ip["cert_id"] is None and ip["banner_id"] is None:
+                parts.append("no cert/banner evidence")
+            lines.append("  ".join(parts))
+        if mx["corrected"]:
+            lines.append(
+                f"    step 4: CORRECTED — {mx['correction_reason']}"
+            )
+        elif mx["examined"]:
+            lines.append("    step 4: examined, inference upheld")
+        else:
+            lines.append("    step 4: not a misidentification candidate")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""JSON schemas for the observability artifacts, plus a tiny validator.
+
+CI runs a traced sweep and validates the resulting trace, metrics, and
+manifest files against these schemas before uploading them as build
+artifacts — so a refactor that silently changes an export format fails
+the build instead of breaking downstream dashboards.
+
+The validator implements the small JSON-Schema subset the schemas use
+(``type``, ``properties``, ``required``, ``items``, ``enum``,
+``minItems``) — the container ships no ``jsonschema`` package, and these
+documents do not need more.
+"""
+
+from __future__ import annotations
+
+import json
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+TRACE_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["name", "ph", "ts", "pid", "tid"],
+    "properties": {
+        "name": {"type": "string"},
+        "cat": {"type": "string"},
+        "ph": {"type": "string", "enum": ["X", "i", "M"]},
+        "ts": {"type": "number"},
+        "dur": {"type": "number"},
+        "pid": {"type": "integer"},
+        "tid": {"type": "integer"},
+        "args": {"type": "object"},
+    },
+}
+
+TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "minItems": 1,
+            "items": TRACE_EVENT_SCHEMA,
+        },
+        "displayTimeUnit": {"type": "string"},
+        "otherData": {"type": "object"},
+    },
+}
+
+METRICS_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "counters", "caches", "timers", "shards"],
+    "properties": {
+        "schema": {"type": "integer"},
+        "counters": {"type": "object"},
+        "caches": {"type": "object"},
+        "timers": {"type": "object"},
+        "shards": {"type": "object"},
+    },
+}
+
+MANIFEST_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "world", "schemas", "experiments", "timing", "runtime"],
+    "properties": {
+        "schema": {"type": "integer"},
+        "created_at": {"type": "string"},
+        "argv": {"type": "array"},
+        "world": {
+            "type": "object",
+            "required": ["seed", "snapshot_dates"],
+            "properties": {
+                "seed": {"type": "integer"},
+                "snapshot_dates": {"type": "array", "minItems": 1},
+            },
+        },
+        "schemas": {"type": "object"},
+        "experiments": {"type": "array"},
+        "timing": {"type": "object"},
+        "runtime": {"type": "object"},
+    },
+}
+
+PROVENANCE_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "domain", "corpus", "snapshot", "status", "mx"],
+    "properties": {
+        "schema": {"type": "integer"},
+        "domain": {"type": "string"},
+        "corpus": {"type": "string", "enum": ["alexa", "com", "gov"]},
+        "snapshot": {"type": "integer"},
+        "status": {
+            "type": "string",
+            "enum": ["inferred", "no_mx", "no_mx_ip", "no_smtp"],
+        },
+        "attributions": {"type": "object"},
+        "mx": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "provider_id", "evidence", "ips"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "provider_id": {"type": "string"},
+                    "evidence": {"type": "string", "enum": ["cert", "banner", "mx"]},
+                    "corrected": {"type": "boolean"},
+                    "examined": {"type": "boolean"},
+                    "ips": {"type": "array"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate(instance, schema: dict, path: str = "$") -> list[str]:
+    """Errors of *instance* against *schema* (empty list = valid)."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if not isinstance(instance, python_type) or (
+            expected in ("integer", "number") and isinstance(instance, bool)
+        ):
+            return [f"{path}: expected {expected}, got {type(instance).__name__}"]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required member {name!r}")
+        for name, subschema in schema.get("properties", {}).items():
+            if name in instance:
+                errors.extend(validate(instance[name], subschema, f"{path}.{name}"))
+    if isinstance(instance, list):
+        if len(instance) < schema.get("minItems", 0):
+            errors.append(
+                f"{path}: {len(instance)} items < minItems {schema['minItems']}"
+            )
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(instance):
+                errors.extend(validate(element, items, f"{path}[{index}]"))
+    return errors
+
+
+def validate_file(path: str, schema: dict) -> list[str]:
+    """Load a JSON document and validate it; IO/parse problems are errors."""
+    try:
+        with open(path) as handle:
+            instance = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"{path}: unreadable ({error})"]
+    return validate(instance, schema, path="$")
+
+
+def validate_jsonl_file(path: str, schema: dict) -> list[str]:
+    """Validate every line of a JSONL stream against one event schema."""
+    errors: list[str] = []
+    try:
+        with open(path) as handle:
+            for number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError as error:
+                    errors.append(f"{path}:{number}: bad JSON ({error})")
+                    continue
+                errors.extend(validate(event, schema, path=f"{path}:{number}"))
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+    return errors

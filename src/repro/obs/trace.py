@@ -1,0 +1,257 @@
+"""Hierarchical span tracing for the measure→infer sweep.
+
+One process-wide :class:`Tracer` records *spans* — named, nested wall-clock
+intervals (run → experiment → corpus × snapshot → gather / pipeline-step →
+shard) — and exports them as Chrome-trace/Perfetto-compatible JSON plus a
+line-per-event JSONL stream.  Design constraints, in order:
+
+* **Near-zero overhead when disabled.**  The module-level :func:`span`
+  checks one global and returns a shared no-op context manager; no
+  timestamps are taken, nothing is allocated beyond the call itself.
+* **Thread-safe.**  Finished spans are appended under a lock; nesting is
+  implicit in the Chrome trace model (duration events on the same
+  process/thread track nest by containment), so no explicit parent ids
+  are tracked on the hot path.
+* **Fork-safe.**  A forked worker inherits the tracer (same epoch, same
+  buffer copy).  Workers bracket their work with :func:`mark` /
+  :func:`drain_new` and ship the new events back with their results; the
+  parent folds them in with :func:`adopt`.  Only the process that enabled
+  the tracer ever writes to the JSONL stream, so a worker can never
+  interleave half a line into the parent's file.
+
+This module is deliberately stdlib-only (no imports from ``repro``) so
+the lowest layers — engine, store, measurement — can trace freely without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import nullcontext
+
+TRACE_ENV = "REPRO_TRACE"
+TRACE_SCHEMA_VERSION = 1
+
+# All span timestamps are offsets from one epoch, shared with forked
+# workers (perf_counter is CLOCK_MONOTONIC-based on Linux, so child and
+# parent readings are directly comparable).
+_EPOCH = time.perf_counter()
+
+_NULL_SPAN = nullcontext()
+
+
+class _Span:
+    """An open span; finishing it appends one Chrome duration event."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        ended = time.perf_counter()
+        self._tracer._record(
+            {
+                "name": self.name,
+                "cat": self.cat,
+                "ph": "X",
+                "ts": round((self._started - _EPOCH) * 1e6, 1),
+                "dur": round((ended - self._started) * 1e6, 1),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": self.args,
+            }
+        )
+
+
+class Tracer:
+    """Collects span events; exports Chrome JSON and a JSONL stream."""
+
+    def __init__(self, stream_path: str | os.PathLike | None = None):
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._owner_pid = os.getpid()
+        self._stream = None
+        if stream_path is not None:
+            self._stream = open(stream_path, "w", buffering=1)
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, cat: str = "run", **args) -> _Span:
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "run", **args) -> None:
+        """A zero-duration marker event."""
+        self._record(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "ts": round((time.perf_counter() - _EPOCH) * 1e6, 1),
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": args,
+            }
+        )
+
+    def _record(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+            self._emit(event)
+
+    def _emit(self, event: dict) -> None:
+        # Stream writes are owner-only: forked workers inherit the handle
+        # but ship their events back instead of writing competing lines.
+        if self._stream is not None and os.getpid() == self._owner_pid:
+            try:
+                self._stream.write(json.dumps(event, sort_keys=True) + "\n")
+            except (OSError, ValueError):
+                self._stream = None  # a closed/failed stream stops streaming
+
+    # -- fork-worker shipping --------------------------------------------
+
+    def mark(self) -> int:
+        """The current event count (a worker's pre-work bookmark)."""
+        with self._lock:
+            return len(self._events)
+
+    def drain_new(self, mark: int) -> list[dict]:
+        """Events recorded since *mark* (what a worker ships back)."""
+        with self._lock:
+            return self._events[mark:]
+
+    def adopt(self, events: list[dict]) -> None:
+        """Fold worker-shipped events into this tracer (and its stream)."""
+        with self._lock:
+            for event in events:
+                self._events.append(event)
+                self._emit(event)
+
+    # -- export ----------------------------------------------------------
+
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def chrome_document(self) -> dict:
+        """The full Chrome-trace/Perfetto JSON object model."""
+        events = self.events()
+        named = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {
+                    "name": "repro" if pid == self._owner_pid else "repro worker"
+                },
+            }
+            for pid in sorted({event["pid"] for event in events})
+        ]
+        return {
+            "traceEvents": named + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA_VERSION,
+                "tool": "repro.obs.trace",
+            },
+        }
+
+    def write_chrome(self, path: str | os.PathLike) -> None:
+        """Write the buffered spans as a ``chrome://tracing`` JSON file."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_document(), handle, sort_keys=True)
+            handle.write("\n")
+
+    def close(self) -> None:
+        if self._stream is not None and os.getpid() == self._owner_pid:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+        self._stream = None
+
+
+# -- the process-wide tracer ---------------------------------------------
+
+_TRACER: Tracer | None = None
+
+
+def enable(stream_path: str | os.PathLike | None = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global _TRACER
+    _TRACER = Tracer(stream_path)
+    return _TRACER
+
+
+def disable() -> None:
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.close()
+    _TRACER = None
+
+
+def active() -> Tracer | None:
+    """The installed tracer, or None when tracing is off."""
+    return _TRACER
+
+
+def from_env() -> Tracer | None:
+    """Enable tracing when ``REPRO_TRACE`` names an output path."""
+    raw = os.environ.get(TRACE_ENV)
+    if not raw or raw.strip().lower() in {"0", "off", "none", "no"}:
+        return None
+    return enable(stream_path=jsonl_path(raw))
+
+
+def jsonl_path(trace_path: str | os.PathLike) -> str:
+    """The JSONL event-stream path paired with a Chrome-trace path."""
+    path = os.fspath(trace_path)
+    if path.endswith(".jsonl"):
+        return path
+    return path + "l" if path.endswith(".json") else path + ".jsonl"
+
+
+def span(name: str, cat: str = "run", **args):
+    """A span on the process tracer, or a shared no-op when disabled."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def instant(name: str, cat: str = "run", **args) -> None:
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.instant(name, cat, **args)
+
+
+def mark() -> int:
+    """Worker-side bookmark (0 when tracing is disabled)."""
+    tracer = _TRACER
+    return tracer.mark() if tracer is not None else 0
+
+
+def drain_new(since: int) -> list[dict]:
+    """Worker-side drain of events recorded after *since*."""
+    tracer = _TRACER
+    return tracer.drain_new(since) if tracer is not None else []
+
+
+def adopt(events: list[dict]) -> None:
+    """Parent-side fold of worker-shipped events."""
+    tracer = _TRACER
+    if tracer is not None and events:
+        tracer.adopt(events)

@@ -33,6 +33,8 @@ import zlib
 from pathlib import Path
 
 from ..engine.stats import STATS
+from ..obs import trace
+from ..obs.log import get_logger
 from .codec import (
     CODEC_VERSION,
     decode_inferences,
@@ -54,6 +56,8 @@ _ENTRY_SUFFIX = ".rsto"
 
 KIND_MEASUREMENTS = "measurements"
 KIND_PRIORITY = "result:priority"
+
+log = get_logger("store")
 
 
 def baseline_kind(approach: str) -> str:
@@ -159,6 +163,9 @@ class ArtifactStore:
             "recomputing",
             stacklevel=3,
         )
+        log.info(
+            "store.reject", extra={"fields": {"entry": path.name, "reason": reason}}
+        )
         STATS.inc("store.rejected")
         self._discard(path)
         return None
@@ -262,34 +269,41 @@ class ArtifactStore:
             total -= size
             evicted += 1
         STATS.inc("store.evicted", evicted)
+        if evicted:
+            log.info(
+                "store.gc",
+                extra={"fields": {"evicted": evicted, "remaining_bytes": total}},
+            )
         return evicted
 
     # -- typed artifact API ----------------------------------------------
 
     def _load(self, counter: str, key: str, decode):
-        payload = self.read(key)
-        if payload is not None:
-            try:
-                with STATS.timer("store.decode"):
-                    value = decode(payload)
-            except Exception as error:  # corrupt beyond the envelope checks
-                warnings.warn(
-                    f"repro.store: undecodable cache entry ({error}); recomputing",
-                    stacklevel=2,
-                )
-                STATS.inc("store.rejected")
-                self.discard(key)
-                payload = None
-            else:
-                STATS.inc(f"{counter}.hit")
-                return value
-        STATS.inc(f"{counter}.miss")
-        return None
+        with trace.span("store.load", cat="store", kind=counter):
+            payload = self.read(key)
+            if payload is not None:
+                try:
+                    with STATS.timer("store.decode"):
+                        value = decode(payload)
+                except Exception as error:  # corrupt beyond the envelope checks
+                    warnings.warn(
+                        f"repro.store: undecodable cache entry ({error}); recomputing",
+                        stacklevel=2,
+                    )
+                    STATS.inc("store.rejected")
+                    self.discard(key)
+                    payload = None
+                else:
+                    STATS.inc(f"{counter}.hit")
+                    return value
+            STATS.inc(f"{counter}.miss")
+            return None
 
     def _save(self, key: str, encode, value) -> None:
-        with STATS.timer("store.encode"):
-            payload = encode(value)
-        self.write(key, payload)
+        with trace.span("store.save", cat="store"):
+            with STATS.timer("store.encode"):
+                payload = encode(value)
+            self.write(key, payload)
 
     def load_measurements(self, config, dataset, snapshot_index: int):
         key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS)

@@ -1,0 +1,192 @@
+"""Focused coverage for `engine/stats.py`: edge cases, rendering, merging.
+
+The process-pool test at the bottom is the regression lock for the
+dropped-worker-stats bug: forked gather workers used to accumulate cache
+counters in the child and never return them, so ``--perf`` hit rates
+were wrong (near-zero counters) at ``--jobs > 1``.
+"""
+
+import pytest
+
+from repro.engine import EngineOptions
+from repro.engine.stats import STATS, EngineStats, format_bytes
+from repro.experiments.common import StudyContext
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+
+
+class TestHitRateEdges:
+    def test_zero_totals(self):
+        stats = EngineStats()
+        stats.inc("x.hit", 0)
+        stats.inc("x.miss", 0)
+        assert stats.hit_rate("x") is None
+
+    def test_missing_prefix(self):
+        assert EngineStats().hit_rate("nope") is None
+
+    def test_all_hits(self):
+        stats = EngineStats()
+        stats.inc("x.hit", 5)
+        assert stats.hit_rate("x") == 1.0
+
+    def test_all_misses(self):
+        stats = EngineStats()
+        stats.inc("x.miss", 5)
+        assert stats.hit_rate("x") == 0.0
+
+    def test_delta_missing_prefix(self):
+        stats = EngineStats()
+        assert stats.delta_hit_rate("nope", stats.snapshot()) is None
+
+    def test_delta_zero_change(self):
+        stats = EngineStats()
+        stats.inc("x.hit", 7)
+        stats.inc("x.miss", 3)
+        snap = stats.snapshot()
+        assert stats.delta_hit_rate("x", snap) is None
+
+    def test_delta_against_empty_snapshot(self):
+        stats = EngineStats()
+        stats.inc("x.hit", 1)
+        assert stats.delta_hit_rate("x", {}) == 1.0
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        ("count", "expected"),
+        [
+            (0, "0 B"),
+            (1, "1 B"),
+            (1023, "1023 B"),
+            (1024, "1.0 KiB"),
+            (1536, "1.5 KiB"),
+            (1024**2 - 1, "1024.0 KiB"),
+            (1024**2, "1.0 MiB"),
+            (1024**3, "1.0 GiB"),
+            (5 * 1024**3, "5.0 GiB"),
+            (5000 * 1024**3, "5000.0 GiB"),
+        ],
+    )
+    def test_boundaries(self, count, expected):
+        assert format_bytes(count) == expected
+
+
+class TestRender:
+    def test_no_activity(self):
+        text = EngineStats().render()
+        assert "(no activity recorded)" in text
+
+    def test_with_activity_no_placeholder(self):
+        stats = EngineStats()
+        stats.inc("a.hit")
+        assert "(no activity recorded)" not in stats.render()
+
+    def test_timers_sorted_by_cumulative_time_descending(self):
+        stats = EngineStats()
+        stats.add_time("alpha.small", 0.25)
+        stats.add_time("zeta.big", 10.0)
+        stats.add_time("mid.dle", 2.0)
+        text = stats.render()
+        assert (
+            text.index("zeta.big") < text.index("mid.dle") < text.index("alpha.small")
+        )
+
+    def test_bytes_counters_humanized(self):
+        stats = EngineStats()
+        stats.inc("store.read_bytes", 2048)
+        assert "2.0 KiB" in stats.render()
+
+    def test_shard_imbalance_visible(self):
+        stats = EngineStats()
+        stats.record_shards("gather.jobs4", [1.0, 1.0, 1.0, 3.0])
+        text = stats.render()
+        assert "mean=1.500s" in text
+        assert "imbalance=2.00x" in text
+
+
+class TestMergeAndDelta:
+    def test_delta_since_reports_only_changes(self):
+        stats = EngineStats()
+        stats.inc("kept", 5)
+        stats.add_time("t0", 1.0)
+        snap = stats.snapshot()
+        stats.inc("bumped", 2)
+        stats.add_time("t1", 0.5)
+        delta = stats.delta_since(snap)
+        assert delta["counters"] == {"bumped": 2}
+        assert list(delta["timers"]) == ["t1"]
+        assert delta["timer_calls"] == {"t1": 1}
+
+    def test_merge_folds_counters_timers_and_shards(self):
+        parent = EngineStats()
+        parent.inc("x.hit", 1)
+        parent.add_time("phase", 1.0)
+        parent.merge(
+            {
+                "counters": {"x.hit": 2, "x.miss": 1},
+                "timers": {"phase": 0.5, "new": 0.25},
+                "timer_calls": {"phase": 3, "new": 1},
+                "shard_timings": {"gather.jobs2": [0.1, 0.2]},
+            }
+        )
+        assert parent.counters["x.hit"] == 3
+        assert parent.counters["x.miss"] == 1
+        assert parent.timers["phase"] == pytest.approx(1.5)
+        assert parent.timer_calls["phase"] == 4
+        assert parent.timers["new"] == pytest.approx(0.25)
+        assert parent.shard_timings["gather.jobs2"] == [0.1, 0.2]
+
+    def test_roundtrip_delta_then_merge(self):
+        """merge(delta_since(snap)) reconstructs the child's contribution."""
+        child = EngineStats()
+        child.inc("inherited.hit", 9)  # pre-fork state the child copied
+        snap = child.snapshot()
+        child.inc("inherited.hit", 1)
+        child.inc("fresh.miss", 4)
+        parent = EngineStats()
+        parent.inc("inherited.hit", 9)  # the parent still has the original
+        parent.merge(child.delta_since(snap))
+        assert parent.counters["inherited.hit"] == 10
+        assert parent.counters["fresh.miss"] == 4
+
+
+WORKER_CONFIG = WorldConfig(seed=7, alexa_size=200, com_size=60, gov_size=40)
+
+# Counter pairs whose hit+miss total equals the number of lookups, which
+# is identical however the target list is sharded.  (censys.scan totals
+# legitimately differ: forked shards cannot share the observation cache
+# that shields the scanner, so shared addresses are scanned per shard.)
+SHARDING_INVARIANT_PREFIXES = ("gather.obs",)
+
+
+def gather_counter_totals(executor: str | None, jobs: int) -> dict[str, int]:
+    ctx = StudyContext.create(
+        WORKER_CONFIG,
+        engine=EngineOptions(jobs=jobs, executor=executor),
+        store=None,
+    )
+    snap = STATS.snapshot()
+    ctx.measurements(DatasetTag.ALEXA, 8)
+    delta = STATS.delta_since(snap)["counters"]
+    return {
+        prefix: delta.get(f"{prefix}.hit", 0) + delta.get(f"{prefix}.miss", 0)
+        for prefix in SHARDING_INVARIANT_PREFIXES
+    }
+
+
+class TestWorkerStatsShipping:
+    def test_process_pool_counters_match_serial(self):
+        """--jobs 4 over a fork pool merges worker counters into the parent.
+
+        Before the fix, forked workers counted in their own copy of STATS
+        and the parent saw (almost) nothing; now the merged totals equal
+        the serial run's.
+        """
+        serial = gather_counter_totals(None, 1)
+        merged = gather_counter_totals("process", 4)
+        assert serial == merged
+        assert all(total > 0 for total in serial.values())
+
+    def test_thread_pool_counters_match_serial(self):
+        assert gather_counter_totals("thread", 4) == gather_counter_totals(None, 1)

@@ -1,0 +1,117 @@
+"""Run manifests and structured logging."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.engine import EngineOptions
+from repro.engine.stats import EngineStats
+from repro.obs import log as obs_log
+from repro.obs import manifest as obs_manifest
+from repro.obs.schemas import MANIFEST_SCHEMA, validate, validate_file
+from repro.store import ArtifactStore
+from repro.world.build import WorldConfig
+
+
+class TestManifest:
+    def build(self, tmp_path=None):
+        stats = EngineStats()
+        stats.add_time("context.gather", 2.0)
+        stats.add_time("context.pipeline", 5.0)
+        store = ArtifactStore(tmp_path / "cache") if tmp_path else None
+        return obs_manifest.build_manifest(
+            config=WorldConfig(seed=11),
+            engine=EngineOptions(jobs=4),
+            store=store,
+            experiments=["fig6", "tab4"],
+            elapsed_seconds=12.5,
+            stats=stats,
+            argv=["all", "--jobs", "4"],
+        )
+
+    def test_validates(self):
+        assert validate(self.build(), MANIFEST_SCHEMA) == []
+
+    def test_pins_world_and_schemas(self):
+        document = self.build()
+        assert document["world"]["seed"] == 11
+        assert len(document["world"]["snapshot_dates"]) == 9
+        assert document["world"]["snapshot_dates"][0] == "2017-06-08"
+        assert set(document["schemas"]) == {
+            "manifest", "store", "trace", "metrics", "provenance",
+        }
+
+    def test_timers_hottest_first(self):
+        timers = self.build()["timing"]["timers"]
+        assert list(timers) == ["context.pipeline", "context.gather"]
+
+    def test_cache_state(self, tmp_path):
+        document = self.build(tmp_path)
+        assert document["cache"]["entries"] == 0
+        assert document["cache"]["root"].endswith("cache")
+        assert self.build()["cache"] is None
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        obs_manifest.write_manifest(path, self.build())
+        assert validate_file(str(path), MANIFEST_SCHEMA) == []
+        assert json.loads(path.read_text())["engine"]["jobs"] == 4
+
+
+class TestLogging:
+    def capture(self, json_lines: bool):
+        stream = io.StringIO()
+        root = obs_log.configure(level="info", json_lines=json_lines, stream=stream)
+        try:
+            logger = obs_log.get_logger("unit")
+            logger.info(
+                "cache.evict", extra={"fields": {"entries": 3, "reason": "lru"}}
+            )
+            logger.debug("hidden")  # below the configured level
+        finally:
+            root.setLevel(logging.WARNING)
+        return stream.getvalue()
+
+    def test_text_lines(self):
+        output = self.capture(json_lines=False)
+        (line,) = output.splitlines()
+        assert "repro.unit" in line
+        assert "cache.evict" in line
+        assert "entries=3" in line and "reason=lru" in line
+
+    def test_json_lines(self):
+        output = self.capture(json_lines=True)
+        (line,) = output.splitlines()
+        document = json.loads(line)
+        assert document["event"] == "cache.evict"
+        assert document["level"] == "info"
+        assert document["logger"] == "repro.unit"
+        assert document["entries"] == 3
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        obs_log.configure(level="info", json_lines=False, stream=first)
+        root = obs_log.configure(level="info", json_lines=False, stream=second)
+        try:
+            obs_log.get_logger("unit").info("once")
+        finally:
+            root.setLevel(logging.WARNING)
+        assert first.getvalue() == ""
+        assert "once" in second.getvalue()
+
+    def test_env_level(self, monkeypatch):
+        monkeypatch.setenv(obs_log.LOG_ENV, "debug")
+        assert obs_log.env_level() == "debug"
+        monkeypatch.setenv(obs_log.LOG_ENV, "garbage")
+        assert obs_log.env_level() is None
+        monkeypatch.delenv(obs_log.LOG_ENV)
+        assert obs_log.env_level("info") == "info"
+
+    def test_env_json(self, monkeypatch):
+        monkeypatch.setenv(obs_log.LOG_JSON_ENV, "1")
+        assert obs_log.env_json() is True
+        monkeypatch.setenv(obs_log.LOG_JSON_ENV, "off")
+        assert obs_log.env_json() is False

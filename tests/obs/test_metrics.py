@@ -1,0 +1,96 @@
+"""Metrics export: collection structure, Prometheus rendering, dispatch."""
+
+import json
+
+import pytest
+
+from repro.engine.stats import EngineStats
+from repro.obs import metrics
+from repro.obs.schemas import METRICS_SCHEMA, validate, validate_file
+
+
+@pytest.fixture
+def busy_stats() -> EngineStats:
+    stats = EngineStats()
+    stats.inc("gather.obs.hit", 96)
+    stats.inc("gather.obs.miss", 4)
+    stats.inc("store.read_bytes", 4096)
+    stats.add_time("context.gather", 1.5)
+    stats.add_time("context.pipeline", 0.5)
+    stats.record_shards("gather.jobs4", [1.0, 1.0, 2.0])
+    return stats
+
+
+class TestCollect:
+    def test_document_validates(self, busy_stats):
+        document = metrics.collect(busy_stats)
+        assert validate(document, METRICS_SCHEMA) == []
+
+    def test_cache_rates_derived(self, busy_stats):
+        document = metrics.collect(busy_stats)
+        assert document["caches"]["gather.obs"] == {
+            "hits": 96,
+            "misses": 4,
+            "rate": 0.96,
+        }
+
+    def test_timers_with_calls(self, busy_stats):
+        document = metrics.collect(busy_stats)
+        assert document["timers"]["context.gather"] == {"seconds": 1.5, "calls": 1}
+
+    def test_shard_summary(self, busy_stats):
+        shards = metrics.collect(busy_stats)["shards"]["gather.jobs4"]
+        assert shards["count"] == 3
+        assert shards["mean_seconds"] == pytest.approx(4.0 / 3)
+        assert shards["imbalance"] == pytest.approx(1.5)
+
+    def test_empty_stats(self):
+        document = metrics.collect(EngineStats())
+        assert validate(document, METRICS_SCHEMA) == []
+        assert document["counters"] == {} and document["shards"] == {}
+
+    def test_default_is_process_stats(self):
+        from repro.engine.stats import STATS
+
+        STATS.inc("obs.test.marker", 1)
+        try:
+            assert "obs.test.marker" in metrics.collect()["counters"]
+        finally:
+            del STATS.counters["obs.test.marker"]
+
+
+class TestPrometheus:
+    def test_rendering(self, busy_stats):
+        text = metrics.render_prometheus(metrics.collect(busy_stats))
+        assert 'repro_counter_total{name="gather.obs.hit"} 96' in text
+        assert 'repro_cache_hit_ratio{cache="gather.obs"} 0.960000' in text
+        assert 'repro_timer_seconds_total{timer="context.gather"} 1.500000' in text
+        assert 'repro_shard_imbalance{shards="gather.jobs4"} 1.500000' in text
+        # Textfile hygiene: every exposition line is comment or sample.
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_no_rate_lines_for_idle_caches(self):
+        stats = EngineStats()
+        stats.inc("only.counter", 1)
+        text = metrics.render_prometheus(metrics.collect(stats))
+        assert "repro_cache_hit_ratio{" not in text
+
+
+class TestWriteDispatch:
+    def test_json_by_default(self, tmp_path, busy_stats):
+        path = tmp_path / "metrics.json"
+        metrics.write_metrics(path, busy_stats)
+        assert validate_file(str(path), METRICS_SCHEMA) == []
+
+    def test_prometheus_by_extension(self, tmp_path, busy_stats):
+        path = tmp_path / "metrics.prom"
+        metrics.write_metrics(path, busy_stats)
+        assert "repro_counter_total" in path.read_text()
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_explicit_format_wins(self, tmp_path, busy_stats):
+        path = tmp_path / "metrics.json"
+        metrics.write_metrics(path, busy_stats, fmt="prometheus")
+        assert "repro_counter_total" in path.read_text()

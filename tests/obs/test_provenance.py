@@ -1,0 +1,106 @@
+"""Provenance records: consistency with the pipeline's stored results."""
+
+import pytest
+
+from repro.core.types import DomainStatus
+from repro.obs import provenance
+from repro.obs.schemas import PROVENANCE_SCHEMA, validate
+from repro.world.entities import DatasetTag
+
+
+@pytest.fixture(scope="module")
+def inferred_domain(ctx, last_snapshot):
+    result = ctx.priority_result(DatasetTag.ALEXA, last_snapshot)
+    for domain, inference in result.inferences.items():
+        if inference.status is DomainStatus.INFERRED:
+            return domain
+    pytest.fail("expected at least one inferred domain")
+
+
+class TestExplain:
+    def test_record_validates(self, ctx, inferred_domain, last_snapshot):
+        record = provenance.explain(ctx, inferred_domain, last_snapshot)
+        assert record is not None
+        assert validate(record, PROVENANCE_SCHEMA) == []
+
+    def test_winning_tier_consistent_with_stored_result(
+        self, ctx, inferred_domain, last_snapshot
+    ):
+        """The audit trail must restate the pipeline's own evidence, not
+        re-derive it: tiers, provider IDs, and corrections all match the
+        stored MXIdentity tuples exactly."""
+        record = provenance.explain(ctx, inferred_domain, last_snapshot)
+        result = ctx.priority_result(DatasetTag.ALEXA, last_snapshot)
+        inference = result.inferences[inferred_domain]
+        assert record["attributions"] == inference.attributions
+        by_name = {identity.mx_name: identity for identity in inference.mx_identities}
+        assert {mx["name"] for mx in record["mx"]} == set(by_name)
+        for mx in record["mx"]:
+            stored = by_name[mx["name"]]
+            assert mx["evidence"] == stored.source.value
+            assert mx["provider_id"] == stored.provider_id
+            assert mx["corrected"] == stored.corrected
+        best = min(inference.mx_identities, key=lambda i: i.source.priority)
+        assert record["winning_evidence"] == best.source.value
+
+    def test_every_corpus_explains_every_domain(self, ctx, last_snapshot):
+        for dataset in DatasetTag:
+            domains = ctx.domains(dataset)
+            record = provenance.explain(
+                ctx, domains[0], last_snapshot, dataset=dataset
+            )
+            assert record is not None
+            assert record["corpus"] == dataset.value
+            assert validate(record, PROVENANCE_SCHEMA) == []
+
+    def test_unknown_domain(self, ctx, last_snapshot):
+        assert provenance.explain(ctx, "not-a-real-domain.example", 8) is None
+
+    def test_uncovered_snapshot(self, ctx):
+        gov = ctx.domains(DatasetTag.GOV)[0]
+        assert provenance.explain(ctx, gov, 0, dataset=DatasetTag.GOV) is None
+
+    def test_locate_domain(self, ctx):
+        alexa = ctx.domains(DatasetTag.ALEXA)[0]
+        assert provenance.locate_domain(ctx, alexa) is DatasetTag.ALEXA
+        assert provenance.locate_domain(ctx, "nowhere.example") is None
+
+    def test_mx_set_context_included(self, ctx, inferred_domain, last_snapshot):
+        record = provenance.explain(ctx, inferred_domain, last_snapshot)
+        assert record["mx_set"], "measurement context should list the MX set"
+        assert any(mx["primary"] for mx in record["mx_set"])
+
+
+class TestRendering:
+    def test_renders_the_full_trail(self, ctx, inferred_domain, last_snapshot):
+        record = provenance.explain(ctx, inferred_domain, last_snapshot)
+        text = provenance.render_explanation(record)
+        assert inferred_domain in text
+        assert "status: inferred" in text
+        assert "winning evidence tier:" in text
+        assert "evidence trail" in text
+        for provider in record["attributions"]:
+            assert provider in text
+
+    def test_renders_statuses_without_mx(self, ctx, last_snapshot):
+        result = ctx.priority_result(DatasetTag.ALEXA, last_snapshot)
+        for inference in result.inferences.values():
+            if inference.status is DomainStatus.NO_MX:
+                record = provenance.explain(ctx, inference.domain, last_snapshot)
+                text = provenance.render_explanation(record)
+                assert "status: no_mx" in text
+                return
+        pytest.skip("world produced no NO_MX domain at this snapshot")
+
+    def test_correction_rendered_when_present(self, ctx, last_snapshot):
+        for dataset in DatasetTag:
+            result = ctx.priority_result(dataset, last_snapshot)
+            for inference in result.inferences.values():
+                if inference.corrected:
+                    record = provenance.explain(
+                        ctx, inference.domain, last_snapshot, dataset=dataset
+                    )
+                    text = provenance.render_explanation(record)
+                    assert "CORRECTED" in text
+                    return
+        pytest.skip("no step-4 correction in this world")
