@@ -49,6 +49,7 @@ from .experiments import (
 )
 from .engine import EngineOptions, get_stats
 from .experiments.common import StudyContext
+from .faults import FAULTS_ENV, resolve_plan
 from .obs import log as obs_log
 from .obs import manifest as obs_manifest
 from .obs import metrics as obs_metrics
@@ -111,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="engine workers for gathering/identification "
              "(default: REPRO_JOBS or 1; results are identical for any N)",
+    )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault injection plan: 'none', a uniform rate "
+             "('0.1'), or 'rate=0.1,seed=3,dns.timeout=0.2,asn:64501=0.5' "
+             f"(default: ${FAULTS_ENV}; faults are seeded and replayable)",
     )
     parser.add_argument(
         "--perf", action="store_true",
@@ -219,8 +226,12 @@ def run_explain_command(args: argparse.Namespace) -> int:
         )
         return 2
     config = WorldConfig(seed=args.seed).scaled(args.scale)
+    plan = resolve_plan(args.faults, seed=args.seed)
     ctx = StudyContext.create(
-        config, engine=EngineOptions(jobs=args.jobs), store=resolve_store(args)
+        config,
+        engine=EngineOptions(jobs=args.jobs),
+        store=resolve_store(args),
+        faults=plan,
     )
     dataset = obs_provenance.locate_domain(ctx, domain)
     if dataset is None:
@@ -291,12 +302,15 @@ def _run_experiments(
 ) -> int:
     config = WorldConfig(seed=args.seed).scaled(args.scale)
     store = resolve_store(args)
+    plan = resolve_plan(args.faults, seed=args.seed)
     started = time.time()
     print(
         f"Building world (seed={config.seed}, "
         f"{config.alexa_size}/{config.com_size}/{config.gov_size} domains) ...",
         file=sys.stderr,
     )
+    if plan is not None:
+        print(f"fault injection active: {plan.canonical()}", file=sys.stderr)
     engine = EngineOptions(jobs=args.jobs)
     names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
     log.info(
@@ -304,7 +318,7 @@ def _run_experiments(
         extra={"fields": {"experiments": list(names), "seed": config.seed}},
     )
     with obs_trace.span("run", cat="run", experiments=len(names)):
-        ctx = StudyContext.create(config, engine=engine, store=store)
+        ctx = StudyContext.create(config, engine=engine, store=store, faults=plan)
         for name in names:
             experiment_started = time.time()
             with obs_trace.span(name, cat="experiment"):
@@ -331,6 +345,7 @@ def _run_experiments(
             experiments=list(names),
             elapsed_seconds=total_elapsed,
             argv=argv,
+            faults=plan,
         )
         obs_manifest.write_manifest(args.manifest, document)
         print(f"wrote manifest to {args.manifest}", file=sys.stderr)

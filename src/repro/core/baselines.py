@@ -92,7 +92,9 @@ class SingleSourceApproach:
             ip.scan.certificate
             for measurement in measurements.values()
             for ip in measurement.all_ips()
-            if ip.scan is not None and ip.scan.certificate is not None
+            if ip.scan is not None
+            and ip.scan.has_smtp
+            and ip.scan.certificate is not None
         ]
         groups = CertificatePreprocessor(self.psl).build(certificates)
         ip_identifier = IPIdentifier(groups=groups, trust_store=self.trust_store, psl=self.psl)

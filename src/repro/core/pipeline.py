@@ -81,6 +81,7 @@ class PriorityPipeline:
         psl: PublicSuffixList | None = None,
         config: PipelineConfig | None = None,
         identity_cache: MXIdentityCache | None = None,
+        faults: object | None = None,
     ):
         self.trust_store = trust_store
         self.company_map = company_map
@@ -90,6 +91,9 @@ class PriorityPipeline:
         # full observation evidence plus the config flags, so one cache can
         # safely serve every snapshot and ablation config of a study.
         self.identity_cache = identity_cache
+        # On faulted runs, the injector tallies per-domain evidence loss
+        # (which tier each MX landed on, what never arrived) for metrics.
+        self.faults = faults
 
     # -- step 1 ----------------------------------------------------------
 
@@ -97,12 +101,19 @@ class PriorityPipeline:
     def collect_certificates(
         measurements: dict[str, DomainMeasurement],
     ) -> list[Certificate]:
-        """All observed certificates in a dataset, in measurement order."""
+        """All observed certificates in a dataset, in measurement order.
+
+        Only ``OPEN`` captures count: a scan that timed out was never
+        observed, so evidence it might carry is excluded (the record
+        constructor enforces the same invariant at the source).
+        """
         return [
             ip.scan.certificate
             for measurement in measurements.values()
             for ip in measurement.all_ips()
-            if ip.scan is not None and ip.scan.certificate is not None
+            if ip.scan is not None
+            and ip.scan.has_smtp
+            and ip.scan.certificate is not None
         ]
 
     def build_groups(
@@ -196,6 +207,8 @@ class PriorityPipeline:
                     identities[mx.name] = identity
                     all_identities[mx.name] = identity
                 inferences[domain] = domain_identifier.identify(measurement, identities)
+                if self.faults is not None:
+                    self.faults.record_domain_evidence(measurement, identities)
 
         return PipelineResult(
             inferences=inferences,

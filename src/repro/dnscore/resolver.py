@@ -52,10 +52,20 @@ class Answer:
 
 @dataclass
 class Resolver:
-    """A caching stub resolver over an authoritative :class:`ZoneDB`."""
+    """A caching stub resolver over an authoritative :class:`ZoneDB`.
+
+    ``faults`` (a :class:`~repro.faults.FaultInjector`, or None) perturbs
+    answers on the way out — SERVFAIL, retried-then-exhausted timeouts,
+    partial-zone record dropout — keyed by ``fault_scope`` (the snapshot
+    date) so the same name can fail on one measurement day and resolve on
+    the next.  Faulted answers are pure in (plan, scope, name, type) and
+    cache exactly like real ones.
+    """
 
     db: ZoneDB
     enable_cache: bool = True
+    faults: object | None = None
+    fault_scope: str = ""
     _cache: dict[tuple[str, RRType], Answer] = field(default_factory=dict)
 
     def resolve(self, name: str, rtype: RRType) -> Answer:
@@ -65,6 +75,8 @@ class Resolver:
         if self.enable_cache and key in self._cache:
             return self._cache[key]
         answer = self._resolve_uncached(name, rtype)
+        if self.faults is not None:
+            answer = self.faults.perturb_dns(self.fault_scope, answer)
         if self.enable_cache:
             self._cache[key] = answer
         return answer

@@ -28,6 +28,7 @@ from ..core.pipeline import PipelineConfig, PipelineResult, PriorityPipeline
 from ..core.types import DomainInference
 from ..engine import EngineOptions, MXIdentityCache, parallel_gather
 from ..engine.stats import STATS
+from ..faults import FaultInjector, FaultPlan, as_plan
 from ..obs import trace
 from ..measure import (
     CensysScanner,
@@ -91,6 +92,7 @@ class StudyContext:
     engine: EngineOptions = field(default_factory=EngineOptions)
     store: ArtifactStore | None = None
     identity_cache: MXIdentityCache | None = None
+    faults: FaultInjector | None = None
     _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
         default_factory=dict
     )
@@ -110,20 +112,41 @@ class StudyContext:
         config: WorldConfig | None = None,
         engine: EngineOptions | None = None,
         store: "ArtifactStore | None | object" = STORE_FROM_ENV,
+        faults: "FaultPlan | str | None" = None,
     ) -> "StudyContext":
         """Build a context; *store* defaults to the ``REPRO_CACHE`` store.
 
         Pass ``store=None`` to disable persistence explicitly, or an
         :class:`~repro.store.ArtifactStore` to use a specific cache dir.
+
+        *faults* — a :class:`~repro.faults.FaultPlan` (or spec string) —
+        installs the deterministic fault injector at every measurement
+        seam.  Inactive plans (rate 0 everywhere, ``"none"``) are treated
+        exactly like no plan at all, so the fault-free path stays
+        byte-identical to a build without the faults package.
         """
         engine = engine or EngineOptions()
         if store is STORE_FROM_ENV:
             store = ArtifactStore.from_env()
         world = build_world(config)
         world.psl.set_cache(engine.memoize)
-        openintel = OpenINTELPlatform(world.snapshot_zones, world.snapshot_dates)
-        censys = CensysScanner(world.host_table, coverage_for=world.censys_coverage_for)
+        plan = as_plan(faults)
         prefix2as = Prefix2ASDataset.from_table(world.prefix2as)
+        injector = None
+        if plan is not None:
+            def asn_of(address: str) -> int | None:
+                info = prefix2as.lookup(address)
+                return info.asn if info is not None else None
+
+            injector = FaultInjector(plan, asn_of=asn_of)
+        openintel = OpenINTELPlatform(
+            world.snapshot_zones, world.snapshot_dates, faults=injector
+        )
+        censys = CensysScanner(
+            world.host_table,
+            coverage_for=world.censys_coverage_for,
+            faults=injector,
+        )
         gatherer = MeasurementGatherer(
             openintel, censys, prefix2as, memoize=engine.memoize
         )
@@ -137,7 +160,12 @@ class StudyContext:
             engine=engine,
             store=store,
             identity_cache=MXIdentityCache() if engine.memoize else None,
+            faults=injector,
         )
+
+    def faults_key(self) -> str | None:
+        """The store-key component of this context's fault plan (or None)."""
+        return self.faults.plan.canonical() if self.faults is not None else None
 
     # -- corpus access ---------------------------------------------------
 
@@ -159,7 +187,7 @@ class StudyContext:
             loaded = None
             if self.store is not None:
                 loaded = self.store.load_measurements(
-                    self.world.config, dataset, snapshot_index
+                    self.world.config, dataset, snapshot_index, self.faults_key()
                 )
             if loaded is not None:
                 # Warm the gatherer's observation caches so follow-up
@@ -185,7 +213,8 @@ class StudyContext:
                     )
                 if self.store is not None:
                     self.store.save_measurements(
-                        self.world.config, dataset, snapshot_index, gathered
+                        self.world.config, dataset, snapshot_index, gathered,
+                        self.faults_key(),
                     )
                 self._measurements[key] = gathered
         return self._measurements[key]
@@ -234,7 +263,7 @@ class StudyContext:
             measurements = self.measurements(dataset, snapshot_index)
             pipeline = PriorityPipeline(
                 self.world.trust_store, self.company_map, self.world.psl, config,
-                identity_cache=self.identity_cache,
+                identity_cache=self.identity_cache, faults=self.faults,
             )
             with STATS.timer("context.pipeline"), trace.span(
                 f"{dataset.value}[s{snapshot_index}].pipeline",
@@ -253,7 +282,7 @@ class StudyContext:
             loaded = None
             if self.store is not None:
                 loaded = self.store.load_result(
-                    self.world.config, dataset, snapshot_index
+                    self.world.config, dataset, snapshot_index, self.faults_key()
                 )
             if loaded is not None:
                 self._priority[key] = loaded
@@ -261,7 +290,7 @@ class StudyContext:
                 measurements = self.measurements(dataset, snapshot_index)
                 pipeline = PriorityPipeline(
                     self.world.trust_store, self.company_map, self.world.psl,
-                    identity_cache=self.identity_cache,
+                    identity_cache=self.identity_cache, faults=self.faults,
                 )
                 with STATS.timer("context.pipeline"), trace.span(
                     f"{dataset.value}[s{snapshot_index}].pipeline",
@@ -277,7 +306,8 @@ class StudyContext:
                     )
                 if self.store is not None:
                     self.store.save_result(
-                        self.world.config, dataset, snapshot_index, result
+                        self.world.config, dataset, snapshot_index, result,
+                        self.faults_key(),
                     )
                 self._priority[key] = result
         return self._priority[key]
@@ -306,7 +336,8 @@ class StudyContext:
             loaded = None
             if self.store is not None:
                 loaded = self.store.load_baseline(
-                    self.world.config, dataset, snapshot_index, approach
+                    self.world.config, dataset, snapshot_index, approach,
+                    self.faults_key(),
                 )
             if loaded is not None:
                 self._baselines[key] = loaded
@@ -316,7 +347,7 @@ class StudyContext:
                 if self.store is not None:
                     self.store.save_baseline(
                         self.world.config, dataset, snapshot_index, approach,
-                        inferences,
+                        inferences, self.faults_key(),
                     )
                 self._baselines[key] = inferences
         return self._baselines[key]

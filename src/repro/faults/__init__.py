@@ -1,0 +1,26 @@
+"""Deterministic fault injection across the measurement path.
+
+The paper's methodology is designed around lossy measurement — scans
+that miss hosts, certificates that never arrive, resolutions that fail —
+and its cert > banner > mx-name priority ladder exists to degrade
+gracefully under that loss.  This package makes the loss reproducible:
+a seeded :class:`FaultPlan` drives a :class:`FaultInjector` whose every
+decision is a pure hash of (seed, channel, key), injected at well-defined
+seams in ``dnscore.resolver``, ``smtp.session``, and ``measure.censys``.
+
+With no plan configured the seams are single ``is None`` checks — the
+fault-free path is byte-identical to a build without this package.
+"""
+
+from .inject import BACKOFF_BASE, FaultInjector, fault_roll
+from .plan import FAULTS_ENV, FaultPlan, as_plan, resolve_plan
+
+__all__ = [
+    "BACKOFF_BASE",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultPlan",
+    "as_plan",
+    "fault_roll",
+    "resolve_plan",
+]

@@ -1,0 +1,284 @@
+"""The deterministic fault engine behind every injection seam.
+
+:class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan` into
+per-event decisions at the three measurement layers:
+
+* **DNS** — SERVFAIL, transient timeout (retried under the backoff
+  budget), and partial-zone record dropout, applied to resolver answers;
+* **SMTP/TLS** — connection refused, transient slow-host timeouts,
+  truncated banners (the session dies mid-way), and STARTTLS handshake
+  failures, applied inside :class:`~repro.smtp.session.SMTPClient`;
+* **scan coverage** — per-(address, snapshot) host dropout in the Censys
+  substrate, with per-AS overrides for provider-wide opt-outs.
+
+Every decision is a pure function of ``(plan.seed, channel, key)`` via a
+keyed hash — there is no RNG stream to consume, so decisions cannot
+depend on call order, sharding, executor kind, caching, or retries by
+other hosts.  That purity is what the chaos/differential harness leans
+on: the same (seed, plan) produces bit-identical faulted snapshots at
+any ``--jobs`` setting, and the decision set at rate r1 is a strict
+subset of the set at rate r2 > r1 (a roll below r1 is below r2), which
+makes tier-fallback monotone by construction.
+
+Counters land in the engine stats registry under ``faults.*`` and flow
+through the existing ``--metrics-out`` export; the ``explain_*`` helpers
+recompute decisions without counting, so per-domain evidence-loss
+provenance (``repro explain``) never perturbs the metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from datetime import date
+from typing import Callable, Iterator
+
+from ..engine.stats import STATS
+from .plan import FaultPlan
+
+#: Virtual seconds of backoff before the first retry; doubles per attempt.
+BACKOFF_BASE = 0.5
+
+_SCALE = float(2**64)
+
+
+def fault_roll(seed: int, channel: str, *key: object) -> float:
+    """A uniform [0, 1) roll, pure in (seed, channel, key).
+
+    Eight bytes of BLAKE2b over the joined key — stable across processes,
+    platforms, and Python hash randomization.
+    """
+    material = "|".join((str(seed), channel, *map(str, key)))
+    digest = hashlib.blake2b(material.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / _SCALE
+
+
+def _scope(on: date | None) -> str:
+    """The per-snapshot key component (faults vary day to day)."""
+    return on.isoformat() if on is not None else "-"
+
+
+class FaultInjector:
+    """Evaluates one plan's decisions and tallies what it broke."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        asn_of: Callable[[str], int | None] | None = None,
+    ):
+        self.plan = plan
+        self.asn_of = asn_of
+        self._asn_dropout = dict(plan.asn_dropout)
+
+    # -- the decision core ----------------------------------------------
+
+    def would(self, rate: float, channel: str, *key: object) -> bool:
+        """The pure decision — no counters (used by provenance replays)."""
+        return rate > 0.0 and fault_roll(self.plan.seed, channel, *key) < rate
+
+    def _decide(self, rate: float, channel: str, *key: object) -> bool:
+        """The counted decision used on the measurement path."""
+        if not self.would(rate, channel, *key):
+            return False
+        STATS.inc(f"faults.{channel}")
+        return True
+
+    def retry_attempts(self) -> Iterator[int]:
+        """Attempt numbers (1, 2, ...) the backoff budget allows.
+
+        Attempt *n* costs ``BACKOFF_BASE * 2**(n-1)`` virtual seconds;
+        iteration stops when the cumulative backoff would exceed the
+        plan's ``retry_budget`` or the attempt count its ``max_attempts``.
+        Virtual time keeps the schedule deterministic and free.
+        """
+        spent = 0.0
+        for attempt in range(1, self.plan.max_attempts):
+            spent += BACKOFF_BASE * (2 ** (attempt - 1))
+            if spent > self.plan.retry_budget:
+                return
+            yield attempt
+
+    # -- DNS layer (wired into dnscore.resolver) --------------------------
+
+    def perturb_dns(self, scope: str, answer):
+        """Possibly replace a resolver answer with a faulted one.
+
+        SERVFAIL is persistent per (snapshot, name, type); timeouts are
+        transient and retried under the backoff budget before being
+        reported as SERVFAIL (what a measurement platform records when a
+        resolution never completes); partial-zone dropout removes
+        individual records, degrading to NODATA when none survive.
+        """
+        from ..dnscore.resolver import Answer, Rcode
+
+        plan = self.plan
+        name, rtype = answer.qname, answer.qtype.name
+        if self._decide(plan.dns_servfail, "dns.servfail", scope, name, rtype):
+            return Answer(answer.qname, answer.qtype, Rcode.SERVFAIL, chain=answer.chain)
+        if self._dns_times_out(scope, name, rtype):
+            return Answer(answer.qname, answer.qtype, Rcode.SERVFAIL, chain=answer.chain)
+        if plan.dns_partial > 0.0 and answer.records:
+            kept = tuple(
+                record
+                for record in answer.records
+                if not self._decide(
+                    plan.dns_partial, "dns.partial", scope, name, rtype, record.rdata
+                )
+            )
+            if len(kept) != len(answer.records):
+                rcode = Rcode.NOERROR if kept else Rcode.NODATA
+                return Answer(
+                    answer.qname, answer.qtype, rcode, records=kept, chain=answer.chain
+                )
+        return answer
+
+    def _dns_times_out(self, scope: str, name: str, rtype: str) -> bool:
+        if not self._decide(self.plan.dns_timeout, "dns.timeout", scope, name, rtype, 0):
+            return False
+        for attempt in self.retry_attempts():
+            STATS.inc("faults.dns.retry")
+            if not self._decide(
+                self.plan.dns_timeout, "dns.timeout", scope, name, rtype, attempt
+            ):
+                STATS.inc("faults.dns.recovered")
+                return False
+        STATS.inc("faults.dns.exhausted")
+        return True
+
+    def _dns_would_time_out(self, scope: str, name: str, rtype: str) -> bool:
+        """Counter-free replay of :meth:`_dns_times_out` for provenance."""
+        if not self.would(self.plan.dns_timeout, "dns.timeout", scope, name, rtype, 0):
+            return False
+        return not any(
+            not self.would(
+                self.plan.dns_timeout, "dns.timeout", scope, name, rtype, attempt
+            )
+            for attempt in self.retry_attempts()
+        )
+
+    # -- SMTP/TLS layer (wired into smtp.session) -------------------------
+
+    def probe_fault(self, address: str, on: date | None, attempt: int):
+        """Connection-level fault for one probe attempt, or None.
+
+        Refusals are persistent per (snapshot, address) — retrying cannot
+        help; timeouts are transient per attempt, so the scanner's
+        retry-with-backoff loop re-rolls them.
+        """
+        from ..smtp.session import SessionOutcome
+
+        scope = _scope(on)
+        if self._decide(self.plan.smtp_refused, "smtp.refused", scope, address):
+            return SessionOutcome.CONNECTION_REFUSED
+        if self._decide(self.plan.smtp_timeout, "smtp.timeout", scope, address, attempt):
+            return SessionOutcome.TIMEOUT
+        return None
+
+    def truncated_banner(self, line: str, address: str, on: date | None) -> str | None:
+        """The surviving banner prefix when the session dies mid-banner."""
+        scope = _scope(on)
+        if not self._decide(self.plan.smtp_truncate, "smtp.truncate", scope, address):
+            return None
+        cut = int(
+            fault_roll(self.plan.seed, "smtp.truncate.cut", scope, address) * len(line)
+        )
+        return line[:cut]
+
+    def tls_handshake_fails(self, address: str, on: date | None) -> bool:
+        return self._decide(self.plan.tls_fail, "tls.fail", _scope(on), address)
+
+    # -- scan-coverage layer (wired into measure.censys) ------------------
+
+    def _dropout_rate(self, address: str) -> float:
+        if self._asn_dropout and self.asn_of is not None:
+            asn = self.asn_of(address)
+            if asn in self._asn_dropout:
+                return self._asn_dropout[asn]
+        return self.plan.scan_dropout
+
+    def scan_dropped(self, address: str, on: date) -> bool:
+        """Whether this (address, snapshot) is a hole in the scan data."""
+        return self._decide(
+            self._dropout_rate(address), "scan.dropout", _scope(on), address
+        )
+
+    # -- evidence-loss provenance (counter-free replays) ------------------
+
+    def explain_observation(self, observation, on: date) -> dict | None:
+        """Why one joined observation lost evidence tiers, or None.
+
+        Recomputes the pure decisions (never reads counters), so the
+        explanation is consistent with any stored snapshot of the same
+        (seed, plan) — including ones gathered by forked workers.
+        """
+        scope = _scope(on)
+        address = observation.address
+        scan = observation.scan
+        if scan is None:
+            if self.would(self._dropout_rate(address), "scan.dropout", scope, address):
+                reason = "injected scan dropout (no Censys data this snapshot)"
+            else:
+                reason = "outside Censys coverage"
+            return {"address": address, "lost": ["cert", "banner"], "reason": reason}
+        if not scan.has_smtp:
+            from ..measure.censys import Port25State
+
+            if scan.state is Port25State.TIMEOUT:
+                if self.would(self.plan.smtp_timeout, "smtp.timeout", scope, address, 0):
+                    reason = (
+                        "injected SMTP timeout (retries exhausted within the "
+                        f"{self.plan.retry_budget:g}s backoff budget)"
+                    )
+                else:
+                    reason = "port 25 timeout"
+            elif self.would(self.plan.smtp_refused, "smtp.refused", scope, address):
+                reason = "injected connection refused"
+            else:
+                reason = "port 25 closed"
+            return {"address": address, "lost": ["cert", "banner"], "reason": reason}
+        if scan.certificate is None:
+            if scan.starttls and self.would(self.plan.tls_fail, "tls.fail", scope, address):
+                return {
+                    "address": address,
+                    "lost": ["cert"],
+                    "reason": "injected TLS handshake failure (STARTTLS offered)",
+                }
+            if self.would(self.plan.smtp_truncate, "smtp.truncate", scope, address):
+                return {
+                    "address": address,
+                    "lost": ["cert"],
+                    "reason": "injected truncated session (died after partial banner)",
+                }
+        return None
+
+    def explain_dns(self, on: date, name: str, rtype: str = "MX") -> str | None:
+        """Why a (snapshot, name, type) resolution failed, or None."""
+        scope = _scope(on)
+        if self.would(self.plan.dns_servfail, "dns.servfail", scope, name, rtype):
+            return "injected DNS SERVFAIL"
+        if self._dns_would_time_out(scope, name, rtype):
+            return "injected DNS timeout (retries exhausted)"
+        return None
+
+    # -- per-domain evidence tallies (pipeline hook) ----------------------
+
+    def record_domain_evidence(self, measurement, identities) -> None:
+        """Tally tier usage and evidence loss for one attributed domain.
+
+        Called by the priority pipeline (only on faulted runs) so the
+        ``--metrics-out`` export carries the degradation profile: which
+        tier each MX landed on and which evidence never arrived.
+        """
+        for identity in identities.values():
+            STATS.inc(f"faults.evidence.tier.{identity.source.value}")
+        if not measurement.has_mx:
+            STATS.inc("faults.evidence.no_mx")
+            return
+        for mx in measurement.primary_mx:
+            for observation in mx.ips:
+                scan = observation.scan
+                if scan is None:
+                    STATS.inc("faults.evidence.scan_missing")
+                elif not scan.has_smtp:
+                    STATS.inc("faults.evidence.smtp_unreachable")
+                elif scan.certificate is None:
+                    STATS.inc("faults.evidence.cert_missing")

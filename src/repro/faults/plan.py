@@ -1,0 +1,251 @@
+"""Fault plans: what to break, how often, under which seed.
+
+A :class:`FaultPlan` is the complete, immutable description of one fault
+workload over the measure→infer path — per-layer rates (DNS, SMTP/TLS,
+scan coverage), the seed that makes every decision reproducible, and the
+retry/backoff budget the measurement gatherers are allowed to spend on
+transient failures.  Plans are parsed from the ``--faults SPEC`` CLI flag
+or the ``REPRO_FAULTS`` environment variable and canonicalize back to a
+stable spec string (used in artifact-store keys and run manifests, so a
+faulted snapshot can never be confused with a fault-free one).
+
+The paper's pipeline is built for exactly this kind of loss: Censys scans
+miss hosts intermittently (Section 4.2.2 calls out EIG by name), DNS
+resolutions fail, and the cert > banner > mx-name tier ladder exists to
+degrade gracefully when they do.  The plan gives those losses a seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: spec key → FaultPlan rate field, one per fault channel.
+RATE_FIELDS = {
+    "dns.servfail": "dns_servfail",
+    "dns.timeout": "dns_timeout",
+    "dns.partial": "dns_partial",
+    "smtp.refused": "smtp_refused",
+    "smtp.timeout": "smtp_timeout",
+    "smtp.truncate": "smtp_truncate",
+    "tls.fail": "tls_fail",
+    "scan.dropout": "scan_dropout",
+}
+
+#: spec words that mean "no fault injection at all".
+_OFF_WORDS = {"", "none", "off", "0", "no"}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates + seed + retry budget for one deterministic fault workload.
+
+    Every rate is a probability in [0, 1] evaluated by a pure hash of
+    ``(seed, channel, key)`` — never by a shared RNG stream — so the same
+    (seed, plan) produces bit-identical fault decisions at any ``--jobs``
+    setting, with either executor, in any call order.
+    """
+
+    seed: int = 0
+    dns_servfail: float = 0.0   # persistent per-(snapshot, name, type)
+    dns_timeout: float = 0.0    # transient; retried under the budget
+    dns_partial: float = 0.0    # per-record dropout from answered RRsets
+    smtp_refused: float = 0.0   # persistent per-(snapshot, address)
+    smtp_timeout: float = 0.0   # transient slow host; retried
+    smtp_truncate: float = 0.0  # session dies after a partial banner
+    tls_fail: float = 0.0       # STARTTLS offered but handshake fails
+    scan_dropout: float = 0.0   # per-(snapshot, address) Censys gap
+    # (asn, rate) overrides for scan_dropout — the paper's per-provider
+    # blind spots (owner opt-outs hit whole ASes at once).
+    asn_dropout: tuple[tuple[int, float], ...] = ()
+    max_attempts: int = 3       # total tries per host (1 + retries)
+    retry_budget: float = 4.0   # virtual seconds of backoff per host
+
+    def __post_init__(self) -> None:
+        for key, attr in RATE_FIELDS.items():
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"fault rate {key}={value} outside [0, 1]")
+        for asn, rate in self.asn_dropout:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate asn:{asn}={rate} outside [0, 1]")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be non-negative")
+
+    # -- activity --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault channel can ever fire.
+
+        An inactive plan is the no-op seam: contexts treat it exactly like
+        "no faults configured", so a ``--faults none`` (or all-zero) run
+        is byte-identical to one where the module is never consulted.
+        """
+        if any(getattr(self, attr) > 0 for attr in RATE_FIELDS.values()):
+            return True
+        return any(rate > 0 for _asn, rate in self.asn_dropout)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Every fault channel at the same *rate* (the chaos-sweep axis)."""
+        return cls(seed=seed, **{attr: rate for attr in RATE_FIELDS.values()})
+
+    @classmethod
+    def parse(cls, spec: str | None, seed: int = 0) -> "FaultPlan":
+        """A plan from a spec string.
+
+        Grammar::
+
+            SPEC  := "none" | RATE | item ("," item)*
+            item  := "rate=" RATE          # uniform base rate
+                   | "seed=" INT
+                   | "retries=" INT        # max attempts per host
+                   | "budget=" FLOAT       # virtual backoff seconds
+                   | "asn:" INT "=" RATE   # per-AS scan-dropout override
+                   | CHANNEL "=" RATE      # e.g. dns.servfail=0.05
+
+        A bare number is shorthand for ``rate=NUMBER``.  Unknown keys and
+        out-of-range rates raise :class:`ValueError`.
+        """
+        if spec is None or spec.strip().lower() in _OFF_WORDS:
+            return cls(seed=seed)
+        spec = spec.strip()
+        try:
+            return cls.uniform(float(spec), seed=seed)
+        except ValueError:
+            pass  # not a bare rate — parse the item list
+
+        fields: dict[str, object] = {"seed": seed}
+        asn_overrides: dict[int, float] = {}
+        uniform_rate: float | None = None
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"malformed fault spec item {item!r} (want key=value)")
+            key, _, raw = item.partition("=")
+            key = key.strip().lower()
+            raw = raw.strip()
+            if key == "seed":
+                fields["seed"] = int(raw)
+            elif key == "retries":
+                fields["max_attempts"] = int(raw)
+            elif key == "budget":
+                fields["retry_budget"] = float(raw)
+            elif key == "rate":
+                uniform_rate = float(raw)
+            elif key.startswith("asn:"):
+                asn_overrides[int(key[len("asn:"):])] = float(raw)
+            elif key in RATE_FIELDS:
+                fields[RATE_FIELDS[key]] = float(raw)
+            else:
+                known = ", ".join(sorted(RATE_FIELDS))
+                raise ValueError(
+                    f"unknown fault spec key {key!r} (known: rate, seed, "
+                    f"retries, budget, asn:<n>, {known})"
+                )
+        if uniform_rate is not None:
+            for attr in RATE_FIELDS.values():
+                fields.setdefault(attr, uniform_rate)
+        if asn_overrides:
+            fields["asn_dropout"] = tuple(sorted(asn_overrides.items()))
+        return cls(**fields)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The plan named by ``REPRO_FAULTS``, or None when unset.
+
+        Unparseable values warn (instead of failing silently) and fall
+        back to no injection, mirroring ``REPRO_SCALE``/``REPRO_JOBS``.
+        """
+        raw = os.environ.get(FAULTS_ENV)
+        if raw is None:
+            return None
+        try:
+            return cls.parse(raw)
+        except ValueError as error:
+            warnings.warn(
+                f"unparseable {FAULTS_ENV}={raw!r} ({error}); disabling faults",
+                stacklevel=2,
+            )
+            return None
+
+    # -- canonical form --------------------------------------------------
+
+    def canonical(self) -> str:
+        """The stable spec string of this plan (``"none"`` when inactive).
+
+        Round-trips through :meth:`parse` for every active plan; folded
+        into artifact-store keys so faulted artifacts never collide with
+        fault-free ones (and rate-0 plans add nothing to the key).
+        """
+        if not self.active:
+            return "none"
+        parts = [f"seed={self.seed}"]
+        for key, attr in sorted(RATE_FIELDS.items()):
+            value = getattr(self, attr)
+            if value > 0:
+                parts.append(f"{key}={value:g}")
+        for asn, rate in self.asn_dropout:
+            if rate > 0:
+                parts.append(f"asn:{asn}={rate:g}")
+        defaults = FaultPlan()
+        if self.max_attempts != defaults.max_attempts:
+            parts.append(f"retries={self.max_attempts}")
+        if self.retry_budget != defaults.retry_budget:
+            parts.append(f"budget={self.retry_budget:g}")
+        return ",".join(parts)
+
+    def describe(self) -> dict:
+        """A manifest-friendly dict (only the channels that can fire)."""
+        document = {"seed": self.seed, "spec": self.canonical()}
+        rates = {
+            key: getattr(self, attr)
+            for key, attr in RATE_FIELDS.items()
+            if getattr(self, attr) > 0
+        }
+        if rates:
+            document["rates"] = rates
+        if self.asn_dropout:
+            document["asn_dropout"] = {
+                str(asn): rate for asn, rate in self.asn_dropout
+            }
+        document["max_attempts"] = self.max_attempts
+        document["retry_budget"] = self.retry_budget
+        return document
+
+
+def resolve_plan(spec: str | None, seed: int = 0) -> FaultPlan | None:
+    """The active plan from an explicit spec or the environment, or None.
+
+    An explicit *spec* wins over ``REPRO_FAULTS``; inactive plans resolve
+    to None so callers can use "plan is None" as the zero-overhead seam.
+    """
+    if spec is not None:
+        plan = FaultPlan.parse(spec, seed=seed)
+    else:
+        plan = FaultPlan.from_env()
+    if plan is None or not plan.active:
+        return None
+    return plan
+
+
+def as_plan(value: "FaultPlan | str | None") -> FaultPlan | None:
+    """Coerce a plan-or-spec argument to an active plan (or None)."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return resolve_plan(value)
+    if not dataclasses.is_dataclass(value):
+        raise TypeError(f"expected FaultPlan or spec string, got {type(value)!r}")
+    return value if value.active else None

@@ -32,7 +32,15 @@ class Port25State(enum.Enum):
 
 @dataclass(frozen=True)
 class PortScanRecord:
-    """One IP's port-25 capture on one scan day."""
+    """One IP's port-25 capture on one scan day.
+
+    Only ``OPEN`` captures carry application-layer evidence: a host that
+    timed out (or refused the connection) was never *observed*, so any
+    partial banner or certificate a dying session produced must not leak
+    into inference.  The constructor enforces that invariant — downstream
+    consumers used to assume it silently, which held only on the happy
+    path where non-OPEN records were always built bare.
+    """
 
     address: str
     scanned_on: date
@@ -41,6 +49,13 @@ class PortScanRecord:
     ehlo: str | None = None
     starttls: bool = False
     certificate: Certificate | None = None
+
+    def __post_init__(self) -> None:
+        if self.state is not Port25State.OPEN:
+            object.__setattr__(self, "banner", None)
+            object.__setattr__(self, "ehlo", None)
+            object.__setattr__(self, "starttls", False)
+            object.__setattr__(self, "certificate", None)
 
     @property
     def has_smtp(self) -> bool:
@@ -58,15 +73,25 @@ class CensysScanner:
 
     ``coverage_for`` maps an address to the probability that Censys has any
     data for it on a given day; misses are deterministic in (address, date).
+
+    ``faults`` (a :class:`~repro.faults.FaultInjector`, or None) layers the
+    chaos workload on top: per-snapshot host dropout (the paper's
+    intermittent-scanner gaps, Section 4.2.2) and session faults injected
+    by the probe client — against which the scanner retries transient
+    timeouts with exponential backoff, bounded by the plan's per-host
+    virtual-time budget.
     """
 
     host_table: SMTPHostTable
     coverage_for: Callable[[str], float] = lambda _address: 1.0
     helo_name: str = "scanner.censys.io"
+    faults: object | None = None
     _cache: dict[tuple[str, date], PortScanRecord | None] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self._client = SMTPClient(self.host_table, helo_name=self.helo_name)
+        self._client = SMTPClient(
+            self.host_table, helo_name=self.helo_name, faults=self.faults
+        )
 
     def scan_address(self, address: str, scanned_on: date) -> PortScanRecord | None:
         """Scan one address; None models "Censys has no data for this IP"."""
@@ -83,9 +108,11 @@ class CensysScanner:
         self._cache.setdefault((address, scanned_on), record)
 
     def _scan_uncached(self, address: str, scanned_on: date) -> PortScanRecord | None:
+        if self.faults is not None and self.faults.scan_dropped(address, scanned_on):
+            return None
         if _coverage_roll(address, scanned_on) >= self.coverage_for(address):
             return None
-        result = self._client.probe(address, port=SMTP_RELAY_PORT)
+        result = self._probe_with_retry(address, scanned_on)
         if result.outcome is SessionOutcome.TIMEOUT:
             return PortScanRecord(
                 address=address, scanned_on=scanned_on, state=Port25State.TIMEOUT
@@ -103,6 +130,29 @@ class CensysScanner:
             starttls=result.starttls_offered,
             certificate=result.certificate,
         )
+
+    def _probe_with_retry(self, address: str, scanned_on: date):
+        """One probe, plus bounded retry-with-backoff on faulted runs.
+
+        Transient (injected) timeouts re-roll per attempt, so a flaky
+        host that would answer on a later try yields the same record as
+        one that never failed; hosts that stay dark through the backoff
+        budget surface as ``TIMEOUT`` — the provenance the paper's tier
+        ladder degrades around.  Fault-free runs never enter the loop.
+        """
+        result = self._client.probe(address, port=SMTP_RELAY_PORT, on=scanned_on)
+        if self.faults is None or result.outcome is not SessionOutcome.TIMEOUT:
+            return result
+        for attempt in self.faults.retry_attempts():
+            STATS.inc("faults.smtp.retry")
+            result = self._client.probe(
+                address, port=SMTP_RELAY_PORT, on=scanned_on, attempt=attempt
+            )
+            if result.outcome is not SessionOutcome.TIMEOUT:
+                STATS.inc("faults.smtp.recovered")
+                return result
+        STATS.inc("faults.smtp.exhausted")
+        return result
 
     def scan_many(
         self, addresses: list[str], scanned_on: date

@@ -58,18 +58,29 @@ class DNSSnapshotRecord:
 
 @dataclass
 class OpenINTELPlatform:
-    """Active DNS measurement over per-snapshot zone databases."""
+    """Active DNS measurement over per-snapshot zone databases.
+
+    ``faults`` (a :class:`~repro.faults.FaultInjector`, or None) makes the
+    per-snapshot resolvers fail the way OpenINTEL's recorded resolutions
+    do — SERVFAILs, timed-out queries, partially answered zones — scoped
+    by snapshot date, so a domain can be dark on one measurement day and
+    present the next.
+    """
 
     snapshot_zones: list[ZoneDB]
     snapshot_dates: tuple[date, ...]
     # TLD → index of the first snapshot with coverage (OpenINTEL gained
     # .gov coverage only from June 2018, Section 4.1).
     tld_coverage_start: dict[str, int] = field(default_factory=lambda: {"gov": 2})
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         if len(self.snapshot_zones) != len(self.snapshot_dates):
             raise ValueError("one ZoneDB per snapshot date required")
-        self._resolvers = [Resolver(db=zdb) for zdb in self.snapshot_zones]
+        self._resolvers = [
+            Resolver(db=zdb, faults=self.faults, fault_scope=day.isoformat())
+            for zdb, day in zip(self.snapshot_zones, self.snapshot_dates)
+        ]
 
     @property
     def num_snapshots(self) -> int:

@@ -46,8 +46,14 @@ def build_manifest(
     elapsed_seconds: float | None = None,
     stats=None,
     argv: list[str] | None = None,
+    faults=None,
 ) -> dict:
-    """Assemble the manifest document for one run."""
+    """Assemble the manifest document for one run.
+
+    *faults* is the :class:`~repro.faults.FaultPlan` of the run (or None).
+    It is recorded only when given, so fault-free manifests stay
+    byte-identical to builds without fault injection.
+    """
     from ..store.artifacts import SCHEMA_VERSION as STORE_SCHEMA
     from .metrics import METRICS_SCHEMA_VERSION
     from .provenance import PROVENANCE_SCHEMA_VERSION
@@ -58,7 +64,7 @@ def build_manifest(
 
         stats = get_stats()
     timers = sorted(stats.timers.items(), key=lambda item: (-item[1], item[0]))
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "argv": list(argv) if argv is not None else sys.argv[1:],
@@ -92,6 +98,9 @@ def build_manifest(
             "pid": os.getpid(),
         },
     }
+    if faults is not None:
+        manifest["faults"] = faults.describe()
+    return manifest
 
 
 def write_manifest(path: str | os.PathLike, manifest: dict) -> None:

@@ -57,12 +57,20 @@ def provenance_record(
     snapshot_index: int,
     snapshot_date=None,
     measurement=None,
+    faults=None,
 ) -> dict:
     """The audit-trail record for one domain's stored inference.
 
     *measurement* (optional) adds the raw MX set with preferences, so the
     trail also shows records that did **not** participate (non-primary
     preferences, unresolvable names).
+
+    *faults* (a :class:`~repro.faults.FaultInjector`, or None) adds the
+    evidence-loss section of faulted runs: which tiers never arrived for
+    each primary-MX address and why — injected scan dropout, exhausted
+    retries, TLS handshake failures — replayed from the injector's pure
+    decisions, so the explanation matches any stored snapshot of the
+    same (seed, plan).  Fault-free records are byte-identical to before.
     """
     record = {
         "schema": PROVENANCE_SCHEMA_VERSION,
@@ -95,7 +103,34 @@ def provenance_record(
             }
             for mx in measurement.mx_set
         ]
+    if faults is not None:
+        losses = _evidence_losses(faults, inference, measurement)
+        if losses:
+            record["evidence_loss"] = losses
     return record
+
+
+def _evidence_losses(faults, inference, measurement) -> list[dict]:
+    """Replay the injector's decisions for every primary-MX address."""
+    losses: list[dict] = []
+    if measurement is None:
+        return losses
+    measured_on = measurement.measured_on
+    if not measurement.has_mx:
+        reason = faults.explain_dns(measured_on, measurement.domain, "MX")
+        if reason is not None:
+            losses.append({"address": None, "lost": ["mx"], "reason": reason})
+        return losses
+    seen: set[str] = set()
+    for mx in measurement.primary_mx:
+        for ip in mx.ips:
+            if ip.address in seen:
+                continue
+            seen.add(ip.address)
+            loss = faults.explain_observation(ip, measured_on)
+            if loss is not None:
+                losses.append(loss)
+    return losses
 
 
 def explain(ctx, domain: str, snapshot_index: int, dataset=None) -> dict | None:
@@ -121,6 +156,7 @@ def explain(ctx, domain: str, snapshot_index: int, dataset=None) -> dict | None:
         snapshot_index=snapshot_index,
         snapshot_date=ctx.world.snapshot_dates[snapshot_index],
         measurement=measurements.get(domain),
+        faults=getattr(ctx, "faults", None),
     )
 
 
@@ -191,4 +227,10 @@ def render_explanation(record: dict) -> str:
             lines.append("    step 4: examined, inference upheld")
         else:
             lines.append("    step 4: not a misidentification candidate")
+    if record.get("evidence_loss"):
+        lines.append("evidence loss (fault injection):")
+        for loss in record["evidence_loss"]:
+            where = loss["address"] or "DNS"
+            tiers = ", ".join(loss["lost"])
+            lines.append(f"  {where}: lost [{tiers}] — {loss['reason']}")
     return "\n".join(lines)

@@ -85,6 +85,15 @@ MANIFEST_SCHEMA = {
         "experiments": {"type": "array"},
         "timing": {"type": "object"},
         "runtime": {"type": "object"},
+        # Present only on faulted runs (fault-free manifests omit it).
+        "faults": {
+            "type": "object",
+            "required": ["seed", "spec"],
+            "properties": {
+                "seed": {"type": "integer"},
+                "spec": {"type": "string"},
+            },
+        },
     },
 }
 
@@ -113,6 +122,18 @@ PROVENANCE_SCHEMA = {
                     "corrected": {"type": "boolean"},
                     "examined": {"type": "boolean"},
                     "ips": {"type": "array"},
+                },
+            },
+        },
+        # Present only on faulted runs with injected evidence loss.
+        "evidence_loss": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["lost", "reason"],
+                "properties": {
+                    "lost": {"type": "array", "minItems": 1},
+                    "reason": {"type": "string"},
                 },
             },
         },

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from datetime import date
 
 from ..tls.cert import Certificate
 from .replies import Reply
@@ -51,14 +52,39 @@ class SessionResult:
 
 
 class SMTPClient:
-    """Drives probe sessions against an :class:`SMTPHostTable`."""
+    """Drives probe sessions against an :class:`SMTPHostTable`.
 
-    def __init__(self, hosts: SMTPHostTable, helo_name: str = "scanner.example"):
+    ``faults`` (a :class:`~repro.faults.FaultInjector`, or None) perturbs
+    sessions the way real scans fail: refused connections, slow hosts
+    that time out (``attempt`` re-rolls them, so a caller's retry loop
+    can recover), sessions that die after a partial banner, and STARTTLS
+    handshakes that never complete.  ``on`` scopes the decisions to one
+    measurement day.
+    """
+
+    def __init__(
+        self,
+        hosts: SMTPHostTable,
+        helo_name: str = "scanner.example",
+        faults: object | None = None,
+    ):
         self.hosts = hosts
         self.helo_name = helo_name
+        self.faults = faults
 
-    def probe(self, address: str, port: int = SMTP_RELAY_PORT) -> SessionResult:
+    def probe(
+        self,
+        address: str,
+        port: int = SMTP_RELAY_PORT,
+        *,
+        on: date | None = None,
+        attempt: int = 0,
+    ) -> SessionResult:
         """Run one scan-style session against address:port."""
+        if self.faults is not None:
+            fault = self.faults.probe_fault(address, on, attempt)
+            if fault is not None:
+                return SessionResult(address=address, port=port, outcome=fault)
         config = self.hosts.get(address)
         if config is None:
             return SessionResult(address=address, port=port, outcome=SessionOutcome.TIMEOUT)
@@ -68,6 +94,16 @@ class SMTPClient:
             )
 
         banner = config.greet(address)
+        if self.faults is not None:
+            truncated = self.faults.truncated_banner(banner.first_line, address, on)
+            if truncated is not None:
+                # The connection died mid-banner: no EHLO, no STARTTLS.
+                return SessionResult(
+                    address=address,
+                    port=port,
+                    outcome=SessionOutcome.CONNECTED,
+                    banner=Reply(code=banner.code, lines=(truncated,)),
+                )
         ehlo = config.respond_ehlo(address)
         offered = any(line.startswith("STARTTLS") for line in ehlo.lines[1:])
 
@@ -78,6 +114,13 @@ class SMTPClient:
                 certificate = config.certificate
             else:  # pragma: no cover - config forbids this, defensive only
                 outcome = SessionOutcome.TLS_FAILED
+            if (
+                certificate is not None
+                and self.faults is not None
+                and self.faults.tls_handshake_fails(address, on)
+            ):
+                outcome = SessionOutcome.TLS_FAILED
+                certificate = None
 
         return SessionResult(
             address=address,

@@ -64,8 +64,16 @@ def baseline_kind(approach: str) -> str:
     return f"baseline:{approach}"
 
 
-def cache_key(config, dataset, snapshot_index: int, kind: str) -> str:
-    """Content address of one artifact: digest of its full provenance."""
+def cache_key(
+    config, dataset, snapshot_index: int, kind: str, faults: str | None = None
+) -> str:
+    """Content address of one artifact: digest of its full provenance.
+
+    *faults* is the canonical fault-plan spec of the run (None for
+    fault-free runs).  It joins the key only when set, so fault-free keys
+    are byte-identical to pre-fault-injection builds while faulted
+    snapshots can never be served to — or poisoned by — clean runs.
+    """
     provenance = {
         "schema": SCHEMA_VERSION,
         "world": dataclasses.asdict(config),
@@ -73,6 +81,8 @@ def cache_key(config, dataset, snapshot_index: int, kind: str) -> str:
         "snapshot": int(snapshot_index),
         "kind": kind,
     }
+    if faults is not None:
+        provenance["faults"] = faults
     body = json.dumps(provenance, sort_keys=True, default=str)
     return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
@@ -305,30 +315,44 @@ class ArtifactStore:
                 payload = encode(value)
             self.write(key, payload)
 
-    def load_measurements(self, config, dataset, snapshot_index: int):
-        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS)
+    def load_measurements(
+        self, config, dataset, snapshot_index: int, faults: str | None = None
+    ):
+        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS, faults)
         return self._load("store.meas", key, decode_measurements)
 
-    def save_measurements(self, config, dataset, snapshot_index: int, measurements) -> None:
-        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS)
+    def save_measurements(
+        self, config, dataset, snapshot_index: int, measurements,
+        faults: str | None = None,
+    ) -> None:
+        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS, faults)
         self._save(key, encode_measurements, measurements)
 
-    def load_result(self, config, dataset, snapshot_index: int):
-        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY)
+    def load_result(
+        self, config, dataset, snapshot_index: int, faults: str | None = None
+    ):
+        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY, faults)
         return self._load("store.result", key, decode_result)
 
-    def save_result(self, config, dataset, snapshot_index: int, result) -> None:
-        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY)
+    def save_result(
+        self, config, dataset, snapshot_index: int, result,
+        faults: str | None = None,
+    ) -> None:
+        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY, faults)
         self._save(key, encode_result, result)
 
-    def load_baseline(self, config, dataset, snapshot_index: int, approach: str):
-        key = cache_key(config, dataset, snapshot_index, baseline_kind(approach))
+    def load_baseline(
+        self, config, dataset, snapshot_index: int, approach: str,
+        faults: str | None = None,
+    ):
+        key = cache_key(config, dataset, snapshot_index, baseline_kind(approach), faults)
         return self._load("store.baseline", key, decode_inferences)
 
     def save_baseline(
-        self, config, dataset, snapshot_index: int, approach: str, inferences
+        self, config, dataset, snapshot_index: int, approach: str, inferences,
+        faults: str | None = None,
     ) -> None:
-        key = cache_key(config, dataset, snapshot_index, baseline_kind(approach))
+        key = cache_key(config, dataset, snapshot_index, baseline_kind(approach), faults)
         self._save(key, encode_inferences, inferences)
 
     # -- reporting -------------------------------------------------------

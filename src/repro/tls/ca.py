@@ -20,6 +20,20 @@ from .cert import Certificate
 _serial_counter = itertools.count(1)
 
 
+def reset_serials() -> None:
+    """Restart leaf-certificate serial allocation at 1.
+
+    Serials are allocated from a process-global counter, so a world built
+    *after* another world in the same process gets different serials for
+    otherwise-identical certificates.  Differential harnesses that compare
+    snapshot encodings across in-process world builds (the chaos sweep,
+    the golden store tests) reset the counter before each build to make
+    the comparison byte-exact; a single world build never needs this.
+    """
+    global _serial_counter
+    _serial_counter = itertools.count(1)
+
+
 class ValidationStatus(enum.Enum):
     """Outcome of chain validation against a trust store."""
 

@@ -1,0 +1,136 @@
+"""Determinism of fault decisions: pure rolls, monotone rates, any executor.
+
+The contract under test is the heart of the chaos harness: every fault
+decision is a pure function of (seed, channel, key), so the same plan
+produces bit-identical faulted snapshots regardless of worker count,
+executor kind, call order, or retries elsewhere — and raising a rate can
+only *add* fault events, never reshuffle them.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from datetime import date
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineOptions
+from repro.experiments.common import StudyContext
+from repro.faults import FaultInjector, FaultPlan, fault_roll
+from repro.tls.ca import reset_serials
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+
+DAY = date(2021, 6, 8)
+
+# Small world, but big enough that gathering takes the parallel path
+# (MIN_PARALLEL_TARGETS) when jobs > 1.
+FAST_CONFIG = WorldConfig(seed=7, alexa_size=150, com_size=80, gov_size=40)
+
+keys = st.lists(
+    st.one_of(st.text(max_size=12), st.integers(), st.dates()),
+    min_size=1,
+    max_size=4,
+).map(tuple)
+
+grid_rates = st.integers(min_value=0, max_value=1000).map(lambda n: n / 1000)
+
+
+def _roll(args):
+    seed, channel, key = args
+    return fault_roll(seed, channel, *key)
+
+
+class TestRollPurity:
+    @given(st.integers(min_value=0, max_value=2**32), keys)
+    def test_roll_is_pure_and_uniform(self, seed, key):
+        first = fault_roll(seed, "chan", *key)
+        assert 0.0 <= first < 1.0
+        assert fault_roll(seed, "chan", *key) == first
+
+    @given(
+        st.integers(min_value=0, max_value=2**32), keys, grid_rates, grid_rates
+    )
+    def test_monotone_subset(self, seed, key, r1, r2):
+        low, high = sorted((r1, r2))
+        injector = FaultInjector(FaultPlan(seed=seed))
+        if injector.would(low, "chan", *key):
+            assert injector.would(high, "chan", *key)
+
+    def test_channels_are_independent(self):
+        rolls = {
+            channel: fault_roll(1, channel, "2021-06-08", "1.2.3.4")
+            for channel in ("dns.servfail", "smtp.timeout", "scan.dropout")
+        }
+        assert len(set(rolls.values())) == len(rolls)
+
+    def test_seed_changes_the_workload(self):
+        assert fault_roll(1, "chan", "k") != fault_roll(2, "chan", "k")
+
+
+class TestExecutorInvariance:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16))
+    def test_rolls_identical_across_executors(self, seed):
+        work = [
+            (seed, "smtp.timeout", (DAY.isoformat(), f"11.0.{block}.{host}", attempt))
+            for block in range(4)
+            for host in range(8)
+            for attempt in range(3)
+        ]
+        serial = [_roll(args) for args in work]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            threaded = list(pool.map(_roll, work))
+        assert threaded == serial
+
+    def test_rolls_identical_across_processes(self):
+        work = [
+            (1, "scan.dropout", (DAY.isoformat(), f"11.0.0.{host}"))
+            for host in range(64)
+        ]
+        serial = [_roll(args) for args in work]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            forked = list(pool.map(_roll, work))
+        assert forked == serial
+
+    def test_decisions_do_not_depend_on_call_order(self):
+        injector = FaultInjector(FaultPlan.uniform(0.3, seed=5))
+        addresses = [f"11.0.0.{host}" for host in range(32)]
+        forward = {a: injector.scan_dropped(a, DAY) for a in addresses}
+        backward = {a: injector.scan_dropped(a, DAY) for a in reversed(addresses)}
+        assert forward == backward
+
+
+PLAN = FaultPlan.uniform(0.2, seed=11)
+
+
+def _gather(jobs: int, executor: str):
+    reset_serials()
+    ctx = StudyContext.create(
+        FAST_CONFIG,
+        engine=EngineOptions(jobs=jobs, executor=executor),
+        store=None,
+        faults=PLAN,
+    )
+    last = len(ctx.world.snapshot_dates) - 1
+    measurements = ctx.measurements(DatasetTag.ALEXA, last)
+    inferences = ctx.priority(DatasetTag.ALEXA, last)
+    return measurements, inferences
+
+
+class TestGatherEquivalence:
+    """Same (seed, plan) ⇒ identical faulted snapshots at any --jobs."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return _gather(jobs=1, executor="thread")
+
+    @pytest.mark.parametrize("jobs,executor", [
+        (4, "thread"),
+        (4, "process"),
+    ])
+    def test_faulted_gather_matches_serial(self, reference, jobs, executor):
+        measurements, inferences = _gather(jobs=jobs, executor=executor)
+        ref_measurements, ref_inferences = reference
+        assert measurements == ref_measurements
+        assert inferences == ref_inferences

@@ -1,0 +1,129 @@
+"""Differential golden tests: ``--faults none`` is byte-for-byte a no-op.
+
+The acceptance bar for the fault seams is that a run with faults disabled
+is indistinguishable — same stdout, same artifact bytes, same store cache
+keys, same manifest — from a run where the faults machinery is never
+consulted at all.
+"""
+
+import dataclasses
+
+from repro.cli import main
+from repro.engine import EngineOptions
+from repro.experiments.common import StudyContext
+from repro.faults import FaultPlan, resolve_plan
+from repro.obs.manifest import build_manifest
+from repro.store import ArtifactStore
+from repro.store.artifacts import KIND_MEASUREMENTS, KIND_PRIORITY, cache_key
+from repro.tls.ca import reset_serials
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+
+CONFIG = WorldConfig(seed=7, alexa_size=150, com_size=80, gov_size=40)
+
+
+def run_cli(capsys, extra=()):
+    code = main(["tab4", "--scale", "0.3", "--no-cache", *extra])
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestCLIGolden:
+    def test_faults_none_stdout_identical(self, capsys):
+        baseline = run_cli(capsys)
+        disabled = run_cli(capsys, ["--faults", "none"])
+        assert disabled == baseline
+
+    def test_zero_rate_spec_is_also_off(self, capsys):
+        baseline = run_cli(capsys)
+        zeroed = run_cli(capsys, ["--faults", "0"])
+        assert zeroed == baseline
+
+    def test_active_faults_change_the_output(self, capsys):
+        baseline = run_cli(capsys)
+        faulted = run_cli(capsys, ["--faults", "0.2"])
+        assert faulted != baseline
+
+
+def populate_store(tmp_path, name, faults):
+    reset_serials()
+    store = ArtifactStore(tmp_path / name)
+    ctx = StudyContext.create(
+        CONFIG, engine=EngineOptions(), store=store, faults=faults
+    )
+    last = len(ctx.world.snapshot_dates) - 1
+    ctx.measurements(DatasetTag.ALEXA, last)
+    ctx.priority(DatasetTag.ALEXA, last)
+    root = store.root
+    return {
+        path.relative_to(root): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+class TestStoreGolden:
+    def test_store_entries_identical_with_faults_absent_vs_none(self, tmp_path):
+        absent = populate_store(tmp_path, "absent", None)
+        disabled = populate_store(tmp_path, "none", FaultPlan.parse("none"))
+        assert absent and disabled == absent  # same filenames, same bytes
+
+    def test_cache_keys_unchanged_without_faults(self):
+        for kind in (KIND_MEASUREMENTS, KIND_PRIORITY):
+            assert cache_key(CONFIG, DatasetTag.ALEXA, 0, kind) == cache_key(
+                CONFIG, DatasetTag.ALEXA, 0, kind, None
+            )
+
+    def test_active_plans_get_their_own_keys(self):
+        plain = cache_key(CONFIG, DatasetTag.ALEXA, 0, KIND_MEASUREMENTS)
+        faulted = cache_key(
+            CONFIG, DatasetTag.ALEXA, 0, KIND_MEASUREMENTS,
+            FaultPlan.uniform(0.1, seed=1).canonical(),
+        )
+        assert faulted != plain
+        other_seed = cache_key(
+            CONFIG, DatasetTag.ALEXA, 0, KIND_MEASUREMENTS,
+            FaultPlan.uniform(0.1, seed=2).canonical(),
+        )
+        assert other_seed != faulted
+
+
+class TestManifestGolden:
+    def test_manifest_has_no_faults_key_when_off(self):
+        document = build_manifest(config=CONFIG, faults=resolve_plan("none"))
+        assert "faults" not in document
+
+    def test_manifest_records_active_plans(self):
+        plan = FaultPlan.uniform(0.1, seed=3)
+        document = build_manifest(config=CONFIG, faults=plan)
+        assert document["faults"]["spec"] == plan.canonical()
+        assert document["faults"]["seed"] == 3
+
+
+class TestContextGolden:
+    def test_inactive_plan_installs_no_injector(self):
+        for faults in (None, "none", FaultPlan(), FaultPlan.parse("0")):
+            ctx = StudyContext.create(CONFIG, store=None, faults=faults)
+            assert ctx.faults is None
+            assert ctx.faults_key() is None
+
+    def test_active_plan_is_threaded_through(self):
+        plan = FaultPlan.uniform(0.1, seed=5)
+        ctx = StudyContext.create(CONFIG, store=None, faults=plan)
+        assert ctx.faults is not None and ctx.faults.plan == plan
+        assert ctx.faults_key() == plan.canonical()
+        assert ctx.gatherer.censys.faults is ctx.faults
+
+    def test_measurements_identical_with_faults_absent_vs_inactive(self):
+        snapshots = []
+        for faults in (None, FaultPlan.parse("none")):
+            reset_serials()
+            ctx = StudyContext.create(CONFIG, store=None, faults=faults)
+            snapshots.append(ctx.measurements(DatasetTag.COM, 0))
+        assert snapshots[0] == snapshots[1]
+
+    def test_equal_plans_compare_equal(self):
+        assert FaultPlan.uniform(0.1, seed=1) == FaultPlan.parse("0.1", seed=1)
+        assert dataclasses.asdict(FaultPlan.uniform(0.1)) == dataclasses.asdict(
+            FaultPlan.parse("rate=0.1")
+        )

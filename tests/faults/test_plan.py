@@ -1,0 +1,145 @@
+"""Unit and property tests for FaultPlan parsing and canonicalization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults import FAULTS_ENV, FaultPlan, as_plan, resolve_plan
+from repro.faults.plan import RATE_FIELDS
+
+
+class TestParsing:
+    @pytest.mark.parametrize("word", ["none", "off", "0", "no", "", "  None "])
+    def test_off_words_are_inactive(self, word):
+        plan = FaultPlan.parse(word)
+        assert not plan.active
+        assert plan.canonical() == "none"
+
+    def test_bare_rate_is_uniform(self):
+        plan = FaultPlan.parse("0.25", seed=3)
+        assert plan == FaultPlan.uniform(0.25, seed=3)
+        for attr in RATE_FIELDS.values():
+            assert getattr(plan, attr) == 0.25
+
+    def test_item_grammar(self):
+        plan = FaultPlan.parse(
+            "rate=0.1, dns.servfail=0.5, seed=9, retries=5, budget=2.5, asn:64501=0.8"
+        )
+        assert plan.seed == 9
+        assert plan.dns_servfail == 0.5      # channel override wins
+        assert plan.smtp_timeout == 0.1      # everything else at the base rate
+        assert plan.max_attempts == 5
+        assert plan.retry_budget == 2.5
+        assert plan.asn_dropout == ((64501, 0.8),)
+
+    def test_seed_argument_is_a_default(self):
+        assert FaultPlan.parse("rate=0.1", seed=4).seed == 4
+        assert FaultPlan.parse("rate=0.1,seed=2", seed=4).seed == 2
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["bogus=1", "dns.servfail", "rate=1.5", "dns.timeout=-0.1", "asn:x=0.5"],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(spec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(dns_servfail=1.2)
+        with pytest.raises(ValueError):
+            FaultPlan(max_attempts=0)
+        with pytest.raises(ValueError):
+            FaultPlan(retry_budget=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(asn_dropout=((64501, 2.0),))
+
+
+class TestEnvironment:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        assert resolve_plan(None) is None
+
+    def test_env_supplies_the_plan(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "scan.dropout=0.5")
+        plan = resolve_plan(None)
+        assert plan is not None and plan.scan_dropout == 0.5
+
+    def test_explicit_spec_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "scan.dropout=0.5")
+        assert resolve_plan("none") is None
+        assert resolve_plan("0.1").scan_dropout == 0.1
+
+    def test_garbage_env_warns_and_disables(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "not-a-spec=maybe")
+        with pytest.warns(UserWarning, match="unparseable"):
+            assert FaultPlan.from_env() is None
+
+
+class TestCoercion:
+    def test_as_plan(self):
+        assert as_plan(None) is None
+        assert as_plan("none") is None
+        assert as_plan(FaultPlan()) is None           # inactive plan → None
+        plan = FaultPlan.uniform(0.1)
+        assert as_plan(plan) is plan
+        assert as_plan("0.1") == plan
+        with pytest.raises(TypeError):
+            as_plan(0.1)
+
+
+# Rates on a 3-decimal grid: canonical() renders with %g, so arbitrary
+# floats would lose precision in the round trip by design.
+grid_rates = st.integers(min_value=0, max_value=1000).map(lambda n: n / 1000)
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**32),
+    dns_servfail=grid_rates,
+    dns_timeout=grid_rates,
+    dns_partial=grid_rates,
+    smtp_refused=grid_rates,
+    smtp_timeout=grid_rates,
+    smtp_truncate=grid_rates,
+    tls_fail=grid_rates,
+    scan_dropout=grid_rates,
+    asn_dropout=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=2**31), grid_rates),
+        max_size=3,
+        unique_by=lambda pair: pair[0],
+    ).map(lambda pairs: tuple(sorted(pairs))),
+    max_attempts=st.integers(min_value=1, max_value=6),
+    retry_budget=st.integers(min_value=0, max_value=64).map(lambda n: n / 4),
+)
+
+
+class TestCanonicalProperties:
+    @given(plans)
+    def test_canonical_round_trips(self, plan):
+        reparsed = FaultPlan.parse(plan.canonical(), seed=plan.seed)
+        if plan.active:
+            # Zero-rate channels and zero-rate ASN overrides are dropped
+            # from the canonical form; everything that can fire survives.
+            for attr in RATE_FIELDS.values():
+                assert getattr(reparsed, attr) == getattr(plan, attr)
+            assert dict(reparsed.asn_dropout) == {
+                asn: rate for asn, rate in plan.asn_dropout if rate > 0
+            }
+            assert reparsed.seed == plan.seed
+            assert reparsed.max_attempts == plan.max_attempts
+            assert reparsed.retry_budget == plan.retry_budget
+        else:
+            assert plan.canonical() == "none"
+            assert not reparsed.active
+
+    @given(plans)
+    def test_canonical_is_a_fixed_point(self, plan):
+        once = plan.canonical()
+        assert FaultPlan.parse(once, seed=plan.seed).canonical() == once
+
+    @given(plans)
+    def test_activity_matches_rates(self, plan):
+        fires = any(getattr(plan, attr) > 0 for attr in RATE_FIELDS.values())
+        fires = fires or any(rate > 0 for _asn, rate in plan.asn_dropout)
+        assert plan.active == fires

@@ -1,0 +1,112 @@
+"""Retry-with-backoff semantics at the scan layer.
+
+A transiently slow host that answers within the backoff budget must be
+indistinguishable from one that never failed; a host that stays dark
+through the budget surfaces as ``TIMEOUT`` with injected-timeout
+provenance.  Both behaviours are found by *searching* the deterministic
+roll space rather than hand-picking magic seeds, so the tests survive any
+world or hash change.
+"""
+
+from datetime import date
+
+from repro.faults import FaultInjector, FaultPlan, fault_roll
+from repro.faults.inject import BACKOFF_BASE
+from repro.measure.censys import CensysScanner, Port25State
+
+DAY = date(2021, 6, 8)
+RATE = 0.5
+
+
+def timeout_rolls(seed: int, address: str, attempts: int) -> list[bool]:
+    """Whether each probe attempt 0..attempts-1 would time out."""
+    return [
+        fault_roll(seed, "smtp.timeout", DAY.isoformat(), address, attempt) < RATE
+        for attempt in range(attempts)
+    ]
+
+
+def find_case(host_table, predicate):
+    """The first (seed, address) whose roll pattern matches *predicate*."""
+    addresses = host_table.addresses()[:8]
+    for seed in range(400):
+        for address in addresses:
+            if predicate(timeout_rolls(seed, address, 3)):
+                return seed, address
+    raise AssertionError("no (seed, address) matched — roll space exhausted?")
+
+
+def scanners(small_world, seed: int):
+    plan = FaultPlan(seed=seed, smtp_timeout=RATE)
+    faulted = CensysScanner(small_world.host_table, faults=FaultInjector(plan))
+    clean = CensysScanner(small_world.host_table)
+    return faulted, clean
+
+
+class TestRetryRecovery:
+    def test_recovered_host_matches_never_failing(self, small_world):
+        seed, address = find_case(
+            small_world.host_table,
+            lambda rolls: rolls[0] and not rolls[1],  # fails once, then answers
+        )
+        faulted, clean = scanners(small_world, seed)
+        assert faulted.scan_address(address, DAY) == clean.scan_address(address, DAY)
+
+    def test_exhausted_retries_record_timeout(self, small_world):
+        seed, address = find_case(
+            small_world.host_table,
+            all,  # dark on the first try and through every retry
+        )
+        faulted, clean = scanners(small_world, seed)
+        record = faulted.scan_address(address, DAY)
+        assert record is not None and record.state is Port25State.TIMEOUT
+        assert record.certificate is None and record.banner is None
+        # ... while the fault-free scan observed the host normally.
+        assert clean.scan_address(address, DAY).state is Port25State.OPEN
+        # Provenance replays the same decision without touching counters.
+        injector = faulted.faults
+        explanation = injector.explain_observation(
+            type("Obs", (), {"address": address, "scan": record})(), DAY
+        )
+        assert explanation is not None
+        assert "injected SMTP timeout" in explanation["reason"]
+        assert explanation["lost"] == ["cert", "banner"]
+
+    def test_untouched_host_is_identical(self, small_world):
+        seed, address = find_case(
+            small_world.host_table,
+            lambda rolls: not rolls[0],  # never times out at all
+        )
+        faulted, clean = scanners(small_world, seed)
+        assert faulted.scan_address(address, DAY) == clean.scan_address(address, DAY)
+
+
+class TestBackoffBudget:
+    def test_budget_bounds_the_attempts(self):
+        # Attempt n costs BACKOFF_BASE * 2**(n-1) virtual seconds.
+        assert BACKOFF_BASE == 0.5
+        cases = [
+            (dict(max_attempts=3, retry_budget=4.0), [1, 2]),
+            (dict(max_attempts=5, retry_budget=4.0), [1, 2, 3]),
+            (dict(max_attempts=3, retry_budget=0.4), []),
+            (dict(max_attempts=3, retry_budget=0.5), [1]),
+            (dict(max_attempts=1, retry_budget=100.0), []),
+        ]
+        for kwargs, expected in cases:
+            injector = FaultInjector(FaultPlan(**kwargs))
+            assert list(injector.retry_attempts()) == expected, kwargs
+
+    def test_dns_replay_matches_counted_decision(self):
+        plan = FaultPlan(seed=3, dns_timeout=0.5)
+        injector = FaultInjector(plan)
+        for name in (f"mx{i}.example.com" for i in range(64)):
+            counted = injector._dns_times_out("2021-06-08", name, "MX")
+            replayed = injector._dns_would_time_out("2021-06-08", name, "MX")
+            assert counted == replayed
+
+    def test_refusals_are_persistent_across_attempts(self, small_world):
+        plan = FaultPlan(seed=0, smtp_refused=1.0)
+        injector = FaultInjector(plan)
+        address = small_world.host_table.addresses()[0]
+        outcomes = {injector.probe_fault(address, DAY, attempt) for attempt in range(3)}
+        assert len(outcomes) == 1  # retrying a refused port never helps

@@ -1,0 +1,96 @@
+"""Regression: evidence from non-OPEN scans must never reach inference.
+
+A host that timed out (or refused the connection) was never observed, so
+a banner or certificate attached to such a record is a contradiction.
+The happy path always built non-OPEN records bare, which let downstream
+consumers skip the state check — until fault injection (and decoded
+legacy artifacts) could produce records where the assumption breaks.
+Two layers now enforce the invariant: the record constructor normalizes,
+and the evidence collectors filter on ``has_smtp`` anyway.
+"""
+
+from datetime import date
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.pipeline import PriorityPipeline
+from repro.measure.censys import Port25State, PortScanRecord
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.tls.ca import CertificateAuthority
+
+DAY = date(2021, 6, 8)
+
+
+@pytest.fixture(scope="module")
+def certificate():
+    return CertificateAuthority("Simulated CA").issue("mx.example.com")
+
+
+class TestRecordNormalization:
+    @pytest.mark.parametrize("state", [Port25State.TIMEOUT, Port25State.CLOSED])
+    def test_non_open_records_are_stripped(self, certificate, state):
+        record = PortScanRecord(
+            address="11.0.0.1",
+            scanned_on=DAY,
+            state=state,
+            banner="partial banner from a dying session",
+            ehlo="mx.example.com",
+            starttls=True,
+            certificate=certificate,
+        )
+        assert record.banner is None
+        assert record.ehlo is None
+        assert record.starttls is False
+        assert record.certificate is None
+        assert not record.has_smtp
+
+    def test_open_records_keep_their_evidence(self, certificate):
+        record = PortScanRecord(
+            address="11.0.0.1",
+            scanned_on=DAY,
+            state=Port25State.OPEN,
+            banner="220 mx.example.com ESMTP",
+            starttls=True,
+            certificate=certificate,
+        )
+        assert record.certificate is certificate
+        assert record.banner is not None
+
+
+def measurement_with(scan):
+    return {
+        "example.com": DomainMeasurement(
+            domain="example.com",
+            measured_on=DAY,
+            mx_set=(MXData("mx.example.com", 10, (IPObservation("11.0.0.1", None, scan),)),),
+        )
+    }
+
+
+class TestCollectorGuard:
+    def test_collect_certificates_requires_open(self, certificate):
+        # Bypass the constructor to emulate a record that violates the
+        # invariant (e.g. decoded from a pre-normalization artifact).
+        rogue = SimpleNamespace(
+            state=Port25State.TIMEOUT,
+            has_smtp=False,
+            certificate=certificate,
+        )
+        assert PriorityPipeline.collect_certificates(measurement_with(rogue)) == []
+
+    def test_collect_certificates_accepts_open(self, certificate):
+        record = PortScanRecord(
+            address="11.0.0.1",
+            scanned_on=DAY,
+            state=Port25State.OPEN,
+            certificate=certificate,
+        )
+        collected = PriorityPipeline.collect_certificates(measurement_with(record))
+        assert collected == [certificate]
+
+    def test_timeout_scan_yields_no_certificates(self):
+        record = PortScanRecord(
+            address="11.0.0.1", scanned_on=DAY, state=Port25State.TIMEOUT
+        )
+        assert PriorityPipeline.collect_certificates(measurement_with(record)) == []
