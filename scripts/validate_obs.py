@@ -38,13 +38,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", metavar="PATH", help="metrics JSON export")
     parser.add_argument("--manifest", metavar="PATH", help="run manifest JSON")
     parser.add_argument(
+        "--journal", metavar="PATH", help="resilience run journal (JSONL)"
+    )
+    parser.add_argument(
         "--expect-cats", metavar="CATS", default=None,
         help="comma-separated span categories the trace must contain "
              "(e.g. run,experiment,snapshot,gather,shard)",
     )
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.manifest):
-        parser.error("nothing to validate; pass --trace/--metrics/--manifest")
+    if not (args.trace or args.metrics or args.manifest or args.journal):
+        parser.error(
+            "nothing to validate; pass --trace/--metrics/--manifest/--journal"
+        )
 
     ok = True
     if args.trace:
@@ -71,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.manifest:
         ok &= check(
             "manifest", schemas.validate_file(args.manifest, schemas.MANIFEST_SCHEMA)
+        )
+    if args.journal:
+        ok &= check(
+            "journal",
+            schemas.validate_jsonl_file(args.journal, schemas.JOURNAL_EVENT_SCHEMA),
         )
     return 0 if ok else 1
 

@@ -26,11 +26,13 @@ manifest, and ``REPRO_LOG``/``--log-level`` enables structured logging.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
 import time
 from datetime import date as date_type
+from pathlib import Path
 
 from .experiments import (
     ext_concentration,
@@ -55,6 +57,8 @@ from .obs import manifest as obs_manifest
 from .obs import metrics as obs_metrics
 from .obs import provenance as obs_provenance
 from .obs import trace as obs_trace
+from . import resilience
+from .resilience import RunInterrupted, ShardQuarantined, trap_shutdown
 from .store import CACHE_ENV, ArtifactStore
 from .world.build import WorldConfig
 from .world.population import SNAPSHOT_DATES
@@ -91,17 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "cache", "explain"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "cache", "explain", "resume"],
         help="which table/figure to regenerate ('all' for everything; "
              "'cache' for store maintenance; 'explain' for a per-domain "
-             "inference audit trail)",
+             "inference audit trail; 'resume' to continue an interrupted "
+             "resilient run)",
     )
     parser.add_argument(
         "argument",
         nargs="?",
         metavar="ARG",
         help="with 'cache': 'stats' (default) or 'clear'; "
-             "with 'explain': the domain to explain",
+             "with 'explain': the domain to explain; "
+             "with 'resume': the run id under --runs-root",
     )
     parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
     parser.add_argument(
@@ -157,6 +163,29 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: ${obs_log.LOG_JSON_ENV})",
     )
     parser.add_argument(
+        "--run-dir", metavar="PATH", default=None,
+        help="make this run resilient: journal + shard checkpoints under "
+             "PATH, graceful SIGINT/SIGTERM shutdown, and 'repro resume "
+             "--run-dir PATH' to continue after an interruption",
+    )
+    parser.add_argument(
+        "--runs-root", metavar="PATH", default=None,
+        help="like --run-dir, but runs get fresh ids under PATH and are "
+             f"resumed by id (default: ${resilience.RUNS_ENV})",
+    )
+    parser.add_argument(
+        "--shard-deadline", type=float, default=None, metavar="SECONDS",
+        help="supervised-gather watchdog: a shard past this wall-clock "
+             "budget is treated as hung, its worker killed, and the shard "
+             "reassigned (default: no deadline)",
+    )
+    parser.add_argument(
+        "--max-restarts", type=int, default=2, metavar="N",
+        help="reassignments per supervised shard after crashed/hung "
+             "workers before the shard is quarantined and the run fails "
+             "with a diagnosis (default 2)",
+    )
+    parser.add_argument(
         "--date", metavar="SNAPSHOT", default=None,
         help="with 'explain': snapshot index (0-8) or ISO date, e.g. "
              "2021-06-08 (default: the last snapshot)",
@@ -209,6 +238,9 @@ def run_cache_command(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"cleared {removed} entries from {store.root}")
     else:
+        if not store.root.is_dir():
+            print(f"cache directory {store.root} does not exist", file=sys.stderr)
+            return 2
         print(f"cache {store.describe()}")
     return 0
 
@@ -261,15 +293,91 @@ def run_experiment(name: str, ctx: StudyContext) -> str:
     return module.run(ctx).render()
 
 
+def _prepare_resume(args: argparse.Namespace, parser: argparse.ArgumentParser):
+    """Rebuild the original namespace of an interrupted run.
+
+    Returns ``(restored_args, RunRecord)``, or an exit code on error.
+    The journal's ``run.start`` event carries the full argument
+    namespace; flags added since the journal was written pick up their
+    current defaults.  ``--jobs`` may be overridden — results are pinned
+    identical across worker counts, so resuming at a different width
+    still converges to the same bytes.
+    """
+    if args.run_dir:
+        run_dir = Path(args.run_dir)
+        runs_root_arg = None
+    elif args.argument:
+        root = resilience.runs_root(args.runs_root)
+        if root is None:
+            print(
+                "resume <run-id> needs --runs-root or $"
+                f"{resilience.RUNS_ENV} to locate the run directory",
+                file=sys.stderr,
+            )
+            return 2
+        run_dir = root / args.argument
+        runs_root_arg = str(root)
+    else:
+        parser.error("resume requires a run id or --run-dir")
+    try:
+        record = resilience.load_record(run_dir)
+    except resilience.ResumeError as error:
+        print(f"cannot resume: {error}", file=sys.stderr)
+        return 2
+    stored = record.args
+    if not stored or "experiment" not in stored:
+        print(
+            f"cannot resume: journal {record.run_dir} stores no arguments",
+            file=sys.stderr,
+        )
+        return 2
+    restored = argparse.Namespace(**{**vars(parser.parse_args(["list"])), **stored})
+    restored.run_dir = str(record.run_dir)
+    restored.runs_root = runs_root_arg
+    if args.jobs is not None:
+        restored.jobs = args.jobs
+    config = WorldConfig(seed=restored.seed).scaled(restored.scale)
+    plan = resolve_plan(restored.faults, seed=restored.seed)
+    try:
+        resilience.verify_resume_digest(
+            record, config, plan.canonical() if plan is not None else None
+        )
+    except resilience.ResumeError as error:
+        print(f"cannot resume: {error}", file=sys.stderr)
+        return 2
+    if record.completed:
+        print(
+            f"run {record.run_id} already completed; re-running warm",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"resuming run {record.run_id} "
+            f"({record.snapshots_done} snapshots, {record.shards_done} shard "
+            "checkpoints journaled)",
+            file=sys.stderr,
+        )
+    return restored, record
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.argument is not None and args.experiment not in ("cache", "explain"):
-        parser.error("positional ARG is only valid with 'cache' or 'explain'")
+    if args.argument is not None and args.experiment not in (
+        "cache", "explain", "resume"
+    ):
+        parser.error("positional ARG is only valid with 'cache', 'explain', or 'resume'")
     if args.experiment == "cache" and args.argument not in (None, "stats", "clear"):
         parser.error("cache action must be 'stats' or 'clear'")
     if args.experiment == "explain" and args.argument is None:
         parser.error("explain requires a domain argument")
+
+    resume_record = None
+    if args.experiment == "resume":
+        prepared = _prepare_resume(args, parser)
+        if isinstance(prepared, int):
+            return prepared
+        args, resume_record = prepared
 
     if args.log_level or args.log_json or obs_log.env_level():
         obs_log.configure(level=args.log_level, json_lines=args.log_json or None)
@@ -288,7 +396,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.experiment == "explain":
             return run_explain_command(args)
-        return _run_experiments(args, trace_path, argv)
+        return _run_experiments(args, trace_path, argv, resume_record)
     finally:
         if trace_path:
             tracer = obs_trace.active()
@@ -297,12 +405,92 @@ def main(argv: list[str] | None = None) -> int:
             obs_trace.disable()
 
 
+def _prepare_run_context(
+    args: argparse.Namespace,
+    config: WorldConfig,
+    plan,
+    store: ArtifactStore | None,
+    names,
+    argv: list[str] | None,
+    resume_record,
+) -> "resilience.RunContext | None":
+    """Build the resilience bundle, or None for a plain (pre-PR) run."""
+    root = resilience.runs_root(getattr(args, "runs_root", None))
+    runs_root_path = None
+    if resume_record is not None:
+        run_dir = Path(resume_record.run_dir)
+        run_id = resume_record.run_id
+        if root is not None and run_dir == root / run_id:
+            runs_root_path = root
+    elif args.run_dir:
+        run_dir = Path(args.run_dir)
+        run_id = resilience.new_run_id()
+        if (run_dir / resilience.JOURNAL_NAME).exists():
+            raise resilience.ResumeError(
+                f"{run_dir} already holds a journal; continue it with "
+                f"'python -m repro resume --run-dir {run_dir}'"
+            )
+    elif root is not None:
+        run_id = resilience.new_run_id()
+        run_dir = root / run_id
+        runs_root_path = root
+    else:
+        return None
+    journal = resilience.RunJournal(run_dir, run_id)
+    if resume_record is not None:
+        journal.append(
+            "run.resume",
+            resume=resume_record.resume_count + 1,
+            argv=list(argv) if argv is not None else None,
+        )
+    else:
+        journal.append(
+            "run.start",
+            args=dict(vars(args)),
+            config_digest=resilience.config_digest(
+                config, plan.canonical() if plan is not None else None
+            ),
+            experiments=list(names),
+            argv=list(argv) if argv is not None else None,
+        )
+    checkpoints = None
+    if store is not None:
+        checkpoints = resilience.ShardCheckpointer(
+            store, config, plan.store_key() if plan is not None else None
+        )
+    return resilience.RunContext(
+        run_id=run_id,
+        run_dir=Path(run_dir),
+        journal=journal,
+        shutdown=resilience.ShutdownFlag(),
+        checkpoints=checkpoints,
+        resumed_from=resume_record,
+        runs_root=runs_root_path,
+    )
+
+
 def _run_experiments(
-    args: argparse.Namespace, trace_path: str | None, argv: list[str] | None
+    args: argparse.Namespace,
+    trace_path: str | None,
+    argv: list[str] | None,
+    resume_record=None,
 ) -> int:
     config = WorldConfig(seed=args.seed).scaled(args.scale)
     store = resolve_store(args)
     plan = resolve_plan(args.faults, seed=args.seed)
+    engine = EngineOptions(
+        jobs=args.jobs,
+        shard_deadline=args.shard_deadline,
+        max_restarts=args.max_restarts,
+    )
+    names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
+    try:
+        run = _prepare_run_context(
+            args, config, plan, store, names, argv, resume_record
+        )
+    except resilience.ResumeError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     started = time.time()
     print(
         f"Building world (seed={config.seed}, "
@@ -311,51 +499,141 @@ def _run_experiments(
     )
     if plan is not None:
         print(f"fault injection active: {plan.canonical()}", file=sys.stderr)
-    engine = EngineOptions(jobs=args.jobs)
-    names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
+    if run is not None:
+        print(f"resilient run {run.run_id}: journal at {run.journal.path}", file=sys.stderr)
     log.info(
         "run.start",
         extra={"fields": {"experiments": list(names), "seed": config.seed}},
     )
-    with obs_trace.span("run", cat="run", experiments=len(names)):
-        ctx = StudyContext.create(config, engine=engine, store=store, faults=plan)
-        for name in names:
-            experiment_started = time.time()
-            with obs_trace.span(name, cat="experiment"):
-                print(run_experiment(name, ctx))
-            print()
-            elapsed = time.time() - experiment_started
-            print(f"[{name}] done in {elapsed:.1f}s", file=sys.stderr)
-            log.info(
-                "experiment.done",
-                extra={"fields": {"experiment": name, "seconds": round(elapsed, 3)}},
+    completed: list[str] = []
+    interrupted_signal: str | None = None
+    quarantine: ShardQuarantined | None = None
+    exit_code = 0
+    shutdown_trap = (
+        trap_shutdown(run.shutdown) if run is not None else contextlib.nullcontext()
+    )
+    try:
+        with shutdown_trap, obs_trace.span("run", cat="run", experiments=len(names)):
+            ctx = StudyContext.create(
+                config, engine=engine, store=store, faults=plan, resilience=run
             )
+            for name in names:
+                if run is not None:
+                    run.shutdown.raise_if_set()
+                experiment_started = time.time()
+                with obs_trace.span(name, cat="experiment"):
+                    print(run_experiment(name, ctx))
+                print()
+                elapsed = time.time() - experiment_started
+                print(f"[{name}] done in {elapsed:.1f}s", file=sys.stderr)
+                log.info(
+                    "experiment.done",
+                    extra={"fields": {"experiment": name, "seconds": round(elapsed, 3)}},
+                )
+                completed.append(name)
+                if run is not None:
+                    run.journal.append(
+                        "experiment.done", experiment=name, seconds=round(elapsed, 3)
+                    )
+    except RunInterrupted as stop:
+        interrupted_signal = stop.signal_name
+        exit_code = 130
+    except KeyboardInterrupt:
+        if run is None:
+            raise
+        interrupted_signal = run.shutdown.signal_name or "SIGINT"
+        exit_code = 130
+    except ShardQuarantined as error:
+        quarantine = error
+        exit_code = 3
+
     total_elapsed = time.time() - started
-    print(f"Done in {total_elapsed:.1f}s", file=sys.stderr)
-    if args.perf:
-        print(get_stats().render(), file=sys.stderr)
-    if args.metrics_out:
-        obs_metrics.write_metrics(args.metrics_out)
-        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
-    if args.manifest:
+
+    if exit_code == 0:
+        print(f"Done in {total_elapsed:.1f}s", file=sys.stderr)
+        if args.perf:
+            print(get_stats().render(), file=sys.stderr)
+        if args.metrics_out:
+            obs_metrics.write_metrics(args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        document = None
+        if args.manifest or run is not None:
+            document = obs_manifest.build_manifest(
+                config=config,
+                engine=engine,
+                store=store,
+                experiments=list(names),
+                elapsed_seconds=total_elapsed,
+                argv=argv,
+                faults=plan,
+                resilience=run.describe("complete") if run is not None else None,
+            )
+        if args.manifest:
+            obs_manifest.write_manifest(args.manifest, document)
+            print(f"wrote manifest to {args.manifest}", file=sys.stderr)
+        if run is not None:
+            run.journal.append(
+                "run.complete",
+                experiments=completed,
+                seconds=round(total_elapsed, 3),
+            )
+            obs_manifest.write_manifest(
+                run.run_dir / resilience.MANIFEST_NAME, document
+            )
+            stale_partial = run.run_dir / resilience.PARTIAL_MANIFEST_NAME
+            if stale_partial.exists():
+                stale_partial.unlink()
+            run.journal.close()
+        if trace_path:
+            print(
+                f"wrote trace to {trace_path} "
+                f"(+ {obs_trace.jsonl_path(trace_path)})",
+                file=sys.stderr,
+            )
+        return 0
+
+    # Failure epilogue: finalize a partial manifest, point at the resume.
+    if quarantine is not None:
+        print(f"run failed: {quarantine}", file=sys.stderr)
+        log.error(
+            "run.quarantined",
+            extra={"fields": {
+                "corpus": quarantine.corpus,
+                "snapshot": quarantine.snapshot,
+                "shard": quarantine.shard_index,
+            }},
+        )
+    if run is not None:
+        status = "interrupted" if interrupted_signal is not None else "failed"
+        if interrupted_signal is not None:
+            run.journal.append(
+                "run.interrupted", signal=interrupted_signal, experiments=completed
+            )
+        else:
+            run.journal.append(
+                "run.failed", reason=str(quarantine), experiments=completed
+            )
         document = obs_manifest.build_manifest(
             config=config,
             engine=engine,
             store=store,
-            experiments=list(names),
+            experiments=completed,
             elapsed_seconds=total_elapsed,
             argv=argv,
             faults=plan,
+            resilience=run.describe(status),
         )
-        obs_manifest.write_manifest(args.manifest, document)
-        print(f"wrote manifest to {args.manifest}", file=sys.stderr)
-    if trace_path:
-        print(
-            f"wrote trace to {trace_path} "
-            f"(+ {obs_trace.jsonl_path(trace_path)})",
-            file=sys.stderr,
-        )
-    return 0
+        partial_path = run.run_dir / resilience.PARTIAL_MANIFEST_NAME
+        obs_manifest.write_manifest(partial_path, document)
+        print(f"wrote partial manifest to {partial_path}", file=sys.stderr)
+        if interrupted_signal is not None:
+            print(
+                f"interrupted by {interrupted_signal}; resume with:\n"
+                f"  {run.resume_command()}",
+                file=sys.stderr,
+            )
+        run.journal.close()
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -23,11 +23,23 @@ class EngineOptions:
     ``executor``
         ``"process"``, ``"thread"``, or ``None`` to pick automatically
         (processes when fork and multiple cores are available).
+    ``shard_deadline``
+        Per-shard wall-clock budget (seconds) for the supervised gather
+        path; a worker past its deadline is treated as hung, killed, and
+        its shard reassigned.  ``None`` disables the watchdog.  Only
+        consulted when supervision is active (a resilient run or a fault
+        plan with worker channels).
+    ``max_restarts``
+        How many times a supervised shard may be reassigned after a
+        crashed or hung worker before it is quarantined and the run is
+        failed with a diagnosis naming the shard.
     """
 
     jobs: int | None = None
     memoize: bool = True
     executor: str | None = None
+    shard_deadline: float | None = None
+    max_restarts: int = 2
 
     def resolved_jobs(self) -> int:
         return resolve_jobs(self.jobs)

@@ -105,20 +105,49 @@ def parallel_gather(
     snapshot_index: int,
     jobs: int | None = None,
     executor: str | None = None,
+    supervision=None,
 ) -> dict:
     """Gather a target list, sharded across *jobs* workers.
 
     Bit-identical to ``gatherer.gather(list(domains), snapshot_index)``;
     with ``jobs <= 1`` (or a tiny target list) it *is* that call.
+
+    When *supervision* (a :class:`repro.resilience.GatherSupervision`) is
+    given, the parallel path runs under the resilience supervisor:
+    per-shard worker processes with crash detection, a hung-shard
+    watchdog, bounded restarts, write-through shard checkpoints, and
+    poison-shard quarantine.  The serial path is unchanged except for a
+    shutdown-flag check — checkpoint granularity there is the whole
+    snapshot, via the normal store keys.
     """
     domains = list(domains)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(domains) < MIN_PARALLEL_TARGETS:
+        if supervision is not None and supervision.shutdown is not None:
+            supervision.shutdown.raise_if_set()
         with STATS.timer("gather.serial"):
             return gatherer.gather(domains, snapshot_index)
 
     shards = split_shards(domains, jobs)
     kind = _pick_executor(executor)
+    if supervision is not None:
+        from ..resilience.supervisor import supervised_gather
+
+        with STATS.timer(f"gather.{kind}"), trace.span(
+            "gather", cat="gather", executor=kind, jobs=jobs,
+            targets=len(domains), supervised=True,
+        ):
+            results, timings = supervised_gather(
+                gatherer, shards, snapshot_index,
+                executor=kind, supervision=supervision,
+            )
+        STATS.record_shards(f"gather.jobs{jobs}", timings)
+        merged = merge_shard_results(results)
+        adopt = getattr(gatherer, "adopt", None)
+        if adopt is not None:
+            adopt(merged)
+        return merged
+
     with STATS.timer(f"gather.{kind}"), trace.span(
         "gather", cat="gather", executor=kind, jobs=jobs, targets=len(domains)
     ):

@@ -27,6 +27,7 @@ class EngineStats:
     timers: dict[str, float] = field(default_factory=dict)
     timer_calls: Counter = field(default_factory=Counter)
     shard_timings: dict[str, list[float]] = field(default_factory=dict)
+    merged_tokens: set = field(default_factory=set)
 
     # -- counters --------------------------------------------------------
 
@@ -75,6 +76,7 @@ class EngineStats:
         self.timers.clear()
         self.timer_calls.clear()
         self.shard_timings.clear()
+        self.merged_tokens.clear()
 
     def snapshot(self) -> dict:
         """A plain-dict copy (for deltas between phases of a sweep)."""
@@ -121,6 +123,22 @@ class EngineStats:
             self.timer_calls[name] += value
         for label, timings in delta.get("shard_timings", {}).items():
             self.shard_timings.setdefault(label, []).extend(timings)
+
+    def merge_once(self, token: str, delta: dict) -> bool:
+        """Fold a worker delta in at most once per *token*.
+
+        A supervised shard can legitimately complete twice — a worker that
+        was presumed hung (or that crashed *after* shipping its result)
+        finishes right as its replacement does.  The supervisor merges
+        each completion under the shard-assignment's unique token, so the
+        second arrival is dropped and ``--perf`` counters match a run
+        without any restarts.  Returns True when the delta was merged.
+        """
+        if token in self.merged_tokens:
+            return False
+        self.merged_tokens.add(token)
+        self.merge(delta)
+        return True
 
     def delta_hit_rate(self, prefix: str, since: dict) -> float | None:
         """Hit rate of a cache pair since a prior :meth:`snapshot`."""

@@ -93,6 +93,8 @@ class StudyContext:
     store: ArtifactStore | None = None
     identity_cache: MXIdentityCache | None = None
     faults: FaultInjector | None = None
+    fault_plan: FaultPlan | None = None
+    resilience: "object | None" = None  # repro.resilience.RunContext
     _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
         default_factory=dict
     )
@@ -113,6 +115,7 @@ class StudyContext:
         engine: EngineOptions | None = None,
         store: "ArtifactStore | None | object" = STORE_FROM_ENV,
         faults: "FaultPlan | str | None" = None,
+        resilience: "object | None" = None,
     ) -> "StudyContext":
         """Build a context; *store* defaults to the ``REPRO_CACHE`` store.
 
@@ -123,7 +126,14 @@ class StudyContext:
         installs the deterministic fault injector at every measurement
         seam.  Inactive plans (rate 0 everywhere, ``"none"``) are treated
         exactly like no plan at all, so the fault-free path stays
-        byte-identical to a build without the faults package.
+        byte-identical to a build without the faults package.  Plans with
+        only worker channels (``worker.crash``/``worker.hang``) install no
+        measurement injector — they drive the shard supervisor instead and
+        never perturb measured values or store keys.
+
+        *resilience* — a :class:`~repro.resilience.RunContext` — makes
+        gathers supervised and checkpointed, and threads the run's
+        shutdown flag through the experiment loop.
         """
         engine = engine or EngineOptions()
         if store is STORE_FROM_ENV:
@@ -133,7 +143,7 @@ class StudyContext:
         plan = as_plan(faults)
         prefix2as = Prefix2ASDataset.from_table(world.prefix2as)
         injector = None
-        if plan is not None:
+        if plan is not None and plan.measurement_active:
             def asn_of(address: str) -> int | None:
                 info = prefix2as.lookup(address)
                 return info.asn if info is not None else None
@@ -161,11 +171,70 @@ class StudyContext:
             store=store,
             identity_cache=MXIdentityCache() if engine.memoize else None,
             faults=injector,
+            fault_plan=plan,
+            resilience=resilience,
         )
 
     def faults_key(self) -> str | None:
-        """The store-key component of this context's fault plan (or None)."""
-        return self.faults.plan.canonical() if self.faults is not None else None
+        """The store-key component of this context's fault plan (or None).
+
+        Worker-fault channels are stripped (``FaultPlan.store_key``):
+        crashing or hanging workers changes *how* a snapshot is computed,
+        never *what* it contains, so worker-faulted runs share artifacts
+        with clean runs — the property the kill/resume differential gate
+        relies on.
+        """
+        return self.fault_plan.store_key() if self.fault_plan is not None else None
+
+    def _supervision(self, dataset: DatasetTag, snapshot_index: int):
+        """The gather-supervision bundle, or None for the plain path.
+
+        Supervision engages when the run is resilient (journal +
+        checkpoints + shutdown flag) or when the fault plan carries
+        worker channels (so injected crashes meet a supervisor that can
+        restart them); fault-free non-resilient runs take the untouched
+        executor path.
+        """
+        plan = self.fault_plan
+        worker_faults = plan is not None and plan.worker_active
+        run = self.resilience
+        if run is None and not worker_faults:
+            return None
+        from ..resilience.supervisor import GatherSupervision, SupervisorOptions
+
+        checkpoint_factory = None
+        if run is not None and run.checkpoints is not None:
+            checkpoint_factory = (
+                lambda count: run.checkpoints.bind(dataset, snapshot_index, count)
+            )
+        return GatherSupervision(
+            options=SupervisorOptions(
+                deadline=self.engine.shard_deadline,
+                max_restarts=self.engine.max_restarts,
+            ),
+            plan=plan if worker_faults else None,
+            scope=(dataset.value, snapshot_index),
+            checkpoint_factory=checkpoint_factory,
+            journal=run.journal if run is not None else None,
+            shutdown=run.shutdown if run is not None else None,
+        )
+
+    def _discard_shard_checkpoints(
+        self, dataset: DatasetTag, snapshot_index: int
+    ) -> None:
+        """Drop shard checkpoints once the full snapshot artifact exists.
+
+        Keeps completed stores free of partial-gather entries, so a
+        finished resumed run's store is digest-identical to an
+        uninterrupted run's.
+        """
+        run = self.resilience
+        if run is None or run.checkpoints is None:
+            return
+        jobs = self.engine.resolved_jobs()
+        shard_count = min(jobs, len(self.domains(dataset)))
+        if shard_count > 1:
+            run.checkpoints.bind(dataset, snapshot_index, shard_count).discard_all()
 
     # -- corpus access ---------------------------------------------------
 
@@ -184,6 +253,9 @@ class StudyContext:
             return None
         key = (dataset, snapshot_index)
         if key not in self._measurements:
+            run = self.resilience
+            if run is not None:
+                run.shutdown.raise_if_set()
             loaded = None
             if self.store is not None:
                 loaded = self.store.load_measurements(
@@ -195,6 +267,9 @@ class StudyContext:
                 # persisted scan/routing records.
                 self.gatherer.adopt(loaded)
                 self._measurements[key] = loaded
+                # A resumed run may hold stale shard checkpoints for a
+                # snapshot that completed before the kill — clean them up.
+                self._discard_shard_checkpoints(dataset, snapshot_index)
             else:
                 targets = self.domains(dataset)
                 with STATS.timer("context.gather"), trace.span(
@@ -210,12 +285,21 @@ class StudyContext:
                         snapshot_index,
                         jobs=self.engine.resolved_jobs(),
                         executor=self.engine.executor,
+                        supervision=self._supervision(dataset, snapshot_index),
                     )
                 if self.store is not None:
                     self.store.save_measurements(
                         self.world.config, dataset, snapshot_index, gathered,
                         self.faults_key(),
                     )
+                if run is not None:
+                    run.journal.append(
+                        "snapshot.done",
+                        corpus=dataset.value,
+                        snapshot=snapshot_index,
+                        targets=len(targets),
+                    )
+                    self._discard_shard_checkpoints(dataset, snapshot_index)
                 self._measurements[key] = gathered
         return self._measurements[key]
 

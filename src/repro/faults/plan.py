@@ -36,6 +36,16 @@ RATE_FIELDS = {
     "scan.dropout": "scan_dropout",
 }
 
+#: spec key → FaultPlan rate field for the *harness* fault channels.
+#: These break the execution layer (worker processes/threads), never the
+#: measured world, so they are excluded from :meth:`FaultPlan.uniform`
+#: sweeps and from artifact-store keys — a run that only crashes its own
+#: workers still produces (and may share) byte-identical artifacts.
+WORKER_RATE_FIELDS = {
+    "worker.crash": "worker_crash",
+    "worker.hang": "worker_hang",
+}
+
 #: spec words that mean "no fault injection at all".
 _OFF_WORDS = {"", "none", "off", "0", "no"}
 
@@ -59,6 +69,8 @@ class FaultPlan:
     smtp_truncate: float = 0.0  # session dies after a partial banner
     tls_fail: float = 0.0       # STARTTLS offered but handshake fails
     scan_dropout: float = 0.0   # per-(snapshot, address) Censys gap
+    worker_crash: float = 0.0   # per-(shard, attempt) worker dies mid-shard
+    worker_hang: float = 0.0    # per-(shard, attempt) worker wedges past deadline
     # (asn, rate) overrides for scan_dropout — the paper's per-provider
     # blind spots (owner opt-outs hit whole ASes at once).
     asn_dropout: tuple[tuple[int, float], ...] = ()
@@ -66,7 +78,7 @@ class FaultPlan:
     retry_budget: float = 4.0   # virtual seconds of backoff per host
 
     def __post_init__(self) -> None:
-        for key, attr in RATE_FIELDS.items():
+        for key, attr in {**RATE_FIELDS, **WORKER_RATE_FIELDS}.items():
             value = getattr(self, attr)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"fault rate {key}={value} outside [0, 1]")
@@ -81,6 +93,23 @@ class FaultPlan:
     # -- activity --------------------------------------------------------
 
     @property
+    def measurement_active(self) -> bool:
+        """Whether any *measurement* channel (DNS/SMTP/TLS/scan) can fire.
+
+        Only measurement faults change gathered snapshots, so only they
+        contaminate artifact-store keys and justify wiring an injector
+        into the measurement seams.
+        """
+        if any(getattr(self, attr) > 0 for attr in RATE_FIELDS.values()):
+            return True
+        return any(rate > 0 for _asn, rate in self.asn_dropout)
+
+    @property
+    def worker_active(self) -> bool:
+        """Whether any execution-layer (worker crash/hang) channel can fire."""
+        return any(getattr(self, attr) > 0 for attr in WORKER_RATE_FIELDS.values())
+
+    @property
     def active(self) -> bool:
         """Whether any fault channel can ever fire.
 
@@ -88,9 +117,7 @@ class FaultPlan:
         "no faults configured", so a ``--faults none`` (or all-zero) run
         is byte-identical to one where the module is never consulted.
         """
-        if any(getattr(self, attr) > 0 for attr in RATE_FIELDS.values()):
-            return True
-        return any(rate > 0 for _asn, rate in self.asn_dropout)
+        return self.measurement_active or self.worker_active
 
     # -- construction ----------------------------------------------------
 
@@ -148,8 +175,10 @@ class FaultPlan:
                 asn_overrides[int(key[len("asn:"):])] = float(raw)
             elif key in RATE_FIELDS:
                 fields[RATE_FIELDS[key]] = float(raw)
+            elif key in WORKER_RATE_FIELDS:
+                fields[WORKER_RATE_FIELDS[key]] = float(raw)
             else:
-                known = ", ".join(sorted(RATE_FIELDS))
+                known = ", ".join(sorted(RATE_FIELDS) + sorted(WORKER_RATE_FIELDS))
                 raise ValueError(
                     f"unknown fault spec key {key!r} (known: rate, seed, "
                     f"retries, budget, asn:<n>, {known})"
@@ -192,7 +221,7 @@ class FaultPlan:
         if not self.active:
             return "none"
         parts = [f"seed={self.seed}"]
-        for key, attr in sorted(RATE_FIELDS.items()):
+        for key, attr in sorted({**RATE_FIELDS, **WORKER_RATE_FIELDS}.items()):
             value = getattr(self, attr)
             if value > 0:
                 parts.append(f"{key}={value:g}")
@@ -206,12 +235,26 @@ class FaultPlan:
             parts.append(f"budget={self.retry_budget:g}")
         return ",".join(parts)
 
+    def store_key(self) -> str | None:
+        """The artifact-store key component of this plan, or None.
+
+        Worker crash/hang channels perturb only the execution layer —
+        results are recomputed and stay byte-identical — so they are
+        stripped here: a worker-faults-only run reads and writes the same
+        store entries as a fault-free one, which is exactly what the
+        kill/resume equivalence gate compares.
+        """
+        if not self.measurement_active:
+            return None
+        stripped = dataclasses.replace(self, worker_crash=0.0, worker_hang=0.0)
+        return stripped.canonical()
+
     def describe(self) -> dict:
         """A manifest-friendly dict (only the channels that can fire)."""
         document = {"seed": self.seed, "spec": self.canonical()}
         rates = {
             key: getattr(self, attr)
-            for key, attr in RATE_FIELDS.items()
+            for key, attr in {**RATE_FIELDS, **WORKER_RATE_FIELDS}.items()
             if getattr(self, attr) > 0
         }
         if rates:

@@ -47,12 +47,17 @@ def build_manifest(
     stats=None,
     argv: list[str] | None = None,
     faults=None,
+    resilience: dict | None = None,
 ) -> dict:
     """Assemble the manifest document for one run.
 
     *faults* is the :class:`~repro.faults.FaultPlan` of the run (or None).
     It is recorded only when given, so fault-free manifests stay
     byte-identical to builds without fault injection.
+
+    *resilience* is the run-lineage section of a resilient run (run id,
+    run dir, status, resume count — see ``RunContext.describe``); plain
+    runs omit it, so their manifests are unchanged.
     """
     from ..store.artifacts import SCHEMA_VERSION as STORE_SCHEMA
     from .metrics import METRICS_SCHEMA_VERSION
@@ -100,6 +105,8 @@ def build_manifest(
     }
     if faults is not None:
         manifest["faults"] = faults.describe()
+    if resilience is not None:
+        manifest["resilience"] = resilience
     return manifest
 
 

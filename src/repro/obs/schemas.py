@@ -94,6 +94,64 @@ MANIFEST_SCHEMA = {
                 "spec": {"type": "string"},
             },
         },
+        # Present only on resilient runs (journal + checkpoints active).
+        "resilience": {
+            "type": "object",
+            "required": ["run_id", "run_dir", "status"],
+            "properties": {
+                "run_id": {"type": "string"},
+                "run_dir": {"type": "string"},
+                "status": {
+                    "type": "string",
+                    "enum": ["complete", "interrupted", "failed"],
+                },
+                "resume_count": {"type": "integer"},
+                "lineage": {"type": "object"},
+            },
+        },
+    },
+}
+
+JOURNAL_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "event", "run", "ts"],
+    "properties": {
+        "schema": {"type": "integer"},
+        "event": {
+            "type": "string",
+            "enum": [
+                "run.start",
+                "run.resume",
+                "run.interrupted",
+                "run.complete",
+                "run.failed",
+                "experiment.done",
+                "snapshot.done",
+                "shard.start",
+                "shard.done",
+                "shard.restored",
+                "shard.crash",
+                "shard.hung",
+                "shard.quarantined",
+            ],
+        },
+        "run": {"type": "string"},
+        "ts": {"type": "number"},
+        "corpus": {"type": "string"},
+        "snapshot": {"type": "integer"},
+        "shard": {"type": "integer"},
+        "attempt": {"type": "integer"},
+        "attempts": {"type": "integer"},
+        "seconds": {"type": "number"},
+        "targets": {"type": "integer"},
+        "experiment": {"type": "string"},
+        "experiments": {"type": "array"},
+        "reason": {"type": "string"},
+        "reasons": {"type": "array"},
+        "signal": {"type": "string"},
+        "args": {"type": "object"},
+        "config_digest": {"type": "string"},
+        "resume": {"type": "integer"},
     },
 }
 

@@ -1,0 +1,239 @@
+"""Append-only run journals: the crash-safe record of one resilient run.
+
+Every resilient run owns a directory holding ``journal.jsonl`` — one JSON
+object per line, written append-only and flushed per event, so a SIGKILL
+at any instant loses at most the final partial line (which the reader
+tolerates).  The first event (``run.start``) pins everything a resume
+needs: the run id, the full CLI argument namespace, a digest of the world
+config + fault plan, and the schema version.  Subsequent events record
+per-shard lifecycle (start/done/crash/hung/quarantined/restored),
+snapshot and experiment completions, resumes, and the terminal state.
+
+``repro resume`` replays the journal through :class:`RunRecord`, verifies
+the config digest still matches, and re-executes the run — completed
+artifacts short-circuit through ``repro.store`` (whole snapshots through
+the normal keys, partial gathers through per-shard checkpoint keys), so
+only missing work is recomputed and the final stdout/artifacts are
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import secrets
+import threading
+import time
+from pathlib import Path
+
+JOURNAL_SCHEMA_VERSION = 1
+JOURNAL_NAME = "journal.jsonl"
+PARTIAL_MANIFEST_NAME = "manifest.partial.json"
+MANIFEST_NAME = "manifest.json"
+RUNS_ENV = "REPRO_RUNS"
+
+#: Events that must survive a crash immediately after being appended.
+_DURABLE_EVENTS = {
+    "run.start",
+    "run.resume",
+    "run.interrupted",
+    "run.complete",
+    "run.failed",
+    "shard.done",
+    "shard.quarantined",
+    "snapshot.done",
+}
+
+
+def new_run_id() -> str:
+    """A fresh run id: sortable timestamp plus a short random suffix."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"r{stamp}-{secrets.token_hex(3)}"
+
+
+def config_digest(config, faults_spec: str | None) -> str:
+    """Digest pinning the world config and fault plan of a run.
+
+    Resume verifies this digest before continuing: a journal from a
+    different world (or a journal whose args were edited by hand) must
+    fail loudly instead of silently mixing two runs' artifacts.
+    """
+    body = json.dumps(
+        {
+            "world": dataclasses.asdict(config),
+            "faults": faults_spec,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL event log for one run directory.
+
+    Thread-safe: supervised gathers append shard events from worker
+    monitor threads.  Durable events are fsynced so the journal survives
+    a SIGKILL'd parent.
+    """
+
+    def __init__(self, run_dir: str | os.PathLike, run_id: str):
+        self.run_dir = Path(run_dir)
+        self.run_id = run_id
+        self.path = self.run_dir / JOURNAL_NAME
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, event: str, **fields) -> dict:
+        """Append one event line (crash-safe, returns the record)."""
+        record = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "event": event,
+            "run": self.run_id,
+            "ts": round(time.time(), 6),
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            handle = self._ensure_open()
+            handle.write(line + "\n")
+            handle.flush()
+            if event in _DURABLE_EVENTS:
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:
+                    pass
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_events(path: str | os.PathLike) -> list[dict]:
+    """Every parseable event in a journal, tolerating a torn final line.
+
+    A parent killed mid-append leaves at most one partial trailing line;
+    that line is dropped.  A corrupt line *before* valid ones means the
+    file is not an append-only journal — that raises.
+    """
+    events: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if number == len(lines):
+                break  # torn final line from a killed writer
+            raise ValueError(f"{path}:{number}: corrupt journal line")
+        if not isinstance(record, dict) or "event" not in record:
+            raise ValueError(f"{path}:{number}: not a journal event")
+        events.append(record)
+    return events
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """A parsed journal: what one run did and where it stopped."""
+
+    run_dir: Path
+    run_id: str
+    start: dict                      # the run.start event
+    events: list[dict]
+    resume_count: int = 0
+    interrupted: bool = False
+    completed: bool = False
+    failed: bool = False
+    experiments_done: tuple[str, ...] = ()
+    snapshots_done: int = 0
+    shards_done: int = 0
+    restarts: int = 0
+    quarantined: tuple[str, ...] = ()
+
+    @classmethod
+    def from_dir(cls, run_dir: str | os.PathLike) -> "RunRecord":
+        run_dir = Path(run_dir)
+        path = run_dir / JOURNAL_NAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no journal at {path}")
+        events = read_events(path)
+        if not events or events[0].get("event") != "run.start":
+            raise ValueError(f"{path}: journal does not begin with run.start")
+        start = events[0]
+        record = cls(
+            run_dir=run_dir,
+            run_id=str(start.get("run", "")),
+            start=start,
+            events=events,
+        )
+        experiments: list[str] = []
+        quarantined: list[str] = []
+        for event in events:
+            kind = event["event"]
+            if kind == "run.resume":
+                record.resume_count += 1
+                record.interrupted = False
+                record.failed = False
+            elif kind == "run.interrupted":
+                record.interrupted = True
+            elif kind == "run.complete":
+                record.completed = True
+            elif kind == "run.failed":
+                record.failed = True
+            elif kind == "experiment.done":
+                experiments.append(event.get("experiment", "?"))
+            elif kind == "snapshot.done":
+                record.snapshots_done += 1
+            elif kind == "shard.done":
+                record.shards_done += 1
+            elif kind in ("shard.crash", "shard.hung"):
+                record.restarts += 1
+            elif kind == "shard.quarantined":
+                quarantined.append(
+                    f"{event.get('corpus', '?')}[s{event.get('snapshot', '?')}]"
+                    f"#{event.get('shard', '?')}"
+                )
+        record.experiments_done = tuple(experiments)
+        record.quarantined = tuple(quarantined)
+        return record
+
+    @property
+    def args(self) -> dict:
+        """The original CLI argument namespace, as stored by run.start."""
+        return dict(self.start.get("args", {}))
+
+    @property
+    def config_digest(self) -> str | None:
+        return self.start.get("config_digest")
+
+    def describe(self) -> dict:
+        """Manifest-friendly lineage summary of this record."""
+        return {
+            "run_id": self.run_id,
+            "run_dir": str(self.run_dir),
+            "resume_count": self.resume_count,
+            "experiments_done": list(self.experiments_done),
+            "snapshots_done": self.snapshots_done,
+            "shards_done": self.shards_done,
+            "restarts": self.restarts,
+            "quarantined": list(self.quarantined),
+        }
+
+
+def runs_root(explicit: str | None = None) -> Path | None:
+    """The directory run-ids live under (``--runs-root`` or $REPRO_RUNS)."""
+    raw = explicit or os.environ.get(RUNS_ENV)
+    return Path(raw) if raw else None

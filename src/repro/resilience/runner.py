@@ -1,0 +1,147 @@
+"""Run context plumbing: checkpoints, journals, and resume preparation.
+
+A :class:`RunContext` is the per-run bundle the CLI threads through the
+execution layer when resilience is active: the append-only journal, the
+shutdown flag, and a :class:`ShardCheckpointer` that write-through-saves
+completed shards into ``repro.store`` under per-shard provenance keys.
+
+Resume never replays computation from the journal — it replays *intent*.
+``prepare_resume`` rebuilds the original argument namespace from the
+``run.start`` event, verifies the config digest (a journal from a
+different world model fails loudly), and the run then re-executes from
+the top: completed snapshots short-circuit through their normal store
+keys, partial gathers through shard checkpoints, and only genuinely
+missing work is recomputed.  Because warm and cold runs are already
+pinned byte-identical, a resumed run's stdout and artifacts match an
+uninterrupted run's exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from .journal import RunJournal, RunRecord, config_digest
+from .signals import ShutdownFlag
+
+
+class ResumeError(Exception):
+    """A journal cannot safely be resumed (missing, corrupt, or drifted)."""
+
+
+@dataclasses.dataclass
+class ShardCheckpointer:
+    """Factory for per-(corpus, snapshot, shard-count) checkpoint bindings."""
+
+    store: object           # ArtifactStore
+    config: object          # WorldConfig
+    faults_key: str | None  # plan.store_key() of the run, or None
+
+    def bind(self, dataset, snapshot_index: int, shard_count: int) -> "BoundShardCheckpoint":
+        return BoundShardCheckpoint(
+            store=self.store,
+            config=self.config,
+            dataset=dataset,
+            snapshot_index=snapshot_index,
+            shard_count=shard_count,
+            faults_key=self.faults_key,
+        )
+
+
+@dataclasses.dataclass
+class BoundShardCheckpoint:
+    """Checkpoint IO for the shards of one (corpus, snapshot) gather."""
+
+    store: object
+    config: object
+    dataset: object
+    snapshot_index: int
+    shard_count: int
+    faults_key: str | None
+
+    def load(self, index: int):
+        return self.store.load_shard(
+            self.config, self.dataset, self.snapshot_index,
+            index, self.shard_count, self.faults_key,
+        )
+
+    def save(self, index: int, measurements) -> None:
+        self.store.save_shard(
+            self.config, self.dataset, self.snapshot_index,
+            index, self.shard_count, measurements, self.faults_key,
+        )
+
+    def discard_all(self) -> None:
+        """Drop every shard checkpoint (the full snapshot now persists)."""
+        for index in range(self.shard_count):
+            self.store.discard_shard(
+                self.config, self.dataset, self.snapshot_index,
+                index, self.shard_count, self.faults_key,
+            )
+
+
+@dataclasses.dataclass
+class RunContext:
+    """Everything the execution layer needs for one resilient run."""
+
+    run_id: str
+    run_dir: Path
+    journal: RunJournal
+    shutdown: ShutdownFlag
+    checkpoints: ShardCheckpointer | None = None
+    resumed_from: RunRecord | None = None
+    runs_root: Path | None = None  # set when addressed by run-id
+
+    @property
+    def resume_count(self) -> int:
+        if self.resumed_from is None:
+            return 0
+        return self.resumed_from.resume_count + 1
+
+    def resume_command(self) -> str:
+        """The exact CLI invocation that continues this run."""
+        if self.runs_root is not None:
+            return (
+                f"python -m repro resume {self.run_id} "
+                f"--runs-root {self.runs_root}"
+            )
+        return f"python -m repro resume --run-dir {self.run_dir}"
+
+    def describe(self, status: str) -> dict:
+        """The manifest's ``resilience`` section."""
+        section = {
+            "run_id": self.run_id,
+            "run_dir": str(self.run_dir),
+            "status": status,
+            "resume_count": self.resume_count,
+        }
+        if self.resumed_from is not None:
+            section["lineage"] = self.resumed_from.describe()
+        return section
+
+
+def verify_resume_digest(record: RunRecord, config, faults_spec: str | None) -> None:
+    """Fail loudly when a journal's world no longer matches this build."""
+    expected = record.config_digest
+    if expected is None:
+        raise ResumeError(
+            f"journal {record.run_dir} has no config digest; cannot verify resume"
+        )
+    actual = config_digest(config, faults_spec)
+    if actual != expected:
+        raise ResumeError(
+            f"config digest mismatch for run {record.run_id}: journal has "
+            f"{expected[:12]}…, this build derives {actual[:12]}… — the world "
+            "model or fault plan changed since the run started; re-run from "
+            "scratch instead of resuming"
+        )
+
+
+def load_record(run_dir: str | Path) -> RunRecord:
+    """Parse a run directory's journal, normalizing errors to ResumeError."""
+    try:
+        return RunRecord.from_dir(run_dir)
+    except FileNotFoundError as error:
+        raise ResumeError(str(error)) from error
+    except ValueError as error:
+        raise ResumeError(f"unreadable journal: {error}") from error

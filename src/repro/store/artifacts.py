@@ -23,14 +23,21 @@ entries until the store fits ``max_bytes`` again.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
+import time
 import warnings
 import zlib
 from pathlib import Path
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from ..engine.stats import STATS
 from ..obs import trace
@@ -56,12 +63,30 @@ _ENTRY_SUFFIX = ".rsto"
 
 KIND_MEASUREMENTS = "measurements"
 KIND_PRIORITY = "result:priority"
+#: Kind prefix of resilience shard checkpoints (partial-gather results).
+KIND_SHARD_PREFIX = "shard:"
+
+#: Name of the coarse advisory GC lock inside a store root.
+_GC_LOCK_NAME = ".gc.lock"
+#: Orphaned ``.tmp-*`` files (from SIGKILLed writers) older than this are
+#: swept during GC.
+_STALE_TMP_SECONDS = 3600.0
 
 log = get_logger("store")
 
 
 def baseline_kind(approach: str) -> str:
     return f"baseline:{approach}"
+
+
+def shard_kind(index: int, count: int) -> str:
+    """Kind string of one shard checkpoint of a partial gather.
+
+    The shard count is part of the kind: a resumed run with a different
+    ``--jobs`` shards differently, and a checkpoint for shard 2-of-4 must
+    never be served as shard 2-of-8.
+    """
+    return f"{KIND_SHARD_PREFIX}{index}/{count}:{KIND_MEASUREMENTS}"
 
 
 def cache_key(
@@ -255,18 +280,78 @@ class ArtifactStore:
             removed += 1
         return removed
 
+    @contextlib.contextmanager
+    def _gc_lock(self):
+        """Coarse advisory lock so concurrent runs do not GC one root.
+
+        Yields True when this process holds the lock (or locking is
+        unavailable — GC then proceeds best-effort, protected by the
+        per-entry race tolerance), False when another run is already
+        collecting and this one should skip.
+        """
+        if fcntl is None or not self.root.is_dir():
+            yield True
+            return
+        try:
+            handle = open(self.root / _GC_LOCK_NAME, "a+b")
+        except OSError:
+            yield True
+            return
+        try:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - unlock cannot really fail
+                    pass
+        finally:
+            handle.close()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove orphaned tmp files left by killed writers (best-effort)."""
+        if not self.root.is_dir():
+            return
+        horizon = time.time() - _STALE_TMP_SECONDS
+        for tmp in self.root.glob("*/.tmp-*"):
+            try:
+                if tmp.stat().st_mtime < horizon:
+                    tmp.unlink()
+            except OSError:
+                pass  # raced with its writer or another sweeper
+
     def gc(self) -> int:
-        """Evict least-recently-used entries until under ``max_bytes``."""
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Safe under concurrent runs sharing one root: a coarse advisory
+        lock keeps collectors from duelling, and every stat/unlink
+        tolerates entries vanishing underneath it (another run's GC, a
+        concurrent ``clear``).  When the lock is already held the call is
+        a no-op — the other collector is doing the same work.
+        """
         self._bytes_since_gc = 0
         if self.max_bytes is None:
             return 0
+        with self._gc_lock() as acquired:
+            if not acquired:
+                STATS.inc("store.gc_skipped")
+                return 0
+            return self._collect()
+
+    def _collect(self) -> int:
+        self._sweep_stale_tmp()
         stated = []
         total = 0
         for path in self._entries():
             try:
                 stat = path.stat()
             except OSError:
-                continue
+                continue  # vanished since the scan (concurrent eviction)
             stated.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
         if total <= self.max_bytes:
@@ -340,6 +425,29 @@ class ArtifactStore:
     ) -> None:
         key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY, faults)
         self._save(key, encode_result, result)
+
+    def load_shard(
+        self, config, dataset, snapshot_index: int, index: int, count: int,
+        faults: str | None = None,
+    ):
+        """A checkpointed partial-gather shard, or None."""
+        key = cache_key(config, dataset, snapshot_index, shard_kind(index, count), faults)
+        return self._load("resilience.checkpoint", key, decode_measurements)
+
+    def save_shard(
+        self, config, dataset, snapshot_index: int, index: int, count: int,
+        measurements, faults: str | None = None,
+    ) -> None:
+        key = cache_key(config, dataset, snapshot_index, shard_kind(index, count), faults)
+        self._save(key, encode_measurements, measurements)
+
+    def discard_shard(
+        self, config, dataset, snapshot_index: int, index: int, count: int,
+        faults: str | None = None,
+    ) -> None:
+        """Drop one shard checkpoint (after the full snapshot persists)."""
+        key = cache_key(config, dataset, snapshot_index, shard_kind(index, count), faults)
+        self.discard(key)
 
     def load_baseline(
         self, config, dataset, snapshot_index: int, approach: str,

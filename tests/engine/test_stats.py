@@ -137,6 +137,23 @@ class TestMergeAndDelta:
         assert parent.timers["new"] == pytest.approx(0.25)
         assert parent.shard_timings["gather.jobs2"] == [0.1, 0.2]
 
+    def test_merge_once_deduplicates_by_token(self):
+        """A restarted worker's shard delta lands exactly once.
+
+        Supervision can receive the same shard twice (a 'hung' worker
+        finishing right as its replacement does); merge_once keyed on the
+        (gather, shard) token keeps counters from double-counting.
+        """
+        stats = EngineStats()
+        delta = {"counters": {"x.hit": 3}}
+        assert stats.merge_once("g1:0", delta) is True
+        assert stats.merge_once("g1:0", delta) is False
+        assert stats.counters["x.hit"] == 3
+        assert stats.merge_once("g1:1", delta) is True  # other shard merges
+        assert stats.counters["x.hit"] == 6
+        stats.reset()
+        assert stats.merge_once("g1:0", delta) is True  # reset clears tokens
+
     def test_roundtrip_delta_then_merge(self):
         """merge(delta_since(snap)) reconstructs the child's contribution."""
         child = EngineStats()

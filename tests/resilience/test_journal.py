@@ -1,0 +1,157 @@
+"""Journal tests: append-only IO, torn-line tolerance, record parsing."""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    JOURNAL_NAME,
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    RunRecord,
+    config_digest,
+    new_run_id,
+    read_events,
+    runs_root,
+)
+from repro.world.build import WorldConfig
+
+
+def make_journal(tmp_path, run_id="r20260101-000000-abcdef"):
+    return RunJournal(tmp_path / "run", run_id)
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("run.start", args={"experiment": "tab4"})
+        journal.append("shard.done", shard=2, attempt=1)
+        journal.close()
+        events = read_events(journal.path)
+        assert [event["event"] for event in events] == ["run.start", "shard.done"]
+        assert events[0]["schema"] == JOURNAL_SCHEMA_VERSION
+        assert events[0]["run"] == journal.run_id
+        assert events[1]["shard"] == 2
+
+    def test_creates_run_dir(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("run.start")
+        assert (tmp_path / "run" / JOURNAL_NAME).is_file()
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("run.start")
+        journal.append("shard.done", shard=0)
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"event": "shard.do')  # killed mid-append
+        events = read_events(journal.path)
+        assert [event["event"] for event in events] == ["run.start", "shard.done"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("run.start")
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write("garbage\n")
+            handle.write(json.dumps({"event": "run.complete"}) + "\n")
+        with pytest.raises(ValueError, match="corrupt journal line"):
+            read_events(journal.path)
+
+    def test_non_event_line_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("run.start")
+        journal.close()
+        with open(journal.path, "a") as handle:
+            handle.write('{"no_event_member": 1}\n')
+            handle.write(json.dumps({"event": "run.complete"}) + "\n")
+        with pytest.raises(ValueError, match="not a journal event"):
+            read_events(journal.path)
+
+
+class TestRunRecord:
+    def journaled_run(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(
+            "run.start",
+            args={"experiment": "tab4", "scale": 0.2},
+            config_digest="d" * 64,
+        )
+        journal.append("shard.start", corpus="alexa", snapshot=8, shard=0, attempt=1)
+        journal.append("shard.crash", corpus="alexa", snapshot=8, shard=0, attempt=1)
+        journal.append("shard.done", corpus="alexa", snapshot=8, shard=0, attempt=2)
+        journal.append("snapshot.done", corpus="alexa", snapshot=8, targets=120)
+        journal.append("experiment.done", experiment="tab4")
+        journal.close()
+        return journal
+
+    def test_counts_lifecycle_events(self, tmp_path):
+        journal = self.journaled_run(tmp_path)
+        record = RunRecord.from_dir(journal.run_dir)
+        assert record.run_id == journal.run_id
+        assert record.shards_done == 1
+        assert record.restarts == 1
+        assert record.snapshots_done == 1
+        assert record.experiments_done == ("tab4",)
+        assert not record.completed and not record.interrupted
+        assert record.args == {"experiment": "tab4", "scale": 0.2}
+        assert record.config_digest == "d" * 64
+
+    def test_interrupt_then_resume_clears_interrupted(self, tmp_path):
+        journal = self.journaled_run(tmp_path)
+        journal.append("run.interrupted", signal="SIGINT")
+        record = RunRecord.from_dir(journal.run_dir)
+        assert record.interrupted
+        journal.append("run.resume", resume=1)
+        journal.append("run.complete")
+        journal.close()
+        record = RunRecord.from_dir(journal.run_dir)
+        assert not record.interrupted
+        assert record.completed
+        assert record.resume_count == 1
+
+    def test_quarantine_named_in_record(self, tmp_path):
+        journal = self.journaled_run(tmp_path)
+        journal.append(
+            "shard.quarantined", corpus="com", snapshot=3, shard=2,
+            attempts=3, reasons=["worker crashed (exit 113)"],
+        )
+        record = RunRecord.from_dir(journal.run_dir)
+        assert record.quarantined == ("com[s3]#2",)
+        assert record.describe()["quarantined"] == ["com[s3]#2"]
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunRecord.from_dir(tmp_path / "nope")
+
+    def test_must_begin_with_run_start(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append("shard.done", shard=0)
+        journal.close()
+        with pytest.raises(ValueError, match="run.start"):
+            RunRecord.from_dir(journal.run_dir)
+
+
+class TestConfigDigest:
+    def test_stable(self):
+        config = WorldConfig(seed=7)
+        assert config_digest(config, None) == config_digest(config, None)
+
+    def test_sensitive_to_world_and_faults(self):
+        base = config_digest(WorldConfig(seed=7), None)
+        assert base != config_digest(WorldConfig(seed=8), None)
+        assert base != config_digest(WorldConfig(seed=7), "dns.timeout=0.1")
+
+
+class TestIds:
+    def test_run_ids_are_unique_and_sortable_shaped(self):
+        first, second = new_run_id(), new_run_id()
+        assert first != second
+        assert first.startswith("r") and "-" in first
+
+    def test_runs_root_prefers_explicit(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNS", str(tmp_path / "env"))
+        assert runs_root(str(tmp_path / "cli")) == tmp_path / "cli"
+        assert runs_root(None) == tmp_path / "env"
+        monkeypatch.delenv("REPRO_RUNS")
+        assert runs_root(None) is None

@@ -1,0 +1,103 @@
+"""Signal-handling tests: SIGINT mid-gather leaves a resumable run.
+
+Subprocess-based — signal delivery and graceful-shutdown sequencing only
+behave realistically across a process boundary.  Skipped on platforms
+without POSIX signal support.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs.schemas import MANIFEST_SCHEMA, validate
+from repro.resilience import PARTIAL_MANIFEST_NAME, RunRecord
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix" or not hasattr(signal, "SIGINT"),
+    reason="requires POSIX signals",
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def repro_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    env.pop("REPRO_CACHE", None)
+    env.pop("REPRO_JOBS", None)
+    return env
+
+
+def launch(run_dir, cache):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "tab4", "--scale", "0.2",
+            "--jobs", "2", "--cache-dir", str(cache),
+            "--run-dir", str(run_dir),
+        ],
+        env=repro_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_for_journal(run_dir, timeout=20.0):
+    journal = run_dir / "journal.jsonl"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal.is_file():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestSigintMidGather:
+    def test_partial_manifest_and_resume(self, tmp_path):
+        run_dir = tmp_path / "run"
+        cache = tmp_path / "cache"
+        proc = launch(run_dir, cache)
+        try:
+            assert wait_for_journal(run_dir), "run never created its journal"
+            time.sleep(0.1)  # let it get into gathering
+            proc.send_signal(signal.SIGINT)
+            _stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if proc.returncode == 0:
+            pytest.skip("run finished before SIGINT landed; nothing to resume")
+        assert proc.returncode == 130, stderr
+        assert "resume" in stderr  # the printed resume command
+        partial = run_dir / PARTIAL_MANIFEST_NAME
+        assert partial.is_file(), "interrupted run left no partial manifest"
+        manifest = json.loads(partial.read_text())
+        assert validate(manifest, MANIFEST_SCHEMA) == []
+        assert manifest["resilience"]["status"] == "interrupted"
+
+        record = RunRecord.from_dir(run_dir)
+        assert record.interrupted and not record.completed
+
+        resumed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "resume",
+                "--run-dir", str(run_dir),
+            ],
+            env=repro_env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resuming run" in resumed.stderr
+        assert "Table 4" in resumed.stdout
+        record = RunRecord.from_dir(run_dir)
+        assert record.completed
+        assert not partial.exists()  # completion clears the stale partial

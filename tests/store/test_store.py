@@ -167,6 +167,50 @@ class TestGC:
         assert store.entry_count() == 5
 
 
+class TestGCConcurrency:
+    """Two resumed runs sharing a cache dir must not corrupt GC."""
+
+    def test_advisory_lock_makes_second_collector_skip(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        store = ArtifactStore(tmp_path, max_bytes=None)
+        store.write(KEY_A, b"a" * 100)
+        store.max_bytes = 50  # over budget, but written before the cap
+        handle = open(tmp_path / ".gc.lock", "a+b")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            reset_stats()
+            assert store.gc() == 0  # another "run" is collecting
+            assert STATS.counters["store.gc_skipped"] == 1
+            assert store.read(KEY_A) is not None
+        finally:
+            handle.close()
+        assert store.gc() == 1  # lock released: eviction proceeds
+
+    def test_gc_tolerates_entries_vanishing_mid_sweep(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path, max_bytes=None)
+        store.write(KEY_A, b"a" * 100)
+        store.write(KEY_B, b"b" * 100)
+        store.max_bytes = 150
+        ghost = tmp_path / "zz" / ("zz" + "0" * 62 + ".rsto")
+        real_entries = store._entries()
+        monkeypatch.setattr(
+            store, "_entries", lambda: real_entries + [ghost]
+        )
+        assert store.gc() == 1  # ghost skipped, oldest real entry evicted
+
+    def test_gc_sweeps_stale_tmp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=10_000)
+        store.write(KEY_A, b"payload")
+        stale = tmp_path / "aa" / ".tmp-dead"
+        stale.write_bytes(b"orphaned by a killed writer")
+        os.utime(stale, (1.0, 1.0))
+        fresh = tmp_path / "aa" / ".tmp-live"
+        fresh.write_bytes(b"still being written")
+        store.gc()
+        assert not stale.exists()
+        assert fresh.exists()  # young tmp files belong to live writers
+
+
 class TestCacheKey:
     CONFIG = WorldConfig()
 
@@ -183,6 +227,16 @@ class TestCacheKey:
         assert base != cache_key(
             WorldConfig(seed=8), DatasetTag.COM, 3, "measurements"
         )
+
+    def test_shard_keys_distinct_per_index_and_count(self):
+        from repro.store.artifacts import shard_kind
+
+        base = cache_key(self.CONFIG, DatasetTag.COM, 3, shard_kind(0, 4))
+        assert base != cache_key(self.CONFIG, DatasetTag.COM, 3, shard_kind(1, 4))
+        # The shard count is part of the kind: a resume with a different
+        # --jobs must never be served another sharding's checkpoints.
+        assert base != cache_key(self.CONFIG, DatasetTag.COM, 3, shard_kind(0, 2))
+        assert base != cache_key(self.CONFIG, DatasetTag.COM, 3, "measurements")
 
 
 class TestFromEnv:

@@ -84,6 +84,13 @@ class TestCacheCommand:
         out = capsys.readouterr().out
         assert out.startswith("cache") and "entries" in out
 
+    def test_stats_on_missing_cache_dir_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
     def test_action_defaults_to_stats(self, tmp_path, capsys):
         assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
         assert "entries" in capsys.readouterr().out
