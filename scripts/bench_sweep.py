@@ -27,12 +27,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 from repro.engine import EngineOptions
-from repro.engine.stats import STATS, reset_stats
+from repro.engine.stats import STATS, peak_rss_bytes, reset_stats
 from repro.experiments.common import StudyContext
 from repro.store import ArtifactStore
 from repro.world.build import WorldConfig
@@ -84,6 +87,11 @@ def run_sweep(
         wall = elapsed if wall is None else min(wall, elapsed)
     return {
         "wall_seconds": wall,
+        # Process-wide RSS high-water mark at the end of this mode.  The
+        # HWM is monotonic, so within one bench process later rows carry
+        # the running maximum — an upper envelope, not a per-mode peak
+        # (the scaled-smoke children measure per-run peaks in isolation).
+        "peak_rss_mb": round((peak_rss_bytes() or 0) / 2**20, 1),
         "rates": {
             prefix: STATS.hit_rate(prefix)
             for prefix in ("gather.obs", "censys.scan", "pipeline.mxident")
@@ -121,6 +129,145 @@ def fmt_rate(rate: float | None) -> str:
     return f"{100 * rate:5.1f}%" if rate is not None else "    --"
 
 
+def smoke_child(scale: float, jobs: int, batch: int) -> dict:
+    """One isolated scaled run; prints the JSON row the parent gates on.
+
+    The interesting number is ``measure_delta_mb``: the RSS high-water
+    mark the measure→infer sweep adds *on top of* the world build.  The
+    world itself is eagerly built and O(scale); the streamed measure
+    path is what must stay flat, so the gate compares deltas, not
+    absolute peaks.
+    """
+    # Out-of-core posture: keep one decoded snapshot, trim memo caches
+    # aggressively, spill early.  Explicit env settings still win.
+    os.environ.setdefault("REPRO_STREAM_KEEP", "1")
+    os.environ.setdefault("REPRO_STREAM_CACHE", "50000")
+    os.environ.setdefault("REPRO_MEM_BUDGET_MB", "64")
+    engine = EngineOptions(jobs=jobs, memoize=True, batch_domains=batch)
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        built_at = time.perf_counter()
+        ctx = StudyContext.create(
+            WorldConfig().scaled(scale),
+            engine=engine,
+            store=ArtifactStore(cache_dir),
+        )
+        world_seconds = time.perf_counter() - built_at
+        world_rss = peak_rss_bytes() or 0
+        reset_stats()
+        started = time.perf_counter()
+        for dataset in CORPORA:
+            for index in range(NUM_SNAPSHOTS):
+                ctx.priority(dataset, index)
+        wall = time.perf_counter() - started
+        final_rss = peak_rss_bytes() or 0
+    return {
+        "scale": scale,
+        "jobs": jobs,
+        "batch_domains": batch,
+        "world_seconds": round(world_seconds, 2),
+        "measure_seconds": round(wall, 2),
+        "world_rss_mb": round(world_rss / 2**20, 1),
+        "final_rss_mb": round(final_rss / 2**20, 1),
+        "measure_delta_mb": round((final_rss - world_rss) / 2**20, 1),
+        "batches": STATS.counters.get("stream.batches", 0),
+        "spilled_batches": STATS.counters.get("stream.batch.spilled", 0),
+    }
+
+
+def run_smoke_child(scale: float, jobs: int, batch: int) -> dict:
+    """Spawn one smoke child in its own process and parse its JSON row."""
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (str(src), env.get("PYTHONPATH")) if part
+    )
+    result = subprocess.run(
+        [
+            sys.executable, __file__, "--smoke-child", str(scale),
+            "--jobs", str(jobs), "--smoke-batch", str(batch),
+        ],
+        env=env, capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"smoke child (scale {scale}) failed:\n{result.stderr.strip()}"
+        )
+    return json.loads(result.stdout.splitlines()[-1])
+
+
+def scaled_smoke(args) -> int:
+    """Seed-vs-scaled RSS regression gate (the CI scaled-smoke job).
+
+    Runs the sweep twice in isolated child processes — once at scale 1,
+    once at ``--scaled-smoke SCALE`` — and fails unless the scaled run's
+    measure-phase RSS delta stays within ``--rss-factor`` × the seed
+    delta (with an ``--rss-floor-mb`` absolute allowance for fixed
+    overheads), proving the streamed measure path is flat in scale.
+    """
+    print(
+        f"scaled smoke: seed vs {args.scaled_smoke:g}x "
+        f"(jobs={args.jobs}, batch={args.smoke_batch})"
+    )
+    children = [
+        run_smoke_child(scale, args.jobs, args.smoke_batch)
+        for scale in (1.0, args.scaled_smoke)
+    ]
+    header = (
+        f"{'scale':>6s} {'world':>8s} {'measure':>8s} {'world-rss':>9s}"
+        f" {'final-rss':>9s} {'delta':>8s} {'batches':>7s} {'spilled':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in children:
+        print(
+            f"{row['scale']:>6.1f} {row['world_seconds']:>7.1f}s"
+            f" {row['measure_seconds']:>7.1f}s {row['world_rss_mb']:>8.1f}M"
+            f" {row['final_rss_mb']:>8.1f}M {row['measure_delta_mb']:>7.1f}M"
+            f" {row['batches']:>7d} {row['spilled_batches']:>7d}"
+        )
+    seed, scaled = children
+    allowed = max(
+        args.rss_factor * seed["measure_delta_mb"], args.rss_floor_mb
+    )
+    failures: list[str] = []
+    if scaled["measure_delta_mb"] > allowed:
+        failures.append(
+            f"measure-phase RSS delta {scaled['measure_delta_mb']:.1f}M at "
+            f"scale {args.scaled_smoke:g} exceeds allowance {allowed:.1f}M "
+            f"(max({args.rss_factor:g} x seed {seed['measure_delta_mb']:.1f}M, "
+            f"floor {args.rss_floor_mb:g}M))"
+        )
+    if args.max_rss_mb is not None and scaled["final_rss_mb"] > args.max_rss_mb:
+        failures.append(
+            f"scaled-run peak RSS {scaled['final_rss_mb']:.1f}M exceeds "
+            f"--max-rss-mb {args.max_rss_mb:g}"
+        )
+    verdict = "FAIL" if failures else "ok"
+    print(
+        f"{'':>6s} gate: delta {scaled['measure_delta_mb']:.1f}M vs allowed "
+        f"{allowed:.1f}M -> {verdict}"
+    )
+    if args.json:
+        document = {
+            "bench": "scaled-smoke",
+            "jobs": args.jobs,
+            "batch_domains": args.smoke_batch,
+            "rss_factor": args.rss_factor,
+            "rss_floor_mb": args.rss_floor_mb,
+            "max_rss_mb": args.max_rss_mb,
+            "allowed_delta_mb": allowed,
+            "rows": children,
+            "failures": failures,
+        }
+        with open(args.json, "w") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -146,7 +293,44 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless every store-warm run's store hit rate "
              "is at least RATE (0-1); CI gate for the persistent store",
     )
+    parser.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MB",
+        help="exit non-zero if peak RSS exceeds MB (bench: this process; "
+             "scaled smoke: the scaled child)",
+    )
+    parser.add_argument(
+        "--scaled-smoke", type=float, default=None, metavar="SCALE",
+        help="instead of the mode table, run the seed-vs-SCALE RSS "
+             "regression gate in isolated child processes (CI smoke job)",
+    )
+    parser.add_argument(
+        "--smoke-batch", type=int, default=25, metavar="N",
+        help="--batch-domains for the smoke runs (default 25)",
+    )
+    parser.add_argument(
+        "--rss-factor", type=float, default=2.0, metavar="F",
+        help="scaled measure-phase RSS delta may be at most F x the seed "
+             "delta (default 2.0)",
+    )
+    parser.add_argument(
+        "--rss-floor-mb", type=float, default=512.0, metavar="MB",
+        help="absolute allowance the factor gate never drops below; the "
+             "measure phase's working set is one decoded snapshot plus "
+             "one in-flight pipeline run, both O(scale), so a pure "
+             "factor gate would mis-fire at large scales (default 512: "
+             "~35%% above the measured scale-50 delta, ~5x below the "
+             "delta an unbounded cross-snapshot cache regression shows)",
+    )
+    parser.add_argument(
+        "--smoke-child", type=float, default=None, metavar="SCALE",
+        help=argparse.SUPPRESS,  # internal: one isolated smoke run
+    )
     args = parser.parse_args(argv)
+    if args.smoke_child is not None:
+        print(json.dumps(smoke_child(args.smoke_child, args.jobs, args.smoke_batch)))
+        return 0
+    if args.scaled_smoke is not None:
+        return scaled_smoke(args)
 
     header = (
         f"{'scale':>5s} {'mode':<10s} {'jobs':>4s} {'wall':>8s} {'speedup':>8s}"
@@ -214,12 +398,19 @@ def main(argv: list[str] | None = None) -> int:
                 f" cold; cold overhead vs engine"
                 f" {100 * summary['cold_overhead_vs_engine']:+.1f}%"
             )
+    peak_mb = (peak_rss_bytes() or 0) / 2**20
+    if args.max_rss_mb is not None and peak_mb > args.max_rss_mb:
+        failures.append(
+            f"bench peak RSS {peak_mb:.1f}M exceeds --max-rss-mb "
+            f"{args.max_rss_mb:g}"
+        )
     if args.json:
         document = {
             "bench": "sweep",
             "corpora": [dataset.value for dataset in CORPORA],
             "num_snapshots": NUM_SNAPSHOTS,
             "jobs": args.jobs,
+            "peak_rss_mb": round(peak_mb, 1),
             "rows": rows,
             "summaries": summaries,
         }

@@ -45,6 +45,11 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated span categories the trace must contain "
              "(e.g. run,experiment,snapshot,gather,shard)",
     )
+    parser.add_argument(
+        "--expect-memory", action="store_true",
+        help="require the metrics memory section to carry a real peak-RSS "
+             "sample (nonzero peak_rss_bytes)",
+    )
     args = parser.parse_args(argv)
     if not (args.trace or args.metrics or args.manifest or args.journal):
         parser.error(
@@ -73,6 +78,14 @@ def main(argv: list[str] | None = None) -> int:
         ok &= check(
             "metrics", schemas.validate_file(args.metrics, schemas.METRICS_SCHEMA)
         )
+        if args.expect_memory:
+            with open(args.metrics) as handle:
+                memory = json.load(handle).get("memory", {})
+            peak = memory.get("peak_rss_bytes", 0)
+            ok &= check(
+                "metrics-memory",
+                [] if peak > 0 else [f"peak_rss_bytes is {peak}, expected > 0"],
+            )
     if args.manifest:
         ok &= check(
             "manifest", schemas.validate_file(args.manifest, schemas.MANIFEST_SCHEMA)

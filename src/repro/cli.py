@@ -49,7 +49,7 @@ from .experiments import (
     tab5,
     tab6,
 )
-from .engine import EngineOptions, get_stats
+from .engine import EngineOptions, get_stats, sample_peak_rss
 from .experiments.common import StudyContext
 from .faults import FAULTS_ENV, resolve_plan
 from .obs import log as obs_log
@@ -118,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="engine workers for gathering/identification "
              "(default: REPRO_JOBS or 1; results are identical for any N)",
+    )
+    parser.add_argument(
+        "--batch-domains", type=int, default=None, metavar="N",
+        help="streamed gather batch size: gather snapshots in contiguous "
+             "batches of N domains, spilling encoded batches through the "
+             "store to keep peak RSS near-flat (default: REPRO_BATCH or "
+             "unbatched; 0 disables; results are identical for any N)",
     )
     parser.add_argument(
         "--faults", metavar="SPEC", default=None,
@@ -482,6 +489,7 @@ def _run_experiments(
         jobs=args.jobs,
         shard_deadline=args.shard_deadline,
         max_restarts=args.max_restarts,
+        batch_domains=args.batch_domains,
     )
     names = PAPER_ORDER if args.experiment == "all" else (args.experiment,)
     try:
@@ -548,6 +556,7 @@ def _run_experiments(
         exit_code = 3
 
     total_elapsed = time.time() - started
+    sample_peak_rss()
 
     if exit_code == 0:
         print(f"Done in {total_elapsed:.1f}s", file=sys.stderr)

@@ -18,20 +18,32 @@ from .identcache import MXIdentityCache, evidence_key
 from .options import EngineOptions
 from .parallel import env_jobs, parallel_gather, resolve_jobs
 from .sharding import merge_shard_results, split_shards
-from .stats import STATS, EngineStats, format_bytes, get_stats, reset_stats
+from .stats import (
+    STATS,
+    EngineStats,
+    current_rss_bytes,
+    format_bytes,
+    get_stats,
+    peak_rss_bytes,
+    reset_stats,
+    sample_peak_rss,
+)
 
 __all__ = [
     "EngineOptions",
     "EngineStats",
     "MXIdentityCache",
     "STATS",
+    "current_rss_bytes",
     "env_jobs",
     "evidence_key",
     "format_bytes",
     "get_stats",
     "merge_shard_results",
     "parallel_gather",
+    "peak_rss_bytes",
     "reset_stats",
     "resolve_jobs",
+    "sample_peak_rss",
     "split_shards",
 ]

@@ -33,6 +33,13 @@ class EngineOptions:
         How many times a supervised shard may be reassigned after a
         crashed or hung worker before it is quarantined and the run is
         failed with a diagnosis naming the shard.
+    ``batch_domains``
+        Streamed-gather batch size: snapshots are gathered in contiguous
+        batches of this many domains, held in-flight as encoded codec
+        payloads, and merged canonically (see :mod:`repro.stream`).
+        ``None`` defers to ``REPRO_BATCH``; zero or negative disables
+        batching.  Like every other knob here, this is a pure
+        optimization — outputs are byte-identical at any setting.
     """
 
     jobs: int | None = None
@@ -40,6 +47,15 @@ class EngineOptions:
     executor: str | None = None
     shard_deadline: float | None = None
     max_restarts: int = 2
+    batch_domains: int | None = None
 
     def resolved_jobs(self) -> int:
         return resolve_jobs(self.jobs)
+
+    def batch_plan(self):
+        """The resolved :class:`~repro.stream.batching.BatchPlan`."""
+        # Imported lazily: the engine layer stays importable without the
+        # streaming package, which itself builds on the engine.
+        from ..stream.batching import BatchPlan, resolve_batch
+
+        return BatchPlan(resolve_batch(self.batch_domains))

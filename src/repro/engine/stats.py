@@ -13,6 +13,7 @@ the table behind ``python -m repro <exp> --perf``.
 
 from __future__ import annotations
 
+import sys
 import time
 from collections import Counter
 from contextlib import contextmanager
@@ -203,6 +204,54 @@ class EngineStats:
         if len(lines) == 2:
             lines.append("(no activity recorded)")
         return "\n".join(lines)
+
+
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; systems
+    where neither ``resource`` nor ``/proc`` works report 0 (the memory
+    section of ``--perf``/metrics then simply stays at zero rather than
+    failing the run).
+    """
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if peak:
+            return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    except Exception:
+        pass
+    return _proc_status_kb("VmHWM") * 1024
+
+
+def current_rss_bytes() -> int:
+    """This process's current resident set size, in bytes (0 if unknown)."""
+    return _proc_status_kb("VmRSS") * 1024
+
+
+def _proc_status_kb(field_name: str) -> int:
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as status:
+            for line in status:
+                if line.startswith(field_name + ":"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def sample_peak_rss(stats: EngineStats | None = None) -> int:
+    """Record the current peak RSS as a high-water-mark counter.
+
+    ``mem.peak_rss_bytes`` is a max, not a sum — samples only ever
+    raise it.  Called at batch boundaries and run epilogues.
+    """
+    target = stats if stats is not None else STATS
+    peak = peak_rss_bytes()
+    if peak > target.counters.get("mem.peak_rss_bytes", 0):
+        target.counters["mem.peak_rss_bytes"] = peak
+    return peak
 
 
 def format_bytes(count: int) -> str:

@@ -38,6 +38,14 @@ from ..measure import (
 )
 from ..measure.dataset import DomainMeasurement
 from ..store import ArtifactStore
+from ..stream import (
+    BatchSpiller,
+    SharedWorldTables,
+    canonicalize_measurements,
+    env_stream_keep,
+    merge_payloads,
+    stream_gather,
+)
 from ..world.build import World, WorldConfig, build_world
 from ..world.entities import DatasetTag
 from ..world.population import GOV_FIRST_SNAPSHOT, NUM_SNAPSHOTS
@@ -95,9 +103,17 @@ class StudyContext:
     faults: FaultInjector | None = None
     fault_plan: FaultPlan | None = None
     resilience: "object | None" = None  # repro.resilience.RunContext
+    #: Shared-memory snapshot tables, published once per streamed context.
+    stream_tables: SharedWorldTables | None = None
     _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
         default_factory=dict
     )
+    #: Encoded batch payloads backing evicted snapshots of store-less
+    #: streamed runs (the codec doubles as the compact heap form).
+    _snapshot_payloads: dict[tuple[DatasetTag, int], list[bytes]] = field(
+        default_factory=dict
+    )
+    _domain_lists: dict[DatasetTag, list[str]] = field(default_factory=dict)
     _priority: dict[tuple[DatasetTag, int], PipelineResult] = field(default_factory=dict)
     _baselines: dict[tuple[str, DatasetTag, int], dict[str, DomainInference]] = field(
         default_factory=dict
@@ -157,8 +173,21 @@ class StudyContext:
             coverage_for=world.censys_coverage_for,
             faults=injector,
         )
+        stream_tables = None
+        gather_prefix2as = prefix2as
+        if engine.batch_plan().active:
+            # Publish the read-only routing table once; forked gather
+            # workers map the segment zero-copy instead of inheriting a
+            # per-context Python trie.  Lookups are value-equal, so this
+            # is invisible to every inference.
+            as_index = {
+                asys.number: asys
+                for asys in world.prefix2as.autonomous_systems()
+            }
+            stream_tables = SharedWorldTables.publish(prefix2as, as_index)
+            gather_prefix2as = stream_tables.prefix2as
         gatherer = MeasurementGatherer(
-            openintel, censys, prefix2as, memoize=engine.memoize
+            openintel, censys, gather_prefix2as, memoize=engine.memoize
         )
         company_map = CompanyMap.from_specs(
             [infra.spec for infra in world.companies.values()], psl=world.psl
@@ -173,6 +202,7 @@ class StudyContext:
             faults=injector,
             fault_plan=plan,
             resilience=resilience,
+            stream_tables=stream_tables,
         )
 
     def faults_key(self) -> str | None:
@@ -186,14 +216,22 @@ class StudyContext:
         """
         return self.fault_plan.store_key() if self.fault_plan is not None else None
 
-    def _supervision(self, dataset: DatasetTag, snapshot_index: int):
+    def _supervision(
+        self,
+        dataset: DatasetTag,
+        snapshot_index: int,
+        batch: tuple[int, int, int] | None = None,
+    ):
         """The gather-supervision bundle, or None for the plain path.
 
         Supervision engages when the run is resilient (journal +
         checkpoints + shutdown flag) or when the fault plan carries
         worker channels (so injected crashes meet a supervisor that can
         restart them); fault-free non-resilient runs take the untouched
-        executor path.
+        executor path.  Under a streamed gather, *batch* is the plan key
+        of the batch being supervised: checkpoints key on it, and worker
+        fault rolls vary per batch (restart budgets are per gather, so
+        the values a batch produces are still never affected).
         """
         plan = self.fault_plan
         worker_faults = plan is not None and plan.worker_active
@@ -205,15 +243,20 @@ class StudyContext:
         checkpoint_factory = None
         if run is not None and run.checkpoints is not None:
             checkpoint_factory = (
-                lambda count: run.checkpoints.bind(dataset, snapshot_index, count)
+                lambda count: run.checkpoints.bind(
+                    dataset, snapshot_index, count, batch=batch
+                )
             )
+        scope = (dataset.value, snapshot_index)
+        if batch is not None:
+            scope = scope + (batch[0], batch[1])
         return GatherSupervision(
             options=SupervisorOptions(
                 deadline=self.engine.shard_deadline,
                 max_restarts=self.engine.max_restarts,
             ),
             plan=plan if worker_faults else None,
-            scope=(dataset.value, snapshot_index),
+            scope=scope,
             checkpoint_factory=checkpoint_factory,
             journal=run.journal if run is not None else None,
             shutdown=run.shutdown if run is not None else None,
@@ -224,22 +267,42 @@ class StudyContext:
     ) -> None:
         """Drop shard checkpoints once the full snapshot artifact exists.
 
-        Keeps completed stores free of partial-gather entries, so a
-        finished resumed run's store is digest-identical to an
-        uninterrupted run's.
+        Keeps completed stores free of partial-gather entries — and, for
+        streamed gathers, of batch spill entries — so a finished resumed
+        run's store is digest-identical to an uninterrupted run's.
         """
         run = self.resilience
         if run is None or run.checkpoints is None:
             return
         jobs = self.engine.resolved_jobs()
-        shard_count = min(jobs, len(self.domains(dataset)))
-        if shard_count > 1:
-            run.checkpoints.bind(dataset, snapshot_index, shard_count).discard_all()
+        total = len(self.domains(dataset))
+        plan = self.engine.batch_plan()
+        if not plan.active:
+            shard_count = min(jobs, total)
+            if shard_count > 1:
+                run.checkpoints.bind(dataset, snapshot_index, shard_count).discard_all()
+            return
+        for batch_index, size in enumerate(plan.batch_sizes(total)):
+            batch = plan.key(batch_index, total)
+            shard_count = min(jobs, size)
+            if shard_count > 1:
+                run.checkpoints.bind(
+                    dataset, snapshot_index, shard_count, batch=batch
+                ).discard_all()
+            if self.store is not None:
+                self.store.discard_batch(
+                    self.world.config, dataset, snapshot_index, *batch,
+                    self.faults_key(),
+                )
 
     # -- corpus access ---------------------------------------------------
 
     def domains(self, dataset: DatasetTag) -> list[str]:
-        return sorted(entity.name for entity in self.world.domains_in(dataset))
+        cached = self._domain_lists.get(dataset)
+        if cached is None:
+            cached = sorted(entity.name for entity in self.world.domains_in(dataset))
+            self._domain_lists[dataset] = cached
+        return cached
 
     def covered(self, dataset: DatasetTag, snapshot_index: int) -> bool:
         if dataset is DatasetTag.GOV:
@@ -252,56 +315,136 @@ class StudyContext:
         if not self.covered(dataset, snapshot_index):
             return None
         key = (dataset, snapshot_index)
-        if key not in self._measurements:
-            run = self.resilience
-            if run is not None:
-                run.shutdown.raise_if_set()
-            loaded = None
-            if self.store is not None:
-                loaded = self.store.load_measurements(
-                    self.world.config, dataset, snapshot_index, self.faults_key()
+        cached = self._measurements.get(key)
+        if cached is not None:
+            if self.engine.batch_plan().active:
+                # LRU touch: re-insertion keeps eviction order honest.
+                self._measurements.pop(key)
+                self._measurements[key] = cached
+            return cached
+        run = self.resilience
+        if run is not None:
+            run.shutdown.raise_if_set()
+        loaded = None
+        if self.store is not None:
+            loaded = self.store.load_measurements(
+                self.world.config, dataset, snapshot_index, self.faults_key()
+            )
+        if loaded is None and key in self._snapshot_payloads:
+            # A store-less streamed run re-decodes an evicted snapshot
+            # from its retained batch payloads instead of re-gathering.
+            with STATS.timer("stream.redecode"):
+                loaded = merge_payloads(self._snapshot_payloads[key])
+            STATS.inc("stream.redecoded")
+        if loaded is not None:
+            # Warm the gatherer's observation caches so follow-up
+            # gathers (showcase domains, churn studies) reuse the
+            # persisted scan/routing records.
+            self.gatherer.adopt(loaded)
+            self._remember(key, loaded)
+            # A resumed run may hold stale shard checkpoints for a
+            # snapshot that completed before the kill — clean them up.
+            self._discard_shard_checkpoints(dataset, snapshot_index)
+            return loaded
+        targets = self.domains(dataset)
+        plan = self.engine.batch_plan()
+        with STATS.timer("context.gather"), trace.span(
+            f"{dataset.value}[s{snapshot_index}].gather",
+            cat="snapshot",
+            corpus=dataset.value,
+            snapshot=snapshot_index,
+            targets=len(targets),
+        ):
+            if plan.active:
+                spiller = BatchSpiller(
+                    plan=plan,
+                    total=len(targets),
+                    store=self.store,
+                    config=self.world.config,
+                    dataset=dataset,
+                    snapshot_index=snapshot_index,
+                    faults=self.faults_key(),
+                    write_through=run is not None,
                 )
-            if loaded is not None:
-                # Warm the gatherer's observation caches so follow-up
-                # gathers (showcase domains, churn studies) reuse the
-                # persisted scan/routing records.
-                self.gatherer.adopt(loaded)
-                self._measurements[key] = loaded
-                # A resumed run may hold stale shard checkpoints for a
-                # snapshot that completed before the kill — clean them up.
-                self._discard_shard_checkpoints(dataset, snapshot_index)
+                gathered = stream_gather(
+                    self.gatherer,
+                    targets,
+                    snapshot_index,
+                    plan=plan,
+                    spiller=spiller,
+                    jobs=self.engine.resolved_jobs(),
+                    executor=self.engine.executor,
+                    supervision_factory=lambda index, _count: self._supervision(
+                        dataset, snapshot_index,
+                        batch=plan.key(index, len(targets)),
+                    ),
+                )
+                if self.store is None:
+                    self._snapshot_payloads[key] = spiller.held_payloads()
             else:
-                targets = self.domains(dataset)
-                with STATS.timer("context.gather"), trace.span(
-                    f"{dataset.value}[s{snapshot_index}].gather",
-                    cat="snapshot",
-                    corpus=dataset.value,
-                    snapshot=snapshot_index,
-                    targets=len(targets),
-                ):
-                    gathered = parallel_gather(
-                        self.gatherer,
-                        targets,
-                        snapshot_index,
-                        jobs=self.engine.resolved_jobs(),
-                        executor=self.engine.executor,
-                        supervision=self._supervision(dataset, snapshot_index),
-                    )
-                if self.store is not None:
-                    self.store.save_measurements(
-                        self.world.config, dataset, snapshot_index, gathered,
-                        self.faults_key(),
-                    )
-                if run is not None:
-                    run.journal.append(
-                        "snapshot.done",
-                        corpus=dataset.value,
-                        snapshot=snapshot_index,
-                        targets=len(targets),
-                    )
-                    self._discard_shard_checkpoints(dataset, snapshot_index)
-                self._measurements[key] = gathered
-        return self._measurements[key]
+                gathered = parallel_gather(
+                    self.gatherer,
+                    targets,
+                    snapshot_index,
+                    jobs=self.engine.resolved_jobs(),
+                    executor=self.engine.executor,
+                    supervision=self._supervision(dataset, snapshot_index),
+                )
+                # One observation object per address, exactly as the
+                # serial memoized path produces: encoded artifacts come
+                # out byte-identical across jobs/executors/batch sizes.
+                gathered = canonicalize_measurements(gathered)
+        if self.store is not None:
+            self.store.save_measurements(
+                self.world.config, dataset, snapshot_index, gathered,
+                self.faults_key(),
+            )
+        if run is not None:
+            run.journal.append(
+                "snapshot.done",
+                corpus=dataset.value,
+                snapshot=snapshot_index,
+                targets=len(targets),
+            )
+            self._discard_shard_checkpoints(dataset, snapshot_index)
+        self._remember(key, gathered)
+        return gathered
+
+    def _remember(
+        self,
+        key: tuple[DatasetTag, int],
+        measurements: dict[str, DomainMeasurement],
+    ) -> None:
+        """Cache a decoded snapshot; bounded LRU when streaming.
+
+        Unbatched contexts keep every snapshot for the life of the
+        context (the historical behaviour).  Streamed contexts keep the
+        ``REPRO_STREAM_KEEP`` most recent decoded snapshots: anything
+        evicted reloads from the store, or re-decodes from its retained
+        batch payloads when no store is configured.
+        """
+        self._measurements.pop(key, None)
+        self._measurements[key] = measurements
+        self._stream_trim(self._measurements, "stream.snapshot.evicted")
+
+    def _stream_trim(self, cache: dict, counter: str, keep_factor: int = 1) -> None:
+        """Bound a per-snapshot cache to ``REPRO_STREAM_KEEP`` entries.
+
+        No-op for unbatched contexts (the historical keep-everything
+        behaviour).  Streamed contexts evict oldest-first: evicted
+        snapshots reload from the store, re-decode from retained batch
+        payloads, or recompute — all deterministic, so eviction can never
+        change an output, only trade memory for time.  ``keep_factor``
+        widens the bound for caches holding several entries per snapshot
+        (the three baseline approaches).
+        """
+        if not self.engine.batch_plan().active:
+            return
+        keep = env_stream_keep() * keep_factor
+        while len(cache) > keep:
+            evicted = next(iter(cache))
+            del cache[evicted]
+            STATS.inc(counter)
 
     # -- inference runs --------------------------------------------------
 
@@ -327,6 +470,7 @@ class StudyContext:
             )
             with STATS.timer("context.cert_groups"):
                 self._cert_groups[key] = builder.build_groups(measurements)
+            self._stream_trim(self._cert_groups, "stream.groups.evicted")
         else:
             STATS.inc("pipeline.groups.hit")
         return self._cert_groups[key]
@@ -370,6 +514,7 @@ class StudyContext:
                 )
             if loaded is not None:
                 self._priority[key] = loaded
+                self._stream_trim(self._priority, "stream.result.evicted")
             else:
                 measurements = self.measurements(dataset, snapshot_index)
                 pipeline = PriorityPipeline(
@@ -394,6 +539,7 @@ class StudyContext:
                         self.faults_key(),
                     )
                 self._priority[key] = result
+                self._stream_trim(self._priority, "stream.result.evicted")
         return self._priority[key]
 
     def priority(
@@ -425,6 +571,9 @@ class StudyContext:
                 )
             if loaded is not None:
                 self._baselines[key] = loaded
+                self._stream_trim(
+                    self._baselines, "stream.result.evicted", keep_factor=3
+                )
             else:
                 measurements = self.measurements(dataset, snapshot_index)
                 inferences = runner.run(measurements)
@@ -434,6 +583,9 @@ class StudyContext:
                         inferences, self.faults_key(),
                     )
                 self._baselines[key] = inferences
+                self._stream_trim(
+                    self._baselines, "stream.result.evicted", keep_factor=3
+                )
         return self._baselines[key]
 
     def all_approaches(

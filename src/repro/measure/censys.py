@@ -107,6 +107,19 @@ class CensysScanner:
         """Intern a record produced elsewhere (a parallel gather worker)."""
         self._cache.setdefault((address, scanned_on), record)
 
+    def trim_cache(self, max_entries: int) -> int:
+        """Drop the scan cache once it outgrows *max_entries* keys.
+
+        Scans are deterministic per ``(address, date)`` (fault rolls
+        included), so re-scanning after a trim reproduces the same
+        records — the streamed gather path relies on this.
+        """
+        if len(self._cache) <= max_entries:
+            return 0
+        dropped = len(self._cache)
+        self._cache.clear()
+        return dropped
+
     def _scan_uncached(self, address: str, scanned_on: date) -> PortScanRecord | None:
         if self.faults is not None and self.faults.scan_dropped(address, scanned_on):
             return None

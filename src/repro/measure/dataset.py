@@ -169,6 +169,25 @@ class MeasurementGatherer:
         self._as_cache[address] = info
         return info
 
+    def trim_caches(self, max_entries: int) -> int:
+        """Drop memo caches that outgrew *max_entries* keys; returns drops.
+
+        The streamed gather path calls this between batches so the
+        interning dictionaries cannot grow with the corpus.  Every cached
+        value is recomputed identically on the next miss (the caches are
+        pure memoization), so trimming can never change an output.
+        """
+        dropped = 0
+        if len(self._obs_cache) > max_entries:
+            dropped += len(self._obs_cache)
+            self._obs_cache.clear()
+        if len(self._as_cache) > max_entries:
+            dropped += len(self._as_cache)
+            self._as_cache.clear()
+        dropped += self.censys.trim_cache(max_entries)
+        dropped += self.openintel.trim_cache(max_entries)
+        return dropped
+
     def adopt(self, measurements: dict[str, DomainMeasurement]) -> None:
         """Intern observations produced elsewhere.
 

@@ -127,6 +127,21 @@ class OpenINTELPlatform:
                 results[record.domain] = record
         return results
 
+    def trim_cache(self, max_entries: int) -> int:
+        """Clear the per-snapshot resolver caches once they outgrow the cap.
+
+        Resolver answers are pure in (zone, fault plan, name, type), so a
+        cleared entry resolves identically on the next query — the caches
+        are the dominant cross-snapshot memory growth on streamed runs
+        and must stay bounded for the flat-RSS gate to hold.
+        """
+        cached = sum(len(resolver._cache) for resolver in self._resolvers)
+        if cached <= max_entries:
+            return 0
+        for resolver in self._resolvers:
+            resolver.clear_cache()
+        return cached
+
     def stable_domains(self, domains: list[str]) -> list[str]:
         """Domains that publish an MX record at *every covered* snapshot.
 

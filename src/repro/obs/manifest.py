@@ -17,7 +17,9 @@ import platform
 import sys
 import time
 
-MANIFEST_SCHEMA_VERSION = 1
+# v2: adds the "memory" section (peak RSS and streamed-batch counters)
+# so a manifest records how the out-of-core measure path behaved.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def _snapshot_dates():
@@ -60,7 +62,7 @@ def build_manifest(
     runs omit it, so their manifests are unchanged.
     """
     from ..store.artifacts import SCHEMA_VERSION as STORE_SCHEMA
-    from .metrics import METRICS_SCHEMA_VERSION
+    from .metrics import METRICS_SCHEMA_VERSION, memory_summary
     from .provenance import PROVENANCE_SCHEMA_VERSION
     from .trace import TRACE_SCHEMA_VERSION
 
@@ -102,6 +104,7 @@ def build_manifest(
             "platform": platform.platform(),
             "pid": os.getpid(),
         },
+        "memory": memory_summary(stats),
     }
     if faults is not None:
         manifest["faults"] = faults.describe()

@@ -18,7 +18,9 @@ from __future__ import annotations
 import json
 import os
 
-METRICS_SCHEMA_VERSION = 1
+# v2: adds the "memory" section (peak/current RSS, streamed-batch and
+# spill counters) emitted by the out-of-core measure path.
+METRICS_SCHEMA_VERSION = 2
 
 
 def _shard_summary(timings: list[float]) -> dict:
@@ -32,6 +34,29 @@ def _shard_summary(timings: list[float]) -> dict:
         "mean_seconds": mean,
         # max/mean straggler factor: 1.0 = perfectly balanced shards.
         "imbalance": (peak / mean) if mean else None,
+    }
+
+
+def memory_summary(stats) -> dict:
+    """The memory/streaming section of the metrics document.
+
+    ``peak_rss_bytes`` prefers the live high-water mark over the sampled
+    counter so the export reflects the whole process even when no
+    ``sample_peak_rss`` call ran; batch/spill counters are zero on
+    unbatched runs.
+    """
+    from ..engine.stats import peak_rss_bytes, current_rss_bytes
+
+    sampled = stats.counters.get("mem.peak_rss_bytes", 0)
+    live = peak_rss_bytes() or 0
+    return {
+        "peak_rss_bytes": max(sampled, live),
+        "current_rss_bytes": current_rss_bytes() or 0,
+        "batches": stats.counters.get("stream.batches", 0),
+        "spilled_batches": stats.counters.get("stream.batch.spilled", 0),
+        "restored_batches": stats.counters.get("stream.batch.restored", 0),
+        "spill_bytes": stats.counters.get("stream.spill_bytes", 0),
+        "batch_bytes": stats.counters.get("stream.batch_bytes", 0),
     }
 
 
@@ -54,6 +79,7 @@ def collect(stats=None) -> dict:
         "schema": METRICS_SCHEMA_VERSION,
         "counters": dict(stats.counters),
         "caches": caches,
+        "memory": memory_summary(stats),
         "timers": {
             name: {
                 "seconds": seconds,
@@ -98,6 +124,15 @@ def render_prometheus(metrics: dict) -> str:
             f'repro_timer_seconds_total{{timer="{name}"}} {timer["seconds"]:.6f}'
         )
         lines.append(f'repro_timer_calls_total{{timer="{name}"}} {timer["calls"]}')
+    lines += [
+        "# HELP repro_memory_bytes Process memory, by kind (peak = RSS HWM).",
+        "# TYPE repro_memory_bytes gauge",
+    ]
+    memory = metrics.get("memory", {})
+    for kind in ("peak_rss_bytes", "current_rss_bytes"):
+        if kind in memory:
+            label = kind.removesuffix("_bytes")
+            lines.append(f'repro_memory_bytes{{kind="{label}"}} {memory[kind]}')
     lines += [
         "# HELP repro_shard_imbalance Max/mean shard straggler factor.",
         "# TYPE repro_shard_imbalance gauge",

@@ -54,13 +54,30 @@ TRACE_SCHEMA = {
     },
 }
 
+# Shared by metrics v2 and manifest v2: process peak/current RSS plus
+# the streamed measure path's batch and spill counters.
+MEMORY_SCHEMA = {
+    "type": "object",
+    "required": ["peak_rss_bytes", "current_rss_bytes", "batches"],
+    "properties": {
+        "peak_rss_bytes": {"type": "integer"},
+        "current_rss_bytes": {"type": "integer"},
+        "batches": {"type": "integer"},
+        "spilled_batches": {"type": "integer"},
+        "restored_batches": {"type": "integer"},
+        "spill_bytes": {"type": "integer"},
+        "batch_bytes": {"type": "integer"},
+    },
+}
+
 METRICS_SCHEMA = {
     "type": "object",
-    "required": ["schema", "counters", "caches", "timers", "shards"],
+    "required": ["schema", "counters", "caches", "memory", "timers", "shards"],
     "properties": {
         "schema": {"type": "integer"},
         "counters": {"type": "object"},
         "caches": {"type": "object"},
+        "memory": MEMORY_SCHEMA,
         "timers": {"type": "object"},
         "shards": {"type": "object"},
     },
@@ -68,11 +85,14 @@ METRICS_SCHEMA = {
 
 MANIFEST_SCHEMA = {
     "type": "object",
-    "required": ["schema", "world", "schemas", "experiments", "timing", "runtime"],
+    "required": [
+        "schema", "world", "schemas", "experiments", "timing", "runtime", "memory",
+    ],
     "properties": {
         "schema": {"type": "integer"},
         "created_at": {"type": "string"},
         "argv": {"type": "array"},
+        "memory": MEMORY_SCHEMA,
         "world": {
             "type": "object",
             "required": ["seed", "snapshot_dates"],

@@ -37,7 +37,10 @@ class ShardCheckpointer:
     config: object          # WorldConfig
     faults_key: str | None  # plan.store_key() of the run, or None
 
-    def bind(self, dataset, snapshot_index: int, shard_count: int) -> "BoundShardCheckpoint":
+    def bind(
+        self, dataset, snapshot_index: int, shard_count: int,
+        batch: tuple[int, int, int] | None = None,
+    ) -> "BoundShardCheckpoint":
         return BoundShardCheckpoint(
             store=self.store,
             config=self.config,
@@ -45,6 +48,7 @@ class ShardCheckpointer:
             snapshot_index=snapshot_index,
             shard_count=shard_count,
             faults_key=self.faults_key,
+            batch=batch,
         )
 
 
@@ -58,17 +62,21 @@ class BoundShardCheckpoint:
     snapshot_index: int
     shard_count: int
     faults_key: str | None
+    #: Batch-plan key ``(index, count, size)`` of a streamed gather, or
+    #: None — checkpoints only resume runs with the same batch plan.
+    batch: tuple[int, int, int] | None = None
 
     def load(self, index: int):
         return self.store.load_shard(
             self.config, self.dataset, self.snapshot_index,
-            index, self.shard_count, self.faults_key,
+            index, self.shard_count, self.faults_key, batch=self.batch,
         )
 
     def save(self, index: int, measurements) -> None:
         self.store.save_shard(
             self.config, self.dataset, self.snapshot_index,
             index, self.shard_count, measurements, self.faults_key,
+            batch=self.batch,
         )
 
     def discard_all(self) -> None:
@@ -76,7 +84,7 @@ class BoundShardCheckpoint:
         for index in range(self.shard_count):
             self.store.discard_shard(
                 self.config, self.dataset, self.snapshot_index,
-                index, self.shard_count, self.faults_key,
+                index, self.shard_count, self.faults_key, batch=self.batch,
             )
 
 

@@ -16,7 +16,9 @@ from .artifacts import (
     ArtifactStore,
     SCHEMA_VERSION,
     baseline_kind,
+    batch_kind,
     cache_key,
+    shard_kind,
 )
 from .codec import (
     CODEC_VERSION,
@@ -38,7 +40,9 @@ __all__ = [
     "DEFAULT_MAX_BYTES",
     "SCHEMA_VERSION",
     "baseline_kind",
+    "batch_kind",
     "cache_key",
+    "shard_kind",
     "decode_inferences",
     "decode_measurements",
     "decode_result",

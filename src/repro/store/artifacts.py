@@ -65,6 +65,8 @@ KIND_MEASUREMENTS = "measurements"
 KIND_PRIORITY = "result:priority"
 #: Kind prefix of resilience shard checkpoints (partial-gather results).
 KIND_SHARD_PREFIX = "shard:"
+#: Kind prefix of streamed-gather batch spill entries (encoded payloads).
+KIND_BATCH_PREFIX = "batch:"
 
 #: Name of the coarse advisory GC lock inside a store root.
 _GC_LOCK_NAME = ".gc.lock"
@@ -79,14 +81,28 @@ def baseline_kind(approach: str) -> str:
     return f"baseline:{approach}"
 
 
-def shard_kind(index: int, count: int) -> str:
+def shard_kind(
+    index: int, count: int, batch: tuple[int, int, int] | None = None
+) -> str:
     """Kind string of one shard checkpoint of a partial gather.
 
     The shard count is part of the kind: a resumed run with a different
     ``--jobs`` shards differently, and a checkpoint for shard 2-of-4 must
-    never be served as shard 2-of-8.
+    never be served as shard 2-of-8.  Under a streamed gather, *batch* is
+    the plan key ``(batch_index, batch_count, batch_size)``: shards of
+    batch 3-of-10 at ``--batch-domains 500`` can only resume a run with
+    the very same batch plan.
     """
-    return f"{KIND_SHARD_PREFIX}{index}/{count}:{KIND_MEASUREMENTS}"
+    base = f"{KIND_SHARD_PREFIX}{index}/{count}"
+    if batch is not None:
+        batch_index, batch_count, batch_size = batch
+        base += f"@{batch_index}/{batch_count}x{batch_size}"
+    return f"{base}:{KIND_MEASUREMENTS}"
+
+
+def batch_kind(index: int, count: int, size: int) -> str:
+    """Kind string of one streamed-gather batch spill entry."""
+    return f"{KIND_BATCH_PREFIX}{index}/{count}x{size}:{KIND_MEASUREMENTS}"
 
 
 def cache_key(
@@ -428,25 +444,63 @@ class ArtifactStore:
 
     def load_shard(
         self, config, dataset, snapshot_index: int, index: int, count: int,
-        faults: str | None = None,
+        faults: str | None = None, batch: tuple[int, int, int] | None = None,
     ):
         """A checkpointed partial-gather shard, or None."""
-        key = cache_key(config, dataset, snapshot_index, shard_kind(index, count), faults)
+        key = cache_key(
+            config, dataset, snapshot_index, shard_kind(index, count, batch), faults
+        )
         return self._load("resilience.checkpoint", key, decode_measurements)
 
     def save_shard(
         self, config, dataset, snapshot_index: int, index: int, count: int,
         measurements, faults: str | None = None,
+        batch: tuple[int, int, int] | None = None,
     ) -> None:
-        key = cache_key(config, dataset, snapshot_index, shard_kind(index, count), faults)
+        key = cache_key(
+            config, dataset, snapshot_index, shard_kind(index, count, batch), faults
+        )
         self._save(key, encode_measurements, measurements)
 
     def discard_shard(
         self, config, dataset, snapshot_index: int, index: int, count: int,
-        faults: str | None = None,
+        faults: str | None = None, batch: tuple[int, int, int] | None = None,
     ) -> None:
         """Drop one shard checkpoint (after the full snapshot persists)."""
-        key = cache_key(config, dataset, snapshot_index, shard_kind(index, count), faults)
+        key = cache_key(
+            config, dataset, snapshot_index, shard_kind(index, count, batch), faults
+        )
+        self.discard(key)
+
+    def load_batch(
+        self, config, dataset, snapshot_index: int, index: int, count: int,
+        size: int, faults: str | None = None,
+    ) -> bytes | None:
+        """A spilled streamed-gather batch payload (still encoded), or None."""
+        key = cache_key(
+            config, dataset, snapshot_index, batch_kind(index, count, size), faults
+        )
+        payload = self.read(key)
+        STATS.inc("stream.spill.hit" if payload is not None else "stream.spill.miss")
+        return payload
+
+    def save_batch(
+        self, config, dataset, snapshot_index: int, index: int, count: int,
+        size: int, payload: bytes, faults: str | None = None,
+    ) -> None:
+        key = cache_key(
+            config, dataset, snapshot_index, batch_kind(index, count, size), faults
+        )
+        self.write(key, payload)
+
+    def discard_batch(
+        self, config, dataset, snapshot_index: int, index: int, count: int,
+        size: int, faults: str | None = None,
+    ) -> None:
+        """Drop one batch spill entry (after the full snapshot persists)."""
+        key = cache_key(
+            config, dataset, snapshot_index, batch_kind(index, count, size), faults
+        )
         self.discard(key)
 
     def load_baseline(

@@ -1,0 +1,119 @@
+"""Batch plans: how a snapshot's domain list splits into bounded gathers.
+
+A :class:`BatchPlan` slices the (sorted) target list into contiguous
+fixed-size batches.  Batches are purely an engine knob: they bound how
+many decoded measurements are alive at once, and they must never change
+what a run produces.  Contiguity in sorted-domain order is what makes
+the later in-order merge reproduce the serial iteration order exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+BATCH_ENV = "REPRO_BATCH"
+STREAM_KEEP_ENV = "REPRO_STREAM_KEEP"
+DEFAULT_STREAM_KEEP = 3
+
+_OFF_VALUES = {"", "0", "off", "none", "unbatched"}
+
+
+def env_stream_keep(default: int = DEFAULT_STREAM_KEEP) -> int:
+    """Decoded-snapshot LRU capacity from ``REPRO_STREAM_KEEP`` (min 1)."""
+    raw = os.environ.get(STREAM_KEEP_ENV)
+    if raw is None:
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {STREAM_KEEP_ENV}={raw!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return max(1, value)
+
+
+def env_batch(default: int | None = None) -> int | None:
+    """Default batch size from ``REPRO_BATCH`` (warn-and-fall-back on garbage)."""
+    raw = os.environ.get(BATCH_ENV)
+    if raw is None:
+        return default
+    text = raw.strip().lower()
+    if text in _OFF_VALUES:
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {BATCH_ENV}={raw!r}", RuntimeWarning, stacklevel=2
+        )
+        return default
+    if value <= 0:
+        return None
+    return value
+
+
+def resolve_batch(batch_domains: int | None) -> int | None:
+    """Resolve an explicit ``--batch-domains`` against the environment.
+
+    ``None`` defers to ``REPRO_BATCH``; zero or negative means unbatched.
+    """
+    if batch_domains is None:
+        return env_batch()
+    if batch_domains <= 0:
+        return None
+    return batch_domains
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """A resolved batching decision for one snapshot gather."""
+
+    batch_domains: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.batch_domains is not None
+
+    def batch_count(self, total: int) -> int:
+        if not self.active or total == 0:
+            return 1 if total else 0
+        size = self.batch_domains
+        return (total + size - 1) // size
+
+    def batch_sizes(self, total: int) -> list[int]:
+        """Length of each batch for ``total`` targets, in batch order."""
+        if not self.active:
+            return [total] if total else []
+        size = self.batch_domains
+        return [
+            min(size, total - start) for start in range(0, total, size)
+        ]
+
+    def split(self, targets: Sequence[T]) -> Iterator[tuple[int, Sequence[T]]]:
+        """Yield ``(batch_index, batch)`` contiguous slices in order."""
+        total = len(targets)
+        if total == 0:
+            return
+        if not self.active:
+            yield 0, targets
+            return
+        size = self.batch_domains
+        for index, start in enumerate(range(0, total, size)):
+            yield index, targets[start : start + size]
+
+    def key(self, batch_index: int, total: int) -> tuple[int, int, int]:
+        """Checkpoint-key component: ``(index, count, size)``.
+
+        Per-shard checkpoints and spill entries embed this so a resumed
+        run only reuses state produced under the *same* batch plan.
+        """
+        size = self.batch_domains if self.active else total
+        return (batch_index, self.batch_count(total), size)

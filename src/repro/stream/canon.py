@@ -1,0 +1,85 @@
+"""Canonical identity topology for measurement dicts.
+
+Within one snapshot every distinct IP address has exactly one
+observation: the gatherer's memo caches guarantee it on the serial
+path, but process workers pickle their shard results, so objects that
+were shared across shards come back as equal-but-distinct copies.
+:func:`canonicalize_measurements` rebuilds a measurement dict so the
+object graph is the same no matter how it was produced — one
+:class:`~repro.measure.dataset.IPObservation` (and one ``ASInfo`` /
+``PortScanRecord``) per address, a fresh :class:`MXData` per
+occurrence, domain order untouched.
+
+Because the PR 2 codec interns observations by *identity*, canonical
+dicts encode to byte-identical payloads regardless of ``--jobs``,
+executor, ``--batch-domains``, or memoization — which is what lets the
+store digest acceptance gate hold across every engine setting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..measure.caida import ASInfo
+from ..measure.dataset import DomainMeasurement, IPObservation, MXData
+from ..store.codec import decode_measurements
+
+
+def canonicalize_measurements(
+    measurements: dict[str, DomainMeasurement],
+) -> dict[str, DomainMeasurement]:
+    """Rebuild ``measurements`` with one observation object per address."""
+    obs_pool: dict[str, IPObservation] = {}
+    output: dict[str, DomainMeasurement] = {}
+    for domain, measurement in measurements.items():
+        mx_set = tuple(
+            MXData(
+                name=mx.name,
+                preference=mx.preference,
+                ips=tuple(_canon_observation(ip, obs_pool) for ip in mx.ips),
+            )
+            for mx in measurement.mx_set
+        )
+        output[domain] = DomainMeasurement(
+            domain=measurement.domain,
+            measured_on=measurement.measured_on,
+            mx_set=mx_set,
+            txt=measurement.txt,
+        )
+    return output
+
+
+def _canon_observation(
+    observation: IPObservation, obs_pool: dict[str, IPObservation]
+) -> IPObservation:
+    cached = obs_pool.get(observation.address)
+    if cached is not None:
+        return cached
+    as_info = observation.as_info
+    if as_info is not None:
+        # Rebuilt, not reused: some lookup sources (the shared-memory
+        # table's per-ASN memo) hand one ASInfo object to many
+        # addresses, and the codec interns by identity — per-address
+        # instances keep the encoded row layout source-independent.
+        as_info = ASInfo(asn=as_info.asn, name=as_info.name, country=as_info.country)
+    canon = IPObservation(
+        address=observation.address,
+        as_info=as_info,
+        scan=observation.scan,
+    )
+    obs_pool[observation.address] = canon
+    return canon
+
+
+def merge_payloads(payloads: Iterable[bytes]) -> dict[str, DomainMeasurement]:
+    """Decode encoded batch payloads in order into one canonical dict.
+
+    Batches are contiguous slices of the sorted target list, so a plain
+    in-order merge reproduces the serial iteration order; canonicalizing
+    across batches restores the cross-batch observation sharing a single
+    unbatched gather would have produced.
+    """
+    merged: dict[str, DomainMeasurement] = {}
+    for payload in payloads:
+        merged.update(decode_measurements(payload))
+    return canonicalize_measurements(merged)

@@ -1,0 +1,288 @@
+"""Read-only snapshot tables published once via shared memory.
+
+When the streamed measure path is active, :class:`SharedWorldTables`
+packs the prefix→AS routing table into one flat columnar blob inside a
+``multiprocessing.shared_memory`` segment.  Forked gather workers map
+the segment zero-copy — lookups run over ``memoryview`` casts of the
+page, so no per-shard Python object graph is rebuilt (and, unlike a
+fork-inherited trie, refcount traffic never dirties the pages).
+
+Lifecycle: the publishing process owns the segment and unlinks it via
+``weakref.finalize`` (or an explicit ``close()``); children only map.
+Platforms without working POSIX shared memory fall back to an inline
+``bytes`` payload — same layout, same lookups, counted under
+``stream.shm.fallback`` — so batching never becomes load-bearing on
+``/dev/shm``.
+
+Layout of the prefix2as blob (all little-endian u32 unless noted):
+
+    magic ``RSP2`` | n_prefixes | n_as | min_length | blob_len
+    networks[n]  sorted ascending (ties broken by length)
+    lengths[n]
+    asns[n]
+    as_numbers[m]  sorted ascending
+    name_off[m+1]  offsets into the string blob
+    country_off[m+1]
+    string blob (UTF-8: all names, then all countries)
+
+Duplicate ``(network, length)`` announcements keep the *last* origin,
+matching the live trie's overwrite semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import weakref
+from bisect import bisect_right
+
+from ..engine.stats import STATS
+from ..measure.caida import ASInfo, Prefix2ASDataset
+from ..netsim.ip import parse_ipv4
+
+_MAGIC = b"RSP2"
+_HEADER = struct.Struct("<4sIIII")
+
+
+class SharedBlob:
+    """One published read-only byte payload, shared-memory backed if possible.
+
+    Views handed out by :meth:`view` are tracked and released before the
+    segment is closed — closing an mmap with exported buffer pointers is
+    an error.  Cleanup runs on :meth:`close` or garbage collection; only
+    the publishing process unlinks the segment, so forked workers that
+    exit (running the same finalizers) merely unmap their copy.
+    """
+
+    def __init__(
+        self, payload_length: int, shm=None, inline: bytes | None = None,
+        owner: bool = False,
+    ):
+        self._length = payload_length
+        self._shm = shm
+        self._inline = inline
+        self._views: list[memoryview] = []
+        if shm is not None:
+            self._finalizer = weakref.finalize(
+                self, _release_segment, shm, self._views,
+                os.getpid() if owner else None,
+            )
+        else:
+            self._finalizer = None
+
+    @classmethod
+    def publish(cls, payload: bytes) -> "SharedBlob":
+        """Copy *payload* into a fresh shared-memory segment (or inline)."""
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+        except Exception:
+            STATS.inc("stream.shm.fallback")
+            return cls(len(payload), inline=bytes(payload))
+        shm.buf[: len(payload)] = payload
+        STATS.inc("stream.shm.published")
+        STATS.inc("stream.shm.published_bytes", len(payload))
+        return cls(len(payload), shm=shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, payload_length: int) -> "SharedBlob":
+        """Map an existing segment by name (spawn-style workers)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(payload_length, shm=shm, owner=False)
+
+    @property
+    def name(self) -> str | None:
+        """Segment name for by-name attach, or None for the inline fallback."""
+        return self._shm.name if self._shm is not None else None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def view(self) -> memoryview:
+        if self._inline is not None:
+            return memoryview(self._inline)
+        view = memoryview(self._shm.buf)[: self._length]
+        self._views.append(view)
+        return view
+
+    def track(self, view: memoryview) -> memoryview:
+        """Register a derived view (slice/cast) for release before close."""
+        if self._shm is not None:
+            self._views.append(view)
+        return view
+
+    def close(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer()
+
+
+def _release_segment(shm, views: list[memoryview], owner_pid: int | None) -> None:
+    # Derived views were appended after their parents; release in reverse.
+    for view in reversed(views):
+        try:
+            view.release()
+        except Exception:
+            pass
+    views.clear()
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        pass
+    if owner_pid is not None and owner_pid == os.getpid():
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def pack_prefix2as(dataset: Prefix2ASDataset, as_index) -> bytes:
+    """Flatten a prefix2as snapshot into the columnar blob format."""
+    deduped: dict[tuple[int, int], int] = {}
+    for prefix, asn in dataset.rows():
+        deduped[(prefix.network, prefix.length)] = asn
+    entries = sorted(deduped.items())
+    min_length = min((length for (_, length), _ in entries), default=32)
+
+    numbers = sorted(as_index)
+    names = [as_index[number].name for number in numbers]
+    countries = [as_index[number].country for number in numbers]
+    blob_parts: list[bytes] = []
+    name_off = [0]
+    for name in names:
+        blob_parts.append(name.encode("utf-8"))
+        name_off.append(name_off[-1] + len(blob_parts[-1]))
+    country_off = [name_off[-1]]
+    for country in countries:
+        blob_parts.append(country.encode("utf-8"))
+        country_off.append(country_off[-1] + len(blob_parts[-1]))
+    blob = b"".join(blob_parts)
+
+    def u32s(values) -> bytes:
+        return struct.pack(f"<{len(values)}I", *values)
+
+    return b"".join(
+        [
+            _HEADER.pack(_MAGIC, len(entries), len(numbers), min_length, len(blob)),
+            u32s([network for (network, _), _ in entries]),
+            u32s([length for (_, length), _ in entries]),
+            u32s([asn for _, asn in entries]),
+            u32s(numbers),
+            u32s(name_off),
+            u32s(country_off),
+            blob,
+        ]
+    )
+
+
+class SharedPrefix2AS:
+    """Zero-copy LPM lookups over a packed prefix2as blob.
+
+    Drop-in for :class:`~repro.measure.caida.Prefix2ASDataset` on the
+    gather path: ``lookup``/``lookup_asn`` return value-equal results
+    for every address (``tests/stream/test_shm.py`` sweeps the space).
+    """
+
+    def __init__(self, blob: SharedBlob):
+        self._blob = blob
+        view = blob.view()
+        magic, n, m, min_length, blob_len = _HEADER.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a packed prefix2as blob")
+        offset = _HEADER.size
+        words = blob.track(
+            view[offset : offset + 4 * (3 * n + m + 2 * (m + 1))].cast("I")
+        )
+        self._networks = blob.track(words[:n])
+        self._lengths = blob.track(words[n : 2 * n])
+        self._asns = blob.track(words[2 * n : 3 * n])
+        self._as_numbers = blob.track(words[3 * n : 3 * n + m])
+        self._name_off = blob.track(words[3 * n + m : 3 * n + 2 * m + 1])
+        self._country_off = blob.track(words[3 * n + 2 * m + 1 : 3 * n + 3 * m + 2])
+        strings_at = offset + 4 * (3 * n + m + 2 * (m + 1))
+        self._strings = blob.track(view[strings_at : strings_at + blob_len])
+        self._count = n
+        # All containing prefixes of an address lie within its /min_length
+        # block, which bounds the leftward scan from the bisect point.
+        self._min_mask = (
+            (0xFFFFFFFF << (32 - min_length)) & 0xFFFFFFFF if min_length else 0
+        )
+        self._info_memo: dict[int, ASInfo | None] = {}
+
+    @property
+    def blob(self) -> SharedBlob:
+        return self._blob
+
+    def lookup_asn(self, address: str) -> int | None:
+        """Origin ASN of the most specific covering prefix, or None."""
+        value = parse_ipv4(address)
+        networks = self._networks
+        index = bisect_right(networks, value) - 1
+        floor = value & self._min_mask
+        best_length = -1
+        best_asn: int | None = None
+        while index >= 0:
+            network = networks[index]
+            if network < floor:
+                break
+            length = self._lengths[index]
+            if length > best_length and (value >> (32 - length) if length else 0) == (
+                network >> (32 - length) if length else 0
+            ):
+                best_length = length
+                best_asn = self._asns[index]
+            index -= 1
+        return best_asn
+
+    def lookup(self, address: str) -> ASInfo | None:
+        asn = self.lookup_asn(address)
+        if asn is None:
+            return None
+        memo = self._info_memo
+        if asn not in memo:
+            memo[asn] = self._as_info(asn)
+        return memo[asn]
+
+    def _as_info(self, asn: int) -> ASInfo | None:
+        numbers = self._as_numbers
+        index = bisect_right(numbers, asn) - 1
+        if index < 0 or numbers[index] != asn:
+            return None
+        strings = self._strings
+        name = bytes(strings[self._name_off[index] : self._name_off[index + 1]])
+        country = bytes(
+            strings[self._country_off[index] : self._country_off[index + 1]]
+        )
+        return ASInfo(
+            asn=asn, name=name.decode("utf-8"), country=country.decode("utf-8")
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class SharedWorldTables:
+    """The streamed run's published read-only tables.
+
+    Today this is the prefix→AS table — the one table the gather path
+    hits per address.  The world's other read-only tables (zones, PSL,
+    provider catalog) reach forked workers copy-on-write; packing them
+    through the same blob mechanism is the path to spawn-safe workers.
+    """
+
+    def __init__(self, prefix2as: SharedPrefix2AS):
+        self.prefix2as = prefix2as
+
+    @classmethod
+    def publish(cls, dataset: Prefix2ASDataset, as_index) -> "SharedWorldTables":
+        blob = SharedBlob.publish(pack_prefix2as(dataset, as_index))
+        return cls(SharedPrefix2AS(blob))
+
+    @classmethod
+    def attach(cls, name: str, payload_length: int) -> "SharedWorldTables":
+        return cls(SharedPrefix2AS(SharedBlob.attach(name, payload_length)))
+
+    def close(self) -> None:
+        self.prefix2as.blob.close()

@@ -1,0 +1,174 @@
+"""Batch payload lifecycle: hold encoded, spill over budget, merge in order.
+
+The spiller is the streamed gather's working set.  Each finished batch
+is immediately encoded with the PR 2 codec and its object graph is
+dropped — the *encoded* payload is the in-flight heap representation.
+Held payload bytes are bounded by ``REPRO_MEM_BUDGET_MB``: overflow
+spills oldest-first through :class:`~repro.store.artifacts.ArtifactStore`
+under batch-plan-qualified kinds, and everything is merged back (and
+spill entries discarded) in deterministic batch order at the end.
+
+Spill entries double as batch-level checkpoints: a resumed run restores
+a completed batch's payload from the store instead of re-gathering it,
+which is why resilient runs write every batch through to the store.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import TYPE_CHECKING
+
+from ..engine.stats import STATS
+from ..store.codec import encode_measurements
+from .batching import BatchPlan
+from .canon import merge_payloads
+
+if TYPE_CHECKING:
+    from ..measure.dataset import DomainMeasurement
+
+MEM_BUDGET_ENV = "REPRO_MEM_BUDGET_MB"
+DEFAULT_BUDGET_MB = 256
+
+
+def env_budget_bytes(default_mb: int = DEFAULT_BUDGET_MB) -> int:
+    """Held-payload budget from ``REPRO_MEM_BUDGET_MB`` (warn on garbage)."""
+    raw = os.environ.get(MEM_BUDGET_ENV)
+    if raw is None:
+        return default_mb * 1024 * 1024
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-integer {MEM_BUDGET_ENV}={raw!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default_mb * 1024 * 1024
+    if value <= 0:
+        return default_mb * 1024 * 1024
+    return value * 1024 * 1024
+
+
+class BatchSpiller:
+    """Holds one snapshot gather's encoded batch payloads, spilling on demand."""
+
+    def __init__(
+        self,
+        *,
+        plan: BatchPlan,
+        total: int,
+        store=None,
+        config=None,
+        dataset=None,
+        snapshot_index: int = 0,
+        faults: str | None = None,
+        budget_bytes: int | None = None,
+        write_through: bool = False,
+    ):
+        self.plan = plan
+        self.total = total
+        self.store = store
+        self.config = config
+        self.dataset = dataset
+        self.snapshot_index = snapshot_index
+        self.faults = faults
+        self.budget_bytes = (
+            env_budget_bytes() if budget_bytes is None else budget_bytes
+        )
+        self.write_through = write_through and store is not None
+        self._held: dict[int, bytes] = {}
+        self._spilled: set[int] = set()
+        self._held_bytes = 0
+
+    def _batch_args(self, batch_index: int) -> tuple:
+        index, count, size = self.plan.key(batch_index, self.total)
+        return (
+            self.config,
+            self.dataset,
+            self.snapshot_index,
+            index,
+            count,
+            size,
+        )
+
+    def add(self, batch_index: int, measurements: "dict[str, DomainMeasurement]") -> int:
+        """Encode a gathered batch; returns the payload size in bytes."""
+        payload = encode_measurements(measurements)
+        self._held[batch_index] = payload
+        self._held_bytes += len(payload)
+        STATS.inc("stream.batches")
+        STATS.inc("stream.batch_bytes", len(payload))
+        if self.write_through:
+            self.store.save_batch(
+                *self._batch_args(batch_index), payload, faults=self.faults
+            )
+            self._spilled.add(batch_index)
+        self._enforce_budget()
+        return len(payload)
+
+    def restore(self, batch_index: int) -> bool:
+        """Reload a previously persisted batch payload (resume path)."""
+        if self.store is None or batch_index in self._held:
+            return batch_index in self._held or batch_index in self._spilled
+        payload = self.store.load_batch(
+            *self._batch_args(batch_index), faults=self.faults
+        )
+        if payload is None:
+            return False
+        self._held[batch_index] = payload
+        self._held_bytes += len(payload)
+        self._spilled.add(batch_index)
+        STATS.inc("stream.batch.restored")
+        self._enforce_budget()
+        return True
+
+    def _enforce_budget(self) -> None:
+        if self.store is None:
+            return
+        while self._held_bytes > self.budget_bytes and len(self._held) > 1:
+            # Oldest-first keeps eviction deterministic for a given plan.
+            batch_index = next(iter(self._held))
+            payload = self._held.pop(batch_index)
+            self._held_bytes -= len(payload)
+            if batch_index not in self._spilled:
+                self.store.save_batch(
+                    *self._batch_args(batch_index), payload, faults=self.faults
+                )
+                self._spilled.add(batch_index)
+                STATS.inc("stream.batch.spilled")
+                STATS.inc("stream.spill_bytes", len(payload))
+
+    def _payload(self, batch_index: int) -> bytes:
+        payload = self._held.get(batch_index)
+        if payload is not None:
+            return payload
+        payload = self.store.load_batch(
+            *self._batch_args(batch_index), faults=self.faults
+        )
+        if payload is None:
+            raise KeyError(f"batch {batch_index} neither held nor spilled")
+        return payload
+
+    def merge(self) -> "dict[str, DomainMeasurement]":
+        """Decode all batches in order into one canonical measurement dict."""
+        batch_count = self.plan.batch_count(self.total)
+        merged = merge_payloads(
+            self._payload(index) for index in range(batch_count)
+        )
+        self._discard_spilled()
+        return merged
+
+    def held_payloads(self) -> list[bytes]:
+        """All payloads in batch order (store-less eviction backing)."""
+        batch_count = self.plan.batch_count(self.total)
+        return [self._payload(index) for index in range(batch_count)]
+
+    def _discard_spilled(self) -> None:
+        if self.store is None:
+            return
+        for batch_index in sorted(self._spilled):
+            self.store.discard_batch(
+                *self._batch_args(batch_index), faults=self.faults
+            )
+        self._spilled.clear()

@@ -8,6 +8,7 @@ materialized DNS view per measurement snapshot — fully determined by a
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from datetime import date
@@ -35,10 +36,7 @@ from .entities import (
 )
 from .evolve import SegmentEvolver, domain_fingerprint, pick_style
 from .population import (
-    ALEXA_BUCKETS,
     ALEXA_CCTLD_TABLES,
-    CCTLD_WEIGHTS_HEAD,
-    CCTLD_WEIGHTS_TAIL,
     COM_TABLE,
     GOV_FEDERAL_FRACTION,
     GOV_FEDERAL_TABLE,
@@ -48,6 +46,7 @@ from .population import (
     SELF,
     SNAPSHOT_DATES,
     ShareTable,
+    iter_alexa_buckets,
     synth_label,
 )
 from .wiring import DomainWirer
@@ -206,7 +205,7 @@ class _WorldBuilder:
 
         snapshot_zones = [self._base_zonedb() for _ in range(NUM_SNAPSHOTS)]
         for snapshot_index, zdb in enumerate(snapshot_zones):
-            for entity in list(domains.values()) + list(showcase.values()):
+            for entity in itertools.chain(domains.values(), showcase.values()):
                 wirer.wire(zdb, entity, entity.assignment_at(snapshot_index))
 
         return World(
@@ -398,14 +397,12 @@ class _WorldBuilder:
         # segment per ccTLD (ccTLD provider mix does not vary with rank).
         cctld_members: dict[str, list[DomainEntity]] = {cc: [] for cc in ALEXA_CCTLD_TABLES}
         gtld_tlds = ("com", "com", "com", "net", "org", "io", "info")
-        for bucket_index, (low, high, fraction, table, cc_fraction) in enumerate(ALEXA_BUCKETS):
-            count = max(1, round(fraction * self.config.alexa_size))
-            cc_weights = CCTLD_WEIGHTS_HEAD if bucket_index < 2 else CCTLD_WEIGHTS_TAIL
+        for bucket in iter_alexa_buckets(self.config.alexa_size):
             members: list[DomainEntity] = []
-            for _ in range(count):
-                rank = self.rng.randint(low, high)
-                if self.rng.random() < cc_fraction:
-                    cctld = self._weighted_choice(cc_weights)
+            for _ in range(bucket.count):
+                rank = self.rng.randint(bucket.low, bucket.high)
+                if self.rng.random() < bucket.cc_fraction:
+                    cctld = self._weighted_choice(bucket.cc_weights)
                     name = self._fresh_domain(cctld)
                     entity = DomainEntity(
                         name=name, dataset=DatasetTag.ALEXA, alexa_rank=rank, cctld=cctld
@@ -418,7 +415,7 @@ class _WorldBuilder:
                     )
                     members.append(entity)
                 entities[entity.name] = entity
-            segments.append((table, members))
+            segments.append((bucket.table, members))
         for cctld, members in cctld_members.items():
             segments.append((ALEXA_CCTLD_TABLES[cctld], members))
 
@@ -463,11 +460,11 @@ class _WorldBuilder:
             swap_rate=self.config.swap_rate,
         )
         assignment = evolver.assign([entity.name for entity in members])
-        by_name = {entity.name: entity for entity in members}
-        for name, sequence in assignment.categories.items():
-            entity = by_name[name]
-            for category in sequence:
-                entity.assignments.append(self._materialize_assignment(name, category))
+        for entity in members:
+            for category in assignment.categories[entity.name]:
+                entity.assignments.append(
+                    self._materialize_assignment(entity.name, category)
+                )
 
     def _materialize_assignment(self, name: str, category: str) -> DomainAssignment:
         if category == SELF:

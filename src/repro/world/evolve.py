@@ -129,14 +129,14 @@ class SegmentEvolver:
             self._swap_churn(current, total)
             self._record(sequences, current)
 
-        resolved = {
-            domain: [
-                self._resolve_others(domain) if category == OTHERS else category
-                for category in sequence
-            ]
-            for domain, sequence in sequences.items()
-        }
-        return SegmentAssignment(domains=list(domains), categories=resolved)
+        # Resolve the OTHERS residual in place — a second full
+        # domain→sequence mapping would double the segment's footprint
+        # for the duration of every build at large REPRO_SCALE.
+        for domain, sequence in sequences.items():
+            for index, category in enumerate(sequence):
+                if category == OTHERS:
+                    sequence[index] = self._resolve_others(domain)
+        return SegmentAssignment(domains=list(domains), categories=sequences)
 
     def _record(self, sequences: dict[str, list[str]], current: dict[str, str]) -> None:
         for domain, category in current.items():

@@ -183,6 +183,42 @@ ALEXA_BUCKETS: tuple[tuple[int, int, float, ShareTable, float], ...] = (
     (100_001, 1_000_000, 0.60, ALEXA_GTLD_TAIL, 0.45),
 )
 
+@dataclass(frozen=True)
+class AlexaBucket:
+    """One sized Alexa rank bucket, ready for corpus generation."""
+
+    low: int
+    high: int
+    count: int
+    table: ShareTable
+    cc_fraction: float
+    cc_weights: dict[str, float]
+
+
+def iter_alexa_buckets(alexa_size: int):
+    """Yield the sized Alexa rank buckets one at a time.
+
+    A generator rather than a list: the builder consumes each bucket
+    (and its member entities) before the next one is sized, so scaling
+    ``alexa_size`` up never materializes an all-buckets intermediate.
+    The yield order is the ``ALEXA_BUCKETS`` declaration order — RNG
+    consumers depend on it for reproducibility.
+    """
+    for bucket_index, (low, high, fraction, table, cc_fraction) in enumerate(
+        ALEXA_BUCKETS
+    ):
+        yield AlexaBucket(
+            low=low,
+            high=high,
+            count=max(1, round(fraction * alexa_size)),
+            table=table,
+            cc_fraction=cc_fraction,
+            cc_weights=(
+                CCTLD_WEIGHTS_HEAD if bucket_index < 2 else CCTLD_WEIGHTS_TAIL
+            ),
+        )
+
+
 # Relative weights of the fifteen ccTLDs (Section 5.4) inside a bucket's
 # ccTLD slice, per bucket (the long tail skews Russian/Chinese, which is
 # what pushes Yandex into the full-Alexa top three).

@@ -87,6 +87,27 @@ class TestResume:
         assert record.completed
         assert record.resume_count == 1
 
+    def test_batched_run_and_resume_keep_stdout(self, tmp_path, capsys):
+        """Streamed gathers (--batch-domains) are invisible to resume.
+
+        A batched resilient run must print exactly what the plain
+        unbatched run prints, and resuming it must reproduce that byte
+        stream again from batch-plan-keyed checkpoints.
+        """
+        reset_stats()
+        assert main(["tab4", "--scale", SCALE, "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        code, run_dir, first = resilient_run(
+            tmp_path, capsys, "--batch-domains", "7"
+        )
+        assert code == 0
+        assert first.out == plain
+        reset_stats()
+        assert main([
+            "resume", "--run-dir", str(run_dir), "--batch-domains", "7",
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
     def test_jobs_override_keeps_stdout(self, tmp_path, capsys):
         code, run_dir, first = resilient_run(tmp_path, capsys)
         assert code == 0

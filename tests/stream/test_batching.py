@@ -1,0 +1,80 @@
+"""Batch-plan arithmetic and environment knobs."""
+
+import pytest
+
+from repro.stream import BatchPlan, env_batch, env_stream_keep, resolve_batch
+from repro.stream.batching import BATCH_ENV, STREAM_KEEP_ENV
+
+
+class TestBatchPlan:
+    def test_inactive_without_batch_size(self):
+        plan = BatchPlan(batch_domains=None)
+        assert not plan.active
+        assert plan.batch_count(100) == 1
+        assert plan.batch_sizes(100) == [100]
+
+    def test_sizes_cover_total_in_order(self):
+        plan = BatchPlan(batch_domains=7)
+        sizes = plan.batch_sizes(23)
+        assert sizes == [7, 7, 7, 2]
+        assert sum(sizes) == 23
+
+    def test_split_yields_contiguous_slices(self):
+        plan = BatchPlan(batch_domains=3)
+        targets = list("abcdefgh")
+        rebuilt = []
+        for index, chunk in plan.split(targets):
+            assert chunk == targets[index * 3 : index * 3 + 3]
+            rebuilt.extend(chunk)
+        assert rebuilt == targets
+
+    def test_split_inactive_is_one_batch(self):
+        plan = BatchPlan(batch_domains=None)
+        assert [chunk for _, chunk in plan.split(list("abc"))] == [["a", "b", "c"]]
+
+    def test_key_identifies_batch_geometry(self):
+        plan = BatchPlan(batch_domains=10)
+        assert plan.key(1, 25) == (1, 3, 10)
+        inactive = BatchPlan(batch_domains=None)
+        assert inactive.key(0, 25) == (0, 1, 25)
+
+    def test_zero_total(self):
+        plan = BatchPlan(batch_domains=5)
+        assert plan.batch_count(0) == 0
+        assert plan.batch_sizes(0) == []
+        assert list(plan.split([])) == []
+
+    def test_nonpositive_batch_resolves_unbatched(self):
+        assert resolve_batch(0) is None
+        assert resolve_batch(-3) is None
+
+
+class TestEnv:
+    def test_env_batch_default(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV, raising=False)
+        assert env_batch() is None
+
+    @pytest.mark.parametrize("off", ["", "0", "off", "none", "unbatched", "OFF"])
+    def test_env_batch_off_values(self, monkeypatch, off):
+        monkeypatch.setenv(BATCH_ENV, off)
+        assert env_batch() is None
+
+    def test_env_batch_value(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "250")
+        assert env_batch() == 250
+
+    def test_env_batch_garbage_warns(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "a few")
+        with pytest.warns(RuntimeWarning, match=BATCH_ENV):
+            assert env_batch() is None
+
+    def test_resolve_prefers_explicit(self, monkeypatch):
+        monkeypatch.setenv(BATCH_ENV, "100")
+        assert resolve_batch(25) == 25
+        assert resolve_batch(None) == 100
+
+    def test_env_stream_keep_floor(self, monkeypatch):
+        monkeypatch.setenv(STREAM_KEEP_ENV, "0")
+        assert env_stream_keep() == 1
+        monkeypatch.setenv(STREAM_KEEP_ENV, "5")
+        assert env_stream_keep() == 5

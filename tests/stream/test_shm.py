@@ -1,0 +1,151 @@
+"""Shared-memory snapshot tables: pack/attach/lookup fidelity and lifecycle.
+
+The packed prefix→AS blob must answer every lookup exactly like the live
+:class:`~repro.measure.caida.Prefix2ASDataset` it was packed from — same
+ASN, same name/country — for announced space, sub-allocations, and
+unrouted addresses alike.  Lifecycle-wise, a published segment must
+disappear from the system when the owner closes (or drops) it, and the
+inline fallback must behave identically when shared memory is absent.
+"""
+
+import random
+
+import pytest
+
+from repro.measure.caida import Prefix2ASDataset
+from repro.netsim.ip import format_ipv4, parse_ipv4
+from repro.stream import SharedBlob, SharedPrefix2AS, SharedWorldTables
+from repro.stream.shm import pack_prefix2as
+from repro.world.build import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(seed=11, alexa_size=40, com_size=40, gov_size=20))
+
+
+@pytest.fixture(scope="module")
+def dataset(world):
+    return Prefix2ASDataset.from_table(world.prefix2as)
+
+
+@pytest.fixture(scope="module")
+def as_index(world):
+    return {asys.number: asys for asys in world.prefix2as.autonomous_systems()}
+
+
+def probe_addresses(dataset):
+    """Edge and interior addresses of every announced prefix, plus noise."""
+    addresses = []
+    for prefix, _asn in dataset.rows():
+        span = 1 << (32 - prefix.length)
+        addresses.append(format_ipv4(prefix.network))
+        addresses.append(format_ipv4(prefix.network + span - 1))
+        addresses.append(format_ipv4(prefix.network + span // 2))
+    rng = random.Random(99)
+    addresses.extend(
+        format_ipv4(rng.getrandbits(32)) for _ in range(500)
+    )
+    return addresses
+
+
+class TestLookupFidelity:
+    def test_matches_dataset_everywhere(self, dataset, as_index):
+        tables = SharedWorldTables.publish(dataset, as_index)
+        try:
+            shared = tables.prefix2as
+            assert len(shared) > 0
+            for address in probe_addresses(dataset):
+                assert shared.lookup_asn(address) == dataset.lookup_asn(address), address
+                assert shared.lookup(address) == dataset.lookup(address), address
+        finally:
+            tables.close()
+
+    def test_info_strings_roundtrip(self, dataset, as_index):
+        tables = SharedWorldTables.publish(dataset, as_index)
+        try:
+            hits = 0
+            for address in probe_addresses(dataset):
+                info = tables.prefix2as.lookup(address)
+                if info is None:
+                    continue
+                hits += 1
+                asys = as_index[info.asn]
+                assert info.name == asys.name
+                assert info.country == asys.country
+            assert hits > 0
+        finally:
+            tables.close()
+
+    def test_bad_magic_rejected(self):
+        blob = SharedBlob(20, inline=b"XXXX" + b"\0" * 16)
+        with pytest.raises(ValueError, match="packed prefix2as"):
+            SharedPrefix2AS(blob)
+
+
+class TestInlineFallback:
+    def test_fallback_when_shared_memory_unavailable(self, dataset, as_index, monkeypatch):
+        import multiprocessing.shared_memory as shared_memory
+
+        def refuse(*args, **kwargs):
+            raise OSError("no /dev/shm here")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", refuse)
+        blob = SharedBlob.publish(pack_prefix2as(dataset, as_index))
+        assert blob.name is None  # inline payload, nothing published
+        shared = SharedPrefix2AS(blob)
+        for address in probe_addresses(dataset)[:200]:
+            assert shared.lookup_asn(address) == dataset.lookup_asn(address)
+        blob.close()  # no-op for inline payloads
+
+
+class TestLifecycle:
+    def test_attach_sees_identical_bytes(self, dataset, as_index):
+        payload = pack_prefix2as(dataset, as_index)
+        blob = SharedBlob.publish(payload)
+        if blob.name is None:
+            pytest.skip("no shared memory on this platform")
+        twin = SharedBlob.attach(blob.name, len(payload))
+        try:
+            assert bytes(twin.view()) == payload
+        finally:
+            twin.close()
+            blob.close()
+
+    def test_owner_close_unlinks_segment(self, dataset, as_index):
+        from multiprocessing import shared_memory
+
+        blob = SharedBlob.publish(pack_prefix2as(dataset, as_index))
+        if blob.name is None:
+            pytest.skip("no shared memory on this platform")
+        name = blob.name
+        shared = SharedPrefix2AS(blob)  # exports derived views
+        assert shared.lookup_asn("127.0.0.1") is None
+        blob.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_parse_error_propagates(self, dataset, as_index):
+        from repro.netsim.ip import AddressError
+
+        tables = SharedWorldTables.publish(dataset, as_index)
+        try:
+            with pytest.raises(AddressError):
+                tables.prefix2as.lookup_asn("not-an-address")
+        finally:
+            tables.close()
+
+
+class TestPackFormat:
+    def test_duplicate_announcement_keeps_last(self, as_index):
+        from repro.netsim.ip import IPv4Prefix
+
+        number = next(iter(as_index))
+        other = [n for n in as_index if n != number][0]
+        prefix = IPv4Prefix(network=parse_ipv4("198.51.100.0"), length=24)
+        rows = [(prefix, number), (prefix, other)]
+        live = Prefix2ASDataset(rows=rows, as_index=as_index)
+        blob = SharedBlob(0, inline=pack_prefix2as(live, as_index))
+        shared = SharedPrefix2AS(blob)
+        assert shared.lookup_asn("198.51.100.7") == other
+        assert shared.lookup_asn("198.51.100.7") == live.lookup_asn("198.51.100.7")

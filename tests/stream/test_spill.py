@@ -1,0 +1,148 @@
+"""Spiller behaviour: budget enforcement, restore, in-order merge."""
+
+from datetime import date
+
+import pytest
+
+from repro.engine.stats import STATS, reset_stats
+from repro.measure.dataset import DomainMeasurement
+from repro.stream import BatchPlan, BatchSpiller
+from repro.store import ArtifactStore
+from repro.store.codec import decode_measurements, encode_measurements
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+
+
+def measurement(domain: str) -> DomainMeasurement:
+    return DomainMeasurement(
+        domain=domain, measured_on=date(2017, 6, 8), mx_set=(), txt=(),
+    )
+
+
+def batch_dicts(plan: BatchPlan, domains: list[str]):
+    return [
+        (index, {domain: measurement(domain) for domain in chunk})
+        for index, chunk in plan.split(domains)
+    ]
+
+
+DOMAINS = [f"d{i:03d}.example" for i in range(20)]
+CONFIG = WorldConfig(seed=3, alexa_size=10, com_size=10, gov_size=5)
+
+
+class TestStoreLess:
+    def test_merge_restores_order_and_content(self):
+        plan = BatchPlan(batch_domains=6)
+        spiller = BatchSpiller(plan=plan, total=len(DOMAINS))
+        for index, chunk in batch_dicts(plan, DOMAINS):
+            spiller.add(index, chunk)
+        merged = spiller.merge()
+        assert list(merged) == DOMAINS
+        assert all(merged[d].domain == d for d in DOMAINS)
+
+    def test_never_spills_without_store(self):
+        reset_stats()
+        plan = BatchPlan(batch_domains=2)
+        spiller = BatchSpiller(plan=plan, total=len(DOMAINS), budget_bytes=1)
+        for index, chunk in batch_dicts(plan, DOMAINS):
+            spiller.add(index, chunk)
+        assert STATS.counters.get("stream.batch.spilled", 0) == 0
+        assert len(spiller.held_payloads()) == plan.batch_count(len(DOMAINS))
+
+    def test_held_payloads_decode_back(self):
+        plan = BatchPlan(batch_domains=8)
+        spiller = BatchSpiller(plan=plan, total=len(DOMAINS))
+        for index, chunk in batch_dicts(plan, DOMAINS):
+            spiller.add(index, chunk)
+        rebuilt = []
+        for payload in spiller.held_payloads():
+            rebuilt.extend(decode_measurements(payload))
+        assert rebuilt == DOMAINS
+
+
+class TestWithStore:
+    def test_budget_overflow_spills_oldest_first(self, tmp_path):
+        reset_stats()
+        store = ArtifactStore(tmp_path)
+        plan = BatchPlan(batch_domains=4)
+        spiller = BatchSpiller(
+            plan=plan, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.ALEXA, snapshot_index=0, budget_bytes=1,
+        )
+        for index, chunk in batch_dicts(plan, DOMAINS):
+            spiller.add(index, chunk)
+        # Budget of one byte: every batch but the newest must have spilled.
+        assert STATS.counters["stream.batch.spilled"] == (
+            plan.batch_count(len(DOMAINS)) - 1
+        )
+        assert STATS.counters["stream.spill_bytes"] > 0
+        merged = spiller.merge()
+        assert list(merged) == DOMAINS
+
+    def test_merge_discards_spill_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        plan = BatchPlan(batch_domains=4)
+        spiller = BatchSpiller(
+            plan=plan, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.ALEXA, snapshot_index=0, budget_bytes=1,
+        )
+        for index, chunk in batch_dicts(plan, DOMAINS):
+            spiller.add(index, chunk)
+        spiller.merge()
+        # A fresh spiller sees no batch entries left to restore.
+        fresh = BatchSpiller(
+            plan=plan, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.ALEXA, snapshot_index=0,
+        )
+        assert not fresh.restore(0)
+
+    def test_write_through_enables_restore(self, tmp_path):
+        reset_stats()
+        store = ArtifactStore(tmp_path)
+        plan = BatchPlan(batch_domains=5)
+        first = BatchSpiller(
+            plan=plan, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.COM, snapshot_index=2, write_through=True,
+        )
+        for index, chunk in batch_dicts(plan, DOMAINS)[:2]:
+            first.add(index, chunk)
+        # Simulate a crash: a new spiller for the same (plan, snapshot)
+        # restores completed batches instead of re-gathering them.
+        resumed = BatchSpiller(
+            plan=plan, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.COM, snapshot_index=2, write_through=True,
+        )
+        assert resumed.restore(0)
+        assert resumed.restore(1)
+        assert not resumed.restore(2)
+        assert STATS.counters["stream.batch.restored"] == 2
+        for index, chunk in batch_dicts(plan, DOMAINS)[2:]:
+            resumed.add(index, chunk)
+        assert list(resumed.merge()) == DOMAINS
+
+    def test_batch_plan_keys_are_disjoint(self, tmp_path):
+        """Payloads written under one batch plan are invisible to another."""
+        store = ArtifactStore(tmp_path)
+        plan7 = BatchPlan(batch_domains=7)
+        writer = BatchSpiller(
+            plan=plan7, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.GOV, snapshot_index=1, write_through=True,
+        )
+        for index, chunk in batch_dicts(plan7, DOMAINS):
+            writer.add(index, chunk)
+        plan5 = BatchPlan(batch_domains=5)
+        reader = BatchSpiller(
+            plan=plan5, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.GOV, snapshot_index=1,
+        )
+        assert not reader.restore(0)
+
+    def test_missing_batch_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        plan = BatchPlan(batch_domains=4)
+        spiller = BatchSpiller(
+            plan=plan, total=len(DOMAINS), store=store, config=CONFIG,
+            dataset=DatasetTag.ALEXA, snapshot_index=0,
+        )
+        with pytest.raises(KeyError, match="neither held nor spilled"):
+            spiller.merge()

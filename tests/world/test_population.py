@@ -4,11 +4,14 @@ import pytest
 
 from repro.world.population import (
     ALEXA_BUCKETS,
+    CCTLD_WEIGHTS_HEAD,
+    CCTLD_WEIGHTS_TAIL,
     GOV_FIRST_SNAPSHOT,
     NUM_SNAPSHOTS,
     SNAPSHOT_DATES,
     Trajectory,
     all_share_tables,
+    iter_alexa_buckets,
     snapshot_fraction,
     synth_label,
     table_total_at,
@@ -121,6 +124,46 @@ class TestShareTables:
     def test_table_total_helper(self):
         table = {"a": traj(0.3), "b": traj(0.2)}
         assert table_total_at(table, 0.5) == pytest.approx(0.5)
+
+
+class TestAlexaBucketIteration:
+    """Guard the out-of-core invariant: buckets stream, never materialize.
+
+    The world builder walks Alexa buckets one at a time so a large
+    ``REPRO_SCALE`` never allocates per-bucket domain lists up front.
+    Reverting ``iter_alexa_buckets`` to return a list (or reordering its
+    yields) would silently change RNG consumption order and break
+    bit-identity, so both properties are pinned here.
+    """
+
+    def test_is_a_generator_function(self):
+        import inspect
+
+        assert inspect.isgeneratorfunction(iter_alexa_buckets)
+
+    def test_yields_in_declaration_order(self):
+        spans = [(b.low, b.high) for b in iter_alexa_buckets(1000)]
+        assert spans == [(low, high) for low, high, *_ in ALEXA_BUCKETS]
+
+    def test_counts_match_fraction_sizing(self):
+        for size in (1, 130, 1000, 100_000):
+            buckets = list(iter_alexa_buckets(size))
+            assert [b.count for b in buckets] == [
+                max(1, round(fraction * size))
+                for _, _, fraction, _, _ in ALEXA_BUCKETS
+            ]
+
+    def test_head_buckets_use_head_cc_weights(self):
+        buckets = list(iter_alexa_buckets(1000))
+        assert all(b.cc_weights is CCTLD_WEIGHTS_HEAD for b in buckets[:2])
+        assert all(b.cc_weights is CCTLD_WEIGHTS_TAIL for b in buckets[2:])
+
+    def test_tables_passed_through_unchanged(self):
+        for bucket, (_, _, _, table, cc_fraction) in zip(
+            iter_alexa_buckets(500), ALEXA_BUCKETS
+        ):
+            assert bucket.table is table
+            assert bucket.cc_fraction == cc_fraction
 
 
 class TestSynthLabel:
