@@ -36,6 +36,7 @@ from pathlib import Path
 
 from repro.engine import EngineOptions
 from repro.engine.stats import STATS, peak_rss_bytes, reset_stats
+from repro.obs.schemas import BENCH_SCHEMA_VERSION
 from repro.experiments.common import StudyContext
 from repro.store import ArtifactStore
 from repro.world.build import WorldConfig
@@ -209,7 +210,8 @@ def scaled_smoke(args) -> int:
         f"(jobs={args.jobs}, batch={args.smoke_batch})"
     )
     children = [
-        run_smoke_child(scale, args.jobs, args.smoke_batch)
+        {"bench_schema": BENCH_SCHEMA_VERSION,
+         **run_smoke_child(scale, args.jobs, args.smoke_batch)}
         for scale in (1.0, args.scaled_smoke)
     ]
     header = (
@@ -250,6 +252,7 @@ def scaled_smoke(args) -> int:
     if args.json:
         document = {
             "bench": "scaled-smoke",
+            "bench_schema": BENCH_SCHEMA_VERSION,
             "jobs": args.jobs,
             "batch_domains": args.smoke_batch,
             "rss_factor": args.rss_factor,
@@ -362,6 +365,7 @@ def main(argv: list[str] | None = None) -> int:
                 baseline = walls["serial"]
                 jobs = 1 if name == "serial" else args.jobs
                 row = {
+                    "bench_schema": BENCH_SCHEMA_VERSION,
                     "scale": scale,
                     "mode": name,
                     "jobs": jobs,
@@ -407,6 +411,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         document = {
             "bench": "sweep",
+            "bench_schema": BENCH_SCHEMA_VERSION,
             "corpora": [dataset.value for dataset in CORPORA],
             "num_snapshots": NUM_SNAPSHOTS,
             "jobs": args.jobs,

@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Serving benchmark: warm start, lookup tails, incremental-ingest speedup.
+
+Three phases, mirroring the daemon's life:
+
+1. **Seed** — build a world and fill a (temporary) artifact store with
+   every (corpus, snapshot) measurement + inference artifact, the state a
+   daemon inherits from a prior sweep.
+2. **Daemon** — spawn ``python -m repro serve`` as a subprocess, measure
+   warm start (spawn → first healthy ping; the daemon must never re-run
+   the pipeline), then drive a threaded ``who-has`` load over the unix
+   socket and report client-side p50/p99 latency and QPS plus the
+   server's own endpoint histograms.
+3. **Ingest** — in-process: at each churn rate, synthesize a mutated
+   snapshot, then time a full batch recompute (decode + cold pipeline)
+   against an incremental ingest (delta detection + re-infer changed
+   domains only), asserting the two produce **bit-identical** encoded
+   results before reporting the speedup.
+
+CI gates: ``--max-warm-start-s``, ``--max-p99-ms``, and
+``--min-speedup`` (evaluated at ``--gate-churn``, default 5%).
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_sweep.py --json serve-sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.engine import EngineOptions
+from repro.core.pipeline import PriorityPipeline
+from repro.engine.incremental import IncrementalInferencer
+from repro.experiments.common import StudyContext
+from repro.obs.schemas import BENCH_SCHEMA_VERSION
+from repro.serve.churn import synthesize_churn
+from repro.serve.daemon import request_socket
+from repro.store import (
+    ArtifactStore,
+    SnapshotView,
+    decode_measurements,
+    encode_measurements,
+    encode_result,
+)
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+from repro.world.population import NUM_SNAPSHOTS
+
+
+def seed_store(config: WorldConfig, cache_dir: str, jobs: int) -> tuple[float, list[str]]:
+    """Fill *cache_dir* with every artifact; returns (seconds, alexa domains)."""
+    started = time.perf_counter()
+    ctx = StudyContext.create(
+        config, engine=EngineOptions(jobs=jobs), store=ArtifactStore(cache_dir)
+    )
+    for dataset in DatasetTag:
+        for snapshot in range(NUM_SNAPSHOTS):
+            if ctx.covered(dataset, snapshot):
+                ctx.priority_result(dataset, snapshot)
+    return time.perf_counter() - started, ctx.domains(DatasetTag.ALEXA)
+
+
+def bench_daemon(
+    args, cache_dir: str, domains: list[str]
+) -> tuple[dict, list[str]]:
+    """Phase 2: warm start + threaded who-has load against a live daemon."""
+    failures: list[str] = []
+    socket_path = os.path.join(cache_dir, "sweep.sock")
+    env = dict(os.environ, REPRO_CACHE=cache_dir)
+    env.setdefault("PYTHONPATH", "src")
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--socket", socket_path, "--scale", str(args.scale),
+    ]
+    started = time.perf_counter()
+    daemon = subprocess.Popen(
+        command, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True,
+    )
+    warm_start = None
+    deadline = started + args.max_warm_start_s + 30
+    try:
+        while True:
+            try:
+                reply = request_socket(socket_path, {"op": "ping"}, timeout=1.0)
+                if reply.get("ok"):
+                    warm_start = time.perf_counter() - started
+                    break
+            except OSError:
+                pass
+            if time.perf_counter() > deadline or daemon.poll() is not None:
+                output = daemon.communicate()[0] if daemon.poll() is not None else ""
+                raise RuntimeError(f"daemon never became healthy: {output}")
+            time.sleep(0.02)
+
+        latencies: list[float] = []
+        lock = threading.Lock()
+
+        def worker(offset: int) -> None:
+            mine: list[float] = []
+            for i in range(args.requests):
+                domain = domains[(offset * args.requests + i) % len(domains)]
+                t0 = time.perf_counter()
+                reply = request_socket(
+                    socket_path,
+                    {"op": "who-has", "domain": domain, "corpus": "alexa"},
+                )
+                mine.append(time.perf_counter() - t0)
+                if not reply.get("ok"):
+                    raise RuntimeError(f"lookup failed: {reply}")
+            with lock:
+                latencies.extend(mine)
+
+        load_started = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        load_seconds = time.perf_counter() - load_started
+
+        server_metrics = request_socket(socket_path, {"op": "metrics"})["result"]
+        request_socket(socket_path, {"op": "shutdown"})
+        daemon.wait(timeout=15)
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+    latencies.sort()
+    total = len(latencies)
+    p50 = latencies[total // 2]
+    p99 = latencies[min(total - 1, (99 * total) // 100)]
+    row = {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "phase": "daemon",
+        "warm_start_s": round(warm_start, 4),
+        "clients": args.clients,
+        "requests": total,
+        "qps": round(total / load_seconds, 1),
+        "p50_ms": round(1e3 * p50, 3),
+        "p99_ms": round(1e3 * p99, 3),
+        "max_ms": round(1e3 * latencies[-1], 3),
+        "server_endpoints": server_metrics["endpoints"],
+        "block_cache": server_metrics["block_cache"],
+    }
+    if warm_start > args.max_warm_start_s:
+        failures.append(
+            f"warm start {warm_start:.2f}s exceeds "
+            f"--max-warm-start-s {args.max_warm_start_s:g}"
+        )
+    if row["p99_ms"] > args.max_p99_ms:
+        failures.append(
+            f"who-has p99 {row['p99_ms']:.1f}ms exceeds "
+            f"--max-p99-ms {args.max_p99_ms:g}"
+        )
+    print(
+        f"daemon: warm start {warm_start:.2f}s; {total} lookups x "
+        f"{args.clients} clients -> {row['qps']:.0f} qps, "
+        f"p50 {row['p50_ms']:.1f}ms, p99 {row['p99_ms']:.1f}ms"
+    )
+    return row, failures
+
+
+def bench_ingest(args, config: WorldConfig, cache_dir: str) -> tuple[list[dict], list[str]]:
+    """Phase 3: batch-vs-incremental wall clock at each churn rate."""
+    failures: list[str] = []
+    store = ArtifactStore(cache_dir)
+    base_index = NUM_SNAPSHOTS - 1
+    base_payload = store.measurement_payload(config, DatasetTag.ALEXA, base_index)
+    if base_payload is None:
+        raise RuntimeError("seed phase left no alexa measurement payload")
+    base = decode_measurements(base_payload)
+
+    ctx = StudyContext.create(config, engine=EngineOptions(jobs=args.jobs), store=None)
+    world = ctx.world
+
+    def batch_run(measurements):
+        pipeline = PriorityPipeline(world.trust_store, ctx.company_map, psl=world.psl)
+        return pipeline.run(measurements, jobs=args.jobs)
+
+    rows = []
+    for rate in args.churn:
+        churned = synthesize_churn(base, rate, seed=args.seed)
+        payload = encode_measurements(churned)
+
+        batch_seconds = min(
+            _timed(lambda: batch_run(decode_measurements(payload)))[0]
+            for _ in range(args.repeat)
+        )
+        batch_digest = encode_result(batch_run(decode_measurements(payload)))
+
+        best = None
+        for _ in range(args.repeat):
+            inferencer = IncrementalInferencer(
+                world.trust_store, ctx.company_map, psl=world.psl
+            )
+            state, _boot = inferencer.bootstrap(
+                SnapshotView(base_payload), snapshot_index=base_index, jobs=args.jobs
+            )
+            seconds, report = _timed(
+                lambda: inferencer.ingest(
+                    state,
+                    SnapshotView(payload),
+                    snapshot_index=base_index + 1,
+                    jobs=args.jobs,
+                )
+            )
+            identical = encode_result(state.result) == batch_digest
+            if not identical:
+                failures.append(
+                    f"churn {rate:.0%}: incremental result diverged from batch"
+                )
+            if best is None or seconds < best[0]:
+                best = (seconds, report, identical)
+        seconds, report, identical = best
+        speedup = batch_seconds / seconds if seconds else float("inf")
+        row = {
+            "bench_schema": BENCH_SCHEMA_VERSION,
+            "phase": "ingest",
+            "churn": rate,
+            "domains": len(base),
+            "reinferred": report.reinferred,
+            "batch_seconds": round(batch_seconds, 4),
+            "ingest_seconds": round(seconds, 4),
+            "speedup": round(speedup, 1),
+            "bit_identical": identical,
+        }
+        rows.append(row)
+        print(
+            f"ingest: churn {rate:>4.0%} -> batch {batch_seconds*1e3:7.1f}ms, "
+            f"incremental {seconds*1e3:6.1f}ms ({report.reinferred} domains) "
+            f"= {speedup:5.1f}x, identical={identical}"
+        )
+        if abs(rate - args.gate_churn) < 1e-9 and speedup < args.min_speedup:
+            failures.append(
+                f"ingest speedup {speedup:.1f}x at {rate:.0%} churn below "
+                f"--min-speedup {args.min_speedup:g}"
+            )
+    return rows, failures
+
+
+def _timed(thunk):
+    started = time.perf_counter()
+    result = thunk()
+    return time.perf_counter() - started, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="world scale for the benchmark (default 0.5)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent lookup clients (default 4)")
+    parser.add_argument("--requests", type=int, default=150,
+                        help="who-has lookups per client (default 150)")
+    parser.add_argument("--churn", type=float, nargs="+",
+                        default=[0.0, 0.05, 0.5],
+                        help="churn rates for the ingest phase")
+    parser.add_argument("--gate-churn", type=float, default=0.05,
+                        help="churn rate the --min-speedup gate applies to")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="best-of repetitions per timing (default 2)")
+    parser.add_argument("--max-warm-start-s", type=float, default=10.0)
+    parser.add_argument("--max-p99-ms", type=float, default=100.0)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse a seeded store instead of a temp dir")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the results document here")
+    args = parser.parse_args(argv)
+
+    config = WorldConfig(seed=args.seed).scaled(args.scale)
+    failures: list[str] = []
+    rows: list[dict] = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-sweep-") as tmp:
+        cache_dir = args.cache_dir or tmp
+        seed_seconds, domains = seed_store(config, cache_dir, args.jobs)
+        print(f"seeded store in {seed_seconds:.1f}s ({cache_dir})")
+        rows.append({
+            "bench_schema": BENCH_SCHEMA_VERSION,
+            "phase": "seed",
+            "seconds": round(seed_seconds, 2),
+            "alexa_domains": len(domains),
+        })
+
+        daemon_row, daemon_failures = bench_daemon(args, cache_dir, domains)
+        rows.append(daemon_row)
+        failures.extend(daemon_failures)
+
+        ingest_rows, ingest_failures = bench_ingest(args, config, cache_dir)
+        rows.extend(ingest_rows)
+        failures.extend(ingest_failures)
+
+    if args.json:
+        document = {
+            "bench": "serve-sweep",
+            "bench_schema": BENCH_SCHEMA_VERSION,
+            "scale": args.scale,
+            "jobs": args.jobs,
+            "rows": rows,
+            "failures": failures,
+        }
+        with open(args.json, "w") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

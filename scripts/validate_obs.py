@@ -41,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
         "--journal", metavar="PATH", help="resilience run journal (JSONL)"
     )
     parser.add_argument(
+        "--bench", metavar="PATH", action="append", default=[],
+        help="bench JSON document (bench_sweep/serve_sweep --json output); "
+             "repeatable",
+    )
+    parser.add_argument(
         "--expect-cats", metavar="CATS", default=None,
         help="comma-separated span categories the trace must contain "
              "(e.g. run,experiment,snapshot,gather,shard)",
@@ -51,9 +56,9 @@ def main(argv: list[str] | None = None) -> int:
              "sample (nonzero peak_rss_bytes)",
     )
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.manifest or args.journal):
+    if not (args.trace or args.metrics or args.manifest or args.journal or args.bench):
         parser.error(
-            "nothing to validate; pass --trace/--metrics/--manifest/--journal"
+            "nothing to validate; pass --trace/--metrics/--manifest/--journal/--bench"
         )
 
     ok = True
@@ -95,6 +100,23 @@ def main(argv: list[str] | None = None) -> int:
             "journal",
             schemas.validate_jsonl_file(args.journal, schemas.JOURNAL_EVENT_SCHEMA),
         )
+    for bench_path in args.bench:
+        errors = schemas.validate_file(bench_path, schemas.BENCH_SCHEMA)
+        if not errors:
+            # The schema proves the stamps exist; also pin their value so
+            # a version bump without regenerated artifacts fails loudly.
+            with open(bench_path) as handle:
+                document = json.load(handle)
+            stamps = [document["bench_schema"]] + [
+                row["bench_schema"] for row in document["rows"]
+            ]
+            stale = sorted({s for s in stamps if s != schemas.BENCH_SCHEMA_VERSION})
+            if stale:
+                errors = [
+                    f"{bench_path}: bench_schema {stale} != "
+                    f"{schemas.BENCH_SCHEMA_VERSION}"
+                ]
+        ok &= check(f"bench:{bench_path}", errors)
     return 0 if ok else 1
 
 

@@ -10,6 +10,8 @@ Usage::
     python -m repro cache clear          # drop every cached artifact
     python -m repro explain example.com --date 2021-06-08
                                          # why did this domain get its ID?
+    python -m repro serve                # query daemon over stored maps
+    python -m repro serve ingest 8       # delta re-inference of snapshot 8
 
 The world is deterministic in (--seed, --scale); the default matches the
 test suite's standard world.  With a cache configured (``--cache-dir`` or
@@ -252,6 +254,64 @@ def run_cache_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_via_store(
+    config: WorldConfig,
+    store: ArtifactStore | None,
+    domain: str,
+    snapshot_index: int,
+    faults_key: str | None,
+) -> tuple[dict | None, bool]:
+    """``(record, definitive)`` — explain from stored artifacts alone.
+
+    Walks every corpus's stored inference map at the snapshot; a hit
+    yields the full provenance record without building the world or
+    running any pipeline (O(one domain) on a warm cache).  ``definitive``
+    is True when every covered corpus had a stored map, so a miss means
+    the domain genuinely has no inference there — not that the store is
+    cold.  Any unreadable artifact degrades to (None, False): the caller
+    falls back to the full pipeline path.
+    """
+    from .store import CodecError, ResultView, SnapshotView
+    from .world.entities import DatasetTag
+    from .world.population import GOV_FIRST_SNAPSHOT
+
+    if store is None:
+        return None, False
+    all_present = True
+    try:
+        for dataset in DatasetTag:
+            if dataset is DatasetTag.GOV and snapshot_index < GOV_FIRST_SNAPSHOT:
+                continue
+            payload = store.result_payload(
+                config, dataset, snapshot_index, faults_key
+            )
+            if payload is None:
+                all_present = False
+                continue
+            inference = ResultView(payload).get(domain)
+            if inference is None:
+                continue
+            measurement = None
+            measured = store.measurement_payload(
+                config, dataset, snapshot_index, faults_key
+            )
+            if measured is not None:
+                snapshot_view = SnapshotView(measured)
+                if domain in snapshot_view:
+                    measurement = snapshot_view.materialize({domain})[domain]
+            record = obs_provenance.provenance_record(
+                inference,
+                corpus=dataset.value,
+                snapshot_index=snapshot_index,
+                snapshot_date=SNAPSHOT_DATES[snapshot_index],
+                measurement=measurement,
+            )
+            return record, True
+    except CodecError:
+        return None, False
+    return None, all_present
+
+
 def run_explain_command(args: argparse.Namespace) -> int:
     """``repro explain <domain> [--date SNAPSHOT]`` — the audit trail."""
     domain = args.argument
@@ -266,6 +326,29 @@ def run_explain_command(args: argparse.Namespace) -> int:
         return 2
     config = WorldConfig(seed=args.seed).scaled(args.scale)
     plan = resolve_plan(args.faults, seed=args.seed)
+    # Warm-cache short-circuit: when the store already holds the maps,
+    # explain reads one domain's rows instead of rebuilding the world and
+    # re-running the sweep.  Measurement-faulted runs skip it — their
+    # evidence-loss section needs the live injector.
+    if plan is None or not plan.measurement_active:
+        faults_key = plan.store_key() if plan is not None else None
+        record, definitive = _explain_via_store(
+            config, resolve_store(args), domain, snapshot_index, faults_key
+        )
+        if record is not None:
+            if args.json:
+                print(json.dumps(record, indent=2, sort_keys=True))
+            else:
+                print(obs_provenance.render_explanation(record))
+            return 0
+        if definitive:
+            print(
+                f"{domain}: no stored inference in any covered corpus at "
+                f"snapshot {snapshot_index} (seed={config.seed}; --scale "
+                f"and --seed must match the sweep that filled the cache)",
+                file=sys.stderr,
+            )
+            return 2
     ctx = StudyContext.create(
         config,
         engine=EngineOptions(jobs=args.jobs),
@@ -368,8 +451,15 @@ def _prepare_resume(args: argparse.Namespace, parser: argparse.ArgumentParser):
 
 
 def main(argv: list[str] | None = None) -> int:
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "serve":
+        # The serving subcommands have their own parser (daemon flags,
+        # client verbs) — dispatch before the experiment parser sees them.
+        from .serve.cli import main as serve_main
+
+        return serve_main(raw[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     if args.argument is not None and args.experiment not in (
         "cache", "explain", "resume"
     ):

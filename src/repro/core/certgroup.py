@@ -82,6 +82,13 @@ class CertificateGroups:
         group = self.group_of(cert)
         return group.representative if group else None
 
+    def representatives(self) -> dict[str, str]:
+        """Fingerprint → representative for every grouped certificate."""
+        return {
+            fingerprint: group.representative
+            for fingerprint, group in self._by_fingerprint.items()
+        }
+
     def __len__(self) -> int:
         return len(self.groups)
 
@@ -91,6 +98,10 @@ class CertificatePreprocessor:
 
     def __init__(self, psl: PublicSuffixList | None = None):
         self.psl = psl or default_psl()
+        # FQDN -> registered domain, persistent across builds: the PSL is
+        # immutable for the preprocessor's lifetime, so repeated snapshot
+        # ingests resolve each name once.
+        self._registered_memo: dict[str, str | None] = {}
 
     def _registered(self, fqdn: str) -> str | None:
         return self.psl.registered_domain(_strip_wildcard(fqdn))
@@ -101,42 +112,67 @@ class CertificatePreprocessor:
         unique: dict[str, Certificate] = {}
         for cert in certificates:
             unique.setdefault(cert.fingerprint(), cert)
+        return self.build_from_names(
+            (fingerprint, cert.dns_names() or cert.names())
+            for fingerprint, cert in unique.items()
+        )
 
-        # Step 1.1 — global registered-domain occurrence counts.
+    def build_from_names(
+        self, named: Iterable[tuple[str, tuple[str, ...]]]
+    ) -> CertificateGroups:
+        """Steps 1.1-1.3 over precomputed ``(fingerprint, names)`` pairs.
+
+        Equivalent to :meth:`build` when each pair carries a certificate's
+        ``dns_names() or names()``; callers that already know the names
+        (incremental ingest carries them between snapshots) skip
+        certificate materialization entirely.  Duplicate fingerprints
+        keep the first pair, mirroring :meth:`build`'s dedup.
+        """
+        # Step 1.1 — global registered-domain occurrence counts.  Each
+        # distinct FQDN is stripped and PSL-resolved once ever; the pairs
+        # feed steps 1.2 and 1.3 without repeating either lookup.
+        lookup = self._registered
+        registered_memo = self._registered_memo
+        seen_names: dict[str, tuple[str, ...]] = {}
+        for fingerprint, names in named:
+            seen_names.setdefault(fingerprint, names)
         global_counts: Counter = Counter()
-        cert_names: dict[str, tuple[str, ...]] = {}
-        for fingerprint, cert in unique.items():
-            names = cert.dns_names() or cert.names()
-            cert_names[fingerprint] = names
+        cert_keys: dict[str, list[tuple[str, str | None]]] = {}
+        for fingerprint, names in seen_names.items():
+            pairs: list[tuple[str, str | None]] = []
             for name in names:
-                registered = self._registered(name)
+                if name in registered_memo:
+                    registered = registered_memo[name]
+                else:
+                    registered = registered_memo[name] = lookup(name)
+                pairs.append((_strip_wildcard(name), registered))
                 if registered:
                     global_counts[registered] += 1
+            cert_keys[fingerprint] = pairs
 
         # Step 1.2 — group certificates sharing at least one FQDN.
         union = _UnionFind()
         first_owner: dict[str, str] = {}
-        for fingerprint, names in cert_names.items():
+        for fingerprint, pairs in cert_keys.items():
             union.add(fingerprint)
-            for name in names:
-                key = _strip_wildcard(name)
-                if key in first_owner:
-                    union.union(first_owner[key], fingerprint)
-                else:
+            for key, _registered in pairs:
+                owner = first_owner.get(key)
+                if owner is None:
                     first_owner[key] = fingerprint
+                else:
+                    union.union(owner, fingerprint)
 
         # Step 1.3 — representative name per group.
         result = CertificateGroups(groups=[], registered_domain_counts=global_counts)
         for members in union.groups().values():
             member_prints = [str(m) for m in members]
-            within: Counter = Counter()
+            within: dict[str, int] = {}
             fqdns: set[str] = set()
             for fingerprint in member_prints:
-                for name in cert_names[fingerprint]:
-                    fqdns.add(_strip_wildcard(name))
-                    registered = self._registered(name)
+                for key, registered in cert_keys[fingerprint]:
+                    fqdns.add(key)
                     if registered:
-                        within[registered] += 1
+                        within[registered] = within.get(registered, 0) + 1
             representative = self._pick_representative(within, global_counts, fqdns)
             group = CertGroup(
                 fingerprints=frozenset(member_prints),
@@ -152,7 +188,7 @@ class CertificatePreprocessor:
 
     @staticmethod
     def _pick_representative(
-        within: Counter, global_counts: Counter, fqdns: set[str]
+        within: dict[str, int], global_counts: Counter, fqdns: set[str]
     ) -> str:
         if within:
             return max(

@@ -50,6 +50,7 @@ def build_manifest(
     argv: list[str] | None = None,
     faults=None,
     resilience: dict | None = None,
+    serve: dict | None = None,
 ) -> dict:
     """Assemble the manifest document for one run.
 
@@ -60,6 +61,9 @@ def build_manifest(
     *resilience* is the run-lineage section of a resilient run (run id,
     run dir, status, resume count — see ``RunContext.describe``); plain
     runs omit it, so their manifests are unchanged.
+
+    *serve* is the query daemon's endpoint/cache section
+    (``InferenceService.metrics()``); non-daemon runs omit it.
     """
     from ..store.artifacts import SCHEMA_VERSION as STORE_SCHEMA
     from .metrics import METRICS_SCHEMA_VERSION, memory_summary
@@ -110,6 +114,8 @@ def build_manifest(
         manifest["faults"] = faults.describe()
     if resilience is not None:
         manifest["resilience"] = resilience
+    if serve is not None:
+        manifest["serve"] = serve
     return manifest
 
 

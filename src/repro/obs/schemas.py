@@ -70,6 +70,28 @@ MEMORY_SCHEMA = {
     },
 }
 
+# Emitted by the query daemon (metrics "serve" section, manifest ditto):
+# per-endpoint latency histograms plus block-cache effectiveness.
+SERVE_SECTION_SCHEMA = {
+    "type": "object",
+    "required": ["endpoints", "block_cache"],
+    "properties": {
+        "uptime_s": {"type": "number"},
+        "endpoints": {"type": "object"},
+        "block_cache": {
+            "type": "object",
+            "required": ["hits", "misses"],
+            "properties": {
+                "hits": {"type": "integer"},
+                "misses": {"type": "integer"},
+                "entries": {"type": "integer"},
+                "capacity": {"type": "integer"},
+            },
+        },
+        "ingests": {"type": "array"},
+    },
+}
+
 METRICS_SCHEMA = {
     "type": "object",
     "required": ["schema", "counters", "caches", "memory", "timers", "shards"],
@@ -80,6 +102,31 @@ METRICS_SCHEMA = {
         "memory": MEMORY_SCHEMA,
         "timers": {"type": "object"},
         "shards": {"type": "object"},
+        # Present only on daemon runs (--metrics-out from `repro serve`).
+        "serve": SERVE_SECTION_SCHEMA,
+    },
+}
+
+# v3: every bench JSON document and each of its rows carries a
+# ``bench_schema`` stamp, so trajectory tooling can reject mixed-version
+# row sets instead of misreading renamed fields.
+BENCH_SCHEMA_VERSION = 3
+
+BENCH_SCHEMA = {
+    "type": "object",
+    "required": ["bench", "bench_schema", "rows"],
+    "properties": {
+        "bench": {"type": "string"},
+        "bench_schema": {"type": "integer"},
+        "rows": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["bench_schema"],
+                "properties": {"bench_schema": {"type": "integer"}},
+            },
+        },
+        "failures": {"type": "array"},
     },
 }
 
@@ -105,6 +152,8 @@ MANIFEST_SCHEMA = {
         "experiments": {"type": "array"},
         "timing": {"type": "object"},
         "runtime": {"type": "object"},
+        # Present only on daemon runs (`repro serve` shutdown manifest).
+        "serve": SERVE_SECTION_SCHEMA,
         # Present only on faulted runs (fault-free manifests omit it).
         "faults": {
             "type": "object",

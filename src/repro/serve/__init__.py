@@ -1,0 +1,23 @@
+"""Inference-as-a-service: a query daemon over the columnar store.
+
+``python -m repro serve`` starts a long-running process that answers
+``who-has <domain>``, ``provider-stats``, and ``explain`` lookups from
+stored inference maps — no pipeline run on the query path — and ingests
+new snapshots *incrementally*, re-inferring only domains whose evidence
+changed (:mod:`repro.engine.incremental`) while staying bit-identical to
+a from-scratch batch run.
+
+Layout:
+
+* :mod:`repro.serve.blocks` — LRU cache over decoded columnar views.
+* :mod:`repro.serve.service` — the transport-agnostic query/ingest API.
+* :mod:`repro.serve.daemon` — unix-socket / HTTP front-ends + clients.
+* :mod:`repro.serve.churn` — deterministic synthetic-churn generator
+  (benchmarks and equivalence tests).
+* :mod:`repro.serve.cli` — ``repro serve ...`` subcommands.
+"""
+
+from .blocks import BlockCache
+from .service import InferenceService, ServiceError
+
+__all__ = ["BlockCache", "InferenceService", "ServiceError"]

@@ -1,0 +1,59 @@
+"""An in-process LRU over decoded columnar blocks.
+
+Store payloads are cheap to *read* (envelope check + zlib) but column
+views still parse tables and build indexes; the daemon answers thousands
+of lookups against the same handful of (corpus, snapshot) blocks, so
+decoded views are kept hot under a small LRU.  ``None`` loads (artifact
+absent from the store) are not cached: a later ingest can create them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+from ..engine.stats import STATS
+
+
+class BlockCache:
+    """Thread-safe LRU keyed by arbitrary hashables."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = max(1, int(capacity))
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, loader: Callable[[], object]):
+        """The cached block for *key*, loading (and caching) on miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                STATS.inc("serve.block.hit")
+                return self._entries[key]
+        # Load outside the lock: decoding a block can take milliseconds
+        # and must not serialize unrelated lookups.  A racing double-load
+        # wastes one decode; both results are equivalent.
+        STATS.inc("serve.block.miss")
+        value = loader()
+        if value is None:
+            return None
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                STATS.inc("serve.block.evicted")
+        return value
+
+    def invalidate(self, key) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,235 @@
+"""``repro serve ...`` — the serving subcommands.
+
+``repro serve`` (or ``serve run``) starts the daemon; the other verbs
+are thin clients.  With ``--socket``/``--http`` they RPC against a
+running daemon; without a target the query verbs run in-process against
+the store directly (same code path the daemon uses), which keeps
+one-shot lookups scriptable without a background process.
+
+Exit codes follow the repo convention: 0 success, 2 user/state errors
+(unknown domain, missing artifact, bad snapshot spec), 1 internal
+failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..store import ArtifactStore
+from ..world.build import WorldConfig
+from .daemon import ServeDaemon, handle_request, rpc
+from .service import InferenceService, ServiceError
+
+_CLIENT_OPS = {
+    "who-has": "who-has",
+    "provider-stats": "provider-stats",
+    "explain": "explain",
+    "ingest": "ingest",
+    "status": "status",
+    "metrics": "metrics",
+    "stop": "shutdown",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Query daemon over stored inference maps, with "
+                    "incremental snapshot ingestion",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="run",
+        choices=["run"] + sorted(_CLIENT_OPS),
+        help="'run' starts the daemon (default); the rest are client verbs",
+    )
+    parser.add_argument(
+        "argument",
+        nargs="?",
+        metavar="ARG",
+        help="with 'who-has'/'explain': the domain; "
+             "with 'ingest': the snapshot (index or ISO date)",
+    )
+    parser.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="unix socket to listen on (run) or connect to (client verbs)",
+    )
+    parser.add_argument(
+        "--http", metavar="HOST:PORT", default=None,
+        help="HTTP address to listen on (run) or connect to (client verbs)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="corpus scale factor (must match the sweep that seeded the store)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="workers for ingest identification (results identical for any N)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="artifact store directory (default: REPRO_CACHE)",
+    )
+    parser.add_argument(
+        "--cache-blocks", type=int, default=32, metavar="N",
+        help="decoded columnar blocks kept hot in the LRU (default 32)",
+    )
+    parser.add_argument(
+        "--corpus", metavar="NAME", default=None,
+        help="restrict to one corpus (alexa/com/gov; default: search all)",
+    )
+    parser.add_argument(
+        "--date", metavar="SNAPSHOT", default=None,
+        help="snapshot index or ISO date (default: the latest snapshot)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="with 'run': write the metrics document (with the 'serve' "
+             "section) on shutdown",
+    )
+    parser.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="with 'run': write a run manifest (with the 'serve' section) "
+             "on shutdown",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print raw JSON results (default for non-tty friendliness "
+             "of everything but 'explain', which renders a trail)",
+    )
+    return parser
+
+
+def parse_http(raw: str | None) -> tuple[str, int] | None:
+    if raw is None:
+        return None
+    host, _, port = raw.rpartition(":")
+    if not host or not port.isdigit():
+        raise ServiceError(
+            f"--http expects HOST:PORT, got {raw!r}", code="bad-request"
+        )
+    return host, int(port)
+
+
+def _store(args: argparse.Namespace) -> ArtifactStore | None:
+    if args.cache_dir:
+        return ArtifactStore(args.cache_dir)
+    return ArtifactStore.from_env()
+
+
+def _service(args: argparse.Namespace) -> InferenceService:
+    config = WorldConfig(seed=args.seed).scaled(args.scale)
+    return InferenceService(
+        config,
+        _store(args),
+        jobs=args.jobs,
+        cache_blocks=args.cache_blocks,
+    )
+
+
+def _target(args: argparse.Namespace):
+    """The RPC target from flags, or None for in-process execution."""
+    if args.socket:
+        return ("socket", args.socket)
+    http_address = parse_http(args.http)
+    if http_address is not None:
+        return ("http", *http_address)
+    return None
+
+
+def _request(args: argparse.Namespace) -> dict:
+    op = _CLIENT_OPS[args.command]
+    request: dict = {"op": op}
+    if args.command in ("who-has", "explain"):
+        if not args.argument:
+            raise ServiceError(
+                f"'{args.command}' needs a domain argument", code="bad-request"
+            )
+        request["domain"] = args.argument
+    if args.command == "ingest":
+        if args.argument is None and args.date is None:
+            raise ServiceError(
+                "'ingest' needs a snapshot (index or ISO date)",
+                code="bad-request",
+            )
+        request["snapshot"] = args.argument if args.argument is not None else args.date
+        request["jobs"] = args.jobs
+    elif args.command in ("who-has", "explain", "provider-stats"):
+        request["snapshot"] = args.date
+    if args.corpus:
+        request["corpus"] = args.corpus
+    return request
+
+
+def _render(args: argparse.Namespace, result) -> None:
+    if args.command == "explain" and not args.json:
+        from ..obs.provenance import render_explanation
+
+        print(render_explanation(result))
+        return
+    print(json.dumps(result, indent=2, sort_keys=True))
+
+
+def run_daemon(args: argparse.Namespace, argv: list[str]) -> int:
+    service = _service(args)
+    socket_path = args.socket
+    http_address = parse_http(args.http)
+    if socket_path is None and http_address is None:
+        # No listener requested: default to a socket next to the store,
+        # so `repro serve` followed by `repro serve who-has ... --socket
+        # <store>/serve.sock` just works.
+        socket_path = str(service.store.root / "serve.sock")
+    daemon = ServeDaemon(
+        service,
+        socket_path=socket_path,
+        http_address=http_address,
+        metrics_out=args.metrics_out,
+        manifest_out=args.manifest_out,
+        argv=["serve"] + list(argv),
+    )
+    where = []
+    if socket_path is not None:
+        where.append(f"socket {socket_path}")
+    if http_address is not None:
+        where.append(f"http {http_address[0]}:{http_address[1]}")
+    print(f"serving inference maps on {', '.join(where)} "
+          f"(store {service.store.root})")
+    return daemon.run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return run_daemon(args, argv)
+        request = _request(args)
+        target = _target(args)
+        if target is not None:
+            response = rpc(target, request)
+        else:
+            if args.command == "stop":
+                raise ServiceError(
+                    "'stop' needs a daemon target (--socket or --http)",
+                    code="bad-request",
+                )
+            response = handle_request(_service(args), request)
+    except ServiceError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as error:
+        print(f"serve: cannot reach daemon: {error}", file=sys.stderr)
+        return 2
+    if not response.get("ok", False):
+        print(f"serve: {response.get('error')}", file=sys.stderr)
+        return 1 if response.get("code") in ("internal", "corrupt") else 2
+    _render(args, response["result"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

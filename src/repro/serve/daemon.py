@@ -1,0 +1,361 @@
+"""Daemon front-ends and clients for :class:`InferenceService`.
+
+Two transports share one dispatch table:
+
+* **Unix socket** (``--socket PATH``) — newline-delimited JSON requests
+  (``{"op": "who-has", "domain": ...}``) with matching
+  ``{"ok": true, "result": ...}`` / ``{"ok": false, "error", "code"}``
+  replies; connections are persistent, one request per line.
+* **HTTP** (``--http HOST:PORT``) — ``POST /rpc`` with the same JSON
+  body, plus convenience ``GET`` routes (``/healthz``, ``/status``,
+  ``/metrics``, ``/who-has?domain=...``, ``/provider-stats``).
+
+Shutdown (SIGTERM/SIGINT or the ``shutdown`` op, used by ``repro serve
+stop``) is graceful: in-flight requests finish, then ``--metrics-out``
+and ``--manifest-out`` documents are written with the daemon's ``serve``
+section (per-endpoint latency histograms, block-cache hit rates).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import signal
+import socket
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from .service import InferenceService, ServiceError
+
+_GET_OPS = {
+    "/healthz": "ping",
+    "/status": "status",
+    "/metrics": "metrics",
+    "/who-has": "who-has",
+    "/provider-stats": "provider-stats",
+    "/explain": "explain",
+}
+
+_HTTP_STATUS = {
+    "not-found": 404,
+    "bad-request": 400,
+    "no-artifact": 409,
+    "no-store": 409,
+    "corrupt": 500,
+    "internal": 500,
+    "unknown-op": 400,
+}
+
+
+def handle_request(service: InferenceService, request: dict) -> dict:
+    """Dispatch one RPC request dict to the service; never raises."""
+    op = request.get("op")
+    try:
+        if op == "ping":
+            result = {"pong": True}
+        elif op == "who-has":
+            result = service.who_has(
+                request["domain"], request.get("corpus"), request.get("snapshot")
+            )
+        elif op == "provider-stats":
+            result = service.provider_stats(
+                request.get("corpus"), request.get("snapshot")
+            )
+        elif op == "explain":
+            result = service.explain(
+                request["domain"], request.get("corpus"), request.get("snapshot")
+            )
+        elif op == "ingest":
+            result = service.ingest(
+                request.get("snapshot"),
+                request.get("corpus"),
+                jobs=request.get("jobs"),
+            )
+        elif op == "status":
+            result = service.status()
+        elif op == "metrics":
+            result = service.metrics()
+        elif op == "shutdown":
+            return {"ok": True, "result": {"stopping": True}, "_shutdown": True}
+        else:
+            return {
+                "ok": False,
+                "error": f"unknown op {op!r}",
+                "code": "unknown-op",
+            }
+    except KeyError as error:
+        return {
+            "ok": False,
+            "error": f"missing request field {error.args[0]!r} for op {op!r}",
+            "code": "bad-request",
+        }
+    except ServiceError as error:
+        return {"ok": False, "error": str(error), "code": error.code}
+    except Exception as error:  # the daemon must outlive bad requests
+        return {
+            "ok": False,
+            "error": f"{type(error).__name__}: {error}",
+            "code": "internal",
+        }
+    return {"ok": True, "result": result}
+
+
+class ServeDaemon:
+    """Lifecycle owner: servers, signal handling, shutdown artifacts."""
+
+    def __init__(
+        self,
+        service: InferenceService,
+        *,
+        socket_path: str | None = None,
+        http_address: tuple[str, int] | None = None,
+        metrics_out: str | None = None,
+        manifest_out: str | None = None,
+        argv: list[str] | None = None,
+    ) -> None:
+        if socket_path is None and http_address is None:
+            raise ServiceError(
+                "the daemon needs at least one listener "
+                "(--socket PATH and/or --http HOST:PORT)",
+                code="bad-request",
+            )
+        self.service = service
+        self.socket_path = socket_path
+        self.http_address = http_address
+        self.metrics_out = metrics_out
+        self.manifest_out = manifest_out
+        self.argv = argv
+        self.started = time.monotonic()
+        self._stop = threading.Event()
+        self._servers: list = []
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self.socket_path is not None:
+            self._servers.append(self._make_socket_server())
+        if self.http_address is not None:
+            self._servers.append(self._make_http_server())
+        for server in self._servers:
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._stop.wait(timeout)
+
+    def run(self) -> int:
+        """start() + block until stopped, then tear down and export."""
+        self.start()
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(
+                    signum, lambda *_args: self.stop()
+                )
+            except ValueError:
+                pass  # not the main thread (embedded/test use)
+        try:
+            self._stop.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.shutdown()
+        return 0
+
+    def shutdown(self) -> None:
+        for server in self._servers:
+            server.shutdown()
+            server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._servers.clear()
+        self._threads.clear()
+        if self.socket_path is not None:
+            Path(self.socket_path).unlink(missing_ok=True)
+        self._export()
+
+    def _export(self) -> None:
+        serve_section = self.service.metrics()
+        if self.metrics_out:
+            from ..obs import metrics as obs_metrics
+
+            document = obs_metrics.collect()
+            document["serve"] = serve_section
+            with open(self.metrics_out, "w") as stream:
+                json.dump(document, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+        if self.manifest_out:
+            from ..obs import manifest as obs_manifest
+
+            document = obs_manifest.build_manifest(
+                config=self.service.config,
+                store=self.service.store,
+                experiments=["serve"],
+                elapsed_seconds=time.monotonic() - self.started,
+                argv=self.argv,
+                serve=serve_section,
+            )
+            obs_manifest.write_manifest(self.manifest_out, document)
+
+    # -- listeners -------------------------------------------------------
+
+    def _make_socket_server(self):
+        daemon = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:
+                for line in self.rfile:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        request = json.loads(line)
+                    except ValueError as error:
+                        response = {
+                            "ok": False,
+                            "error": f"bad JSON: {error}",
+                            "code": "bad-request",
+                        }
+                    else:
+                        response = handle_request(daemon.service, request)
+                    stopping = response.pop("_shutdown", False)
+                    self.wfile.write(json.dumps(response).encode() + b"\n")
+                    self.wfile.flush()
+                    if stopping:
+                        daemon.stop()
+                        return
+
+        class Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        path = Path(self.socket_path)
+        if path.exists():
+            # A previous daemon may have died without cleanup; a live one
+            # would still answer — probe before stealing the address.
+            try:
+                request_socket(str(path), {"op": "ping"}, timeout=1.0)
+            except OSError:
+                path.unlink()
+            else:
+                raise ServiceError(
+                    f"socket {path} is already served by a live daemon",
+                    code="bad-request",
+                )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return Server(str(path), Handler)
+
+    def _make_http_server(self):
+        daemon = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args) -> None:  # quiet by default
+                pass
+
+            def _reply(self, response: dict) -> None:
+                stopping = response.pop("_shutdown", False)
+                status = 200
+                if not response.get("ok", False):
+                    status = _HTTP_STATUS.get(response.get("code"), 500)
+                body = json.dumps(response).encode() + b"\n"
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                if stopping:
+                    daemon.stop()
+
+            def do_GET(self) -> None:
+                parts = urlsplit(self.path)
+                op = _GET_OPS.get(parts.path)
+                if op is None:
+                    self._reply(
+                        {"ok": False, "error": f"no route {parts.path}",
+                         "code": "not-found"}
+                    )
+                    return
+                request = {"op": op}
+                for key, values in parse_qs(parts.query).items():
+                    request[key] = values[-1]
+                self._reply(handle_request(daemon.service, request))
+
+            def do_POST(self) -> None:
+                if urlsplit(self.path).path != "/rpc":
+                    self._reply(
+                        {"ok": False, "error": f"no route {self.path}",
+                         "code": "not-found"}
+                    )
+                    return
+                length = int(self.headers.get("Content-Length", 0))
+                try:
+                    request = json.loads(self.rfile.read(length) or b"{}")
+                except ValueError as error:
+                    self._reply(
+                        {"ok": False, "error": f"bad JSON: {error}",
+                         "code": "bad-request"}
+                    )
+                    return
+                self._reply(handle_request(daemon.service, request))
+
+        server = ThreadingHTTPServer(self.http_address, Handler)
+        server.daemon_threads = True
+        return server
+
+
+# -- clients ------------------------------------------------------------
+
+
+def request_socket(path: str, payload: dict, timeout: float = 60.0) -> dict:
+    """One JSON-lines RPC round-trip over a unix socket."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall(json.dumps(payload).encode() + b"\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    return json.loads(b"".join(chunks))
+
+
+def request_http(host: str, port: int, payload: dict, timeout: float = 60.0) -> dict:
+    """One ``POST /rpc`` round-trip against the HTTP listener."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload)
+        connection.request(
+            "POST", "/rpc", body=body, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def rpc(target, payload: dict, timeout: float = 60.0) -> dict:
+    """Round-trip against a ``("socket", path)`` / ``("http", host, port)``."""
+    if target[0] == "socket":
+        return request_socket(target[1], payload, timeout)
+    if target[0] == "http":
+        return request_http(target[1], target[2], payload, timeout)
+    raise ValueError(f"unknown rpc target: {target!r}")

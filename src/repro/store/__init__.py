@@ -30,6 +30,7 @@ from .codec import (
     encode_measurements,
     encode_result,
 )
+from .delta import DeltaReport, ResultView, SnapshotView, diff, diff_signatures
 
 __all__ = [
     "ArtifactStore",
@@ -38,7 +39,12 @@ __all__ = [
     "CODEC_VERSION",
     "CodecError",
     "DEFAULT_MAX_BYTES",
+    "DeltaReport",
+    "ResultView",
     "SCHEMA_VERSION",
+    "SnapshotView",
+    "diff",
+    "diff_signatures",
     "baseline_kind",
     "batch_kind",
     "cache_key",

@@ -442,6 +442,22 @@ class ArtifactStore:
         key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY, faults)
         self._save(key, encode_result, result)
 
+    def measurement_payload(
+        self, config, dataset, snapshot_index: int, faults: str | None = None
+    ) -> bytes | None:
+        """The *encoded* measurement snapshot, envelope-checked but not
+        decoded — the serving layer's delta/lookup views read columns
+        straight off this payload instead of materializing object graphs."""
+        key = cache_key(config, dataset, snapshot_index, KIND_MEASUREMENTS, faults)
+        return self.read(key)
+
+    def result_payload(
+        self, config, dataset, snapshot_index: int, faults: str | None = None
+    ) -> bytes | None:
+        """The encoded priority-pipeline result, undecoded (see above)."""
+        key = cache_key(config, dataset, snapshot_index, KIND_PRIORITY, faults)
+        return self.read(key)
+
     def load_shard(
         self, config, dataset, snapshot_index: int, index: int, count: int,
         faults: str | None = None, batch: tuple[int, int, int] | None = None,

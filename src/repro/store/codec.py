@@ -26,6 +26,8 @@ import sys
 import zlib
 from array import array
 from datetime import date
+from hashlib import blake2b
+from itertools import accumulate
 
 from ..core.misident import CorrectionStats
 from ..core.pipeline import PipelineResult
@@ -41,7 +43,7 @@ from ..measure.censys import Port25State, PortScanRecord
 from ..measure.dataset import DomainMeasurement, IPObservation, MXData
 from ..tls.cert import Certificate
 
-CODEC_VERSION = 1
+CODEC_VERSION = 2
 
 # Enum codes are positional; reordering a member is a schema change and
 # must bump CODEC_VERSION.
@@ -121,6 +123,9 @@ class _Reader:
         self._pos = end
         return chunk
 
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
     def u32(self) -> int:
         return int.from_bytes(self._take(4), "little")
 
@@ -187,11 +192,20 @@ class _StringTable:
         blob = reader.blob()
         if sum(lengths) != len(blob):
             raise CodecError("string table length mismatch")
+        offsets = list(accumulate(lengths, initial=0))
+        decoded = blob.decode("utf-8")
         table: list[str | None] = [None]
-        offset = 0
-        for length in lengths:
-            table.append(blob[offset:offset + length].decode("utf-8"))
-            offset += length
+        if len(decoded) == len(blob):
+            # All-ASCII fast path: byte offsets are character offsets, so
+            # one bulk decode plus str slices replaces a decode per entry.
+            table += [
+                decoded[offsets[i]:offsets[i + 1]] for i in range(len(lengths))
+            ]
+        else:
+            table += [
+                blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+                for i in range(len(lengths))
+            ]
         return table
 
 
@@ -313,6 +327,20 @@ def _enum_value(members: tuple, code: int):
         raise CodecError(f"bad enum code {code}") from error
 
 
+def _stable_sig(parts: tuple) -> int:
+    """64-bit deterministic signature of a tuple of primitives.
+
+    ``repr`` of str/int/None tuples is unambiguous and stable across
+    processes (unlike built-in ``hash``, which is salted), so embedded
+    evidence signatures written by one process compare correctly against
+    signatures computed by another.  Collision odds are ~2^-64 per pair —
+    acceptable for a change-detection signal that is backed by an
+    end-to-end equivalence test (``tests/serve/test_incremental.py``).
+    """
+    digest = blake2b(repr(parts).encode("utf-8", "surrogatepass"), digest_size=8)
+    return int.from_bytes(digest.digest(), "little")
+
+
 def _compress(writer: _Writer) -> bytes:
     # Level 1 keeps write-through overhead low on the cold path; the
     # index-heavy payload is already small, so heavier levels buy only a
@@ -333,7 +361,17 @@ def _decompress(payload: bytes) -> _Reader:
 
 
 def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
-    """Encode one (corpus, snapshot) measurement dict, order-preserving."""
+    """Encode one (corpus, snapshot) measurement dict, order-preserving.
+
+    Alongside the interned tables, a per-domain **evidence signature**
+    column is computed bottom-up (cert content with validity bit, scan,
+    AS, observation, MX) and appended to the payload, so delta detection
+    (:meth:`repro.store.delta.SnapshotView.signatures`) is an array read
+    instead of a full column walk.  Signatures are deterministic across
+    processes (:func:`_stable_sig`); measurement dates are excluded
+    except through each certificate's validity-window bit — see the
+    :mod:`repro.store.delta` module docstring for the exact semantics.
+    """
     strings = _StringTable()
     dates = _DateTable()
 
@@ -346,6 +384,8 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     cert_san_counts: list[int] = []
     cert_san_flat: list[int] = []
 
+    cert_sigs: list[int] = [0]  # index 0 is the None sentinel
+
     def cert_row(cert: Certificate) -> None:
         cert_cn.append(strings.ref(cert.subject_cn))
         cert_issuer.append(strings.ref(cert.issuer))
@@ -355,6 +395,15 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
         cert_serial.append(cert.serial)
         cert_san_counts.append(len(cert.sans))
         cert_san_flat.extend([strings.ref(san) for san in cert.sans])
+        cert_sigs.append(_stable_sig((
+            cert.subject_cn,
+            cert.sans,
+            cert.issuer,
+            1 if cert.self_signed else 0,
+            cert.not_before.toordinal(),
+            cert.not_after.toordinal(),
+            cert.serial,
+        )))
 
     certs = _Interner(cert_row)
 
@@ -366,14 +415,32 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     scan_starttls: list[int] = []
     scan_cert: list[int] = []
 
+    scan_sigs: list[int] = [0]
+
     def scan_row(scan: PortScanRecord) -> None:
         scan_addr.append(strings.ref(scan.address))
         scan_date.append(dates.ref(scan.scanned_on))
-        scan_state.append(_PORT_STATE_CODES[scan.state])
+        state_code = _PORT_STATE_CODES[scan.state]
+        scan_state.append(state_code)
         scan_banner.append(strings.ref(scan.banner))
         scan_ehlo.append(strings.ref(scan.ehlo))
         scan_starttls.append(1 if scan.starttls else 0)
-        scan_cert.append(certs.ref(scan.certificate))
+        cert = scan.certificate
+        cert_ref = certs.ref(cert)
+        scan_cert.append(cert_ref)
+        valid = (
+            None
+            if cert is None
+            else 1 if cert.not_before <= scan.scanned_on <= cert.not_after else 0
+        )
+        scan_sigs.append(_stable_sig((
+            state_code,
+            scan.banner,
+            scan.ehlo,
+            1 if scan.starttls else 0,
+            cert_sigs[cert_ref],
+            valid,
+        )))
 
     scans = _IdInterner(scan_row)
 
@@ -381,10 +448,13 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     as_name: list[int] = []
     as_country: list[int] = []
 
+    as_sigs: list[int] = [0]
+
     def as_row(info: ASInfo) -> None:
         as_asn.append(info.asn)
         as_name.append(strings.ref(info.name))
         as_country.append(strings.ref(info.country))
+        as_sigs.append(_stable_sig((info.asn, info.name, info.country)))
 
     asinfos = _IdInterner(as_row)
 
@@ -397,13 +467,18 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     scan_by_id = scans._by_id
     scan_ref = scans.ref
 
+    obs_sigs: list[int] = [0]
+
     def obs_row(obs: IPObservation) -> None:
         obs_addr.append(strings.ref(obs.address))
         info = obs.as_info
-        obs_as.append((as_by_id.get(id(info)) or as_ref(info)) if info else 0)
+        as_idx = (as_by_id.get(id(info)) or as_ref(info)) if info else 0
+        obs_as.append(as_idx)
         scan = obs.scan
-        obs_scan.append(
-            (scan_by_id.get(id(scan)) or scan_ref(scan)) if scan else 0
+        scan_idx = (scan_by_id.get(id(scan)) or scan_ref(scan)) if scan else 0
+        obs_scan.append(scan_idx)
+        obs_sigs.append(
+            _stable_sig((obs.address, as_sigs[as_idx], scan_sigs[scan_idx]))
         )
 
     observations = _IdInterner(obs_row)
@@ -420,6 +495,8 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     obs_by_id = observations._by_id
     obs_ref = observations.ref
 
+    mx_sigs: list[int] = [0]
+
     def mx_row(mx: MXData) -> None:
         name = mx.name
         mx_name.append(string_index.get(name) or strings.ref(name))
@@ -429,11 +506,16 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
         mx_ip_counts.append(count)
         if count == 1:
             ip = ips[0]
-            mx_ip_flat.append(obs_by_id.get(id(ip)) or obs_ref(ip))
+            ref = obs_by_id.get(id(ip)) or obs_ref(ip)
+            mx_ip_flat.append(ref)
+            ip_sigs: tuple[int, ...] = (obs_sigs[ref],)
         elif count:
-            mx_ip_flat.extend(
-                [obs_by_id.get(id(ip)) or obs_ref(ip) for ip in ips]
-            )
+            refs = [obs_by_id.get(id(ip)) or obs_ref(ip) for ip in ips]
+            mx_ip_flat.extend(refs)
+            ip_sigs = tuple([obs_sigs[ref] for ref in refs])
+        else:
+            ip_sigs = ()
+        mx_sigs.append(_stable_sig((name, mx.preference, ip_sigs)))
 
     mx_rows = _IdInterner(mx_row)
 
@@ -443,6 +525,7 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     dom_mx_flat: list[int] = []
     dom_txt_counts: list[int] = []
     dom_txt_flat: list[int] = []
+    dom_sig: list[int] = []
 
     string_ref = strings.ref
     date_ref = dates.ref
@@ -464,11 +547,15 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
         dom_mx_counts.append(count)
         if count == 1:
             mx = mx_set[0]
-            dom_mx_flat.append(mx_by_id.get(id(mx)) or mx_ref(mx))
+            ref = mx_by_id.get(id(mx)) or mx_ref(mx)
+            dom_mx_flat.append(ref)
+            mx_sig_tuple: tuple[int, ...] = (mx_sigs[ref],)
         elif count:
-            dom_mx_flat.extend(
-                [mx_by_id.get(id(mx)) or mx_ref(mx) for mx in mx_set]
-            )
+            refs = [mx_by_id.get(id(mx)) or mx_ref(mx) for mx in mx_set]
+            dom_mx_flat.extend(refs)
+            mx_sig_tuple = tuple([mx_sigs[ref] for ref in refs])
+        else:
+            mx_sig_tuple = ()
         txt = measurement.txt
         count = len(txt)
         dom_txt_counts.append(count)
@@ -481,6 +568,7 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
             dom_txt_flat.extend(
                 [string_index.get(t) or string_ref(t) for t in txt]
             )
+        dom_sig.append(_stable_sig((measurement.domain, mx_sig_tuple, txt)))
 
     writer = _Writer()
     strings.write(writer)
@@ -516,6 +604,13 @@ def encode_measurements(measurements: dict[str, DomainMeasurement]) -> bytes:
     writer.u32s(dom_mx_flat)
     writer.u32s(dom_txt_counts)
     writer.u32s(dom_txt_flat)
+    # Trailing columns: decode_measurements ignores them; SnapshotView
+    # reads them (or recomputes the same values for payloads that predate
+    # them).  Per-domain evidence signatures drive delta detection; per-row
+    # certificate signatures let incremental ingest carry certificate
+    # grouping metadata across snapshots without materializing the table.
+    writer.u64s(dom_sig)
+    writer.u64s(cert_sigs[1:])
     return _compress(writer)
 
 

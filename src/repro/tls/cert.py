@@ -11,8 +11,25 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from datetime import date
+from functools import lru_cache
 
 from ..dnscore.names import is_valid_hostname, normalize
+
+
+@lru_cache(maxsize=4096)
+def _valid_dns_names(names: tuple[str, ...]) -> tuple[str, ...]:
+    """Hostname-shaped subset of *names*, memoized by the name tuple.
+
+    Certificate grouping re-validates the same SAN lists on every
+    snapshot ingest; the regex walk is pure, so one bounded cache serves
+    every Certificate instance carrying the same names.
+    """
+    valid = []
+    for name in names:
+        bare = name[2:] if name.startswith("*.") else name
+        if is_valid_hostname(bare) and "." in bare:
+            valid.append(name)
+    return tuple(valid)
 
 
 @dataclass(frozen=True)
@@ -53,20 +70,20 @@ class Certificate:
         paper's grouping step (Section 3.2.1) considers "FQDNs that appear
         on a certificate's Subject CN and SANs", so we expose both.
         """
+        cached = self.__dict__.get("_names")
+        if cached is not None:
+            return cached
         seen: list[str] = []
         for name in (self.subject_cn, *self.sans):
             if name and name not in seen:
                 seen.append(name)
-        return tuple(seen)
+        result = tuple(seen)
+        object.__setattr__(self, "_names", result)
+        return result
 
     def dns_names(self) -> tuple[str, ...]:
         """Names that are syntactically valid hostnames (incl. wildcards)."""
-        valid = []
-        for name in self.names():
-            bare = name[2:] if name.startswith("*.") else name
-            if is_valid_hostname(bare) and "." in bare:
-                valid.append(name)
-        return tuple(valid)
+        return _valid_dns_names(self.names())
 
     def matches(self, hostname: str) -> bool:
         """RFC 6125 host matching: exact, or single-label wildcard."""

@@ -1,0 +1,30 @@
+"""Serving fixtures: a seeded artifact store shared across the package."""
+
+import pytest
+
+from repro.engine import EngineOptions
+from repro.experiments.common import StudyContext
+from repro.store import ArtifactStore
+from repro.world.build import WorldConfig
+from repro.world.entities import DatasetTag
+from repro.world.population import NUM_SNAPSHOTS
+
+SERVE_CONFIG = WorldConfig(seed=7).scaled(0.25)
+
+
+@pytest.fixture(scope="session")
+def seeded(tmp_path_factory):
+    """(config, store root, alexa domains): every artifact pre-computed.
+
+    This is the state a daemon inherits from a prior sweep — the warm
+    start it must serve from without re-running the pipeline.
+    """
+    root = tmp_path_factory.mktemp("serve-store")
+    ctx = StudyContext.create(
+        SERVE_CONFIG, engine=EngineOptions(jobs=1), store=ArtifactStore(str(root))
+    )
+    for dataset in DatasetTag:
+        for snapshot in range(NUM_SNAPSHOTS):
+            if ctx.covered(dataset, snapshot):
+                ctx.priority_result(dataset, snapshot)
+    return SERVE_CONFIG, str(root), ctx.domains(DatasetTag.ALEXA)

@@ -1,0 +1,90 @@
+"""ServeDaemon: in-process socket server round-trips and shutdown."""
+
+import os
+
+import pytest
+
+from repro.serve.daemon import ServeDaemon, handle_request, request_socket
+from repro.serve.service import InferenceService
+from repro.store import ArtifactStore
+
+
+@pytest.fixture()
+def daemon(seeded, tmp_path):
+    config, root, domains = seeded
+    service = InferenceService(config, ArtifactStore(root))
+    socket_path = str(tmp_path / "serve.sock")
+    daemon = ServeDaemon(service, socket_path=socket_path)
+    daemon.start()
+    try:
+        yield daemon, socket_path, domains
+    finally:
+        daemon.shutdown()
+
+
+class TestSocketRPC:
+    def test_ping(self, daemon):
+        _daemon, socket_path, _domains = daemon
+        reply = request_socket(socket_path, {"op": "ping"})
+        assert reply == {"ok": True, "result": {"pong": True}}
+
+    def test_who_has_round_trip(self, daemon):
+        _daemon, socket_path, domains = daemon
+        reply = request_socket(
+            socket_path,
+            {"op": "who-has", "domain": domains[0], "corpus": "alexa"},
+        )
+        assert reply["ok"] is True
+        assert reply["result"]["domain"] == domains[0]
+        assert reply["result"]["providers"]
+
+    def test_metrics_over_socket(self, daemon):
+        _daemon, socket_path, domains = daemon
+        request_socket(
+            socket_path,
+            {"op": "who-has", "domain": domains[0], "corpus": "alexa"},
+        )
+        reply = request_socket(socket_path, {"op": "metrics"})
+        assert reply["ok"] is True
+        assert "who-has" in reply["result"]["endpoints"]
+
+    def test_errors_stay_structured(self, daemon):
+        _daemon, socket_path, _domains = daemon
+        reply = request_socket(socket_path, {"op": "frobnicate"})
+        assert reply == {
+            "ok": False,
+            "error": "unknown op 'frobnicate'",
+            "code": "unknown-op",
+        }
+        reply = request_socket(socket_path, {"op": "who-has"})
+        assert reply["ok"] is False and reply["code"] == "bad-request"
+        reply = request_socket(
+            socket_path, {"op": "who-has", "domain": "nope.example"}
+        )
+        assert reply["ok"] is False and reply["code"] == "not-found"
+
+    def test_shutdown_op_stops_the_daemon(self, daemon):
+        server, socket_path, _domains = daemon
+        reply = request_socket(socket_path, {"op": "shutdown"})
+        assert reply["ok"] is True and reply["result"]["stopping"] is True
+        assert server.wait(timeout=10)
+
+    def test_socket_file_is_cleaned_up(self, seeded, tmp_path):
+        config, root, _domains = seeded
+        service = InferenceService(config, ArtifactStore(root))
+        socket_path = str(tmp_path / "cleanup.sock")
+        daemon = ServeDaemon(service, socket_path=socket_path)
+        daemon.start()
+        assert os.path.exists(socket_path)
+        daemon.shutdown()
+        assert not os.path.exists(socket_path)
+
+
+class TestDispatch:
+    def test_handle_request_never_raises(self, seeded):
+        config, root, _domains = seeded
+        service = InferenceService(config, ArtifactStore(root))
+        reply = handle_request(service, {"op": "who-has"})
+        assert reply["ok"] is False and reply["code"] == "bad-request"
+        reply = handle_request(service, {})
+        assert reply["ok"] is False and reply["code"] == "unknown-op"

@@ -1,0 +1,128 @@
+"""Incremental delta re-inference must be bit-identical to batch runs.
+
+``encode_result`` interns identity rows by object, so byte equality is a
+strictly stronger check than value equality: it also proves the
+incremental path reproduces the batch run's object-sharing topology.
+"""
+
+import pytest
+
+from repro.core.pipeline import PriorityPipeline
+from repro.engine.incremental import IncrementalInferencer
+from repro.serve.churn import synthesize_churn
+from repro.store import (
+    SnapshotView,
+    decode_measurements,
+    encode_measurements,
+    encode_result,
+)
+from repro.world.entities import DatasetTag
+
+
+@pytest.fixture(scope="module")
+def payloads(ctx):
+    count = len(ctx.world.snapshot_dates)
+    return [
+        encode_measurements(ctx.measurements(DatasetTag.ALEXA, index))
+        for index in range(count)
+    ]
+
+
+def batch_digest(ctx, measurements, jobs=1):
+    pipeline = PriorityPipeline(
+        ctx.world.trust_store, ctx.company_map, psl=ctx.world.psl
+    )
+    return encode_result(pipeline.run(measurements, jobs=jobs))
+
+
+def make_inferencer(ctx):
+    return IncrementalInferencer(
+        ctx.world.trust_store, ctx.company_map, psl=ctx.world.psl
+    )
+
+
+class TestNaturalSequence:
+    def test_bootstrap_matches_batch(self, ctx, payloads):
+        inferencer = make_inferencer(ctx)
+        state, report = inferencer.bootstrap(SnapshotView(payloads[0]))
+        assert report.mode == "bootstrap"
+        assert encode_result(state.result) == batch_digest(
+            ctx, decode_measurements(payloads[0])
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_every_consecutive_ingest_matches_batch(self, ctx, payloads, jobs):
+        inferencer = make_inferencer(ctx)
+        state, _ = inferencer.bootstrap(SnapshotView(payloads[0]), jobs=jobs)
+        for index in range(1, len(payloads)):
+            report = inferencer.ingest(
+                state,
+                SnapshotView(payloads[index]),
+                snapshot_index=index,
+                jobs=jobs,
+            )
+            assert report.mode == "delta"
+            assert encode_result(state.result) == batch_digest(
+                ctx, decode_measurements(payloads[index]), jobs
+            ), f"snapshot {index} diverged (jobs={jobs})"
+
+
+class TestSyntheticChurn:
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("rate", [0.0, 0.05, 0.5])
+    def test_churned_ingest_matches_batch(self, ctx, payloads, rate, jobs):
+        base = decode_measurements(payloads[-1])
+        churned_payload = encode_measurements(
+            synthesize_churn(base, rate, seed=7)
+        )
+        inferencer = make_inferencer(ctx)
+        state, _ = inferencer.bootstrap(
+            SnapshotView(payloads[-1]),
+            snapshot_index=len(payloads) - 1,
+            jobs=jobs,
+        )
+        inferencer.ingest(
+            state,
+            SnapshotView(churned_payload),
+            snapshot_index=len(payloads),
+            jobs=jobs,
+        )
+        assert encode_result(state.result) == batch_digest(
+            ctx, decode_measurements(churned_payload), jobs
+        )
+
+    def test_zero_churn_reinfers_nothing(self, ctx, payloads):
+        inferencer = make_inferencer(ctx)
+        state, _ = inferencer.bootstrap(
+            SnapshotView(payloads[-1]), snapshot_index=len(payloads) - 1
+        )
+        before = dict(state.result.inferences)
+        report = inferencer.ingest(
+            state,
+            SnapshotView(payloads[-1]),
+            snapshot_index=len(payloads),
+        )
+        assert report.reinferred == 0
+        assert report.changed == 0 and report.added == 0 and report.removed == 0
+        # Carried domains must keep their exact inference objects — that
+        # object reuse is what preserves the result codec's row interning.
+        for domain, inference in state.result.inferences.items():
+            assert inference is before[domain]
+
+    def test_report_counts_are_consistent(self, ctx, payloads):
+        base = decode_measurements(payloads[-1])
+        churned = synthesize_churn(base, 0.5, seed=7)
+        inferencer = make_inferencer(ctx)
+        state, _ = inferencer.bootstrap(
+            SnapshotView(payloads[-1]), snapshot_index=len(payloads) - 1
+        )
+        report = inferencer.ingest(
+            state,
+            SnapshotView(encode_measurements(churned)),
+            snapshot_index=len(payloads),
+        )
+        assert report.domains == len(churned)
+        assert report.added == len(set(churned) - set(base))
+        assert report.removed == len(set(base) - set(churned))
+        assert report.reinferred >= report.changed + report.added
+        assert report.keys_identified > 0
