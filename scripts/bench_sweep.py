@@ -36,7 +36,7 @@ from pathlib import Path
 
 from repro.engine import EngineOptions
 from repro.engine.stats import STATS, peak_rss_bytes, reset_stats
-from repro.obs.schemas import BENCH_SCHEMA_VERSION
+from repro.obs.schemas import BENCH_SCHEMA_VERSION, bench_document
 from repro.experiments.common import StudyContext
 from repro.store import ArtifactStore
 from repro.world.build import WorldConfig
@@ -250,18 +250,17 @@ def scaled_smoke(args) -> int:
         f"{allowed:.1f}M -> {verdict}"
     )
     if args.json:
-        document = {
-            "bench": "scaled-smoke",
-            "bench_schema": BENCH_SCHEMA_VERSION,
-            "jobs": args.jobs,
-            "batch_domains": args.smoke_batch,
-            "rss_factor": args.rss_factor,
-            "rss_floor_mb": args.rss_floor_mb,
-            "max_rss_mb": args.max_rss_mb,
-            "allowed_delta_mb": allowed,
-            "rows": children,
-            "failures": failures,
-        }
+        document = bench_document(
+            "scaled-smoke",
+            children,
+            failures=failures,
+            jobs=args.jobs,
+            batch_domains=args.smoke_batch,
+            rss_factor=args.rss_factor,
+            rss_floor_mb=args.rss_floor_mb,
+            max_rss_mb=args.max_rss_mb,
+            allowed_delta_mb=allowed,
+        )
         with open(args.json, "w") as stream:
             json.dump(document, stream, indent=2, sort_keys=True)
             stream.write("\n")
@@ -409,16 +408,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.max_rss_mb:g}"
         )
     if args.json:
-        document = {
-            "bench": "sweep",
-            "bench_schema": BENCH_SCHEMA_VERSION,
-            "corpora": [dataset.value for dataset in CORPORA],
-            "num_snapshots": NUM_SNAPSHOTS,
-            "jobs": args.jobs,
-            "peak_rss_mb": round(peak_mb, 1),
-            "rows": rows,
-            "summaries": summaries,
-        }
+        document = bench_document(
+            "sweep",
+            rows,
+            failures=failures,
+            corpora=[dataset.value for dataset in CORPORA],
+            num_snapshots=NUM_SNAPSHOTS,
+            jobs=args.jobs,
+            peak_rss_mb=round(peak_mb, 1),
+            summaries=summaries,
+        )
         with open(args.json, "w") as stream:
             json.dump(document, stream, indent=2, sort_keys=True)
             stream.write("\n")

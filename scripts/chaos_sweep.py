@@ -40,6 +40,7 @@ from repro.engine.stats import STATS, reset_stats
 from repro.experiments.common import LAST_SNAPSHOT, StudyContext
 from repro.faults import FaultPlan
 from repro.faults.plan import RATE_FIELDS
+from repro.obs.schemas import bench_document
 from repro.store.artifacts import (
     KIND_MEASUREMENTS,
     KIND_PRIORITY,
@@ -263,15 +264,16 @@ def main(argv: list[str] | None = None) -> int:
     table = render_table(rows, baseline)
     print(table)
     failures = check_gates(rows, baseline, args.tolerance)
-    document = {
-        "rates": rates,
-        "fault_seed": args.seed,
-        "snapshot": args.snapshot,
-        "tolerance": args.tolerance,
-        "baseline": baseline,
-        "sweep": rows,
-        "gate_failures": failures,
-    }
+    document = bench_document(
+        "chaos-sweep",
+        rows,
+        failures=failures,
+        rates=rates,
+        fault_seed=args.seed,
+        snapshot=args.snapshot,
+        tolerance=args.tolerance,
+        baseline=baseline,
+    )
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)

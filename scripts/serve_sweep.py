@@ -10,7 +10,12 @@ Three phases, mirroring the daemon's life:
    warm start (spawn → first healthy ping; the daemon must never re-run
    the pipeline), then drive a threaded ``who-has`` load over the unix
    socket and report client-side p50/p99 latency and QPS plus the
-   server's own endpoint histograms.
+   server's own endpoint histograms.  While the load is in flight the
+   sweep scrapes the daemon's ``GET /metrics`` Prometheus endpoint and
+   asserts the sliding-window p99 and block-cache hit rate are live and
+   non-zero (``--scrape-out`` keeps the raw exposition text).  With
+   ``--overhead`` a second daemon runs with ``REPRO_LIVE=off`` and the
+   row gains ``telemetry_overhead`` (relative p99 cost of telemetry).
 3. **Ingest** — in-process: at each churn rate, synthesize a mutated
    snapshot, then time a full batch recompute (decode + cold pipeline)
    against an incremental ingest (delta detection + re-infer changed
@@ -28,8 +33,10 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import http.client
 import json
 import os
+import socket
 import subprocess
 import sys
 import tempfile
@@ -40,7 +47,11 @@ from repro.engine import EngineOptions
 from repro.core.pipeline import PriorityPipeline
 from repro.engine.incremental import IncrementalInferencer
 from repro.experiments.common import StudyContext
-from repro.obs.schemas import BENCH_SCHEMA_VERSION
+from repro.obs.schemas import (
+    BENCH_SCHEMA_VERSION,
+    bench_document,
+    validate_prometheus,
+)
 from repro.serve.churn import synthesize_churn
 from repro.serve.daemon import request_socket
 from repro.store import (
@@ -68,17 +79,66 @@ def seed_store(config: WorldConfig, cache_dir: str, jobs: int) -> tuple[float, l
     return time.perf_counter() - started, ctx.domains(DatasetTag.ALEXA)
 
 
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def scrape_prometheus(host: str, port: int, timeout: float = 5.0) -> str:
+    """One GET /metrics scrape; raises on a non-200 answer."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request("GET", "/metrics")
+        response = connection.getresponse()
+        body = response.read().decode()
+    finally:
+        connection.close()
+    if response.status != 200:
+        raise RuntimeError(f"GET /metrics answered {response.status}")
+    return body
+
+
+def prom_sample(text: str, name: str, fragment: str = "") -> float | None:
+    """The first sample value of *name* whose label set contains *fragment*."""
+    for line in text.splitlines():
+        if not line.startswith(name):
+            continue
+        series, _, value = line.rpartition(" ")
+        if fragment in series:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+_WHOHAS_P99 = 'endpoint="who-has",window="10s",quantile="0.99"'
+
+
 def bench_daemon(
-    args, cache_dir: str, domains: list[str]
-) -> tuple[dict, list[str]]:
-    """Phase 2: warm start + threaded who-has load against a live daemon."""
+    args, cache_dir: str, domains: list[str], *, live: bool = True
+) -> tuple[dict, list[str], str | None]:
+    """Phase 2: warm start + threaded who-has load against a live daemon.
+
+    With ``live=False`` the daemon runs with telemetry disabled
+    (``REPRO_LIVE=off``) — the baseline for the overhead measurement.
+    """
     failures: list[str] = []
-    socket_path = os.path.join(cache_dir, "sweep.sock")
-    env = dict(os.environ, REPRO_CACHE=cache_dir)
+    socket_path = os.path.join(
+        cache_dir, "sweep-live.sock" if live else "sweep-base.sock"
+    )
+    http_port = _free_port()
+    env = dict(
+        os.environ,
+        REPRO_CACHE=cache_dir,
+        REPRO_LIVE="1" if live else "off",
+    )
     env.setdefault("PYTHONPATH", "src")
     command = [
         sys.executable, "-m", "repro", "serve",
-        "--socket", socket_path, "--scale", str(args.scale),
+        "--socket", socket_path, "--http", f"127.0.0.1:{http_port}",
+        "--scale", str(args.scale),
     ]
     started = time.perf_counter()
     daemon = subprocess.Popen(
@@ -126,9 +186,38 @@ def bench_daemon(
         ]
         for thread in threads:
             thread.start()
+        scrape_text = None
+        scraped_in_flight = False
+        if live:
+            # Scrape /metrics WHILE requests are in flight: the sliding
+            # windows must already show a non-zero p99 and hit rate.  Stop
+            # after the first satisfying capture so the scraper does not
+            # keep stealing cycles from the load it is observing.
+            while any(thread.is_alive() for thread in threads):
+                try:
+                    body = scrape_prometheus("127.0.0.1", http_port, timeout=2.0)
+                except (OSError, RuntimeError):
+                    body = None
+                if body is not None:
+                    p99 = prom_sample(
+                        body, "repro_serve_latency_seconds", _WHOHAS_P99
+                    )
+                    hit = prom_sample(body, "repro_serve_block_cache_hit_ratio")
+                    if p99 and hit is not None:
+                        scrape_text = body
+                        scraped_in_flight = True
+                        break
+                time.sleep(0.05)
         for thread in threads:
             thread.join()
         load_seconds = time.perf_counter() - load_started
+        if live and scrape_text is None:
+            # The load outran the scraper; the 10s window still holds the
+            # burst, so a final scrape keeps short CI runs meaningful.
+            try:
+                scrape_text = scrape_prometheus("127.0.0.1", http_port)
+            except (OSError, RuntimeError) as error:
+                failures.append(f"GET /metrics scrape failed: {error}")
 
         server_metrics = request_socket(socket_path, {"op": "metrics"})["result"]
         request_socket(socket_path, {"op": "shutdown"})
@@ -144,7 +233,8 @@ def bench_daemon(
     p99 = latencies[min(total - 1, (99 * total) // 100)]
     row = {
         "bench_schema": BENCH_SCHEMA_VERSION,
-        "phase": "daemon",
+        "phase": "daemon" if live else "daemon-baseline",
+        "telemetry": live,
         "warm_start_s": round(warm_start, 4),
         "clients": args.clients,
         "requests": total,
@@ -155,6 +245,27 @@ def bench_daemon(
         "server_endpoints": server_metrics["endpoints"],
         "block_cache": server_metrics["block_cache"],
     }
+    if live:
+        if scrape_text is not None:
+            errors = validate_prometheus(scrape_text, "/metrics")
+            failures.extend(f"scrape: {error}" for error in errors)
+            scrape_p99 = prom_sample(
+                scrape_text, "repro_serve_latency_seconds", _WHOHAS_P99
+            )
+            scrape_hit = prom_sample(
+                scrape_text, "repro_serve_block_cache_hit_ratio"
+            )
+            if not scrape_p99:
+                failures.append(
+                    "scrape: sliding-window who-has p99 is zero/absent"
+                )
+            if scrape_hit is None:
+                failures.append("scrape: block cache hit ratio absent")
+            row["scrape_p99_ms"] = round(1e3 * (scrape_p99 or 0.0), 3)
+            row["scrape_cache_hit_ratio"] = (
+                round(scrape_hit, 4) if scrape_hit is not None else None
+            )
+            row["scrape_in_flight"] = scraped_in_flight
     if warm_start > args.max_warm_start_s:
         failures.append(
             f"warm start {warm_start:.2f}s exceeds "
@@ -166,11 +277,18 @@ def bench_daemon(
             f"--max-p99-ms {args.max_p99_ms:g}"
         )
     print(
-        f"daemon: warm start {warm_start:.2f}s; {total} lookups x "
+        f"daemon{'' if live else ' (telemetry off)'}: warm start "
+        f"{warm_start:.2f}s; {total} lookups x "
         f"{args.clients} clients -> {row['qps']:.0f} qps, "
         f"p50 {row['p50_ms']:.1f}ms, p99 {row['p99_ms']:.1f}ms"
     )
-    return row, failures
+    if live and scrape_text is not None:
+        print(
+            f"scrape: /metrics p99(10s) {row.get('scrape_p99_ms', 0):.1f}ms, "
+            f"cache hit {row.get('scrape_cache_hit_ratio')}, "
+            f"in-flight={scraped_in_flight}"
+        )
+    return row, failures, scrape_text
 
 
 def bench_ingest(args, config: WorldConfig, cache_dir: str) -> tuple[list[dict], list[str]]:
@@ -277,6 +395,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-warm-start-s", type=float, default=10.0)
     parser.add_argument("--max-p99-ms", type=float, default=100.0)
     parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--overhead", action="store_true",
+                        help="also run a REPRO_LIVE=off baseline daemon and "
+                             "report telemetry_overhead on the daemon row")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail when telemetry_overhead exceeds this "
+                             "fraction (e.g. 0.05); needs --overhead")
+    parser.add_argument("--scrape-out", metavar="PATH", default=None,
+                        help="write the captured /metrics exposition here")
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a seeded store instead of a temp dir")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -298,23 +424,74 @@ def main(argv: list[str] | None = None) -> int:
             "alexa_domains": len(domains),
         })
 
-        daemon_row, daemon_failures = bench_daemon(args, cache_dir, domains)
-        rows.append(daemon_row)
+        daemon_row, daemon_failures, scrape_text = bench_daemon(
+            args, cache_dir, domains
+        )
         failures.extend(daemon_failures)
+        if args.scrape_out and scrape_text is not None:
+            with open(args.scrape_out, "w") as stream:
+                stream.write(scrape_text)
+            print(f"wrote {args.scrape_out}")
+
+        if args.overhead:
+            # The per-request cost of telemetry, not the cost of load: at
+            # the concurrent benchmark's saturation point a few µs of
+            # extra CPU per request balloons the queue tail, so the
+            # overhead probes run a SINGLE sequential client, and both
+            # sides take the best p99 of --repeat runs (tails of short
+            # socket loads are scheduling-noise dominated).
+            probe_args = argparse.Namespace(**{
+                **vars(args),
+                "clients": 1,
+                "requests": min(args.clients * args.requests, 1000),
+            })
+            live_p99 = None
+            for _ in range(args.repeat):
+                probe_row, _probe_failures, _ = bench_daemon(
+                    probe_args, cache_dir, domains
+                )
+                if live_p99 is None or probe_row["p99_ms"] < live_p99:
+                    live_p99 = probe_row["p99_ms"]
+            base_row = None
+            for _ in range(args.repeat):
+                candidate, _base_failures, _ = bench_daemon(
+                    probe_args, cache_dir, domains, live=False
+                )
+                if base_row is None or candidate["p99_ms"] < base_row["p99_ms"]:
+                    base_row = candidate
+            overhead = (
+                live_p99 / base_row["p99_ms"] - 1 if base_row["p99_ms"] else 0.0
+            )
+            daemon_row["baseline_p99_ms"] = base_row["p99_ms"]
+            daemon_row["telemetry_overhead"] = round(overhead, 4)
+            print(
+                f"telemetry overhead on p99 (best of {args.repeat}): "
+                f"{overhead:+.1%}"
+            )
+            if args.max_overhead is not None and overhead > args.max_overhead:
+                failures.append(
+                    f"telemetry overhead {overhead:.1%} exceeds "
+                    f"--max-overhead {args.max_overhead:.1%}"
+                )
+            rows.append(base_row)
+        rows.append(daemon_row)
 
         ingest_rows, ingest_failures = bench_ingest(args, config, cache_dir)
         rows.extend(ingest_rows)
         failures.extend(ingest_failures)
 
     if args.json:
-        document = {
-            "bench": "serve-sweep",
-            "bench_schema": BENCH_SCHEMA_VERSION,
-            "scale": args.scale,
-            "jobs": args.jobs,
-            "rows": rows,
-            "failures": failures,
-        }
+        document = bench_document(
+            "serve-sweep",
+            rows,
+            failures=failures,
+            scale=args.scale,
+            jobs=args.jobs,
+            seed=args.seed,
+            clients=args.clients,
+            requests=args.requests,
+            churn=args.churn,
+        )
         with open(args.json, "w") as stream:
             json.dump(document, stream, indent=2, sort_keys=True)
             stream.write("\n")

@@ -12,6 +12,9 @@ Usage::
     PYTHONPATH=src python scripts/validate_obs.py \\
         --trace trace.json --metrics metrics.json --manifest manifest.json \\
         --expect-cats run,experiment,snapshot,gather,shard
+    PYTHONPATH=src python scripts/validate_obs.py \\
+        --bench serve-sweep.json --bench-history BENCH_history.jsonl \\
+        --prom metrics.prom
 """
 
 from __future__ import annotations
@@ -42,7 +45,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--bench", metavar="PATH", action="append", default=[],
-        help="bench JSON document (bench_sweep/serve_sweep --json output); "
+        help="bench JSON document (bench_sweep/serve_sweep/chaos_sweep "
+             "--json output); repeatable",
+    )
+    parser.add_argument(
+        "--bench-history", metavar="PATH", default=None,
+        help="BENCH_history.jsonl perf timeline (one history event per line)",
+    )
+    parser.add_argument(
+        "--prom", metavar="PATH", action="append", default=[],
+        help="Prometheus text exposition (a saved GET /metrics scrape); "
              "repeatable",
     )
     parser.add_argument(
@@ -56,9 +68,13 @@ def main(argv: list[str] | None = None) -> int:
              "sample (nonzero peak_rss_bytes)",
     )
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.manifest or args.journal or args.bench):
+    if not (
+        args.trace or args.metrics or args.manifest or args.journal
+        or args.bench or args.bench_history or args.prom
+    ):
         parser.error(
-            "nothing to validate; pass --trace/--metrics/--manifest/--journal/--bench"
+            "nothing to validate; pass --trace/--metrics/--manifest/"
+            "--journal/--bench/--bench-history/--prom"
         )
 
     ok = True
@@ -117,6 +133,17 @@ def main(argv: list[str] | None = None) -> int:
                     f"{schemas.BENCH_SCHEMA_VERSION}"
                 ]
         ok &= check(f"bench:{bench_path}", errors)
+    if args.bench_history:
+        ok &= check(
+            "bench-history",
+            schemas.validate_jsonl_file(
+                args.bench_history, schemas.HISTORY_EVENT_SCHEMA
+            ),
+        )
+    for prom_path in args.prom:
+        ok &= check(
+            f"prom:{prom_path}", schemas.validate_prometheus_file(prom_path)
+        )
     return 0 if ok else 1
 
 

@@ -458,6 +458,16 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.cli import main as serve_main
 
         return serve_main(raw[1:])
+    if raw and raw[0] == "top":
+        # `repro top` is sugar for `repro serve top` — the live view.
+        from .serve.cli import main as serve_main
+
+        return serve_main(raw)
+    if raw and raw[0] == "obs":
+        # Observability tooling: `repro obs report` / `repro obs timeline`.
+        from .obs.cli import main as obs_main
+
+        return obs_main(raw[1:])
     parser = build_parser()
     args = parser.parse_args(raw)
     if args.argument is not None and args.experiment not in (

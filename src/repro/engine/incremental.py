@@ -64,6 +64,7 @@ from ..core.pipeline import PipelineConfig, PipelineResult
 from ..core.types import DomainInference, EvidenceSource, MXIdentity
 from ..dnscore.psl import PublicSuffixList, default_psl
 from ..measure.dataset import DomainMeasurement
+from ..obs import trace as obs_trace
 from ..store.delta import SnapshotView
 from ..tls.ca import TrustStore
 from .identcache import MXIdentityCache, evidence_key
@@ -188,7 +189,10 @@ class IncrementalInferencer:
         result — plus the per-domain/per-key records later deltas need.
         """
         started = time.perf_counter()
-        with STATS.timer("incremental.bootstrap"):
+        with STATS.timer("incremental.bootstrap"), obs_trace.span(
+            "incremental.bootstrap", cat="ingest", snapshot=snapshot_index,
+            domains=len(view),
+        ):
             measurements = view.materialize()
             signatures = view.signatures()
             certificates = view.certificates()
@@ -297,7 +301,10 @@ class IncrementalInferencer:
         the same bytes a cold batch run over *view* would produce.
         """
         started = time.perf_counter()
-        with STATS.timer("incremental.ingest"):
+        with STATS.timer("incremental.ingest"), obs_trace.span(
+            "incremental.ingest", cat="ingest", snapshot=snapshot_index,
+            domains=len(view),
+        ):
             report = self._ingest(state, view, snapshot_index, jobs)
         report.seconds = time.perf_counter() - started
         return report
@@ -353,18 +360,19 @@ class IncrementalInferencer:
         snapshot_index: int | None,
         jobs: int | None,
     ) -> IngestReport:
-        signatures = view.signatures()
         previous = state.domains
 
-        changed: set[str] = set()
-        added: list[str] = []
-        for domain, signature in signatures.items():
-            record = previous.get(domain)
-            if record is None:
-                added.append(domain)
-            elif record.signature != signature:
-                changed.add(domain)
-        removed = [domain for domain in previous if domain not in signatures]
+        with obs_trace.span("incremental.diff", cat="ingest"):
+            signatures = view.signatures()
+            changed = set()
+            added: list[str] = []
+            for domain, signature in signatures.items():
+                record = previous.get(domain)
+                if record is None:
+                    added.append(domain)
+                elif record.signature != signature:
+                    changed.add(domain)
+            removed = [domain for domain in previous if domain not in signatures]
         removed_set = set(removed)
         plain_changed = len(changed)
 
@@ -509,33 +517,36 @@ class IncrementalInferencer:
         new_domains: dict[str, DomainRecord] = {}
         inferences: dict[str, DomainInference] = {}
         mx_identities: dict[str, MXIdentity] = {}
-        for domain in view.domains:
-            if domain not in work:
-                record = previous[domain]
-            else:
-                old = previous.get(domain)
-                if old is not None:
-                    examined_total -= old.examined
-                    corrected_total -= old.corrected
-                record = self._reinfer(
-                    domain,
-                    measurements[domain],
-                    signatures[domain],
-                    state.keys,
-                    checker,
-                    counters,
-                    domain_identifier,
-                )
-                examined_total += record.examined
-                corrected_total += record.corrected
-                for key in record.run_keys:
-                    state.keys[key].domains.add(domain)
-                for fingerprint in record.counted_certs:
-                    state.cert_domains.setdefault(fingerprint, set()).add(domain)
-            new_domains[domain] = record
-            inferences[domain] = record.inference
-            for name, identity in zip(record.mx_names, record.checked):
-                mx_identities[name] = identity
+        with obs_trace.span("incremental.reinfer", cat="ingest", dirty=len(work)):
+            for domain in view.domains:
+                if domain not in work:
+                    record = previous[domain]
+                else:
+                    old = previous.get(domain)
+                    if old is not None:
+                        examined_total -= old.examined
+                        corrected_total -= old.corrected
+                    record = self._reinfer(
+                        domain,
+                        measurements[domain],
+                        signatures[domain],
+                        state.keys,
+                        checker,
+                        counters,
+                        domain_identifier,
+                    )
+                    examined_total += record.examined
+                    corrected_total += record.corrected
+                    for key in record.run_keys:
+                        state.keys[key].domains.add(domain)
+                    for fingerprint in record.counted_certs:
+                        state.cert_domains.setdefault(fingerprint, set()).add(
+                            domain
+                        )
+                new_domains[domain] = record
+                inferences[domain] = record.inference
+                for name, identity in zip(record.mx_names, record.checked):
+                    mx_identities[name] = identity
 
         for key in [k for k, rec in state.keys.items() if not rec.domains]:
             del state.keys[key]

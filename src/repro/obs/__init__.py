@@ -20,26 +20,39 @@ modules defer their ``repro`` imports into function bodies for the same
 reason.
 """
 
-from . import log, manifest, metrics, provenance, schemas, trace
+from . import live, log, manifest, metrics, provenance, schemas, sketch, slo
+from . import timeline, trace
+from .live import LiveTelemetry
 from .log import configure as configure_logging
 from .log import get_logger
 from .metrics import collect as collect_metrics
 from .metrics import write_metrics
 from .provenance import explain, render_explanation
+from .sketch import LogHistogram, WindowedRecorder
+from .slo import SLOSet, parse_slo
 from .trace import span
 
 __all__ = [
+    "LiveTelemetry",
+    "LogHistogram",
+    "SLOSet",
+    "WindowedRecorder",
     "collect_metrics",
     "configure_logging",
     "explain",
     "get_logger",
+    "live",
     "log",
     "manifest",
     "metrics",
+    "parse_slo",
     "provenance",
     "render_explanation",
     "schemas",
+    "sketch",
+    "slo",
     "span",
+    "timeline",
     "trace",
     "write_metrics",
 ]

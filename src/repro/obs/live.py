@@ -1,0 +1,448 @@
+"""Always-on runtime telemetry for the serve daemon (`repro.obs.live`).
+
+Three concerns, one object (:class:`LiveTelemetry`):
+
+* **Request-scoped tracing.**  Every RPC runs under a trace id — taken
+  from the client's ``trace`` field or minted server-side — and a root
+  span tagged with that id on a bounded ring :class:`~repro.obs.trace.Tracer`
+  (installed process-wide, so engine/store spans from the same request
+  nest inside it by containment).  ``trace_tree()`` replays one
+  request's span tree; the optional JSONL stream records every span for
+  post-mortems beyond the ring horizon.
+* **Streaming aggregation.**  Per-endpoint :class:`~repro.obs.sketch.WindowedRecorder`
+  instances feed sliding 1s/10s/60s windows of p50/p95/p99 latency, qps,
+  and error rate; gauges add block-cache hit rate, ingest lag, and RSS.
+  Everything is mergeable integer sketches — no shutdown-only state.
+* **SLO evaluation.**  An optional :class:`~repro.obs.slo.SLOSet`
+  computes burn-rate gauges over the 60s window and a ``degraded`` flag
+  surfaced in ``status()`` and ``/metrics``.
+
+The module is import-light (stdlib + sibling obs modules); anything that
+needs the engine's stats registry defers the import into the function.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from . import trace as obs_trace
+from .sketch import (
+    WINDOW_SPANS,
+    LogHistogram,
+    WindowedRecorder,
+    render_prometheus_histograms,
+)
+from .slo import EVALUATION_SPAN, SLOSet
+
+LIVE_ENV = "REPRO_LIVE"
+LIVE_SCHEMA_VERSION = 1
+
+#: Default bound on the span ring (events, not requests).
+DEFAULT_RING = 4096
+
+_SEQUENCE = itertools.count(1)
+_CONTEXT = threading.local()
+
+
+def live_enabled() -> bool:
+    """False only when ``REPRO_LIVE`` explicitly disables telemetry."""
+    raw = os.environ.get(LIVE_ENV, "")
+    return raw.strip().lower() not in {"0", "off", "no", "none", "false"}
+
+
+def mint_trace_id() -> str:
+    """A process-unique trace id (pid + monotonic sequence)."""
+    return f"t{os.getpid():x}-{next(_SEQUENCE):06x}"
+
+
+def normalize_trace_id(raw) -> str | None:
+    """A client-supplied trace id, sanitized, or None when unusable."""
+    if not isinstance(raw, str):
+        return None
+    cleaned = raw.strip()
+    if not cleaned or len(cleaned) > 128:
+        return None
+    return cleaned
+
+
+def current_trace_id() -> str | None:
+    """The trace id of the request this thread is serving, if any."""
+    return getattr(_CONTEXT, "trace_id", None)
+
+
+@contextmanager
+def trace_context(trace_id: str):
+    """Bind *trace_id* to this thread for the duration of one request.
+
+    The transport layer (daemon dispatch) establishes the id here; the
+    service's per-endpoint root span picks it up via
+    :func:`current_trace_id`.
+    """
+    previous = getattr(_CONTEXT, "trace_id", None)
+    _CONTEXT.trace_id = trace_id
+    try:
+        yield trace_id
+    finally:
+        _CONTEXT.trace_id = previous
+
+
+class _RequestSpan:
+    """Context manager: trace context + the root 'rpc' span of a request."""
+
+    __slots__ = ("_telemetry", "_endpoint", "trace_id", "_span", "_previous")
+
+    def __init__(self, telemetry: "LiveTelemetry", endpoint: str, trace_id: str):
+        self._telemetry = telemetry
+        self._endpoint = endpoint
+        self.trace_id = trace_id
+
+    def __enter__(self) -> "_RequestSpan":
+        self._previous = getattr(_CONTEXT, "trace_id", None)
+        _CONTEXT.trace_id = self.trace_id
+        self._span = self._telemetry.tracer.span(
+            self._endpoint, cat="rpc", trace=self.trace_id
+        )
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.__exit__(exc_type, exc, tb)
+        _CONTEXT.trace_id = self._previous
+
+
+class LiveTelemetry:
+    """The daemon's live metrics registry + span ring."""
+
+    def __init__(
+        self,
+        *,
+        ring: int = DEFAULT_RING,
+        jsonl_path: str | None = None,
+        slo: SLOSet | None = None,
+    ) -> None:
+        self.started = time.monotonic()
+        self.slo = slo if slo is not None else SLOSet()
+        self.tracer = obs_trace.Tracer(
+            jsonl_path, max_events=ring, stream_mode="a"
+        )
+        self._recorders: dict[str, WindowedRecorder] = {}
+        self._lock = threading.Lock()
+        self._last_ingest: dict | None = None
+
+    # -- recording -------------------------------------------------------
+
+    def request_span(self, endpoint: str, trace_id: str | None = None) -> _RequestSpan:
+        """The root span bracketing one RPC (mints an id when absent)."""
+        return _RequestSpan(self, endpoint, trace_id or mint_trace_id())
+
+    def recorder(self, endpoint: str) -> WindowedRecorder:
+        with self._lock:
+            recorder = self._recorders.get(endpoint)
+            if recorder is None:
+                recorder = self._recorders[endpoint] = WindowedRecorder()
+            return recorder
+
+    def observe(self, endpoint: str, seconds: float, *, error: bool = False) -> None:
+        self.recorder(endpoint).observe(seconds, error=error)
+
+    def note_ingest(self, snapshot_index: int, seconds: float) -> None:
+        """Record a completed ingest (feeds the ingest-lag gauge)."""
+        self._last_ingest = {
+            "snapshot": snapshot_index,
+            "seconds": round(seconds, 4),
+            "at": time.monotonic(),
+        }
+
+    # -- gauges ----------------------------------------------------------
+
+    def gauges(self) -> dict:
+        from ..engine.stats import STATS, current_rss_bytes
+
+        hits = STATS.counters.get("serve.block.hit", 0)
+        misses = STATS.counters.get("serve.block.miss", 0)
+        total = hits + misses
+        lag = None
+        last = self._last_ingest
+        if last is not None:
+            lag = round(time.monotonic() - last["at"], 3)
+        return {
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "rss_bytes": current_rss_bytes() or 0,
+            "cache_hit_rate": round(hits / total, 6) if total else None,
+            "ingest_lag_s": lag,
+            "last_ingest": dict(last, at=None) if last is not None else None,
+        }
+
+    # -- readout ---------------------------------------------------------
+
+    def slo_report(self) -> dict | None:
+        """The SLO evaluation over the 60s window, or None when unset.
+
+        Evaluated against the busiest endpoint window (max requests):
+        objectives describe the user-facing lookup path, and the busiest
+        endpoint is the one carrying the traffic the SLO is about.
+        """
+        if not self.slo:
+            return None
+        with self._lock:
+            recorders = dict(self._recorders)
+        busiest = None
+        for endpoint, recorder in sorted(recorders.items()):
+            stats = recorder.window(EVALUATION_SPAN)
+            if busiest is None or stats.requests > busiest[1].requests:
+                busiest = (endpoint, stats)
+        if busiest is None:
+            return {"spec": self.slo.spec(), "endpoint": None, "degraded": False,
+                    "objectives": []}
+        report = self.slo.evaluate(busiest[1])
+        return {"spec": self.slo.spec(), "endpoint": busiest[0], **report}
+
+    def degraded(self) -> bool:
+        report = self.slo_report()
+        return bool(report and report["degraded"])
+
+    def snapshot(self) -> dict:
+        """The live JSON document (the ``metrics`` RPC's ``live`` section)."""
+        with self._lock:
+            recorders = dict(self._recorders)
+        now = time.monotonic()
+        endpoints = {}
+        for endpoint in sorted(recorders):
+            recorder = recorders[endpoint]
+            endpoints[endpoint] = {
+                "windows": recorder.windows(now=now),
+                "total_requests": recorder.total_requests,
+                "total_errors": recorder.total_errors,
+                "lifetime_p99_ms": round(1e3 * recorder.lifetime.quantile(0.99), 4),
+            }
+        return {
+            "schema": LIVE_SCHEMA_VERSION,
+            "endpoints": endpoints,
+            "gauges": self.gauges(),
+            "slo": self.slo_report(),
+            "trace_ring_events": len(self.tracer.events()),
+        }
+
+    def render_prometheus(self) -> str:
+        """The live Prometheus exposition behind ``GET /metrics``."""
+        with self._lock:
+            recorders = dict(self._recorders)
+        now = time.monotonic()
+        gauges = self.gauges()
+        lines = [
+            "# HELP repro_serve_uptime_seconds Daemon uptime.",
+            "# TYPE repro_serve_uptime_seconds gauge",
+            f"repro_serve_uptime_seconds {gauges['uptime_s']:.3f}",
+            "# HELP repro_serve_rss_bytes Current resident set size.",
+            "# TYPE repro_serve_rss_bytes gauge",
+            f"repro_serve_rss_bytes {gauges['rss_bytes']}",
+        ]
+        if gauges["cache_hit_rate"] is not None:
+            lines += [
+                "# HELP repro_serve_block_cache_hit_ratio Decoded-block LRU hit rate.",
+                "# TYPE repro_serve_block_cache_hit_ratio gauge",
+                f"repro_serve_block_cache_hit_ratio {gauges['cache_hit_rate']:.6f}",
+            ]
+        if gauges["ingest_lag_s"] is not None:
+            lines += [
+                "# HELP repro_serve_ingest_lag_seconds Time since the last ingest.",
+                "# TYPE repro_serve_ingest_lag_seconds gauge",
+                f"repro_serve_ingest_lag_seconds {gauges['ingest_lag_s']:.3f}",
+            ]
+        lines += [
+            "# HELP repro_serve_requests_total Requests served, by endpoint.",
+            "# TYPE repro_serve_requests_total counter",
+        ]
+        for endpoint in sorted(recorders):
+            lines.append(
+                f'repro_serve_requests_total{{endpoint="{endpoint}"}} '
+                f"{recorders[endpoint].total_requests}"
+            )
+        lines += [
+            "# HELP repro_serve_errors_total Failed requests, by endpoint.",
+            "# TYPE repro_serve_errors_total counter",
+        ]
+        for endpoint in sorted(recorders):
+            lines.append(
+                f'repro_serve_errors_total{{endpoint="{endpoint}"}} '
+                f"{recorders[endpoint].total_errors}"
+            )
+        lines += [
+            "# HELP repro_serve_latency_seconds Sliding-window latency quantiles.",
+            "# TYPE repro_serve_latency_seconds gauge",
+            "# HELP repro_serve_qps Sliding-window request rate.",
+            "# TYPE repro_serve_qps gauge",
+            "# HELP repro_serve_error_rate Sliding-window error rate.",
+            "# TYPE repro_serve_error_rate gauge",
+        ]
+        quantile_lines: list[str] = []
+        rate_lines: list[str] = []
+        error_lines: list[str] = []
+        for endpoint in sorted(recorders):
+            recorder = recorders[endpoint]
+            for span in WINDOW_SPANS:
+                stats = recorder.window(span, now=now)
+                for quantile, value in (
+                    ("0.5", stats.p50), ("0.95", stats.p95), ("0.99", stats.p99)
+                ):
+                    quantile_lines.append(
+                        f'repro_serve_latency_seconds{{endpoint="{endpoint}",'
+                        f'window="{span}s",quantile="{quantile}"}} {value:.9f}'
+                    )
+                rate_lines.append(
+                    f'repro_serve_qps{{endpoint="{endpoint}",window="{span}s"}} '
+                    f"{stats.qps:.3f}"
+                )
+                error_lines.append(
+                    f'repro_serve_error_rate{{endpoint="{endpoint}",'
+                    f'window="{span}s"}} {stats.error_rate:.6f}'
+                )
+        lines += quantile_lines + rate_lines + error_lines
+        report = self.slo_report()
+        if report is not None:
+            lines += [
+                "# HELP repro_serve_slo_burn_rate Observed/objective per SLO.",
+                "# TYPE repro_serve_slo_burn_rate gauge",
+            ]
+            for entry in report["objectives"]:
+                lines.append(
+                    f'repro_serve_slo_burn_rate{{objective="{entry["name"]}"}} '
+                    f"{entry['burn_rate']:.4f}"
+                )
+            lines += [
+                "# HELP repro_serve_degraded 1 when any SLO burn rate exceeds 1.",
+                "# TYPE repro_serve_degraded gauge",
+                f"repro_serve_degraded {1 if report['degraded'] else 0}",
+            ]
+        histograms = {
+            endpoint: recorders[endpoint].lifetime for endpoint in sorted(recorders)
+        }
+        exposition = "\n".join(lines) + "\n"
+        if histograms:
+            exposition += render_prometheus_histograms(
+                "repro_serve_latency_histogram_seconds", histograms
+            )
+        return exposition
+
+    # -- trace replay ----------------------------------------------------
+
+    def trace_tree(self, trace_id: str) -> dict | None:
+        """The span tree of one traced request, or None when unknown.
+
+        Roots are the ring's ``rpc`` spans tagged with *trace_id*; child
+        spans nest by interval containment on the same (pid, tid) track —
+        the same model Chrome tracing uses — so engine/store spans that
+        ran inside the request appear under it without explicit parent
+        ids on the hot path.
+        """
+        events = self.tracer.events()
+        roots = [
+            event for event in events
+            if event.get("ph") == "X"
+            and event.get("args", {}).get("trace") == trace_id
+        ]
+        if not roots:
+            return None
+        spans = []
+        for root in roots:
+            spans.append(_containment_tree(root, events))
+        return {
+            "schema": LIVE_SCHEMA_VERSION,
+            "trace": trace_id,
+            "spans": spans,
+        }
+
+
+def _containment_tree(root: dict, events: list[dict]) -> dict:
+    """Nest the events contained in *root*'s interval under it."""
+    begin = root["ts"]
+    end = root["ts"] + root.get("dur", 0.0)
+    inside = [
+        event for event in events
+        if event is not root
+        and event.get("ph") == "X"
+        and event.get("pid") == root.get("pid")
+        and event.get("tid") == root.get("tid")
+        and event["ts"] >= begin
+        and event["ts"] + event.get("dur", 0.0) <= end
+    ]
+    inside.sort(key=lambda event: (event["ts"], -event.get("dur", 0.0)))
+    node = _span_node(root)
+    stack = [(root, node)]
+    for event in inside:
+        while stack and not _contains(stack[-1][0], event):
+            stack.pop()
+        child = _span_node(event)
+        (stack[-1][1] if stack else node)["children"].append(child)
+        stack.append((event, child))
+    return node
+
+
+def _contains(outer: dict, inner: dict) -> bool:
+    return (
+        inner["ts"] >= outer["ts"]
+        and inner["ts"] + inner.get("dur", 0.0)
+        <= outer["ts"] + outer.get("dur", 0.0)
+    )
+
+
+def _span_node(event: dict) -> dict:
+    args = {
+        key: value
+        for key, value in event.get("args", {}).items()
+        if key != "trace"
+    }
+    return {
+        "name": event["name"],
+        "cat": event.get("cat"),
+        "ms": round(event.get("dur", 0.0) / 1e3, 4),
+        "args": args,
+        "children": [],
+    }
+
+
+def render_trace_tree(tree: dict) -> str:
+    """A human-readable indented rendering of :meth:`trace_tree` output."""
+    lines = [f"trace {tree['trace']}"]
+
+    def walk(node: dict, depth: int) -> None:
+        detail = ""
+        if node["args"]:
+            pairs = ", ".join(
+                f"{key}={value}" for key, value in sorted(node["args"].items())
+            )
+            detail = f"  [{pairs}]"
+        lines.append(
+            f"{'  ' * depth}{node['name']} ({node['cat']})"
+            f" {node['ms']:.3f}ms{detail}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for span in tree["spans"]:
+        walk(span, 1)
+    return "\n".join(lines)
+
+
+# -- atomic snapshot flushing --------------------------------------------
+
+
+def write_json_atomic(path: str | os.PathLike, document: dict) -> None:
+    """Write a JSON document via tmp+rename, durable against SIGKILL.
+
+    A reader never sees a torn file: either the previous snapshot or the
+    new one, nothing in between.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)

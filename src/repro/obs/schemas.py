@@ -14,6 +14,7 @@ documents do not need more.
 from __future__ import annotations
 
 import json
+import re
 
 _TYPES = {
     "object": dict,
@@ -89,6 +90,20 @@ SERVE_SECTION_SCHEMA = {
             },
         },
         "ingests": {"type": "array"},
+        # Present when live telemetry is on (the default): sliding-window
+        # quantiles/qps/error rates, gauges, and the SLO report.
+        "live": {
+            "type": "object",
+            "required": ["schema", "endpoints", "gauges"],
+            "properties": {
+                "schema": {"type": "integer"},
+                "endpoints": {"type": "object"},
+                "gauges": {"type": "object"},
+                "slo": {},
+                "trace_ring_events": {"type": "integer"},
+            },
+        },
+        "degraded": {"type": "boolean"},
     },
 }
 
@@ -110,14 +125,19 @@ METRICS_SCHEMA = {
 # v3: every bench JSON document and each of its rows carries a
 # ``bench_schema`` stamp, so trajectory tooling can reject mixed-version
 # row sets instead of misreading renamed fields.
-BENCH_SCHEMA_VERSION = 3
+# v4: one unified document shape for every sweep script — run-wide knobs
+# live under a required ``context`` object and ``failures`` is always
+# present — built by :func:`bench_document` so no script hand-rolls the
+# envelope (the ad-hoc per-script shapes of v3 are gone).
+BENCH_SCHEMA_VERSION = 4
 
 BENCH_SCHEMA = {
     "type": "object",
-    "required": ["bench", "bench_schema", "rows"],
+    "required": ["bench", "bench_schema", "context", "rows", "failures"],
     "properties": {
         "bench": {"type": "string"},
         "bench_schema": {"type": "integer"},
+        "context": {"type": "object"},
         "rows": {
             "type": "array",
             "items": {
@@ -127,6 +147,49 @@ BENCH_SCHEMA = {
             },
         },
         "failures": {"type": "array"},
+    },
+}
+
+
+def bench_document(
+    bench: str,
+    rows: list,
+    *,
+    failures: list | None = None,
+    **context,
+) -> dict:
+    """The unified bench envelope every sweep script writes.
+
+    Rows get their ``bench_schema`` stamp here (existing stamps are
+    preserved so callers can't desynchronize a row from its document),
+    and run-wide knobs (scale, jobs, gates, ...) land under ``context``.
+    """
+    return {
+        "bench": bench,
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "context": {
+            key: value for key, value in sorted(context.items())
+        },
+        "rows": [
+            {"bench_schema": BENCH_SCHEMA_VERSION, **row} for row in rows
+        ],
+        "failures": list(failures or []),
+    }
+
+
+# One line of BENCH_history.jsonl (the cross-run perf timeline): the
+# distilled metrics of one recorded sweep run.
+HISTORY_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["history_schema", "bench", "run", "recorded", "metrics"],
+    "properties": {
+        "history_schema": {"type": "integer"},
+        "bench": {"type": "string"},
+        "bench_schema": {"type": "integer"},
+        "run": {"type": "string"},
+        "source": {},  # a path string, or null for hand-seeded entries
+        "recorded": {"type": "number"},
+        "metrics": {"type": "object"},
     },
 }
 
@@ -307,6 +370,67 @@ def validate_file(path: str, schema: dict) -> list[str]:
     except (OSError, ValueError) as error:
         return [f"{path}: unreadable ({error})"]
     return validate(instance, schema, path="$")
+
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_SAMPLE = re.compile(
+    rf"^({_PROM_NAME})(\{{[^{{}}]*\}})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]?Inf|NaN)$"
+)
+_PROM_LABELS = re.compile(
+    rf'^{_PROM_NAME}="(?:[^"\\]|\\.)*"(?:,{_PROM_NAME}="(?:[^"\\]|\\.)*")*,?$'
+)
+
+
+def validate_prometheus(text: str, path: str = "<prom>") -> list[str]:
+    """Errors of a Prometheus text exposition (empty list = valid).
+
+    Checks the subset a scrape endpoint must get right: sample lines
+    parse (name, optional label set, float value), label sets are
+    well-formed, every ``# TYPE`` names a metric family that then
+    appears, and no family is re-declared.
+    """
+    errors: list[str] = []
+    declared: set[str] = set()
+    sampled: set[str] = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                family = parts[2]
+                if family in declared:
+                    errors.append(f"{path}:{number}: duplicate TYPE for {family}")
+                declared.add(family)
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"{path}:{number}: unknown comment {parts[1]!r}")
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if match is None:
+            errors.append(f"{path}:{number}: unparseable sample {line!r}")
+            continue
+        name, labels = match.group(1), match.group(2)
+        if labels and not _PROM_LABELS.match(labels[1:-1]):
+            errors.append(f"{path}:{number}: malformed labels {labels!r}")
+        sampled.add(name)
+    for family in sorted(declared):
+        # Histogram/summary families sample under _bucket/_sum/_count.
+        if family in sampled or any(
+            f"{family}{suffix}" in sampled
+            for suffix in ("_bucket", "_sum", "_count")
+        ):
+            continue
+        errors.append(f"{path}: TYPE declared but never sampled: {family}")
+    return errors
+
+
+def validate_prometheus_file(path: str) -> list[str]:
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        return [f"{path}: unreadable ({error})"]
+    return validate_prometheus(text, path=path)
 
 
 def validate_jsonl_file(path: str, schema: dict) -> list[str]:

@@ -1,0 +1,309 @@
+"""Mergeable streaming quantile sketches for live telemetry.
+
+:class:`LogHistogram` is a fixed-bucket log-spaced histogram: bucket ``i``
+covers ``(base * g**(i-1), base * g**i]`` with growth factor
+``g = 2**(1/buckets_per_octave)``, so a quantile readout (the upper bound
+of the bucket holding the target rank) over-reports the true quantile by
+at most one bucket width — a bounded, *relative* error that holds after
+any number of merges.
+
+Design constraints, in priority order:
+
+* **Deterministic merge.**  A sketch is integer bucket counts plus an
+  integer nanosecond total; merging is element-wise addition, which is
+  exactly associative and commutative.  Per-worker sketches merged in
+  any shard order therefore render byte-identical Prometheus output —
+  no float accumulation order can leak into the exposition.
+* **Fixed memory.**  128 buckets at 4/octave span 1 µs to ~64 min; one
+  sketch is a few hundred bytes regardless of observation count.
+* **Stdlib-only.**  Like :mod:`repro.obs.trace`, the lowest layers must
+  be able to import this without cycles.
+
+:class:`WindowedRecorder` bins observations into per-second slots (each
+slot one LogHistogram plus request/error counters) and answers sliding
+1s/10s/60s window queries by merging the covered slots — the daemon's
+live p50/p95/p99, qps, and error-rate views.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+SKETCH_SCHEMA_VERSION = 1
+
+#: Smallest resolvable latency: anything at or below lands in bucket 0.
+DEFAULT_BASE = 1e-6  # 1 µs
+#: Buckets per factor-of-two; growth = 2**(1/4) ≈ 1.19 → ≤19% quantile error.
+DEFAULT_PER_OCTAVE = 4
+DEFAULT_BUCKETS = 128  # covers base * 2**(127/4) ≈ 3900 s
+
+
+class SketchMismatch(ValueError):
+    """Two sketches with different bucket layouts cannot merge."""
+
+
+class LogHistogram:
+    """Fixed log-bucket histogram with deterministic merge and quantiles."""
+
+    __slots__ = ("base", "per_octave", "buckets", "counts", "count", "total_ns")
+
+    def __init__(
+        self,
+        base: float = DEFAULT_BASE,
+        per_octave: int = DEFAULT_PER_OCTAVE,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        self.base = base
+        self.per_octave = per_octave
+        self.buckets = buckets
+        self.counts = [0] * buckets
+        self.count = 0
+        # Nanoseconds, as an integer: merges stay exactly associative.
+        self.total_ns = 0
+
+    # -- recording -------------------------------------------------------
+
+    def bucket_index(self, seconds: float) -> int:
+        if seconds <= self.base:
+            return 0
+        index = math.ceil(math.log2(seconds / self.base) * self.per_octave)
+        return min(index, self.buckets - 1)
+
+    def observe(self, seconds: float) -> None:
+        self.counts[self.bucket_index(seconds)] += 1
+        self.count += 1
+        self.total_ns += round(seconds * 1e9)
+
+    # -- readout ---------------------------------------------------------
+
+    def upper_bound(self, index: int) -> float:
+        """The inclusive upper latency bound of bucket *index* (seconds)."""
+        return self.base * 2 ** (index / self.per_octave)
+
+    def quantile(self, fraction: float) -> float:
+        """Upper-bound latency at *fraction* of observations (0 if empty).
+
+        The true quantile ``q`` satisfies ``q <= quantile(f) <= q * g``
+        (with ``g`` the bucket growth factor) whenever ``q > base``; at
+        or below ``base`` the readout is exactly ``base``.
+        """
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(fraction * self.count))
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= target:
+                return self.upper_bound(index)
+        return self.upper_bound(self.buckets - 1)  # pragma: no cover
+
+    def mean(self) -> float:
+        return (self.total_ns / 1e9) / self.count if self.count else 0.0
+
+    # -- merge / transport ----------------------------------------------
+
+    def _check_layout(self, other: "LogHistogram") -> None:
+        if (self.base, self.per_octave, self.buckets) != (
+            other.base, other.per_octave, other.buckets
+        ):
+            raise SketchMismatch(
+                f"cannot merge layouts {(self.base, self.per_octave, self.buckets)}"
+                f" and {(other.base, other.per_octave, other.buckets)}"
+            )
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold *other* into this sketch in place (and return self)."""
+        self._check_layout(other)
+        for index, value in enumerate(other.counts):
+            if value:
+                self.counts[index] += value
+        self.count += other.count
+        self.total_ns += other.total_ns
+        return self
+
+    def merged(self, other: "LogHistogram") -> "LogHistogram":
+        """A new sketch holding ``self + other`` (neither input changes)."""
+        result = self.copy()
+        return result.merge(other)
+
+    def copy(self) -> "LogHistogram":
+        result = LogHistogram(self.base, self.per_octave, self.buckets)
+        result.counts = list(self.counts)
+        result.count = self.count
+        result.total_ns = self.total_ns
+        return result
+
+    def as_dict(self) -> dict:
+        """A JSON-safe transport form (sparse: only non-zero buckets)."""
+        return {
+            "schema": SKETCH_SCHEMA_VERSION,
+            "base": self.base,
+            "per_octave": self.per_octave,
+            "buckets": self.buckets,
+            "counts": {
+                str(index): value
+                for index, value in enumerate(self.counts)
+                if value
+            },
+            "count": self.count,
+            "total_ns": self.total_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LogHistogram":
+        sketch = cls(
+            payload.get("base", DEFAULT_BASE),
+            payload.get("per_octave", DEFAULT_PER_OCTAVE),
+            payload.get("buckets", DEFAULT_BUCKETS),
+        )
+        for key, value in payload.get("counts", {}).items():
+            sketch.counts[int(key)] = int(value)
+        sketch.count = int(payload.get("count", 0))
+        sketch.total_ns = int(payload.get("total_ns", 0))
+        return sketch
+
+
+def render_prometheus_histograms(
+    name: str, labelled: dict[str, LogHistogram], label: str = "endpoint"
+) -> str:
+    """Native Prometheus histogram exposition for a family of sketches.
+
+    Label keys are sorted and bucket bounds are formatted from the exact
+    integer bucket index, so identical merged counts render identical
+    bytes regardless of the order the inputs were merged in.
+    """
+    lines = [
+        f"# HELP {name} Latency log-histogram (cumulative since start).",
+        f"# TYPE {name} histogram",
+    ]
+    for key in sorted(labelled):
+        sketch = labelled[key]
+        cumulative = 0
+        for index, value in enumerate(sketch.counts):
+            if not value:
+                continue
+            cumulative += value
+            bound = f"{sketch.upper_bound(index):.9g}"
+            lines.append(
+                f'{name}_bucket{{{label}="{key}",le="{bound}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{{label}="{key}",le="+Inf"}} {sketch.count}')
+        lines.append(f'{name}_sum{{{label}="{key}"}} {sketch.total_ns / 1e9:.9f}')
+        lines.append(f'{name}_count{{{label}="{key}"}} {sketch.count}')
+    return "\n".join(lines) + "\n"
+
+
+# -- sliding windows -----------------------------------------------------
+
+#: The daemon's standard window spans, in seconds.
+WINDOW_SPANS = (1, 10, 60)
+
+
+@dataclass
+class WindowStats:
+    """One endpoint's view over one sliding window."""
+
+    span: int
+    requests: int
+    errors: int
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.span
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "span_s": self.span,
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_rate": round(self.error_rate, 6),
+            "qps": round(self.qps, 3),
+            "p50_ms": round(1e3 * self.p50, 4),
+            "p95_ms": round(1e3 * self.p95, 4),
+            "p99_ms": round(1e3 * self.p99, 4),
+        }
+
+
+class _Slot:
+    __slots__ = ("second", "hist", "requests", "errors")
+
+    def __init__(self, second: int) -> None:
+        self.second = second
+        self.hist = LogHistogram()
+        self.requests = 0
+        self.errors = 0
+
+
+class WindowedRecorder:
+    """Per-second slots answering sliding-window latency/qps/error queries.
+
+    Also keeps one cumulative :class:`LogHistogram` (since construction)
+    for the Prometheus histogram exposition and shutdown export.
+    """
+
+    def __init__(self, max_span: int = max(WINDOW_SPANS)) -> None:
+        self.max_span = max_span
+        self._slots: dict[int, _Slot] = {}
+        self.lifetime = LogHistogram()
+        self.total_requests = 0
+        self.total_errors = 0
+        self._lock = threading.Lock()
+
+    def observe(
+        self, seconds: float, *, error: bool = False, now: float | None = None
+    ) -> None:
+        second = int(time.monotonic() if now is None else now)
+        with self._lock:
+            slot = self._slots.get(second)
+            if slot is None:
+                slot = self._slots[second] = _Slot(second)
+                self._prune(second)
+            slot.hist.observe(seconds)
+            slot.requests += 1
+            self.lifetime.observe(seconds)
+            self.total_requests += 1
+            if error:
+                slot.errors += 1
+                self.total_errors += 1
+
+    def _prune(self, now_second: int) -> None:
+        horizon = now_second - self.max_span - 1
+        for second in [s for s in self._slots if s < horizon]:
+            del self._slots[second]
+
+    def window(self, span: int, now: float | None = None) -> WindowStats:
+        """Merged stats over the last *span* seconds (current second included)."""
+        second = int(time.monotonic() if now is None else now)
+        merged = LogHistogram()
+        requests = errors = 0
+        with self._lock:
+            for offset in range(span):
+                slot = self._slots.get(second - offset)
+                if slot is None:
+                    continue
+                merged.merge(slot.hist)
+                requests += slot.requests
+                errors += slot.errors
+        return WindowStats(
+            span=span,
+            requests=requests,
+            errors=errors,
+            p50=merged.quantile(0.50),
+            p95=merged.quantile(0.95),
+            p99=merged.quantile(0.99),
+        )
+
+    def windows(self, spans=WINDOW_SPANS, now: float | None = None) -> dict:
+        """``{"1s": {...}, "10s": {...}, ...}`` summary across *spans*."""
+        stamp = time.monotonic() if now is None else now
+        return {f"{span}s": self.window(span, stamp).as_dict() for span in spans}

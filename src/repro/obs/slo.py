@@ -1,0 +1,145 @@
+"""Service-level objectives for the serve daemon.
+
+An SLO spec is a comma-separated list of objectives::
+
+    --slo p99=5ms,err=0.1%
+    --slo p50=500us,p95=2ms,err=1%
+
+Latency objectives (``p50``/``p95``/``p99``) bound a sliding-window
+quantile; ``err`` bounds the window error rate.  Each objective yields a
+**burn rate** — observed value divided by the objective — so 1.0 means
+"exactly at budget" and the daemon's ``status()`` flips ``degraded``
+when any burn rate exceeds 1 over the evaluation window.  Burn rates are
+exported as Prometheus gauges for alerting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Window the daemon evaluates SLOs over (seconds).
+EVALUATION_SPAN = 60
+
+_QUANTILES = {"p50": 0.50, "p95": 0.95, "p99": 0.99}
+
+_DURATION = re.compile(r"^(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>us|ms|s)?$")
+_UNIT_SECONDS = {"us": 1e-6, "ms": 1e-3, "s": 1.0, None: 1e-3}
+
+
+class SLOError(ValueError):
+    """An unparseable ``--slo`` spec."""
+
+
+def _parse_duration(raw: str, objective: str) -> float:
+    match = _DURATION.match(raw.strip())
+    if match is None:
+        raise SLOError(
+            f"{objective}: expected a duration like '5ms'/'500us'/'1s', got {raw!r}"
+        )
+    return float(match.group("value")) * _UNIT_SECONDS[match.group("unit")]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One objective: a named metric bounded by a threshold."""
+
+    name: str            # "p99" or "err"
+    threshold: float     # seconds for latency, a fraction for err
+
+    def observed(self, stats) -> float:
+        """The metric's current value from one :class:`WindowStats`."""
+        if self.name == "err":
+            return stats.error_rate
+        return {"p50": stats.p50, "p95": stats.p95, "p99": stats.p99}[self.name]
+
+    def evaluate(self, stats) -> dict:
+        """``{name, objective, observed, burn_rate, ok}`` for one window."""
+        observed = self.observed(stats)
+        burn = observed / self.threshold if self.threshold else float("inf")
+        return {
+            "name": self.name,
+            "objective": self.threshold,
+            "observed": round(observed, 9),
+            "burn_rate": round(burn, 4),
+            "ok": burn <= 1.0,
+        }
+
+    def spec(self) -> str:
+        if self.name == "err":
+            return f"err={100 * self.threshold:g}%"
+        return f"{self.name}={1e3 * self.threshold:g}ms"
+
+
+@dataclass(frozen=True)
+class SLOSet:
+    """The parsed ``--slo`` spec: zero or more objectives."""
+
+    objectives: tuple[Objective, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.objectives)
+
+    def evaluate(self, stats) -> dict:
+        """Evaluate every objective against one window's stats.
+
+        Returns ``{"window_s", "objectives": [...], "degraded"}`` where
+        ``degraded`` is True when any burn rate exceeds 1.  An empty
+        window (no requests) never degrades: latency quantiles read 0
+        and the error rate is 0, so a freshly idle daemon stays healthy.
+        """
+        results = [objective.evaluate(stats) for objective in self.objectives]
+        return {
+            "window_s": stats.span,
+            "objectives": results,
+            "degraded": any(not entry["ok"] for entry in results),
+        }
+
+    def spec(self) -> str:
+        return ",".join(objective.spec() for objective in self.objectives)
+
+
+def parse_slo(raw: str | None) -> SLOSet:
+    """Parse ``p99=5ms,err=0.1%`` into an :class:`SLOSet`.
+
+    Empty/None specs parse to an empty set (SLO tracking off).  Unknown
+    objective names and malformed values raise :class:`SLOError`.
+    """
+    if raw is None or not raw.strip():
+        return SLOSet()
+    objectives: list[Objective] = []
+    seen: set[str] = set()
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, value = part.partition("=")
+        name = name.strip().lower()
+        if not separator:
+            raise SLOError(f"objective {part!r} is missing '=<threshold>'")
+        if name in seen:
+            raise SLOError(f"objective {name!r} given twice")
+        seen.add(name)
+        if name in _QUANTILES:
+            threshold = _parse_duration(value, name)
+            if threshold <= 0:
+                raise SLOError(f"{name}: threshold must be positive")
+            objectives.append(Objective(name, threshold))
+        elif name == "err":
+            value = value.strip()
+            try:
+                if value.endswith("%"):
+                    rate = float(value[:-1]) / 100.0
+                else:
+                    rate = float(value)
+            except ValueError:
+                raise SLOError(
+                    f"err: expected a rate like '0.1%' or '0.001', got {value!r}"
+                ) from None
+            if not 0 < rate <= 1:
+                raise SLOError(f"err: rate {rate!r} outside (0, 1]")
+            objectives.append(Objective("err", rate))
+        else:
+            known = ", ".join(sorted([*_QUANTILES, "err"]))
+            raise SLOError(f"unknown objective {name!r}; expected one of: {known}")
+    return SLOSet(tuple(objectives))

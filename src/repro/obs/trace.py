@@ -75,15 +75,29 @@ class _Span:
 
 
 class Tracer:
-    """Collects span events; exports Chrome JSON and a JSONL stream."""
+    """Collects span events; exports Chrome JSON and a JSONL stream.
 
-    def __init__(self, stream_path: str | os.PathLike | None = None):
+    With ``max_events`` set the buffer is a bounded ring: the oldest
+    events fall off once the cap is reached, so a long-running daemon
+    can trace every request forever in fixed memory (the JSONL stream,
+    when enabled, still sees every event).  ``stream_mode="a"`` appends
+    to an existing stream instead of truncating it.
+    """
+
+    def __init__(
+        self,
+        stream_path: str | os.PathLike | None = None,
+        *,
+        max_events: int | None = None,
+        stream_mode: str = "w",
+    ):
         self._lock = threading.Lock()
         self._events: list[dict] = []
+        self._max_events = max_events if max_events and max_events > 0 else None
         self._owner_pid = os.getpid()
         self._stream = None
         if stream_path is not None:
-            self._stream = open(stream_path, "w", buffering=1)
+            self._stream = open(stream_path, stream_mode, buffering=1)
 
     # -- recording -------------------------------------------------------
 
@@ -108,6 +122,11 @@ class Tracer:
     def _record(self, event: dict) -> None:
         with self._lock:
             self._events.append(event)
+            if self._max_events is not None and len(self._events) > self._max_events:
+                # Drop the oldest half in one slice instead of popping per
+                # event: amortized O(1) per record, and the ring keeps at
+                # least max_events/2 of history at all times.
+                del self._events[: len(self._events) - self._max_events // 2]
             self._emit(event)
 
     def _emit(self, event: dict) -> None:
@@ -137,6 +156,8 @@ class Tracer:
             for event in events:
                 self._events.append(event)
                 self._emit(event)
+            if self._max_events is not None and len(self._events) > self._max_events:
+                del self._events[: len(self._events) - self._max_events // 2]
 
     # -- export ----------------------------------------------------------
 
@@ -194,6 +215,13 @@ def enable(stream_path: str | os.PathLike | None = None) -> Tracer:
     global _TRACER
     _TRACER = Tracer(stream_path)
     return _TRACER
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Install an already-constructed tracer (e.g. a daemon's ring tracer)."""
+    global _TRACER
+    _TRACER = tracer
+    return tracer
 
 
 def disable() -> None:

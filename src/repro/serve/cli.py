@@ -16,7 +16,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
+from ..obs import live as obs_live
+from ..obs.slo import SLOError, parse_slo
 from ..store import ArtifactStore
 from ..world.build import WorldConfig
 from .daemon import ServeDaemon, handle_request, rpc
@@ -29,6 +32,7 @@ _CLIENT_OPS = {
     "ingest": "ingest",
     "status": "status",
     "metrics": "metrics",
+    "trace": "trace",
     "stop": "shutdown",
 }
 
@@ -43,15 +47,17 @@ def build_parser() -> argparse.ArgumentParser:
         "command",
         nargs="?",
         default="run",
-        choices=["run"] + sorted(_CLIENT_OPS),
-        help="'run' starts the daemon (default); the rest are client verbs",
+        choices=["run", "top"] + sorted(_CLIENT_OPS),
+        help="'run' starts the daemon (default); 'top' is a live metrics "
+             "view; the rest are client verbs",
     )
     parser.add_argument(
         "argument",
         nargs="?",
         metavar="ARG",
         help="with 'who-has'/'explain': the domain; "
-             "with 'ingest': the snapshot (index or ISO date)",
+             "with 'ingest': the snapshot (index or ISO date); "
+             "with 'trace': the trace id to replay",
     )
     parser.add_argument(
         "--socket", metavar="PATH", default=None,
@@ -99,7 +105,41 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true",
         help="print raw JSON results (default for non-tty friendliness "
-             "of everything but 'explain', which renders a trail)",
+             "of everything but 'explain'/'trace', which render trees)",
+    )
+    parser.add_argument(
+        "--slo", metavar="SPEC", default=None,
+        help="with 'run': SLO objectives for the busiest endpoint, e.g. "
+             "'p99=5ms,err=0.1%%' (burn rates exported on /metrics; "
+             "status() reports degraded)",
+    )
+    parser.add_argument(
+        "--flush-interval", type=float, default=None, metavar="SECONDS",
+        help="with 'run': atomically rewrite --metrics-out/--manifest-out "
+             "every N seconds (default: shutdown only)",
+    )
+    parser.add_argument(
+        "--trace-ring", type=int, default=obs_live.DEFAULT_RING, metavar="N",
+        help=f"with 'run': span-ring capacity in events "
+             f"(default {obs_live.DEFAULT_RING})",
+    )
+    parser.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="with 'run': also append every span to this JSONL stream "
+             "(post-mortems beyond the ring horizon)",
+    )
+    parser.add_argument(
+        "--trace", metavar="ID", default=None,
+        help="client verbs: send this trace id with the request (the "
+             "response echoes it; 'serve trace <id>' replays the spans)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="with 'top': refresh period (default 2s)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="with 'top': stop after N refreshes (default: until ^C)",
     )
     return parser
 
@@ -123,11 +163,20 @@ def _store(args: argparse.Namespace) -> ArtifactStore | None:
 
 def _service(args: argparse.Namespace) -> InferenceService:
     config = WorldConfig(seed=args.seed).scaled(args.scale)
+    slo = None
+    if args.slo:
+        try:
+            slo = parse_slo(args.slo)
+        except SLOError as error:
+            raise ServiceError(str(error), code="bad-request") from error
     return InferenceService(
         config,
         _store(args),
         jobs=args.jobs,
         cache_blocks=args.cache_blocks,
+        slo=slo,
+        trace_ring=args.trace_ring,
+        trace_jsonl=args.trace_jsonl,
     )
 
 
@@ -144,6 +193,16 @@ def _target(args: argparse.Namespace):
 def _request(args: argparse.Namespace) -> dict:
     op = _CLIENT_OPS[args.command]
     request: dict = {"op": op}
+    if args.trace:
+        request["trace"] = args.trace
+    if args.command == "trace":
+        if not args.argument:
+            raise ServiceError(
+                "'trace' needs a trace id argument (the 'trace' field of "
+                "any RPC response)",
+                code="bad-request",
+            )
+        request["id"] = args.argument
     if args.command in ("who-has", "explain"):
         if not args.argument:
             raise ServiceError(
@@ -171,6 +230,9 @@ def _render(args: argparse.Namespace, result) -> None:
 
         print(render_explanation(result))
         return
+    if args.command == "trace" and not args.json:
+        print(obs_live.render_trace_tree(result))
+        return
     print(json.dumps(result, indent=2, sort_keys=True))
 
 
@@ -190,6 +252,7 @@ def run_daemon(args: argparse.Namespace, argv: list[str]) -> int:
         metrics_out=args.metrics_out,
         manifest_out=args.manifest_out,
         argv=["serve"] + list(argv),
+        flush_interval=args.flush_interval,
     )
     where = []
     if socket_path is not None:
@@ -201,12 +264,104 @@ def run_daemon(args: argparse.Namespace, argv: list[str]) -> int:
     return daemon.run()
 
 
+def render_top(metrics: dict) -> str:
+    """One ``repro top`` frame from a ``metrics`` RPC result."""
+    lines = []
+    live = metrics.get("live")
+    cache = metrics.get("block_cache", {})
+    degraded = metrics.get("degraded", False)
+    header = (
+        f"repro top — uptime {metrics.get('uptime_s', 0):.0f}s"
+        f" | cache hit {cache.get('hit_rate') if cache.get('hit_rate') is not None else '—'}"
+        f" | blocks {cache.get('entries', 0)}/{cache.get('capacity', 0)}"
+    )
+    if degraded:
+        header += " | DEGRADED"
+    lines.append(header)
+    if live is None:
+        lines.append("(live telemetry disabled — lifetime histograms only)")
+        for endpoint, snap in sorted(metrics.get("endpoints", {}).items()):
+            lines.append(
+                f"  {endpoint:<16} n={snap['count']:<8} "
+                f"p50={snap['p50_ms']}ms p99={snap['p99_ms']}ms"
+            )
+        return "\n".join(lines)
+    gauges = live.get("gauges", {})
+    lines.append(
+        f"rss {gauges.get('rss_bytes', 0) / 1e6:.1f}MB"
+        + (
+            f" | ingest lag {gauges['ingest_lag_s']:.1f}s"
+            if gauges.get("ingest_lag_s") is not None
+            else ""
+        )
+    )
+    slo = live.get("slo")
+    if slo and slo.get("objectives"):
+        burns = ", ".join(
+            f"{entry['name']}={entry['burn_rate']:.2f}x"
+            for entry in slo["objectives"]
+        )
+        lines.append(f"slo[{slo.get('endpoint') or '—'}] burn: {burns}")
+    lines.append(
+        f"  {'endpoint':<16}{'win':>5}{'req':>8}{'qps':>9}"
+        f"{'p50ms':>9}{'p95ms':>9}{'p99ms':>9}{'err%':>7}"
+    )
+    for endpoint, snap in sorted(live.get("endpoints", {}).items()):
+        for window, stats in sorted(
+            snap["windows"].items(), key=lambda item: stats_span(item[0])
+        ):
+            lines.append(
+                f"  {endpoint:<16}{window:>5}{stats['requests']:>8}"
+                f"{stats['qps']:>9.1f}{stats['p50_ms']:>9.3f}"
+                f"{stats['p95_ms']:>9.3f}{stats['p99_ms']:>9.3f}"
+                f"{100 * stats['error_rate']:>7.2f}"
+            )
+    return "\n".join(lines)
+
+
+def stats_span(window: str) -> int:
+    """Sort key for window labels like '10s'."""
+    try:
+        return int(window.rstrip("s"))
+    except ValueError:
+        return 0
+
+
+def run_top(args: argparse.Namespace) -> int:
+    """Plain-refresh live metrics view (no curses: redraw via ANSI home)."""
+    target = _target(args)
+    if target is None:
+        raise ServiceError(
+            "'top' needs a daemon target (--socket or --http)",
+            code="bad-request",
+        )
+    frames = 0
+    try:
+        while True:
+            response = rpc(target, {"op": "metrics"})
+            if not response.get("ok", False):
+                print(f"serve: {response.get('error')}", file=sys.stderr)
+                return 2
+            frame = render_top(response["result"])
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(frame, flush=True)
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
     try:
         if args.command == "run":
             return run_daemon(args, argv)
+        if args.command == "top":
+            return run_top(args)
         request = _request(args)
         target = _target(args)
         if target is not None:

@@ -8,12 +8,21 @@ Two transports share one dispatch table:
   replies; connections are persistent, one request per line.
 * **HTTP** (``--http HOST:PORT``) — ``POST /rpc`` with the same JSON
   body, plus convenience ``GET`` routes (``/healthz``, ``/status``,
-  ``/metrics``, ``/who-has?domain=...``, ``/provider-stats``).
+  ``/metrics.json``, ``/who-has?domain=...``, ``/provider-stats``,
+  ``/trace?id=...``) and the Prometheus scrape endpoint ``GET /metrics``
+  (text exposition straight off the live sliding-window sketches).
+
+Every request carries a trace id (client-supplied ``trace`` field or
+server-minted), echoed back in the response; ``repro serve trace <id>``
+replays that request's span tree from the daemon's bounded ring.
 
 Shutdown (SIGTERM/SIGINT or the ``shutdown`` op, used by ``repro serve
 stop``) is graceful: in-flight requests finish, then ``--metrics-out``
 and ``--manifest-out`` documents are written with the daemon's ``serve``
-section (per-endpoint latency histograms, block-cache hit rates).
+section (per-endpoint latency histograms, block-cache hit rates).  With
+``--flush-interval N`` the same documents are also rewritten atomically
+(tmp + rename) every N seconds while the daemon runs, so a SIGKILL loses
+at most one interval of telemetry.
 """
 
 from __future__ import annotations
@@ -29,15 +38,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
+from ..obs import live as obs_live
 from .service import InferenceService, ServiceError
 
 _GET_OPS = {
     "/healthz": "ping",
     "/status": "status",
-    "/metrics": "metrics",
+    "/metrics.json": "metrics",
     "/who-has": "who-has",
     "/provider-stats": "provider-stats",
     "/explain": "explain",
+    "/trace": "trace",
 }
 
 _HTTP_STATUS = {
@@ -45,6 +56,7 @@ _HTTP_STATUS = {
     "bad-request": 400,
     "no-artifact": 409,
     "no-store": 409,
+    "no-telemetry": 404,
     "corrupt": 500,
     "internal": 500,
     "unknown-op": 400,
@@ -52,56 +64,82 @@ _HTTP_STATUS = {
 
 
 def handle_request(service: InferenceService, request: dict) -> dict:
-    """Dispatch one RPC request dict to the service; never raises."""
+    """Dispatch one RPC request dict to the service; never raises.
+
+    Every request runs under a trace id — the client's ``trace`` field
+    when supplied, a server-minted one otherwise — and every response
+    echoes it back as ``trace``, so a caller can replay the request's
+    span tree with ``repro serve trace <id>``.
+    """
     op = request.get("op")
+    trace_id = (
+        obs_live.normalize_trace_id(request.get("trace"))
+        or obs_live.mint_trace_id()
+    )
     try:
-        if op == "ping":
-            result = {"pong": True}
-        elif op == "who-has":
-            result = service.who_has(
-                request["domain"], request.get("corpus"), request.get("snapshot")
-            )
-        elif op == "provider-stats":
-            result = service.provider_stats(
-                request.get("corpus"), request.get("snapshot")
-            )
-        elif op == "explain":
-            result = service.explain(
-                request["domain"], request.get("corpus"), request.get("snapshot")
-            )
-        elif op == "ingest":
-            result = service.ingest(
-                request.get("snapshot"),
-                request.get("corpus"),
-                jobs=request.get("jobs"),
-            )
-        elif op == "status":
-            result = service.status()
-        elif op == "metrics":
-            result = service.metrics()
-        elif op == "shutdown":
-            return {"ok": True, "result": {"stopping": True}, "_shutdown": True}
-        else:
-            return {
-                "ok": False,
-                "error": f"unknown op {op!r}",
-                "code": "unknown-op",
-            }
+        with obs_live.trace_context(trace_id):
+            if op == "ping":
+                result = {"pong": True}
+            elif op == "who-has":
+                result = service.who_has(
+                    request["domain"], request.get("corpus"), request.get("snapshot")
+                )
+            elif op == "provider-stats":
+                result = service.provider_stats(
+                    request.get("corpus"), request.get("snapshot")
+                )
+            elif op == "explain":
+                result = service.explain(
+                    request["domain"], request.get("corpus"), request.get("snapshot")
+                )
+            elif op == "ingest":
+                result = service.ingest(
+                    request.get("snapshot"),
+                    request.get("corpus"),
+                    jobs=request.get("jobs"),
+                )
+            elif op == "status":
+                result = service.status()
+            elif op == "metrics":
+                result = service.metrics()
+            elif op == "trace":
+                result = service.trace(request.get("id"))
+            elif op == "shutdown":
+                return {
+                    "ok": True,
+                    "result": {"stopping": True},
+                    "trace": trace_id,
+                    "_shutdown": True,
+                }
+            else:
+                return {
+                    "ok": False,
+                    "error": f"unknown op {op!r}",
+                    "code": "unknown-op",
+                    "trace": trace_id,
+                }
     except KeyError as error:
         return {
             "ok": False,
             "error": f"missing request field {error.args[0]!r} for op {op!r}",
             "code": "bad-request",
+            "trace": trace_id,
         }
     except ServiceError as error:
-        return {"ok": False, "error": str(error), "code": error.code}
+        return {
+            "ok": False,
+            "error": str(error),
+            "code": error.code,
+            "trace": trace_id,
+        }
     except Exception as error:  # the daemon must outlive bad requests
         return {
             "ok": False,
             "error": f"{type(error).__name__}: {error}",
             "code": "internal",
+            "trace": trace_id,
         }
-    return {"ok": True, "result": result}
+    return {"ok": True, "result": result, "trace": trace_id}
 
 
 class ServeDaemon:
@@ -116,6 +154,7 @@ class ServeDaemon:
         metrics_out: str | None = None,
         manifest_out: str | None = None,
         argv: list[str] | None = None,
+        flush_interval: float | None = None,
     ) -> None:
         if socket_path is None and http_address is None:
             raise ServiceError(
@@ -129,10 +168,12 @@ class ServeDaemon:
         self.metrics_out = metrics_out
         self.manifest_out = manifest_out
         self.argv = argv
+        self.flush_interval = flush_interval
         self.started = time.monotonic()
         self._stop = threading.Event()
         self._servers: list = []
         self._threads: list[threading.Thread] = []
+        self._flusher: threading.Thread | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -149,6 +190,26 @@ class ServeDaemon:
             )
             thread.start()
             self._threads.append(thread)
+        if self.flush_interval and (self.metrics_out or self.manifest_out):
+            self._flusher = threading.Thread(
+                target=self._flush_loop, daemon=True
+            )
+            self._flusher.start()
+
+    def _flush_loop(self) -> None:
+        """Periodically write the shutdown artifacts via tmp+rename.
+
+        Atomic replacement means a SIGKILL mid-write loses at most one
+        interval of telemetry, never the file: readers see either the
+        previous complete snapshot or the new one.
+        """
+        while not self._stop.wait(self.flush_interval):
+            try:
+                self._export()
+            except Exception:
+                # A failed flush (disk full, racing rename) must not
+                # take the daemon down; the next tick retries.
+                pass
 
     def stop(self) -> None:
         self._stop.set()
@@ -181,6 +242,9 @@ class ServeDaemon:
             server.server_close()
         for thread in self._threads:
             thread.join(timeout=5)
+        if self._flusher is not None:
+            self._flusher.join(timeout=5)
+            self._flusher = None
         self._servers.clear()
         self._threads.clear()
         if self.socket_path is not None:
@@ -194,9 +258,7 @@ class ServeDaemon:
 
             document = obs_metrics.collect()
             document["serve"] = serve_section
-            with open(self.metrics_out, "w") as stream:
-                json.dump(document, stream, indent=2, sort_keys=True)
-                stream.write("\n")
+            obs_live.write_json_atomic(self.metrics_out, document)
         if self.manifest_out:
             from ..obs import manifest as obs_manifest
 
@@ -208,7 +270,7 @@ class ServeDaemon:
                 argv=self.argv,
                 serve=serve_section,
             )
-            obs_manifest.write_manifest(self.manifest_out, document)
+            obs_live.write_json_atomic(self.manifest_out, document)
 
     # -- listeners -------------------------------------------------------
 
@@ -283,6 +345,26 @@ class ServeDaemon:
 
             def do_GET(self) -> None:
                 parts = urlsplit(self.path)
+                if parts.path == "/metrics":
+                    # The Prometheus scrape endpoint: text exposition,
+                    # not the JSON RPC envelope (use /metrics.json or the
+                    # `metrics` op for the structured document).
+                    try:
+                        body = daemon.service.prometheus().encode()
+                    except ServiceError as error:
+                        self._reply(
+                            {"ok": False, "error": str(error),
+                             "code": error.code}
+                        )
+                        return
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
                 op = _GET_OPS.get(parts.path)
                 if op is None:
                     self._reply(

@@ -21,7 +21,9 @@ from datetime import date as date_type
 
 from ..core.types import DomainInference
 from ..engine.stats import STATS
+from ..obs import live as obs_live
 from ..obs import provenance as obs_provenance
+from ..obs import trace as obs_trace
 from ..store import ArtifactStore, CodecError, ResultView, SnapshotView, encode_result
 from ..world.build import WorldConfig
 from ..world.entities import DatasetTag
@@ -109,6 +111,9 @@ class InferenceService:
         jobs: int = 1,
         cache_blocks: int = 32,
         faults_key: str | None = None,
+        slo=None,
+        trace_ring: int = obs_live.DEFAULT_RING,
+        trace_jsonl: str | None = None,
     ) -> None:
         if store is None:
             raise ServiceError(
@@ -129,14 +134,34 @@ class InferenceService:
         self._ingest_log: list[dict] = []
         self._ctx = None  # lazy StudyContext; ingest gathers only
         self._inferencer = None
+        self.live: obs_live.LiveTelemetry | None = None
+        if obs_live.live_enabled():
+            self.live = obs_live.LiveTelemetry(
+                ring=trace_ring, jsonl_path=trace_jsonl, slo=slo
+            )
+            # The ring tracer doubles as the process tracer, so existing
+            # engine/store spans from each request land in the ring and
+            # nest under the request's root span by containment.
+            obs_trace.install(self.live.tracer)
 
     # -- observation -----------------------------------------------------
 
     @contextmanager
     def _observe(self, endpoint: str):
         started = time.perf_counter()
+        error = False
         try:
-            yield
+            if self.live is not None:
+                span = self.live.request_span(
+                    endpoint, obs_live.current_trace_id()
+                )
+                with span:
+                    yield
+            else:
+                yield
+        except BaseException:
+            error = True
+            raise
         finally:
             elapsed = time.perf_counter() - started
             with self._latency_lock:
@@ -144,6 +169,8 @@ class InferenceService:
                 if recorder is None:
                     recorder = self._latency[endpoint] = LatencyRecorder()
                 recorder.observe(elapsed)
+            if self.live is not None:
+                self.live.observe(endpoint, elapsed, error=error)
 
     # -- name / snapshot resolution --------------------------------------
 
@@ -203,10 +230,14 @@ class InferenceService:
 
     def _result_view(self, dataset: DatasetTag, snapshot_index: int):
         def load():
-            payload = self.store.result_payload(
-                self.config, dataset, snapshot_index, self.faults_key
-            )
-            return ResultView(payload) if payload is not None else None
+            with obs_trace.span(
+                "block.load", cat="serve", kind="result",
+                corpus=dataset.value, snapshot=snapshot_index,
+            ):
+                payload = self.store.result_payload(
+                    self.config, dataset, snapshot_index, self.faults_key
+                )
+                return ResultView(payload) if payload is not None else None
 
         try:
             return self.blocks.get(("result", dataset.value, snapshot_index), load)
@@ -219,10 +250,14 @@ class InferenceService:
 
     def _snapshot_view(self, dataset: DatasetTag, snapshot_index: int):
         def load():
-            payload = self.store.measurement_payload(
-                self.config, dataset, snapshot_index, self.faults_key
-            )
-            return SnapshotView(payload) if payload is not None else None
+            with obs_trace.span(
+                "block.load", cat="serve", kind="measurements",
+                corpus=dataset.value, snapshot=snapshot_index,
+            ):
+                payload = self.store.measurement_payload(
+                    self.config, dataset, snapshot_index, self.faults_key
+                )
+                return SnapshotView(payload) if payload is not None else None
 
         try:
             return self.blocks.get(
@@ -419,6 +454,7 @@ class InferenceService:
         Results write through to the store bit-identical to a batch run.
         """
         with self._observe("ingest"), self._lock:
+            started = time.perf_counter()
             snapshot_index = self.resolve_snapshot(snapshot)
             dataset = self.resolve_dataset(corpus)
             targets = [dataset] if dataset is not None else list(DatasetTag)
@@ -438,6 +474,10 @@ class InferenceService:
                 "reports": reports,
             }
             self._ingest_log.append(summary)
+            if self.live is not None:
+                self.live.note_ingest(
+                    snapshot_index, time.perf_counter() - started
+                )
             return summary
 
     def _ingest_one(
@@ -485,6 +525,7 @@ class InferenceService:
     ) -> dict:
         """Ingest an already-decoded snapshot view (tests and benchmarks)."""
         with self._observe("ingest"), self._lock:
+            started = time.perf_counter()
             inferencer = self._delta_inferencer()
             jobs = jobs or self.jobs
             state = self._states.get(dataset)
@@ -498,6 +539,10 @@ class InferenceService:
                     state, view, snapshot_index=snapshot_index, jobs=jobs
                 )
             self._publish(dataset, snapshot_index, state)
+            if self.live is not None:
+                self.live.note_ingest(
+                    snapshot_index, time.perf_counter() - started
+                )
             return {"corpus": dataset.value, **report.as_dict()}
 
     def _latest_prior_snapshot(
@@ -554,6 +599,9 @@ class InferenceService:
                 "live": live,
                 "world_built": self._ctx is not None,
                 "ingests": len(self._ingest_log),
+                "degraded": (
+                    self.live.degraded() if self.live is not None else False
+                ),
             }
 
     def metrics(self) -> dict:
@@ -582,7 +630,40 @@ class InferenceService:
                 }
                 for entry in self._ingest_log[-16:]
             ],
+            "live": self.live.snapshot() if self.live is not None else None,
+            "degraded": self.live.degraded() if self.live is not None else False,
         }
+
+    def prometheus(self) -> str:
+        """The ``GET /metrics`` Prometheus text exposition."""
+        if self.live is None:
+            raise ServiceError(
+                "live telemetry is disabled (REPRO_LIVE=off); /metrics has "
+                "nothing to scrape",
+                code="no-telemetry",
+            )
+        return self.live.render_prometheus()
+
+    def trace(self, trace_id) -> dict:
+        """Replay one traced request's span tree from the ring."""
+        cleaned = obs_live.normalize_trace_id(trace_id)
+        if cleaned is None:
+            raise ServiceError("trace requires a trace id", code="bad-request")
+        if self.live is None:
+            raise ServiceError(
+                "live telemetry is disabled (REPRO_LIVE=off); no spans are "
+                "being recorded",
+                code="no-telemetry",
+            )
+        tree = self.live.trace_tree(cleaned)
+        if tree is None:
+            raise ServiceError(
+                f"trace {cleaned!r}: not in the span ring (expired or never "
+                f"seen; the ring keeps the most recent "
+                f"~{obs_live.DEFAULT_RING} spans)",
+                code="not-found",
+            )
+        return tree
 
 
 def _stats_from_inferences(inferences: dict[str, DomainInference]) -> dict:

@@ -45,19 +45,21 @@ class TestChaosSweepScript:
 
     def test_gates_pass(self, sweep):
         document, _table, _completed = sweep
-        assert document["gate_failures"] == []
+        assert document["bench"] == "chaos-sweep"
+        assert document["failures"] == []
 
     def test_rate_zero_is_byte_identical_to_baseline(self, sweep):
         document, _table, _completed = sweep
-        zero = next(row for row in document["sweep"] if row["rate"] == 0.0)
-        assert zero["digests"] == document["baseline"]["digests"]
-        assert zero["cache_keys"] == document["baseline"]["cache_keys"]
+        baseline = document["context"]["baseline"]
+        zero = next(row for row in document["rows"] if row["rate"] == 0.0)
+        assert zero["digests"] == baseline["digests"]
+        assert zero["cache_keys"] == baseline["cache_keys"]
         assert zero["fault_counters"] == {}
 
     def test_faulted_run_degrades_and_counts(self, sweep):
         document, _table, _completed = sweep
-        faulted = next(row for row in document["sweep"] if row["rate"] == 0.3)
-        baseline = document["baseline"]
+        faulted = next(row for row in document["rows"] if row["rate"] == 0.3)
+        baseline = document["context"]["baseline"]
         assert faulted["digests"] != baseline["digests"]
         assert faulted["accuracy"] < baseline["accuracy"]
         assert sum(faulted["fault_counters"].values()) > 0

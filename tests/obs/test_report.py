@@ -1,0 +1,111 @@
+"""``repro obs report`` — markdown rendering over telemetry artifacts."""
+
+import json
+
+from repro.obs.cli import main as obs_main, render_report
+
+
+def metrics_document():
+    return {
+        "schema": 3,
+        "counters": {"gather.obs.hit": 426, "gather.obs.miss": 139},
+        "caches": {},
+        "memory": {"peak_rss_bytes": 1},
+        "timers": {},
+        "shards": {},
+        "serve": {
+            "uptime_s": 12.5,
+            "endpoints": {
+                "who-has": {
+                    "count": 40, "mean_ms": 1.1, "p50_ms": 1.0,
+                    "p99_ms": 4.2, "max_ms": 9.9,
+                },
+            },
+            "block_cache": {
+                "hits": 38, "misses": 2, "hit_rate": 0.95,
+                "entries": 2, "capacity": 8,
+            },
+            "degraded": True,
+            "live": {
+                "schema": 1,
+                "endpoints": {
+                    "who-has": {
+                        "total_requests": 40,
+                        "total_errors": 0,
+                        "windows": {
+                            "60s": {
+                                "requests": 40, "qps": 3.3, "p50_ms": 1.0,
+                                "p95_ms": 3.0, "p99_ms": 4.2,
+                                "error_rate": 0.0,
+                            },
+                        },
+                    },
+                },
+                "gauges": {
+                    "uptime_s": 12.5, "rss_bytes": 50_000_000,
+                    "cache_hit_rate": 0.95, "ingest_lag_s": 3.0,
+                },
+                "slo": {
+                    "endpoint": "who-has",
+                    "objectives": [{
+                        "name": "p99", "objective": 0.001,
+                        "observed": 0.0042, "burn_rate": 4.2, "ok": False,
+                    }],
+                    "degraded": True,
+                },
+            },
+        },
+    }
+
+
+def spans():
+    return [
+        {"name": "who-has", "cat": "rpc", "ph": "X", "dur": 4200.0},
+        {"name": "block.load", "cat": "serve", "ph": "X", "dur": 3100.0},
+        {"name": "note", "cat": "rpc", "ph": "i"},  # instant: not a span
+    ]
+
+
+class TestRenderReport:
+    def test_full_report_sections(self):
+        text = render_report(metrics_document(), spans(), top_spans=5)
+        assert "# repro observability report" in text
+        assert "## Engine counters" in text
+        assert "| who-has | 40 | 1.1ms | 1.0ms | 4.2ms | 9.9ms |" in text
+        assert "## Live telemetry" in text
+        assert "- degraded: True" in text
+        assert "### SLO burn rates" in text
+        assert "| p99 | 0.0042 | 0.001 | 4.20x | False |" in text
+        assert "### Sliding windows (60s)" in text
+        assert "## Spans" in text
+        assert "2 spans across 2 categories" in text
+        assert "| who-has | rpc | 4.200 |" in text
+
+    def test_engine_only_document_skips_serve_sections(self):
+        document = metrics_document()
+        del document["serve"]
+        text = render_report(document, [], top_spans=5)
+        assert "Serve endpoints" not in text
+        assert "Live telemetry" not in text
+        assert "## Engine counters" in text
+
+
+class TestReportCli:
+    def test_report_over_files(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps(metrics_document()))
+        stream = tmp_path / "trace.jsonl"
+        stream.write_text(
+            "\n".join(json.dumps(event) for event in spans()) + "\n"
+        )
+        assert obs_main([
+            "report", "--metrics", str(metrics), "--trace-jsonl", str(stream),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "## Spans" in out and "block.load" in out
+
+    def test_missing_metrics_file_is_an_input_error(self, tmp_path, capsys):
+        assert obs_main(
+            ["report", "--metrics", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "cannot read" in capsys.readouterr().err

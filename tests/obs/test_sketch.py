@@ -1,0 +1,192 @@
+"""Property tests for the mergeable latency sketches.
+
+The live telemetry layer leans on three guarantees:
+
+* merging is exactly associative and commutative (integer counts plus an
+  integer nanosecond total — no float accumulation order),
+* a quantile readout over-reports the true quantile by at most one
+  bucket width (the growth factor ``g = 2**(1/per_octave)``),
+* per-shard sketches merged in any order render **byte-identical**
+  Prometheus exposition text.
+
+Hypothesis drives all three with arbitrary latency populations and
+arbitrary shard splits.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import (
+    WINDOW_SPANS,
+    LogHistogram,
+    SketchMismatch,
+    WindowedRecorder,
+    render_prometheus_histograms,
+)
+
+SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Keep generated latencies inside the sketch's resolvable range (1 µs up
+# to well below the ~65 min top bucket) so the error bound applies.
+latencies = st.lists(
+    st.floats(min_value=1e-7, max_value=30.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+def _sketch(values):
+    sketch = LogHistogram()
+    for value in values:
+        sketch.observe(value)
+    return sketch
+
+
+def _state(sketch):
+    return (tuple(sketch.counts), sketch.count, sketch.total_ns)
+
+
+class TestMergeAlgebra:
+    @SETTINGS
+    @given(a=latencies, b=latencies)
+    def test_merge_commutative(self, a, b):
+        ab = _sketch(a).merge(_sketch(b))
+        ba = _sketch(b).merge(_sketch(a))
+        assert _state(ab) == _state(ba)
+
+    @SETTINGS
+    @given(a=latencies, b=latencies, c=latencies)
+    def test_merge_associative(self, a, b, c):
+        left = _sketch(a).merge(_sketch(b)).merge(_sketch(c))
+        right = _sketch(a).merge(_sketch(b).merge(_sketch(c)))
+        assert _state(left) == _state(right)
+
+    @SETTINGS
+    @given(values=latencies, seed=st.integers(0, 2**32 - 1))
+    def test_sharded_merge_equals_single_sketch(self, values, seed):
+        rng = random.Random(seed)
+        shards = [[] for _ in range(rng.randint(1, 6))]
+        for value in values:
+            rng.choice(shards).append(value)
+        merged = LogHistogram()
+        order = [_sketch(shard) for shard in shards]
+        rng.shuffle(order)
+        for piece in order:
+            merged.merge(piece)
+        assert _state(merged) == _state(_sketch(values))
+
+    def test_layout_mismatch_refuses(self):
+        with pytest.raises(SketchMismatch):
+            LogHistogram().merge(LogHistogram(per_octave=8))
+
+    @SETTINGS
+    @given(values=latencies)
+    def test_dict_round_trip(self, values):
+        sketch = _sketch(values)
+        assert _state(LogHistogram.from_dict(sketch.as_dict())) == _state(sketch)
+
+
+class TestQuantileBound:
+    @SETTINGS
+    @given(
+        values=latencies,
+        fraction=st.sampled_from([0.5, 0.9, 0.95, 0.99, 1.0]),
+    )
+    def test_quantile_error_bounded_by_bucket_width(self, values, fraction):
+        sketch = _sketch(values)
+        ranked = sorted(values)
+        rank = max(1, math.ceil(fraction * len(ranked)))
+        true = ranked[rank - 1]
+        estimate = sketch.quantile(fraction)
+        growth = 2 ** (1 / sketch.per_octave)
+        # Never under-reports, never over-reports past one bucket width
+        # (values at/below base all collapse into bucket 0 = base).
+        assert estimate * (1 + 1e-9) >= min(true, sketch.base)
+        assert estimate <= max(true * growth, sketch.base) * (1 + 1e-9)
+
+    def test_empty_sketch_reads_zero(self):
+        assert LogHistogram().quantile(0.99) == 0.0
+        assert LogHistogram().mean() == 0.0
+
+
+class TestPrometheusDeterminism:
+    @SETTINGS
+    @given(values=latencies, seed=st.integers(0, 2**32 - 1))
+    def test_shard_merge_order_renders_identical_bytes(self, values, seed):
+        rng = random.Random(seed)
+        shards = [[] for _ in range(rng.randint(2, 5))]
+        for value in values:
+            rng.choice(shards).append(value)
+        pieces = [_sketch(shard) for shard in shards]
+
+        def render(order):
+            merged = LogHistogram()
+            for index in order:
+                merged.merge(pieces[index])
+            return render_prometheus_histograms(
+                "repro_test_latency_seconds", {"who-has": merged}
+            )
+
+        forward = render(range(len(pieces)))
+        shuffled = list(range(len(pieces)))
+        rng.shuffle(shuffled)
+        assert render(shuffled) == forward
+
+    def test_exposition_shape(self):
+        sketch = _sketch([0.001, 0.002, 0.5])
+        text = render_prometheus_histograms("m", {"e": sketch})
+        assert '# TYPE m histogram' in text
+        assert 'm_bucket{endpoint="e",le="+Inf"} 3' in text
+        assert 'm_count{endpoint="e"} 3' in text
+        assert text.endswith("\n")
+
+
+class TestWindowedRecorder:
+    def test_sliding_windows_cover_only_their_span(self):
+        recorder = WindowedRecorder()
+        # Ten observations, one per synthetic second.
+        for second in range(10):
+            recorder.observe(0.001 * (second + 1), now=1000.0 + second)
+        now = 1009.0
+        assert recorder.window(1, now=now).requests == 1
+        assert recorder.window(10, now=now).requests == 10
+        assert recorder.window(60, now=now).requests == 10
+        assert recorder.total_requests == 10
+
+    def test_error_rate_and_qps(self):
+        recorder = WindowedRecorder()
+        for index in range(20):
+            recorder.observe(0.002, error=index % 4 == 0, now=500.0)
+        stats = recorder.window(1, now=500.0)
+        assert stats.requests == 20
+        assert stats.errors == 5
+        assert stats.error_rate == pytest.approx(0.25)
+        assert stats.qps == pytest.approx(20.0)
+        payload = stats.as_dict()
+        assert payload["span_s"] == 1
+        assert payload["p99_ms"] > 0
+
+    def test_old_slots_pruned(self):
+        recorder = WindowedRecorder()
+        recorder.observe(0.001, now=100.0)
+        # Jump far past the horizon; the stale slot must be dropped once
+        # a new slot is created.
+        recorder.observe(0.001, now=100.0 + 10 * max(WINDOW_SPANS))
+        assert len(recorder._slots) == 1
+        assert recorder.window(60).requests in (0, 1)
+
+    def test_windows_summary_keys(self):
+        recorder = WindowedRecorder()
+        recorder.observe(0.003, now=42.0)
+        summary = recorder.windows(now=42.0)
+        assert set(summary) == {"1s", "10s", "60s"}
+        assert summary["1s"]["requests"] == 1

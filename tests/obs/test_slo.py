@@ -1,0 +1,83 @@
+"""SLO spec parsing and burn-rate evaluation."""
+
+import pytest
+
+from repro.obs.sketch import WindowStats
+from repro.obs.slo import Objective, SLOError, SLOSet, parse_slo
+
+
+def _stats(*, p99=0.001, errors=0, requests=100):
+    return WindowStats(
+        span=60, requests=requests, errors=errors,
+        p50=p99 / 2, p95=p99 * 0.9, p99=p99,
+    )
+
+
+class TestParse:
+    def test_full_spec(self):
+        slo = parse_slo("p99=5ms,err=0.1%")
+        assert [o.name for o in slo.objectives] == ["p99", "err"]
+        assert slo.objectives[0].threshold == pytest.approx(0.005)
+        assert slo.objectives[1].threshold == pytest.approx(0.001)
+
+    def test_duration_units(self):
+        assert parse_slo("p50=500us").objectives[0].threshold == pytest.approx(5e-4)
+        assert parse_slo("p95=1s").objectives[0].threshold == pytest.approx(1.0)
+        # Bare numbers default to milliseconds.
+        assert parse_slo("p99=5").objectives[0].threshold == pytest.approx(0.005)
+
+    def test_err_as_fraction(self):
+        assert parse_slo("err=0.02").objectives[0].threshold == pytest.approx(0.02)
+
+    def test_empty_spec_is_off(self):
+        assert not parse_slo(None)
+        assert not parse_slo("  ")
+        assert parse_slo("").spec() == ""
+
+    def test_spec_round_trips(self):
+        raw = "p99=5ms,err=0.1%"
+        assert parse_slo(parse_slo(raw).spec()).spec() == parse_slo(raw).spec()
+
+    @pytest.mark.parametrize("bad", [
+        "p99", "p99=fast", "p42=5ms", "err=120%", "err=nope",
+        "p99=5ms,p99=6ms", "p99=0ms",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(SLOError):
+            parse_slo(bad)
+
+
+class TestEvaluate:
+    def test_within_budget(self):
+        slo = parse_slo("p99=5ms,err=1%")
+        report = slo.evaluate(_stats(p99=0.001, errors=0))
+        assert report["degraded"] is False
+        assert all(entry["ok"] for entry in report["objectives"])
+        burn = {e["name"]: e["burn_rate"] for e in report["objectives"]}
+        assert burn["p99"] == pytest.approx(0.2)
+
+    def test_latency_burn_degrades(self):
+        slo = parse_slo("p99=5ms")
+        report = slo.evaluate(_stats(p99=0.02))
+        assert report["degraded"] is True
+        assert report["objectives"][0]["burn_rate"] == pytest.approx(4.0)
+
+    def test_error_burn_degrades(self):
+        slo = parse_slo("err=1%")
+        report = slo.evaluate(_stats(errors=5, requests=100))
+        assert report["degraded"] is True
+        assert report["objectives"][0]["burn_rate"] == pytest.approx(5.0)
+
+    def test_idle_window_stays_healthy(self):
+        slo = parse_slo("p99=5ms,err=0.1%")
+        idle = WindowStats(span=60, requests=0, errors=0, p50=0, p95=0, p99=0)
+        assert slo.evaluate(idle)["degraded"] is False
+
+    def test_objective_observed_dispatch(self):
+        stats = _stats(p99=0.008, errors=2, requests=10)
+        assert Objective("p99", 0.005).observed(stats) == pytest.approx(0.008)
+        assert Objective("err", 0.01).observed(stats) == pytest.approx(0.2)
+
+    def test_empty_set_evaluates_clean(self):
+        report = SLOSet().evaluate(_stats())
+        assert report["objectives"] == [] and report["degraded"] is False

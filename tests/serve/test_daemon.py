@@ -26,7 +26,9 @@ class TestSocketRPC:
     def test_ping(self, daemon):
         _daemon, socket_path, _domains = daemon
         reply = request_socket(socket_path, {"op": "ping"})
-        assert reply == {"ok": True, "result": {"pong": True}}
+        assert reply["ok"] is True
+        assert reply["result"] == {"pong": True}
+        assert reply["trace"]  # every response carries its trace id
 
     def test_who_has_round_trip(self, daemon):
         _daemon, socket_path, domains = daemon
@@ -51,11 +53,10 @@ class TestSocketRPC:
     def test_errors_stay_structured(self, daemon):
         _daemon, socket_path, _domains = daemon
         reply = request_socket(socket_path, {"op": "frobnicate"})
-        assert reply == {
-            "ok": False,
-            "error": "unknown op 'frobnicate'",
-            "code": "unknown-op",
-        }
+        assert reply["ok"] is False
+        assert reply["error"] == "unknown op 'frobnicate'"
+        assert reply["code"] == "unknown-op"
+        assert reply["trace"]
         reply = request_socket(socket_path, {"op": "who-has"})
         assert reply["ok"] is False and reply["code"] == "bad-request"
         reply = request_socket(

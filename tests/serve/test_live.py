@@ -1,0 +1,282 @@
+"""Live telemetry through the serving stack: traces, /metrics, flushes.
+
+Covers the observability contract end to end:
+
+* trace ids — client-supplied ids surface in the span ring and the
+  ``trace`` op's replay; server-minted ids round-trip through
+  who-has → block decode → response,
+* the ``metrics`` RPC's ``live`` section (sliding windows, gauges, SLO),
+* ``GET /metrics`` Prometheus exposition under real HTTP,
+* periodic atomic flushing of ``--metrics-out`` (SIGKILL safety),
+* ``REPRO_LIVE=off`` disabling the whole layer.
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.obs.live import render_trace_tree
+from repro.obs.schemas import (
+    METRICS_SCHEMA,
+    SERVE_SECTION_SCHEMA,
+    validate,
+    validate_prometheus,
+)
+from repro.obs.slo import parse_slo
+from repro.serve.cli import main as serve_main, render_top
+from repro.serve.daemon import ServeDaemon, handle_request, request_http
+from repro.serve.service import InferenceService, ServiceError
+from repro.store import ArtifactStore
+
+
+@pytest.fixture()
+def service(seeded):
+    config, root, _domains = seeded
+    return InferenceService(config, ArtifactStore(root))
+
+
+class TestTracePropagation:
+    def test_client_supplied_trace_id_surfaces_in_ring(self, service, seeded):
+        _config, _root, domains = seeded
+        reply = handle_request(
+            service,
+            {"op": "who-has", "domain": domains[0], "corpus": "alexa",
+             "trace": "client-trace-42"},
+        )
+        assert reply["ok"] is True
+        assert reply["trace"] == "client-trace-42"
+        events = service.live.tracer.events()
+        roots = [
+            event for event in events
+            if event.get("args", {}).get("trace") == "client-trace-42"
+        ]
+        assert len(roots) == 1 and roots[0]["name"] == "who-has"
+
+    def test_trace_op_replays_the_span_tree(self, service, seeded):
+        _config, _root, domains = seeded
+        handle_request(
+            service,
+            {"op": "who-has", "domain": domains[0], "corpus": "alexa",
+             "trace": "replay-me"},
+        )
+        reply = handle_request(service, {"op": "trace", "id": "replay-me"})
+        assert reply["ok"] is True
+        tree = reply["result"]
+        assert tree["trace"] == "replay-me"
+        assert tree["spans"][0]["name"] == "who-has"
+        rendered = render_trace_tree(tree)
+        assert "trace replay-me" in rendered and "who-has" in rendered
+
+    def test_minted_id_round_trips_through_block_decode(self, service, seeded):
+        _config, _root, domains = seeded
+        # Cold cache: the lookup decodes a store block inside the request,
+        # so the replayed tree must show block.load nested under who-has.
+        reply = handle_request(
+            service, {"op": "who-has", "domain": domains[0], "corpus": "alexa"}
+        )
+        minted = reply["trace"]
+        assert minted  # server minted an id without being asked
+        replay = handle_request(service, {"op": "trace", "id": minted})
+        assert replay["ok"] is True
+        root = replay["result"]["spans"][0]
+        names = {child["name"] for child in root["children"]}
+        assert "block.load" in names
+
+    def test_unknown_trace_id_is_not_found(self, service):
+        reply = handle_request(service, {"op": "trace", "id": "never-seen"})
+        assert reply["ok"] is False and reply["code"] == "not-found"
+
+    def test_trace_op_requires_an_id(self, service):
+        reply = handle_request(service, {"op": "trace"})
+        assert reply["ok"] is False and reply["code"] == "bad-request"
+
+    def test_ring_stays_bounded(self, seeded):
+        config, root, _domains = seeded
+        service = InferenceService(
+            config, ArtifactStore(root), trace_ring=64
+        )
+        for _ in range(200):
+            handle_request(service, {"op": "status"})
+        assert len(service.live.tracer.events()) <= 64
+
+
+class TestLiveMetrics:
+    def test_metrics_live_section(self, service, seeded):
+        _config, _root, domains = seeded
+        for domain in domains[:5]:
+            handle_request(
+                service, {"op": "who-has", "domain": domain, "corpus": "alexa"}
+            )
+        metrics = service.metrics()
+        live = metrics["live"]
+        assert live["endpoints"]["who-has"]["total_requests"] == 5
+        window = live["endpoints"]["who-has"]["windows"]["60s"]
+        assert window["requests"] == 5
+        assert window["p99_ms"] > 0
+        assert live["gauges"]["cache_hit_rate"] is not None
+        assert metrics["degraded"] is False
+        # The document still validates against the serve section schema.
+        assert validate(metrics, SERVE_SECTION_SCHEMA) == []
+
+    def test_errors_feed_the_error_rate(self, service):
+        with pytest.raises(Exception):
+            service.who_has("definitely-missing.example", "alexa")
+        live = service.metrics()["live"]
+        assert live["endpoints"]["who-has"]["total_errors"] == 1
+
+    def test_slo_degraded_flag(self, seeded):
+        config, root, domains = seeded
+        service = InferenceService(
+            config, ArtifactStore(root), slo=parse_slo("p99=0.001us")
+        )
+        for domain in domains[:4]:
+            handle_request(
+                service, {"op": "who-has", "domain": domain, "corpus": "alexa"}
+            )
+        # Any real lookup takes longer than a nanosecond objective.
+        assert service.live.degraded() is True
+        assert service.status()["degraded"] is True
+        report = service.metrics()["live"]["slo"]
+        assert report["endpoint"] == "who-has"
+        assert report["objectives"][0]["burn_rate"] > 1
+
+    def test_ingest_lag_gauge(self, service):
+        service.live.note_ingest(3, 1.25)
+        gauges = service.live.gauges()
+        assert gauges["ingest_lag_s"] is not None
+        assert gauges["last_ingest"]["snapshot"] == 3
+
+    def test_prometheus_rendering_validates(self, service, seeded):
+        _config, _root, domains = seeded
+        for domain in domains[:3]:
+            handle_request(
+                service, {"op": "who-has", "domain": domain, "corpus": "alexa"}
+            )
+        text = service.prometheus()
+        assert validate_prometheus(text) == []
+        assert "repro_serve_requests_total" in text
+        assert 'window="60s",quantile="0.99"' in text
+
+
+class TestHttpScrape:
+    @pytest.fixture()
+    def http_daemon(self, service):
+        daemon = ServeDaemon(service, http_address=("127.0.0.1", 0))
+        daemon.start()
+        try:
+            yield daemon, daemon._servers[0].server_address
+        finally:
+            daemon.shutdown()
+
+    def test_get_metrics_serves_prometheus_text(self, http_daemon, seeded):
+        _config, _root, domains = seeded
+        (daemon, (host, port)) = http_daemon
+        for domain in domains[:3]:
+            reply = request_http(
+                host, port,
+                {"op": "who-has", "domain": domain, "corpus": "alexa"},
+            )
+            assert reply["ok"] is True and reply["trace"]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            body = response.read().decode()
+        finally:
+            connection.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith("text/plain")
+        assert validate_prometheus(body) == []
+        assert 'repro_serve_requests_total{endpoint="who-has"} 3' in body
+
+    def test_metrics_json_route_still_structured(self, http_daemon):
+        (daemon, (host, port)) = http_daemon
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", "/metrics.json")
+            response = connection.getresponse()
+            reply = json.loads(response.read())
+        finally:
+            connection.close()
+        assert reply["ok"] is True and "block_cache" in reply["result"]
+
+
+class TestAtomicFlush:
+    def test_periodic_flush_writes_complete_documents(
+        self, service, seeded, tmp_path
+    ):
+        _config, _root, domains = seeded
+        metrics_out = tmp_path / "metrics.json"
+        daemon = ServeDaemon(
+            service,
+            socket_path=str(tmp_path / "flush.sock"),
+            metrics_out=str(metrics_out),
+            flush_interval=0.1,
+        )
+        daemon.start()
+        try:
+            handle_request(
+                service,
+                {"op": "who-has", "domain": domains[0], "corpus": "alexa"},
+            )
+            deadline = time.monotonic() + 10
+            while not metrics_out.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert metrics_out.exists(), "flusher never wrote the document"
+            document = json.loads(metrics_out.read_text())
+            assert document["serve"]["live"]["endpoints"]["who-has"]
+            # tmp+rename leaves no partial files behind.
+            assert not list(tmp_path.glob("metrics.json.tmp-*"))
+        finally:
+            daemon.shutdown()
+        # Shutdown rewrote the final snapshot — still a complete document.
+        final = json.loads(metrics_out.read_text())
+        assert validate(final, METRICS_SCHEMA) == []
+
+
+class TestTop:
+    def test_render_top_frame(self, service, seeded):
+        _config, _root, domains = seeded
+        for domain in domains[:3]:
+            handle_request(
+                service, {"op": "who-has", "domain": domain, "corpus": "alexa"}
+            )
+        frame = render_top(service.metrics())
+        assert frame.startswith("repro top — uptime")
+        assert "who-has" in frame and "60s" in frame
+
+    def test_top_cli_drives_a_daemon(self, service, tmp_path, capsys):
+        socket_path = str(tmp_path / "top.sock")
+        daemon = ServeDaemon(service, socket_path=socket_path)
+        daemon.start()
+        try:
+            assert serve_main(
+                ["top", "--socket", socket_path, "--count", "1"]
+            ) == 0
+        finally:
+            daemon.shutdown()
+        out = capsys.readouterr().out
+        assert "repro top — uptime" in out
+
+    def test_top_needs_a_target(self):
+        assert serve_main(["top", "--count", "1"]) == 2
+
+
+class TestDisabled:
+    def test_repro_live_off_disables_telemetry(self, seeded, monkeypatch):
+        monkeypatch.setenv("REPRO_LIVE", "off")
+        config, root, domains = seeded
+        service = InferenceService(config, ArtifactStore(root))
+        assert service.live is None
+        reply = handle_request(
+            service, {"op": "who-has", "domain": domains[0], "corpus": "alexa"}
+        )
+        assert reply["ok"] is True and reply["trace"]  # ids still mint
+        assert service.metrics()["live"] is None
+        assert service.status()["degraded"] is False
+        with pytest.raises(ServiceError):
+            service.prometheus()
+        trace_reply = handle_request(service, {"op": "trace", "id": reply["trace"]})
+        assert trace_reply["code"] == "no-telemetry"
