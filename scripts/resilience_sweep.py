@@ -50,6 +50,7 @@ from repro.resilience import JOURNAL_NAME
 
 SUBPROCESS_TIMEOUT = 180.0
 MAX_RESUMES = 5
+DIST_HOSTS = 3
 
 #: (name, jobs, executor, signal) — jobs∈{1,4}, both executors, both
 #: interruption styles.
@@ -227,6 +228,160 @@ def run_scenario(args, name, jobs, executor, kill_signal, rng, work: Path) -> di
     }
 
 
+def spawn_dist_worker(socket_path: Path, host_id: str, env) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "dist", "worker",
+            "--connect", str(socket_path), "--host-id", host_id,
+        ],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def run_dist_scenario(args, rng, work: Path) -> dict:
+    """Distributed gate: 3 simulated hosts, one SIGKILLed whole mid-run.
+
+    A ``repro dist coordinator`` run over three worker-host processes,
+    with the hash-pure ``host.netsplit`` channel armed, one whole host
+    SIGKILLed at a seeded point, and a replacement host joining
+    elastically.  The coordinator recovers host loss live by re-leasing;
+    should the entire fleet die, ``repro resume`` completes the
+    journaled run locally.  Either way the gate is the same as every
+    other scenario: stdout and artifact-store bytes must match a local,
+    never-failed reference run exactly.
+    """
+    env = run_env("process")
+    scenario_dir = work / "dist-hostkill"
+    ref_cache = scenario_dir / "ref-cache"
+    dist_cache = scenario_dir / "dist-cache"
+    run_dir = scenario_dir / "run"
+    scenario_dir.mkdir(parents=True)
+
+    rc, ref_stdout, _, ref_wall = run_to_completion(
+        repro_command(args, jobs=4, cache_dir=ref_cache), env
+    )
+    if rc != 0:
+        return {"name": "dist-hostkill", "failures": [f"reference run exited {rc}"]}
+
+    socket_path = scenario_dir / "coordinator.sock"
+    coordinator = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "dist", "coordinator",
+            "--socket", str(socket_path),
+            "--hosts", str(DIST_HOSTS),
+            "--heartbeat-timeout", "1.0",
+            "--heartbeat-interval", "0.2",
+            "--stall-timeout", "45",
+            "--",
+            args.experiment, "--scale", str(args.scale), "--jobs", "4",
+            "--cache-dir", str(dist_cache), "--run-dir", str(run_dir),
+            "--faults", f"host.netsplit=0.4,seed={args.seed}",
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+    )
+    workers: list[subprocess.Popen] = []
+    kills = 0
+    kill_delay = ref_wall * rng.uniform(0.25, 0.6)
+    try:
+        deadline = time.monotonic() + 60.0
+        while not socket_path.exists():
+            if coordinator.poll() is not None or time.monotonic() > deadline:
+                coordinator.kill()
+                coordinator.communicate()
+                return {
+                    "name": "dist-hostkill",
+                    "failures": ["coordinator socket never appeared"],
+                }
+            time.sleep(0.05)
+        workers = [
+            spawn_dist_worker(socket_path, f"sweep-h{i}", env)
+            for i in range(DIST_HOSTS)
+        ]
+        # Whole-host SIGKILL at a seeded point.  The dist run is slower
+        # than the local reference (payload shipping, heartbeats), so a
+        # delay calibrated against ref_wall lands mid-run.
+        try:
+            coordinator.wait(timeout=kill_delay)
+        except subprocess.TimeoutExpired:
+            victim = workers[rng.randrange(DIST_HOSTS)]
+            if victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+                kills += 1
+            # Elastic join: a spare host replaces the lost capacity.
+            workers.append(spawn_dist_worker(socket_path, "sweep-spare", env))
+        try:
+            stdout, _ = coordinator.communicate(timeout=SUBPROCESS_TIMEOUT)
+            rc = coordinator.returncode
+        except subprocess.TimeoutExpired:
+            coordinator.kill()
+            stdout, _ = coordinator.communicate()
+            rc = -1
+    finally:
+        if coordinator.poll() is None:
+            coordinator.kill()
+            coordinator.communicate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait()
+
+    final_stdout = stdout if rc == 0 else None
+    resume = [
+        sys.executable, "-m", "repro", "resume", "--run-dir", str(run_dir),
+    ]
+    resumes = 0
+    while final_stdout is None and resumes < MAX_RESUMES:
+        resumes += 1
+        rc, out, _, _ = run_to_completion(resume, env)
+        if rc == 0:
+            final_stdout = out
+
+    failures: list[str] = []
+    if final_stdout is None:
+        failures.append(f"dist run never completed (last exit {rc})")
+    else:
+        if final_stdout != ref_stdout:
+            failures.append("dist stdout differs from the local reference")
+        failures.extend(compare_stores(ref_cache, dist_cache))
+    journal_path = run_dir / JOURNAL_NAME
+    events: list[str] = []
+    if journal_path.is_file():
+        failures.extend(
+            schemas.validate_jsonl_file(
+                str(journal_path), schemas.JOURNAL_EVENT_SCHEMA
+            )
+        )
+        for line in journal_path.read_text().splitlines():
+            try:
+                events.append(json.loads(line).get("event"))
+            except json.JSONDecodeError:
+                continue
+    else:
+        failures.append("dist run wrote no journal")
+    if events.count("host.join") < DIST_HOSTS:
+        failures.append(
+            f"journal records {events.count('host.join')} host.join events "
+            f"(want >= {DIST_HOSTS})"
+        )
+    if "shard.lease" not in events:
+        failures.append("journal records no shard.lease events")
+    if kills and "host.lost" not in events:
+        failures.append("SIGKILLed host never journalled host.lost")
+    return {
+        "name": "dist-hostkill",
+        "hosts": DIST_HOSTS,
+        "kill_delay_seconds": round(kill_delay, 3),
+        "kills": kills,
+        "resumes": resumes,
+        "host_join_events": events.count("host.join"),
+        "host_lost_events": events.count("host.lost"),
+        "stolen_events": events.count("shard.stolen"),
+        "failures": failures,
+    }
+
+
 def run_poison_gate(args, work: Path) -> dict:
     """worker.crash=1.0 must quarantine loudly, never hang."""
     env = run_env("process")
@@ -280,6 +435,12 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true",
         help="exit 1 when any scenario fails (CI mode)",
     )
+    parser.add_argument(
+        "--dist", action="store_true",
+        help="run the distributed-executor gate (3 simulated hosts, "
+             "whole-host SIGKILL + netsplit) instead of the kill/resume "
+             "scenarios",
+    )
     args = parser.parse_args(argv)
 
     rng = random.Random(args.seed)
@@ -300,26 +461,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     results = []
     try:
-        for name, jobs, executor, kill_signal in SCENARIOS:
-            result = run_scenario(
-                args, name, jobs, executor, kill_signal, rng, work
-            )
+        if args.dist:
+            result = run_dist_scenario(args, rng, work)
             results.append(result)
             status = "ok" if not result["failures"] else "FAIL"
             print(
-                f"  {name}: {status} "
-                f"(kills={result.get('kills', '?')}, "
+                f"  dist-hostkill: {status} "
+                f"(hosts={result.get('hosts', '?')}, "
+                f"kills={result.get('kills', '?')}, "
+                f"host_lost={result.get('host_lost_events', '?')}, "
                 f"resumes={result.get('resumes', '?')})",
                 file=sys.stderr,
             )
-        poison = run_poison_gate(args, work)
-        results.append(poison)
-        print(
-            f"  poison: {'ok' if not poison['failures'] else 'FAIL'} "
-            f"(exit={poison.get('exit_code', '?')}, "
-            f"{poison.get('elapsed_seconds', '?')}s)",
-            file=sys.stderr,
-        )
+        else:
+            for name, jobs, executor, kill_signal in SCENARIOS:
+                result = run_scenario(
+                    args, name, jobs, executor, kill_signal, rng, work
+                )
+                results.append(result)
+                status = "ok" if not result["failures"] else "FAIL"
+                print(
+                    f"  {name}: {status} "
+                    f"(kills={result.get('kills', '?')}, "
+                    f"resumes={result.get('resumes', '?')})",
+                    file=sys.stderr,
+                )
+            poison = run_poison_gate(args, work)
+            results.append(poison)
+            print(
+                f"  poison: {'ok' if not poison['failures'] else 'FAIL'} "
+                f"(exit={poison.get('exit_code', '?')}, "
+                f"{poison.get('elapsed_seconds', '?')}s)",
+                file=sys.stderr,
+            )
     finally:
         if cleanup is not None:
             cleanup.cleanup()

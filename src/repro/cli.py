@@ -450,8 +450,13 @@ def _prepare_resume(args: argparse.Namespace, parser: argparse.ArgumentParser):
     return restored, record
 
 
-def main(argv: list[str] | None = None) -> int:
+def main(argv: list[str] | None = None, *, dist_coordinator=None) -> int:
     raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "dist":
+        # Distributed execution verbs (`repro dist coordinator|worker`).
+        from .dist.cli import main as dist_main
+
+        return dist_main(raw[1:])
     if raw and raw[0] == "serve":
         # The serving subcommands have their own parser (daemon flags,
         # client verbs) — dispatch before the experiment parser sees them.
@@ -503,7 +508,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.experiment == "explain":
             return run_explain_command(args)
-        return _run_experiments(args, trace_path, argv, resume_record)
+        return _run_experiments(
+            args, trace_path, argv, resume_record, dist=dist_coordinator
+        )
     finally:
         if trace_path:
             tracer = obs_trace.active()
@@ -581,6 +588,7 @@ def _run_experiments(
     trace_path: str | None,
     argv: list[str] | None,
     resume_record=None,
+    dist=None,
 ) -> int:
     config = WorldConfig(seed=args.seed).scaled(args.scale)
     store = resolve_store(args)
@@ -599,6 +607,22 @@ def _run_experiments(
     except resilience.ResumeError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if dist is not None:
+        # Pin the welcome document (world, faults, shared store) before
+        # the socket exists, so a fast-joining host can never see a
+        # half-configured coordinator; dist flags stay out of the
+        # journaled args, so `repro resume` continues locally.
+        dist.configure(
+            config=config,
+            faults_spec=plan.canonical() if plan is not None else None,
+            cache_dir=str(store.root) if store is not None else None,
+            run_id=run.run_id if run is not None else None,
+        )
+        if run is not None:
+            dist.journal = run.journal
+        dist.start()
+        where = dist.socket_path or "tcp:{}:{}".format(*dist.tcp_address[:2])
+        print(f"dist coordinator listening on {where}", file=sys.stderr)
     started = time.time()
     print(
         f"Building world (seed={config.seed}, "
@@ -623,7 +647,8 @@ def _run_experiments(
     try:
         with shutdown_trap, obs_trace.span("run", cat="run", experiments=len(names)):
             ctx = StudyContext.create(
-                config, engine=engine, store=store, faults=plan, resilience=run
+                config, engine=engine, store=store, faults=plan,
+                resilience=run, dist=dist,
             )
             for name in names:
                 if run is not None:

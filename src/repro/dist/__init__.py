@@ -1,0 +1,64 @@
+"""repro.dist: the socket-dispatched multi-host shard executor.
+
+Generalizes the PR 5 single-host supervisor beyond one process tree: a
+:class:`DistCoordinator` owns a unix/TCP socket and leases gather shards
+to N ``repro dist worker`` processes (simulated hosts, each with its own
+shard pool) over line-JSON RPC with heartbeats.  Results stream back as
+the columnar store codec and flow through the *same* supervisor ledger
+as local execution — same checkpoints, same journal, same shard-order
+merge — so distributed runs are byte-identical to serial ones and
+``repro resume`` works on them unchanged, even after an entire host is
+SIGKILLed mid-run.
+
+Pieces:
+
+* :mod:`repro.dist.protocol` — versioned wire messages + framing;
+* :mod:`repro.dist.leases` — the pure shard-lease state machine
+  (grant / complete / steal / release), property-tested;
+* :mod:`repro.dist.coordinator` — socket server, host registry,
+  work-stealing, heartbeat-timeout recovery;
+* :mod:`repro.dist.worker` — one simulated host, plus the host-level
+  fault channels (``host.crash`` / ``host.netsplit``);
+* :mod:`repro.dist.cli` — ``repro dist coordinator|worker`` verbs.
+"""
+
+from .coordinator import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_STEAL_AFTER,
+    DistCoordinator,
+    DistExecutor,
+)
+from .leases import Lease, LeaseTable
+from .protocol import (
+    Channel,
+    ProtocolError,
+    check_message,
+    decode_line,
+    encode_line,
+    message,
+    pack_payload,
+    unpack_payload,
+)
+from .worker import EXIT_HOST_CRASH, EXIT_HOST_NETSPLIT, DistWorker
+
+__all__ = [
+    "Channel",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_STEAL_AFTER",
+    "DistCoordinator",
+    "DistExecutor",
+    "DistWorker",
+    "EXIT_HOST_CRASH",
+    "EXIT_HOST_NETSPLIT",
+    "Lease",
+    "LeaseTable",
+    "ProtocolError",
+    "check_message",
+    "decode_line",
+    "encode_line",
+    "message",
+    "pack_payload",
+    "unpack_payload",
+]

@@ -1,0 +1,132 @@
+"""``repro dist`` verbs: run a coordinator or join it as a worker host.
+
+``repro dist coordinator [dist flags] -- <normal repro args>``
+    Starts the lease coordinator on a socket, then runs the ordinary
+    experiment CLI with gathers dispatched to connected hosts.  Every
+    non-dist flag (``--jobs``, ``--run-dir``, ``--cache-dir``,
+    ``--faults``, experiment names, ...) is passed through unchanged —
+    and deliberately *excluded* dist flags are kept out of the journaled
+    argument namespace, so ``repro resume`` continues a crashed
+    coordinator's run locally.
+
+``repro dist worker --connect SOCKET [--host-id H] [--pool N]``
+    One simulated host: connects, leases shards, streams results back
+    until the coordinator says shutdown (or a host-level fault kills it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .coordinator import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_STEAL_AFTER,
+    DistCoordinator,
+)
+from .worker import DistWorker
+
+
+def _coordinator_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro dist coordinator",
+        description="lease gather shards to worker hosts over a socket",
+    )
+    parser.add_argument("--socket", help="unix socket path to listen on")
+    parser.add_argument(
+        "--tcp", metavar="HOST:PORT",
+        help="TCP address to listen on (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=1, metavar="N",
+        help="hold leases until N hosts have joined (default 1)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=DEFAULT_HEARTBEAT_TIMEOUT,
+        help="seconds of silence before a host is declared lost",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=DEFAULT_HEARTBEAT_INTERVAL,
+        help="heartbeat cadence workers are told to keep",
+    )
+    parser.add_argument(
+        "--steal-after", type=float, default=DEFAULT_STEAL_AFTER,
+        help="seconds before an in-flight shard may be stolen (0 disables)",
+    )
+    parser.add_argument(
+        "--stall-timeout", type=float, default=None,
+        help="fail if no hosts are connected and no progress for this long",
+    )
+    return parser
+
+
+def _worker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro dist worker",
+        description="join a dist coordinator as one simulated host",
+    )
+    parser.add_argument(
+        "--connect", required=True,
+        help="coordinator address: a unix socket path, or tcp:HOST:PORT",
+    )
+    parser.add_argument("--host-id", help="stable host name (default: host-<pid>)")
+    parser.add_argument(
+        "--pool", type=int, default=1,
+        help="concurrent shard leases this host works on (default 1)",
+    )
+    return parser
+
+
+def run_coordinator(argv: list[str]) -> int:
+    parser = _coordinator_parser()
+    dist_args, rest = parser.parse_known_args(argv)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if (dist_args.socket is None) == (dist_args.tcp is None):
+        parser.error("need exactly one of --socket PATH / --tcp HOST:PORT")
+    tcp_address = None
+    if dist_args.tcp is not None:
+        host, _, port = dist_args.tcp.rpartition(":")
+        tcp_address = (host or "127.0.0.1", int(port))
+    coordinator = DistCoordinator(
+        socket_path=dist_args.socket,
+        tcp_address=tcp_address,
+        heartbeat_timeout=dist_args.heartbeat_timeout,
+        heartbeat_interval=dist_args.heartbeat_interval,
+        steal_after=dist_args.steal_after or None,
+        min_hosts=dist_args.hosts,
+        stall_timeout=dist_args.stall_timeout,
+    )
+    from ..cli import main as repro_main
+
+    try:
+        return repro_main(rest, dist_coordinator=coordinator)
+    finally:
+        coordinator.close()
+
+
+def run_worker(argv: list[str]) -> int:
+    args = _worker_parser().parse_args(argv)
+    worker = DistWorker(
+        args.connect, host_id=args.host_id, pool=args.pool
+    )
+    return worker.run()
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: repro dist {coordinator|worker} ...\n"
+            "  coordinator  run experiments with shards leased to hosts\n"
+            "  worker       join a coordinator as one simulated host",
+            file=sys.stderr,
+        )
+        return 0 if argv else 2
+    verb, rest = argv[0], argv[1:]
+    if verb == "coordinator":
+        return run_coordinator(rest)
+    if verb == "worker":
+        return run_worker(rest)
+    print(f"unknown dist verb {verb!r} (want coordinator|worker)", file=sys.stderr)
+    return 2

@@ -1,0 +1,201 @@
+"""The shard-lease state machine the dist coordinator schedules with.
+
+Pure bookkeeping — no sockets, no clocks of its own (callers pass
+``now``), no side effects — so the entire lease lifecycle is property-
+testable: any interleaving of lease / complete / steal / timeout /
+rejoin events must leave every shard completed exactly once.
+
+States per shard::
+
+    PENDING --request--> LEASED --complete--> DONE
+       ^                   |  \\
+       |                   |   +--request (steal)--> LEASED (duplicate)
+       +------release------+
+
+* **request** grants the lowest-numbered pending shard first; when none
+  are pending it may *steal*: grant a duplicate lease on the in-flight
+  shard that has been running longest past ``steal_after``, to a host
+  that does not already hold it.  Work-stealing trades duplicate compute
+  for tail latency — results are value-identical, so the first
+  completion wins and the duplicate is discarded.
+* **complete** is first-wins per shard: later completions (a stolen
+  twin, a host presumed lost that finished anyway) report as duplicates.
+* **release** (an explicit failure, or every lease of a dropped host)
+  returns the shard to pending *unless* another live lease still covers
+  it or it already completed.
+
+Each grant carries a monotonically increasing per-shard ``attempt``
+number — the supervisor's restart-budget and fault-roll key — and a
+globally unique ``lease_id``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One grant of one shard to one host."""
+
+    lease_id: int
+    shard: int
+    host: str
+    attempt: int
+    granted: float      # caller clock (monotonic seconds)
+    stolen: bool = False
+    victim: str | None = None   # the host stolen from, when stolen
+
+
+class LeaseTable:
+    """Lease bookkeeping for one gather's shards."""
+
+    def __init__(self, shards, steal_after: float | None = None):
+        self.shards = sorted(set(shards))
+        if steal_after is not None and steal_after <= 0:
+            raise ValueError("steal_after must be positive (or None to disable)")
+        self.steal_after = steal_after
+        self._pending: set[int] = set(self.shards)
+        self._done: set[int] = set()
+        self._attempts: dict[int, int] = {shard: 0 for shard in self.shards}
+        self._active: dict[int, Lease] = {}          # lease_id -> Lease
+        self._by_shard: dict[int, set[int]] = {}     # shard -> active lease ids
+        self._all: dict[int, Lease] = {}             # every lease ever granted
+        self._ids = itertools.count(1)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def done(self) -> frozenset:
+        return frozenset(self._done)
+
+    @property
+    def all_done(self) -> bool:
+        return len(self._done) == len(self.shards)
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def active_leases(self) -> list[Lease]:
+        return sorted(self._active.values(), key=lambda lease: lease.lease_id)
+
+    def attempts(self, shard: int) -> int:
+        return self._attempts[shard]
+
+    def lease(self, lease_id: int) -> Lease | None:
+        """Any lease ever granted under this id (active or not)."""
+        return self._all.get(lease_id)
+
+    # -- transitions -----------------------------------------------------
+
+    def request(self, host: str, now: float) -> Lease | None:
+        """Grant a lease to *host*, stealing if nothing is pending."""
+        if self._pending:
+            shard = min(self._pending)
+            self._pending.discard(shard)
+            return self._grant(shard, host, now)
+        return self._steal(host, now)
+
+    def _steal(self, host: str, now: float) -> Lease | None:
+        if self.steal_after is None:
+            return None
+        candidates = []
+        for shard, lease_ids in self._by_shard.items():
+            if shard in self._done or not lease_ids:
+                continue
+            holders = {self._active[lid].host for lid in lease_ids}
+            if host in holders:
+                continue            # no point duplicating onto the same host
+            if len(lease_ids) > 1:
+                continue            # already has a stolen twin in flight
+            oldest = min(self._active[lid].granted for lid in lease_ids)
+            if now - oldest < self.steal_after:
+                continue
+            candidates.append((oldest, shard, min(holders)))
+        if not candidates:
+            return None
+        # Steal the longest-running shard — the imbalance tail.
+        _oldest, shard, victim = min(candidates)
+        return self._grant(shard, host, now, stolen=True, victim=victim)
+
+    def _grant(
+        self, shard: int, host: str, now: float,
+        stolen: bool = False, victim: str | None = None,
+    ) -> Lease:
+        self._attempts[shard] += 1
+        lease = Lease(
+            lease_id=next(self._ids),
+            shard=shard,
+            host=host,
+            attempt=self._attempts[shard],
+            granted=now,
+            stolen=stolen,
+            victim=victim,
+        )
+        self._active[lease.lease_id] = lease
+        self._by_shard.setdefault(shard, set()).add(lease.lease_id)
+        self._all[lease.lease_id] = lease
+        return lease
+
+    def complete(self, lease_id: int) -> tuple[Lease, bool]:
+        """A completion arrived; returns (lease, fresh).
+
+        ``fresh`` is False for duplicates — a stolen twin, or a released
+        host's lease finishing anyway.  Unknown lease ids raise.
+        """
+        lease = self._all.get(lease_id)
+        if lease is None:
+            raise KeyError(f"unknown lease id {lease_id}")
+        fresh = lease.shard not in self._done
+        self._done.add(lease.shard)
+        self._pending.discard(lease.shard)
+        for lid in self._by_shard.pop(lease.shard, set()):
+            self._active.pop(lid, None)
+        return lease, fresh
+
+    def release(self, lease_id: int) -> Lease | None:
+        """Drop one active lease (failed attempt); requeues if uncovered."""
+        lease = self._active.pop(lease_id, None)
+        if lease is None:
+            return None
+        remaining = self._by_shard.get(lease.shard, set())
+        remaining.discard(lease_id)
+        if not remaining and lease.shard not in self._done:
+            self._pending.add(lease.shard)
+        return lease
+
+    def drop_host(self, host: str) -> list[Lease]:
+        """Release every active lease of a lost host; returns them.
+
+        A dropped host's shards go back to pending (unless a stolen twin
+        still covers them), so a rejoining or surviving host picks them
+        straight up — elastic leave is just a batch release.
+        """
+        dropped = [
+            lease for lease in self.active_leases() if lease.host == host
+        ]
+        for lease in dropped:
+            self.release(lease.lease_id)
+        return dropped
+
+    # -- invariants (exercised by the property tests) --------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the table reached an illegal state."""
+        active_shards = {lease.shard for lease in self._active.values()}
+        assert not (self._pending & self._done), "shard both pending and done"
+        assert not (active_shards & self._done), "active lease on a done shard"
+        assert not (active_shards & self._pending), "active shard still pending"
+        for shard, lease_ids in self._by_shard.items():
+            holders = [self._active[lid].host for lid in lease_ids]
+            assert len(holders) == len(set(holders)), (
+                f"shard {shard} leased twice to one host"
+            )
+        for shard in self.shards:
+            covered = (
+                shard in self._pending
+                or shard in self._done
+                or shard in active_shards
+            )
+            assert covered, f"shard {shard} fell out of the state machine"

@@ -1,0 +1,120 @@
+"""Line-JSON wire protocol between the dist coordinator and its hosts.
+
+One persistent connection per worker host carries newline-delimited JSON
+messages in strict request/response pairs (the same framing the serve
+daemon uses).  Every message is stamped with the protocol version and
+validated against :data:`repro.obs.schemas.DIST_MESSAGE_SCHEMA` on
+receipt, so version or schema drift between a coordinator and a worker
+fails loudly at the first exchange instead of corrupting a run.
+
+Shard results travel as the columnar measurement codec (the PR 2 store
+format, reused by PR 6 as the in-flight batch format) wrapped in base64 —
+the wire format *is* the storage format, so a payload decoded from the
+socket is byte-for-byte what a checkpoint would have stored.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import threading
+
+from ..obs.schemas import DIST_MESSAGE_SCHEMA, DIST_PROTOCOL_VERSION, validate
+from ..store.codec import decode_measurements, encode_measurements
+
+#: Backstop against a runaway or hostile peer; generous for real leases
+#: (a 10k-domain shard payload is well under a megabyte).
+MAX_LINE_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, unversioned, or schema-invalid dist message."""
+
+
+def message(kind: str, **fields) -> dict:
+    """A versioned message dict of the given type."""
+    return {"v": DIST_PROTOCOL_VERSION, "type": kind, **fields}
+
+
+def check_message(msg: object) -> dict:
+    """Validate one decoded message; returns it or raises ProtocolError."""
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"dist message is not an object: {type(msg).__name__}")
+    errors = validate(msg, DIST_MESSAGE_SCHEMA)
+    if errors:
+        raise ProtocolError("; ".join(errors))
+    if msg["v"] != DIST_PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"dist protocol version mismatch: peer speaks v{msg['v']}, "
+            f"this build speaks v{DIST_PROTOCOL_VERSION}"
+        )
+    return msg
+
+
+def encode_line(msg: dict) -> bytes:
+    return json.dumps(msg, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    try:
+        msg = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"bad JSON on dist connection: {error}") from None
+    return check_message(msg)
+
+
+def pack_payload(measurements) -> str:
+    """Encode one shard's measurement dict for the wire (codec + base64)."""
+    return base64.b64encode(encode_measurements(measurements)).decode("ascii")
+
+
+def unpack_payload(payload: str):
+    """Decode a wire payload back to the measurement dict."""
+    return decode_measurements(base64.b64decode(payload.encode("ascii")))
+
+
+class Channel:
+    """One framed, thread-safe message channel over a connected socket.
+
+    A worker host's pool threads and heartbeat thread share a single
+    connection; the lock serializes complete request/response exchanges
+    so replies can never interleave across threads.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._rfile = sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    def request(self, msg: dict) -> dict:
+        """Send one message and read its reply atomically."""
+        with self._lock:
+            self.sock.sendall(encode_line(msg))
+            line = self._rfile.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("dist coordinator closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def read_message(rfile) -> dict | None:
+    """One message from a connection file, or None on EOF."""
+    line = rfile.readline(MAX_LINE_BYTES)
+    if not line:
+        return None
+    return decode_line(line)
+
+
+def send_message(wfile, msg: dict) -> None:
+    wfile.write(encode_line(msg))
+    wfile.flush()

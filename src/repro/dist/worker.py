@@ -1,0 +1,296 @@
+"""A worker host: connects to a coordinator and computes leased shards.
+
+One ``repro dist worker`` process simulates one host.  It opens a single
+persistent connection, introduces itself (``hello``/``welcome``), builds
+its own copy of the world from the welcome (same :class:`WorldConfig`,
+same fault spec — measurement values are bit-identical by construction),
+and then runs a pool of puller threads that lease shards, gather them,
+and stream the columnar payloads back.  A separate thread heartbeats so
+the coordinator can tell a slow host from a dead one.
+
+Host-level fault channels fire here, keyed hash-pure like every other
+channel (``fault_roll(seed, channel, host, scope, shard, attempt)``):
+
+* ``host.crash`` — the whole process ``os._exit``\\ s mid-lease.  The
+  kernel closes the socket, the coordinator sees EOF and releases every
+  lease the host held.
+* ``host.netsplit`` — the process goes *silent*: heartbeats and traffic
+  stop but the socket stays open for ~2× the heartbeat timeout, so the
+  coordinator must recover through the timeout path, then the process
+  exits.
+
+Worker-level channels (``worker.crash``/``worker.hang``) roll with the
+exact same key as the single-host supervisor and are reported back as
+failed results, so the coordinator's restart budget — not the host —
+pays for them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..engine.stats import STATS
+from ..faults.inject import fault_roll
+from ..faults.plan import as_plan
+from ..obs import trace
+from ..obs.log import get_logger
+from ..resilience.supervisor import _roll
+from . import protocol
+
+log = get_logger("dist.worker")
+
+#: Exit code of an injected whole-host crash (distinguishable in CI logs).
+EXIT_HOST_CRASH = 115
+#: Exit code a netsplit host uses once its silent linger expires.
+EXIT_HOST_NETSPLIT = 116
+
+#: How long an injected in-dist worker.hang sleeps before reporting.
+HANG_SLEEP = 0.2
+
+
+class DistWorker:
+    """One simulated host: a connection, a shard pool, a heartbeat."""
+
+    def __init__(
+        self,
+        connect: str,
+        host_id: str | None = None,
+        pool: int = 1,
+        gatherer=None,
+        plan=None,
+    ):
+        self.connect_spec = connect
+        self.host_id = host_id or f"host-{os.getpid()}"
+        self.pool = max(1, int(pool))
+        self._gatherer = gatherer        # injected by tests; else built
+        self._plan = plan                # explicit FaultPlan override
+        self._stop = threading.Event()
+        self._silent = threading.Event()
+        self._linger = 10.0
+        self.leases_completed = 0
+
+    # -- connection ------------------------------------------------------
+
+    def _connect(self):
+        import socket
+
+        spec = self.connect_spec
+        if spec.startswith("tcp:"):
+            host, _, port = spec[len("tcp:"):].rpartition(":")
+            sock = socket.create_connection((host or "127.0.0.1", int(port)))
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(spec)
+        return sock
+
+    def _build_gatherer(self, welcome: dict):
+        """This host's own world, identical by construction to the run's."""
+        from ..experiments.common import StudyContext
+        from ..store import ArtifactStore
+        from ..world.build import WorldConfig
+
+        config = WorldConfig(**(welcome.get("world") or {}))
+        cache_dir = welcome.get("cache_dir")
+        store = ArtifactStore(cache_dir) if cache_dir else None
+        context = StudyContext.create(
+            config, store=store, faults=welcome.get("faults")
+        )
+        return context.gatherer
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> int:
+        """Connect, serve leases until told to stop; returns an exit code."""
+        sock = self._connect()
+        channel = protocol.Channel(sock)
+        welcome = channel.request(
+            protocol.message(
+                "hello", host=self.host_id, pool=self.pool, pid=os.getpid()
+            )
+        )
+        if welcome["type"] != "welcome":
+            raise protocol.ProtocolError(
+                f"expected welcome, got {welcome['type']!r}: "
+                f"{welcome.get('reason', '')}"
+            )
+        interval = float(welcome.get("heartbeat_interval") or 0.5)
+        timeout = float(welcome.get("heartbeat_timeout") or 5.0)
+        self._linger = timeout * 2.0 + 1.0
+        plan = (
+            self._plan
+            if self._plan is not None
+            else as_plan(welcome.get("faults"))
+        )
+        gatherer = self._gatherer
+        if gatherer is None:
+            gatherer = self._build_gatherer(welcome)
+        log.info(
+            "dist.worker_ready",
+            extra={"fields": {"host": self.host_id, "pool": self.pool}},
+        )
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, args=(channel, interval), daemon=True
+        )
+        heartbeat.start()
+        pullers = [
+            threading.Thread(
+                target=self._pull_loop, args=(channel, gatherer, plan),
+                daemon=True,
+            )
+            for _ in range(self.pool)
+        ]
+        for thread in pullers:
+            thread.start()
+        for thread in pullers:
+            thread.join()
+        if self._silent.is_set():
+            # Netsplit: hold the socket open, silently, until the
+            # coordinator's heartbeat-timeout reaper must have fired.
+            time.sleep(self._linger)
+            os._exit(EXIT_HOST_NETSPLIT)
+        channel.close()
+        return 0
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _heartbeat_loop(self, channel, interval: float) -> None:
+        while not self._stop.wait(interval):
+            if self._silent.is_set():
+                return
+            try:
+                channel.request(
+                    protocol.message("heartbeat", host=self.host_id)
+                )
+            except (ConnectionError, OSError):
+                self._stop.set()
+                return
+
+    # -- the pull loop ---------------------------------------------------
+
+    def _pull_loop(self, channel, gatherer, plan) -> None:
+        while not (self._stop.is_set() or self._silent.is_set()):
+            try:
+                reply = channel.request(
+                    protocol.message("lease-request", host=self.host_id)
+                )
+            except (ConnectionError, OSError):
+                self._stop.set()
+                return
+            kind = reply["type"]
+            if kind == "lease":
+                self._execute(channel, gatherer, plan, reply)
+            elif kind == "no-work":
+                time.sleep(float(reply.get("retry_after") or 0.05))
+            elif kind == "shutdown":
+                self._stop.set()
+                return
+            else:
+                log.warning(
+                    "dist.worker_protocol_error",
+                    extra={"fields": {"host": self.host_id, "reply": kind}},
+                )
+                self._stop.set()
+                return
+
+    def _host_fault(self, plan, channel_name: str, scope: str,
+                    shard: int, attempt: int) -> bool:
+        """One hash-pure host-level fault decision for this lease."""
+        if plan is None:
+            return False
+        rate = getattr(plan, channel_name.replace(".", "_"), 0.0)
+        if rate <= 0.0:
+            return False
+        return fault_roll(
+            plan.seed, channel_name, self.host_id, scope, shard, attempt
+        ) < rate
+
+    def _execute(self, channel, gatherer, plan, lease: dict) -> None:
+        shard = lease["shard"]
+        attempt = lease["attempt"]
+        scope = lease["scope"]
+        base = dict(
+            host=self.host_id,
+            gather=lease["gather"],
+            lease=lease["lease"],
+            shard=shard,
+            attempt=attempt,
+        )
+        if self._host_fault(plan, "host.crash", scope, shard, attempt):
+            log.warning(
+                "dist.host_crash_injected",
+                extra={"fields": {"host": self.host_id, "shard": shard}},
+            )
+            os._exit(EXIT_HOST_CRASH)
+        if self._host_fault(plan, "host.netsplit", scope, shard, attempt):
+            log.warning(
+                "dist.host_netsplit_injected",
+                extra={"fields": {"host": self.host_id, "shard": shard}},
+            )
+            self._silent.set()
+            return
+        # Worker-level channels roll with the single-host supervisor's
+        # exact key, so a dist run and a local supervised run inject the
+        # same failures on the same (scope, shard, attempt).
+        if _roll(plan, "worker.hang", scope, shard, attempt):
+            time.sleep(HANG_SLEEP)
+            self._report(channel, protocol.message(
+                "result", failed="hung",
+                reason=f"injected worker hang on host {self.host_id} "
+                       f"(attempt {attempt})",
+                **base,
+            ))
+            return
+        if _roll(plan, "worker.crash", scope, shard, attempt):
+            self._report(channel, protocol.message(
+                "result", failed="crash",
+                reason=f"injected worker crash on host {self.host_id} "
+                       f"(attempt {attempt})",
+                **base,
+            ))
+            return
+        domains = lease["domains"]
+        # Stats deltas and trace events are only attributable to this
+        # lease when one puller runs at a time; overlapping pool threads
+        # share the process-wide stats, so deltas would double-count.
+        track = self.pool == 1
+        baseline = STATS.snapshot() if track else None
+        mark = trace.mark() if track else None
+        started = time.perf_counter()
+        try:
+            with trace.span(
+                f"gather.shard{shard}", cat="shard", targets=len(domains),
+                attempt=attempt, host=self.host_id,
+            ):
+                result = gatherer.gather(domains, lease["snapshot"])
+        except Exception as error:
+            self._report(channel, protocol.message(
+                "result", failed="crash",
+                reason=f"worker exception on host {self.host_id} "
+                       f"(attempt {attempt}): {error!r}",
+                **base,
+            ))
+            return
+        elapsed = time.perf_counter() - started
+        extra = {}
+        if track:
+            extra["stats"] = STATS.delta_since(baseline)
+            extra["events"] = trace.drain_new(mark)
+        self._report(channel, protocol.message(
+            "result",
+            payload=protocol.pack_payload(result),
+            elapsed=elapsed,
+            **extra,
+            **base,
+        ))
+        self.leases_completed += 1
+
+    def _report(self, channel, msg: dict) -> None:
+        if self._silent.is_set():
+            return
+        try:
+            channel.request(msg)
+        except (ConnectionError, OSError):
+            self._stop.set()

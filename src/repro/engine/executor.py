@@ -1,0 +1,91 @@
+"""The shard-executor seam: how supervised shards actually run.
+
+PR 5's supervisor hard-wired two execution strategies (forked processes
+and threads) into one function.  This module extracts the seam those
+strategies share so new backends — notably the socket-dispatched
+multi-host executor in :mod:`repro.dist` — plug in without touching the
+supervision bookkeeping:
+
+* a :class:`ShardExecutor` receives the pending ``(index, shard)`` pairs
+  of one gather plus a *ledger* (the supervisor's bookkeeping object) and
+  drives every shard to ``ledger.accept`` or raises through
+  ``ledger.fail``;
+* executors are looked up by name through a process-wide registry, so
+  ``supervised_gather(..., executor="process")`` keeps working while
+  ``executor=DistExecutor(...)`` (an instance) bypasses the registry.
+
+The ledger contract an executor can rely on (see
+``repro.resilience.supervisor._ShardLedger``):
+
+``ledger.supervision``
+    The :class:`~repro.resilience.GatherSupervision` bundle (options,
+    fault plan, scope, shutdown flag).
+``ledger.scope_key``
+    The ``corpus:snapshot[:batch]`` string keying fault rolls.
+``ledger.accept(index, attempt, result, elapsed, stats_delta, events)``
+    Record one completion (checkpointed + journaled); returns False for
+    duplicates, which executors must tolerate — work stealing and hung
+    workers both produce racing completions.
+``ledger.fail(index, attempt, kind, reason)``
+    Record one failed attempt; raises ``ShardQuarantined`` once the
+    restart budget is spent.
+``ledger.journal(event, **fields)`` / ``ledger.raise_if_shutdown()``
+    Journal passthrough and cooperative-interrupt check.
+
+Executors change *how* shards run, never *what* they compute: results
+must be value-equal to a serial gather, which the merge layer then turns
+into byte-identical artifacts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+
+class ShardExecutor(abc.ABC):
+    """One strategy for executing the pending shards of a gather."""
+
+    #: Registry name (informational; instances may be anonymous).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        gatherer,
+        pending: Sequence[tuple[int, list]],
+        snapshot_index: int,
+        ledger,
+    ) -> None:
+        """Drive every pending shard to completion (or quarantine).
+
+        Returns once ``ledger`` holds a result for every pending index;
+        raises ``ShardQuarantined`` / ``RunInterrupted`` on the
+        supervisor's terminal conditions.
+        """
+
+
+_REGISTRY: dict[str, Callable[[], ShardExecutor]] = {}
+
+
+def register_executor(name: str, factory: Callable[[], ShardExecutor]) -> None:
+    """Register a named executor factory (idempotent re-registration)."""
+    _REGISTRY[name] = factory
+
+
+def resolve_executor(executor: "str | ShardExecutor") -> ShardExecutor:
+    """An executor instance from a registry name or a ready instance."""
+    if isinstance(executor, ShardExecutor):
+        return executor
+    try:
+        factory = _REGISTRY[executor]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none registered"
+        raise ValueError(
+            f"unknown shard executor {executor!r} (known: {known})"
+        ) from None
+    return factory()
+
+
+def registered_executors() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -122,14 +122,17 @@ def parallel_gather(
     """
     domains = list(domains)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(domains) < MIN_PARALLEL_TARGETS:
+    dist = getattr(supervision, "dist", None) if supervision is not None else None
+    if dist is None and (jobs <= 1 or len(domains) < MIN_PARALLEL_TARGETS):
+        # A dist coordinator never takes this shortcut: even a jobs=1 or
+        # tiny gather must be leased out so remote hosts do the work.
         if supervision is not None and supervision.shutdown is not None:
             supervision.shutdown.raise_if_set()
         with STATS.timer("gather.serial"):
             return gatherer.gather(domains, snapshot_index)
 
     shards = split_shards(domains, jobs)
-    kind = _pick_executor(executor)
+    kind = "dist" if dist is not None else _pick_executor(executor)
     if supervision is not None:
         from ..resilience.supervisor import supervised_gather
 

@@ -103,6 +103,8 @@ class StudyContext:
     faults: FaultInjector | None = None
     fault_plan: FaultPlan | None = None
     resilience: "object | None" = None  # repro.resilience.RunContext
+    #: repro.dist.DistCoordinator — leases gathers to remote worker hosts.
+    dist: "object | None" = None
     #: Shared-memory snapshot tables, published once per streamed context.
     stream_tables: SharedWorldTables | None = None
     _measurements: dict[tuple[DatasetTag, int], dict[str, DomainMeasurement]] = field(
@@ -132,6 +134,7 @@ class StudyContext:
         store: "ArtifactStore | None | object" = STORE_FROM_ENV,
         faults: "FaultPlan | str | None" = None,
         resilience: "object | None" = None,
+        dist: "object | None" = None,
     ) -> "StudyContext":
         """Build a context; *store* defaults to the ``REPRO_CACHE`` store.
 
@@ -150,6 +153,11 @@ class StudyContext:
         *resilience* — a :class:`~repro.resilience.RunContext` — makes
         gathers supervised and checkpointed, and threads the run's
         shutdown flag through the experiment loop.
+
+        *dist* — a :class:`~repro.dist.DistCoordinator` — leases gather
+        shards to remote worker hosts over its socket instead of running
+        them in local processes; everything else (checkpoints, journal,
+        merge order) is unchanged, so the output stays byte-identical.
         """
         engine = engine or EngineOptions()
         if store is STORE_FROM_ENV:
@@ -202,6 +210,7 @@ class StudyContext:
             faults=injector,
             fault_plan=plan,
             resilience=resilience,
+            dist=dist,
             stream_tables=stream_tables,
         )
 
@@ -236,7 +245,7 @@ class StudyContext:
         plan = self.fault_plan
         worker_faults = plan is not None and plan.worker_active
         run = self.resilience
-        if run is None and not worker_faults:
+        if run is None and not worker_faults and self.dist is None:
             return None
         from ..resilience.supervisor import GatherSupervision, SupervisorOptions
 
@@ -260,6 +269,7 @@ class StudyContext:
             checkpoint_factory=checkpoint_factory,
             journal=run.journal if run is not None else None,
             shutdown=run.shutdown if run is not None else None,
+            dist=self.dist,
         )
 
     def _discard_shard_checkpoints(

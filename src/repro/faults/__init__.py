@@ -13,13 +13,21 @@ fault-free path is byte-identical to a build without this package.
 """
 
 from .inject import BACKOFF_BASE, FaultInjector, fault_roll
-from .plan import FAULTS_ENV, WORKER_RATE_FIELDS, FaultPlan, as_plan, resolve_plan
+from .plan import (
+    FAULTS_ENV,
+    HOST_RATE_FIELDS,
+    WORKER_RATE_FIELDS,
+    FaultPlan,
+    as_plan,
+    resolve_plan,
+)
 
 __all__ = [
     "BACKOFF_BASE",
     "FAULTS_ENV",
     "FaultInjector",
     "FaultPlan",
+    "HOST_RATE_FIELDS",
     "WORKER_RATE_FIELDS",
     "as_plan",
     "fault_roll",

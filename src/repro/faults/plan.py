@@ -46,6 +46,19 @@ WORKER_RATE_FIELDS = {
     "worker.hang": "worker_hang",
 }
 
+#: spec key → FaultPlan rate field for the *host*-level fault channels
+#: used by :mod:`repro.dist`.  Like the worker channels these break only
+#: the execution layer (a whole simulated host dies or drops off the
+#: network mid-lease), so they are excluded from uniform sweeps and
+#: artifact-store keys the same way.
+HOST_RATE_FIELDS = {
+    "host.crash": "host_crash",
+    "host.netsplit": "host_netsplit",
+}
+
+#: every execution-layer channel (stripped from store keys).
+_HARNESS_RATE_FIELDS = {**WORKER_RATE_FIELDS, **HOST_RATE_FIELDS}
+
 #: spec words that mean "no fault injection at all".
 _OFF_WORDS = {"", "none", "off", "0", "no"}
 
@@ -71,6 +84,8 @@ class FaultPlan:
     scan_dropout: float = 0.0   # per-(snapshot, address) Censys gap
     worker_crash: float = 0.0   # per-(shard, attempt) worker dies mid-shard
     worker_hang: float = 0.0    # per-(shard, attempt) worker wedges past deadline
+    host_crash: float = 0.0     # per-(host, lease) a whole dist host SIGKILLs
+    host_netsplit: float = 0.0  # per-(host, lease) a dist host drops the wire
     # (asn, rate) overrides for scan_dropout — the paper's per-provider
     # blind spots (owner opt-outs hit whole ASes at once).
     asn_dropout: tuple[tuple[int, float], ...] = ()
@@ -78,7 +93,7 @@ class FaultPlan:
     retry_budget: float = 4.0   # virtual seconds of backoff per host
 
     def __post_init__(self) -> None:
-        for key, attr in {**RATE_FIELDS, **WORKER_RATE_FIELDS}.items():
+        for key, attr in {**RATE_FIELDS, **_HARNESS_RATE_FIELDS}.items():
             value = getattr(self, attr)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"fault rate {key}={value} outside [0, 1]")
@@ -110,6 +125,11 @@ class FaultPlan:
         return any(getattr(self, attr) > 0 for attr in WORKER_RATE_FIELDS.values())
 
     @property
+    def host_active(self) -> bool:
+        """Whether any dist host-level (crash/netsplit) channel can fire."""
+        return any(getattr(self, attr) > 0 for attr in HOST_RATE_FIELDS.values())
+
+    @property
     def active(self) -> bool:
         """Whether any fault channel can ever fire.
 
@@ -117,7 +137,7 @@ class FaultPlan:
         "no faults configured", so a ``--faults none`` (or all-zero) run
         is byte-identical to one where the module is never consulted.
         """
-        return self.measurement_active or self.worker_active
+        return self.measurement_active or self.worker_active or self.host_active
 
     # -- construction ----------------------------------------------------
 
@@ -175,10 +195,10 @@ class FaultPlan:
                 asn_overrides[int(key[len("asn:"):])] = float(raw)
             elif key in RATE_FIELDS:
                 fields[RATE_FIELDS[key]] = float(raw)
-            elif key in WORKER_RATE_FIELDS:
-                fields[WORKER_RATE_FIELDS[key]] = float(raw)
+            elif key in _HARNESS_RATE_FIELDS:
+                fields[_HARNESS_RATE_FIELDS[key]] = float(raw)
             else:
-                known = ", ".join(sorted(RATE_FIELDS) + sorted(WORKER_RATE_FIELDS))
+                known = ", ".join(sorted(RATE_FIELDS) + sorted(_HARNESS_RATE_FIELDS))
                 raise ValueError(
                     f"unknown fault spec key {key!r} (known: rate, seed, "
                     f"retries, budget, asn:<n>, {known})"
@@ -221,7 +241,7 @@ class FaultPlan:
         if not self.active:
             return "none"
         parts = [f"seed={self.seed}"]
-        for key, attr in sorted({**RATE_FIELDS, **WORKER_RATE_FIELDS}.items()):
+        for key, attr in sorted({**RATE_FIELDS, **_HARNESS_RATE_FIELDS}.items()):
             value = getattr(self, attr)
             if value > 0:
                 parts.append(f"{key}={value:g}")
@@ -238,15 +258,17 @@ class FaultPlan:
     def store_key(self) -> str | None:
         """The artifact-store key component of this plan, or None.
 
-        Worker crash/hang channels perturb only the execution layer —
-        results are recomputed and stay byte-identical — so they are
-        stripped here: a worker-faults-only run reads and writes the same
-        store entries as a fault-free one, which is exactly what the
-        kill/resume equivalence gate compares.
+        Worker crash/hang and host crash/netsplit channels perturb only
+        the execution layer — results are recomputed and stay
+        byte-identical — so they are stripped here: a harness-faults-only
+        run reads and writes the same store entries as a fault-free one,
+        which is exactly what the kill/resume equivalence gate compares.
         """
         if not self.measurement_active:
             return None
-        stripped = dataclasses.replace(self, worker_crash=0.0, worker_hang=0.0)
+        stripped = dataclasses.replace(
+            self, **{attr: 0.0 for attr in _HARNESS_RATE_FIELDS.values()}
+        )
         return stripped.canonical()
 
     def describe(self) -> dict:
@@ -254,7 +276,7 @@ class FaultPlan:
         document = {"seed": self.seed, "spec": self.canonical()}
         rates = {
             key: getattr(self, attr)
-            for key, attr in {**RATE_FIELDS, **WORKER_RATE_FIELDS}.items()
+            for key, attr in {**RATE_FIELDS, **_HARNESS_RATE_FIELDS}.items()
             if getattr(self, attr) > 0
         }
         if rates:

@@ -439,7 +439,9 @@ def write_json_atomic(path: str | os.PathLike, document: dict) -> None:
     new one, nothing in between.
     """
     path = os.fspath(path)
-    tmp = f"{path}.tmp-{os.getpid()}"
+    # pid alone is not unique enough: two threads of one process flushing
+    # the same path would race each other's rename.
+    tmp = f"{path}.tmp-{os.getpid()}-{threading.get_ident()}"
     with open(tmp, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

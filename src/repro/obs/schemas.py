@@ -265,6 +265,11 @@ JOURNAL_EVENT_SCHEMA = {
                 "shard.crash",
                 "shard.hung",
                 "shard.quarantined",
+                "shard.lease",
+                "shard.stolen",
+                "shard.lost",
+                "host.join",
+                "host.lost",
             ],
         },
         "run": {"type": "string"},
@@ -284,6 +289,77 @@ JOURNAL_EVENT_SCHEMA = {
         "args": {"type": "object"},
         "config_digest": {"type": "string"},
         "resume": {"type": "integer"},
+        # Distributed-executor fields (repro.dist): host/lease lifecycle.
+        "host": {"type": "string"},
+        "lease": {"type": "integer"},
+        "pool": {"type": "integer"},
+        "stolen": {"type": "boolean"},
+        "victim": {"type": "string"},
+    },
+}
+
+# -- distributed executor wire format ------------------------------------
+
+#: Version stamp every repro.dist RPC message carries (field ``v``).
+DIST_PROTOCOL_VERSION = 1
+
+#: One line-JSON message on a coordinator/worker connection.  Messages
+#: are strict request/response pairs; payloads ride as base64 of the
+#: columnar measurement codec (the PR 2/PR 6 on-disk format doubles as
+#: the wire format).
+DIST_MESSAGE_SCHEMA = {
+    "type": "object",
+    "required": ["v", "type"],
+    "properties": {
+        "v": {"type": "integer"},
+        "type": {
+            "type": "string",
+            "enum": [
+                "hello",
+                "welcome",
+                "lease-request",
+                "lease",
+                "no-work",
+                "result",
+                "heartbeat",
+                "ack",
+                "shutdown",
+                "error",
+            ],
+        },
+        # hello / lease-request / result / heartbeat
+        "host": {"type": "string"},
+        "pool": {"type": "integer"},
+        "pid": {"type": "integer"},
+        # welcome
+        "run": {},  # run id string, or null outside resilient runs
+        "world": {"type": "object"},
+        "faults": {},  # canonical fault spec string, or null
+        "heartbeat_interval": {"type": "number"},
+        "heartbeat_timeout": {"type": "number"},
+        "cache_dir": {},  # shared store path string, or null
+        # lease / result
+        "gather": {"type": "integer"},
+        "lease": {"type": "integer"},
+        "shard": {"type": "integer"},
+        "shard_count": {"type": "integer"},
+        "attempt": {"type": "integer"},
+        "snapshot": {"type": "integer"},
+        "corpus": {"type": "string"},
+        "scope": {"type": "string"},
+        "domains": {"type": "array"},
+        "stolen": {"type": "boolean"},
+        "payload": {"type": "string"},
+        "elapsed": {"type": "number"},
+        "stats": {"type": "object"},
+        "events": {"type": "array"},
+        # result failure reporting (worker-level fault met remotely)
+        "failed": {"type": "string", "enum": ["crash", "hung"]},
+        # no-work
+        "idle": {"type": "boolean"},
+        "retry_after": {"type": "number"},
+        # error
+        "reason": {"type": "string"},
     },
 }
 

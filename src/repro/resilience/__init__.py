@@ -41,8 +41,10 @@ from .signals import RunInterrupted, ShutdownFlag, trap_shutdown
 from .supervisor import (
     EXIT_INJECTED_CRASH,
     GatherSupervision,
+    ProcessShardExecutor,
     ShardQuarantined,
     SupervisorOptions,
+    ThreadShardExecutor,
     supervised_gather,
 )
 
@@ -69,7 +71,9 @@ __all__ = [
     "trap_shutdown",
     "EXIT_INJECTED_CRASH",
     "GatherSupervision",
+    "ProcessShardExecutor",
     "ShardQuarantined",
     "SupervisorOptions",
+    "ThreadShardExecutor",
     "supervised_gather",
 ]

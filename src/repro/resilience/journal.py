@@ -44,6 +44,7 @@ _DURABLE_EVENTS = {
     "shard.done",
     "shard.quarantined",
     "snapshot.done",
+    "host.lost",
 }
 
 
@@ -162,6 +163,9 @@ class RunRecord:
     shards_done: int = 0
     restarts: int = 0
     quarantined: tuple[str, ...] = ()
+    hosts_seen: tuple[str, ...] = ()
+    hosts_lost: int = 0
+    shards_stolen: int = 0
 
     @classmethod
     def from_dir(cls, run_dir: str | os.PathLike) -> "RunRecord":
@@ -181,6 +185,7 @@ class RunRecord:
         )
         experiments: list[str] = []
         quarantined: list[str] = []
+        hosts: list[str] = []
         for event in events:
             kind = event["event"]
             if kind == "run.resume":
@@ -199,15 +204,24 @@ class RunRecord:
                 record.snapshots_done += 1
             elif kind == "shard.done":
                 record.shards_done += 1
-            elif kind in ("shard.crash", "shard.hung"):
+            elif kind in ("shard.crash", "shard.hung", "shard.lost"):
                 record.restarts += 1
             elif kind == "shard.quarantined":
                 quarantined.append(
                     f"{event.get('corpus', '?')}[s{event.get('snapshot', '?')}]"
                     f"#{event.get('shard', '?')}"
                 )
+            elif kind == "host.join":
+                host = str(event.get("host", "?"))
+                if host not in hosts:
+                    hosts.append(host)
+            elif kind == "host.lost":
+                record.hosts_lost += 1
+            elif kind == "shard.stolen":
+                record.shards_stolen += 1
         record.experiments_done = tuple(experiments)
         record.quarantined = tuple(quarantined)
+        record.hosts_seen = tuple(hosts)
         return record
 
     @property
@@ -230,6 +244,9 @@ class RunRecord:
             "shards_done": self.shards_done,
             "restarts": self.restarts,
             "quarantined": list(self.quarantined),
+            "hosts_seen": list(self.hosts_seen),
+            "hosts_lost": self.hosts_lost,
+            "shards_stolen": self.shards_stolen,
         }
 
 

@@ -47,6 +47,7 @@ import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..engine.executor import ShardExecutor, register_executor, resolve_executor
 from ..engine.stats import STATS
 from ..faults.inject import fault_roll
 from ..obs import trace
@@ -95,6 +96,9 @@ class GatherSupervision:
     checkpoint_factory: Callable[[int], object] | None = None  # shard_count -> bound
     journal: object | None = None         # RunJournal, or None
     shutdown: ShutdownFlag | None = None
+    #: A repro.dist.DistCoordinator — when set, shards are leased to
+    #: remote worker hosts instead of local processes/threads.
+    dist: object | None = None
 
 
 class ShardQuarantined(RuntimeError):
@@ -268,7 +272,7 @@ def supervised_gather(
     shards: Sequence[list],
     snapshot_index: int,
     *,
-    executor: str,
+    executor: "str | ShardExecutor",
     supervision: GatherSupervision,
 ) -> tuple[list, list[float]]:
     """Gather *shards* under supervision; returns (results, timings).
@@ -276,6 +280,11 @@ def supervised_gather(
     Results come back in shard order (the bit-identical merge contract);
     timings cover only shards actually gathered this call — restored
     checkpoints do not distort imbalance statistics.
+
+    *executor* is a registry name (``"process"``/``"thread"``, or
+    ``"dist"`` once :mod:`repro.dist` is imported) or a ready
+    :class:`~repro.engine.executor.ShardExecutor` instance; a
+    supervision bundle carrying a dist coordinator overrides it.
     """
     checkpoint = None
     if supervision.checkpoint_factory is not None:
@@ -288,10 +297,11 @@ def supervised_gather(
         if not ledger.restore(index)
     ]
     if pending:
-        if executor == "process":
-            _run_process(gatherer, pending, snapshot_index, ledger)
+        if supervision.dist is not None:
+            backend = supervision.dist.executor()
         else:
-            _run_thread(gatherer, pending, snapshot_index, ledger)
+            backend = resolve_executor(executor)
+        backend.run(gatherer, pending, snapshot_index, ledger)
     ordered = [ledger.results[index] for index in range(len(shards))]
     timings = [ledger.timings[index] for index in sorted(ledger.timings)]
     return ordered, timings
@@ -493,3 +503,28 @@ def _run_thread(gatherer, pending, snapshot_index, ledger: _ShardLedger) -> None
             if isinstance(error, ShardQuarantined):
                 raise error
         raise errors[0]
+
+
+# -- registry ------------------------------------------------------------
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """One forked process per shard with crash/hang watchdogs."""
+
+    name = "process"
+
+    def run(self, gatherer, pending, snapshot_index, ledger) -> None:
+        _run_process(gatherer, pending, snapshot_index, ledger)
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Thread-pool supervision for platforms without fork."""
+
+    name = "thread"
+
+    def run(self, gatherer, pending, snapshot_index, ledger) -> None:
+        _run_thread(gatherer, pending, snapshot_index, ledger)
+
+
+register_executor("process", ProcessShardExecutor)
+register_executor("thread", ThreadShardExecutor)

@@ -237,6 +237,9 @@ class ServeDaemon:
         return 0
 
     def shutdown(self) -> None:
+        # Stop the flush loop first: shutdown's own _export() below must
+        # not race a still-ticking flusher over the same tmp filename.
+        self._stop.set()
         for server in self._servers:
             server.shutdown()
             server.server_close()

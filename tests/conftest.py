@@ -1,11 +1,30 @@
 """Shared fixtures: a small world and study context, built once per session."""
 
+import time
+
 import pytest
 
 from repro.experiments.common import StudyContext
 from repro.world.build import WorldConfig, build_world
 
 SMALL_CONFIG = WorldConfig(seed=7, alexa_size=600, com_size=700, gov_size=200)
+
+
+def wait_for(predicate, timeout=20.0, interval=0.02, message="condition"):
+    """Poll ``predicate`` until it returns truthy; no bare wall-clock sleeps.
+
+    Returns the predicate's (truthy) value.  Raises ``TimeoutError`` with
+    ``message`` if the deadline passes — so tests fail with a reason, not
+    a downstream assertion on whatever half-state a fixed sleep left.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"timed out after {timeout}s waiting for {message}")
+        time.sleep(interval)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,184 @@
+"""Property tests for the shard-lease state machine.
+
+The coordinator's correctness hangs on :class:`LeaseTable`: under *any*
+interleaving of lease / complete / steal / timeout / rejoin events,
+every shard must be completed exactly once (first-wins), no lease id is
+ever reused, and no shard falls out of the state machine.  The table is
+pure bookkeeping (caller-supplied clock, no I/O), so hypothesis can
+drive it through arbitrary histories and check the invariants after
+every step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.dist.leases import LeaseTable
+
+HOSTS = ["alpha", "beta", "gamma", "delta"]
+
+
+class LeaseMachine(RuleBasedStateMachine):
+    """Drive a LeaseTable through arbitrary event interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = None
+        self.clock = 0.0
+        self.fresh_completes = []   # shards completed fresh, in order
+        self.lease_ids = []         # every id ever granted
+
+    @initialize(
+        shard_count=st.integers(min_value=1, max_value=8),
+        steal_after=st.one_of(
+            st.none(), st.floats(min_value=0.1, max_value=5.0)
+        ),
+    )
+    def setup(self, shard_count, steal_after):
+        self.table = LeaseTable(range(shard_count), steal_after=steal_after)
+
+    @rule(host=st.sampled_from(HOSTS), dt=st.floats(min_value=0.0, max_value=3.0))
+    def request(self, host, dt):
+        self.clock += dt
+        lease = self.table.request(host, self.clock)
+        if lease is not None:
+            assert lease.host == host
+            assert lease.lease_id not in self.lease_ids, "lease id reused"
+            self.lease_ids.append(lease.lease_id)
+            if lease.stolen:
+                # A steal never targets the holder and never a done shard.
+                assert lease.victim != host
+                assert lease.shard not in self.table.done
+
+    @rule(data=st.data())
+    def complete(self, data):
+        if not self.lease_ids:
+            return
+        lease_id = data.draw(st.sampled_from(self.lease_ids))
+        lease, fresh = self.table.complete(lease_id)
+        assert lease.lease_id == lease_id
+        if fresh:
+            self.fresh_completes.append(lease.shard)
+
+    @rule(data=st.data())
+    def release(self, data):
+        active = self.table.active_leases()
+        if not active:
+            return
+        lease = data.draw(st.sampled_from(active))
+        released = self.table.release(lease.lease_id)
+        assert released is not None and released.lease_id == lease.lease_id
+
+    @rule(host=st.sampled_from(HOSTS))
+    def drop_host(self, host):
+        # Host loss (crash, netsplit reap, elastic leave).  A later
+        # `request` from the same host is a rejoin — no special casing.
+        dropped = self.table.drop_host(host)
+        assert all(lease.host == host for lease in dropped)
+        assert not any(
+            lease.host == host for lease in self.table.active_leases()
+        )
+
+    @invariant()
+    def state_is_legal(self):
+        if self.table is None:
+            return
+        self.table.check_invariants()
+        # THE property: first-wins completion means each shard completes
+        # fresh at most once, ever.
+        assert len(self.fresh_completes) == len(set(self.fresh_completes))
+        # Attempts only grow, and checkpoint keys — (shard, attempt) of a
+        # fresh completion — can never collide since attempt is monotone
+        # per shard and each shard completes fresh once.
+        done = self.table.done
+        assert all(shard in done for shard in self.fresh_completes)
+
+    def teardown(self):
+        if self.table is None:
+            return
+        # Drain: any reachable state can still finish every shard once
+        # the heartbeat reaper declares every straggler host lost.
+        for host in HOSTS:
+            self.table.drop_host(host)
+        self.clock += 1000.0
+        guard = 0
+        while not self.table.all_done:
+            lease = self.table.request("drain", self.clock)
+            assert lease is not None, "live shards but nothing leasable"
+            self.table.complete(lease.lease_id)
+            guard += 1
+            assert guard <= 10 * len(self.table.shards)
+        assert sorted(self.table.done) == self.table.shards
+
+
+LeaseMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestLeaseMachine = LeaseMachine.TestCase
+
+
+class TestLeaseTableDirect:
+    """Targeted checks on the transitions the machine samples randomly."""
+
+    def test_grants_lowest_pending_first(self):
+        table = LeaseTable([3, 1, 2])
+        assert table.request("a", 0.0).shard == 1
+        assert table.request("a", 0.0).shard == 2
+        assert table.request("b", 0.0).shard == 3
+        assert table.request("b", 0.0) is None  # steal disabled
+
+    def test_steal_needs_age_and_foreign_host(self):
+        table = LeaseTable([0], steal_after=2.0)
+        first = table.request("a", 0.0)
+        assert table.request("b", 1.0) is None          # too young
+        assert table.request("a", 5.0) is None          # holder can't steal
+        twin = table.request("b", 5.0)
+        assert twin.stolen and twin.victim == "a" and twin.shard == 0
+        assert twin.attempt == first.attempt + 1
+        assert table.request("c", 9.0) is None          # max one twin
+
+    def test_first_completion_wins(self):
+        table = LeaseTable([0], steal_after=1.0)
+        first = table.request("a", 0.0)
+        twin = table.request("b", 2.0)
+        _, fresh = table.complete(twin.lease_id)
+        assert fresh
+        _, fresh = table.complete(first.lease_id)
+        assert not fresh
+        assert table.all_done
+
+    def test_release_requeues_only_uncovered(self):
+        table = LeaseTable([0], steal_after=1.0)
+        first = table.request("a", 0.0)
+        twin = table.request("b", 2.0)
+        table.release(first.lease_id)
+        assert table.pending_count() == 0      # twin still covers it
+        table.release(twin.lease_id)
+        assert table.pending_count() == 1      # now truly uncovered
+        again = table.request("c", 3.0)
+        assert again.shard == 0 and again.attempt == 3
+
+    def test_drop_host_releases_all_its_leases(self):
+        table = LeaseTable([0, 1, 2])
+        table.request("a", 0.0)
+        table.request("a", 0.0)
+        keep = table.request("b", 0.0)
+        dropped = table.drop_host("a")
+        assert sorted(lease.shard for lease in dropped) == [0, 1]
+        assert table.pending_count() == 2
+        assert [l.lease_id for l in table.active_leases()] == [keep.lease_id]
+
+    def test_unknown_lease_raises(self):
+        table = LeaseTable([0])
+        with pytest.raises(KeyError):
+            table.complete(999)
+
+    def test_zero_steal_after_rejected(self):
+        with pytest.raises(ValueError):
+            LeaseTable([0], steal_after=0.0)

@@ -1,0 +1,200 @@
+"""Wire-format golden tests for the dist RPC protocol.
+
+One golden message per type, each round-tripped through the line codec
+and validated against the versioned schema in ``repro.obs.schemas`` —
+so any schema drift (a renamed field, a new required key, a version
+bump without a migration) fails here before it can strand a live
+coordinator/worker pair mid-run.  Also proves ``validate_obs --journal``
+accepts the new host/lease journal events a dist run writes.
+"""
+
+import json
+import subprocess
+import sys
+from datetime import date
+from pathlib import Path
+
+import pytest
+
+from repro.dist import protocol
+from repro.measure.caida import ASInfo
+from repro.measure.dataset import DomainMeasurement, IPObservation, MXData
+from repro.obs.schemas import (
+    DIST_MESSAGE_SCHEMA,
+    DIST_PROTOCOL_VERSION,
+    JOURNAL_EVENT_SCHEMA,
+    validate,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: One golden message per wire type.  Every field a real exchange uses
+#: appears at least once; adding a message type without a golden here
+#: fails the completeness check below.
+GOLDENS = {
+    "hello": {"host": "host-a", "pool": 2, "pid": 4242},
+    "welcome": {
+        "run": "r20260808-120000-abc123",
+        "world": {"seed": 7, "alexa_size": 600},
+        "faults": "host.crash=0.5,seed=3",
+        "heartbeat_interval": 0.5,
+        "heartbeat_timeout": 5.0,
+        "cache_dir": "/tmp/cache",
+    },
+    "lease-request": {"host": "host-a"},
+    "lease": {
+        "gather": 3,
+        "lease": 17,
+        "shard": 4,
+        "shard_count": 8,
+        "attempt": 2,
+        "snapshot": 11,
+        "corpus": "alexa",
+        "scope": "alexa[s11]",
+        "domains": ["a.com", "b.com"],
+        "stolen": True,
+    },
+    "no-work": {"idle": True, "retry_after": 0.05},
+    "result": {
+        "host": "host-a",
+        "gather": 3,
+        "lease": 17,
+        "shard": 4,
+        "attempt": 2,
+        "payload": "AAAA",
+        "elapsed": 0.25,
+        "stats": {"counters": {}},
+        "events": [],
+    },
+    "heartbeat": {"host": "host-a"},
+    "ack": {},
+    "shutdown": {},
+    "error": {"reason": "quorum not configured"},
+}
+
+
+class TestGoldenMessages:
+    def test_goldens_cover_every_schema_type(self):
+        schema_types = set(DIST_MESSAGE_SCHEMA["properties"]["type"]["enum"])
+        assert set(GOLDENS) == schema_types
+
+    @pytest.mark.parametrize("kind", sorted(GOLDENS))
+    def test_round_trip(self, kind):
+        msg = protocol.message(kind, **GOLDENS[kind])
+        assert msg["v"] == DIST_PROTOCOL_VERSION
+        assert validate(msg, DIST_MESSAGE_SCHEMA) == []
+        line = protocol.encode_line(msg)
+        assert line.endswith(b"\n") and line.count(b"\n") == 1
+        assert protocol.decode_line(line) == msg
+        # The line codec is canonical (sorted keys): re-encoding the
+        # decoded message is byte-identical — the goldens are stable.
+        assert protocol.encode_line(protocol.decode_line(line)) == line
+
+    def test_failed_result_golden(self):
+        msg = protocol.message(
+            "result", host="host-a", gather=3, lease=17, shard=4, attempt=2,
+            failed="crash", reason="injected worker crash (attempt 2)",
+        )
+        assert protocol.decode_line(protocol.encode_line(msg)) == msg
+
+    def test_version_mismatch_rejected(self):
+        msg = dict(protocol.message("ack"), v=DIST_PROTOCOL_VERSION + 1)
+        with pytest.raises(protocol.ProtocolError, match="version mismatch"):
+            protocol.decode_line(protocol.encode_line(msg))
+
+    def test_unknown_type_rejected(self):
+        bad = json.dumps({"v": DIST_PROTOCOL_VERSION, "type": "gossip"})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_line(bad.encode() + b"\n")
+
+    def test_unversioned_message_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.check_message({"type": "ack"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_line(b"[1, 2]\n")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="bad JSON"):
+            protocol.decode_line(b"{nope\n")
+
+
+class TestPayloadCodec:
+    def test_measurements_round_trip(self):
+        measurements = {
+            "a.com": DomainMeasurement(
+                domain="a.com",
+                measured_on=date(2021, 3, 1),
+                mx_set=(
+                    MXData(
+                        name="mx1.mail.a.com",
+                        preference=10,
+                        ips=(
+                            IPObservation(
+                                address="10.0.0.1",
+                                as_info=ASInfo(
+                                    asn=64500, name="EXAMPLE-AS", country="US"
+                                ),
+                                scan=None,
+                            ),
+                        ),
+                    ),
+                ),
+                txt=("v=spf1 include:_spf.a.com ~all",),
+            ),
+            "b.com": DomainMeasurement(
+                domain="b.com", measured_on=date(2021, 3, 1), mx_set=()
+            ),
+        }
+        payload = protocol.pack_payload(measurements)
+        assert isinstance(payload, str)
+        json.dumps(payload)  # must embed in a JSON message as-is
+        assert protocol.unpack_payload(payload) == measurements
+
+
+class TestJournalEvents:
+    """The dist journal events validate_obs must accept."""
+
+    DIST_EVENTS = [
+        {"event": "host.join", "host": "host-a", "pool": 2},
+        {
+            "event": "shard.lease", "host": "host-a", "lease": 1,
+            "shard": 0, "attempt": 1, "corpus": "alexa", "snapshot": 3,
+        },
+        {
+            "event": "shard.stolen", "host": "host-b", "lease": 2,
+            "shard": 0, "attempt": 2, "stolen": True, "victim": "host-a",
+        },
+        {
+            "event": "shard.lost", "shard": 0, "attempt": 1,
+            "reason": "host host-a lost: disconnected",
+        },
+        {"event": "host.lost", "host": "host-a", "reason": "disconnected"},
+    ]
+
+    def _records(self):
+        return [
+            {"schema": 1, "run": "r1", "ts": 1.0, **fields}
+            for fields in self.DIST_EVENTS
+        ]
+
+    def test_events_match_journal_schema(self):
+        for record in self._records():
+            assert validate(record, JOURNAL_EVENT_SCHEMA) == [], record
+
+    def test_validate_obs_accepts_dist_journal(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            "".join(json.dumps(record) + "\n" for record in self._records())
+        )
+        result = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "validate_obs.py"),
+             "--journal", str(journal)],
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "ok   [journal]" in result.stdout

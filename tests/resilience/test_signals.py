@@ -10,13 +10,14 @@ import os
 import signal
 import subprocess
 import sys
-import time
 from pathlib import Path
 
 import pytest
 
 from repro.obs.schemas import MANIFEST_SCHEMA, validate
 from repro.resilience import PARTIAL_MANIFEST_NAME, RunRecord
+
+from conftest import wait_for
 
 pytestmark = pytest.mark.skipif(
     os.name != "posix" or not hasattr(signal, "SIGINT"),
@@ -48,14 +49,23 @@ def launch(run_dir, cache):
     )
 
 
-def wait_for_journal(run_dir, timeout=20.0):
+def journal_has_event(run_dir, kind):
+    """True once the run's journal contains an event of the given kind."""
     journal = run_dir / "journal.jsonl"
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if journal.is_file():
-            return True
-        time.sleep(0.02)
-    return False
+
+    def check():
+        if not journal.is_file():
+            return False
+        for line in journal.read_text().splitlines():
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write; keep polling
+            if record.get("event") == kind:
+                return True
+        return False
+
+    return check
 
 
 class TestSigintMidGather:
@@ -64,8 +74,12 @@ class TestSigintMidGather:
         cache = tmp_path / "cache"
         proc = launch(run_dir, cache)
         try:
-            assert wait_for_journal(run_dir), "run never created its journal"
-            time.sleep(0.1)  # let it get into gathering
+            # Interrupt only once the run is provably mid-gather: the first
+            # shard.start journal event replaces the old fixed sleep.
+            wait_for(
+                journal_has_event(run_dir, "shard.start"),
+                message="first shard.start journal event",
+            )
             proc.send_signal(signal.SIGINT)
             _stdout, stderr = proc.communicate(timeout=60)
         finally:

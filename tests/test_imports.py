@@ -24,6 +24,7 @@ ENTRY_POINTS = [
     "repro.analysis",
     "repro.experiments",
     "repro.cli",
+    "repro.dist",
 ]
 
 
