@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Serving benchmark: warm start, lookup tails, incremental-ingest speedup.
+"""Serving benchmark: warm start, lookup tails, ingest speedup, chaos.
 
-Three phases, mirroring the daemon's life:
+Phases, mirroring the daemon's life:
 
 1. **Seed** — build a world and fill a (temporary) artifact store with
    every (corpus, snapshot) measurement + inference artifact, the state a
@@ -22,20 +22,43 @@ Three phases, mirroring the daemon's life:
    domains only), asserting the two produce **bit-identical** encoded
    results before reporting the speedup.
 
-CI gates: ``--max-warm-start-s``, ``--max-p99-ms``, and
-``--min-speedup`` (evaluated at ``--gate-churn``, default 5%).
+With ``--workers N`` or ``--chaos`` the sweep instead exercises the
+resilience layer (phases 2–3 are skipped so the CI step stays focused):
+
+4. **Workers** — throughput of a 1-worker vs an N-worker prefork pool
+   (core-aware ``--min-worker-speedup`` gate; skipped with a note on a
+   single-CPU host), plus a shed probe: a ``--max-inflight 1`` pool
+   under a concurrent burst must answer ``overloaded`` with a
+   ``retry_after`` hint instead of queueing unboundedly.
+5. **Chaos** (``--chaos``) — a reference pool ingests the latest
+   snapshot undisturbed; a victim pool runs the same sequence with one
+   worker SIGKILLed under client load and the whole process group
+   SIGKILLed between ``ingest.wal.begin`` and commit (the deterministic
+   ``ingest.crash`` fault fells the ingesting worker right after the
+   durable intent record), then restarts fault-free.  Gates: retried
+   availability ≥ ``--min-availability``, no request past its deadline,
+   WAL replay events present, and post-recovery answers **and** store
+   digests byte-identical to the reference pool's.
+
+CI gates: ``--max-warm-start-s``, ``--max-p99-ms``, ``--min-speedup``
+(evaluated at ``--gate-churn``, default 5%), ``--min-worker-speedup``,
+and ``--min-availability``.
 
 Usage::
 
     PYTHONPATH=src python scripts/serve_sweep.py --json serve-sweep.json
+    PYTHONPATH=src python scripts/serve_sweep.py --chaos --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import http.client
 import json
 import os
+import shutil
+import signal
 import socket
 import subprocess
 import sys
@@ -49,18 +72,24 @@ from repro.engine.incremental import IncrementalInferencer
 from repro.experiments.common import StudyContext
 from repro.obs.schemas import (
     BENCH_SCHEMA_VERSION,
+    JOURNAL_EVENT_SCHEMA,
     bench_document,
+    validate_jsonl_file,
     validate_prometheus,
 )
+from repro.resilience.journal import JOURNAL_NAME, read_events
 from repro.serve.churn import synthesize_churn
-from repro.serve.daemon import request_socket
+from repro.serve.daemon import request_socket, rpc
+from repro.serve.resilience import RetryPolicy, rpc_retry, wait_until_healthy
 from repro.store import (
     ArtifactStore,
     SnapshotView,
+    cache_key,
     decode_measurements,
     encode_measurements,
     encode_result,
 )
+from repro.store.artifacts import KIND_PRIORITY
 from repro.world.build import WorldConfig
 from repro.world.entities import DatasetTag
 from repro.world.population import NUM_SNAPSHOTS
@@ -116,6 +145,28 @@ def prom_sample(text: str, name: str, fragment: str = "") -> float | None:
 _WHOHAS_P99 = 'endpoint="who-has",window="10s",quantile="0.99"'
 
 
+def _await_healthy(process, socket_path: str, deadline: float, what: str = "daemon") -> None:
+    """Backoff-poll until the daemon pings, watching for process death.
+
+    ``wait_until_healthy`` owns the connect-refused races; this wrapper
+    adds what only the spawner can know — the subprocess dying before it
+    ever answers — and surfaces its captured output in that case.
+    """
+    while True:
+        if process.poll() is not None:
+            output = process.communicate()[0]
+            raise RuntimeError(f"{what} died before becoming healthy: {output}")
+        try:
+            wait_until_healthy(
+                ("socket", socket_path),
+                timeout=min(2.0, max(0.1, deadline - time.perf_counter())),
+            )
+            return
+        except TimeoutError:
+            if time.perf_counter() > deadline:
+                raise RuntimeError(f"{what} never became healthy")
+
+
 def bench_daemon(
     args, cache_dir: str, domains: list[str], *, live: bool = True
 ) -> tuple[dict, list[str], str | None]:
@@ -145,21 +196,10 @@ def bench_daemon(
         command, env=env, stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True,
     )
-    warm_start = None
     deadline = started + args.max_warm_start_s + 30
     try:
-        while True:
-            try:
-                reply = request_socket(socket_path, {"op": "ping"}, timeout=1.0)
-                if reply.get("ok"):
-                    warm_start = time.perf_counter() - started
-                    break
-            except OSError:
-                pass
-            if time.perf_counter() > deadline or daemon.poll() is not None:
-                output = daemon.communicate()[0] if daemon.poll() is not None else ""
-                raise RuntimeError(f"daemon never became healthy: {output}")
-            time.sleep(0.02)
+        _await_healthy(daemon, socket_path, deadline)
+        warm_start = time.perf_counter() - started
 
         latencies: list[float] = []
         lock = threading.Lock()
@@ -375,6 +415,581 @@ def _timed(thunk):
     return time.perf_counter() - started, result
 
 
+def _spawn_pool(
+    args, cache_dir: str, socket_path: str, *,
+    workers: int, run_dir: str | None = None, faults: str | None = None,
+    extra: tuple[str, ...] = (),
+) -> subprocess.Popen:
+    """Spawn ``repro serve run`` in its own process group (killpg-able)."""
+    command = [
+        sys.executable, "-m", "repro", "serve", "run",
+        "--workers", str(workers),
+        "--socket", socket_path,
+        "--cache-dir", cache_dir,
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+    ]
+    if run_dir is not None:
+        command += ["--run-dir", run_dir]
+    if faults is not None:
+        command += ["--faults", faults]
+    command += list(extra)
+    env = dict(os.environ, REPRO_CACHE=cache_dir)
+    env.setdefault("PYTHONPATH", "src")
+    return subprocess.Popen(
+        command, env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, start_new_session=True,
+    )
+
+
+def _kill_pool(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        try:
+            os.killpg(process.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        process.wait(timeout=10)
+
+
+def _journal_events(run_dir: str) -> list[dict]:
+    path = os.path.join(run_dir, JOURNAL_NAME)
+    return read_events(path) if os.path.exists(path) else []
+
+
+def _wait_journal(run_dir: str, predicate, *, timeout: float = 30.0,
+                  what: str = "journal event") -> list[dict]:
+    """Poll the run journal until *predicate* matches at least one event."""
+    deadline = time.perf_counter() + timeout
+    while True:
+        matched = [event for event in _journal_events(run_dir) if predicate(event)]
+        if matched:
+            return matched
+        if time.perf_counter() > deadline:
+            raise RuntimeError(f"journal never recorded {what}")
+        time.sleep(0.05)
+
+
+def _store_digest(root: str) -> str:
+    """One digest over every store entry (relative path + bytes)."""
+    digest = hashlib.sha256()
+    base = os.path.abspath(root)
+    entries = []
+    for dirpath, _dirnames, filenames in os.walk(base):
+        entries.extend(
+            os.path.join(dirpath, name)
+            for name in filenames if name.endswith(".rsto")
+        )
+    for path in sorted(entries):
+        digest.update(os.path.relpath(path, base).encode())
+        with open(path, "rb") as stream:
+            digest.update(stream.read())
+    return digest.hexdigest()
+
+
+def _canonical_answer(reply: dict) -> str:
+    """A reply's payload, canonicalized for cross-daemon comparison.
+
+    Only ``source`` is stripped: live-vs-store provenance legitimately
+    differs between a daemon that just ingested and one that recovered
+    from its store.  Everything else — including a lingering ``stale``
+    flag — must match byte for byte.
+    """
+    result = dict(reply.get("result") or {})
+    result.pop("source", None)
+    return json.dumps(result, sort_keys=True)
+
+
+def bench_workers(args, cache_dir: str, domains: list[str],
+                  socket_dir: str) -> tuple[list[dict], list[str]]:
+    """Phase 4: prefork scaling (1 vs N workers) and the shed probe.
+
+    The load is ``provider-stats`` across snapshots — a whole-corpus
+    aggregation whose cost lives on the server, so the single-process
+    client driver measures worker scaling rather than its own socket
+    overhead.  The speedup gate is core-aware: prefork workers only
+    help when there are cores to run them on (and the client driver
+    occupies one), so on a single-CPU host the comparison is reported
+    but not gated, and elsewhere the effective floor is
+    ``min(--min-worker-speedup, 0.75 * (cores - 1))``.
+    """
+    failures: list[str] = []
+    cores = os.cpu_count() or 1
+
+    def throughput(workers: int) -> float:
+        socket_path = os.path.join(socket_dir, f"pool-{workers}.sock")
+        run_dir = os.path.join(socket_dir, f"pool-{workers}-run")
+        pool = _spawn_pool(
+            args, cache_dir, socket_path, workers=workers, run_dir=run_dir
+        )
+        try:
+            _await_healthy(
+                pool, socket_path, time.perf_counter() + 90,
+                what=f"{workers}-worker pool",
+            )
+            clients = max(args.clients, 2 * workers)
+            per_client = max(20, args.requests // 2)
+            errors: list[str] = []
+            lock = threading.Lock()
+
+            def client(offset: int) -> None:
+                for i in range(per_client):
+                    reply = request_socket(
+                        socket_path,
+                        {"op": "provider-stats", "corpus": "alexa",
+                         "snapshot": (offset * per_client + i) % NUM_SNAPSHOTS},
+                    )
+                    if not reply.get("ok"):
+                        with lock:
+                            errors.append(f"pool lookup failed: {reply}")
+                        return
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(clients)
+            ]
+            load_started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - load_started
+            if errors:
+                raise RuntimeError(errors[0])
+            request_socket(socket_path, {"op": "shutdown"})
+            pool.wait(timeout=20)
+            return clients * per_client / elapsed
+        finally:
+            _kill_pool(pool)
+
+    row = {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "phase": "workers",
+        "cores": cores,
+        "workers": args.workers,
+    }
+    if cores < 2:
+        note = f"only {cores} CPU core: prefork scaling needs >= 2"
+        row["skipped"] = note
+        print(f"workers: {note} — speedup gate skipped")
+    else:
+        qps_one = throughput(1)
+        qps_many = throughput(args.workers)
+        speedup = qps_many / qps_one if qps_one else float("inf")
+        gate = min(args.min_worker_speedup, 0.75 * (cores - 1))
+        row.update(
+            qps_1=round(qps_one, 1),
+            qps_n=round(qps_many, 1),
+            speedup=round(speedup, 2),
+            gate=round(gate, 2),
+        )
+        print(
+            f"workers: 1 -> {qps_one:.0f} qps, {args.workers} -> "
+            f"{qps_many:.0f} qps = {speedup:.2f}x (gate {gate:.2f}x, "
+            f"{cores} cores)"
+        )
+        if speedup < gate:
+            failures.append(
+                f"workers: {args.workers}-worker speedup {speedup:.2f}x "
+                f"below core-aware gate {gate:.2f}x"
+            )
+
+    # Saturation must shed, not queue: a one-slot admission gate has to
+    # answer `overloaded` with a retry hint while the slot is taken.
+    # Racing short lookups against each other is scheduling-luck on a
+    # single core, so the probe is deterministic instead: the
+    # `serve.worker.hang=1` fault channel makes the first query hang
+    # inside the daemon *after* claiming the only admission slot, the
+    # probe waits until the daemon's own metrics (a control op, exempt
+    # from admission) report the slot in flight, and every query fired
+    # from then on must be shed.  The hung daemon is SIGKILLed at the
+    # end — there is nothing graceful to preserve.
+    socket_path = os.path.join(socket_dir, "shed.sock")
+    shed_run = os.path.join(socket_dir, "shed-run")
+    pool = _spawn_pool(
+        args, cache_dir, socket_path, workers=1, run_dir=shed_run,
+        faults="serve.worker.hang=1",
+        extra=("--max-inflight", "1", "--queue-wait", "0.005"),
+    )
+    tally = {"ok": 0, "overloaded": 0, "refused": 0, "other": 0}
+    missing_hint = []
+    lock = threading.Lock()
+    try:
+        _await_healthy(
+            pool, socket_path, time.perf_counter() + 90, what="shed pool"
+        )
+
+        def hold_slot() -> None:
+            try:
+                request_socket(
+                    socket_path,
+                    {"op": "who-has", "domain": domains[0], "corpus": "alexa"},
+                    timeout=30.0,
+                )
+            except (OSError, ValueError):
+                pass  # the doomed request never answers; the kill ends it
+
+        holder = threading.Thread(target=hold_slot, daemon=True)
+        holder.start()
+        deadline = time.perf_counter() + 30
+        while True:
+            reply = request_socket(socket_path, {"op": "metrics"})
+            resilience = reply.get("result", {}).get("resilience", {})
+            if resilience.get("inflight", 0) >= 1:
+                break
+            if time.perf_counter() > deadline:
+                raise RuntimeError("shed probe: the hang fault never held "
+                                   "the admission slot")
+            time.sleep(0.02)
+
+        def burst(offset: int) -> None:
+            for i in range(6):
+                domain = domains[(offset * 6 + i) % len(domains)]
+                try:
+                    reply = request_socket(
+                        socket_path,
+                        {"op": "who-has", "domain": domain, "corpus": "alexa"},
+                    )
+                except OSError:
+                    with lock:
+                        tally["refused"] += 1
+                    continue
+                with lock:
+                    if reply.get("ok"):
+                        tally["ok"] += 1
+                    elif reply.get("code") == "overloaded":
+                        tally["overloaded"] += 1
+                        if reply.get("retry_after") is None:
+                            missing_hint.append(reply)
+                    else:
+                        tally["other"] += 1
+
+        threads = [
+            threading.Thread(target=burst, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        _kill_pool(pool)
+    row["shed"] = dict(tally)
+    print(
+        f"shed probe: {tally['ok']} served, {tally['overloaded']} shed, "
+        f"{tally['refused']} refused at connect, {tally['other']} other"
+    )
+    if tally["overloaded"] == 0:
+        failures.append(
+            "shed probe: saturated pool never answered `overloaded` "
+            "(it queued instead of shedding)"
+        )
+    if missing_hint:
+        failures.append("shed probe: overloaded reply missing retry_after")
+    return [row], failures
+
+
+def bench_chaos(args, config: WorldConfig, cache_dir: str, domains: list[str],
+                work_dir: str, socket_dir: str) -> tuple[dict, list[str]]:
+    """Phase 5: the chaos gate — worker SIGKILL under load, pool SIGKILL
+    mid-ingest, then fault-free restart back to byte-identity.
+
+    Ground truth first: a copy of the seeded store minus the latest
+    alexa result, served by an undisturbed pool that performs the same
+    ingest; its answers and store digest are what the victim must return
+    to.  The victim's mid-ingest kill is made deterministic by the
+    ``ingest.crash=1`` fault channel: the ingesting worker exits right
+    after the durable ``ingest.wal.begin``, so the process-group SIGKILL
+    always lands between intent and commit.
+    """
+    failures: list[str] = []
+    latest = NUM_SNAPSHOTS - 1
+    key = cache_key(config, DatasetTag.ALEXA, latest, KIND_PRIORITY)
+    expected = ArtifactStore(cache_dir).read(key)
+    if expected is None:
+        raise RuntimeError("seed phase left no latest alexa result artifact")
+
+    sample = domains[:: max(1, len(domains) // 20)][:20]
+
+    def collect_answers(target) -> dict[str, str]:
+        policy = RetryPolicy(attempts=6)
+
+        def fetch(request: dict) -> dict:
+            reply = rpc_retry(
+                target, request, timeout=args.chaos_deadline_s, policy=policy
+            )
+            if not reply.get("ok"):
+                raise RuntimeError(f"chaos lookup failed: {reply}")
+            return reply
+
+        collected = {
+            f"who-has:{domain}": _canonical_answer(fetch({
+                "op": "who-has", "domain": domain,
+                "corpus": "alexa", "snapshot": latest,
+            }))
+            for domain in sample
+        }
+        collected["provider-stats"] = _canonical_answer(fetch({
+            "op": "provider-stats", "corpus": "alexa", "snapshot": latest,
+        }))
+        return collected
+
+    # --- Reference: same store surgery, same ingest, nobody dies. ---
+    ref_dir = os.path.join(work_dir, "ref-store")
+    shutil.copytree(cache_dir, ref_dir)
+    ArtifactStore(ref_dir).discard(key)
+    ref_socket = os.path.join(socket_dir, "chaos-ref.sock")
+    reference = _spawn_pool(
+        args, ref_dir, ref_socket, workers=args.chaos_workers,
+        run_dir=os.path.join(work_dir, "ref-run"),
+    )
+    try:
+        _await_healthy(
+            reference, ref_socket, time.perf_counter() + 120,
+            what="reference pool",
+        )
+        ref_target = ("socket", ref_socket)
+        reply = rpc(
+            ref_target,
+            {"op": "ingest", "snapshot": latest, "corpus": "alexa"},
+            timeout=300.0,
+        )
+        if not reply.get("ok"):
+            raise RuntimeError(f"reference ingest failed: {reply}")
+        ref_answers = collect_answers(ref_target)
+        rpc(ref_target, {"op": "shutdown"}, timeout=10.0)
+        reference.wait(timeout=20)
+    finally:
+        _kill_pool(reference)
+    ref_digest = _store_digest(ref_dir)
+
+    # --- Victim: worker SIGKILL under load, pool SIGKILL mid-ingest. ---
+    victim_dir = os.path.join(work_dir, "victim-store")
+    shutil.copytree(cache_dir, victim_dir)
+    ArtifactStore(victim_dir).discard(key)
+    victim_socket = os.path.join(socket_dir, "chaos-victim.sock")
+    victim_run = os.path.join(work_dir, "victim-run")
+    target = ("socket", victim_socket)
+    results: list[tuple[bool, float]] = []
+    lock = threading.Lock()
+    progressed = threading.Event()
+
+    pool = _spawn_pool(
+        args, victim_dir, victim_socket, workers=args.chaos_workers,
+        run_dir=victim_run, faults="ingest.crash=1",
+        extra=("--restart-budget", "32"),
+    )
+    try:
+        _await_healthy(
+            pool, victim_socket, time.perf_counter() + 120, what="victim pool"
+        )
+        deadline = time.perf_counter() + 30
+        while True:
+            pids = sorted({
+                event["pid"] for event in _journal_events(victim_run)
+                if event.get("event") == "serve.worker.start"
+            })
+            if len(pids) >= args.chaos_workers:
+                break
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    f"only {len(pids)} of {args.chaos_workers} workers "
+                    "journaled serve.worker.start"
+                )
+            time.sleep(0.05)
+
+        # Queries pin the PRIOR snapshot: the latest result is the hole
+        # the ingest (and later the WAL replay) must fill.
+        query_snapshot = latest - 1
+
+        def load_client(offset: int) -> None:
+            mine = []
+            policy = RetryPolicy(attempts=6)
+            for i in range(args.chaos_requests):
+                domain = domains[(offset * args.chaos_requests + i) % len(domains)]
+                t0 = time.perf_counter()
+                try:
+                    reply = rpc_retry(
+                        target,
+                        {"op": "who-has", "domain": domain,
+                         "corpus": "alexa", "snapshot": query_snapshot},
+                        timeout=args.chaos_deadline_s,
+                        policy=policy,
+                    )
+                    ok = bool(reply.get("ok"))
+                except (OSError, ValueError):
+                    ok = False
+                mine.append((ok, time.perf_counter() - t0))
+                if i >= 1:
+                    progressed.set()
+            with lock:
+                results.extend(mine)
+
+        threads = [
+            threading.Thread(target=load_client, args=(index,))
+            for index in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        # Pull the trigger once the load is demonstrably in flight.
+        progressed.wait(timeout=10)
+        try:
+            os.kill(pids[0], signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        for thread in threads:
+            thread.join()
+
+        total = len(results)
+        ok_count = sum(1 for ok, _ in results if ok)
+        availability = ok_count / total if total else 0.0
+        slowest = max((elapsed for _, elapsed in results), default=0.0)
+        print(
+            f"chaos: worker {pids[0]} SIGKILLed under load — "
+            f"{ok_count}/{total} requests ok ({availability:.2%}), "
+            f"slowest {slowest:.2f}s"
+        )
+        if availability < args.min_availability:
+            failures.append(
+                f"chaos: availability {availability:.2%} below "
+                f"--min-availability {args.min_availability:.2%}"
+            )
+        if slowest > args.chaos_deadline_s:
+            failures.append(
+                f"chaos: slowest request {slowest:.2f}s exceeded its "
+                f"{args.chaos_deadline_s:g}s deadline"
+            )
+        _wait_journal(
+            victim_run, lambda e: e.get("event") == "serve.worker.lost",
+            what="serve.worker.lost",
+        )
+        _wait_journal(
+            victim_run, lambda e: e.get("event") == "serve.worker.restart",
+            what="serve.worker.restart",
+        )
+
+        # Mid-ingest kill: the fault fells the ingesting worker right
+        # after the WAL intent; the connection dying IS the expected
+        # outcome.  Then SIGKILL the whole group with the intent open.
+        try:
+            reply = rpc(
+                target,
+                {"op": "ingest", "snapshot": latest, "corpus": "alexa"},
+                timeout=args.chaos_deadline_s,
+            )
+            ingest_note = reply.get("code") or (
+                "ok" if reply.get("ok") else "error"
+            )
+        except (OSError, ValueError):
+            ingest_note = "connection-died"
+        _wait_journal(
+            victim_run,
+            lambda e: (e.get("event") == "ingest.wal.begin"
+                       and e.get("snapshot") == latest),
+            what="ingest.wal.begin",
+        )
+        if any(
+            event.get("event") == "ingest.wal.commit"
+            and event.get("snapshot") == latest
+            for event in _journal_events(victim_run)
+        ):
+            failures.append(
+                "chaos: the mid-ingest kill landed after commit — "
+                "nothing left to replay"
+            )
+        os.killpg(pool.pid, signal.SIGKILL)
+        pool.wait(timeout=20)
+        print(f"chaos: pool SIGKILLed mid-ingest (client saw: {ingest_note})")
+    finally:
+        _kill_pool(pool)
+
+    # --- Recovery: fault-free restart must replay the WAL. ---
+    recovered = _spawn_pool(
+        args, victim_dir, victim_socket, workers=args.chaos_workers,
+        run_dir=victim_run,
+    )
+    try:
+        _await_healthy(
+            recovered, victim_socket, time.perf_counter() + 300,
+            what="recovered pool",
+        )
+        ready = rpc_retry(
+            target, {"op": "ready"}, timeout=10.0,
+            policy=RetryPolicy(attempts=10),
+        )
+        if not (ready.get("ok") and ready.get("result", {}).get("ready")):
+            failures.append(f"chaos: recovered pool never ready: {ready}")
+        _wait_journal(
+            victim_run, lambda e: e.get("event") == "ingest.wal.replay",
+            timeout=60.0, what="ingest.wal.replay",
+        )
+        _wait_journal(
+            victim_run,
+            lambda e: (e.get("event") == "ingest.wal.commit"
+                       and e.get("snapshot") == latest),
+            timeout=60.0, what="post-replay ingest.wal.commit",
+        )
+        victim_answers = collect_answers(target)
+        rpc(target, {"op": "shutdown"}, timeout=10.0)
+        recovered.wait(timeout=20)
+    finally:
+        _kill_pool(recovered)
+
+    replayed = ArtifactStore(victim_dir).read(key)
+    if replayed != expected:
+        failures.append(
+            "chaos: replayed result bytes differ from the undisturbed "
+            "batch artifact"
+        )
+    victim_digest = _store_digest(victim_dir)
+    if victim_digest != ref_digest:
+        failures.append(
+            "chaos: post-recovery store digest differs from the "
+            "undisturbed pool's"
+        )
+    mismatched = [
+        name for name in ref_answers
+        if victim_answers.get(name) != ref_answers[name]
+    ]
+    if mismatched:
+        failures.append(
+            f"chaos: {len(mismatched)}/{len(ref_answers)} answers differ "
+            f"from the undisturbed pool (e.g. {mismatched[0]})"
+        )
+
+    journal_path = os.path.join(victim_run, JOURNAL_NAME)
+    errors = validate_jsonl_file(journal_path, JOURNAL_EVENT_SCHEMA)
+    failures.extend(f"chaos journal: {error}" for error in errors)
+    kinds = {event.get("event") for event in _journal_events(victim_run)}
+    for required in (
+        "serve.start", "serve.ready", "serve.worker.start",
+        "serve.worker.lost", "serve.worker.restart",
+        "ingest.wal.begin", "ingest.wal.replay", "ingest.wal.commit",
+        "serve.stop",
+    ):
+        if required not in kinds:
+            failures.append(f"chaos journal: missing {required} event")
+    print(
+        f"chaos: recovery replayed the WAL — store digest "
+        f"{'matches' if victim_digest == ref_digest else 'DIFFERS from'} "
+        f"the reference, {len(ref_answers) - len(mismatched)}/"
+        f"{len(ref_answers)} answers identical"
+    )
+
+    row = {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "phase": "chaos",
+        "workers": args.chaos_workers,
+        "requests": total,
+        "availability": round(availability, 4),
+        "slowest_s": round(slowest, 3),
+        "ingest_outcome": ingest_note,
+        "store_digest_match": victim_digest == ref_digest,
+        "answers_compared": len(ref_answers),
+        "answers_mismatched": len(mismatched),
+        "journal": journal_path,
+    }
+    return row, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.5,
@@ -403,6 +1018,32 @@ def main(argv: list[str] | None = None) -> int:
                              "fraction (e.g. 0.05); needs --overhead")
     parser.add_argument("--scrape-out", metavar="PATH", default=None,
                         help="write the captured /metrics exposition here")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="benchmark a 1-worker vs N-worker prefork pool "
+                             "plus the shed probe (replaces the daemon/ingest "
+                             "phases; 0 = off)")
+    parser.add_argument("--min-worker-speedup", type=float, default=3.0,
+                        help="N-worker throughput floor relative to 1 worker; "
+                             "clamped to 0.75*(cores-1), skipped below 2 cores")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the chaos gate (worker SIGKILL under load, "
+                             "whole-pool SIGKILL mid-ingest, replay to "
+                             "byte-identity) instead of the daemon/ingest "
+                             "phases")
+    parser.add_argument("--chaos-workers", type=int, default=2,
+                        help="pool size for the chaos phase (default 2)")
+    parser.add_argument("--chaos-requests", type=int, default=50,
+                        help="who-has lookups per client during the chaos "
+                             "load (default 50)")
+    parser.add_argument("--min-availability", type=float, default=0.99,
+                        help="retried request success floor under chaos "
+                             "(default 0.99)")
+    parser.add_argument("--chaos-deadline-s", type=float, default=10.0,
+                        help="per-request deadline (incl. retries) under "
+                             "chaos (default 10)")
+    parser.add_argument("--chaos-dir", metavar="PATH", default=None,
+                        help="keep chaos stores + run journal here (for CI "
+                             "artifacts / validate_obs --journal)")
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a seeded store instead of a temp dir")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -414,7 +1055,9 @@ def main(argv: list[str] | None = None) -> int:
     rows: list[dict] = []
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-sweep-") as tmp:
-        cache_dir = args.cache_dir or tmp
+        # The store gets its own subdirectory so the chaos phase can
+        # copytree it next to (never into) itself.
+        cache_dir = args.cache_dir or os.path.join(tmp, "store")
         seed_seconds, domains = seed_store(config, cache_dir, args.jobs)
         print(f"seeded store in {seed_seconds:.1f}s ({cache_dir})")
         rows.append({
@@ -423,6 +1066,26 @@ def main(argv: list[str] | None = None) -> int:
             "seconds": round(seed_seconds, 2),
             "alexa_domains": len(domains),
         })
+
+        if args.workers or args.chaos:
+            # Resilience run: phases 2-3 are skipped so the chaos CI step
+            # stays focused (and fast); the latency/ingest gates have
+            # their own invocation.
+            if args.workers:
+                worker_rows, worker_failures = bench_workers(
+                    args, cache_dir, domains, tmp
+                )
+                rows.extend(worker_rows)
+                failures.extend(worker_failures)
+            if args.chaos:
+                work_dir = args.chaos_dir or os.path.join(tmp, "chaos")
+                os.makedirs(work_dir, exist_ok=True)
+                chaos_row, chaos_failures = bench_chaos(
+                    args, config, cache_dir, domains, work_dir, tmp
+                )
+                rows.append(chaos_row)
+                failures.extend(chaos_failures)
+            return _finish(args, rows, failures)
 
         daemon_row, daemon_failures, scrape_text = bench_daemon(
             args, cache_dir, domains
@@ -480,6 +1143,10 @@ def main(argv: list[str] | None = None) -> int:
         rows.extend(ingest_rows)
         failures.extend(ingest_failures)
 
+    return _finish(args, rows, failures)
+
+
+def _finish(args, rows: list[dict], failures: list[str]) -> int:
     if args.json:
         document = bench_document(
             "serve-sweep",

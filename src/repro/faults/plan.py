@@ -56,8 +56,26 @@ HOST_RATE_FIELDS = {
     "host.netsplit": "host_netsplit",
 }
 
+#: spec key → FaultPlan rate field for the *serving*-layer fault channels
+#: used by :mod:`repro.serve.resilience`.  ``serve.worker.crash`` and
+#: ``serve.worker.hang`` kill or wedge one query worker process mid-
+#: request; ``ingest.crash`` kills the process between the ingest WAL
+#: intent record and its commit.  All three perturb only the serving
+#: harness — recovery replays the work and the answers stay
+#: byte-identical — so, like the worker/host channels, they are excluded
+#: from uniform sweeps and artifact-store keys.
+SERVE_RATE_FIELDS = {
+    "serve.worker.crash": "serve_worker_crash",
+    "serve.worker.hang": "serve_worker_hang",
+    "ingest.crash": "ingest_crash",
+}
+
 #: every execution-layer channel (stripped from store keys).
-_HARNESS_RATE_FIELDS = {**WORKER_RATE_FIELDS, **HOST_RATE_FIELDS}
+_HARNESS_RATE_FIELDS = {
+    **WORKER_RATE_FIELDS,
+    **HOST_RATE_FIELDS,
+    **SERVE_RATE_FIELDS,
+}
 
 #: spec words that mean "no fault injection at all".
 _OFF_WORDS = {"", "none", "off", "0", "no"}
@@ -86,6 +104,9 @@ class FaultPlan:
     worker_hang: float = 0.0    # per-(shard, attempt) worker wedges past deadline
     host_crash: float = 0.0     # per-(host, lease) a whole dist host SIGKILLs
     host_netsplit: float = 0.0  # per-(host, lease) a dist host drops the wire
+    serve_worker_crash: float = 0.0  # per-(request, slot) query worker dies
+    serve_worker_hang: float = 0.0   # per-(request, slot) query worker wedges
+    ingest_crash: float = 0.0   # per-(snapshot, corpus) dies between WAL begin/commit
     # (asn, rate) overrides for scan_dropout — the paper's per-provider
     # blind spots (owner opt-outs hit whole ASes at once).
     asn_dropout: tuple[tuple[int, float], ...] = ()
@@ -130,6 +151,11 @@ class FaultPlan:
         return any(getattr(self, attr) > 0 for attr in HOST_RATE_FIELDS.values())
 
     @property
+    def serve_active(self) -> bool:
+        """Whether any serving-layer (worker crash/hang, ingest) channel can fire."""
+        return any(getattr(self, attr) > 0 for attr in SERVE_RATE_FIELDS.values())
+
+    @property
     def active(self) -> bool:
         """Whether any fault channel can ever fire.
 
@@ -137,7 +163,12 @@ class FaultPlan:
         "no faults configured", so a ``--faults none`` (or all-zero) run
         is byte-identical to one where the module is never consulted.
         """
-        return self.measurement_active or self.worker_active or self.host_active
+        return (
+            self.measurement_active
+            or self.worker_active
+            or self.host_active
+            or self.serve_active
+        )
 
     # -- construction ----------------------------------------------------
 

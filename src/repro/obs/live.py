@@ -133,6 +133,17 @@ class LiveTelemetry:
         self._recorders: dict[str, WindowedRecorder] = {}
         self._lock = threading.Lock()
         self._last_ingest: dict | None = None
+        self._degraded_causes: list = []
+
+    def add_degraded_cause(self, cause) -> None:
+        """Register an extra zero-arg predicate that forces ``degraded``.
+
+        The serving layer's ingest circuit breaker plugs in here: while
+        the breaker is open the daemon serves stale answers, and the
+        ``repro_serve_degraded`` gauge must fire even when no SLO burn
+        rate does.
+        """
+        self._degraded_causes.append(cause)
 
     # -- recording -------------------------------------------------------
 
@@ -203,6 +214,8 @@ class LiveTelemetry:
         return {"spec": self.slo.spec(), "endpoint": busiest[0], **report}
 
     def degraded(self) -> bool:
+        if any(cause() for cause in self._degraded_causes):
+            return True
         report = self.slo_report()
         return bool(report and report["degraded"])
 
@@ -314,11 +327,12 @@ class LiveTelemetry:
                     f'repro_serve_slo_burn_rate{{objective="{entry["name"]}"}} '
                     f"{entry['burn_rate']:.4f}"
                 )
-            lines += [
-                "# HELP repro_serve_degraded 1 when any SLO burn rate exceeds 1.",
-                "# TYPE repro_serve_degraded gauge",
-                f"repro_serve_degraded {1 if report['degraded'] else 0}",
-            ]
+        lines += [
+            "# HELP repro_serve_degraded 1 when an SLO burn rate exceeds 1 "
+            "or the ingest circuit breaker is open.",
+            "# TYPE repro_serve_degraded gauge",
+            f"repro_serve_degraded {1 if self.degraded() else 0}",
+        ]
         histograms = {
             endpoint: recorders[endpoint].lifetime for endpoint in sorted(recorders)
         }

@@ -90,6 +90,22 @@ SERVE_SECTION_SCHEMA = {
             },
         },
         "ingests": {"type": "array"},
+        # Present when the daemon runs with resilience features enabled
+        # (worker pool, admission control, ingest breaker, WAL journal):
+        # queue depth / shed counters and circuit-breaker state.
+        "resilience": {
+            "type": "object",
+            "properties": {
+                "ready": {"type": "boolean"},
+                "inflight": {"type": "integer"},
+                "queue_depth": {"type": "integer"},
+                "max_inflight": {"type": "integer"},
+                "shed": {"type": "integer"},
+                "quarantined": {"type": "integer"},
+                "breaker": {"type": "object"},
+                "wal": {"type": "object"},
+            },
+        },
         # Present when live telemetry is on (the default): sliding-window
         # quantiles/qps/error rates, gauges, and the SLO report.
         "live": {
@@ -270,6 +286,21 @@ JOURNAL_EVENT_SCHEMA = {
                 "shard.lost",
                 "host.join",
                 "host.lost",
+                # Serving layer (repro.serve.resilience): worker-pool
+                # lifecycle plus the crash-safe ingest WAL.
+                "serve.start",
+                "serve.ready",
+                "serve.stop",
+                "serve.worker.start",
+                "serve.worker.lost",
+                "serve.worker.restart",
+                "serve.request.quarantined",
+                "serve.breaker.open",
+                "serve.breaker.close",
+                "ingest.wal.begin",
+                "ingest.wal.commit",
+                "ingest.wal.replay",
+                "ingest.wal.failed",
             ],
         },
         "run": {"type": "string"},
@@ -295,6 +326,21 @@ JOURNAL_EVENT_SCHEMA = {
         "pool": {"type": "integer"},
         "stolen": {"type": "boolean"},
         "victim": {"type": "string"},
+        # Serving-layer fields (repro.serve.resilience): worker slots,
+        # blamed requests, and WAL intent records.
+        "worker": {"type": "integer"},
+        "pid": {"type": "integer"},
+        "exit": {"type": "integer"},
+        "workers": {"type": "integer"},
+        "restarts": {"type": "integer"},
+        "request": {"type": "string"},
+        "op": {"type": "string"},
+        "corpora": {"type": "array"},
+        "replay": {"type": "boolean"},
+        "error": {"type": "string"},
+        "failures": {"type": "integer"},
+        "socket": {"type": "string"},
+        "http": {"type": "string"},
     },
 }
 

@@ -35,6 +35,11 @@ MANIFEST_NAME = "manifest.json"
 RUNS_ENV = "REPRO_RUNS"
 
 #: Events that must survive a crash immediately after being appended.
+#: The ingest WAL pair is here by construction: ``ingest.wal.begin`` is
+#: the intent record that recovery keys on (it must hit the disk before
+#: serving state mutates), and a lost ``ingest.wal.commit`` would make
+#: recovery replay work that already completed — harmless (replay is
+#: idempotent and byte-identical) but wasteful.
 _DURABLE_EVENTS = {
     "run.start",
     "run.resume",
@@ -45,6 +50,11 @@ _DURABLE_EVENTS = {
     "shard.quarantined",
     "snapshot.done",
     "host.lost",
+    "ingest.wal.begin",
+    "ingest.wal.commit",
+    "ingest.wal.failed",
+    "serve.worker.lost",
+    "serve.request.quarantined",
 }
 
 

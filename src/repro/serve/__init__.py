@@ -14,10 +14,36 @@ Layout:
 * :mod:`repro.serve.daemon` — unix-socket / HTTP front-ends + clients.
 * :mod:`repro.serve.churn` — deterministic synthetic-churn generator
   (benchmarks and equivalence tests).
+* :mod:`repro.serve.resilience` — fault tolerance: the supervised
+  prefork worker pool, admission control / load shedding, the ingest
+  circuit breaker, client retry policies, and the WAL helpers behind
+  crash-safe ingest.
 * :mod:`repro.serve.cli` — ``repro serve ...`` subcommands.
 """
 
 from .blocks import BlockCache
+from .resilience import (
+    AdmissionControl,
+    IngestBreaker,
+    PoolOptions,
+    RetryPolicy,
+    ServeGuard,
+    WorkerPool,
+    rpc_retry,
+    wait_until_healthy,
+)
 from .service import InferenceService, ServiceError
 
-__all__ = ["BlockCache", "InferenceService", "ServiceError"]
+__all__ = [
+    "AdmissionControl",
+    "BlockCache",
+    "IngestBreaker",
+    "InferenceService",
+    "PoolOptions",
+    "RetryPolicy",
+    "ServeGuard",
+    "ServiceError",
+    "WorkerPool",
+    "rpc_retry",
+    "wait_until_healthy",
+]

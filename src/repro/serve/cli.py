@@ -33,8 +33,16 @@ _CLIENT_OPS = {
     "status": "status",
     "metrics": "metrics",
     "trace": "trace",
+    "ready": "ready",
     "stop": "shutdown",
 }
+
+#: Client verbs that retry by default.  `ingest` is NOT here: retrying a
+#: non-idempotent op whose connection died mid-flight risks a confusing
+#: second application (rejected as "not ahead"); callers opt in with
+#: --retries.
+_RETRYING_OPS = {"who-has", "provider-stats", "explain", "status",
+                 "metrics", "trace", "ready"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +149,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--count", type=int, default=0, metavar="N",
         help="with 'top': stop after N refreshes (default: until ^C)",
     )
+    # -- fault tolerance (the resilience layer) --------------------------
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="with 'run': prefork N supervised query workers behind the "
+             "listeners (default 1: single-process daemon)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="client verbs: per-request RPC timeout (default 60s)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="client verbs: RPC attempts with exponential backoff "
+             "(default 3 for query verbs, 1 for 'ingest'/'stop')",
+    )
+    parser.add_argument(
+        "--run-dir", metavar="PATH", default=None,
+        help="with 'run': journal directory for the ingest WAL and worker "
+             "lifecycle events (default <store>/serve-run; required for "
+             "crash-safe ingest)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="with 'run': concurrent requests admitted per worker before "
+             "shedding with 'overloaded' (default 64)",
+    )
+    parser.add_argument(
+        "--queue-wait", type=float, default=0.05, metavar="SECONDS",
+        help="with 'run': how long a request may wait for an admission "
+             "slot before being shed (default 0.05s)",
+    )
+    parser.add_argument(
+        "--worker-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="with 'run --workers N': a worker whose in-flight request "
+             "makes no progress for this long is killed and replaced "
+             "(default 30s)",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=16, metavar="N",
+        help="with 'run --workers N': total worker replacements before "
+             "the pool gives up (default 16)",
+    )
+    parser.add_argument(
+        "--breaker-failures", type=int, default=3, metavar="N",
+        help="with 'run': consecutive ingest failures that trip the "
+             "circuit breaker into stale serving (default 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="with 'run': how long the tripped breaker rejects ingests "
+             "before allowing a probe (default 30s)",
+    )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="with 'run': chaos channels, e.g. "
+             "'seed=7,serve.worker.crash=0.05,ingest.crash=1.0' "
+             "(hash-pure; never changes answer bytes)",
+    )
     return parser
 
 
@@ -161,7 +227,12 @@ def _store(args: argparse.Namespace) -> ArtifactStore | None:
     return ArtifactStore.from_env()
 
 
-def _service(args: argparse.Namespace) -> InferenceService:
+def _service(
+    args: argparse.Namespace,
+    journal=None,
+    plan=None,
+    watch_generation: bool = False,
+) -> InferenceService:
     config = WorldConfig(seed=args.seed).scaled(args.scale)
     slo = None
     if args.slo:
@@ -169,14 +240,28 @@ def _service(args: argparse.Namespace) -> InferenceService:
             slo = parse_slo(args.slo)
         except SLOError as error:
             raise ServiceError(str(error), code="bad-request") from error
+    breaker = None
+    if journal is not None:
+        from .resilience import IngestBreaker
+
+        breaker = IngestBreaker(
+            threshold=args.breaker_failures,
+            cooldown=args.breaker_cooldown,
+            journal=journal,
+        )
     return InferenceService(
         config,
         _store(args),
         jobs=args.jobs,
         cache_blocks=args.cache_blocks,
+        faults_key=plan.store_key() if plan is not None else None,
         slo=slo,
         trace_ring=args.trace_ring,
         trace_jsonl=args.trace_jsonl,
+        journal=journal,
+        breaker=breaker,
+        fault_plan=plan,
+        watch_generation=watch_generation,
     )
 
 
@@ -237,14 +322,62 @@ def _render(args: argparse.Namespace, result) -> None:
 
 
 def run_daemon(args: argparse.Namespace, argv: list[str]) -> int:
-    service = _service(args)
+    from ..faults.plan import resolve_plan
+    from ..resilience.journal import RunJournal, new_run_id
+    from .resilience import AdmissionControl, ServeGuard
+
+    try:
+        plan = resolve_plan(args.faults, args.seed)
+    except ValueError as error:
+        raise ServiceError(str(error), code="bad-request") from error
+    store = _store(args)
+    if store is None:
+        raise ServiceError(
+            "serving requires an artifact store (set REPRO_CACHE or pass "
+            "--cache-dir); there is nothing to serve without one",
+            code="no-store",
+        )
     socket_path = args.socket
     http_address = parse_http(args.http)
     if socket_path is None and http_address is None:
         # No listener requested: default to a socket next to the store,
         # so `repro serve` followed by `repro serve who-has ... --socket
         # <store>/serve.sock` just works.
-        socket_path = str(service.store.root / "serve.sock")
+        socket_path = str(store.root / "serve.sock")
+    run_dir = args.run_dir or str(store.root / "serve-run")
+    journal = RunJournal(run_dir, new_run_id())
+    where = []
+    if socket_path is not None:
+        where.append(f"socket {socket_path}")
+    if http_address is not None:
+        where.append(f"http {http_address[0]}:{http_address[1]}")
+
+    def admission():
+        return AdmissionControl(args.max_inflight, args.queue_wait)
+
+    if args.workers > 1:
+        from .resilience import PoolOptions, WorkerPool
+
+        pool = WorkerPool(
+            service_factory=lambda: _service(
+                args, journal=journal, plan=plan, watch_generation=True
+            ),
+            socket_path=socket_path,
+            http_address=http_address,
+            journal=journal,
+            options=PoolOptions(
+                workers=args.workers,
+                restart_budget=args.restart_budget,
+                worker_deadline=args.worker_deadline,
+            ),
+            plan=plan,
+            admission_factory=admission,
+        )
+        print(f"serving inference maps on {', '.join(where)} "
+              f"with {args.workers} workers "
+              f"(store {store.root}, journal {journal.path})")
+        return pool.run()
+    service = _service(args, journal=journal, plan=plan)
     daemon = ServeDaemon(
         service,
         socket_path=socket_path,
@@ -253,14 +386,11 @@ def run_daemon(args: argparse.Namespace, argv: list[str]) -> int:
         manifest_out=args.manifest_out,
         argv=["serve"] + list(argv),
         flush_interval=args.flush_interval,
+        guard=ServeGuard(admission=admission(), plan=plan),
     )
-    where = []
-    if socket_path is not None:
-        where.append(f"socket {socket_path}")
-    if http_address is not None:
-        where.append(f"http {http_address[0]}:{http_address[1]}")
     print(f"serving inference maps on {', '.join(where)} "
-          f"(store {service.store.root})")
+          f"(store {store.root})")
+    service.recover()
     return daemon.run()
 
 
@@ -338,7 +468,7 @@ def run_top(args: argparse.Namespace) -> int:
     frames = 0
     try:
         while True:
-            response = rpc(target, {"op": "metrics"})
+            response = rpc(target, {"op": "metrics"}, timeout=args.timeout)
             if not response.get("ok", False):
                 print(f"serve: {response.get('error')}", file=sys.stderr)
                 return 2
@@ -365,7 +495,17 @@ def main(argv: list[str] | None = None) -> int:
         request = _request(args)
         target = _target(args)
         if target is not None:
-            response = rpc(target, request)
+            from .resilience import RetryPolicy
+
+            attempts = args.retries
+            if attempts is None:
+                attempts = 3 if args.command in _RETRYING_OPS else 1
+            response = rpc(
+                target,
+                request,
+                timeout=args.timeout,
+                retry=RetryPolicy(attempts=max(1, attempts)),
+            )
         else:
             if args.command == "stop":
                 raise ServiceError(

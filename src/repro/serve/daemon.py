@@ -43,6 +43,7 @@ from .service import InferenceService, ServiceError
 
 _GET_OPS = {
     "/healthz": "ping",
+    "/readyz": "ready",
     "/status": "status",
     "/metrics.json": "metrics",
     "/who-has": "who-has",
@@ -60,6 +61,11 @@ _HTTP_STATUS = {
     "corrupt": 500,
     "internal": 500,
     "unknown-op": 400,
+    "overloaded": 503,
+    "not-ready": 503,
+    "circuit-open": 503,
+    "quarantined": 400,
+    "deadline": 504,
 }
 
 
@@ -80,6 +86,16 @@ def handle_request(service: InferenceService, request: dict) -> dict:
         with obs_live.trace_context(trace_id):
             if op == "ping":
                 result = {"pong": True}
+            elif op == "ready":
+                result = service.readiness()
+                if not result.get("ready", True):
+                    return {
+                        "ok": False,
+                        "error": "not ready: ingest WAL recovery pending",
+                        "code": "not-ready",
+                        "retry_after": 0.25,
+                        "trace": trace_id,
+                    }
             elif op == "who-has":
                 result = service.who_has(
                     request["domain"], request.get("corpus"), request.get("snapshot")
@@ -126,12 +142,15 @@ def handle_request(service: InferenceService, request: dict) -> dict:
             "trace": trace_id,
         }
     except ServiceError as error:
-        return {
+        response = {
             "ok": False,
             "error": str(error),
             "code": error.code,
             "trace": trace_id,
         }
+        if getattr(error, "retry_after", None) is not None:
+            response["retry_after"] = error.retry_after
+        return response
     except Exception as error:  # the daemon must outlive bad requests
         return {
             "ok": False,
@@ -155,6 +174,9 @@ class ServeDaemon:
         manifest_out: str | None = None,
         argv: list[str] | None = None,
         flush_interval: float | None = None,
+        bound_sockets: dict | None = None,
+        guard=None,
+        owns_socket_path: bool = True,
     ) -> None:
         if socket_path is None and http_address is None:
             raise ServiceError(
@@ -169,11 +191,24 @@ class ServeDaemon:
         self.manifest_out = manifest_out
         self.argv = argv
         self.flush_interval = flush_interval
+        # Pool workers inherit already-bound listeners from the parent
+        # and must not unlink the shared socket path on their own exit.
+        self.bound_sockets = bound_sockets or {}
+        self.guard = guard
+        self.owns_socket_path = owns_socket_path
         self.started = time.monotonic()
         self._stop = threading.Event()
         self._servers: list = []
         self._threads: list[threading.Thread] = []
         self._flusher: threading.Thread | None = None
+        if self.guard is not None and getattr(service, "admission", None) is None:
+            service.admission = self.guard.admission
+
+    def dispatch(self, request: dict) -> dict:
+        """Handle one request, through the resilience guard when present."""
+        if self.guard is not None:
+            return self.guard.dispatch(self.service, request, handle_request)
+        return handle_request(self.service, request)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -250,7 +285,7 @@ class ServeDaemon:
             self._flusher = None
         self._servers.clear()
         self._threads.clear()
-        if self.socket_path is not None:
+        if self.socket_path is not None and self.owns_socket_path:
             Path(self.socket_path).unlink(missing_ok=True)
         self._export()
 
@@ -295,7 +330,7 @@ class ServeDaemon:
                             "code": "bad-request",
                         }
                     else:
-                        response = handle_request(daemon.service, request)
+                        response = daemon.dispatch(request)
                     stopping = response.pop("_shutdown", False)
                     self.wfile.write(json.dumps(response).encode() + b"\n")
                     self.wfile.flush()
@@ -307,21 +342,16 @@ class ServeDaemon:
             daemon_threads = True
             allow_reuse_address = True
 
-        path = Path(self.socket_path)
-        if path.exists():
-            # A previous daemon may have died without cleanup; a live one
-            # would still answer — probe before stealing the address.
-            try:
-                request_socket(str(path), {"op": "ping"}, timeout=1.0)
-            except OSError:
-                path.unlink()
-            else:
-                raise ServiceError(
-                    f"socket {path} is already served by a live daemon",
-                    code="bad-request",
-                )
-        path.parent.mkdir(parents=True, exist_ok=True)
-        return Server(str(path), Handler)
+        bound = self.bound_sockets.get("socket")
+        if bound is not None:
+            # Adopt the parent-bound listener (worker-pool fork): build
+            # the server without binding, swap in the inherited socket.
+            server = Server(self.socket_path, Handler, bind_and_activate=False)
+            server.socket.close()
+            server.socket = bound
+            return server
+        _reclaim_unix_path(self.socket_path)
+        return Server(self.socket_path, Handler)
 
     def _make_http_server(self):
         daemon = self
@@ -341,6 +371,10 @@ class ServeDaemon:
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                if response.get("retry_after") is not None:
+                    self.send_header(
+                        "Retry-After", str(response["retry_after"])
+                    )
                 self.end_headers()
                 self.wfile.write(body)
                 if stopping:
@@ -378,7 +412,7 @@ class ServeDaemon:
                 request = {"op": op}
                 for key, values in parse_qs(parts.query).items():
                     request[key] = values[-1]
-                self._reply(handle_request(daemon.service, request))
+                self._reply(daemon.dispatch(request))
 
             def do_POST(self) -> None:
                 if urlsplit(self.path).path != "/rpc":
@@ -396,11 +430,62 @@ class ServeDaemon:
                          "code": "bad-request"}
                     )
                     return
-                self._reply(handle_request(daemon.service, request))
+                self._reply(daemon.dispatch(request))
 
-        server = ThreadingHTTPServer(self.http_address, Handler)
+        bound = self.bound_sockets.get("http")
+        if bound is not None:
+            server = ThreadingHTTPServer(
+                self.http_address, Handler, bind_and_activate=False
+            )
+            server.socket.close()
+            server.socket = bound
+            # server_bind normally fills these in; do it by hand.
+            host, port = bound.getsockname()[:2]
+            server.server_name = host
+            server.server_port = port
+        else:
+            server = ThreadingHTTPServer(self.http_address, Handler)
         server.daemon_threads = True
         return server
+
+
+# -- listener binding (shared with the worker pool) ----------------------
+
+
+def _reclaim_unix_path(socket_path: str) -> None:
+    """Unlink a stale socket path, refusing to steal a live daemon's."""
+    path = Path(socket_path)
+    if path.exists():
+        # A previous daemon may have died without cleanup; a live one
+        # would still answer — probe before stealing the address.
+        try:
+            request_socket(str(path), {"op": "ping"}, timeout=1.0)
+        except OSError:
+            path.unlink()
+        else:
+            raise ServiceError(
+                f"socket {path} is already served by a live daemon",
+                code="bad-request",
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+
+def bind_unix(socket_path: str) -> socket.socket:
+    """Bind + listen a unix-stream socket (for pre-fork inheritance)."""
+    _reclaim_unix_path(socket_path)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.bind(socket_path)
+    sock.listen(128)
+    return sock
+
+
+def bind_tcp(host: str, port: int) -> socket.socket:
+    """Bind + listen a TCP socket (for pre-fork inheritance)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(128)
+    return sock
 
 
 # -- clients ------------------------------------------------------------
@@ -437,8 +522,17 @@ def request_http(host: str, port: int, payload: dict, timeout: float = 60.0) -> 
         connection.close()
 
 
-def rpc(target, payload: dict, timeout: float = 60.0) -> dict:
-    """Round-trip against a ``("socket", path)`` / ``("http", host, port)``."""
+def rpc(target, payload: dict, timeout: float = 60.0, retry=None) -> dict:
+    """Round-trip against a ``("socket", path)`` / ``("http", host, port)``.
+
+    *retry* (a :class:`repro.serve.resilience.RetryPolicy`) turns on
+    bounded backoff for connect-refused/timeout/torn replies and
+    ``overloaded``/``not-ready`` responses.
+    """
+    if retry is not None:
+        from .resilience import rpc_retry
+
+        return rpc_retry(target, payload, timeout=timeout, policy=retry)
     if target[0] == "socket":
         return request_socket(target[1], payload, timeout)
     if target[0] == "http":

@@ -13,6 +13,7 @@ store artifact) bit-identical to a from-scratch batch run.
 
 from __future__ import annotations
 
+import json
 import math
 import threading
 import time
@@ -36,11 +37,21 @@ class ServiceError(Exception):
 
     ``code`` is machine-readable for RPC responses; every ServiceError
     maps to CLI exit status 2 (user/state error, not a crash).
+    ``retry_after`` (seconds), when set, rides along in the RPC response
+    (and the HTTP Retry-After header) so shed/tripped clients back off
+    for as long as the server actually needs.
     """
 
-    def __init__(self, message: str, *, code: str = "error") -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "error",
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
 
 # -- latency histograms -------------------------------------------------
@@ -114,6 +125,10 @@ class InferenceService:
         slo=None,
         trace_ring: int = obs_live.DEFAULT_RING,
         trace_jsonl: str | None = None,
+        journal=None,
+        breaker=None,
+        fault_plan=None,
+        watch_generation: bool = False,
     ) -> None:
         if store is None:
             raise ServiceError(
@@ -134,6 +149,22 @@ class InferenceService:
         self._ingest_log: list[dict] = []
         self._ctx = None  # lazy StudyContext; ingest gathers only
         self._inferencer = None
+        # -- resilience (all optional; absent == pre-pool behavior) ------
+        self.journal = journal           # RunJournal carrying the ingest WAL
+        self.breaker = breaker           # IngestBreaker (circuit breaker)
+        self.fault_plan = fault_plan     # chaos-channel rolls (ingest.crash)
+        self.admission = None            # set by the daemon from its guard
+        self.watch_generation = watch_generation
+        self._ready = journal is None    # WAL recovery flips this on
+        self._ingesting = False          # queries bypass live state mid-ingest
+        self._replaying = False          # suppress WAL begin + chaos on replay
+        self._generation = -1
+        self._generation_checked = 0.0
+        self._ingest_flock = None
+        if journal is not None:
+            from .resilience import FileLock
+
+            self._ingest_flock = FileLock(journal.run_dir / "ingest.lock")
         self.live: obs_live.LiveTelemetry | None = None
         if obs_live.live_enabled():
             self.live = obs_live.LiveTelemetry(
@@ -143,6 +174,10 @@ class InferenceService:
             # engine/store spans from each request land in the ring and
             # nest under the request's root span by containment.
             obs_trace.install(self.live.tracer)
+        if self.live is not None and breaker is not None:
+            # A tripped breaker means stale answers: fire the PR 8
+            # `degraded` gauge alongside any SLO burn.
+            self.live.add_degraded_cause(lambda: breaker.stale)
 
     # -- observation -----------------------------------------------------
 
@@ -226,6 +261,54 @@ class InferenceService:
     def first_snapshot(dataset: DatasetTag) -> int:
         return GOV_FIRST_SNAPSHOT if dataset is DatasetTag.GOV else 0
 
+    # -- cross-worker cache coherence ------------------------------------
+
+    _GENERATION_THROTTLE = 0.025  # seconds between generation-file stats
+
+    def _generation_path(self):
+        return self.store.root / "serve.gen"
+
+    def _refresh_generation(self) -> None:
+        """Drop cached blocks when a sibling worker published an ingest.
+
+        Pool workers share the store but not the block cache; the
+        publishing worker bumps ``serve.gen`` (atomic tmp+rename) and
+        every other worker notices here — throttled to one stat per
+        ~25ms so the hot query path stays hot.
+        """
+        if not self.watch_generation:
+            return
+        now = time.monotonic()
+        if now - self._generation_checked < self._GENERATION_THROTTLE:
+            return
+        self._generation_checked = now
+        try:
+            with open(self._generation_path(), encoding="utf-8") as handle:
+                generation = json.load(handle).get("generation", 0)
+        except (OSError, ValueError):
+            generation = 0
+        if generation != self._generation:
+            self._generation = generation
+            self.blocks.clear()
+
+    def _bump_generation(self) -> None:
+        if not self.watch_generation:
+            return
+        self._generation += 1
+        obs_live.write_json_atomic(
+            self._generation_path(), {"generation": self._generation}
+        )
+
+    def _stale_flag(self, payload: dict) -> dict:
+        """Mark an answer stale while the ingest breaker is tripped.
+
+        The key is only added when tripped, so the normal-path response
+        bytes are unchanged from the breaker-less daemon.
+        """
+        if self.breaker is not None and self.breaker.stale:
+            payload["stale"] = True
+        return payload
+
     # -- store-block access ----------------------------------------------
 
     def _result_view(self, dataset: DatasetTag, snapshot_index: int):
@@ -277,10 +360,17 @@ class InferenceService:
 
         The live incremental state is consulted first: after an ingest it
         IS the map (the store holds identical bytes, but the live dict
-        needs no decode).
+        needs no decode).  While an ingest is mutating that state in
+        place the store is authoritative instead — its artifacts flip
+        atomically (tmp+rename), so a racing query sees the old or the
+        new map, never a torn one.
         """
         state = self._states.get(dataset)
-        if state is not None and state.snapshot_index == snapshot_index:
+        if (
+            state is not None
+            and not self._ingesting
+            and state.snapshot_index == snapshot_index
+        ):
             return state.result.inferences.get(domain), True, "live"
         view = self._result_view(dataset, snapshot_index)
         if view is None:
@@ -292,6 +382,7 @@ class InferenceService:
     def who_has(self, domain: str, corpus=None, snapshot=None) -> dict:
         """The provider attribution for *domain* at one snapshot."""
         with self._observe("who-has"):
+            self._refresh_generation()
             dataset = self.resolve_dataset(corpus)
             snapshot_index = self.resolve_snapshot(snapshot)
             candidates = [dataset] if dataset is not None else list(DatasetTag)
@@ -305,7 +396,7 @@ class InferenceService:
                 any_map = any_map or exists
                 if inference is None:
                     continue
-                return {
+                return self._stale_flag({
                     "domain": domain,
                     "corpus": candidate.value,
                     "snapshot": snapshot_index,
@@ -315,7 +406,7 @@ class InferenceService:
                     "sole_provider": inference.sole_provider_id,
                     "examined": inference.examined,
                     "source": source,
-                }
+                })
             where = dataset.value if dataset is not None else "any corpus"
             if not any_map:
                 raise ServiceError(
@@ -332,6 +423,7 @@ class InferenceService:
     def provider_stats(self, corpus=None, snapshot=None) -> dict:
         """Aggregate status counts and provider weights for one corpus."""
         with self._observe("provider-stats"):
+            self._refresh_generation()
             dataset = self.resolve_dataset(corpus) or DatasetTag.ALEXA
             snapshot_index = self.resolve_snapshot(snapshot)
             if not self.covered(dataset, snapshot_index):
@@ -341,7 +433,11 @@ class InferenceService:
                     code="bad-request",
                 )
             state = self._states.get(dataset)
-            if state is not None and state.snapshot_index == snapshot_index:
+            if (
+                state is not None
+                and not self._ingesting
+                and state.snapshot_index == snapshot_index
+            ):
                 stats = _stats_from_inferences(state.result.inferences)
                 source = "live"
             else:
@@ -354,17 +450,18 @@ class InferenceService:
                     )
                 stats = view.provider_stats()
                 source = "store"
-            return {
+            return self._stale_flag({
                 "corpus": dataset.value,
                 "snapshot": snapshot_index,
                 "date": SNAPSHOT_DATES[snapshot_index].isoformat(),
                 "source": source,
                 **stats,
-            }
+            })
 
     def explain(self, domain: str, corpus=None, snapshot=None) -> dict:
         """The full provenance record (audit trail) for one domain."""
         with self._observe("explain"):
+            self._refresh_generation()
             dataset = self.resolve_dataset(corpus)
             snapshot_index = self.resolve_snapshot(snapshot)
             candidates = [dataset] if dataset is not None else list(DatasetTag)
@@ -380,13 +477,13 @@ class InferenceService:
                 snapshot_view = self._snapshot_view(candidate, snapshot_index)
                 if snapshot_view is not None and domain in snapshot_view:
                     measurement = snapshot_view.materialize({domain})[domain]
-                return obs_provenance.provenance_record(
+                return self._stale_flag(obs_provenance.provenance_record(
                     inference,
                     corpus=candidate.value,
                     snapshot_index=snapshot_index,
                     snapshot_date=SNAPSHOT_DATES[snapshot_index],
                     measurement=measurement,
-                )
+                ))
             where = dataset.value if dataset is not None else "any stored corpus"
             raise ServiceError(
                 f"{domain}: no stored inference in {where} at snapshot "
@@ -454,20 +551,33 @@ class InferenceService:
         Results write through to the store bit-identical to a batch run.
         """
         with self._observe("ingest"), self._lock:
+            if self.breaker is not None and not self.breaker.allow():
+                raise ServiceError(
+                    "ingest circuit breaker is open after repeated failures; "
+                    "serving stale maps until the cooldown expires",
+                    code="circuit-open",
+                    retry_after=self.breaker.retry_after(),
+                )
             started = time.perf_counter()
             snapshot_index = self.resolve_snapshot(snapshot)
             dataset = self.resolve_dataset(corpus)
-            targets = [dataset] if dataset is not None else list(DatasetTag)
-            reports = []
-            for target in targets:
-                if not self.covered(target, snapshot_index):
-                    continue
-                reports.append(self._ingest_one(target, snapshot_index, jobs))
-            if not reports:
+            targets = [
+                target
+                for target in (
+                    [dataset] if dataset is not None else list(DatasetTag)
+                )
+                if self.covered(target, snapshot_index)
+            ]
+            if not targets:
                 raise ServiceError(
                     f"no corpus covers snapshot {snapshot_index}",
                     code="bad-request",
                 )
+            with self._wal(snapshot_index, targets):
+                reports = [
+                    self._ingest_one(target, snapshot_index, jobs)
+                    for target in targets
+                ]
             summary = {
                 "snapshot": snapshot_index,
                 "date": SNAPSHOT_DATES[snapshot_index].isoformat(),
@@ -479,6 +589,137 @@ class InferenceService:
                     snapshot_index, time.perf_counter() - started
                 )
             return summary
+
+    @contextmanager
+    def _wal(self, snapshot_index: int, targets):
+        """The crash-safe write-ahead envelope around one ingest.
+
+        The intent record (``ingest.wal.begin``: snapshot + corpora +
+        config digest) is fsynced before any serving state mutates;
+        ``ingest.wal.commit`` lands only after every corpus published
+        through the store's atomic tmp+rename.  A begin without a commit
+        is exactly what :meth:`recover` replays — and replay writes no
+        second begin, so its commit closes the original intent.  The
+        surrounding flock serializes ingest across pool workers; the
+        ``_ingesting`` flag diverts racing queries in THIS process to
+        the store so they never read a half-mutated live state.
+        """
+        corpora = [target.value for target in targets]
+        if self.journal is None:
+            self._ingesting = True
+            try:
+                yield
+            except Exception:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+            finally:
+                self._ingesting = False
+            return
+        from ..resilience.journal import config_digest
+
+        with self._ingest_flock:
+            if not self._replaying:
+                self.journal.append(
+                    "ingest.wal.begin",
+                    snapshot=snapshot_index,
+                    corpora=corpora,
+                    config=config_digest(self.config, self.faults_key),
+                )
+            self._crash_point(snapshot_index, "begin")
+            self._ingesting = True
+            try:
+                yield
+            except Exception as error:
+                self.journal.append(
+                    "ingest.wal.failed",
+                    snapshot=snapshot_index,
+                    corpora=corpora,
+                    error=str(error),
+                    replay=self._replaying,
+                )
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            else:
+                self._crash_point(snapshot_index, "pre-commit")
+                self.journal.append(
+                    "ingest.wal.commit",
+                    snapshot=snapshot_index,
+                    corpora=corpora,
+                    replay=self._replaying,
+                )
+                if self.breaker is not None:
+                    self.breaker.record_success()
+            finally:
+                self._ingesting = False
+
+    def _crash_point(self, snapshot_index: int, stage: str) -> None:
+        """Roll the hash-pure ``ingest.crash`` channel (SIGKILL-like).
+
+        Suppressed during recovery replay — otherwise the same roll that
+        killed the original ingest would kill every replay of it.
+        """
+        plan = self.fault_plan
+        if plan is None or self._replaying or plan.ingest_crash <= 0:
+            return
+        from ..faults.inject import fault_roll
+        from ..resilience.supervisor import EXIT_INJECTED_CRASH
+
+        if (
+            fault_roll(plan.seed, "ingest.crash", snapshot_index, stage)
+            < plan.ingest_crash
+        ):
+            import os
+
+            os._exit(EXIT_INJECTED_CRASH)
+
+    def recover(self) -> dict:
+        """Replay WAL intents that never committed; mark the service ready.
+
+        Runs under the cross-worker flock at worker startup.  Each
+        pending ``ingest.wal.begin`` is re-executed through the normal
+        ingest path (idempotent: results overwrite byte-identical store
+        artifacts), journaled as ``ingest.wal.replay``; a replay that
+        fails is journaled ``ingest.wal.failed`` and the daemon still
+        comes up, serving the last good maps.
+        """
+        if self.journal is None:
+            self._ready = True
+            return {"replayed": 0, "failed": 0}
+        from .resilience import pending_wal
+
+        replayed = failed = 0
+        with self._ingest_flock:
+            for event in pending_wal(self.journal.path):
+                corpora = [
+                    value for value in (event.get("corpora") or []) if value
+                ]
+                self.journal.append(
+                    "ingest.wal.replay",
+                    snapshot=event.get("snapshot"),
+                    corpora=corpora,
+                    replay=True,
+                )
+                corpus = corpora[0] if len(corpora) == 1 else None
+                self._replaying = True
+                try:
+                    self.ingest(event.get("snapshot"), corpus)
+                except Exception:
+                    failed += 1  # _wal already journaled ingest.wal.failed
+                else:
+                    replayed += 1
+                finally:
+                    self._replaying = False
+            self._ready = True
+        return {"replayed": replayed, "failed": failed}
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` payload: has WAL recovery completed?"""
+        return {"ready": self._ready, "ingests": len(self._ingest_log)}
 
     def _ingest_one(
         self, dataset: DatasetTag, snapshot_index: int, jobs: int | None
@@ -529,16 +770,20 @@ class InferenceService:
             inferencer = self._delta_inferencer()
             jobs = jobs or self.jobs
             state = self._states.get(dataset)
-            if state is None:
-                state, report = inferencer.bootstrap(
-                    view, snapshot_index=snapshot_index, jobs=jobs
-                )
-                self._states[dataset] = state
-            else:
-                report = inferencer.ingest(
-                    state, view, snapshot_index=snapshot_index, jobs=jobs
-                )
-            self._publish(dataset, snapshot_index, state)
+            self._ingesting = True
+            try:
+                if state is None:
+                    state, report = inferencer.bootstrap(
+                        view, snapshot_index=snapshot_index, jobs=jobs
+                    )
+                    self._states[dataset] = state
+                else:
+                    report = inferencer.ingest(
+                        state, view, snapshot_index=snapshot_index, jobs=jobs
+                    )
+                self._publish(dataset, snapshot_index, state)
+            finally:
+                self._ingesting = False
             if self.live is not None:
                 self.live.note_ingest(
                     snapshot_index, time.perf_counter() - started
@@ -566,7 +811,9 @@ class InferenceService:
         self.store.save_result(
             self.config, dataset, snapshot_index, state.result, self.faults_key
         )
+        self._crash_point(snapshot_index, f"publish:{dataset.value}")
         self.blocks.invalidate(("result", dataset.value, snapshot_index))
+        self._bump_generation()
         STATS.inc("serve.ingest.published")
 
     def result_digest(self, dataset: DatasetTag) -> str:
@@ -599,8 +846,11 @@ class InferenceService:
                 "live": live,
                 "world_built": self._ctx is not None,
                 "ingests": len(self._ingest_log),
+                "ready": self._ready,
                 "degraded": (
-                    self.live.degraded() if self.live is not None else False
+                    self.live.degraded()
+                    if self.live is not None
+                    else (self.breaker.stale if self.breaker else False)
                 ),
             }
 
@@ -631,8 +881,40 @@ class InferenceService:
                 for entry in self._ingest_log[-16:]
             ],
             "live": self.live.snapshot() if self.live is not None else None,
-            "degraded": self.live.degraded() if self.live is not None else False,
+            "degraded": (
+                self.live.degraded()
+                if self.live is not None
+                else (self.breaker.stale if self.breaker else False)
+            ),
+            **self._resilience_section(),
         }
+
+    def _resilience_section(self) -> dict:
+        """The optional ``resilience`` block of the serve metrics section.
+
+        Empty (and absent from the document) when no resilience feature
+        is on, so pre-pool metrics documents are byte-identical.
+        """
+        if (
+            self.admission is None
+            and self.breaker is None
+            and self.journal is None
+        ):
+            return {}
+        section: dict = {
+            "ready": self._ready,
+            "quarantined": STATS.counters.get("serve.quarantined", 0),
+        }
+        if self.admission is not None:
+            section.update(self.admission.snapshot())
+        if self.breaker is not None:
+            section["breaker"] = self.breaker.state()
+        if self.journal is not None:
+            section["wal"] = {
+                "journal": str(self.journal.path),
+                "run": self.journal.run_id,
+            }
+        return {"resilience": section}
 
     def prometheus(self) -> str:
         """The ``GET /metrics`` Prometheus text exposition."""
@@ -642,7 +924,41 @@ class InferenceService:
                 "nothing to scrape",
                 code="no-telemetry",
             )
-        return self.live.render_prometheus()
+        text = self.live.render_prometheus()
+        extra: list[str] = []
+        if self.admission is not None:
+            snap = self.admission.snapshot()
+            extra += [
+                "# HELP repro_serve_inflight Requests currently executing.",
+                "# TYPE repro_serve_inflight gauge",
+                f"repro_serve_inflight {snap['inflight']}",
+                "# HELP repro_serve_queue_depth Requests waiting for an "
+                "admission slot.",
+                "# TYPE repro_serve_queue_depth gauge",
+                f"repro_serve_queue_depth {snap['queue_depth']}",
+                "# HELP repro_serve_shed_total Requests shed by admission "
+                "control.",
+                "# TYPE repro_serve_shed_total counter",
+                f"repro_serve_shed_total {snap['shed']}",
+            ]
+        if self.breaker is not None:
+            extra += [
+                "# HELP repro_serve_breaker_open 1 while the ingest circuit "
+                "breaker is tripped (answers are stale).",
+                "# TYPE repro_serve_breaker_open gauge",
+                f"repro_serve_breaker_open {1 if self.breaker.stale else 0}",
+            ]
+        restarts = STATS.counters.get("serve.worker.restarts", 0)
+        if restarts:
+            extra += [
+                "# HELP repro_serve_worker_restarts_total Crashed or hung "
+                "workers replaced by the pool supervisor.",
+                "# TYPE repro_serve_worker_restarts_total counter",
+                f"repro_serve_worker_restarts_total {restarts}",
+            ]
+        if not extra:
+            return text
+        return text.rstrip("\n") + "\n" + "\n".join(extra) + "\n"
 
     def trace(self, trace_id) -> dict:
         """Replay one traced request's span tree from the ring."""

@@ -13,9 +13,10 @@ Covers the observability contract end to end:
 
 import http.client
 import json
-import time
 
 import pytest
+
+from conftest import wait_for
 
 from repro.obs.live import render_trace_tree
 from repro.obs.schemas import (
@@ -221,10 +222,10 @@ class TestAtomicFlush:
                 service,
                 {"op": "who-has", "domain": domains[0], "corpus": "alexa"},
             )
-            deadline = time.monotonic() + 10
-            while not metrics_out.exists() and time.monotonic() < deadline:
-                time.sleep(0.05)
-            assert metrics_out.exists(), "flusher never wrote the document"
+            wait_for(
+                metrics_out.exists, timeout=10,
+                message="flusher wrote the metrics document",
+            )
             document = json.loads(metrics_out.read_text())
             assert document["serve"]["live"]["endpoints"]["who-has"]
             # tmp+rename leaves no partial files behind.
